@@ -1,0 +1,86 @@
+// E3 -- the Section 2 / A.1.2 asymmetry: over 1->0 noise the rewind
+// scheme achieves CONSTANT blowup (no repetition, no owners -- a dropped
+// beep is detected by its own beeper), while over 0->1 noise the blowup
+// must and does grow like log n.
+//
+// Also measures the A.1.2 reduction channel (one-sided-up 1/3 + shared
+// 1/4 down-flip == two-sided 1/4), demonstrating that the hard direction
+// subsumes the general model.
+#include <benchmark/benchmark.h>
+
+#include "channel/one_sided.h"
+#include "channel/shared_randomness.h"
+#include "coding/rewind_sim.h"
+#include "tasks/bit_exchange.h"
+#include "util/math.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace {
+
+using namespace noisybeeps;
+
+constexpr int kTrials = 6;
+
+void Measure(benchmark::State& state, const Channel& channel,
+             const RewindSimulator& sim, int n, std::uint64_t seed) {
+  Rng rng(seed);
+  SuccessCounter counter;
+  RunningStat overhead;
+  for (auto _ : state) {
+    for (int t = 0; t < kTrials; ++t) {
+      const BitExchangeInstance instance = SampleBitExchange(n, 8, rng);
+      const auto protocol = MakeBitExchangeProtocol(instance);
+      const SimulationResult result = sim.Simulate(*protocol, channel, rng);
+      counter.Record(!result.budget_exhausted &&
+                     BitExchangeAllCorrect(instance, result.outputs));
+      overhead.Add(static_cast<double>(result.noisy_rounds_used) /
+                   protocol->length());
+    }
+  }
+  const double log_n = CeilLog2(static_cast<std::uint64_t>(n < 2 ? 2 : n));
+  state.counters["blowup"] = overhead.mean();
+  state.counters["blowup_per_log_n"] =
+      overhead.mean() / (log_n > 0 ? log_n : 1);
+  state.counters["success_rate"] = counter.rate();
+}
+
+void BM_DownNoiseConstantOverhead(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const OneSidedDownChannel channel(0.10);
+  const RewindSimulator sim(RewindSimOptions::DownOnly());
+  Measure(state, channel, sim, n, 7000 + n);
+}
+BENCHMARK(BM_DownNoiseConstantOverhead)
+    ->Arg(8)->Arg(16)->Arg(32)->Arg(64)->Arg(128)->Arg(256)
+    ->Iterations(1)->Unit(benchmark::kMillisecond);
+
+void BM_UpNoiseLogOverhead(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const OneSidedUpChannel channel(0.10);
+  const RewindSimulator sim;
+  Measure(state, channel, sim, n, 8000 + n);
+}
+BENCHMARK(BM_UpNoiseLogOverhead)
+    ->Arg(8)->Arg(16)->Arg(32)->Arg(64)->Arg(128)->Arg(256)
+    ->Iterations(1)->Unit(benchmark::kMillisecond);
+
+void BM_ReductionChannel(benchmark::State& state) {
+  // The composite two-sided 1/4-noisy channel of A.1.2; heavier coding
+  // parameters because eps = 1/4 is close to the repetition threshold.
+  const int n = static_cast<int>(state.range(0));
+  const auto channel = SharedRandomnessOneSidedAdapter::PaperInstance();
+  RewindSimOptions options;
+  options.rep_c = 8;
+  options.flag_reps = 40;
+  options.code_length_factor = 10;
+  const RewindSimulator sim(options);
+  Measure(state, channel, sim, n, 9000 + n);
+}
+BENCHMARK(BM_ReductionChannel)
+    ->Arg(8)->Arg(16)->Arg(32)
+    ->Iterations(1)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,75 @@
+// E7 -- substrate scaling: the cost of one beeping round, per channel
+// model, as the party count grows.  This is the simulator's innermost
+// loop; everything else in the library multiplies it.
+#include <benchmark/benchmark.h>
+
+#include "channel/correlated.h"
+#include "channel/independent.h"
+#include "channel/noiseless.h"
+#include "channel/one_sided.h"
+#include "channel/shared_randomness.h"
+#include "protocol/executor.h"
+#include "protocol/round_engine.h"
+#include "tasks/input_set.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace noisybeeps;
+
+template <typename ChannelT>
+void RoundLoop(benchmark::State& state, const ChannelT& channel) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(1);
+  RoundEngine engine(channel, rng, n);
+  std::vector<std::uint8_t> beeps(n, 0);
+  beeps[n / 2] = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.Round(beeps));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_RoundNoiseless(benchmark::State& state) {
+  RoundLoop(state, NoiselessChannel());
+}
+BENCHMARK(BM_RoundNoiseless)->Arg(8)->Arg(64)->Arg(512)->Arg(4096);
+
+void BM_RoundCorrelated(benchmark::State& state) {
+  RoundLoop(state, CorrelatedNoisyChannel(0.1));
+}
+BENCHMARK(BM_RoundCorrelated)->Arg(8)->Arg(64)->Arg(512)->Arg(4096);
+
+void BM_RoundOneSidedUp(benchmark::State& state) {
+  RoundLoop(state, OneSidedUpChannel(1.0 / 3.0));
+}
+BENCHMARK(BM_RoundOneSidedUp)->Arg(8)->Arg(64)->Arg(512)->Arg(4096);
+
+void BM_RoundIndependent(benchmark::State& state) {
+  RoundLoop(state, IndependentNoisyChannel(0.1));
+}
+BENCHMARK(BM_RoundIndependent)->Arg(8)->Arg(64)->Arg(512)->Arg(4096);
+
+void BM_RoundSharedRandomness(benchmark::State& state) {
+  RoundLoop(state, SharedRandomnessOneSidedAdapter::PaperInstance());
+}
+BENCHMARK(BM_RoundSharedRandomness)->Arg(8)->Arg(64)->Arg(512);
+
+// Full protocol execution end to end (round loop + party beep functions +
+// transcript bookkeeping): rounds/second for the trivial InputSet run.
+void BM_ExecuteInputSet(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(2);
+  const CorrelatedNoisyChannel channel(0.1);
+  const InputSetInstance instance = SampleInputSet(n, rng);
+  const auto protocol = MakeInputSetProtocol(instance);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Execute(*protocol, channel, rng));
+  }
+  state.SetItemsProcessed(state.iterations() * protocol->length());
+}
+BENCHMARK(BM_ExecuteInputSet)->Arg(8)->Arg(64)->Arg(256);
+
+}  // namespace
+
+BENCHMARK_MAIN();

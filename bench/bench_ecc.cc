@@ -1,0 +1,118 @@
+// E6 -- the code substrate Algorithm 1 leans on: throughput of the
+// encode/decode pipelines and the decode-error rate of the beep code
+// under one-sided channel noise, as rate and noise vary.
+#include <benchmark/benchmark.h>
+
+#include "coding/beep_code.h"
+#include "ecc/codebook.h"
+#include "ecc/concatenated.h"
+#include "ecc/hadamard.h"
+#include "ecc/reed_solomon.h"
+#include "ecc/repetition.h"
+#include "util/math.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace noisybeeps;
+
+void BM_ReedSolomonEncode(benchmark::State& state) {
+  const ReedSolomon rs(255, static_cast<int>(state.range(0)));
+  Rng rng(1);
+  std::vector<std::uint8_t> data(rs.data_symbols());
+  for (auto& b : data) b = static_cast<std::uint8_t>(rng.UniformInt(256));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rs.Encode(data));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          rs.data_symbols());
+}
+BENCHMARK(BM_ReedSolomonEncode)->Arg(223)->Arg(127)->Arg(63);
+
+void BM_ReedSolomonDecode(benchmark::State& state) {
+  const ReedSolomon rs(255, 223);
+  const int errors = static_cast<int>(state.range(0));
+  Rng rng(2);
+  std::vector<std::uint8_t> data(223);
+  for (auto& b : data) b = static_cast<std::uint8_t>(rng.UniformInt(256));
+  auto word = rs.Encode(data);
+  for (int e = 0; e < errors; ++e) {
+    word[rng.UniformInt(255)] ^=
+        static_cast<std::uint8_t>(1 + rng.UniformInt(255));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rs.Decode(word));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * 255);
+}
+BENCHMARK(BM_ReedSolomonDecode)->Arg(0)->Arg(4)->Arg(16);
+
+void BM_CodebookDecode(benchmark::State& state) {
+  const int q = static_cast<int>(state.range(0));
+  const CodebookCode code =
+      CodebookCode::Random(q, 8 * CeilLog2(q) + 8, 3);
+  Rng rng(4);
+  const BitString word = code.Encode(rng.UniformInt(q));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(code.Decode(word));
+  }
+}
+BENCHMARK(BM_CodebookDecode)->Arg(17)->Arg(65)->Arg(257);
+
+void BM_HadamardDecode(benchmark::State& state) {
+  const HadamardCode code(static_cast<int>(state.range(0)));
+  Rng rng(5);
+  const BitString word = code.Encode(rng.UniformInt(code.num_messages()));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(code.Decode(word));
+  }
+}
+BENCHMARK(BM_HadamardDecode)->Arg(6)->Arg(8)->Arg(10);
+
+void BM_ConcatenatedRoundTrip(benchmark::State& state) {
+  const ConcatenatedCode code(
+      ReedSolomon(32, 16),
+      std::make_shared<CodebookCode>(CodebookCode::Random(256, 48, 7)));
+  Rng rng(6);
+  std::vector<std::uint8_t> data(16);
+  for (auto& b : data) b = static_cast<std::uint8_t>(rng.UniformInt(256));
+  for (auto _ : state) {
+    const BitString word = code.Encode(data);
+    benchmark::DoNotOptimize(code.Decode(word));
+  }
+}
+BENCHMARK(BM_ConcatenatedRoundTrip);
+
+// Decode-error rate of the beep code under one-sided-up noise, vs the
+// length factor -- the rate/robustness trade Algorithm 1's analysis turns
+// into the O(log n) cost.
+void BM_BeepCodeErrorRate(benchmark::State& state) {
+  const int factor = static_cast<int>(state.range(0));
+  const double eps = static_cast<double>(state.range(1)) / 100.0;
+  const BeepCode code(64, factor, 11);
+  Rng rng(15000 + factor);
+  std::size_t failures = 0;
+  std::size_t trials = 0;
+  for (auto _ : state) {
+    for (int t = 0; t < 2000; ++t) {
+      const std::uint64_t msg = rng.UniformInt(65);
+      BitString word = code.Encode(msg);
+      for (std::size_t i = 0; i < word.size(); ++i) {
+        if (!word[i] && rng.Bernoulli(eps)) word.Set(i, true);
+      }
+      failures += code.Decode(word) != msg;
+      ++trials;
+    }
+  }
+  state.counters["decode_error_rate"] =
+      static_cast<double>(failures) / trials;
+  state.counters["codeword_bits"] =
+      static_cast<double>(code.codeword_length());
+}
+BENCHMARK(BM_BeepCodeErrorRate)
+    ->ArgsProduct({{2, 4, 6, 8}, {5, 10, 20}})
+    ->Iterations(1)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,92 @@
+// E8 -- Section D.2's point: the flat rewind scheme's soundness decays
+// with protocol length (each committed chunk trusts one flag exchange
+// forever), while the hierarchical A_l-style scheme holds ANY length at
+// O(log n) overhead, paying only a geometrically-vanishing audit tax.
+//
+// Sweeps protocol length T (BitExchange payload width) at fixed n and
+// reports, for both schemes, success rate and blowup.  To make the flat
+// scheme's fragility visible at bench scale, a weak-flags variant (1-rep
+// level-0 verdicts) is included: flat-weak degrades with T; hierarchical
+// with the same weak level-0 verdicts stays correct because the audits
+// repair what slips through.
+#include <benchmark/benchmark.h>
+
+#include "channel/correlated.h"
+#include "coding/hierarchical_sim.h"
+#include "coding/rewind_sim.h"
+#include "tasks/bit_exchange.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace {
+
+using namespace noisybeeps;
+
+constexpr int kParties = 8;
+constexpr double kEps = 0.05;
+constexpr int kTrials = 6;
+
+void Run(benchmark::State& state, const Simulator& sim, int bits_per_party,
+         std::uint64_t seed) {
+  Rng rng(seed);
+  const CorrelatedNoisyChannel channel(kEps);
+  SuccessCounter counter;
+  RunningStat overhead;
+  for (auto _ : state) {
+    for (int t = 0; t < kTrials; ++t) {
+      const BitExchangeInstance instance =
+          SampleBitExchange(kParties, bits_per_party, rng);
+      const auto protocol = MakeBitExchangeProtocol(instance);
+      const SimulationResult result = sim.Simulate(*protocol, channel, rng);
+      counter.Record(!result.budget_exhausted &&
+                     BitExchangeAllCorrect(instance, result.outputs));
+      overhead.Add(static_cast<double>(result.noisy_rounds_used) /
+                   protocol->length());
+    }
+  }
+  state.counters["T"] = kParties * bits_per_party;
+  state.counters["success_rate"] = counter.rate();
+  state.counters["blowup"] = overhead.mean();
+}
+
+void BM_FlatRewind(benchmark::State& state) {
+  const RewindSimulator sim;
+  Run(state, sim, static_cast<int>(state.range(0)), 16000 + state.range(0));
+}
+BENCHMARK(BM_FlatRewind)
+    ->Arg(8)->Arg(16)->Arg(32)->Arg(64)
+    ->Iterations(1)->Unit(benchmark::kMillisecond);
+
+void BM_Hierarchical(benchmark::State& state) {
+  const HierarchicalSimulator sim;
+  Run(state, sim, static_cast<int>(state.range(0)), 17000 + state.range(0));
+}
+BENCHMARK(BM_Hierarchical)
+    ->Arg(8)->Arg(16)->Arg(32)->Arg(64)
+    ->Iterations(1)->Unit(benchmark::kMillisecond);
+
+void BM_FlatRewindWeakFlags(benchmark::State& state) {
+  RewindSimOptions options;
+  options.flag_reps = 1;   // flaky verdicts: false commits DO happen
+  options.rep_factor = 3;  // flaky chunks: verdicts get exercised often
+  const RewindSimulator sim(options);
+  Run(state, sim, static_cast<int>(state.range(0)), 18000 + state.range(0));
+}
+BENCHMARK(BM_FlatRewindWeakFlags)
+    ->Arg(8)->Arg(16)->Arg(32)->Arg(64)
+    ->Iterations(1)->Unit(benchmark::kMillisecond);
+
+void BM_HierarchicalWeakFlags(benchmark::State& state) {
+  HierarchicalSimOptions options;
+  options.base.flag_reps = 1;   // same flaky level-0 verdicts...
+  options.base.rep_factor = 3;  // ...and the same flaky chunks,
+  const HierarchicalSimulator sim(options);  // repaired by the audits
+  Run(state, sim, static_cast<int>(state.range(0)), 19000 + state.range(0));
+}
+BENCHMARK(BM_HierarchicalWeakFlags)
+    ->Arg(8)->Arg(16)->Arg(32)->Arg(64)
+    ->Iterations(1)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,93 @@
+// E4 -- Theorem D.1: the finding-owners phase of Algorithm 1 assigns, to
+// every 1 of the chunk transcript, an owner who actually beeped it, with
+// failure probability polynomially small; the phase costs
+// (chunk + n) * |codeword| = O(n log n) noisy rounds.
+//
+// Sweeps n (chunk = n, as in the paper) and reports the success rate of
+// OwnersValid, the rounds spent, and rounds normalized by n log n.  The
+// code-length ablation shows how the failure rate responds to the
+// codeword-length factor.
+#include <benchmark/benchmark.h>
+
+#include "channel/one_sided.h"
+#include "coding/owner_finding.h"
+#include "util/math.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace {
+
+using namespace noisybeeps;
+
+struct Fixture {
+  std::vector<BitString> beeped;
+  BitString pi;
+};
+
+Fixture RandomFixture(int n, int chunk_len, double density, Rng& rng) {
+  Fixture fx;
+  fx.beeped.assign(n, BitString());
+  for (int i = 0; i < n; ++i) {
+    for (int m = 0; m < chunk_len; ++m) {
+      fx.beeped[i].PushBack(rng.Bernoulli(density));
+    }
+  }
+  for (int m = 0; m < chunk_len; ++m) {
+    bool any = false;
+    for (int i = 0; i < n; ++i) any = any || fx.beeped[i][m];
+    fx.pi.PushBack(any);
+  }
+  return fx;
+}
+
+void RunOwnerBench(benchmark::State& state, int n, int length_factor,
+                   double eps, std::uint64_t seed) {
+  Rng rng(seed);
+  const OneSidedUpChannel channel(eps);
+  const BeepCode code(n, length_factor, 13);
+  SuccessCounter counter;
+  RunningStat rounds;
+  for (auto _ : state) {
+    for (int t = 0; t < 8; ++t) {
+      const Fixture fx = RandomFixture(n, n, 2.0 / n, rng);
+      RoundEngine engine(channel, rng, n);
+      const OwnerFindingResult result = FindOwners(
+          engine, code, std::vector<BitString>(n, fx.pi), fx.beeped);
+      counter.Record(OwnersValid(result, fx.pi, fx.beeped));
+      rounds.Add(static_cast<double>(engine.rounds_used()));
+    }
+  }
+  const double log_n = CeilLog2(static_cast<std::uint64_t>(n < 2 ? 2 : n));
+  state.counters["success_rate"] = counter.rate();
+  state.counters["rounds"] = rounds.mean();
+  state.counters["rounds_per_n_log_n"] =
+      rounds.mean() / (n * (log_n > 0 ? log_n : 1));
+}
+
+void BM_OwnerFinding(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  RunOwnerBench(state, n, 8, 0.05, 10000 + n);
+}
+BENCHMARK(BM_OwnerFinding)
+    ->Arg(8)->Arg(16)->Arg(32)->Arg(64)->Arg(128)->Arg(256)
+    ->Iterations(1)->Unit(benchmark::kMillisecond);
+
+void BM_OwnerFindingCodeLengthAblation(benchmark::State& state) {
+  const int factor = static_cast<int>(state.range(0));
+  RunOwnerBench(state, 64, factor, 0.10, 11000 + factor);
+}
+BENCHMARK(BM_OwnerFindingCodeLengthAblation)
+    ->Arg(2)->Arg(4)->Arg(6)->Arg(8)->Arg(12)
+    ->Iterations(1)->Unit(benchmark::kMillisecond);
+
+void BM_OwnerFindingNoiseSweep(benchmark::State& state) {
+  const double eps = static_cast<double>(state.range(0)) / 100.0;
+  RunOwnerBench(state, 64, 8, eps, 12000 + state.range(0));
+}
+BENCHMARK(BM_OwnerFindingNoiseSweep)
+    ->Arg(1)->Arg(5)->Arg(10)->Arg(20)
+    ->Iterations(1)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,106 @@
+// E11 (extension) -- the paper's conceptual landscape in one sweep.
+//
+// Section 1.3/2.1 situates the Theta(log n) result between two cheap
+// regimes: the noisy broadcast channel of [EKS18] (constant rate, because
+// every transcript bit has a pre-assigned owner who can verify it alone)
+// and 1->0-only noise (constant rate, because a dropped beep is detected
+// by its beeper).  The beeping model's log n is the price of
+// SIMULTANEITY: protocols whose rounds may carry many anonymous beepers.
+//
+// This bench runs the SAME task (BitExchange, which is both a valid
+// beeping protocol and a broadcast-style scheduled protocol) through
+// three deployments over the same two-sided eps = 0.05 channel:
+//   scheduled  -- ownership known a priori (EKS18 regime): O(1) blowup,
+//   unscheduled-- ownership recomputed by Algorithm 1:    Theta(log n),
+// and over the one-sided-down channel:
+//   down-only  -- the Section 2 cheap direction:           O(1) blowup.
+#include <benchmark/benchmark.h>
+
+#include "channel/correlated.h"
+#include "channel/one_sided.h"
+#include "coding/rewind_sim.h"
+#include "tasks/bit_exchange.h"
+#include "util/math.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace {
+
+using namespace noisybeeps;
+
+constexpr int kBits = 8;
+constexpr int kTrials = 6;
+
+void Measure(benchmark::State& state, const Channel& channel,
+             bool scheduled, int n, std::uint64_t seed) {
+  Rng rng(seed);
+  SuccessCounter counter;
+  RunningStat blowup;
+  for (auto _ : state) {
+    for (int t = 0; t < kTrials; ++t) {
+      const BitExchangeInstance instance = SampleBitExchange(n, kBits, rng);
+      const RewindSimOptions options =
+          scheduled ? RewindSimOptions::Scheduled(BitExchangeSchedule(n, kBits))
+                    : RewindSimOptions::TwoSided();
+      const RewindSimulator sim(options);
+      const auto protocol = MakeBitExchangeProtocol(instance);
+      const SimulationResult result = sim.Simulate(*protocol, channel, rng);
+      counter.Record(!result.budget_exhausted &&
+                     BitExchangeAllCorrect(instance, result.outputs));
+      blowup.Add(static_cast<double>(result.noisy_rounds_used) /
+                 protocol->length());
+    }
+  }
+  const double log_n = CeilLog2(static_cast<std::uint64_t>(n < 2 ? 2 : n));
+  state.counters["blowup"] = blowup.mean();
+  state.counters["blowup_per_log_n"] =
+      blowup.mean() / (log_n > 0 ? log_n : 1);
+  state.counters["success_rate"] = counter.rate();
+}
+
+void BM_ScheduledOwnership(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const CorrelatedNoisyChannel channel(0.05);
+  Measure(state, channel, /*scheduled=*/true, n, 30000 + n);
+}
+BENCHMARK(BM_ScheduledOwnership)
+    ->Arg(8)->Arg(16)->Arg(32)->Arg(64)->Arg(128)->Arg(256)
+    ->Iterations(1)->Unit(benchmark::kMillisecond);
+
+void BM_AnonymousOwnership(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const CorrelatedNoisyChannel channel(0.05);
+  Measure(state, channel, /*scheduled=*/false, n, 31000 + n);
+}
+BENCHMARK(BM_AnonymousOwnership)
+    ->Arg(8)->Arg(16)->Arg(32)->Arg(64)->Arg(128)->Arg(256)
+    ->Iterations(1)->Unit(benchmark::kMillisecond);
+
+void BM_DownNoiseReference(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const OneSidedDownChannel channel(0.05);
+  Rng rng(32000 + n);
+  SuccessCounter counter;
+  RunningStat blowup;
+  for (auto _ : state) {
+    for (int t = 0; t < kTrials; ++t) {
+      const BitExchangeInstance instance = SampleBitExchange(n, kBits, rng);
+      const RewindSimulator sim(RewindSimOptions::DownOnly());
+      const auto protocol = MakeBitExchangeProtocol(instance);
+      const SimulationResult result = sim.Simulate(*protocol, channel, rng);
+      counter.Record(!result.budget_exhausted &&
+                     BitExchangeAllCorrect(instance, result.outputs));
+      blowup.Add(static_cast<double>(result.noisy_rounds_used) /
+                 protocol->length());
+    }
+  }
+  state.counters["blowup"] = blowup.mean();
+  state.counters["success_rate"] = counter.rate();
+}
+BENCHMARK(BM_DownNoiseReference)
+    ->Arg(8)->Arg(64)->Arg(256)
+    ->Iterations(1)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,97 @@
+// E9 -- the combinatorial facts the lower bound stands on:
+//  * Lemma B.8: among n iid uniform draws from [2n], at least n/3 are
+//    unique except with probability <= (3/2)(1 - e^{-1/2});
+//  * Section 2.3: |N(x)| = Theta(n^2) for a constant fraction of x (the
+//    function L is sensitive at Theta(n) coordinates);
+//  * Lemma C.5's ingredients on executions: the good-players event 𝒢
+//    holds with constant frequency for the short trivial protocol.
+#include <benchmark/benchmark.h>
+
+#include "analysis/good_players.h"
+#include "analysis/neighbors.h"
+#include "channel/one_sided.h"
+#include "protocol/executor.h"
+#include "tasks/input_set.h"
+#include "util/math.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace {
+
+using namespace noisybeeps;
+
+void BM_LemmaB8UniqueFraction(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(20000 + n);
+  int below_third = 0;
+  constexpr int kTrials = 2000;
+  RunningStat unique_fraction;
+  for (auto _ : state) {
+    for (int t = 0; t < kTrials; ++t) {
+      const InputSetInstance instance = SampleInputSet(n, rng);
+      const std::size_t unique =
+          UniqueInputPlayers(instance.inputs).size();
+      unique_fraction.Add(static_cast<double>(unique) / n);
+      if (3 * unique <= static_cast<std::size_t>(n)) ++below_third;
+    }
+  }
+  state.counters["pr_below_third"] =
+      static_cast<double>(below_third) / kTrials;
+  state.counters["lemma_b8_bound"] = LemmaB8Bound(n, 2 * n);
+  state.counters["mean_unique_fraction"] = unique_fraction.mean();
+}
+BENCHMARK(BM_LemmaB8UniqueFraction)
+    ->Arg(8)->Arg(32)->Arg(128)->Arg(512)
+    ->Iterations(1)->Unit(benchmark::kMillisecond);
+
+void BM_NeighborSensitivity(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(21000 + n);
+  RunningStat total;
+  int quadratic = 0;
+  constexpr int kTrials = 500;
+  for (auto _ : state) {
+    for (int t = 0; t < kTrials; ++t) {
+      const InputSetInstance instance = SampleInputSet(n, rng);
+      const std::size_t count = TotalNeighborCount(instance);
+      total.Add(static_cast<double>(count));
+      if (count >= static_cast<std::size_t>(n) * n / 4) ++quadratic;
+    }
+  }
+  state.counters["mean_neighbors"] = total.mean();
+  state.counters["mean_neighbors_per_n2"] =
+      total.mean() / (static_cast<double>(n) * n);
+  state.counters["pr_quadratic"] = static_cast<double>(quadratic) / kTrials;
+}
+BENCHMARK(BM_NeighborSensitivity)
+    ->Arg(8)->Arg(32)->Arg(128)->Arg(512)
+    ->Iterations(1)->Unit(benchmark::kMillisecond);
+
+void BM_GoodEventFrequency(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(22000 + n);
+  const OneSidedUpChannel channel(1.0 / 3.0);
+  const auto family = MakeInputSetFamily(n);
+  int good_events = 0;
+  constexpr int kTrials = 40;
+  for (auto _ : state) {
+    for (int t = 0; t < kTrials; ++t) {
+      const InputSetInstance instance = SampleInputSet(n, rng);
+      const auto protocol = MakeInputSetProtocol(instance);
+      const ExecutionResult run = Execute(*protocol, channel, rng);
+      const auto good =
+          GoodPlayers(*family, instance.inputs, run.shared());
+      good_events += EventGoodHolds(good.size(), n);
+    }
+  }
+  state.counters["pr_event_good"] =
+      static_cast<double>(good_events) / kTrials;
+  state.counters["lemma_c5_floor"] = 1.0 / 3.0;  // Pr[G] >= 1/3
+}
+BENCHMARK(BM_GoodEventFrequency)
+    ->Arg(8)->Arg(16)->Arg(32)
+    ->Iterations(1)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

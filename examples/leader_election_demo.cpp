@@ -1,0 +1,80 @@
+// Noise-resilient leader election.
+//
+// A fleet of devices with distinct ids elects the maximum id by bitwise
+// beeping (tasks/leader_election.h).  This demo sweeps the channel noise
+// rate and compares three deployments:
+//   raw        -- the election run directly on the noisy channel,
+//   repetition -- each round repeated Theta(log n) times,
+//   rewind     -- the paper's full rewind-if-error scheme.
+// For each cell it reports the success rate over many elections and the
+// average number of noisy rounds spent.
+//
+// Usage: leader_election_demo [n] [trials] [seed]
+#include <cstdio>
+#include <cstdlib>
+
+#include "channel/correlated.h"
+#include "coding/repetition_sim.h"
+#include "coding/rewind_sim.h"
+#include "tasks/leader_election.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace {
+
+struct CellResult {
+  double success_rate;
+  double avg_rounds;
+};
+
+CellResult RunCell(const noisybeeps::Simulator& sim, int n, double eps,
+                   int trials, std::uint64_t seed) {
+  using namespace noisybeeps;
+  Rng rng(seed);
+  const CorrelatedNoisyChannel channel(eps);
+  SuccessCounter counter;
+  RunningStat rounds;
+  for (int t = 0; t < trials; ++t) {
+    const LeaderElectionInstance instance =
+        SampleLeaderElection(n, 16, rng);
+    const auto protocol = MakeLeaderElectionProtocol(instance);
+    const SimulationResult result = sim.Simulate(*protocol, channel, rng);
+    counter.Record(!result.budget_exhausted &&
+                   LeaderElectionAllCorrect(instance, result.outputs));
+    rounds.Add(static_cast<double>(result.noisy_rounds_used));
+  }
+  return CellResult{counter.rate(), rounds.mean()};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace noisybeeps;
+  const int n = argc > 1 ? std::atoi(argv[1]) : 32;
+  const int trials = argc > 2 ? std::atoi(argv[2]) : 40;
+  const std::uint64_t seed = argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 7;
+
+  const RepetitionSimulator raw(RepetitionSimOptions{.rep_factor = 1});
+  const RepetitionSimulator repetition;
+  const RewindSimulator rewind;
+
+  std::printf("Leader election among %d parties (16-bit ids, %d trials)\n",
+              n, trials);
+  std::printf("%8s | %22s | %22s | %22s\n", "eps", "raw", "repetition",
+              "rewind");
+  std::printf("%8s | %10s %11s | %10s %11s | %10s %11s\n", "", "success",
+              "rounds", "success", "rounds", "success", "rounds");
+  for (const double eps : {0.0, 0.02, 0.05, 0.10, 0.20}) {
+    const CellResult a = RunCell(raw, n, eps, trials, seed);
+    const CellResult b = RunCell(repetition, n, eps, trials, seed + 1);
+    const CellResult c = RunCell(rewind, n, eps, trials, seed + 2);
+    std::printf("%8.2f | %9.0f%% %11.0f | %9.0f%% %11.0f | %9.0f%% %11.0f\n",
+                eps, 100 * a.success_rate, a.avg_rounds,
+                100 * b.success_rate, b.avg_rounds, 100 * c.success_rate,
+                c.avg_rounds);
+  }
+  std::printf(
+      "\nraw breaks as soon as eps > 0; both coded deployments hold, at a\n"
+      "round cost that grows like log n (Theorem 1.2), not like T.\n");
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Why does noise-resilient beeping cost Theta(log n)?  Because of
+// ANONYMITY, not noise per se.
+//
+// The same task -- BitExchange, every party broadcasts 8 bits in rounds
+// it owns -- is simulated over the same two-sided noisy channel in two
+// ways:
+//
+//   anonymous: the simulator is told nothing about who beeps when, so it
+//              must run Algorithm 1's owner-finding to make someone
+//              responsible for every 1 (the general Theorem 1.2 scheme);
+//
+//   scheduled: the simulator is handed the round-ownership schedule (as a
+//              broadcast-channel protocol would come with), so owners are
+//              free and every transcript bit is verifiable by its owner
+//              alone -- the [EKS18] regime.
+//
+// The anonymous column grows like log n; the scheduled column is flat.
+// The gap IS the paper's lower bound, localized to one missing piece of
+// metadata.
+//
+// Usage: scheduled_vs_anonymous [epsilon] [seed]
+#include <cstdio>
+#include <cstdlib>
+
+#include "channel/correlated.h"
+#include "coding/rewind_sim.h"
+#include "tasks/bit_exchange.h"
+#include "util/math.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace {
+
+using namespace noisybeeps;
+
+double MeasureBlowup(const Simulator& sim, const Channel& channel, int n,
+                     Rng& rng) {
+  RunningStat blowup;
+  for (int t = 0; t < 6; ++t) {
+    const BitExchangeInstance instance = SampleBitExchange(n, 8, rng);
+    const auto protocol = MakeBitExchangeProtocol(instance);
+    const SimulationResult result = sim.Simulate(*protocol, channel, rng);
+    if (result.budget_exhausted ||
+        !BitExchangeAllCorrect(instance, result.outputs)) {
+      return -1.0;
+    }
+    blowup.Add(static_cast<double>(result.noisy_rounds_used) /
+               protocol->length());
+  }
+  return blowup.mean();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const double eps = argc > 1 ? std::atof(argv[1]) : 0.05;
+  const std::uint64_t seed =
+      argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 11;
+  Rng rng(seed);
+  const CorrelatedNoisyChannel channel(eps);
+
+  std::printf(
+      "BitExchange (8 bits/party) over two-sided eps=%.2f noise\n\n", eps);
+  std::printf("%6s %6s | %12s | %12s | %8s\n", "n", "log2n", "anonymous",
+              "scheduled", "gap");
+  for (const int n : {8, 16, 32, 64, 128}) {
+    const RewindSimulator anonymous;
+    const RewindSimulator scheduled(
+        RewindSimOptions::Scheduled(BitExchangeSchedule(n, 8)));
+    const double a = MeasureBlowup(anonymous, channel, n, rng);
+    const double s = MeasureBlowup(scheduled, channel, n, rng);
+    std::printf("%6d %6d | %11.1fx | %11.1fx | %7.1fx\n", n,
+                CeilLog2(static_cast<std::uint64_t>(n)), a, s, a / s);
+  }
+  std::printf(
+      "\nSame task, same noise, same engine.  The only difference is whether\n"
+      "the simulator KNOWS who owns each round.  Anonymity costs log n\n"
+      "(Theorem 1.1); a schedule makes resilience almost free (cf. EKS18).\n");
+  return 0;
+}

@@ -1,0 +1,38 @@
+#include "analysis/entropy.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/require.h"
+
+namespace noisybeeps {
+
+double EntropyBits(std::span<const double> probabilities) {
+  double h = 0.0;
+  for (double p : probabilities) {
+    NB_REQUIRE(p >= 0.0, "negative probability");
+    if (p > 0.0) h -= p * std::log2(p);
+  }
+  return h;
+}
+
+double LogSumExp2(std::span<const double> values) {
+  NB_REQUIRE(!values.empty(), "LogSumExp2 of an empty set");
+  const double peak = *std::max_element(values.begin(), values.end());
+  if (!std::isfinite(peak)) return peak;  // all -inf (or a stray +inf)
+  double sum = 0.0;
+  for (double v : values) sum += std::exp2(v - peak);
+  return peak + std::log2(sum);
+}
+
+std::vector<double> NormalizeLog2Weights(std::span<const double> log2_weights) {
+  const double total = LogSumExp2(log2_weights);
+  NB_REQUIRE(std::isfinite(total), "no finite weight to normalize");
+  std::vector<double> probs;
+  probs.reserve(log2_weights.size());
+  for (double w : log2_weights) probs.push_back(std::exp2(w - total));
+  return probs;
+}
+
+}  // namespace noisybeeps

@@ -1,0 +1,29 @@
+// Information-theoretic primitives for the Appendix B/C arguments:
+// Shannon entropy over explicit distributions and stable log-space sums.
+// All entropies are in bits (log base 2), matching the paper.
+#ifndef NOISYBEEPS_ANALYSIS_ENTROPY_H_
+#define NOISYBEEPS_ANALYSIS_ENTROPY_H_
+
+#include <span>
+#include <vector>
+
+namespace noisybeeps {
+
+// H(p) = sum p_i log2(1/p_i) over the positive entries.
+// Precondition: entries non-negative; callers pass normalized
+// distributions (the function does not re-normalize).
+[[nodiscard]] double EntropyBits(std::span<const double> probabilities);
+
+// log2(sum_i 2^{values[i]}), computed stably (useful when the values are
+// log-probabilities spanning hundreds of orders of magnitude).
+// Precondition: non-empty.
+[[nodiscard]] double LogSumExp2(std::span<const double> values);
+
+// Normalizes a vector of log2-weights into a probability distribution.
+// Precondition: non-empty, at least one finite entry.
+[[nodiscard]] std::vector<double> NormalizeLog2Weights(
+    std::span<const double> log2_weights);
+
+}  // namespace noisybeeps
+
+#endif  // NOISYBEEPS_ANALYSIS_ENTROPY_H_

@@ -1,0 +1,40 @@
+#include "analysis/feasible_sets.h"
+
+#include "util/require.h"
+
+namespace noisybeeps {
+
+std::vector<int> FeasibleSet(const ProtocolFamily& family, int party,
+                             const BitString& pi) {
+  NB_REQUIRE(party >= 0 && party < family.num_parties(),
+             "party index out of range");
+  NB_REQUIRE(pi.size() <= static_cast<std::size_t>(family.length()),
+             "transcript longer than protocol");
+  std::vector<int> feasible;
+  for (int y = 0; y < family.num_inputs(); ++y) {
+    const std::unique_ptr<Party> candidate = family.MakeParty(party, y);
+    BitString prefix;
+    bool ok = true;
+    for (std::size_t j = 0; j < pi.size(); ++j) {
+      if (!pi[j] && candidate->ChooseBeep(prefix)) {
+        ok = false;
+        break;
+      }
+      prefix.PushBack(pi[j]);
+    }
+    if (ok) feasible.push_back(y);
+  }
+  return feasible;
+}
+
+std::vector<std::vector<int>> AllFeasibleSets(const ProtocolFamily& family,
+                                              const BitString& pi) {
+  std::vector<std::vector<int>> sets;
+  sets.reserve(family.num_parties());
+  for (int i = 0; i < family.num_parties(); ++i) {
+    sets.push_back(FeasibleSet(family, i, pi));
+  }
+  return sets;
+}
+
+}  // namespace noisybeeps

@@ -1,0 +1,34 @@
+// Feasible sets S^i(pi) (Appendix C.2).
+//
+// Under one-sided-up noise, a received 0 certifies that every party beeped
+// 0.  Given a transcript pi, the inputs of party i that are still possible
+// are exactly those y for which party i would have beeped 0 in EVERY round
+// j with pi_j = 0 (given the prefix pi_<j):
+//     S^i(pi) = intersect_{j : pi_j = 0} { y : f_j^i(y, pi_<j) = 0 }.
+// The sizes |S^i(pi)| drive both sides of the paper's tension: the
+// information-theoretic argument (Lemma C.5) forces most of them to stay
+// polynomially large for short protocols, and that largeness is what makes
+// the progress measure's denominator big.
+#ifndef NOISYBEEPS_ANALYSIS_FEASIBLE_SETS_H_
+#define NOISYBEEPS_ANALYSIS_FEASIBLE_SETS_H_
+
+#include <vector>
+
+#include "protocol/protocol_family.h"
+#include "util/bitstring.h"
+
+namespace noisybeeps {
+
+// The members of S^i(pi), ascending.  Replays party i's pure beep function
+// for every candidate input along pi.  Precondition: pi.size() <=
+// family.length(), 0 <= party < family.num_parties().
+[[nodiscard]] std::vector<int> FeasibleSet(const ProtocolFamily& family,
+                                           int party, const BitString& pi);
+
+// S^i(pi) for every party i.
+[[nodiscard]] std::vector<std::vector<int>> AllFeasibleSets(
+    const ProtocolFamily& family, const BitString& pi);
+
+}  // namespace noisybeeps
+
+#endif  // NOISYBEEPS_ANALYSIS_FEASIBLE_SETS_H_

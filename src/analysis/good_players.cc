@@ -1,0 +1,51 @@
+#include "analysis/good_players.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "analysis/feasible_sets.h"
+#include "util/require.h"
+
+namespace noisybeeps {
+
+std::vector<int> UniqueInputPlayers(const std::vector<int>& x) {
+  std::unordered_map<int, int> counts;
+  for (int v : x) ++counts[v];
+  std::vector<int> unique;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    if (counts[x[i]] == 1) unique.push_back(static_cast<int>(i));
+  }
+  return unique;
+}
+
+std::vector<int> LargeFeasiblePlayers(
+    const std::vector<std::vector<int>>& feasible_sets) {
+  const int n = static_cast<int>(feasible_sets.size());
+  const double threshold = std::sqrt(static_cast<double>(n));
+  std::vector<int> large;
+  for (int i = 0; i < n; ++i) {
+    if (static_cast<double>(feasible_sets[i].size()) > threshold) {
+      large.push_back(i);
+    }
+  }
+  return large;
+}
+
+std::vector<int> GoodPlayers(const ProtocolFamily& family,
+                             const std::vector<int>& x, const BitString& pi) {
+  NB_REQUIRE(static_cast<int>(x.size()) == family.num_parties(),
+             "one input per party");
+  const std::vector<int> g1 = UniqueInputPlayers(x);
+  const std::vector<int> g2 = LargeFeasiblePlayers(AllFeasibleSets(family, pi));
+  std::vector<int> good;
+  std::set_intersection(g1.begin(), g1.end(), g2.begin(), g2.end(),
+                        std::back_inserter(good));
+  return good;
+}
+
+bool EventGoodHolds(std::size_t num_good, int n) {
+  return 4 * num_good >= static_cast<std::size_t>(n);
+}
+
+}  // namespace noisybeeps

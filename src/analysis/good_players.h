@@ -1,0 +1,40 @@
+// Good players (Appendix C.2): the set over which the progress measure
+// sums.
+//
+//   G_1(x)   = parties whose input is unique in x,
+//   G_2(pi)  = parties whose feasible set S^i(pi) exceeds sqrt(n),
+//   G(x,pi)  = G_1 ∩ G_2,   and the event  𝒢 ≡ |G(x,pi)| >= n/4.
+//
+// Lemma C.5 shows Pr[not 𝒢] <= 2/3 for short protocols: |G_1| >= n/3 with
+// probability >= 2/5 (Lemma B.8) and |G_2| > 19n/20 with probability
+// >= 49/50 (entropy counting).  Both facts are checked empirically by the
+// tests and by bench_sensitivity / bench_progress_measure.
+#ifndef NOISYBEEPS_ANALYSIS_GOOD_PLAYERS_H_
+#define NOISYBEEPS_ANALYSIS_GOOD_PLAYERS_H_
+
+#include <vector>
+
+#include "protocol/protocol_family.h"
+#include "util/bitstring.h"
+
+namespace noisybeeps {
+
+// G_1(x): indices of parties whose input appears exactly once in x.
+[[nodiscard]] std::vector<int> UniqueInputPlayers(const std::vector<int>& x);
+
+// G_2(pi): parties with |S^i(pi)| > sqrt(n), given precomputed feasible
+// sets (one per party).
+[[nodiscard]] std::vector<int> LargeFeasiblePlayers(
+    const std::vector<std::vector<int>>& feasible_sets);
+
+// G(x, pi) = G_1 ∩ G_2, computed from x and pi directly.
+[[nodiscard]] std::vector<int> GoodPlayers(const ProtocolFamily& family,
+                                           const std::vector<int>& x,
+                                           const BitString& pi);
+
+// The event 𝒢: |good| >= n/4.
+[[nodiscard]] bool EventGoodHolds(std::size_t num_good, int n);
+
+}  // namespace noisybeeps
+
+#endif  // NOISYBEEPS_ANALYSIS_GOOD_PLAYERS_H_

@@ -1,0 +1,38 @@
+#include "analysis/neighbors.h"
+
+#include <unordered_map>
+
+namespace noisybeeps {
+
+std::vector<std::size_t> NeighborCountsPerParty(
+    const InputSetInstance& instance) {
+  const int n = instance.num_parties();
+  const int universe = instance.universe_size();
+  std::unordered_map<int, int> multiplicity;
+  for (int v : instance.inputs) ++multiplicity[v];
+  const auto distinct = static_cast<int>(multiplicity.size());
+
+  std::vector<std::size_t> counts(n, 0);
+  for (int i = 0; i < n; ++i) {
+    const int xi = instance.inputs[i];
+    const bool xi_unique = multiplicity[xi] == 1;
+    // Changing x^i to y alters L(x) iff x^i leaves the set (x^i unique and
+    // y != x^i) or y enters it (y not already in L(x)).
+    //   - If x^i is unique: any y != x^i removes x^i, so all 2n-1 values
+    //     change L.
+    //   - Otherwise: only y outside L(x) change it; there are
+    //     universe - |L(x)| such values.
+    counts[i] = xi_unique
+                    ? static_cast<std::size_t>(universe - 1)
+                    : static_cast<std::size_t>(universe - distinct);
+  }
+  return counts;
+}
+
+std::size_t TotalNeighborCount(const InputSetInstance& instance) {
+  std::size_t total = 0;
+  for (std::size_t c : NeighborCountsPerParty(instance)) total += c;
+  return total;
+}
+
+}  // namespace noisybeeps

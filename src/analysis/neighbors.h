@@ -1,0 +1,29 @@
+// Neighbor-sensitivity of the InputSet function L (Section 2.3).
+//
+// Two inputs x, x' are neighbors when they differ in at most one party's
+// input; N(x) is the set of neighbors with L(x') != L(x), partitioned as
+// N^i(x) by the party whose input changed.  The proof sketch leans on
+// |N(x)| = Theta(n^2) for a constant fraction of inputs -- the function is
+// sensitive at Theta(n) parties, each contributing Theta(n) differing
+// neighbors.  These counters make the claim checkable.
+#ifndef NOISYBEEPS_ANALYSIS_NEIGHBORS_H_
+#define NOISYBEEPS_ANALYSIS_NEIGHBORS_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "tasks/input_set.h"
+
+namespace noisybeeps {
+
+// |N^i(x)| for every party i: the number of values y != x^i such that
+// changing party i's input to y changes L(x).
+[[nodiscard]] std::vector<std::size_t> NeighborCountsPerParty(
+    const InputSetInstance& instance);
+
+// |N(x)| = sum_i |N^i(x)|.
+[[nodiscard]] std::size_t TotalNeighborCount(const InputSetInstance& instance);
+
+}  // namespace noisybeeps
+
+#endif  // NOISYBEEPS_ANALYSIS_NEIGHBORS_H_

@@ -1,0 +1,133 @@
+#include "analysis/posterior.h"
+
+#include <bit>
+#include <cmath>
+#include <limits>
+
+#include "analysis/entropy.h"
+#include "util/require.h"
+
+namespace noisybeeps {
+namespace {
+
+// Packed per-round bits, word-parallel for speed: enumeration touches
+// every input vector, so the inner loop works on 64 rounds at a time.
+using WordMask = std::vector<std::uint64_t>;
+
+WordMask PackBits(const BitString& bits) {
+  WordMask words((bits.size() + 63) / 64, 0);
+  for (std::size_t m = 0; m < bits.size(); ++m) {
+    if (bits[m]) words[m / 64] |= std::uint64_t{1} << (m % 64);
+  }
+  return words;
+}
+
+}  // namespace
+
+PosteriorResult ExactPosterior(const ProtocolFamily& family,
+                               const BitString& pi, double eps) {
+  NB_REQUIRE(eps > 0.0 && eps < 1.0, "noise rate must lie in (0,1)");
+  const int n = family.num_parties();
+  const int q = family.num_inputs();
+  NB_REQUIRE(pi.size() <= static_cast<std::size_t>(family.length()),
+             "transcript longer than protocol");
+
+  double total_vectors = 1.0;
+  for (int i = 0; i < n; ++i) total_vectors *= q;
+  NB_REQUIRE(total_vectors <= 2.1e7,
+             "input space too large for exact enumeration");
+
+  // Precompute each (party, input)'s beep pattern along pi.
+  std::vector<std::vector<WordMask>> pattern(n);
+  for (int i = 0; i < n; ++i) {
+    pattern[i].reserve(q);
+    for (int y = 0; y < q; ++y) {
+      const std::unique_ptr<Party> party = family.MakeParty(i, y);
+      BitString beeps;
+      BitString prefix;
+      for (std::size_t m = 0; m < pi.size(); ++m) {
+        beeps.PushBack(party->ChooseBeep(prefix));
+        prefix.PushBack(pi[m]);
+      }
+      pattern[i].push_back(PackBits(beeps));
+    }
+  }
+
+  const WordMask ones_mask = PackBits(pi);
+  const std::size_t num_words = ones_mask.size();
+  std::size_t num_zeros = 0;
+  for (std::size_t m = 0; m < pi.size(); ++m) num_zeros += pi[m] ? 0 : 1;
+  const double log2_eps = std::log2(eps);
+  const double log2_one_minus_eps = std::log2(1.0 - eps);
+  // |A_0| is shared by every consistent input vector.
+  const double log2_base = static_cast<double>(num_zeros) * log2_one_minus_eps;
+  // log2 of the uniform prior of one input vector.
+  const double log2_prior = -static_cast<double>(n) *
+                            std::log2(static_cast<double>(q));
+
+  const auto total = static_cast<std::size_t>(total_vectors);
+  std::vector<double> log2_joint(total,
+                                 -std::numeric_limits<double>::infinity());
+
+  // Odometer enumeration of x' in [q]^n.
+  std::vector<int> x(n, 0);
+  WordMask or_words(num_words, 0);
+  // slack bits beyond pi.size() in the last word are zero in all masks.
+  for (std::size_t index = 0; index < total; ++index) {
+    bool consistent = true;
+    std::size_t silent_ones = 0;  // |A'_0|: pi_m = 1 but nobody beeps
+    for (std::size_t w = 0; w < num_words; ++w) {
+      std::uint64_t orw = 0;
+      for (int i = 0; i < n; ++i) orw |= pattern[i][x[i]][w];
+      // A beeper in a zero round kills the vector under one-sided-up noise.
+      if ((orw & ~ones_mask[w]) != 0) {
+        consistent = false;
+        break;
+      }
+      silent_ones += std::popcount(ones_mask[w] & ~orw);
+      or_words[w] = orw;
+    }
+    if (consistent) {
+      log2_joint[index] = log2_prior + log2_base +
+                          static_cast<double>(silent_ones) * log2_eps;
+    }
+    // Advance the odometer.
+    for (int i = 0; i < n; ++i) {
+      if (++x[i] < q) break;
+      x[i] = 0;
+    }
+  }
+
+  PosteriorResult result;
+  result.log2_prob_pi = LogSumExp2(log2_joint);
+  if (!std::isfinite(result.log2_prob_pi)) {
+    // No input is consistent with pi: a zero-probability transcript.
+    result.feasible = false;
+    result.marginal_entropy_bits.assign(n, 0.0);
+    result.support_size.assign(n, 0);
+    return result;
+  }
+  const std::vector<double> posterior = NormalizeLog2Weights(log2_joint);
+  result.entropy_bits = EntropyBits(posterior);
+
+  // Marginals: fold the posterior over each coordinate.
+  result.marginal_entropy_bits.assign(n, 0.0);
+  result.support_size.assign(n, 0);
+  std::vector<double> marginal(q, 0.0);
+  for (int i = 0; i < n; ++i) {
+    std::fill(marginal.begin(), marginal.end(), 0.0);
+    // Coordinate i cycles with period prod_{j<i} q.
+    std::size_t period = 1;
+    for (int j = 0; j < i; ++j) period *= q;
+    for (std::size_t index = 0; index < total; ++index) {
+      marginal[(index / period) % q] += posterior[index];
+    }
+    result.marginal_entropy_bits[i] = EntropyBits(marginal);
+    for (double p : marginal) {
+      if (p > 0.0) ++result.support_size[i];
+    }
+  }
+  return result;
+}
+
+}  // namespace noisybeeps

@@ -1,0 +1,45 @@
+// Exact Bayesian posteriors over inputs given a transcript, for small n.
+//
+// The entropy half of the lower bound (Observation C.4 / Lemma C.5) says a
+// short transcript cannot reduce H(X | pi) much below n log(2n), and in
+// particular the feasible sets S^i(pi) cannot all be small.  For tiny
+// instances we can check this EXACTLY: enumerate all (2n)^n input vectors,
+// compute Pr(pi | x') in closed form under one-sided-up noise, and read
+// off H(X | pi), the per-party marginals H(X^i | pi), and the support
+// structure.  Cost O((2n)^n * n * T) -- intended for n <= 5.
+#ifndef NOISYBEEPS_ANALYSIS_POSTERIOR_H_
+#define NOISYBEEPS_ANALYSIS_POSTERIOR_H_
+
+#include <vector>
+
+#include "protocol/protocol_family.h"
+#include "util/bitstring.h"
+
+namespace noisybeeps {
+
+struct PosteriorResult {
+  // False when NO input vector is consistent with pi (possible under
+  // one-sided noise: a transcript whose 0s contradict every input has
+  // probability zero).  When false, log2_prob_pi is -infinity and the
+  // entropy/marginal/support fields are zeroed.
+  bool feasible = true;
+  // H(X | Pi = pi), in bits.
+  double entropy_bits = 0.0;
+  // H(X^i | Pi = pi) per party, in bits.
+  std::vector<double> marginal_entropy_bits;
+  // log2 Pr(Pi = pi) under the uniform prior.
+  double log2_prob_pi = 0.0;
+  // Per party: the number of inputs y with positive marginal posterior.
+  // Under one-sided-up noise this support equals the feasible set S^i(pi).
+  std::vector<std::size_t> support_size;
+};
+
+// Exact posterior for transcript `pi` under one-sided-up noise rate `eps`.
+// Preconditions: family.num_parties() small enough that
+// num_inputs^num_parties enumeration is affordable; 0 < eps < 1.
+[[nodiscard]] PosteriorResult ExactPosterior(const ProtocolFamily& family,
+                                             const BitString& pi, double eps);
+
+}  // namespace noisybeeps
+
+#endif  // NOISYBEEPS_ANALYSIS_POSTERIOR_H_

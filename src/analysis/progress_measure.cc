@@ -1,0 +1,161 @@
+#include "analysis/progress_measure.h"
+
+#include <cmath>
+#include <limits>
+
+#include "analysis/entropy.h"
+#include "analysis/feasible_sets.h"
+#include "analysis/good_players.h"
+#include "util/require.h"
+
+namespace noisybeeps {
+
+RoundClasses ClassifyRounds(const ProtocolFamily& family,
+                            const std::vector<int>& x, const BitString& pi) {
+  const int n = family.num_parties();
+  NB_REQUIRE(static_cast<int>(x.size()) == n, "one input per party");
+  NB_REQUIRE(pi.size() <= static_cast<std::size_t>(family.length()),
+             "transcript longer than protocol");
+
+  RoundClasses classes;
+  classes.beep_count.assign(pi.size(), 0);
+  classes.a_single.assign(n, 0);
+  classes.beeped.assign(n, BitString());
+
+  // Replay every party once along pi (the transcript is shared, so each
+  // party's beeps are a function of its input and the prefix only).
+  for (int i = 0; i < n; ++i) {
+    const std::unique_ptr<Party> party = family.MakeParty(i, x[i]);
+    BitString prefix;
+    for (std::size_t m = 0; m < pi.size(); ++m) {
+      const bool b = party->ChooseBeep(prefix);
+      classes.beeped[i].PushBack(b);
+      if (b) ++classes.beep_count[m];
+      prefix.PushBack(pi[m]);
+    }
+  }
+
+  for (std::size_t m = 0; m < pi.size(); ++m) {
+    const int count = classes.beep_count[m];
+    if (!pi[m]) {
+      if (count > 0) classes.consistent = false;
+      ++classes.a0;
+    } else if (count == 0) {
+      ++classes.a0_prime;
+    } else if (count >= 2) {
+      ++classes.a_multi;
+    } else {
+      // Exactly one beeper: find it (A_i membership).
+      for (int i = 0; i < n; ++i) {
+        if (classes.beeped[i][m]) {
+          ++classes.a_single[i];
+          break;
+        }
+      }
+    }
+  }
+  return classes;
+}
+
+double Log2ProbPiGivenX(const RoundClasses& classes, double eps) {
+  NB_REQUIRE(eps > 0.0 && eps < 1.0, "noise rate must lie in (0,1)");
+  if (!classes.consistent) {
+    return -std::numeric_limits<double>::infinity();
+  }
+  return static_cast<double>(classes.a0) * std::log2(1.0 - eps) +
+         static_cast<double>(classes.a0_prime) * std::log2(eps);
+}
+
+namespace {
+
+// log2 Pr(pi | x^{i=y}): re-derives the classification cheaply from the
+// baseline.  Only party i's beeps change; a round's factor depends only on
+// whether ANYONE beeps, so count' = count - b_i + b'_i decides it.
+double Log2ProbNeighbor(const ProtocolFamily& family,
+                        const RoundClasses& base, const BitString& pi,
+                        int party, int y, double eps) {
+  const std::unique_ptr<Party> candidate = family.MakeParty(party, y);
+  BitString prefix;
+  double log2p = 0.0;
+  const double log2_silent0 = std::log2(1.0 - eps);
+  const double log2_silent1 = std::log2(eps);
+  for (std::size_t m = 0; m < pi.size(); ++m) {
+    const bool b_new = candidate->ChooseBeep(prefix);
+    const int count = base.beep_count[m] -
+                      (base.beeped[party][m] ? 1 : 0) + (b_new ? 1 : 0);
+    if (!pi[m]) {
+      if (count > 0) return -std::numeric_limits<double>::infinity();
+      log2p += log2_silent0;
+    } else if (count == 0) {
+      log2p += log2_silent1;
+    }
+    prefix.PushBack(pi[m]);
+  }
+  return log2p;
+}
+
+}  // namespace
+
+ZetaResult ComputeZeta(const ProtocolFamily& family, const std::vector<int>& x,
+                       const BitString& pi, double eps) {
+  const int n = family.num_parties();
+  ZetaResult result;
+
+  const RoundClasses classes = ClassifyRounds(family, x, pi);
+  result.log2_prob_pi_given_x = Log2ProbPiGivenX(classes, eps);
+
+  const std::vector<std::vector<int>> feasible = AllFeasibleSets(family, pi);
+  const std::vector<int> g1 = UniqueInputPlayers(x);
+  const std::vector<int> g2 = LargeFeasiblePlayers(feasible);
+  std::vector<std::uint8_t> in_g2(n, 0);
+  for (int i : g2) in_g2[i] = 1;
+  for (int i : g1) {
+    if (in_g2[i]) result.good.push_back(i);
+  }
+  result.event_good = EventGoodHolds(result.good.size(), n);
+
+  if (!classes.consistent) {
+    result.zeta = 0.0;
+    result.log2_zeta = -std::numeric_limits<double>::infinity();
+    return result;
+  }
+
+  // log2 Z(x,pi) / Pr(x): the uniform prior Pr(x) = Pr(x^{i=y}) cancels in
+  // zeta, so we accumulate log2 of sum_i (1/|S^i|) sum_{y in S^i}
+  // Pr(pi | x^{i=y}).
+  std::vector<double> log2_terms;
+  for (int i : result.good) {
+    NB_REQUIRE(!feasible[i].empty(),
+               "good player with empty feasible set (contradiction)");
+    const double log2_avg_denominator =
+        std::log2(static_cast<double>(feasible[i].size()));
+    for (int y : feasible[i]) {
+      log2_terms.push_back(
+          Log2ProbNeighbor(family, classes, pi, i, y, eps) -
+          log2_avg_denominator);
+    }
+  }
+  if (log2_terms.empty()) {
+    // G(x, pi) is empty: Z = 0 and zeta is undefined (the paper only
+    // evaluates zeta under the event 𝒢).  Surface +infinity so callers
+    // that forgot to guard on event_good fail loudly in comparisons.
+    result.zeta = std::numeric_limits<double>::infinity();
+    result.log2_zeta = std::numeric_limits<double>::infinity();
+    return result;
+  }
+  const double log2_z = LogSumExp2(log2_terms);
+  result.log2_zeta = result.log2_prob_pi_given_x - log2_z;
+  result.zeta = std::exp2(result.log2_zeta);
+  return result;
+}
+
+double TheoremC2Bound(int n, int protocol_len, double eps) {
+  NB_REQUIRE(n >= 1 && protocol_len >= 0, "bad parameters");
+  NB_REQUIRE(eps > 0.0 && eps < 1.0, "noise rate must lie in (0,1)");
+  const double exponent =
+      4.0 * static_cast<double>(protocol_len) / static_cast<double>(n);
+  return 4.0 / static_cast<double>(n) *
+         std::pow(1.0 / eps, exponent);
+}
+
+}  // namespace noisybeeps

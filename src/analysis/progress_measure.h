@@ -1,0 +1,73 @@
+// The progress measure of the lower-bound proof (Appendix C.2/C.3):
+// round classification, exact transcript probabilities under one-sided-up
+// noise, Z(x,pi), and zeta(x,pi) = Pr(x,pi) / Z(x,pi).
+//
+// Everything here is EXACT (no Monte Carlo): under the one-sided-up
+// epsilon-noisy channel with a deterministic protocol, Pr(pi | x) factors
+// in closed form over the round classification
+//   A_0  = rounds with pi_m = 0                      -> factor (1-eps)
+//   A'_0 = rounds with pi_m = 1, nobody beeped       -> factor eps
+//   A_i  = rounds where exactly party i beeped 1     -> factor 1
+//   A_n+1= rounds with >= 2 beepers                  -> factor 1
+// (a round with a beeper and pi_m = 0 is impossible: one-sided noise never
+// kills a 1).  Theorem C.2 bounds zeta <= (4/n) * (1/eps)^{4T/n} whenever
+// the good-players event holds; Theorem C.3 forces E[zeta | G] >= n^{-3/4}
+// for correct protocols.  The tension between the two is the paper's
+// Omega(log n), and bench_progress_measure reproduces it numerically.
+#ifndef NOISYBEEPS_ANALYSIS_PROGRESS_MEASURE_H_
+#define NOISYBEEPS_ANALYSIS_PROGRESS_MEASURE_H_
+
+#include <vector>
+
+#include "protocol/protocol_family.h"
+#include "util/bitstring.h"
+
+namespace noisybeeps {
+
+struct RoundClasses {
+  // Number of parties beeping 1 in each round, given x and the prefix.
+  std::vector<int> beep_count;
+  // beeped[i][m]: whether party i beeps in round m (given x, prefix).
+  std::vector<BitString> beeped;
+  std::size_t a0 = 0;        // |A_0|
+  std::size_t a0_prime = 0;  // |A'_0|
+  std::size_t a_multi = 0;   // |A_{n+1}|
+  std::vector<std::size_t> a_single;  // |A_i| per party
+  // False iff some round has pi_m = 0 with a beeper, i.e. Pr(x,pi) = 0
+  // under one-sided-up noise.
+  bool consistent = true;
+};
+
+// Replays all parties along pi and classifies every round.
+// Precondition: x.size() == num_parties, pi.size() <= length.
+[[nodiscard]] RoundClasses ClassifyRounds(const ProtocolFamily& family,
+                                          const std::vector<int>& x,
+                                          const BitString& pi);
+
+// log2 Pr(pi | x) under one-sided-up noise rate eps; -infinity when
+// inconsistent.  Precondition: 0 < eps < 1.
+[[nodiscard]] double Log2ProbPiGivenX(const RoundClasses& classes,
+                                      double eps);
+
+struct ZetaResult {
+  double zeta = 0.0;       // zeta(x, pi); 0 when Pr(x,pi) = 0
+  double log2_zeta = 0.0;  // log2 of the above (-inf when zeta = 0)
+  std::vector<int> good;   // G(x, pi)
+  bool event_good = false; // |G| >= n/4
+  double log2_prob_pi_given_x = 0.0;
+};
+
+// Exact zeta(x, pi) for the uniform input prior (the priors cancel in the
+// ratio).  Sums over all i in G(x,pi) and all y in S^i(pi), each term via
+// the closed-form probability above.  Cost O(n * num_inputs * T).
+[[nodiscard]] ZetaResult ComputeZeta(const ProtocolFamily& family,
+                                     const std::vector<int>& x,
+                                     const BitString& pi, double eps);
+
+// The Theorem C.2 ceiling (4/n) * (1/eps)^{4T/n}; the paper states it for
+// eps = 1/3, where the base is 3.
+[[nodiscard]] double TheoremC2Bound(int n, int protocol_len, double eps);
+
+}  // namespace noisybeeps
+
+#endif  // NOISYBEEPS_ANALYSIS_PROGRESS_MEASURE_H_

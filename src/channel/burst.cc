@@ -1,0 +1,48 @@
+#include "channel/burst.h"
+
+#include "util/require.h"
+
+namespace noisybeeps {
+
+BurstNoisyChannel::BurstNoisyChannel(double eps_good, double eps_bad,
+                                     double p_good_to_bad,
+                                     double p_bad_to_good)
+    : eps_good_(eps_good),
+      eps_bad_(eps_bad),
+      p_gb_(p_good_to_bad),
+      p_bg_(p_bad_to_good) {
+  NB_REQUIRE(eps_good >= 0.0 && eps_good < 1.0, "good-state rate out of range");
+  NB_REQUIRE(eps_bad >= 0.0 && eps_bad < 1.0, "bad-state rate out of range");
+  NB_REQUIRE(p_good_to_bad > 0.0 && p_good_to_bad <= 1.0,
+             "good->bad probability out of range");
+  NB_REQUIRE(p_bad_to_good > 0.0 && p_bad_to_good <= 1.0,
+             "bad->good probability out of range");
+}
+
+void BurstNoisyChannel::Deliver(int num_beepers,
+                                std::span<std::uint8_t> received,
+                                Rng& rng) const {
+  // State transition first, then emission: dwell times are geometric.
+  if (in_bad_state_) {
+    if (rng.Bernoulli(p_bg_)) in_bad_state_ = false;
+  } else {
+    if (rng.Bernoulli(p_gb_)) in_bad_state_ = true;
+  }
+  const double eps = in_bad_state_ ? eps_bad_ : eps_good_;
+  const bool out = (num_beepers > 0) != rng.Bernoulli(eps);
+  for (auto& bit : received) bit = out ? 1 : 0;
+}
+
+std::string BurstNoisyChannel::name() const {
+  return "burst(good=" + std::to_string(eps_good_) +
+         ",bad=" + std::to_string(eps_bad_) +
+         ",burst_len=" + std::to_string(MeanBurstLength()) + ")";
+}
+
+double BurstNoisyChannel::StationaryNoiseRate() const {
+  return (p_bg_ * eps_good_ + p_gb_ * eps_bad_) / (p_gb_ + p_bg_);
+}
+
+double BurstNoisyChannel::MeanBurstLength() const { return 1.0 / p_bg_; }
+
+}  // namespace noisybeeps

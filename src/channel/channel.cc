@@ -1,0 +1,15 @@
+#include "channel/channel.h"
+
+#include "util/require.h"
+
+namespace noisybeeps {
+
+bool Channel::DeliverShared(int num_beepers, Rng& rng) const {
+  NB_REQUIRE(is_correlated(),
+             "DeliverShared is only meaningful for correlated channels");
+  std::uint8_t bit = 0;
+  Deliver(num_beepers, std::span<std::uint8_t>(&bit, 1), rng);
+  return bit != 0;
+}
+
+}  // namespace noisybeeps

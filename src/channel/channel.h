@@ -1,0 +1,48 @@
+// The beeping channel abstraction.
+//
+// In every round, each of the n parties either beeps (1) or stays silent
+// (0).  A Channel turns the round's BEEPER COUNT into the bit each party
+// *receives*, applying its noise model.  The paper's beeping channels
+// depend on the count only through the OR (count > 0); carrying the count
+// additionally admits the neighbouring radio-network models the paper's
+// related-work section situates itself against -- e.g. collision-as-
+// silence, where two simultaneous beeps sound like none.  Correlated
+// channels deliver the same bit to everyone (all parties share one
+// transcript); the independent-noise channel delivers a per-party noisy
+// copy (Section 1.2 of the paper).
+#ifndef NOISYBEEPS_CHANNEL_CHANNEL_H_
+#define NOISYBEEPS_CHANNEL_CHANNEL_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "util/rng.h"
+
+namespace noisybeeps {
+
+class Channel {
+ public:
+  virtual ~Channel() = default;
+
+  // Delivers one round.  `num_beepers` is the number of parties beeping
+  // this round (passing a bool works too: the OR converts to 0/1);
+  // `received` has one slot per party and is filled with the bit each
+  // party hears (0/1).  The rng drives the channel noise for this round.
+  virtual void Deliver(int num_beepers, std::span<std::uint8_t> received,
+                       Rng& rng) const = 0;
+
+  // True when every party is guaranteed to receive the same bit, i.e. the
+  // parties share a single transcript.
+  [[nodiscard]] virtual bool is_correlated() const = 0;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  // Convenience for correlated channels: the single shared received bit.
+  // Precondition: is_correlated().
+  [[nodiscard]] bool DeliverShared(int num_beepers, Rng& rng) const;
+};
+
+}  // namespace noisybeeps
+
+#endif  // NOISYBEEPS_CHANNEL_CHANNEL_H_

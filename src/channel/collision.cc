@@ -1,0 +1,28 @@
+#include "channel/collision.h"
+
+#include "util/require.h"
+
+namespace noisybeeps {
+
+CollisionAsSilenceChannel::CollisionAsSilenceChannel(double epsilon)
+    : epsilon_(epsilon) {
+  NB_REQUIRE(epsilon >= 0.0 && epsilon < 0.5,
+             "noise rate must lie in [0, 1/2)");
+}
+
+void CollisionAsSilenceChannel::Deliver(int num_beepers,
+                                        std::span<std::uint8_t> received,
+                                        Rng& rng) const {
+  // A round is a 1 only for a lone transmitter; collisions (>= 2) and
+  // silence (0) both deliver 0, before noise.
+  const bool clean = num_beepers == 1;
+  const bool out =
+      epsilon_ > 0.0 ? clean != rng.Bernoulli(epsilon_) : clean;
+  for (auto& bit : received) bit = out ? 1 : 0;
+}
+
+std::string CollisionAsSilenceChannel::name() const {
+  return "collision-as-silence(eps=" + std::to_string(epsilon_) + ")";
+}
+
+}  // namespace noisybeeps

@@ -1,0 +1,24 @@
+#include "channel/correlated.h"
+
+#include "util/require.h"
+
+namespace noisybeeps {
+
+CorrelatedNoisyChannel::CorrelatedNoisyChannel(double epsilon)
+    : epsilon_(epsilon) {
+  NB_REQUIRE(epsilon >= 0.0 && epsilon < 0.5,
+             "noise rate must lie in [0, 1/2)");
+}
+
+void CorrelatedNoisyChannel::Deliver(int num_beepers,
+                                     std::span<std::uint8_t> received,
+                                     Rng& rng) const {
+  const bool flipped = (num_beepers > 0) != rng.Bernoulli(epsilon_);
+  for (auto& bit : received) bit = flipped ? 1 : 0;
+}
+
+std::string CorrelatedNoisyChannel::name() const {
+  return "correlated(eps=" + std::to_string(epsilon_) + ")";
+}
+
+}  // namespace noisybeeps

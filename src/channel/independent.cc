@@ -1,0 +1,26 @@
+#include "channel/independent.h"
+
+#include "util/require.h"
+
+namespace noisybeeps {
+
+IndependentNoisyChannel::IndependentNoisyChannel(double epsilon)
+    : epsilon_(epsilon) {
+  NB_REQUIRE(epsilon >= 0.0 && epsilon < 0.5,
+             "noise rate must lie in [0, 1/2)");
+}
+
+void IndependentNoisyChannel::Deliver(int num_beepers,
+                                      std::span<std::uint8_t> received,
+                                      Rng& rng) const {
+  const bool or_bit = num_beepers > 0;
+  for (auto& bit : received) {
+    bit = (or_bit != rng.Bernoulli(epsilon_)) ? 1 : 0;
+  }
+}
+
+std::string IndependentNoisyChannel::name() const {
+  return "independent(eps=" + std::to_string(epsilon_) + ")";
+}
+
+}  // namespace noisybeeps

@@ -1,0 +1,28 @@
+// The independent-noise beeping channel (Section 1.2): every party
+// receives its own epsilon-noisy copy of the OR, with noise independent
+// across parties and rounds.  Parties may witness different transcripts.
+#ifndef NOISYBEEPS_CHANNEL_INDEPENDENT_H_
+#define NOISYBEEPS_CHANNEL_INDEPENDENT_H_
+
+#include "channel/channel.h"
+
+namespace noisybeeps {
+
+class IndependentNoisyChannel final : public Channel {
+ public:
+  // Precondition: 0 <= epsilon < 1/2.
+  explicit IndependentNoisyChannel(double epsilon);
+
+  void Deliver(int num_beepers, std::span<std::uint8_t> received,
+               Rng& rng) const override;
+  [[nodiscard]] bool is_correlated() const override { return false; }
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] double epsilon() const { return epsilon_; }
+
+ private:
+  double epsilon_;
+};
+
+}  // namespace noisybeeps
+
+#endif  // NOISYBEEPS_CHANNEL_INDEPENDENT_H_

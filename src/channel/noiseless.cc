@@ -1,0 +1,12 @@
+#include "channel/noiseless.h"
+
+namespace noisybeeps {
+
+void NoiselessChannel::Deliver(int num_beepers,
+                               std::span<std::uint8_t> received,
+                               Rng& rng) const {
+  (void)rng;
+  for (auto& bit : received) bit = num_beepers > 0 ? 1 : 0;
+}
+
+}  // namespace noisybeeps

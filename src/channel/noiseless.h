@@ -1,0 +1,19 @@
+// The noiseless beeping channel: every party receives exactly the OR.
+#ifndef NOISYBEEPS_CHANNEL_NOISELESS_H_
+#define NOISYBEEPS_CHANNEL_NOISELESS_H_
+
+#include "channel/channel.h"
+
+namespace noisybeeps {
+
+class NoiselessChannel final : public Channel {
+ public:
+  void Deliver(int num_beepers, std::span<std::uint8_t> received,
+               Rng& rng) const override;
+  [[nodiscard]] bool is_correlated() const override { return true; }
+  [[nodiscard]] std::string name() const override { return "noiseless"; }
+};
+
+}  // namespace noisybeeps
+
+#endif  // NOISYBEEPS_CHANNEL_NOISELESS_H_

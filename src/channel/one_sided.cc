@@ -1,0 +1,37 @@
+#include "channel/one_sided.h"
+
+#include "util/require.h"
+
+namespace noisybeeps {
+
+OneSidedUpChannel::OneSidedUpChannel(double epsilon) : epsilon_(epsilon) {
+  NB_REQUIRE(epsilon >= 0.0 && epsilon < 1.0, "noise rate must lie in [0, 1)");
+}
+
+void OneSidedUpChannel::Deliver(int num_beepers,
+                                std::span<std::uint8_t> received,
+                                Rng& rng) const {
+  const bool out = num_beepers > 0 || rng.Bernoulli(epsilon_);
+  for (auto& bit : received) bit = out ? 1 : 0;
+}
+
+std::string OneSidedUpChannel::name() const {
+  return "one-sided-up(eps=" + std::to_string(epsilon_) + ")";
+}
+
+OneSidedDownChannel::OneSidedDownChannel(double epsilon) : epsilon_(epsilon) {
+  NB_REQUIRE(epsilon >= 0.0 && epsilon < 1.0, "noise rate must lie in [0, 1)");
+}
+
+void OneSidedDownChannel::Deliver(int num_beepers,
+                                  std::span<std::uint8_t> received,
+                                  Rng& rng) const {
+  const bool out = num_beepers > 0 && !rng.Bernoulli(epsilon_);
+  for (auto& bit : received) bit = out ? 1 : 0;
+}
+
+std::string OneSidedDownChannel::name() const {
+  return "one-sided-down(eps=" + std::to_string(epsilon_) + ")";
+}
+
+}  // namespace noisybeeps

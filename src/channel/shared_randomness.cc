@@ -1,0 +1,31 @@
+#include "channel/shared_randomness.h"
+
+#include "util/require.h"
+
+namespace noisybeeps {
+
+SharedRandomnessOneSidedAdapter::SharedRandomnessOneSidedAdapter(
+    double up_eps, double flip_prob)
+    : inner_(up_eps), flip_prob_(flip_prob) {
+  NB_REQUIRE(flip_prob >= 0.0 && flip_prob < 1.0,
+             "shared flip probability must lie in [0, 1)");
+}
+
+void SharedRandomnessOneSidedAdapter::Deliver(int num_beepers,
+                                              std::span<std::uint8_t> received,
+                                              Rng& rng) const {
+  // Step 1: the underlying one-sided-up channel.
+  bool bit = inner_.DeliverShared(num_beepers, rng);
+  // Step 2: shared-randomness downward flip applied by the parties
+  // themselves.  Because the randomness is shared, everyone flips (or not)
+  // in unison, so the channel stays correlated.
+  if (bit && rng.Bernoulli(flip_prob_)) bit = false;
+  for (auto& b : received) b = bit ? 1 : 0;
+}
+
+std::string SharedRandomnessOneSidedAdapter::name() const {
+  return "shared-randomness(up=" + std::to_string(inner_.epsilon()) +
+         ",flip=" + std::to_string(flip_prob_) + ")";
+}
+
+}  // namespace noisybeeps

@@ -1,0 +1,107 @@
+#include "channel/trace.h"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+#include "util/require.h"
+
+namespace noisybeeps {
+
+void WriteTraceCsv(const Trace& trace, std::ostream& os) {
+  os << "round,or_bit,delivered\n";
+  for (std::size_t r = 0; r < trace.size(); ++r) {
+    os << r << ',' << (trace[r].or_bit ? 1 : 0) << ',';
+    for (std::uint8_t b : trace[r].delivered) os << (b ? '1' : '0');
+    os << '\n';
+  }
+}
+
+Trace ReadTraceCsv(std::istream& is) {
+  std::string line;
+  NB_REQUIRE(static_cast<bool>(std::getline(is, line)) &&
+                 line == "round,or_bit,delivered",
+             "missing or malformed trace CSV header");
+  Trace trace;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    std::istringstream row(line);
+    std::string round_str;
+    std::string or_str;
+    std::string delivered_str;
+    NB_REQUIRE(static_cast<bool>(std::getline(row, round_str, ',')) &&
+                   static_cast<bool>(std::getline(row, or_str, ',')) &&
+                   static_cast<bool>(std::getline(row, delivered_str)),
+               "malformed trace CSV row: " + line);
+    NB_REQUIRE(round_str == std::to_string(trace.size()),
+               "trace CSV rows out of order at: " + line);
+    NB_REQUIRE(or_str == "0" || or_str == "1",
+               "bad or_bit in trace CSV row: " + line);
+    TraceRound round;
+    round.or_bit = or_str == "1";
+    round.delivered.reserve(delivered_str.size());
+    for (char c : delivered_str) {
+      NB_REQUIRE(c == '0' || c == '1',
+                 "bad delivered bit in trace CSV row: " + line);
+      round.delivered.push_back(c == '1' ? 1 : 0);
+    }
+    trace.push_back(std::move(round));
+  }
+  return trace;
+}
+
+std::size_t CountNoisyRounds(const Trace& trace) {
+  std::size_t noisy = 0;
+  for (const TraceRound& round : trace) {
+    for (std::uint8_t b : round.delivered) {
+      if ((b != 0) != round.or_bit) {
+        ++noisy;
+        break;
+      }
+    }
+  }
+  return noisy;
+}
+
+RecordingChannel::RecordingChannel(const Channel& inner) : inner_(&inner) {}
+
+void RecordingChannel::Deliver(int num_beepers,
+                               std::span<std::uint8_t> received,
+                               Rng& rng) const {
+  inner_->Deliver(num_beepers, received, rng);
+  TraceRound round;
+  round.or_bit = num_beepers > 0;
+  round.delivered.assign(received.begin(), received.end());
+  trace_.push_back(std::move(round));
+}
+
+std::string RecordingChannel::name() const {
+  return "recording(" + inner_->name() + ")";
+}
+
+ReplayChannel::ReplayChannel(Trace trace, bool correlated)
+    : trace_(std::move(trace)), correlated_(correlated) {}
+
+void ReplayChannel::Deliver(int num_beepers,
+                            std::span<std::uint8_t> received,
+                            Rng& rng) const {
+  (void)num_beepers;  // the recording dictates the outcome
+  (void)rng;
+  if (next_ >= trace_.size()) {
+    throw std::out_of_range("ReplayChannel: trace exhausted");
+  }
+  const TraceRound& round = trace_[next_++];
+  NB_REQUIRE(round.delivered.size() == received.size(),
+             "replaying a trace recorded with a different party count");
+  for (std::size_t i = 0; i < received.size(); ++i) {
+    received[i] = round.delivered[i];
+  }
+}
+
+std::string ReplayChannel::name() const {
+  return "replay(" + std::to_string(trace_.size()) + " rounds)";
+}
+
+}  // namespace noisybeeps

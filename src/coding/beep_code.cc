@@ -1,0 +1,20 @@
+#include "coding/beep_code.h"
+
+#include "util/math.h"
+#include "util/require.h"
+
+namespace noisybeeps {
+
+BeepCode::BeepCode(int chunk_len, int length_factor, std::uint64_t seed)
+    : chunk_len_(chunk_len) {
+  NB_REQUIRE(chunk_len >= 1, "chunk length must be positive");
+  NB_REQUIRE(length_factor >= 1, "length factor must be positive");
+  const std::uint64_t num_messages = static_cast<std::uint64_t>(chunk_len) + 1;
+  const std::size_t length =
+      static_cast<std::size_t>(length_factor) *
+      (CeilLog2(num_messages < 2 ? 2 : num_messages) + 1);
+  code_ = std::make_unique<CodebookCode>(
+      CodebookCode::Random(num_messages, length, seed));
+}
+
+}  // namespace noisybeeps

@@ -1,0 +1,50 @@
+// The code C : [chunk_len] ∪ {Next} -> {0,1}^L used by Algorithm 1's
+// owner-finding phase.
+//
+// The paper asks for "a constant rate error correcting code"; every
+// message is either a round index inside the chunk or the special Next
+// token that passes the turn.  We realize C as a seeded-random codebook of
+// chunk_len + 1 words of length L = factor * (ceil(log2(chunk_len+1)) + 1)
+// with exact nearest-codeword (maximum-likelihood) decoding, which is the
+// optimal decoder on any memoryless binary channel with flip rates below
+// 1/2.  A random codebook meets the Gilbert-Varshamov distance with high
+// probability, and the seed makes the codebook common knowledge (it is
+// part of the protocol, shared by all parties).
+#ifndef NOISYBEEPS_CODING_BEEP_CODE_H_
+#define NOISYBEEPS_CODING_BEEP_CODE_H_
+
+#include <memory>
+
+#include "ecc/codebook.h"
+
+namespace noisybeeps {
+
+class BeepCode {
+ public:
+  // Message values: rounds 0..chunk_len-1, plus Next == chunk_len.
+  // Preconditions: chunk_len >= 1, length_factor >= 1.
+  BeepCode(int chunk_len, int length_factor, std::uint64_t seed);
+
+  [[nodiscard]] int chunk_len() const { return chunk_len_; }
+  [[nodiscard]] std::uint64_t next_token() const { return chunk_len_; }
+  [[nodiscard]] std::size_t codeword_length() const {
+    return code_->codeword_length();
+  }
+
+  [[nodiscard]] BitString Encode(std::uint64_t message) const {
+    return code_->Encode(message);
+  }
+  [[nodiscard]] std::uint64_t Decode(const BitString& received) const {
+    return code_->Decode(received);
+  }
+
+  [[nodiscard]] const CodebookCode& codebook() const { return *code_; }
+
+ private:
+  int chunk_len_;
+  std::unique_ptr<CodebookCode> code_;
+};
+
+}  // namespace noisybeeps
+
+#endif  // NOISYBEEPS_CODING_BEEP_CODE_H_

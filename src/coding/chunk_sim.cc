@@ -1,0 +1,66 @@
+#include "coding/chunk_sim.h"
+
+#include "coding/owner_finding.h"
+#include "util/require.h"
+
+namespace noisybeeps {
+
+ChunkAttempt SimulateChunk(const Protocol& protocol,
+                           const std::vector<BitString>& committed, int start,
+                           int chunk_len, int rep_factor, const BeepCode* code,
+                           RoundEngine& engine) {
+  const int n = protocol.num_parties();
+  NB_REQUIRE(static_cast<int>(committed.size()) == n,
+             "need one committed prefix per party");
+  NB_REQUIRE(start >= 0 && chunk_len >= 1 &&
+                 start + chunk_len <= protocol.length(),
+             "chunk out of protocol range");
+  NB_REQUIRE(rep_factor >= 1, "repetition factor must be positive");
+  for (const BitString& prefix : committed) {
+    NB_REQUIRE(static_cast<int>(prefix.size()) == start,
+               "committed prefixes must cover exactly the rounds before the "
+               "chunk");
+  }
+  if (code != nullptr) {
+    NB_REQUIRE(code->chunk_len() == chunk_len,
+               "owner code sized for a different chunk length");
+  }
+
+  ChunkAttempt attempt;
+  attempt.candidate.assign(n, BitString());
+  attempt.beeped.assign(n, BitString());
+
+  // Phase 1: simulation by repetition.  working[i] = committed[i] extended
+  // by the candidate bits decoded so far; the party's pure f_m^i reads it.
+  engine.SetPhase("chunk-sim");
+  std::vector<BitString> working = committed;
+  std::vector<std::uint8_t> beeps(n, 0);
+  std::vector<std::size_t> ones(n, 0);
+  for (int m = 0; m < chunk_len; ++m) {
+    for (int i = 0; i < n; ++i) {
+      const bool b = protocol.party(i).ChooseBeep(working[i]);
+      beeps[i] = b ? 1 : 0;
+      attempt.beeped[i].PushBack(b);
+    }
+    std::fill(ones.begin(), ones.end(), 0);
+    for (int t = 0; t < rep_factor; ++t) {
+      const auto received = engine.Round(beeps);
+      for (int i = 0; i < n; ++i) ones[i] += received[i];
+    }
+    for (int i = 0; i < n; ++i) {
+      const bool bit = 2 * ones[i] >= static_cast<std::size_t>(rep_factor);
+      attempt.candidate[i].PushBack(bit);
+      working[i].PushBack(bit);
+    }
+  }
+
+  // Phase 2: finding owners.
+  if (code != nullptr) {
+    OwnerFindingResult found =
+        FindOwners(engine, *code, attempt.candidate, attempt.beeped);
+    attempt.owners = std::move(found.owners);
+  }
+  return attempt;
+}
+
+}  // namespace noisybeeps

@@ -1,0 +1,53 @@
+// The "finding owners" phase of Algorithm 1 (Section D.1, Theorem D.1).
+//
+// Input: each party i knows the bits b^i_m it beeped during a simulated
+// chunk and shares (its view of) the chunk transcript pi.  The parties
+// must agree, for every round m with pi_m = 1, on an OWNER: a party that
+// actually beeped 1 in round m.  Owners are what later lets the
+// verification phase check the 1s of the transcript (the owner of a 1 is
+// responsible for confirming it), closing the gap that makes 0->1 noise
+// hard (Section 2.1).
+//
+// Protocol (verbatim from Algorithm 1): turn-passing over
+// chunk_len + num_parties iterations.  The party whose turn it is beeps
+// the codeword C(j) for the smallest not-yet-claimed round j it can own
+// (b^i_j = 1 and its view has pi_j = 1), or C(Next) to pass the turn.
+// Everyone decodes each codeword from the noisy bits; on Next the turn
+// advances, on j the decoded round is recorded as owned by the current
+// turn-holder.  Under a correlated channel all parties decode identical
+// words, so their turn counters and owner maps never diverge; Theorem D.1
+// bounds the failure probability by n^-10 for suitable code length.
+#ifndef NOISYBEEPS_CODING_OWNER_FINDING_H_
+#define NOISYBEEPS_CODING_OWNER_FINDING_H_
+
+#include <vector>
+
+#include "coding/beep_code.h"
+#include "protocol/round_engine.h"
+
+namespace noisybeeps {
+
+struct OwnerFindingResult {
+  // owners[i][m]: party i's record of the owner of chunk round m
+  // (-1 = no owner recorded).
+  std::vector<std::vector<int>> owners;
+};
+
+// Preconditions: pi_view and beeped have one entry per party, all of the
+// same length == code.chunk_len().
+[[nodiscard]] OwnerFindingResult FindOwners(
+    RoundEngine& engine, const BeepCode& code,
+    const std::vector<BitString>& pi_view,
+    const std::vector<BitString>& beeped);
+
+// Checks Theorem D.1's postcondition against ground truth: every round m
+// of `true_pi` with value 1 has, at every party, a recorded owner o with
+// true_beeped[o][m] == 1, and all parties agree on it.  Returns false on
+// any violation.  (Used by tests and benches; not part of the protocol.)
+[[nodiscard]] bool OwnersValid(const OwnerFindingResult& result,
+                               const BitString& true_pi,
+                               const std::vector<BitString>& true_beeped);
+
+}  // namespace noisybeeps
+
+#endif  // NOISYBEEPS_CODING_OWNER_FINDING_H_

@@ -1,0 +1,42 @@
+// The naive O(log n)-overhead simulation: repeat every round of Pi
+// `rep_factor` times over the noisy channel and majority-decode.
+//
+// This is footnote 1 of the paper: protocols of length polynomial in n are
+// trivially simulated this way with rep_factor = Theta(log n) (a union
+// bound over rounds).  It is also the simulation phase inside Algorithm 1.
+// For protocols of arbitrary length the per-round failure accumulates --
+// which is exactly why the chunked rewind schemes exist; the benchmarks
+// exhibit the crossover.
+#ifndef NOISYBEEPS_CODING_REPETITION_SIM_H_
+#define NOISYBEEPS_CODING_REPETITION_SIM_H_
+
+#include "coding/simulator.h"
+
+namespace noisybeeps {
+
+struct RepetitionSimOptions {
+  // Repetitions per protocol round; 0 means the default
+  // rep_c * ceil(log2(max(n, 2))) + 1 (odd, so majorities are strict).
+  int rep_factor = 0;
+  int rep_c = 4;
+};
+
+class RepetitionSimulator final : public Simulator {
+ public:
+  explicit RepetitionSimulator(RepetitionSimOptions options = {});
+
+  [[nodiscard]] SimulationResult Simulate(const Protocol& protocol,
+                                          const Channel& channel,
+                                          Rng& rng) const override;
+  [[nodiscard]] std::string name() const override;
+
+  // The repetition factor used for an n-party protocol.
+  [[nodiscard]] int EffectiveRepFactor(int num_parties) const;
+
+ private:
+  RepetitionSimOptions options_;
+};
+
+}  // namespace noisybeeps
+
+#endif  // NOISYBEEPS_CODING_REPETITION_SIM_H_

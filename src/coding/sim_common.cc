@@ -1,0 +1,82 @@
+#include "coding/sim_common.h"
+
+#include "util/require.h"
+
+namespace noisybeeps::internal {
+
+void AppendAttempt(CommitState& state, const ChunkAttempt& attempt) {
+  const int n = state.num_parties();
+  NB_REQUIRE(static_cast<int>(attempt.candidate.size()) == n,
+             "attempt party count mismatch");
+  const std::size_t chunk_len = attempt.candidate.front().size();
+  for (int i = 0; i < n; ++i) {
+    state.committed[i].Append(attempt.candidate[i]);
+    if (attempt.owners.empty()) {
+      state.owners[i].insert(state.owners[i].end(), chunk_len, -1);
+    } else {
+      state.owners[i].insert(state.owners[i].end(), attempt.owners[i].begin(),
+                             attempt.owners[i].end());
+    }
+  }
+}
+
+void TruncateTo(CommitState& state,
+                const std::vector<std::size_t>& prefix_len) {
+  const int n = state.num_parties();
+  NB_REQUIRE(static_cast<int>(prefix_len.size()) == n,
+             "one prefix length per party");
+  for (int i = 0; i < n; ++i) {
+    NB_REQUIRE(prefix_len[i] <= state.committed[i].size(),
+               "verified prefix longer than committed transcript");
+    state.committed[i].Truncate(prefix_len[i]);
+    state.owners[i].resize(prefix_len[i]);
+  }
+}
+
+void InjectScheduleOwners(ChunkAttempt& attempt,
+                          const std::vector<int>& schedule, int start) {
+  const std::size_t chunk_len = attempt.candidate.front().size();
+  NB_REQUIRE(start >= 0 &&
+                 static_cast<std::size_t>(start) + chunk_len <=
+                     schedule.size(),
+             "chunk extends past the owner schedule");
+  attempt.owners.assign(attempt.candidate.size(), std::vector<int>());
+  for (auto& per_party : attempt.owners) {
+    per_party.assign(schedule.begin() + start,
+                     schedule.begin() + start + chunk_len);
+  }
+}
+
+void RequireValidSchedule(const Protocol& protocol,
+                          const std::vector<int>& schedule) {
+  NB_REQUIRE(static_cast<int>(schedule.size()) == protocol.length(),
+             "owner schedule must cover every protocol round");
+  const int n = protocol.num_parties();
+  BitString pi;
+  for (int m = 0; m < protocol.length(); ++m) {
+    NB_REQUIRE(schedule[m] >= 0 && schedule[m] < n,
+               "schedule owner out of range");
+    for (int i = 0; i < n; ++i) {
+      const bool beeps = protocol.party(i).ChooseBeep(pi);
+      NB_REQUIRE(!beeps || i == schedule[m],
+                 "party beeps in a round it does not own: the protocol is "
+                 "not scheduled");
+    }
+    pi.PushBack(protocol.party(schedule[m]).ChooseBeep(pi));
+  }
+}
+
+std::vector<std::size_t> AllFirstViolations(const Protocol& protocol,
+                                            const CommitState& state,
+                                            std::size_t from,
+                                            NoiseRegime regime) {
+  const int n = state.num_parties();
+  std::vector<std::size_t> result(n);
+  for (int i = 0; i < n; ++i) {
+    result[i] = FirstViolation(protocol, i, state.committed[i],
+                               state.owners[i], regime, from);
+  }
+  return result;
+}
+
+}  // namespace noisybeeps::internal

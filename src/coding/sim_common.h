@@ -1,0 +1,68 @@
+// Internal helpers shared by the rewind-if-error simulators.
+//
+// CommitState is the per-party progress of a chunked simulation: each
+// party's committed reconstruction of the noiseless transcript plus its
+// owner records.  Under a correlated channel all per-party entries stay
+// identical (every decision below is a deterministic function of shared
+// received bits); under the independent channel they may diverge, which
+// surfaces as a simulation failure in the caller's success metric.
+//
+// Control-flow synchronization: commit/rewind decisions are taken from
+// party 0's decoded verdict.  Under correlated noise this is exactly the
+// paper's scheme (all verdicts coincide).  Under independent noise it
+// stands in for the event "the parties stayed synchronized"; a party whose
+// own verdict differed carries a divergent transcript from then on, which
+// is precisely how desynchronization manifests in the real protocol.
+#ifndef NOISYBEEPS_CODING_SIM_COMMON_H_
+#define NOISYBEEPS_CODING_SIM_COMMON_H_
+
+#include <vector>
+
+#include "coding/chunk_sim.h"
+#include "coding/verification.h"
+#include "protocol/protocol.h"
+
+namespace noisybeeps::internal {
+
+struct CommitState {
+  std::vector<BitString> committed;        // per-party transcripts
+  std::vector<std::vector<int>> owners;    // per-party owner records
+
+  explicit CommitState(int num_parties)
+      : committed(num_parties), owners(num_parties) {}
+
+  [[nodiscard]] int num_parties() const {
+    return static_cast<int>(committed.size());
+  }
+};
+
+// Appends a chunk attempt to every party's state.  When the attempt has no
+// owner phase, owners extend with -1 (kDownOnly needs none).
+void AppendAttempt(CommitState& state, const ChunkAttempt& attempt);
+
+// Truncates party i's state to its verified prefix length.
+void TruncateTo(CommitState& state,
+                const std::vector<std::size_t>& prefix_len);
+
+// first-violation index for every party over its own committed transcript,
+// ignoring violations before round `from` (already-committed rounds a flat
+// scheme cannot revisit).
+[[nodiscard]] std::vector<std::size_t> AllFirstViolations(
+    const Protocol& protocol, const CommitState& state, std::size_t from,
+    NoiseRegime regime);
+
+// For scheduled (broadcast-like) protocols: fills every party's owner
+// records for chunk rounds [start, start + chunk_len) straight from the
+// pre-assigned schedule, in place of Algorithm 1's owner-finding phase.
+void InjectScheduleOwners(ChunkAttempt& attempt,
+                          const std::vector<int>& schedule, int start);
+
+// Validates a schedule against a protocol: size == length, owners in
+// range, and in every round only the scheduled owner ever beeps (checked
+// by replaying the reference execution).  Throws on violation.
+void RequireValidSchedule(const Protocol& protocol,
+                          const std::vector<int>& schedule);
+
+}  // namespace noisybeeps::internal
+
+#endif  // NOISYBEEPS_CODING_SIM_COMMON_H_

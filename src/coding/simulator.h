@@ -1,0 +1,76 @@
+// The simulator interface: the objects Theorems 1.1 and 1.2 are about.
+//
+// A Simulator takes a protocol Pi designed for the NOISELESS beeping model
+// and executes it over a NOISY channel, spending noisy rounds to produce,
+// at every party, a reconstruction of Pi's noiseless transcript (and hence
+// Pi's outputs).  The figure of merit is the blowup
+//     noisy_rounds_used / Pi.length(),
+// which Theorem 1.2 upper-bounds by O(log n) and Theorem 1.1 lower-bounds
+// by Omega(log n) for some Pi.
+//
+// Simulators are written imperatively against protocol/round_engine.h; the
+// distributed discipline (party i's decisions depend only on party i's
+// input, local state, and the bits party i received) is maintained by code
+// structure: all cross-party information flows through RoundEngine::Round.
+#ifndef NOISYBEEPS_CODING_SIMULATOR_H_
+#define NOISYBEEPS_CODING_SIMULATOR_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "channel/channel.h"
+#include "protocol/protocol.h"
+
+namespace noisybeeps {
+
+struct SimulationResult {
+  // Party i's reconstruction of the noiseless transcript of Pi.  Under a
+  // correlated channel all reconstructions coincide unless the simulation
+  // failed.
+  std::vector<BitString> transcripts;
+  // Party i's view of the owner of each transcript round (-1 = no owner
+  // recorded).  Only chunk-based simulators populate owners; for others
+  // the vectors are empty.
+  std::vector<std::vector<int>> owners;
+  // g^i evaluated on party i's reconstructed transcript.
+  std::vector<PartyOutput> outputs;
+  // Rounds consumed on the noisy channel -- the quantity the theorems
+  // bound.
+  std::int64_t noisy_rounds_used = 0;
+  // Set when the simulator hit its internal round budget before finishing;
+  // the transcripts are then whatever was committed (tests assert this
+  // stays false at documented budgets).
+  bool budget_exhausted = false;
+  // Where the noisy rounds went, by phase label ("chunk-sim",
+  // "owner-finding", "verify-flags", "audit", "repetition"); sums to
+  // noisy_rounds_used.
+  std::map<std::string, std::int64_t> phase_rounds;
+
+  // True iff every party reconstructed exactly `reference`.
+  [[nodiscard]] bool AllMatch(const BitString& reference) const {
+    for (const BitString& t : transcripts) {
+      if (t != reference) return false;
+    }
+    return true;
+  }
+};
+
+class Simulator {
+ public:
+  virtual ~Simulator() = default;
+
+  // Simulates `protocol` over `channel`.  The protocol's parties must be
+  // pure (see protocol/party.h); the channel may be correlated or
+  // independent.
+  [[nodiscard]] virtual SimulationResult Simulate(const Protocol& protocol,
+                                                  const Channel& channel,
+                                                  Rng& rng) const = 0;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+}  // namespace noisybeeps
+
+#endif  // NOISYBEEPS_CODING_SIMULATOR_H_

@@ -1,0 +1,38 @@
+#include "ecc/code.h"
+
+#include <limits>
+
+#include "util/require.h"
+
+namespace noisybeeps {
+
+std::size_t MinimumDistance(const BinaryCode& code) {
+  const std::uint64_t q = code.num_messages();
+  NB_REQUIRE(q >= 2, "minimum distance needs at least two codewords");
+  std::size_t best = std::numeric_limits<std::size_t>::max();
+  for (std::uint64_t a = 0; a < q; ++a) {
+    const BitString wa = code.Encode(a);
+    for (std::uint64_t b = a + 1; b < q; ++b) {
+      best = std::min(best, wa.HammingDistance(code.Encode(b)));
+    }
+  }
+  return best;
+}
+
+std::uint64_t NearestCodewordDecode(const BinaryCode& code,
+                                    const BitString& received) {
+  NB_REQUIRE(received.size() == code.codeword_length(),
+             "received word has wrong length");
+  std::uint64_t best_message = 0;
+  std::size_t best_distance = std::numeric_limits<std::size_t>::max();
+  for (std::uint64_t m = 0; m < code.num_messages(); ++m) {
+    const std::size_t d = code.Encode(m).HammingDistance(received);
+    if (d < best_distance) {
+      best_distance = d;
+      best_message = m;
+    }
+  }
+  return best_message;
+}
+
+}  // namespace noisybeeps

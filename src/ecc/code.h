@@ -1,0 +1,55 @@
+// Interface for binary block codes over small message spaces.
+//
+// Algorithm 1 of the paper transmits elements of [n] ∪ {Next} over the
+// noisy beeping channel using "a constant rate error correcting code".
+// A BinaryCode maps a message index in [0, num_messages) to a codeword of
+// codeword_length() bits and decodes a (possibly corrupted) word back to
+// the most likely message.  Because the message spaces in this library are
+// small (n + 1 messages), exact nearest-codeword maximum-likelihood
+// decoding is affordable and is the default decoding contract.
+#ifndef NOISYBEEPS_ECC_CODE_H_
+#define NOISYBEEPS_ECC_CODE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "util/bitstring.h"
+
+namespace noisybeeps {
+
+class BinaryCode {
+ public:
+  virtual ~BinaryCode() = default;
+
+  // Number of distinct messages the code can carry.
+  [[nodiscard]] virtual std::uint64_t num_messages() const = 0;
+
+  // Length of every codeword, in bits.
+  [[nodiscard]] virtual std::size_t codeword_length() const = 0;
+
+  // Encodes `message`.  Precondition: message < num_messages().
+  [[nodiscard]] virtual BitString Encode(std::uint64_t message) const = 0;
+
+  // Decodes `received` to the message whose codeword is nearest in Hamming
+  // distance (ties break toward the smaller message index).
+  // Precondition: received.size() == codeword_length().
+  [[nodiscard]] virtual std::uint64_t Decode(const BitString& received)
+      const = 0;
+
+  // Human-readable description for logs and benchmark labels.
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+// Exact minimum pairwise Hamming distance of the code, by enumeration over
+// all codeword pairs.  Quadratic in num_messages(); intended for tests and
+// for validating codebook constructions, not for hot paths.
+[[nodiscard]] std::size_t MinimumDistance(const BinaryCode& code);
+
+// Decodes by exhaustive nearest-codeword search; shared by implementations
+// whose decoding has no better structure.  Ties break to the smaller index.
+[[nodiscard]] std::uint64_t NearestCodewordDecode(const BinaryCode& code,
+                                                  const BitString& received);
+
+}  // namespace noisybeeps
+
+#endif  // NOISYBEEPS_ECC_CODE_H_

@@ -1,0 +1,112 @@
+#include "ecc/codebook.h"
+
+#include <limits>
+#include <stdexcept>
+
+#include "util/require.h"
+
+namespace noisybeeps {
+namespace {
+
+BitString RandomWord(std::size_t length, Rng& rng) {
+  BitString word;
+  for (std::size_t i = 0; i < length; ++i) word.PushBack(rng.Bit());
+  return word;
+}
+
+bool Contains(const std::vector<BitString>& book, const BitString& word) {
+  for (const BitString& w : book) {
+    if (w == word) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+CodebookCode::CodebookCode(std::vector<BitString> codebook)
+    : codebook_(std::move(codebook)) {
+  NB_REQUIRE(codebook_.size() >= 2, "codebook needs at least two words");
+  const std::size_t length = codebook_.front().size();
+  NB_REQUIRE(length > 0, "codewords must be non-empty");
+  for (std::size_t i = 0; i < codebook_.size(); ++i) {
+    NB_REQUIRE(codebook_[i].size() == length, "codeword lengths differ");
+    for (std::size_t j = i + 1; j < codebook_.size(); ++j) {
+      NB_REQUIRE(!(codebook_[i] == codebook_[j]), "duplicate codewords");
+    }
+  }
+}
+
+CodebookCode CodebookCode::Random(std::uint64_t num_messages,
+                                  std::size_t length, std::uint64_t seed) {
+  NB_REQUIRE(num_messages >= 2, "need at least two messages");
+  NB_REQUIRE(length >= 64 || num_messages <= (std::uint64_t{1} << length),
+             "message space larger than word space");
+  Rng rng(seed);
+  std::vector<BitString> book;
+  book.reserve(num_messages);
+  while (book.size() < num_messages) {
+    BitString candidate = RandomWord(length, rng);
+    if (!Contains(book, candidate)) book.push_back(std::move(candidate));
+  }
+  return CodebookCode(std::move(book));
+}
+
+CodebookCode CodebookCode::GilbertVarshamov(std::uint64_t num_messages,
+                                            std::size_t length,
+                                            std::size_t min_distance,
+                                            std::uint64_t seed) {
+  NB_REQUIRE(num_messages >= 2, "need at least two messages");
+  NB_REQUIRE(min_distance >= 1 && min_distance <= length,
+             "minimum distance out of range");
+  Rng rng(seed);
+  std::vector<BitString> book;
+  book.reserve(num_messages);
+  // Generous attempt budget: random candidates succeed with constant
+  // probability while below the GV bound.
+  const std::uint64_t max_attempts = 4096 * num_messages + 65536;
+  std::uint64_t attempts = 0;
+  while (book.size() < num_messages) {
+    if (++attempts > max_attempts) {
+      throw std::runtime_error(
+          "GilbertVarshamov: could not build codebook; parameters exceed the "
+          "GV bound for this length/distance");
+    }
+    BitString candidate = RandomWord(length, rng);
+    bool ok = true;
+    for (const BitString& w : book) {
+      if (w.HammingDistance(candidate) < min_distance) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) book.push_back(std::move(candidate));
+  }
+  return CodebookCode(std::move(book));
+}
+
+BitString CodebookCode::Encode(std::uint64_t message) const {
+  NB_REQUIRE(message < codebook_.size(), "message out of range");
+  return codebook_[message];
+}
+
+std::uint64_t CodebookCode::Decode(const BitString& received) const {
+  NB_REQUIRE(received.size() == codeword_length(),
+             "received word has wrong length");
+  std::uint64_t best_message = 0;
+  std::size_t best_distance = std::numeric_limits<std::size_t>::max();
+  for (std::uint64_t m = 0; m < codebook_.size(); ++m) {
+    const std::size_t d = codebook_[m].HammingDistance(received);
+    if (d < best_distance) {
+      best_distance = d;
+      best_message = m;
+    }
+  }
+  return best_message;
+}
+
+std::string CodebookCode::name() const {
+  return "Codebook(q=" + std::to_string(codebook_.size()) +
+         ",L=" + std::to_string(codeword_length()) + ")";
+}
+
+}  // namespace noisybeeps

@@ -1,0 +1,58 @@
+// Explicit-codebook codes with exact maximum-likelihood decoding.
+//
+// Algorithm 1 needs a code C : [n] ∪ {Next} -> {0,1}^{Θ(log n)} with good
+// relative distance.  For such small message spaces the pragmatic optimum
+// is an explicit codebook: a seeded random construction (which achieves the
+// Gilbert-Varshamov bound with high probability) or a greedy
+// Gilbert-Varshamov construction with a *guaranteed* minimum distance.
+// Decoding is exact nearest-codeword search, which is the maximum
+// likelihood rule on any binary-symmetric channel with flip probability
+// below 1/2.
+#ifndef NOISYBEEPS_ECC_CODEBOOK_H_
+#define NOISYBEEPS_ECC_CODEBOOK_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "ecc/code.h"
+#include "util/rng.h"
+
+namespace noisybeeps {
+
+class CodebookCode final : public BinaryCode {
+ public:
+  // Takes ownership of an explicit codebook.  Preconditions: at least two
+  // codewords, all of equal positive length, all distinct.
+  explicit CodebookCode(std::vector<BitString> codebook);
+
+  // A codebook of `num_messages` iid uniform codewords of `length` bits.
+  // Codewords are re-drawn on collision so the book is always valid.
+  static CodebookCode Random(std::uint64_t num_messages, std::size_t length,
+                             std::uint64_t seed);
+
+  // Greedy Gilbert-Varshamov construction: scans seeded-random candidates
+  // and keeps those at Hamming distance >= min_distance from all kept
+  // words.  Throws std::runtime_error if the book cannot be filled within
+  // the attempt budget (the parameters are beyond the GV bound).
+  static CodebookCode GilbertVarshamov(std::uint64_t num_messages,
+                                       std::size_t length,
+                                       std::size_t min_distance,
+                                       std::uint64_t seed);
+
+  [[nodiscard]] std::uint64_t num_messages() const override {
+    return codebook_.size();
+  }
+  [[nodiscard]] std::size_t codeword_length() const override {
+    return codebook_.front().size();
+  }
+  [[nodiscard]] BitString Encode(std::uint64_t message) const override;
+  [[nodiscard]] std::uint64_t Decode(const BitString& received) const override;
+  [[nodiscard]] std::string name() const override;
+
+ private:
+  std::vector<BitString> codebook_;
+};
+
+}  // namespace noisybeeps
+
+#endif  // NOISYBEEPS_ECC_CODEBOOK_H_

@@ -1,0 +1,39 @@
+#include "ecc/concatenated.h"
+
+#include "util/require.h"
+
+namespace noisybeeps {
+
+ConcatenatedCode::ConcatenatedCode(ReedSolomon outer,
+                                   std::shared_ptr<const BinaryCode> inner)
+    : outer_(outer), inner_(std::move(inner)) {
+  NB_REQUIRE(inner_ != nullptr, "inner code must be provided");
+  NB_REQUIRE(inner_->num_messages() == 256,
+             "inner code must carry one byte (256 messages)");
+}
+
+BitString ConcatenatedCode::Encode(std::span<const std::uint8_t> data) const {
+  const std::vector<std::uint8_t> outer_word = outer_.Encode(data);
+  BitString bits;
+  for (std::uint8_t symbol : outer_word) {
+    bits.Append(inner_->Encode(symbol));
+  }
+  return bits;
+}
+
+std::optional<std::vector<std::uint8_t>> ConcatenatedCode::Decode(
+    const BitString& received) const {
+  NB_REQUIRE(received.size() == codeword_bits(),
+             "received word has wrong length");
+  const std::size_t inner_len = inner_->codeword_length();
+  std::vector<std::uint8_t> symbols;
+  symbols.reserve(outer_.total_symbols());
+  for (int s = 0; s < outer_.total_symbols(); ++s) {
+    const BitString chunk =
+        received.Substring(s * inner_len, (s + 1) * inner_len);
+    symbols.push_back(static_cast<std::uint8_t>(inner_->Decode(chunk)));
+  }
+  return outer_.Decode(symbols);
+}
+
+}  // namespace noisybeeps

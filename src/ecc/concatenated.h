@@ -1,0 +1,46 @@
+// Code concatenation: a Reed-Solomon outer code over GF(256) whose symbols
+// are transported by a binary inner code with 256 messages.  The classical
+// way to get a constant-rate binary code with constant relative distance
+// and fast decoding -- the shape of code Algorithm 1 asks for when the
+// payload is more than one symbol.
+#ifndef NOISYBEEPS_ECC_CONCATENATED_H_
+#define NOISYBEEPS_ECC_CONCATENATED_H_
+
+#include <memory>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "ecc/code.h"
+#include "ecc/reed_solomon.h"
+
+namespace noisybeeps {
+
+class ConcatenatedCode {
+ public:
+  // Preconditions: inner carries exactly 256 messages (one byte per inner
+  // codeword).  The outer code is RS(total_symbols, data_symbols).
+  ConcatenatedCode(ReedSolomon outer, std::shared_ptr<const BinaryCode> inner);
+
+  [[nodiscard]] int data_bytes() const { return outer_.data_symbols(); }
+  [[nodiscard]] std::size_t codeword_bits() const {
+    return static_cast<std::size_t>(outer_.total_symbols()) *
+           inner_->codeword_length();
+  }
+
+  // Encodes data_bytes() bytes into codeword_bits() bits.
+  [[nodiscard]] BitString Encode(std::span<const std::uint8_t> data) const;
+
+  // Inner-decodes each symbol by nearest codeword, then RS-decodes.
+  // Returns nullopt on outer decoder failure.
+  [[nodiscard]] std::optional<std::vector<std::uint8_t>> Decode(
+      const BitString& received) const;
+
+ private:
+  ReedSolomon outer_;
+  std::shared_ptr<const BinaryCode> inner_;
+};
+
+}  // namespace noisybeeps
+
+#endif  // NOISYBEEPS_ECC_CONCATENATED_H_

@@ -1,0 +1,39 @@
+// Arithmetic in GF(2^8) with the reduction polynomial x^8+x^4+x^3+x^2+1
+// (0x11d, the standard Reed-Solomon field where alpha = x = 0x02 is
+// primitive), via exp/log tables.  The field substrate for Reed-Solomon.
+#ifndef NOISYBEEPS_ECC_GF256_H_
+#define NOISYBEEPS_ECC_GF256_H_
+
+#include <array>
+#include <cstdint>
+
+namespace noisybeeps::gf256 {
+
+// Addition and subtraction coincide (characteristic 2).
+[[nodiscard]] constexpr std::uint8_t Add(std::uint8_t a, std::uint8_t b) {
+  return a ^ b;
+}
+
+[[nodiscard]] std::uint8_t Mul(std::uint8_t a, std::uint8_t b);
+
+// Multiplicative inverse.  Precondition: a != 0.
+[[nodiscard]] std::uint8_t Inv(std::uint8_t a);
+
+// a / b.  Precondition: b != 0.
+[[nodiscard]] std::uint8_t Div(std::uint8_t a, std::uint8_t b);
+
+// alpha^power where alpha = 0x02 is the chosen generator; power is taken
+// modulo 255.
+[[nodiscard]] std::uint8_t Exp(int power);
+
+// Discrete log base alpha.  Precondition: a != 0.  Result in [0, 255).
+[[nodiscard]] int Log(std::uint8_t a);
+
+// Evaluates the polynomial sum_i coeffs[i] * x^i at the point x.
+[[nodiscard]] std::uint8_t EvalPoly(const std::uint8_t* coeffs,
+                                    std::size_t degree_plus_one,
+                                    std::uint8_t x);
+
+}  // namespace noisybeeps::gf256
+
+#endif  // NOISYBEEPS_ECC_GF256_H_

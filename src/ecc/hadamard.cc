@@ -1,0 +1,32 @@
+#include "ecc/hadamard.h"
+
+#include <bit>
+
+#include "util/require.h"
+
+namespace noisybeeps {
+
+HadamardCode::HadamardCode(int message_bits) : message_bits_(message_bits) {
+  NB_REQUIRE(message_bits >= 1 && message_bits <= 20,
+             "Hadamard message size out of supported range");
+}
+
+BitString HadamardCode::Encode(std::uint64_t message) const {
+  NB_REQUIRE(message < num_messages(), "message out of range");
+  const std::size_t length = codeword_length();
+  BitString word;
+  for (std::size_t j = 0; j < length; ++j) {
+    word.PushBack((std::popcount(message & j) & 1) != 0);
+  }
+  return word;
+}
+
+std::uint64_t HadamardCode::Decode(const BitString& received) const {
+  return NearestCodewordDecode(*this, received);
+}
+
+std::string HadamardCode::name() const {
+  return "Hadamard(k=" + std::to_string(message_bits_) + ")";
+}
+
+}  // namespace noisybeeps

@@ -1,0 +1,34 @@
+// The (augmented) Hadamard code: message m in [2^k] maps to the 2^k-bit
+// word whose j-th bit is <m, j> (parity of m AND j).  Every pair of
+// codewords is at distance exactly 2^(k-1), i.e. relative distance 1/2 --
+// the classical inner code for concatenation.
+#ifndef NOISYBEEPS_ECC_HADAMARD_H_
+#define NOISYBEEPS_ECC_HADAMARD_H_
+
+#include "ecc/code.h"
+
+namespace noisybeeps {
+
+class HadamardCode final : public BinaryCode {
+ public:
+  // Carries k-bit messages in codewords of 2^k bits.
+  // Precondition: 1 <= message_bits <= 20 (codewords up to 1 Mbit).
+  explicit HadamardCode(int message_bits);
+
+  [[nodiscard]] std::uint64_t num_messages() const override {
+    return std::uint64_t{1} << message_bits_;
+  }
+  [[nodiscard]] std::size_t codeword_length() const override {
+    return std::size_t{1} << message_bits_;
+  }
+  [[nodiscard]] BitString Encode(std::uint64_t message) const override;
+  [[nodiscard]] std::uint64_t Decode(const BitString& received) const override;
+  [[nodiscard]] std::string name() const override;
+
+ private:
+  int message_bits_;
+};
+
+}  // namespace noisybeeps
+
+#endif  // NOISYBEEPS_ECC_HADAMARD_H_

@@ -1,0 +1,96 @@
+#include "ecc/hamming.h"
+
+#include <bit>
+
+#include "util/require.h"
+
+namespace noisybeeps {
+namespace {
+
+// Standard [7,4] layout with parity bits at positions 1, 2, 4 (1-based):
+// position p (1-based) participates in parity check c iff bit c of p is
+// set.  Data bits occupy positions 3, 5, 6, 7.
+constexpr int kDataPositions[4] = {3, 5, 6, 7};
+
+int ParityOf(std::uint32_t word7, int check) {
+  // check in {0,1,2}: XOR of bits at 1-based positions with bit `check`
+  // set in their index.
+  int parity = 0;
+  for (int p = 1; p <= 7; ++p) {
+    if ((p >> check) & 1) parity ^= (word7 >> (p - 1)) & 1;
+  }
+  return parity;
+}
+
+// Builds the 7-bit word (bit p-1 of the result is position p) from a
+// 4-bit message, filling parity bits so all three checks are even.
+std::uint32_t Encode7(std::uint64_t message) {
+  std::uint32_t word = 0;
+  for (int d = 0; d < 4; ++d) {
+    if ((message >> d) & 1) word |= 1u << (kDataPositions[d] - 1);
+  }
+  for (int c = 0; c < 3; ++c) {
+    if (ParityOf(word, c)) word ^= 1u << ((1 << c) - 1);
+  }
+  return word;
+}
+
+std::uint64_t ExtractMessage(std::uint32_t word7) {
+  std::uint64_t message = 0;
+  for (int d = 0; d < 4; ++d) {
+    if ((word7 >> (kDataPositions[d] - 1)) & 1) {
+      message |= std::uint64_t{1} << d;
+    }
+  }
+  return message;
+}
+
+}  // namespace
+
+HammingCode::HammingCode(bool extended) : extended_(extended) {}
+
+BitString HammingCode::Encode(std::uint64_t message) const {
+  NB_REQUIRE(message < 16, "message out of range");
+  const std::uint32_t word = Encode7(message);
+  BitString bits;
+  for (int p = 0; p < 7; ++p) bits.PushBack((word >> p) & 1);
+  if (extended_) bits.PushBack(std::popcount(word) & 1);
+  return bits;
+}
+
+std::uint64_t HammingCode::Decode(const BitString& received) const {
+  NB_REQUIRE(received.size() == codeword_length(), "wrong received length");
+  std::uint32_t word = 0;
+  for (int p = 0; p < 7; ++p) {
+    if (received[p]) word |= 1u << p;
+  }
+  // Syndrome: the 1-based position of a single error, or 0 if checks pass.
+  int syndrome = 0;
+  for (int c = 0; c < 3; ++c) {
+    if (ParityOf(word, c)) syndrome |= 1 << c;
+  }
+  if (!extended_) {
+    if (syndrome != 0) word ^= 1u << (syndrome - 1);
+    return ExtractMessage(word);
+  }
+  // Extended code: overall parity disambiguates single vs double errors.
+  const int overall =
+      (std::popcount(word) & 1) ^ (received[7] ? 1 : 0);
+  if (syndrome != 0 && overall != 0) {
+    // Single error among the first 7 bits: correct it.
+    word ^= 1u << (syndrome - 1);
+  } else if (syndrome != 0 && overall == 0) {
+    // Double error detected: no unique correction exists inside radius 1;
+    // fall back to exhaustive nearest-codeword (the ML contract).
+    return NearestCodewordDecode(*this, received);
+  }
+  // syndrome == 0: either clean, or the parity bit itself flipped --
+  // either way the data bits are intact.
+  return ExtractMessage(word);
+}
+
+std::string HammingCode::name() const {
+  return extended_ ? "Hamming[8,4,4]" : "Hamming[7,4,3]";
+}
+
+}  // namespace noisybeeps

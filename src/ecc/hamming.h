@@ -1,0 +1,32 @@
+// The [7,4,3] Hamming code and its extended [8,4,4] variant: the classic
+// high-rate inner codes.  Syndrome decoding corrects any single bit error
+// (the extended code additionally detects double errors before falling
+// back to nearest-codeword behaviour under the BinaryCode ML contract).
+#ifndef NOISYBEEPS_ECC_HAMMING_H_
+#define NOISYBEEPS_ECC_HAMMING_H_
+
+#include "ecc/code.h"
+
+namespace noisybeeps {
+
+class HammingCode final : public BinaryCode {
+ public:
+  // extended == false: [7,4,3]; extended == true: [8,4,4] (overall parity
+  // bit appended).
+  explicit HammingCode(bool extended = false);
+
+  [[nodiscard]] std::uint64_t num_messages() const override { return 16; }
+  [[nodiscard]] std::size_t codeword_length() const override {
+    return extended_ ? 8 : 7;
+  }
+  [[nodiscard]] BitString Encode(std::uint64_t message) const override;
+  [[nodiscard]] std::uint64_t Decode(const BitString& received) const override;
+  [[nodiscard]] std::string name() const override;
+
+ private:
+  bool extended_;
+};
+
+}  // namespace noisybeeps
+
+#endif  // NOISYBEEPS_ECC_HAMMING_H_

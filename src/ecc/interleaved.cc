@@ -1,0 +1,48 @@
+#include "ecc/interleaved.h"
+
+#include "util/require.h"
+
+namespace noisybeeps {
+
+InterleavedCode::InterleavedCode(std::shared_ptr<const BinaryCode> inner,
+                                 int depth)
+    : inner_(std::move(inner)), depth_(depth) {
+  NB_REQUIRE(inner_ != nullptr, "inner code must be provided");
+  NB_REQUIRE(depth >= 1, "interleaving depth must be positive");
+}
+
+BitString InterleavedCode::Encode(
+    const std::vector<std::uint64_t>& messages) const {
+  NB_REQUIRE(static_cast<int>(messages.size()) == depth_,
+             "need exactly `depth` messages");
+  std::vector<BitString> words;
+  words.reserve(depth_);
+  for (std::uint64_t m : messages) words.push_back(inner_->Encode(m));
+  BitString out;
+  const std::size_t inner_len = inner_->codeword_length();
+  for (std::size_t bit = 0; bit < inner_len; ++bit) {
+    for (int w = 0; w < depth_; ++w) {
+      out.PushBack(words[w][bit]);
+    }
+  }
+  return out;
+}
+
+std::vector<std::uint64_t> InterleavedCode::Decode(
+    const BitString& received) const {
+  NB_REQUIRE(received.size() == codeword_length(),
+             "received word has wrong length");
+  const std::size_t inner_len = inner_->codeword_length();
+  std::vector<std::uint64_t> messages;
+  messages.reserve(depth_);
+  for (int w = 0; w < depth_; ++w) {
+    BitString word;
+    for (std::size_t bit = 0; bit < inner_len; ++bit) {
+      word.PushBack(received[bit * depth_ + w]);
+    }
+    messages.push_back(inner_->Decode(word));
+  }
+  return messages;
+}
+
+}  // namespace noisybeeps

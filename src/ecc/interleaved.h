@@ -1,0 +1,49 @@
+// Block interleaving: the classical defence that turns burst errors into
+// scattered errors a short code can handle.
+//
+// An InterleavedCode carries `depth` messages of the inner code at once;
+// the combined codeword writes the `depth` inner codewords column-wise
+// (bit 0 of word 0, bit 0 of word 1, ..., bit 1 of word 0, ...), so a
+// burst of b consecutive channel errors touches at most ceil(b / depth)
+// bits of any single inner codeword.  Pairs with channel/burst.h: the
+// tests show an inner code that collapses under bursts decoding cleanly
+// once interleaved at depth >= burst length.
+#ifndef NOISYBEEPS_ECC_INTERLEAVED_H_
+#define NOISYBEEPS_ECC_INTERLEAVED_H_
+
+#include <memory>
+#include <vector>
+
+#include "ecc/code.h"
+
+namespace noisybeeps {
+
+class InterleavedCode {
+ public:
+  // Preconditions: inner non-null, depth >= 1.
+  InterleavedCode(std::shared_ptr<const BinaryCode> inner, int depth);
+
+  [[nodiscard]] int depth() const { return depth_; }
+  [[nodiscard]] std::size_t codeword_length() const {
+    return inner_->codeword_length() * depth_;
+  }
+  [[nodiscard]] const BinaryCode& inner() const { return *inner_; }
+
+  // Encodes `depth` messages into one interleaved word.
+  // Precondition: messages.size() == depth, each < inner.num_messages().
+  [[nodiscard]] BitString Encode(
+      const std::vector<std::uint64_t>& messages) const;
+
+  // De-interleaves and decodes each inner word.
+  // Precondition: received.size() == codeword_length().
+  [[nodiscard]] std::vector<std::uint64_t> Decode(
+      const BitString& received) const;
+
+ private:
+  std::shared_ptr<const BinaryCode> inner_;
+  int depth_;
+};
+
+}  // namespace noisybeeps
+
+#endif  // NOISYBEEPS_ECC_INTERLEAVED_H_

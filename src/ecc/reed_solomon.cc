@@ -1,0 +1,167 @@
+#include "ecc/reed_solomon.h"
+
+#include <algorithm>
+
+#include "ecc/gf256.h"
+#include "util/require.h"
+
+namespace noisybeeps {
+
+using gf256::Add;
+using gf256::Div;
+using gf256::Exp;
+using gf256::Inv;
+using gf256::Mul;
+
+ReedSolomon::ReedSolomon(int total_symbols, int data_symbols)
+    : n_(total_symbols), k_(data_symbols) {
+  NB_REQUIRE(1 <= k_ && k_ < n_ && n_ <= 255,
+             "Reed-Solomon parameters out of range");
+  // generator = prod_{i=0}^{n-k-1} (x + alpha^i); coefficients low->high.
+  generator_ = {1};
+  for (int i = 0; i < n_ - k_; ++i) {
+    std::vector<std::uint8_t> next(generator_.size() + 1, 0);
+    const std::uint8_t root = Exp(i);
+    for (std::size_t j = 0; j < generator_.size(); ++j) {
+      next[j + 1] = Add(next[j + 1], generator_[j]);        // x * g
+      next[j] = Add(next[j], Mul(generator_[j], root));     // alpha^i * g
+    }
+    generator_ = std::move(next);
+  }
+}
+
+std::vector<std::uint8_t> ReedSolomon::Encode(
+    std::span<const std::uint8_t> data) const {
+  NB_REQUIRE(static_cast<int>(data.size()) == k_, "wrong data length");
+  // Systematic encoding: codeword c(x) = d(x)*x^(n-k) + rem(x), where rem
+  // is the remainder of d(x)*x^(n-k) modulo the generator.  We store the
+  // codeword as [data | parity] and evaluate positions so that symbol j of
+  // the codeword is the coefficient of x^(n-1-j).
+  const int parity = n_ - k_;
+  std::vector<std::uint8_t> rem(parity, 0);
+  for (int i = 0; i < k_; ++i) {
+    const std::uint8_t feedback = Add(data[i], rem.empty() ? 0 : rem[0]);
+    // Shift remainder left by one and add feedback * generator.
+    for (int j = 0; j < parity - 1; ++j) {
+      rem[j] = Add(rem[j + 1], Mul(feedback, generator_[parity - 1 - j]));
+    }
+    rem[parity - 1] = Mul(feedback, generator_[0]);
+  }
+  std::vector<std::uint8_t> codeword(data.begin(), data.end());
+  codeword.insert(codeword.end(), rem.begin(), rem.end());
+  return codeword;
+}
+
+std::optional<std::vector<std::uint8_t>> ReedSolomon::Decode(
+    std::span<const std::uint8_t> received) const {
+  NB_REQUIRE(static_cast<int>(received.size()) == n_, "wrong received length");
+  const int parity = n_ - k_;
+
+  // The codeword as a polynomial: received[j] is the coefficient of
+  // x^(n-1-j).  Syndromes S_i = r(alpha^i) for i in [0, parity).
+  std::vector<std::uint8_t> syndromes(parity, 0);
+  bool all_zero = true;
+  for (int i = 0; i < parity; ++i) {
+    std::uint8_t s = 0;
+    for (int j = 0; j < n_; ++j) {
+      s = Add(Mul(s, Exp(i)), received[j]);
+    }
+    syndromes[i] = s;
+    all_zero = all_zero && (s == 0);
+  }
+  if (all_zero) {
+    return std::vector<std::uint8_t>(received.begin(), received.begin() + k_);
+  }
+
+  // Berlekamp-Massey: find the error locator polynomial sigma(x),
+  // coefficients low->high, sigma(0) = 1.
+  std::vector<std::uint8_t> sigma = {1};
+  std::vector<std::uint8_t> prev = {1};
+  std::uint8_t prev_discrepancy = 1;
+  int shift = 1;
+  for (int i = 0; i < parity; ++i) {
+    std::uint8_t discrepancy = 0;
+    for (std::size_t j = 0; j < sigma.size(); ++j) {
+      if (i >= static_cast<int>(j)) {
+        discrepancy = Add(discrepancy, Mul(sigma[j], syndromes[i - j]));
+      }
+    }
+    if (discrepancy == 0) {
+      ++shift;
+      continue;
+    }
+    const std::vector<std::uint8_t> sigma_backup = sigma;
+    const std::uint8_t scale = Div(discrepancy, prev_discrepancy);
+    // sigma -= scale * x^shift * prev
+    if (sigma.size() < prev.size() + shift) sigma.resize(prev.size() + shift, 0);
+    for (std::size_t j = 0; j < prev.size(); ++j) {
+      sigma[j + shift] = Add(sigma[j + shift], Mul(scale, prev[j]));
+    }
+    if (2 * (sigma_backup.size() - 1) <= static_cast<std::size_t>(i)) {
+      prev = sigma_backup;
+      prev_discrepancy = discrepancy;
+      shift = 1;
+    } else {
+      ++shift;
+    }
+  }
+  const int num_errors = static_cast<int>(sigma.size()) - 1;
+  if (num_errors > correctable_errors()) return std::nullopt;
+
+  // Chien search: roots of sigma are alpha^{-position-exponent}.  With our
+  // coefficient convention, symbol j corresponds to x-power p = n-1-j and
+  // an error at power p makes sigma(alpha^{-p}) = 0.
+  std::vector<int> error_positions;  // indices into `received`
+  for (int p = 0; p < n_; ++p) {
+    const std::uint8_t x = Exp(-p);
+    if (gf256::EvalPoly(sigma.data(), sigma.size(), x) == 0) {
+      error_positions.push_back(n_ - 1 - p);
+    }
+  }
+  if (static_cast<int>(error_positions.size()) != num_errors) {
+    return std::nullopt;  // locator does not split -> uncorrectable
+  }
+
+  // Forney: error evaluator omega(x) = [S(x) * sigma(x)] mod x^parity.
+  std::vector<std::uint8_t> omega(parity, 0);
+  for (int i = 0; i < parity; ++i) {
+    for (std::size_t j = 0; j < sigma.size() && static_cast<int>(j) <= i; ++j) {
+      omega[i] = Add(omega[i], Mul(sigma[j], syndromes[i - j]));
+    }
+  }
+  // Formal derivative of sigma.
+  std::vector<std::uint8_t> sigma_deriv;
+  for (std::size_t j = 1; j < sigma.size(); j += 2) {
+    // Over GF(2^m), d/dx x^j = j * x^(j-1) = x^(j-1) when j is odd, 0 when
+    // even; collect odd-degree terms.
+    sigma_deriv.resize(j, 0);
+    sigma_deriv[j - 1] = sigma[j];
+  }
+  if (sigma_deriv.empty()) return std::nullopt;
+
+  std::vector<std::uint8_t> corrected(received.begin(), received.end());
+  for (int pos : error_positions) {
+    const int p = n_ - 1 - pos;
+    const std::uint8_t x_inv = Exp(-p);
+    const std::uint8_t denom =
+        gf256::EvalPoly(sigma_deriv.data(), sigma_deriv.size(), x_inv);
+    if (denom == 0) return std::nullopt;
+    const std::uint8_t num =
+        gf256::EvalPoly(omega.data(), omega.size(), x_inv);
+    // Error magnitude (Forney, b = 0 first consecutive root): X_l *
+    // omega(X_l^{-1}) / sigma'(X_l^{-1}).
+    const std::uint8_t magnitude = Mul(Exp(p), Div(num, denom));
+    corrected[pos] = Add(corrected[pos], magnitude);
+  }
+
+  // Verify: recompute syndromes on the corrected word.
+  for (int i = 0; i < parity; ++i) {
+    std::uint8_t s = 0;
+    for (int j = 0; j < n_; ++j) s = Add(Mul(s, Exp(i)), corrected[j]);
+    if (s != 0) return std::nullopt;
+  }
+  corrected.resize(k_);
+  return corrected;
+}
+
+}  // namespace noisybeeps

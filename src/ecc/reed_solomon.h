@@ -1,0 +1,49 @@
+// A systematic Reed-Solomon code RS(n, k) over GF(256).
+//
+// Encodes k data symbols into n = k + 2t codeword symbols and corrects up
+// to t symbol errors using the Berlekamp-Massey / Chien / Forney pipeline.
+// Used standalone as a substrate and as the outer code of ConcatenatedCode.
+#ifndef NOISYBEEPS_ECC_REED_SOLOMON_H_
+#define NOISYBEEPS_ECC_REED_SOLOMON_H_
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+namespace noisybeeps {
+
+class ReedSolomon {
+ public:
+  // Preconditions: 1 <= data_symbols < total_symbols <= 255 and the parity
+  // count (total - data) is even or odd alike (any positive count works;
+  // the code corrects floor(parity/2) errors).
+  ReedSolomon(int total_symbols, int data_symbols);
+
+  [[nodiscard]] int total_symbols() const { return n_; }
+  [[nodiscard]] int data_symbols() const { return k_; }
+  [[nodiscard]] int parity_symbols() const { return n_ - k_; }
+  // Maximum number of correctable symbol errors.
+  [[nodiscard]] int correctable_errors() const { return (n_ - k_) / 2; }
+
+  // Systematic encoding: the first k output symbols are the data, followed
+  // by n-k parity symbols.  Precondition: data.size() == k.
+  [[nodiscard]] std::vector<std::uint8_t> Encode(
+      std::span<const std::uint8_t> data) const;
+
+  // Decodes a received word of n symbols.  Returns the k data symbols, or
+  // std::nullopt if the error pattern is beyond the code's correction
+  // radius (decoder failure).  Precondition: received.size() == n.
+  [[nodiscard]] std::optional<std::vector<std::uint8_t>> Decode(
+      std::span<const std::uint8_t> received) const;
+
+ private:
+  int n_;
+  int k_;
+  // Generator polynomial prod_{i=0}^{n-k-1} (x - alpha^i), low degree first.
+  std::vector<std::uint8_t> generator_;
+};
+
+}  // namespace noisybeeps
+
+#endif  // NOISYBEEPS_ECC_REED_SOLOMON_H_

@@ -1,0 +1,30 @@
+#include "ecc/repetition.h"
+
+#include "util/require.h"
+
+namespace noisybeeps {
+
+RepetitionCode::RepetitionCode(std::size_t repetitions)
+    : repetitions_(repetitions) {
+  NB_REQUIRE(repetitions >= 1, "repetition factor must be at least 1");
+}
+
+BitString RepetitionCode::Encode(std::uint64_t message) const {
+  NB_REQUIRE(message < 2, "repetition code carries a single bit");
+  BitString word;
+  for (std::size_t i = 0; i < repetitions_; ++i) {
+    word.PushBack(message == 1);
+  }
+  return word;
+}
+
+std::uint64_t RepetitionCode::Decode(const BitString& received) const {
+  NB_REQUIRE(received.size() == repetitions_, "wrong received length");
+  return 2 * received.PopCount() >= repetitions_ ? 1 : 0;
+}
+
+std::string RepetitionCode::name() const {
+  return "Repetition(" + std::to_string(repetitions_) + ")";
+}
+
+}  // namespace noisybeeps

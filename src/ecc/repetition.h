@@ -1,0 +1,30 @@
+// The r-fold repetition code on a single bit: the workhorse of the paper's
+// "repeat every round Θ(log n) times and take the majority" simulation.
+#ifndef NOISYBEEPS_ECC_REPETITION_H_
+#define NOISYBEEPS_ECC_REPETITION_H_
+
+#include "ecc/code.h"
+
+namespace noisybeeps {
+
+class RepetitionCode final : public BinaryCode {
+ public:
+  // Precondition: repetitions >= 1.
+  explicit RepetitionCode(std::size_t repetitions);
+
+  [[nodiscard]] std::uint64_t num_messages() const override { return 2; }
+  [[nodiscard]] std::size_t codeword_length() const override {
+    return repetitions_;
+  }
+  [[nodiscard]] BitString Encode(std::uint64_t message) const override;
+  // Majority decoding; ties (even r) resolve to 1, matching util::Majority.
+  [[nodiscard]] std::uint64_t Decode(const BitString& received) const override;
+  [[nodiscard]] std::string name() const override;
+
+ private:
+  std::size_t repetitions_;
+};
+
+}  // namespace noisybeeps
+
+#endif  // NOISYBEEPS_ECC_REPETITION_H_

@@ -1,0 +1,67 @@
+#include "protocol/combinators.h"
+
+#include "util/require.h"
+
+namespace noisybeeps {
+namespace {
+
+class ConcatParty final : public Party {
+ public:
+  ConcatParty(std::shared_ptr<const Protocol> first,
+              std::shared_ptr<const Protocol> second, int index)
+      : first_(std::move(first)), second_(std::move(second)), index_(index) {}
+
+  [[nodiscard]] bool ChooseBeep(const BitString& prefix) const override {
+    const auto t1 = static_cast<std::size_t>(first_->length());
+    if (prefix.size() < t1) {
+      return first_->party(index_).ChooseBeep(prefix);
+    }
+    return second_->party(index_).ChooseBeep(
+        prefix.Substring(t1, prefix.size()));
+  }
+
+  [[nodiscard]] PartyOutput ComputeOutput(const BitString& pi) const override {
+    const auto t1 = static_cast<std::size_t>(first_->length());
+    PartyOutput out = first_->party(index_).ComputeOutput(pi.Prefix(t1));
+    const PartyOutput tail =
+        second_->party(index_).ComputeOutput(pi.Substring(t1, pi.size()));
+    out.insert(out.end(), tail.begin(), tail.end());
+    return out;
+  }
+
+ private:
+  std::shared_ptr<const Protocol> first_;
+  std::shared_ptr<const Protocol> second_;
+  int index_;
+};
+
+}  // namespace
+
+std::shared_ptr<const Protocol> ConcatProtocols(
+    std::shared_ptr<const Protocol> first,
+    std::shared_ptr<const Protocol> second) {
+  NB_REQUIRE(first != nullptr && second != nullptr, "null protocol");
+  NB_REQUIRE(first->num_parties() == second->num_parties(),
+             "party counts differ");
+  const int n = first->num_parties();
+  const int length = first->length() + second->length();
+  std::vector<std::unique_ptr<Party>> parties;
+  parties.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    parties.push_back(std::make_unique<ConcatParty>(first, second, i));
+  }
+  return std::make_shared<BasicProtocol>(std::move(parties), length);
+}
+
+std::shared_ptr<const Protocol> RepeatProtocol(
+    std::shared_ptr<const Protocol> protocol, int times) {
+  NB_REQUIRE(protocol != nullptr, "null protocol");
+  NB_REQUIRE(times >= 1, "repeat count must be positive");
+  std::shared_ptr<const Protocol> result = protocol;
+  for (int k = 1; k < times; ++k) {
+    result = ConcatProtocols(result, protocol);
+  }
+  return result;
+}
+
+}  // namespace noisybeeps

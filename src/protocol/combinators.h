@@ -1,0 +1,36 @@
+// Protocol combinators: build longer protocols out of existing ones
+// without writing new Party classes.
+//
+// ConcatProtocols runs P1 and then P2 on the same party set: in rounds
+// [0, T1) everyone follows P1; in rounds [T1, T1+T2) party i follows its
+// P2 party against the transcript suffix.  RepeatProtocol(P, k) is the
+// k-fold self-concatenation.  Both preserve purity (the combined party's
+// beep is a pure function of the combined prefix), so the combined
+// protocols remain simulatable, and outputs concatenate per phase.
+//
+// These are how the benchmarks manufacture arbitrarily long workloads --
+// the regime where Section D.2's hierarchy separates from flat rewind --
+// from well-understood building blocks.
+#ifndef NOISYBEEPS_PROTOCOL_COMBINATORS_H_
+#define NOISYBEEPS_PROTOCOL_COMBINATORS_H_
+
+#include <memory>
+
+#include "protocol/protocol.h"
+
+namespace noisybeeps {
+
+// Preconditions: non-null, same num_parties.  Takes shared ownership (the
+// result references both).
+[[nodiscard]] std::shared_ptr<const Protocol> ConcatProtocols(
+    std::shared_ptr<const Protocol> first,
+    std::shared_ptr<const Protocol> second);
+
+// P repeated `times` times back to back (times == 1 returns P itself).
+// Precondition: times >= 1.
+[[nodiscard]] std::shared_ptr<const Protocol> RepeatProtocol(
+    std::shared_ptr<const Protocol> protocol, int times);
+
+}  // namespace noisybeeps
+
+#endif  // NOISYBEEPS_PROTOCOL_COMBINATORS_H_

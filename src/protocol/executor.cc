@@ -1,0 +1,36 @@
+#include "protocol/executor.h"
+
+#include "util/require.h"
+
+namespace noisybeeps {
+
+ExecutionResult Execute(const Protocol& protocol, const Channel& channel,
+                        Rng& rng) {
+  const int n = protocol.num_parties();
+  ExecutionResult result;
+  result.transcripts.assign(n, BitString());
+
+  std::vector<std::uint8_t> received(n, 0);
+  for (int m = 0; m < protocol.length(); ++m) {
+    int num_beepers = 0;
+    for (int i = 0; i < n; ++i) {
+      // Each party decides from ITS OWN transcript; under correlated
+      // channels all transcripts coincide, so this is equivalent to the
+      // shared-transcript formulation.
+      num_beepers += protocol.party(i).ChooseBeep(result.transcripts[i]);
+    }
+    channel.Deliver(num_beepers, received, rng);
+    for (int i = 0; i < n; ++i) {
+      result.transcripts[i].PushBack(received[i] != 0);
+    }
+  }
+
+  result.outputs.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    result.outputs.push_back(
+        protocol.party(i).ComputeOutput(result.transcripts[i]));
+  }
+  return result;
+}
+
+}  // namespace noisybeeps

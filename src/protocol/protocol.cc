@@ -1,0 +1,37 @@
+#include "protocol/protocol.h"
+
+#include "util/require.h"
+
+namespace noisybeeps {
+
+BasicProtocol::BasicProtocol(std::vector<std::unique_ptr<Party>> parties,
+                             int length)
+    : parties_(std::move(parties)), length_(length) {
+  NB_REQUIRE(!parties_.empty(), "protocol needs at least one party");
+  NB_REQUIRE(length_ >= 0, "protocol length must be non-negative");
+  for (const auto& p : parties_) {
+    NB_REQUIRE(p != nullptr, "null party");
+  }
+}
+
+const Party& BasicProtocol::party(int i) const {
+  NB_REQUIRE(i >= 0 && i < num_parties(), "party index out of range");
+  return *parties_[i];
+}
+
+bool OrOfBeeps(const Protocol& protocol, const BitString& prefix) {
+  for (int i = 0; i < protocol.num_parties(); ++i) {
+    if (protocol.party(i).ChooseBeep(prefix)) return true;
+  }
+  return false;
+}
+
+BitString ReferenceTranscript(const Protocol& protocol) {
+  BitString pi;
+  for (int m = 0; m < protocol.length(); ++m) {
+    pi.PushBack(OrOfBeeps(protocol, pi));
+  }
+  return pi;
+}
+
+}  // namespace noisybeeps

@@ -1,0 +1,57 @@
+// A Protocol bundles n parties with the protocol length T.
+//
+// Protocols in this library are *noiseless-model* objects: they describe
+// what each party would beep on the noiseless channel.  Running them over
+// a noisy channel directly (protocol/executor.h) shows the damage noise
+// does; running them through a simulator (coding/) shows the paper's
+// schemes repairing that damage.
+#ifndef NOISYBEEPS_PROTOCOL_PROTOCOL_H_
+#define NOISYBEEPS_PROTOCOL_PROTOCOL_H_
+
+#include <memory>
+#include <vector>
+
+#include "protocol/party.h"
+
+namespace noisybeeps {
+
+class Protocol {
+ public:
+  virtual ~Protocol() = default;
+
+  [[nodiscard]] virtual int num_parties() const = 0;
+  // T: the number of rounds on the noiseless channel.
+  [[nodiscard]] virtual int length() const = 0;
+  // Precondition: 0 <= i < num_parties().
+  [[nodiscard]] virtual const Party& party(int i) const = 0;
+};
+
+// The standard concrete protocol: owns its parties.
+class BasicProtocol final : public Protocol {
+ public:
+  // Preconditions: at least one party, no null parties, length >= 0.
+  BasicProtocol(std::vector<std::unique_ptr<Party>> parties, int length);
+
+  [[nodiscard]] int num_parties() const override {
+    return static_cast<int>(parties_.size());
+  }
+  [[nodiscard]] int length() const override { return length_; }
+  [[nodiscard]] const Party& party(int i) const override;
+
+ private:
+  std::vector<std::unique_ptr<Party>> parties_;
+  int length_;
+};
+
+// The unique transcript the protocol produces on the noiseless channel
+// (protocols here are deterministic given their inputs, so this is the
+// ground truth every simulation is judged against).
+[[nodiscard]] BitString ReferenceTranscript(const Protocol& protocol);
+
+// The OR of all parties' beeps in round |prefix|+1 given a shared prefix.
+[[nodiscard]] bool OrOfBeeps(const Protocol& protocol,
+                             const BitString& prefix);
+
+}  // namespace noisybeeps
+
+#endif  // NOISYBEEPS_PROTOCOL_PROTOCOL_H_

@@ -1,0 +1,35 @@
+// ProtocolFamily: a protocol whose per-party inputs can be swapped.
+//
+// The lower-bound analysis of Appendix C constantly asks counterfactuals:
+// "what would party i have beeped in round j if its input were y instead
+// of x^i?" (feasible sets S^i(pi)), and "how likely is the transcript
+// under the neighbor input x^{i=y}?" (the progress measure zeta).  A
+// ProtocolFamily answers these by manufacturing party i with any input
+// from its input space, while a plain Protocol has the inputs baked in.
+#ifndef NOISYBEEPS_PROTOCOL_PROTOCOL_FAMILY_H_
+#define NOISYBEEPS_PROTOCOL_PROTOCOL_FAMILY_H_
+
+#include <memory>
+
+#include "protocol/party.h"
+
+namespace noisybeeps {
+
+class ProtocolFamily {
+ public:
+  virtual ~ProtocolFamily() = default;
+
+  [[nodiscard]] virtual int num_parties() const = 0;
+  // The size of each party's input space X^i (inputs are 0..num_inputs-1).
+  [[nodiscard]] virtual int num_inputs() const = 0;
+  // T: protocol length in noiseless rounds.
+  [[nodiscard]] virtual int length() const = 0;
+  // Party `i` holding input `input`.
+  // Preconditions: 0 <= i < num_parties(), 0 <= input < num_inputs().
+  [[nodiscard]] virtual std::unique_ptr<Party> MakeParty(int i,
+                                                         int input) const = 0;
+};
+
+}  // namespace noisybeeps
+
+#endif  // NOISYBEEPS_PROTOCOL_PROTOCOL_FAMILY_H_

@@ -1,0 +1,29 @@
+#include "protocol/protocol_stats.h"
+
+namespace noisybeeps {
+
+ProtocolStats ComputeProtocolStats(const Protocol& protocol) {
+  const int n = protocol.num_parties();
+  ProtocolStats stats;
+  stats.length = protocol.length();
+  stats.beeper_histogram.assign(n + 1, 0);
+
+  BitString pi;
+  for (int m = 0; m < protocol.length(); ++m) {
+    int beepers = 0;
+    for (int i = 0; i < n; ++i) {
+      if (protocol.party(i).ChooseBeep(pi)) ++beepers;
+    }
+    ++stats.beeper_histogram[beepers];
+    if (beepers == 0) {
+      ++stats.silent_rounds;
+    } else {
+      ++stats.one_rounds;
+      if (beepers == 1) ++stats.unique_owner_rounds;
+    }
+    pi.PushBack(beepers > 0);
+  }
+  return stats;
+}
+
+}  // namespace noisybeeps

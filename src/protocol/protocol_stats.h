@@ -1,0 +1,35 @@
+// Static introspection of a noiseless protocol: replay it on the
+// noiseless channel and summarize the structure the coding schemes care
+// about -- how many rounds carry a beep, how many of those have a unique
+// beeper (the owner-finding load), and the beeper multiplicity histogram.
+#ifndef NOISYBEEPS_PROTOCOL_PROTOCOL_STATS_H_
+#define NOISYBEEPS_PROTOCOL_PROTOCOL_STATS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "protocol/protocol.h"
+
+namespace noisybeeps {
+
+struct ProtocolStats {
+  int length = 0;
+  std::size_t one_rounds = 0;        // rounds with at least one beeper
+  std::size_t unique_owner_rounds = 0;  // rounds with exactly one beeper
+  std::size_t silent_rounds = 0;     // rounds with no beeper
+  // beeper_histogram[k] = number of rounds with exactly k beepers
+  // (index up to num_parties).
+  std::vector<std::size_t> beeper_histogram;
+
+  [[nodiscard]] double transcript_density() const {
+    return length == 0 ? 0.0
+                       : static_cast<double>(one_rounds) / length;
+  }
+};
+
+// Replays the protocol noiselessly (cost O(n * T * cost(f))).
+[[nodiscard]] ProtocolStats ComputeProtocolStats(const Protocol& protocol);
+
+}  // namespace noisybeeps
+
+#endif  // NOISYBEEPS_PROTOCOL_PROTOCOL_STATS_H_

@@ -1,0 +1,31 @@
+#include "protocol/round_engine.h"
+
+#include "util/require.h"
+
+namespace noisybeeps {
+
+RoundEngine::RoundEngine(const Channel& channel, Rng& rng, int num_parties)
+    : channel_(&channel), rng_(&rng), num_parties_(num_parties) {
+  NB_REQUIRE(num_parties >= 1, "need at least one party");
+  received_.assign(num_parties, 0);
+}
+
+std::span<const std::uint8_t> RoundEngine::Round(
+    std::span<const std::uint8_t> beeps) {
+  NB_REQUIRE(static_cast<int>(beeps.size()) == num_parties_,
+             "beeps vector has wrong size");
+  int num_beepers = 0;
+  for (std::uint8_t b : beeps) num_beepers += b != 0;
+  channel_->Deliver(num_beepers, received_, *rng_);
+  ++rounds_used_;
+  ++phase_rounds_[phase_];
+  return received_;
+}
+
+bool RoundEngine::RoundShared(std::span<const std::uint8_t> beeps) {
+  NB_REQUIRE(channel_->is_correlated(),
+             "RoundShared requires a correlated channel");
+  return Round(beeps)[0] != 0;
+}
+
+}  // namespace noisybeeps

@@ -1,0 +1,72 @@
+// RoundEngine: the round budget meter the interactive-coding schemes draw
+// noisy rounds from.
+//
+// A simulator (coding/) is itself a protocol over the noisy channel, but
+// writing it as explicit f_m^i functions would be hopeless; instead the
+// simulator code orchestrates the parties imperatively and calls
+// RoundEngine::Round once per noisy round.  The engine applies the
+// channel, counts the rounds consumed (the quantity Theorems 1.1/1.2 are
+// about), and hands back what each party received.  The "distributed
+// discipline" -- party i's beep decision may depend only on party i's
+// local state plus previously received bits -- is kept by code structure
+// and is what the simulator modules document and the tests probe.
+#ifndef NOISYBEEPS_PROTOCOL_ROUND_ENGINE_H_
+#define NOISYBEEPS_PROTOCOL_ROUND_ENGINE_H_
+
+#include <cstdint>
+#include <map>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "channel/channel.h"
+
+namespace noisybeeps {
+
+class RoundEngine {
+ public:
+  // The engine borrows the channel and rng; both must outlive it.
+  RoundEngine(const Channel& channel, Rng& rng, int num_parties);
+
+  [[nodiscard]] int num_parties() const { return num_parties_; }
+
+  // Runs one noisy round.  beeps[i] != 0 iff party i beeps.  Returns the
+  // per-party received bits (valid until the next call).
+  // Precondition: beeps.size() == num_parties().
+  std::span<const std::uint8_t> Round(std::span<const std::uint8_t> beeps);
+
+  // Correlated-channel convenience: the single shared received bit.
+  // Preconditions: as Round, plus channel.is_correlated().
+  bool RoundShared(std::span<const std::uint8_t> beeps);
+
+  // Total noisy rounds consumed so far.
+  [[nodiscard]] std::int64_t rounds_used() const { return rounds_used_; }
+
+  // Labels subsequent rounds for cost accounting (e.g. "chunk-sim",
+  // "owner-finding", "verify-flags", "audit").  Purely observational: the
+  // label has no effect on channel behaviour.
+  void SetPhase(std::string phase) { phase_ = std::move(phase); }
+
+  // Rounds consumed per phase label (rounds before any SetPhase call are
+  // accounted under "").
+  [[nodiscard]] const std::map<std::string, std::int64_t>& phase_rounds()
+      const {
+    return phase_rounds_;
+  }
+
+  [[nodiscard]] const Channel& channel() const { return *channel_; }
+  [[nodiscard]] Rng& rng() { return *rng_; }
+
+ private:
+  const Channel* channel_;
+  Rng* rng_;
+  int num_parties_;
+  std::int64_t rounds_used_ = 0;
+  std::vector<std::uint8_t> received_;
+  std::string phase_;
+  std::map<std::string, std::int64_t> phase_rounds_;
+};
+
+}  // namespace noisybeeps
+
+#endif  // NOISYBEEPS_PROTOCOL_ROUND_ENGINE_H_

@@ -1,0 +1,103 @@
+#include "tasks/adaptive_find.h"
+
+#include "util/math.h"
+#include "util/require.h"
+
+namespace noisybeeps {
+namespace {
+
+struct Range {
+  int lo;
+  int hi;  // half-open [lo, hi)
+};
+
+// Replays the binary search against a transcript prefix.  Round 0 is the
+// "anyone?" probe; rounds r >= 1 halve the range according to the bit
+// received in round r.  `rounds` transcript bits must be available.
+Range ReplayRange(const BitString& transcript, int rounds, int n) {
+  Range range{0, n};
+  for (int r = 1; r < rounds; ++r) {
+    const int mid = (range.lo + range.hi + 1) / 2;
+    if (mid == range.hi) continue;  // range already a singleton
+    if (transcript[r]) {
+      range.lo = mid;
+    } else {
+      range.hi = mid;
+    }
+  }
+  return range;
+}
+
+class AdaptiveFindParty final : public Party {
+ public:
+  AdaptiveFindParty(int index, bool bit, int n, int length)
+      : index_(index), bit_(bit), n_(n), length_(length) {}
+
+  [[nodiscard]] bool ChooseBeep(const BitString& prefix) const override {
+    if (!bit_) return false;
+    const int m = static_cast<int>(prefix.size());
+    if (m == 0) return true;  // the "anyone?" probe
+    if (prefix[0] == 0) return false;  // search aborted: nobody has a 1
+    const Range range = ReplayRange(prefix, m, n_);
+    const int mid = (range.lo + range.hi + 1) / 2;
+    // Beep iff this party sits in the upper half being probed this round.
+    return index_ >= mid && index_ < range.hi;
+  }
+
+  [[nodiscard]] PartyOutput ComputeOutput(const BitString& pi) const override {
+    if (pi[0] == 0) return PartyOutput{static_cast<std::uint64_t>(n_)};
+    const Range range = ReplayRange(pi, length_, n_);
+    return PartyOutput{static_cast<std::uint64_t>(range.lo)};
+  }
+
+ private:
+  int index_;
+  bool bit_;
+  int n_;
+  int length_;
+};
+
+}  // namespace
+
+AdaptiveFindInstance SampleAdaptiveFind(int n, double density, Rng& rng) {
+  NB_REQUIRE(n >= 1, "need at least one party");
+  AdaptiveFindInstance instance;
+  instance.bits.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    instance.bits.push_back(rng.Bernoulli(density) ? 1 : 0);
+  }
+  return instance;
+}
+
+std::uint64_t AdaptiveFindAnswer(const AdaptiveFindInstance& instance) {
+  const int n = static_cast<int>(instance.bits.size());
+  for (int i = n - 1; i >= 0; --i) {
+    if (instance.bits[i] != 0) return static_cast<std::uint64_t>(i);
+  }
+  return static_cast<std::uint64_t>(n);
+}
+
+std::unique_ptr<Protocol> MakeAdaptiveFindProtocol(
+    const AdaptiveFindInstance& instance) {
+  const int n = static_cast<int>(instance.bits.size());
+  NB_REQUIRE(n >= 1, "empty instance");
+  const int length = 1 + (n > 1 ? CeilLog2(static_cast<std::uint64_t>(n)) : 0);
+  std::vector<std::unique_ptr<Party>> parties;
+  parties.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    parties.push_back(std::make_unique<AdaptiveFindParty>(
+        i, instance.bits[i] != 0, n, length));
+  }
+  return std::make_unique<BasicProtocol>(std::move(parties), length);
+}
+
+bool AdaptiveFindAllCorrect(const AdaptiveFindInstance& instance,
+                            const std::vector<PartyOutput>& outputs) {
+  const std::uint64_t answer = AdaptiveFindAnswer(instance);
+  for (const PartyOutput& out : outputs) {
+    if (out.size() != 1 || out[0] != answer) return false;
+  }
+  return true;
+}
+
+}  // namespace noisybeeps

@@ -1,0 +1,46 @@
+// AdaptiveFind: locate the highest-indexed party holding a 1, by a
+// transcript-adaptive binary search.
+//
+// Round 0 asks "anyone?"; afterwards the live index range [lo, hi) halves
+// each round: parties in the upper half holding a 1 beep, and the range
+// follows the received bit.  Who beeps in round m depends on the bits
+// received in rounds < m, which makes this the library's canonical
+// *adaptive* protocol -- the case Section 2.2 of the paper contrasts with
+// its oblivious lower-bound construction, and the acid test for the
+// simulators' rewind logic (a mis-simulated early round derails every
+// later beep decision).
+#ifndef NOISYBEEPS_TASKS_ADAPTIVE_FIND_H_
+#define NOISYBEEPS_TASKS_ADAPTIVE_FIND_H_
+
+#include <memory>
+#include <vector>
+
+#include "protocol/protocol.h"
+#include "util/rng.h"
+
+namespace noisybeeps {
+
+struct AdaptiveFindInstance {
+  std::vector<std::uint8_t> bits;  // bits[i] in {0, 1}
+};
+
+// Each bit is 1 independently with probability `density`.
+[[nodiscard]] AdaptiveFindInstance SampleAdaptiveFind(int n, double density,
+                                                      Rng& rng);
+
+// The expected answer: highest index holding 1, or n if all bits are 0
+// (encoded as "not found").
+[[nodiscard]] std::uint64_t AdaptiveFindAnswer(
+    const AdaptiveFindInstance& instance);
+
+// T = 1 + ceil(log2 n) rounds; every party outputs {answer}.
+[[nodiscard]] std::unique_ptr<Protocol> MakeAdaptiveFindProtocol(
+    const AdaptiveFindInstance& instance);
+
+[[nodiscard]] bool AdaptiveFindAllCorrect(
+    const AdaptiveFindInstance& instance,
+    const std::vector<PartyOutput>& outputs);
+
+}  // namespace noisybeeps
+
+#endif  // NOISYBEEPS_TASKS_ADAPTIVE_FIND_H_

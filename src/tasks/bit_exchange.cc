@@ -1,0 +1,103 @@
+#include "tasks/bit_exchange.h"
+
+#include "util/require.h"
+
+namespace noisybeeps {
+namespace {
+
+class BitExchangeParty final : public Party {
+ public:
+  BitExchangeParty(int index, std::uint64_t payload, int bits_per_party,
+                   int num_parties)
+      : index_(index),
+        payload_(payload),
+        bits_(bits_per_party),
+        num_parties_(num_parties) {}
+
+  [[nodiscard]] bool ChooseBeep(const BitString& prefix) const override {
+    const std::size_t m = prefix.size();
+    const int owner = static_cast<int>(m) / bits_;
+    if (owner != index_) return false;
+    const int bit = static_cast<int>(m) % bits_;
+    return ((payload_ >> bit) & 1) != 0;
+  }
+
+  [[nodiscard]] PartyOutput ComputeOutput(const BitString& pi) const override {
+    PartyOutput learned(num_parties_, 0);
+    for (int j = 0; j < num_parties_; ++j) {
+      std::uint64_t w = 0;
+      for (int b = 0; b < bits_; ++b) {
+        if (pi[static_cast<std::size_t>(j) * bits_ + b]) {
+          w |= std::uint64_t{1} << b;
+        }
+      }
+      learned[j] = w;
+    }
+    return learned;
+  }
+
+ private:
+  int index_;
+  std::uint64_t payload_;
+  int bits_;
+  int num_parties_;
+};
+
+}  // namespace
+
+BitExchangeInstance SampleBitExchange(int n, int bits_per_party, Rng& rng) {
+  NB_REQUIRE(n >= 1, "need at least one party");
+  NB_REQUIRE(bits_per_party >= 1 && bits_per_party <= 64,
+             "payload width out of range");
+  BitExchangeInstance instance;
+  instance.bits_per_party = bits_per_party;
+  instance.payloads.reserve(n);
+  const std::uint64_t mask = bits_per_party == 64
+                                 ? ~std::uint64_t{0}
+                                 : (std::uint64_t{1} << bits_per_party) - 1;
+  for (int i = 0; i < n; ++i) {
+    instance.payloads.push_back(rng.NextU64() & mask);
+  }
+  return instance;
+}
+
+PartyOutput BitExchangeExpectedOutput(const BitExchangeInstance& instance) {
+  return instance.payloads;
+}
+
+std::unique_ptr<Protocol> MakeBitExchangeProtocol(
+    const BitExchangeInstance& instance) {
+  const int n = static_cast<int>(instance.payloads.size());
+  NB_REQUIRE(n >= 1, "need at least one party");
+  NB_REQUIRE(instance.bits_per_party >= 1 && instance.bits_per_party <= 64,
+             "payload width out of range");
+  std::vector<std::unique_ptr<Party>> parties;
+  parties.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    parties.push_back(std::make_unique<BitExchangeParty>(
+        i, instance.payloads[i], instance.bits_per_party, n));
+  }
+  return std::make_unique<BasicProtocol>(std::move(parties),
+                                         n * instance.bits_per_party);
+}
+
+std::vector<int> BitExchangeSchedule(int n, int bits_per_party) {
+  NB_REQUIRE(n >= 1 && bits_per_party >= 1, "bad schedule shape");
+  std::vector<int> schedule;
+  schedule.reserve(static_cast<std::size_t>(n) * bits_per_party);
+  for (int i = 0; i < n; ++i) {
+    schedule.insert(schedule.end(), bits_per_party, i);
+  }
+  return schedule;
+}
+
+bool BitExchangeAllCorrect(const BitExchangeInstance& instance,
+                           const std::vector<PartyOutput>& outputs) {
+  const PartyOutput expected = BitExchangeExpectedOutput(instance);
+  for (const PartyOutput& out : outputs) {
+    if (out != expected) return false;
+  }
+  return true;
+}
+
+}  // namespace noisybeeps

@@ -1,0 +1,49 @@
+// BitExchange: every party broadcasts a k-bit payload in rounds it owns.
+//
+// The canonical non-adaptive beeping workload: T = n*k rounds; party i
+// owns rounds [i*k, (i+1)*k) and beeps its payload bit by bit; everyone
+// else is silent, so the noiseless transcript is the concatenation of all
+// payloads and every party learns every payload.  Matches the structure
+// the paper's Section 2.2 uses (each party "owns" disjoint transcript
+// bits) and is the stress workload for simulators: every 1 has a unique
+// owner, and a single flipped bit corrupts somebody's payload.
+#ifndef NOISYBEEPS_TASKS_BIT_EXCHANGE_H_
+#define NOISYBEEPS_TASKS_BIT_EXCHANGE_H_
+
+#include <memory>
+#include <vector>
+
+#include "protocol/protocol.h"
+#include "util/rng.h"
+
+namespace noisybeeps {
+
+struct BitExchangeInstance {
+  // payloads[i] holds party i's k low bits.
+  std::vector<std::uint64_t> payloads;
+  int bits_per_party = 0;  // k, 1 <= k <= 64
+};
+
+[[nodiscard]] BitExchangeInstance SampleBitExchange(int n, int bits_per_party,
+                                                    Rng& rng);
+
+// Expected output: all payloads, in party order (what every party learns).
+[[nodiscard]] PartyOutput BitExchangeExpectedOutput(
+    const BitExchangeInstance& instance);
+
+[[nodiscard]] std::unique_ptr<Protocol> MakeBitExchangeProtocol(
+    const BitExchangeInstance& instance);
+
+[[nodiscard]] bool BitExchangeAllCorrect(
+    const BitExchangeInstance& instance,
+    const std::vector<PartyOutput>& outputs);
+
+// The protocol's (static, publicly known) round-ownership schedule:
+// schedule[m] = m / bits_per_party.  Feeding this to
+// RewindSimOptions::Scheduled turns the simulation into the EKS18-style
+// broadcast regime where ownership is free.
+[[nodiscard]] std::vector<int> BitExchangeSchedule(int n, int bits_per_party);
+
+}  // namespace noisybeeps
+
+#endif  // NOISYBEEPS_TASKS_BIT_EXCHANGE_H_

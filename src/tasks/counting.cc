@@ -1,0 +1,93 @@
+#include "tasks/counting.h"
+
+#include "util/require.h"
+
+namespace noisybeeps {
+namespace {
+
+// Stateless per-(seed, phase, rep) coin: a SplitMix64-style mix keeps the
+// party a pure function of its input.
+std::uint64_t MixCoin(std::uint64_t seed, int phase, int rep) {
+  std::uint64_t z = seed + 0x9e3779b97f4a7c15ULL * (phase * 1315423911ULL +
+                                                    rep * 2654435761ULL + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+class CountingParty final : public Party {
+ public:
+  CountingParty(std::uint64_t seed, int max_log, int reps)
+      : seed_(seed), max_log_(max_log), reps_(reps) {}
+
+  [[nodiscard]] bool ChooseBeep(const BitString& prefix) const override {
+    const int m = static_cast<int>(prefix.size());
+    const int phase = m / reps_;
+    const int rep = m % reps_;
+    // Beep with probability 2^-phase: phase low bits of the coin all zero.
+    if (phase == 0) return true;
+    const std::uint64_t coin = MixCoin(seed_, phase, rep);
+    const std::uint64_t mask = (std::uint64_t{1} << phase) - 1;
+    return (coin & mask) == 0;
+  }
+
+  [[nodiscard]] PartyOutput ComputeOutput(const BitString& pi) const override {
+    for (int phase = 0; phase <= max_log_; ++phase) {
+      std::size_t beeps = 0;
+      for (int rep = 0; rep < reps_; ++rep) {
+        if (pi[static_cast<std::size_t>(phase) * reps_ + rep]) ++beeps;
+      }
+      if (2 * beeps < static_cast<std::size_t>(reps_)) {
+        return PartyOutput{std::uint64_t{1} << phase};
+      }
+    }
+    return PartyOutput{std::uint64_t{1} << (max_log_ + 1)};
+  }
+
+ private:
+  std::uint64_t seed_;
+  int max_log_;
+  int reps_;
+};
+
+}  // namespace
+
+CountingInstance SampleCounting(int n, int max_log, int reps, Rng& rng) {
+  NB_REQUIRE(n >= 1, "need at least one party");
+  NB_REQUIRE(max_log >= 1 && max_log <= 62, "phase count out of range");
+  NB_REQUIRE(reps >= 1, "repetitions must be positive");
+  CountingInstance instance;
+  instance.max_log = max_log;
+  instance.reps = reps;
+  instance.seeds.reserve(n);
+  for (int i = 0; i < n; ++i) instance.seeds.push_back(rng.NextU64());
+  return instance;
+}
+
+std::unique_ptr<Protocol> MakeCountingProtocol(
+    const CountingInstance& instance) {
+  NB_REQUIRE(!instance.seeds.empty(), "empty instance");
+  std::vector<std::unique_ptr<Party>> parties;
+  parties.reserve(instance.seeds.size());
+  for (std::uint64_t seed : instance.seeds) {
+    parties.push_back(std::make_unique<CountingParty>(seed, instance.max_log,
+                                                      instance.reps));
+  }
+  return std::make_unique<BasicProtocol>(
+      std::move(parties), (instance.max_log + 1) * instance.reps);
+}
+
+bool CountingAllWithinFactor(const CountingInstance& instance,
+                             const std::vector<PartyOutput>& outputs,
+                             double tolerance) {
+  NB_REQUIRE(tolerance >= 1.0, "tolerance must be >= 1");
+  const double n = static_cast<double>(instance.seeds.size());
+  for (const PartyOutput& out : outputs) {
+    if (out.size() != 1) return false;
+    const double estimate = static_cast<double>(out[0]);
+    if (estimate < n / tolerance || estimate > n * tolerance) return false;
+  }
+  return true;
+}
+
+}  // namespace noisybeeps

@@ -1,0 +1,40 @@
+// Approximate network-size estimation by geometric beeping
+// [BKK+16-style]: in phase k, each party beeps with probability 2^-k
+// (coins fixed by its private seed, so the party stays a pure function).
+// Each phase is repeated `reps` times; the estimate is 2^(k*) where k* is
+// the first phase in which fewer than half the repetitions carried a beep.
+// On the noiseless channel the estimate is within a constant factor of n
+// with high probability; under noise the phase counters corrupt -- which
+// is exactly what the simulation schemes repair.
+#ifndef NOISYBEEPS_TASKS_COUNTING_H_
+#define NOISYBEEPS_TASKS_COUNTING_H_
+
+#include <memory>
+#include <vector>
+
+#include "protocol/protocol.h"
+#include "util/rng.h"
+
+namespace noisybeeps {
+
+struct CountingInstance {
+  std::vector<std::uint64_t> seeds;  // one private seed per party
+  int max_log = 0;                   // phases k = 0 .. max_log (inclusive)
+  int reps = 0;                      // repetitions per phase
+};
+
+[[nodiscard]] CountingInstance SampleCounting(int n, int max_log, int reps,
+                                              Rng& rng);
+
+// T = (max_log + 1) * reps rounds; every party outputs {estimate}.
+[[nodiscard]] std::unique_ptr<Protocol> MakeCountingProtocol(
+    const CountingInstance& instance);
+
+// True iff every party's estimate is within [n / tolerance, n * tolerance].
+[[nodiscard]] bool CountingAllWithinFactor(
+    const CountingInstance& instance, const std::vector<PartyOutput>& outputs,
+    double tolerance);
+
+}  // namespace noisybeeps
+
+#endif  // NOISYBEEPS_TASKS_COUNTING_H_

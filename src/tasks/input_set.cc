@@ -1,0 +1,129 @@
+#include "tasks/input_set.h"
+
+#include "util/require.h"
+
+namespace noisybeeps {
+namespace {
+
+// Party for the r-repetition protocol (r = 1 is the trivial protocol).
+class RepeatedInputSetParty final : public Party {
+ public:
+  RepeatedInputSetParty(int input, int universe, int repetitions,
+                        RoundDecision decision)
+      : input_(input),
+        universe_(universe),
+        repetitions_(repetitions),
+        decision_(decision) {}
+
+  [[nodiscard]] bool ChooseBeep(const BitString& prefix) const override {
+    const std::size_t m = prefix.size();  // 0-based round index
+    const int logical_round = static_cast<int>(m) / repetitions_;
+    return logical_round == input_;
+  }
+
+  [[nodiscard]] PartyOutput ComputeOutput(const BitString& pi) const override {
+    PartyOutput mask((universe_ + 63) / 64, 0);
+    for (int element = 0; element < universe_; ++element) {
+      std::size_t ones = 0;
+      for (int t = 0; t < repetitions_; ++t) {
+        if (pi[static_cast<std::size_t>(element) * repetitions_ + t]) ++ones;
+      }
+      const bool member = decision_ == RoundDecision::kMajority
+                              ? 2 * ones >= static_cast<std::size_t>(repetitions_)
+                              : ones == static_cast<std::size_t>(repetitions_);
+      if (member) {
+        mask[element / 64] |= std::uint64_t{1} << (element % 64);
+      }
+    }
+    return mask;
+  }
+
+ private:
+  int input_;
+  int universe_;
+  int repetitions_;
+  RoundDecision decision_;
+};
+
+class InputSetFamily final : public ProtocolFamily {
+ public:
+  InputSetFamily(int n, int repetitions, RoundDecision decision)
+      : n_(n), repetitions_(repetitions), decision_(decision) {}
+
+  [[nodiscard]] int num_parties() const override { return n_; }
+  [[nodiscard]] int num_inputs() const override { return 2 * n_; }
+  [[nodiscard]] int length() const override { return 2 * n_ * repetitions_; }
+  [[nodiscard]] std::unique_ptr<Party> MakeParty(int i,
+                                                 int input) const override {
+    NB_REQUIRE(i >= 0 && i < n_, "party index out of range");
+    NB_REQUIRE(input >= 0 && input < 2 * n_, "input out of range");
+    return std::make_unique<RepeatedInputSetParty>(input, 2 * n_,
+                                                   repetitions_, decision_);
+  }
+
+ private:
+  int n_;
+  int repetitions_;
+  RoundDecision decision_;
+};
+
+}  // namespace
+
+InputSetInstance SampleInputSet(int n, Rng& rng) {
+  NB_REQUIRE(n >= 1, "need at least one party");
+  InputSetInstance instance;
+  instance.inputs.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    instance.inputs.push_back(static_cast<int>(rng.UniformInt(2 * n)));
+  }
+  return instance;
+}
+
+PartyOutput InputSetExpectedOutput(const InputSetInstance& instance) {
+  const int universe = instance.universe_size();
+  PartyOutput mask((universe + 63) / 64, 0);
+  for (int x : instance.inputs) {
+    NB_REQUIRE(x >= 0 && x < universe, "input out of range");
+    mask[x / 64] |= std::uint64_t{1} << (x % 64);
+  }
+  return mask;
+}
+
+std::unique_ptr<Protocol> MakeInputSetProtocol(
+    const InputSetInstance& instance) {
+  return MakeRepeatedInputSetProtocol(instance, 1, RoundDecision::kMajority);
+}
+
+std::unique_ptr<Protocol> MakeRepeatedInputSetProtocol(
+    const InputSetInstance& instance, int repetitions,
+    RoundDecision decision) {
+  NB_REQUIRE(repetitions >= 1, "repetition factor must be positive");
+  const int universe = instance.universe_size();
+  std::vector<std::unique_ptr<Party>> parties;
+  parties.reserve(instance.inputs.size());
+  for (int x : instance.inputs) {
+    NB_REQUIRE(x >= 0 && x < universe, "input out of range");
+    parties.push_back(std::make_unique<RepeatedInputSetParty>(
+        x, universe, repetitions, decision));
+  }
+  return std::make_unique<BasicProtocol>(std::move(parties),
+                                         universe * repetitions);
+}
+
+std::unique_ptr<ProtocolFamily> MakeInputSetFamily(int n, int repetitions,
+                                                   RoundDecision decision) {
+  NB_REQUIRE(n >= 1, "need at least one party");
+  NB_REQUIRE(repetitions >= 1, "repetition factor must be positive");
+  return std::make_unique<InputSetFamily>(n, repetitions, decision);
+}
+
+bool InputSetAllCorrect(const InputSetInstance& instance,
+                        const std::vector<PartyOutput>& outputs) {
+  const PartyOutput expected = InputSetExpectedOutput(instance);
+  for (const PartyOutput& out : outputs) {
+    if (out != expected) return false;
+  }
+  return true;
+}
+
+}  // namespace noisybeeps

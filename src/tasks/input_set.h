@@ -1,0 +1,78 @@
+// The InputSet_n communication task (Appendix A.2) -- the task witnessing
+// the paper's lower bound.
+//
+// Each of the n parties holds a number x^i in [2n] (0-based here), drawn
+// uniformly and independently; all parties must output the set
+// L(x) = { x^i : i in [n] }.  The task has a trivial 2n-round protocol on
+// the noiseless channel (party i beeps exactly in round x^i, so the
+// transcript IS the indicator vector of L(x)), and Theorem C.1 shows any
+// protocol solving it over the one-sided 1/3-noisy channel needs
+// Omega(n log n) rounds.
+//
+// This header provides the instance type, the trivial protocol, and the
+// natural r-repetition protocol family whose required r the lower-bound
+// benchmark sweeps.
+#ifndef NOISYBEEPS_TASKS_INPUT_SET_H_
+#define NOISYBEEPS_TASKS_INPUT_SET_H_
+
+#include <memory>
+#include <vector>
+
+#include "protocol/protocol.h"
+#include "protocol/protocol_family.h"
+#include "util/rng.h"
+
+namespace noisybeeps {
+
+struct InputSetInstance {
+  // inputs[i] in [0, 2n); n == inputs.size().
+  std::vector<int> inputs;
+
+  [[nodiscard]] int num_parties() const {
+    return static_cast<int>(inputs.size());
+  }
+  [[nodiscard]] int universe_size() const { return 2 * num_parties(); }
+};
+
+// Samples x^i uniformly from [2n], iid -- the paper's input distribution.
+[[nodiscard]] InputSetInstance SampleInputSet(int n, Rng& rng);
+
+// L(x) encoded as a bitmask over [2n]: word w bit b covers element 64w+b.
+// This is the PartyOutput every InputSet protocol produces.
+[[nodiscard]] PartyOutput InputSetExpectedOutput(
+    const InputSetInstance& instance);
+
+// How transcripts decode to outputs.  With the trivial protocol, logical
+// round m of the transcript indicates membership of m in L(x).
+enum class RoundDecision {
+  kMajority,   // 1 iff at least half the repetitions read 1 (two-sided ML)
+  kAllOnes,    // 1 iff every repetition reads 1 (ML for one-sided-up noise,
+               // where a true 1 is never flipped)
+};
+
+// The trivial noiseless protocol: T = 2n; party i beeps iff round == x^i.
+[[nodiscard]] std::unique_ptr<Protocol> MakeInputSetProtocol(
+    const InputSetInstance& instance);
+
+// The r-repetition protocol: T = 2n * r; logical round m is repeated r
+// times and decoded per `decision`.  r = 1 with kMajority reproduces the
+// trivial protocol.  This is the natural hand-rolled noise defence whose
+// required r the lower bound says must grow like log n.
+[[nodiscard]] std::unique_ptr<Protocol> MakeRepeatedInputSetProtocol(
+    const InputSetInstance& instance, int repetitions,
+    RoundDecision decision = RoundDecision::kMajority);
+
+// True iff every party's output equals InputSetExpectedOutput(instance).
+[[nodiscard]] bool InputSetAllCorrect(const InputSetInstance& instance,
+                                      const std::vector<PartyOutput>& outputs);
+
+// The r-repetition InputSet protocol as a ProtocolFamily (inputs
+// switchable per party) -- the object the Appendix C analysis machinery
+// (feasible sets, progress measure, exact posteriors) operates on.
+[[nodiscard]] std::unique_ptr<ProtocolFamily> MakeInputSetFamily(
+    int n, int repetitions = 1,
+    RoundDecision decision = RoundDecision::kMajority);
+
+}  // namespace noisybeeps
+
+#endif  // NOISYBEEPS_TASKS_INPUT_SET_H_

@@ -1,0 +1,102 @@
+#include "tasks/leader_election.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "util/require.h"
+
+namespace noisybeeps {
+namespace {
+
+class LeaderElectionParty final : public Party {
+ public:
+  LeaderElectionParty(std::uint64_t id, int id_bits)
+      : id_(id), id_bits_(id_bits) {}
+
+  [[nodiscard]] bool ChooseBeep(const BitString& prefix) const override {
+    const int round = static_cast<int>(prefix.size());
+    if (!ActiveAfter(prefix, round)) return false;
+    return BitAt(round);
+  }
+
+  [[nodiscard]] PartyOutput ComputeOutput(const BitString& pi) const override {
+    // The transcript spells the winner id, most significant bit first.
+    std::uint64_t winner = 0;
+    for (int r = 0; r < id_bits_; ++r) {
+      winner = (winner << 1) | (pi[r] ? 1u : 0u);
+    }
+    const bool leader = ActiveAfter(pi, id_bits_) && winner == id_;
+    return PartyOutput{winner, leader ? std::uint64_t{1} : std::uint64_t{0}};
+  }
+
+ private:
+  // Bit beeped in round r: id bit (id_bits-1-r), MSB first.
+  [[nodiscard]] bool BitAt(int round) const {
+    return ((id_ >> (id_bits_ - 1 - round)) & 1) != 0;
+  }
+
+  // Whether this party is still active entering round `round`, replaying
+  // the drop-out rule on the first `round` transcript bits.
+  [[nodiscard]] bool ActiveAfter(const BitString& transcript,
+                                 int round) const {
+    for (int r = 0; r < round; ++r) {
+      if (transcript[r] && !BitAt(r)) return false;
+    }
+    return true;
+  }
+
+  std::uint64_t id_;
+  int id_bits_;
+};
+
+}  // namespace
+
+LeaderElectionInstance SampleLeaderElection(int n, int id_bits, Rng& rng) {
+  NB_REQUIRE(n >= 1, "need at least one party");
+  NB_REQUIRE(id_bits >= 1 && id_bits <= 63, "id width out of range");
+  NB_REQUIRE(id_bits >= 63 || (std::uint64_t{1} << id_bits) >=
+                                  static_cast<std::uint64_t>(n),
+             "id space too small for distinct ids");
+  LeaderElectionInstance instance;
+  instance.id_bits = id_bits;
+  std::unordered_set<std::uint64_t> seen;
+  while (static_cast<int>(instance.ids.size()) < n) {
+    const std::uint64_t id = rng.UniformInt(std::uint64_t{1} << id_bits);
+    if (seen.insert(id).second) instance.ids.push_back(id);
+  }
+  return instance;
+}
+
+std::uint64_t LeaderElectionWinner(const LeaderElectionInstance& instance) {
+  NB_REQUIRE(!instance.ids.empty(), "empty instance");
+  return *std::max_element(instance.ids.begin(), instance.ids.end());
+}
+
+std::unique_ptr<Protocol> MakeLeaderElectionProtocol(
+    const LeaderElectionInstance& instance) {
+  NB_REQUIRE(!instance.ids.empty(), "empty instance");
+  std::vector<std::unique_ptr<Party>> parties;
+  parties.reserve(instance.ids.size());
+  for (std::uint64_t id : instance.ids) {
+    parties.push_back(
+        std::make_unique<LeaderElectionParty>(id, instance.id_bits));
+  }
+  return std::make_unique<BasicProtocol>(std::move(parties),
+                                         instance.id_bits);
+}
+
+bool LeaderElectionAllCorrect(const LeaderElectionInstance& instance,
+                              const std::vector<PartyOutput>& outputs) {
+  const std::uint64_t winner = LeaderElectionWinner(instance);
+  int leaders = 0;
+  for (std::size_t i = 0; i < outputs.size(); ++i) {
+    if (outputs[i].size() != 2 || outputs[i][0] != winner) return false;
+    if (outputs[i][1] == 1) {
+      ++leaders;
+      if (instance.ids[i] != winner) return false;
+    }
+  }
+  return leaders == 1;
+}
+
+}  // namespace noisybeeps

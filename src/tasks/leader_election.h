@@ -1,0 +1,48 @@
+// Bitwise leader election in the single-hop beeping model.
+//
+// Each party holds a distinct id of `id_bits` bits.  The protocol scans id
+// bits from the most significant down; in the round for bit b, every still-
+// active party whose bit b is 1 beeps.  A party that hears a beep while its
+// own bit is 0 drops out.  On the noiseless channel the transcript spells
+// out the maximum id bit by bit, every party learns it, and exactly the
+// max-id party survives -- the classical O(log id-space) election
+// [FSW14-style].  Activity is recomputed from the transcript prefix, so the
+// party is a pure function and the protocol is simulation-friendly.
+#ifndef NOISYBEEPS_TASKS_LEADER_ELECTION_H_
+#define NOISYBEEPS_TASKS_LEADER_ELECTION_H_
+
+#include <memory>
+#include <vector>
+
+#include "protocol/protocol.h"
+#include "util/rng.h"
+
+namespace noisybeeps {
+
+struct LeaderElectionInstance {
+  std::vector<std::uint64_t> ids;  // pairwise distinct
+  int id_bits = 0;                 // 1 <= id_bits <= 63
+};
+
+// Samples n distinct ids uniformly from [0, 2^id_bits).
+// Precondition: 2^id_bits >= n.
+[[nodiscard]] LeaderElectionInstance SampleLeaderElection(int n, int id_bits,
+                                                          Rng& rng);
+
+// The winner (maximum id).
+[[nodiscard]] std::uint64_t LeaderElectionWinner(
+    const LeaderElectionInstance& instance);
+
+// T = id_bits rounds; every party outputs {winner_id, am_i_leader}.
+[[nodiscard]] std::unique_ptr<Protocol> MakeLeaderElectionProtocol(
+    const LeaderElectionInstance& instance);
+
+// True iff all parties output the max id and exactly the max-id party
+// claims leadership.
+[[nodiscard]] bool LeaderElectionAllCorrect(
+    const LeaderElectionInstance& instance,
+    const std::vector<PartyOutput>& outputs);
+
+}  // namespace noisybeeps
+
+#endif  // NOISYBEEPS_TASKS_LEADER_ELECTION_H_

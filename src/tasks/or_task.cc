@@ -1,0 +1,44 @@
+#include "tasks/or_task.h"
+
+#include "util/require.h"
+
+namespace noisybeeps {
+namespace {
+
+class OrParty final : public Party {
+ public:
+  explicit OrParty(bool bit) : bit_(bit) {}
+
+  [[nodiscard]] bool ChooseBeep(const BitString& prefix) const override {
+    (void)prefix;
+    return bit_;
+  }
+
+  [[nodiscard]] PartyOutput ComputeOutput(const BitString& pi) const override {
+    return PartyOutput{pi[0] ? std::uint64_t{1} : std::uint64_t{0}};
+  }
+
+ private:
+  bool bit_;
+};
+
+}  // namespace
+
+std::unique_ptr<Protocol> MakeOrProtocol(const std::vector<std::uint8_t>& bits) {
+  NB_REQUIRE(!bits.empty(), "need at least one party");
+  std::vector<std::unique_ptr<Party>> parties;
+  parties.reserve(bits.size());
+  for (std::uint8_t b : bits) {
+    parties.push_back(std::make_unique<OrParty>(b != 0));
+  }
+  return std::make_unique<BasicProtocol>(std::move(parties), 1);
+}
+
+bool OrExpected(const std::vector<std::uint8_t>& bits) {
+  for (std::uint8_t b : bits) {
+    if (b != 0) return true;
+  }
+  return false;
+}
+
+}  // namespace noisybeeps

@@ -1,0 +1,27 @@
+// The OR task: each party holds one bit; everyone must learn the OR.
+//
+// The beeping channel computes OR natively, so the noiseless protocol is a
+// single round -- the "(extremely) efficient protocol for the or of n
+// bits" that Section 2.1 of the paper identifies as the beeping model's
+// distinguishing power, and the primitive the coding schemes' verification
+// phases lean on (error flags are OR'd).
+#ifndef NOISYBEEPS_TASKS_OR_TASK_H_
+#define NOISYBEEPS_TASKS_OR_TASK_H_
+
+#include <memory>
+#include <vector>
+
+#include "protocol/protocol.h"
+#include "util/rng.h"
+
+namespace noisybeeps {
+
+// One round; every party outputs {or_of_bits}.
+[[nodiscard]] std::unique_ptr<Protocol> MakeOrProtocol(
+    const std::vector<std::uint8_t>& bits);
+
+[[nodiscard]] bool OrExpected(const std::vector<std::uint8_t>& bits);
+
+}  // namespace noisybeeps
+
+#endif  // NOISYBEEPS_TASKS_OR_TASK_H_

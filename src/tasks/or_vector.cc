@@ -1,0 +1,79 @@
+#include "tasks/or_vector.h"
+
+#include "util/require.h"
+
+namespace noisybeeps {
+namespace {
+
+class OrVectorParty final : public Party {
+ public:
+  OrVectorParty(BitString row) : row_(std::move(row)) {}
+
+  [[nodiscard]] bool ChooseBeep(const BitString& prefix) const override {
+    return row_[prefix.size()];
+  }
+
+  [[nodiscard]] PartyOutput ComputeOutput(const BitString& pi) const override {
+    PartyOutput packed((pi.size() + 63) / 64, 0);
+    for (std::size_t m = 0; m < pi.size(); ++m) {
+      if (pi[m]) packed[m / 64] |= std::uint64_t{1} << (m % 64);
+    }
+    return packed;
+  }
+
+ private:
+  BitString row_;
+};
+
+}  // namespace
+
+OrVectorInstance SampleOrVector(int n, int width, double density, Rng& rng) {
+  NB_REQUIRE(n >= 1, "need at least one party");
+  NB_REQUIRE(width >= 1, "width must be positive");
+  NB_REQUIRE(density >= 0.0 && density <= 1.0, "density out of [0,1]");
+  OrVectorInstance instance;
+  instance.rows.assign(n, BitString());
+  for (int i = 0; i < n; ++i) {
+    for (int m = 0; m < width; ++m) {
+      instance.rows[i].PushBack(rng.Bernoulli(density));
+    }
+  }
+  return instance;
+}
+
+PartyOutput OrVectorExpectedOutput(const OrVectorInstance& instance) {
+  const int width = instance.width();
+  PartyOutput packed((width + 63) / 64, 0);
+  for (int m = 0; m < width; ++m) {
+    bool any = false;
+    for (const BitString& row : instance.rows) any = any || row[m];
+    if (any) packed[m / 64] |= std::uint64_t{1} << (m % 64);
+  }
+  return packed;
+}
+
+std::unique_ptr<Protocol> MakeOrVectorProtocol(
+    const OrVectorInstance& instance) {
+  NB_REQUIRE(!instance.rows.empty(), "empty instance");
+  const std::size_t width = instance.rows.front().size();
+  NB_REQUIRE(width >= 1, "rows must be non-empty");
+  std::vector<std::unique_ptr<Party>> parties;
+  parties.reserve(instance.rows.size());
+  for (const BitString& row : instance.rows) {
+    NB_REQUIRE(row.size() == width, "ragged rows");
+    parties.push_back(std::make_unique<OrVectorParty>(row));
+  }
+  return std::make_unique<BasicProtocol>(std::move(parties),
+                                         static_cast<int>(width));
+}
+
+bool OrVectorAllCorrect(const OrVectorInstance& instance,
+                        const std::vector<PartyOutput>& outputs) {
+  const PartyOutput expected = OrVectorExpectedOutput(instance);
+  for (const PartyOutput& out : outputs) {
+    if (out != expected) return false;
+  }
+  return true;
+}
+
+}  // namespace noisybeeps

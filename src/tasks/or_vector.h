@@ -1,0 +1,51 @@
+// The unrestricted Section 2.2 task: every party i holds a bit vector
+// b^i over [M]; everyone must learn pi_m = OR_i b^i_m for all m.
+//
+// This is the task the paper derives InputSet from -- "observe how
+// b^i_1 ... b^i_2n corresponds to the sequence of bits beeped by party i
+// in some noiseless protocol" -- before restricting to the promise that
+// each party has exactly one 1 (which makes the inputs describable by an
+// index and the lower bound provable).  The trivial noiseless protocol is
+// M rounds: in round m, party i beeps b^i_m; the transcript IS the
+// answer.  InputSet is the special case M = 2n with one-hot rows.
+#ifndef NOISYBEEPS_TASKS_OR_VECTOR_H_
+#define NOISYBEEPS_TASKS_OR_VECTOR_H_
+
+#include <memory>
+#include <vector>
+
+#include "protocol/protocol.h"
+#include "util/rng.h"
+
+namespace noisybeeps {
+
+struct OrVectorInstance {
+  // rows[i] is party i's bit vector; all rows have the same length M.
+  std::vector<BitString> rows;
+
+  [[nodiscard]] int num_parties() const {
+    return static_cast<int>(rows.size());
+  }
+  [[nodiscard]] int width() const {
+    return rows.empty() ? 0 : static_cast<int>(rows.front().size());
+  }
+};
+
+// Each bit 1 independently with probability `density`.
+[[nodiscard]] OrVectorInstance SampleOrVector(int n, int width,
+                                              double density, Rng& rng);
+
+// The column-wise OR, packed into words (same layout as InputSet masks).
+[[nodiscard]] PartyOutput OrVectorExpectedOutput(
+    const OrVectorInstance& instance);
+
+// T = width rounds; party i beeps b^i_m in round m; outputs the packed OR.
+[[nodiscard]] std::unique_ptr<Protocol> MakeOrVectorProtocol(
+    const OrVectorInstance& instance);
+
+[[nodiscard]] bool OrVectorAllCorrect(const OrVectorInstance& instance,
+                                      const std::vector<PartyOutput>& outputs);
+
+}  // namespace noisybeeps
+
+#endif  // NOISYBEEPS_TASKS_OR_VECTOR_H_

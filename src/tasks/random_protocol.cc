@@ -1,0 +1,80 @@
+#include "tasks/random_protocol.h"
+
+#include "util/require.h"
+
+namespace noisybeeps {
+namespace {
+
+std::uint64_t Mix(std::uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+// Rolling digest of a transcript prefix; recomputed per call to keep the
+// party pure (cost O(|prefix|), fine at library scales).
+std::uint64_t PrefixDigest(const BitString& prefix) {
+  std::uint64_t h = 0x243f6a8885a308d3ULL;
+  for (std::size_t i = 0; i < prefix.size(); ++i) {
+    h = Mix(h ^ (prefix[i] ? 0x9e3779b97f4a7c15ULL : 0x7f4a7c159e3779b9ULL) ^
+            (i * 0xff51afd7ed558ccdULL));
+  }
+  return h;
+}
+
+class RandomParty final : public Party {
+ public:
+  RandomParty(std::uint64_t seed, int threshold, bool adaptive)
+      : seed_(seed), threshold_(threshold), adaptive_(adaptive) {}
+
+  [[nodiscard]] bool ChooseBeep(const BitString& prefix) const override {
+    std::uint64_t key = seed_ ^ (prefix.size() * 0xc2b2ae3d27d4eb4fULL);
+    if (adaptive_) key ^= PrefixDigest(prefix);
+    return static_cast<int>(Mix(key) & 0xff) < threshold_;
+  }
+
+  [[nodiscard]] PartyOutput ComputeOutput(const BitString& pi) const override {
+    return PartyOutput{TranscriptDigest(pi)};
+  }
+
+ private:
+  std::uint64_t seed_;
+  int threshold_;  // beep iff hash byte < threshold (density * 256)
+  bool adaptive_;
+};
+
+}  // namespace
+
+RandomProtocolSpec SampleRandomProtocol(int n, int length, double density,
+                                        bool adaptive, Rng& rng) {
+  NB_REQUIRE(n >= 1, "need at least one party");
+  NB_REQUIRE(length >= 0, "negative length");
+  NB_REQUIRE(density >= 0.0 && density <= 1.0, "density out of [0,1]");
+  RandomProtocolSpec spec;
+  spec.length = length;
+  spec.density = density;
+  spec.adaptive = adaptive;
+  spec.seeds.reserve(n);
+  for (int i = 0; i < n; ++i) spec.seeds.push_back(rng.NextU64());
+  return spec;
+}
+
+std::unique_ptr<Protocol> MakeRandomProtocol(const RandomProtocolSpec& spec) {
+  NB_REQUIRE(!spec.seeds.empty(), "empty spec");
+  NB_REQUIRE(spec.density >= 0.0 && spec.density <= 1.0,
+             "density out of [0,1]");
+  const int threshold = static_cast<int>(spec.density * 256.0);
+  std::vector<std::unique_ptr<Party>> parties;
+  parties.reserve(spec.seeds.size());
+  for (std::uint64_t seed : spec.seeds) {
+    parties.push_back(
+        std::make_unique<RandomParty>(seed, threshold, spec.adaptive));
+  }
+  return std::make_unique<BasicProtocol>(std::move(parties), spec.length);
+}
+
+std::uint64_t TranscriptDigest(const BitString& pi) {
+  return Mix(PrefixDigest(pi) ^ pi.size());
+}
+
+}  // namespace noisybeeps

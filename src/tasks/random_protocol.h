@@ -1,0 +1,49 @@
+// Pseudorandom adaptive protocols: the simulator stress test.
+//
+// Theorem 1.2 quantifies over EVERY noiseless protocol, so the simulators
+// must reconstruct arbitrary transcript-adaptive behaviour, not just the
+// structured tasks.  A RandomProtocol party beeps a pseudorandom function
+// of (its seed, the round, a digest of the transcript prefix): still a
+// pure function -- the protocol is deterministic given the seeds -- but
+// with no structure a scheme could silently exploit.  `density` controls
+// the marginal beep probability, steering the 0/1 mix of the transcript
+// (sparse transcripts stress the 0->1 defences, dense ones the owner
+// machinery).  Output: a digest of the transcript, so task-level
+// correctness == transcript correctness.
+#ifndef NOISYBEEPS_TASKS_RANDOM_PROTOCOL_H_
+#define NOISYBEEPS_TASKS_RANDOM_PROTOCOL_H_
+
+#include <memory>
+#include <vector>
+
+#include "protocol/protocol.h"
+#include "util/rng.h"
+
+namespace noisybeeps {
+
+struct RandomProtocolSpec {
+  std::vector<std::uint64_t> seeds;  // one per party
+  int length = 0;                    // T
+  // Per-(party, round) marginal beep probability, quantized to 1/256.
+  double density = 0.1;
+  // When true, the beep decision also hashes the transcript prefix, so a
+  // single mis-simulated round reshuffles every later beep (maximal
+  // adaptivity).  When false the protocol is oblivious.
+  bool adaptive = true;
+};
+
+[[nodiscard]] RandomProtocolSpec SampleRandomProtocol(int n, int length,
+                                                      double density,
+                                                      bool adaptive, Rng& rng);
+
+// Every party outputs {digest(pi)}; all parties agree iff their
+// reconstructed transcripts agree.
+[[nodiscard]] std::unique_ptr<Protocol> MakeRandomProtocol(
+    const RandomProtocolSpec& spec);
+
+// The digest the parties output, for external comparison.
+[[nodiscard]] std::uint64_t TranscriptDigest(const BitString& pi);
+
+}  // namespace noisybeeps
+
+#endif  // NOISYBEEPS_TASKS_RANDOM_PROTOCOL_H_

@@ -1,0 +1,85 @@
+// BitString: a compact, append-friendly sequence of bits.
+//
+// Transcripts of beeping protocols, codewords of binary error-correcting
+// codes, and per-party beep histories are all BitStrings.  The type is a
+// regular value type (copyable, movable, equality-comparable) backed by
+// packed 64-bit words, with the operations the rest of the library needs:
+// append, random access, prefix extraction, concatenation, Hamming
+// distance, and population count.
+#ifndef NOISYBEEPS_UTIL_BITSTRING_H_
+#define NOISYBEEPS_UTIL_BITSTRING_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace noisybeeps {
+
+class BitString {
+ public:
+  BitString() = default;
+
+  // A string of `size` zero bits.
+  explicit BitString(std::size_t size) : size_(size), words_(WordCount(size)) {}
+
+  // Construction from explicit bits, e.g. BitString({1, 0, 1}).
+  BitString(std::initializer_list<int> bits);
+
+  // Parses a string of '0'/'1' characters.  Throws on any other character.
+  static BitString FromString(const std::string& bits);
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+
+  // Random access.  Precondition: pos < size().
+  [[nodiscard]] bool operator[](std::size_t pos) const;
+  void Set(std::size_t pos, bool value);
+
+  // Appends one bit at the end.
+  void PushBack(bool bit);
+
+  // Appends all of `other` at the end.
+  void Append(const BitString& other);
+
+  // Removes the last `count` bits.  Precondition: count <= size().
+  void Truncate(std::size_t new_size);
+
+  // The first `count` bits as a new BitString.  Precondition: count <= size().
+  [[nodiscard]] BitString Prefix(std::size_t count) const;
+
+  // Bits [begin, end) as a new BitString.  Precondition: begin <= end <= size.
+  [[nodiscard]] BitString Substring(std::size_t begin, std::size_t end) const;
+
+  // Number of 1 bits.
+  [[nodiscard]] std::size_t PopCount() const;
+
+  // Number of positions where *this and other differ.
+  // Precondition: same size.
+  [[nodiscard]] std::size_t HammingDistance(const BitString& other) const;
+
+  // True iff `prefix` equals the first prefix.size() bits of *this.
+  [[nodiscard]] bool StartsWith(const BitString& prefix) const;
+
+  // "0101..." rendering (for logs and test failure messages).
+  [[nodiscard]] std::string ToString() const;
+
+  friend bool operator==(const BitString& a, const BitString& b);
+  friend bool operator!=(const BitString& a, const BitString& b) {
+    return !(a == b);
+  }
+
+ private:
+  static std::size_t WordCount(std::size_t bits) { return (bits + 63) / 64; }
+  // Zeroes the unused high bits of the last word so that equality and
+  // popcount can operate word-wise.
+  void ClearSlack();
+
+  std::size_t size_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace noisybeeps
+
+#endif  // NOISYBEEPS_UTIL_BITSTRING_H_

@@ -1,0 +1,89 @@
+#include "util/flags.h"
+
+#include <cstdlib>
+#include <stdexcept>
+
+#include "util/require.h"
+
+namespace noisybeeps {
+namespace {
+
+bool IsFlagToken(const std::string& token) {
+  return token.size() > 2 && token[0] == '-' && token[1] == '-';
+}
+
+}  // namespace
+
+Flags::Flags(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string token = argv[i];
+    NB_REQUIRE(IsFlagToken(token), "expected --flag, got: " + token);
+    const std::string body = token.substr(2);
+    const std::size_t eq = body.find('=');
+    if (eq != std::string::npos) {
+      values_[body.substr(0, eq)] = body.substr(eq + 1);
+    } else if (i + 1 < argc && !IsFlagToken(argv[i + 1])) {
+      values_[body] = argv[++i];
+    } else {
+      values_[body] = "";  // bare boolean flag
+    }
+  }
+}
+
+std::string Flags::GetString(const std::string& name,
+                             const std::string& default_value) {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return default_value;
+  consumed_[name] = true;
+  return it->second;
+}
+
+std::int64_t Flags::GetInt(const std::string& name,
+                           std::int64_t default_value) {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return default_value;
+  consumed_[name] = true;
+  char* end = nullptr;
+  const long long value = std::strtoll(it->second.c_str(), &end, 10);
+  NB_REQUIRE(end != nullptr && *end == '\0' && !it->second.empty(),
+             "flag --" + name + " is not an integer: " + it->second);
+  return value;
+}
+
+double Flags::GetDouble(const std::string& name, double default_value) {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return default_value;
+  consumed_[name] = true;
+  char* end = nullptr;
+  const double value = std::strtod(it->second.c_str(), &end);
+  NB_REQUIRE(end != nullptr && *end == '\0' && !it->second.empty(),
+             "flag --" + name + " is not a number: " + it->second);
+  return value;
+}
+
+bool Flags::GetBool(const std::string& name, bool default_value) {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return default_value;
+  consumed_[name] = true;
+  if (it->second.empty() || it->second == "true" || it->second == "1") {
+    return true;
+  }
+  if (it->second == "false" || it->second == "0") return false;
+  NB_REQUIRE(false, "flag --" + name + " is not a boolean: " + it->second);
+  return default_value;  // unreachable
+}
+
+bool Flags::Has(const std::string& name) const {
+  return values_.count(name) > 0;
+}
+
+std::vector<std::string> Flags::UnconsumedFlags() const {
+  std::vector<std::string> unconsumed;
+  for (const auto& [name, value] : values_) {
+    (void)value;
+    if (!consumed_.count(name)) unconsumed.push_back(name);
+  }
+  return unconsumed;
+}
+
+}  // namespace noisybeeps

@@ -1,0 +1,46 @@
+// A minimal command-line flag parser for the library's tools and
+// examples: --key=value and --key value forms, typed accessors with
+// defaults, and unknown-flag detection.  Deliberately tiny -- no external
+// dependency, no registration globals.
+#ifndef NOISYBEEPS_UTIL_FLAGS_H_
+#define NOISYBEEPS_UTIL_FLAGS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace noisybeeps {
+
+class Flags {
+ public:
+  // Parses argv[1..).  Throws std::invalid_argument on malformed input
+  // (a non--- token where a flag was expected).
+  Flags(int argc, const char* const* argv);
+
+  // Typed accessors; the flag is marked as consumed.  Value conversion
+  // errors throw std::invalid_argument.
+  [[nodiscard]] std::string GetString(const std::string& name,
+                                      const std::string& default_value);
+  [[nodiscard]] std::int64_t GetInt(const std::string& name,
+                                    std::int64_t default_value);
+  [[nodiscard]] double GetDouble(const std::string& name,
+                                 double default_value);
+  // Present-without-value flags ("--verbose") and explicit
+  // "--verbose=true/false" both work.
+  [[nodiscard]] bool GetBool(const std::string& name, bool default_value);
+
+  [[nodiscard]] bool Has(const std::string& name) const;
+
+  // Flags that were supplied but never consumed by a Get* call -- use to
+  // reject typos.
+  [[nodiscard]] std::vector<std::string> UnconsumedFlags() const;
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::map<std::string, bool> consumed_;
+};
+
+}  // namespace noisybeeps
+
+#endif  // NOISYBEEPS_UTIL_FLAGS_H_

@@ -1,0 +1,34 @@
+// Precondition checking for the noisybeeps library.
+//
+// NB_REQUIRE(cond, msg) throws std::invalid_argument when a documented API
+// precondition is violated.  Preconditions are part of every public contract
+// in this library and are always checked (they guard O(1) conditions only;
+// expensive invariants are checked in tests instead).
+#ifndef NOISYBEEPS_UTIL_REQUIRE_H_
+#define NOISYBEEPS_UTIL_REQUIRE_H_
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace noisybeeps::internal {
+
+[[noreturn]] inline void RequireFailed(const char* condition, const char* file,
+                                       int line, const std::string& message) {
+  std::ostringstream os;
+  os << "precondition violated: (" << condition << ") at " << file << ":"
+     << line;
+  if (!message.empty()) os << " -- " << message;
+  throw std::invalid_argument(os.str());
+}
+
+}  // namespace noisybeeps::internal
+
+#define NB_REQUIRE(cond, msg)                                               \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      ::noisybeeps::internal::RequireFailed(#cond, __FILE__, __LINE__, msg); \
+    }                                                                       \
+  } while (false)
+
+#endif  // NOISYBEEPS_UTIL_REQUIRE_H_

@@ -1,0 +1,46 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/require.h"
+
+namespace noisybeeps {
+
+void RunningStat::Add(double value) {
+  if (count_ == 0) {
+    min_ = value;
+    max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+  const double delta = value - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (value - mean_);
+}
+
+double RunningStat::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStat::stddev() const { return std::sqrt(variance()); }
+
+WilsonInterval WilsonScoreInterval(std::size_t successes, std::size_t trials,
+                                   double z) {
+  NB_REQUIRE(trials > 0, "Wilson interval needs at least one trial");
+  NB_REQUIRE(successes <= trials, "more successes than trials");
+  const double n = static_cast<double>(trials);
+  const double p = static_cast<double>(successes) / n;
+  const double z2 = z * z;
+  const double denom = 1.0 + z2 / n;
+  const double center = p + z2 / (2.0 * n);
+  const double margin =
+      z * std::sqrt(p * (1.0 - p) / n + z2 / (4.0 * n * n));
+  return WilsonInterval{std::max(0.0, (center - margin) / denom),
+                        std::min(1.0, (center + margin) / denom)};
+}
+
+}  // namespace noisybeeps

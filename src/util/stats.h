@@ -1,0 +1,69 @@
+// Streaming statistics used by benchmarks and Monte Carlo experiments:
+// running moments (Welford) and binomial confidence intervals (Wilson).
+#ifndef NOISYBEEPS_UTIL_STATS_H_
+#define NOISYBEEPS_UTIL_STATS_H_
+
+#include <cstddef>
+
+namespace noisybeeps {
+
+// Numerically stable running mean / variance (Welford's algorithm).
+class RunningStat {
+ public:
+  void Add(double value);
+
+  [[nodiscard]] std::size_t count() const { return count_; }
+  [[nodiscard]] double mean() const { return mean_; }
+  // Sample variance (n-1 denominator); 0 for fewer than two samples.
+  [[nodiscard]] double variance() const;
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const { return min_; }
+  [[nodiscard]] double max() const { return max_; }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+// A two-sided Wilson score interval for a binomial proportion.
+struct WilsonInterval {
+  double low;
+  double high;
+};
+
+// Wilson interval at confidence level given by z (1.96 ~ 95%).
+// Preconditions: trials > 0, 0 <= successes <= trials.
+[[nodiscard]] WilsonInterval WilsonScoreInterval(std::size_t successes,
+                                                 std::size_t trials,
+                                                 double z = 1.96);
+
+// Counter for success/failure experiments.
+class SuccessCounter {
+ public:
+  void Record(bool success) {
+    ++trials_;
+    if (success) ++successes_;
+  }
+
+  [[nodiscard]] std::size_t trials() const { return trials_; }
+  [[nodiscard]] std::size_t successes() const { return successes_; }
+  [[nodiscard]] double rate() const {
+    return trials_ == 0 ? 0.0
+                        : static_cast<double>(successes_) /
+                              static_cast<double>(trials_);
+  }
+  [[nodiscard]] WilsonInterval interval(double z = 1.96) const {
+    return WilsonScoreInterval(successes_, trials_ == 0 ? 1 : trials_, z);
+  }
+
+ private:
+  std::size_t trials_ = 0;
+  std::size_t successes_ = 0;
+};
+
+}  // namespace noisybeeps
+
+#endif  // NOISYBEEPS_UTIL_STATS_H_

@@ -1,0 +1,84 @@
+#include "analysis/entropy.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace noisybeeps {
+namespace {
+
+TEST(EntropyBits, UniformDistribution) {
+  const std::vector<double> uniform(8, 0.125);
+  EXPECT_NEAR(EntropyBits(uniform), 3.0, 1e-12);
+}
+
+TEST(EntropyBits, PointMassIsZero) {
+  const std::vector<double> point{0.0, 1.0, 0.0};
+  EXPECT_DOUBLE_EQ(EntropyBits(point), 0.0);
+}
+
+TEST(EntropyBits, BiasedCoin) {
+  const std::vector<double> coin{0.25, 0.75};
+  const double expected = -(0.25 * std::log2(0.25) + 0.75 * std::log2(0.75));
+  EXPECT_NEAR(EntropyBits(coin), expected, 1e-12);
+}
+
+TEST(EntropyBits, RejectsNegativeEntries) {
+  const std::vector<double> bad{-0.1, 1.1};
+  EXPECT_THROW((void)EntropyBits(bad), std::invalid_argument);
+}
+
+TEST(LogSumExp2, MatchesDirectSum) {
+  const std::vector<double> values{1.0, 2.0, 3.0};
+  EXPECT_NEAR(LogSumExp2(values), std::log2(2.0 + 4.0 + 8.0), 1e-12);
+}
+
+TEST(LogSumExp2, StableForTinyLogWeights) {
+  // Direct exponentiation of -1100 underflows; the stable version must
+  // return the analytic value -1100 + log2(3).
+  const std::vector<double> values{-1100.0, -1100.0, -1100.0};
+  EXPECT_NEAR(LogSumExp2(values), -1100.0 + std::log2(3.0), 1e-9);
+}
+
+TEST(LogSumExp2, HandlesMinusInfinityEntries) {
+  const double ninf = -std::numeric_limits<double>::infinity();
+  const std::vector<double> values{ninf, 2.0, ninf};
+  EXPECT_NEAR(LogSumExp2(values), 2.0, 1e-12);
+  const std::vector<double> all_ninf{ninf, ninf};
+  EXPECT_EQ(LogSumExp2(all_ninf), ninf);
+}
+
+TEST(LogSumExp2, RejectsEmpty) {
+  EXPECT_THROW((void)LogSumExp2(std::vector<double>{}),
+               std::invalid_argument);
+}
+
+TEST(NormalizeLog2Weights, ProducesDistribution) {
+  const std::vector<double> weights{-500.0, -501.0, -502.0};
+  const std::vector<double> probs = NormalizeLog2Weights(weights);
+  double total = 0;
+  for (double p : probs) total += p;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+  // Ratios preserved: each next weight is half the previous.
+  EXPECT_NEAR(probs[0] / probs[1], 2.0, 1e-9);
+  EXPECT_NEAR(probs[1] / probs[2], 2.0, 1e-9);
+}
+
+TEST(NormalizeLog2Weights, MinusInfinityBecomesZero) {
+  const double ninf = -std::numeric_limits<double>::infinity();
+  const std::vector<double> weights{0.0, ninf};
+  const std::vector<double> probs = NormalizeLog2Weights(weights);
+  EXPECT_NEAR(probs[0], 1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(probs[1], 0.0);
+}
+
+TEST(NormalizeLog2Weights, AllInfeasibleThrows) {
+  const double ninf = -std::numeric_limits<double>::infinity();
+  EXPECT_THROW((void)NormalizeLog2Weights(std::vector<double>{ninf, ninf}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace noisybeeps

@@ -1,0 +1,95 @@
+#include "analysis/feasible_sets.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "channel/one_sided.h"
+#include "protocol/executor.h"
+#include "tasks/input_set.h"
+#include "util/rng.h"
+
+namespace noisybeeps {
+namespace {
+
+TEST(FeasibleSet, EmptyTranscriptAllowsEverything) {
+  const auto family = MakeInputSetFamily(4);
+  const std::vector<int> s = FeasibleSet(*family, 0, BitString());
+  EXPECT_EQ(s.size(), 8u);
+}
+
+TEST(FeasibleSet, ZeroRoundExcludesMatchingInput) {
+  // Trivial InputSet protocol: a 0 in round m rules out input m.
+  const auto family = MakeInputSetFamily(3);  // universe 6
+  const BitString pi = BitString::FromString("010");
+  const std::vector<int> s = FeasibleSet(*family, 1, pi);
+  // Rounds 0 and 2 were 0 -> inputs 0 and 2 infeasible; 1,3,4,5 remain.
+  EXPECT_EQ(s, (std::vector<int>{1, 3, 4, 5}));
+}
+
+TEST(FeasibleSet, AllZeroTranscriptLeavesOnlyLateInputs) {
+  const auto family = MakeInputSetFamily(3);
+  const BitString pi = BitString::FromString("000000");
+  const std::vector<int> s = FeasibleSet(*family, 0, pi);
+  EXPECT_TRUE(s.empty());  // every input would have beeped somewhere
+}
+
+TEST(FeasibleSet, OnesNeverExclude) {
+  const auto family = MakeInputSetFamily(3);
+  const BitString pi = BitString::FromString("111111");
+  const std::vector<int> s = FeasibleSet(*family, 2, pi);
+  EXPECT_EQ(s.size(), 6u);
+}
+
+TEST(FeasibleSet, RepetitionProtocolExcludesPerLogicalRound) {
+  const auto family = MakeInputSetFamily(2, 3);  // universe 4, r=3, T=12
+  // First logical round reads 0 0 0; second reads 1 1 1 (partial pi).
+  const BitString pi = BitString::FromString("000111");
+  const std::vector<int> s = FeasibleSet(*family, 0, pi);
+  EXPECT_EQ(s, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(FeasibleSet, TrueInputIsAlwaysFeasibleInConsistentExecutions) {
+  // Run the real protocol on a one-sided-up channel: the actual inputs
+  // must survive in the feasible sets (0s certify silence, and the true
+  // parties were indeed silent there).
+  Rng rng(1);
+  const OneSidedUpChannel channel(1.0 / 3.0);
+  const int n = 6;
+  const auto family = MakeInputSetFamily(n);
+  for (int trial = 0; trial < 10; ++trial) {
+    const InputSetInstance instance = SampleInputSet(n, rng);
+    const auto protocol = MakeInputSetProtocol(instance);
+    const ExecutionResult run = Execute(*protocol, channel, rng);
+    const auto sets = AllFeasibleSets(*family, run.shared());
+    for (int i = 0; i < n; ++i) {
+      EXPECT_TRUE(std::binary_search(sets[i].begin(), sets[i].end(),
+                                     instance.inputs[i]))
+          << "party " << i;
+    }
+  }
+}
+
+TEST(FeasibleSet, MoreZerosShrinkTheSet) {
+  const auto family = MakeInputSetFamily(4);  // universe 8
+  std::size_t prev = 9;
+  for (int zeros = 0; zeros <= 8; ++zeros) {
+    BitString pi;
+    for (int m = 0; m < 8; ++m) pi.PushBack(m >= zeros);
+    const std::vector<int> s = FeasibleSet(*family, 0, pi);
+    EXPECT_EQ(s.size(), 8u - zeros);
+    EXPECT_LT(s.size(), prev);
+    prev = s.size();
+  }
+}
+
+TEST(FeasibleSet, ValidatesArguments) {
+  const auto family = MakeInputSetFamily(2);
+  EXPECT_THROW((void)FeasibleSet(*family, 2, BitString()),
+               std::invalid_argument);
+  EXPECT_THROW((void)FeasibleSet(*family, 0, BitString(100)),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace noisybeeps

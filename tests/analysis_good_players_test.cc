@@ -1,0 +1,88 @@
+#include "analysis/good_players.h"
+
+#include <gtest/gtest.h>
+
+#include "analysis/feasible_sets.h"
+#include "channel/one_sided.h"
+#include "protocol/executor.h"
+#include "tasks/input_set.h"
+#include "util/math.h"
+#include "util/rng.h"
+
+namespace noisybeeps {
+namespace {
+
+TEST(UniqueInputPlayers, IdentifiesSingletons) {
+  EXPECT_EQ(UniqueInputPlayers({3, 1, 3, 7}), (std::vector<int>{1, 3}));
+  EXPECT_EQ(UniqueInputPlayers({5, 5}), (std::vector<int>{}));
+  EXPECT_EQ(UniqueInputPlayers({2}), (std::vector<int>{0}));
+}
+
+TEST(LargeFeasiblePlayers, ThresholdIsSqrtN) {
+  // n = 4 parties -> threshold 2: sets of size 3 qualify, size 2 do not.
+  std::vector<std::vector<int>> sets{{1, 2, 3}, {1, 2}, {1, 2, 3, 4}, {}};
+  EXPECT_EQ(LargeFeasiblePlayers(sets), (std::vector<int>{0, 2}));
+}
+
+TEST(GoodPlayers, IntersectionOfBothConditions) {
+  const auto family = MakeInputSetFamily(4);  // universe 8, sqrt(4)=2
+  // Transcript all ones: every feasible set is full (8 > 2), so G == G_1.
+  const BitString pi = BitString::FromString("11111111");
+  const std::vector<int> x{0, 0, 3, 5};  // parties 2, 3 unique
+  EXPECT_EQ(GoodPlayers(*family, x, pi), (std::vector<int>{2, 3}));
+}
+
+TEST(GoodPlayers, ManyZerosDisqualifyEveryone) {
+  const auto family = MakeInputSetFamily(4);
+  // 7 zero rounds leave feasible sets of size 1 <= 2 = sqrt threshold...
+  const BitString pi = BitString::FromString("00000001");
+  const std::vector<int> x{0, 1, 2, 3};
+  EXPECT_TRUE(GoodPlayers(*family, x, pi).empty());
+}
+
+TEST(EventGood, QuarterThreshold) {
+  EXPECT_TRUE(EventGoodHolds(4, 16));
+  EXPECT_FALSE(EventGoodHolds(3, 16));
+  EXPECT_TRUE(EventGoodHolds(1, 4));
+  EXPECT_TRUE(EventGoodHolds(5, 4));
+}
+
+TEST(GoodPlayers, G1IsLargeWithHighProbability) {
+  // Lemma B.8 flavor: with inputs uniform over [2n], at least n/3 parties
+  // are unique with probability >= 2/5 (empirically much higher).
+  Rng rng(1);
+  const int n = 32;
+  int big = 0;
+  constexpr int kTrials = 300;
+  for (int t = 0; t < kTrials; ++t) {
+    const InputSetInstance instance = SampleInputSet(n, rng);
+    if (3 * UniqueInputPlayers(instance.inputs).size() >=
+        static_cast<std::size_t>(n)) {
+      ++big;
+    }
+  }
+  EXPECT_GE(big, kTrials * 2 / 5);
+}
+
+TEST(GoodPlayers, EventGoodFrequentOnShortProtocolExecutions) {
+  // For the trivial (short!) protocol on the one-sided channel, the event
+  // G should hold for a constant fraction of executions (Lemma C.5 says
+  // Pr[not G] <= 2/3).
+  Rng rng(2);
+  const OneSidedUpChannel channel(1.0 / 3.0);
+  const int n = 16;
+  const auto family = MakeInputSetFamily(n);
+  int good_events = 0;
+  constexpr int kTrials = 60;
+  for (int t = 0; t < kTrials; ++t) {
+    const InputSetInstance instance = SampleInputSet(n, rng);
+    const auto protocol = MakeInputSetProtocol(instance);
+    const ExecutionResult run = Execute(*protocol, channel, rng);
+    const auto good = GoodPlayers(*family, instance.inputs, run.shared());
+    good_events += EventGoodHolds(good.size(), n);
+  }
+  EXPECT_GE(good_events, kTrials / 3);
+}
+
+}  // namespace
+}  // namespace noisybeeps

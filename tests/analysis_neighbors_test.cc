@@ -1,0 +1,75 @@
+#include "analysis/neighbors.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace noisybeeps {
+namespace {
+
+// Brute-force |N^i(x)|: try every alternative input for party i and
+// compare the sets L(x) and L(x').
+std::vector<std::size_t> BruteForceCounts(const InputSetInstance& instance) {
+  const int n = instance.num_parties();
+  const int universe = instance.universe_size();
+  const PartyOutput base = InputSetExpectedOutput(instance);
+  std::vector<std::size_t> counts(n, 0);
+  for (int i = 0; i < n; ++i) {
+    for (int y = 0; y < universe; ++y) {
+      if (y == instance.inputs[i]) continue;
+      InputSetInstance modified = instance;
+      modified.inputs[i] = y;
+      if (InputSetExpectedOutput(modified) != base) ++counts[i];
+    }
+  }
+  return counts;
+}
+
+TEST(Neighbors, MatchesBruteForceOnRandomInstances) {
+  Rng rng(1);
+  for (int trial = 0; trial < 30; ++trial) {
+    const int n = 1 + static_cast<int>(rng.UniformInt(8));
+    const InputSetInstance instance = SampleInputSet(n, rng);
+    EXPECT_EQ(NeighborCountsPerParty(instance), BruteForceCounts(instance))
+        << "trial " << trial;
+  }
+}
+
+TEST(Neighbors, UniqueInputPartyHasMaximalCount) {
+  InputSetInstance instance;
+  instance.inputs = {0, 1, 2, 3};  // all unique, universe 8
+  const auto counts = NeighborCountsPerParty(instance);
+  for (std::size_t c : counts) EXPECT_EQ(c, 7u);  // any change alters L
+  EXPECT_EQ(TotalNeighborCount(instance), 28u);
+}
+
+TEST(Neighbors, DuplicatedInputPartyCountsOnlyAdditions) {
+  InputSetInstance instance;
+  instance.inputs = {5, 5};  // universe 4? no -- n=2, universe 4; 5 invalid
+  instance.inputs = {3, 3};  // n=2, universe 4, |L| = 1
+  const auto counts = NeighborCountsPerParty(instance);
+  // Changing one copy of 3 to y: L changes iff y not in {3} -> 3 options.
+  EXPECT_EQ(counts[0], 3u);
+  EXPECT_EQ(counts[1], 3u);
+}
+
+TEST(Neighbors, TotalIsQuadraticForTypicalInputs) {
+  // Section 2.3: |N(x)| = Theta(n^2) for a constant fraction of uniform x.
+  Rng rng(2);
+  const int n = 32;
+  int quadratic = 0;
+  constexpr int kTrials = 200;
+  for (int t = 0; t < kTrials; ++t) {
+    const InputSetInstance instance = SampleInputSet(n, rng);
+    // Threshold n^2 / 4 comfortably below the typical ~ (2n-1) * (unique
+    // fraction) * n.
+    if (TotalNeighborCount(instance) >=
+        static_cast<std::size_t>(n) * n / 4) {
+      ++quadratic;
+    }
+  }
+  EXPECT_GE(quadratic, kTrials * 9 / 10);
+}
+
+}  // namespace
+}  // namespace noisybeeps

@@ -1,0 +1,138 @@
+#include "analysis/posterior.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/feasible_sets.h"
+#include "channel/one_sided.h"
+#include "protocol/executor.h"
+#include "tasks/input_set.h"
+#include "util/rng.h"
+
+namespace noisybeeps {
+namespace {
+
+constexpr double kEps = 1.0 / 3.0;
+
+TEST(ExactPosterior, EmptyTranscriptGivesPrior) {
+  const auto family = MakeInputSetFamily(2);  // universe 4, 16 vectors
+  const PosteriorResult result = ExactPosterior(*family, BitString(), kEps);
+  EXPECT_NEAR(result.entropy_bits, 2 * std::log2(4.0), 1e-9);
+  EXPECT_NEAR(result.log2_prob_pi, 0.0, 1e-9);
+  for (double h : result.marginal_entropy_bits) {
+    EXPECT_NEAR(h, 2.0, 1e-9);
+  }
+  for (std::size_t s : result.support_size) EXPECT_EQ(s, 4u);
+}
+
+TEST(ExactPosterior, AllOnesTranscriptKeepsEntropyHigh) {
+  // Ones carry little information under the trivial protocol (every input
+  // stays feasible; only likelihood reweighting applies).
+  const auto family = MakeInputSetFamily(2);
+  const BitString pi = BitString::FromString("1111");
+  const PosteriorResult result = ExactPosterior(*family, pi, kEps);
+  EXPECT_GT(result.entropy_bits, 3.0);
+  for (std::size_t s : result.support_size) EXPECT_EQ(s, 4u);
+}
+
+TEST(ExactPosterior, ZerosCutSupportToFeasibleSets) {
+  const auto family = MakeInputSetFamily(2);
+  const BitString pi = BitString::FromString("0011");
+  const PosteriorResult result = ExactPosterior(*family, pi, kEps);
+  const auto sets = AllFeasibleSets(*family, pi);
+  for (int i = 0; i < 2; ++i) {
+    EXPECT_EQ(result.support_size[i], sets[i].size());
+  }
+}
+
+TEST(ExactPosterior, TranscriptProbabilitiesSumToOne) {
+  // Sum of Pr(pi) over all 2^T transcripts must be 1.
+  const auto family = MakeInputSetFamily(2);  // T = 4
+  double total = 0.0;
+  int infeasible = 0;
+  for (unsigned mask = 0; mask < 16; ++mask) {
+    BitString pi;
+    for (int m = 0; m < 4; ++m) pi.PushBack((mask >> m) & 1);
+    const PosteriorResult result = ExactPosterior(*family, pi, kEps);
+    if (result.feasible) {
+      total += std::exp2(result.log2_prob_pi);
+    } else {
+      ++infeasible;
+    }
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+  // The all-zero transcript (among others) is impossible: every input
+  // vector beeps somewhere, and one-sided-up noise cannot erase beeps.
+  EXPECT_GE(infeasible, 1);
+}
+
+TEST(ExactPosterior, ObservationC4HoldsOnExecutions) {
+  // H(X | pi) <= sum_i log2 |S^i(pi)| (subadditivity + support bound).
+  Rng rng(1);
+  const OneSidedUpChannel channel(kEps);
+  const int n = 3;
+  const auto family = MakeInputSetFamily(n);
+  for (int trial = 0; trial < 15; ++trial) {
+    const InputSetInstance instance = SampleInputSet(n, rng);
+    const auto protocol = MakeInputSetProtocol(instance);
+    const ExecutionResult run = Execute(*protocol, channel, rng);
+    const PosteriorResult posterior =
+        ExactPosterior(*family, run.shared(), kEps);
+    const auto sets = AllFeasibleSets(*family, run.shared());
+    double rhs = 0.0;
+    for (const auto& s : sets) {
+      ASSERT_FALSE(s.empty());
+      rhs += std::log2(static_cast<double>(s.size()));
+    }
+    EXPECT_LE(posterior.entropy_bits, rhs + 1e-9) << trial;
+    // Marginal subadditivity too.
+    double marginal_sum = 0.0;
+    for (double h : posterior.marginal_entropy_bits) marginal_sum += h;
+    EXPECT_LE(posterior.entropy_bits, marginal_sum + 1e-9);
+  }
+}
+
+TEST(ExactPosterior, SupportEqualsFeasibleSetUnderOneSidedNoise) {
+  Rng rng(2);
+  const OneSidedUpChannel channel(kEps);
+  const int n = 3;
+  const auto family = MakeInputSetFamily(n);
+  const InputSetInstance instance = SampleInputSet(n, rng);
+  const auto protocol = MakeInputSetProtocol(instance);
+  const ExecutionResult run = Execute(*protocol, channel, rng);
+  const PosteriorResult posterior =
+      ExactPosterior(*family, run.shared(), kEps);
+  const auto sets = AllFeasibleSets(*family, run.shared());
+  for (int i = 0; i < n; ++i) {
+    EXPECT_EQ(posterior.support_size[i], sets[i].size());
+  }
+}
+
+TEST(ExactPosterior, ShortTranscriptsLeaveEntropyNearPrior) {
+  // The information-theoretic heart of Lemma C.5: a T-bit transcript can
+  // remove at most T bits of entropy.
+  Rng rng(3);
+  const OneSidedUpChannel channel(kEps);
+  const int n = 3;
+  const auto family = MakeInputSetFamily(n);
+  const double prior_bits = n * std::log2(2.0 * n);
+  for (int trial = 0; trial < 10; ++trial) {
+    const InputSetInstance instance = SampleInputSet(n, rng);
+    const auto protocol = MakeInputSetProtocol(instance);
+    const ExecutionResult run = Execute(*protocol, channel, rng);
+    const PosteriorResult posterior =
+        ExactPosterior(*family, run.shared(), kEps);
+    EXPECT_GE(posterior.entropy_bits,
+              prior_bits - static_cast<double>(run.shared().size()) - 1e-9);
+  }
+}
+
+TEST(ExactPosterior, RejectsOversizedEnumeration) {
+  const auto family = MakeInputSetFamily(16);  // 32^16 vectors: way too big
+  EXPECT_THROW((void)ExactPosterior(*family, BitString(), kEps),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace noisybeeps

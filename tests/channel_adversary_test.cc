@@ -1,0 +1,103 @@
+#include "channel/adversary.h"
+
+#include <gtest/gtest.h>
+
+#include "channel/one_sided.h"
+#include "tasks/input_set.h"
+#include "coding/rewind_sim.h"
+#include "util/rng.h"
+
+namespace noisybeeps {
+namespace {
+
+double FlipRate(const Channel& channel, bool or_bit, int trials, Rng& rng) {
+  std::vector<std::uint8_t> received(2, 0);
+  int flips = 0;
+  for (int t = 0; t < trials; ++t) {
+    channel.Deliver(or_bit, received, rng);
+    flips += (received[0] != 0) != or_bit;
+  }
+  return static_cast<double>(flips) / trials;
+}
+
+TEST(AdversaryChannel, ValidatesParameters) {
+  EXPECT_THROW(
+      AdversarialCorrectionChannel(0.5, CorrectionPolicy::kNever),
+      std::invalid_argument);
+  EXPECT_NO_THROW(
+      AdversarialCorrectionChannel(0.0, CorrectionPolicy::kCorrectAll));
+}
+
+TEST(AdversaryChannel, NeverPolicyIsPlainTwoSidedNoise) {
+  const AdversarialCorrectionChannel channel(0.2, CorrectionPolicy::kNever);
+  Rng rng(1);
+  EXPECT_NEAR(FlipRate(channel, false, 60000, rng), 0.2, 0.01);
+  EXPECT_NEAR(FlipRate(channel, true, 60000, rng), 0.2, 0.01);
+}
+
+TEST(AdversaryChannel, CorrectDropsEqualsOneSidedUp) {
+  // The A.1.2 claim: an adversary reverting every 1->0 flip turns the
+  // two-sided channel into the one-sided-up channel, distributionally.
+  const AdversarialCorrectionChannel channel(0.25,
+                                             CorrectionPolicy::kCorrectDrops);
+  Rng rng(2);
+  EXPECT_DOUBLE_EQ(FlipRate(channel, true, 40000, rng), 0.0);
+  EXPECT_NEAR(FlipRate(channel, false, 60000, rng), 0.25, 0.01);
+}
+
+TEST(AdversaryChannel, CorrectSpuriousEqualsOneSidedDown) {
+  const AdversarialCorrectionChannel channel(
+      0.25, CorrectionPolicy::kCorrectSpurious);
+  Rng rng(3);
+  EXPECT_DOUBLE_EQ(FlipRate(channel, false, 40000, rng), 0.0);
+  EXPECT_NEAR(FlipRate(channel, true, 60000, rng), 0.25, 0.01);
+}
+
+TEST(AdversaryChannel, CorrectAllIsNoiseless) {
+  const AdversarialCorrectionChannel channel(0.4,
+                                             CorrectionPolicy::kCorrectAll);
+  Rng rng(4);
+  EXPECT_DOUBLE_EQ(FlipRate(channel, false, 20000, rng), 0.0);
+  EXPECT_DOUBLE_EQ(FlipRate(channel, true, 20000, rng), 0.0);
+}
+
+TEST(AdversaryChannel, DropCorrectingAdversaryMakesDownPresetUnsound) {
+  // Against kCorrectDrops the channel is effectively one-sided-UP, so the
+  // constant-overhead down-preset (which trusts received 1s) must fail --
+  // the concrete content of "the adversary prohibits relying on the noise
+  // being exactly what it is".
+  const AdversarialCorrectionChannel channel(0.25,
+                                             CorrectionPolicy::kCorrectDrops);
+  Rng rng(5);
+  const RewindSimulator down(RewindSimOptions::DownOnly());
+  int correct = 0;
+  constexpr int kTrials = 12;
+  for (int t = 0; t < kTrials; ++t) {
+    const InputSetInstance instance = SampleInputSet(16, rng);
+    const auto protocol = MakeInputSetProtocol(instance);
+    const SimulationResult result = down.Simulate(*protocol, channel, rng);
+    correct += !result.budget_exhausted &&
+               result.AllMatch(ReferenceTranscript(*protocol));
+  }
+  EXPECT_LE(correct, kTrials / 3);
+
+  // ...while the two-sided preset (which defends against 0->1) survives.
+  RewindSimOptions options;
+  options.rep_c = 6;
+  options.flag_reps = 30;
+  options.code_length_factor = 8;
+  const RewindSimulator two_sided(options);
+  correct = 0;
+  for (int t = 0; t < kTrials; ++t) {
+    const InputSetInstance instance = SampleInputSet(16, rng);
+    const auto protocol = MakeInputSetProtocol(instance);
+    const SimulationResult result =
+        two_sided.Simulate(*protocol, channel, rng);
+    correct += !result.budget_exhausted &&
+               result.AllMatch(ReferenceTranscript(*protocol));
+  }
+  EXPECT_GE(correct, kTrials - 1);
+}
+
+}  // namespace
+}  // namespace noisybeeps

@@ -1,0 +1,139 @@
+#include "channel/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+
+#include "channel/correlated.h"
+#include "channel/independent.h"
+#include "channel/noiseless.h"
+#include "coding/rewind_sim.h"
+#include "protocol/executor.h"
+#include "tasks/input_set.h"
+#include "util/rng.h"
+
+namespace noisybeeps {
+namespace {
+
+TEST(RecordingChannel, CapturesEveryRound) {
+  Rng rng(1);
+  const CorrelatedNoisyChannel inner(0.2);
+  const RecordingChannel channel(inner);
+  EXPECT_TRUE(channel.is_correlated());
+  const InputSetInstance instance = SampleInputSet(5, rng);
+  const auto protocol = MakeInputSetProtocol(instance);
+  (void)Execute(*protocol, channel, rng);
+  EXPECT_EQ(channel.trace().size(), 10u);
+  for (const TraceRound& round : channel.trace()) {
+    EXPECT_EQ(round.delivered.size(), 5u);
+  }
+}
+
+TEST(RecordingChannel, NoisyRoundCountMatchesHammingDamage) {
+  Rng rng(2);
+  const CorrelatedNoisyChannel inner(0.25);
+  const RecordingChannel channel(inner);
+  const InputSetInstance instance = SampleInputSet(8, rng);
+  const auto protocol = MakeInputSetProtocol(instance);
+  const ExecutionResult run = Execute(*protocol, channel, rng);
+  const BitString reference = ReferenceTranscript(*protocol);
+  EXPECT_EQ(CountNoisyRounds(channel.trace()),
+            run.shared().HammingDistance(reference));
+}
+
+TEST(RecordingChannel, ClearTraceResets) {
+  Rng rng(3);
+  const NoiselessChannel inner;
+  const RecordingChannel channel(inner);
+  std::vector<std::uint8_t> received(2, 0);
+  channel.Deliver(true, received, rng);
+  EXPECT_EQ(channel.trace().size(), 1u);
+  channel.ClearTrace();
+  EXPECT_TRUE(channel.trace().empty());
+}
+
+TEST(ReplayChannel, ReproducesARecordedExecutionExactly) {
+  Rng rng(4);
+  const CorrelatedNoisyChannel inner(0.3);
+  const RecordingChannel recorder(inner);
+  const InputSetInstance instance = SampleInputSet(6, rng);
+  const auto protocol = MakeInputSetProtocol(instance);
+  const ExecutionResult original = Execute(*protocol, recorder, rng);
+
+  // Replay with a completely different rng: identical transcripts.
+  Rng other_rng(999);
+  const ReplayChannel replay(recorder.trace(), recorder.is_correlated());
+  const ExecutionResult replayed = Execute(*protocol, replay, other_rng);
+  EXPECT_EQ(replayed.transcripts, original.transcripts);
+  EXPECT_EQ(replayed.outputs, original.outputs);
+}
+
+TEST(ReplayChannel, RewindAllowsASecondPass) {
+  Rng rng(5);
+  const CorrelatedNoisyChannel inner(0.2);
+  const RecordingChannel recorder(inner);
+  const InputSetInstance instance = SampleInputSet(4, rng);
+  const auto protocol = MakeInputSetProtocol(instance);
+  (void)Execute(*protocol, recorder, rng);
+
+  const ReplayChannel replay(recorder.trace(), true);
+  Rng dummy(0);
+  const ExecutionResult first = Execute(*protocol, replay, dummy);
+  EXPECT_EQ(replay.rounds_remaining(), 0u);
+  replay.Rewind();
+  const ExecutionResult second = Execute(*protocol, replay, dummy);
+  EXPECT_EQ(first.transcripts, second.transcripts);
+}
+
+TEST(ReplayChannel, ExhaustionThrows) {
+  Trace trace(3);
+  for (auto& round : trace) round.delivered = {0, 0};
+  const ReplayChannel replay(std::move(trace), true);
+  Rng rng(6);
+  std::vector<std::uint8_t> received(2, 0);
+  for (int r = 0; r < 3; ++r) replay.Deliver(false, received, rng);
+  EXPECT_THROW(replay.Deliver(false, received, rng), std::out_of_range);
+}
+
+TEST(ReplayChannel, PartyCountMismatchThrows) {
+  Trace trace(1);
+  trace[0].delivered = {1, 0, 1};
+  const ReplayChannel replay(std::move(trace), false);
+  Rng rng(7);
+  std::vector<std::uint8_t> received(2, 0);
+  EXPECT_THROW(replay.Deliver(false, received, rng), std::invalid_argument);
+}
+
+TEST(Trace, CsvFormat) {
+  Trace trace(2);
+  trace[0].or_bit = true;
+  trace[0].delivered = {1, 1};
+  trace[1].or_bit = false;
+  trace[1].delivered = {0, 1};
+  std::ostringstream os;
+  WriteTraceCsv(trace, os);
+  EXPECT_EQ(os.str(), "round,or_bit,delivered\n0,1,11\n1,0,01\n");
+}
+
+TEST(ReplayChannel, SimulatorRunIsReproducibleFromItsTrace) {
+  // Record an entire rewind-scheme run (all phases), then replay: the
+  // committed transcripts come out identical -- the debugging workflow.
+  Rng rng(8);
+  const CorrelatedNoisyChannel inner(0.1);
+  const RecordingChannel recorder(inner);
+  const InputSetInstance instance = SampleInputSet(8, rng);
+  const auto protocol = MakeInputSetProtocol(instance);
+  const RewindSimulator sim;
+  Rng sim_rng(42);
+  const SimulationResult original = sim.Simulate(*protocol, recorder, sim_rng);
+
+  const ReplayChannel replay(recorder.trace(), true);
+  Rng fresh(7777);
+  const SimulationResult replayed = sim.Simulate(*protocol, replay, fresh);
+  EXPECT_EQ(replayed.transcripts, original.transcripts);
+  EXPECT_EQ(replayed.noisy_rounds_used, original.noisy_rounds_used);
+}
+
+}  // namespace
+}  // namespace noisybeeps

@@ -1,0 +1,130 @@
+#include "coding/chunk_sim.h"
+
+#include <gtest/gtest.h>
+
+#include "channel/correlated.h"
+#include "channel/noiseless.h"
+#include "coding/owner_finding.h"
+#include "tasks/bit_exchange.h"
+#include "tasks/input_set.h"
+#include "util/rng.h"
+
+namespace noisybeeps {
+namespace {
+
+TEST(ChunkSim, NoiselessChunkMatchesReferenceSlice) {
+  Rng rng(1);
+  const NoiselessChannel channel;
+  const InputSetInstance instance = SampleInputSet(8, rng);
+  const auto protocol = MakeInputSetProtocol(instance);
+  const BitString reference = ReferenceTranscript(*protocol);
+
+  RoundEngine engine(channel, rng, 8);
+  const std::vector<BitString> committed(8, BitString());
+  const ChunkAttempt attempt =
+      SimulateChunk(*protocol, committed, 0, 8, 3, nullptr, engine);
+  ASSERT_EQ(attempt.candidate.size(), 8u);
+  for (const BitString& c : attempt.candidate) {
+    EXPECT_EQ(c, reference.Prefix(8));
+  }
+  EXPECT_TRUE(attempt.owners.empty());
+}
+
+TEST(ChunkSim, MidProtocolChunkUsesCommittedPrefix) {
+  Rng rng(2);
+  const NoiselessChannel channel;
+  const InputSetInstance instance = SampleInputSet(6, rng);
+  const auto protocol = MakeInputSetProtocol(instance);
+  const BitString reference = ReferenceTranscript(*protocol);
+
+  RoundEngine engine(channel, rng, 6);
+  const std::vector<BitString> committed(6, reference.Prefix(5));
+  const ChunkAttempt attempt =
+      SimulateChunk(*protocol, committed, 5, 4, 1, nullptr, engine);
+  for (const BitString& c : attempt.candidate) {
+    EXPECT_EQ(c, reference.Substring(5, 9));
+  }
+}
+
+TEST(ChunkSim, BeepHistoryMatchesPartyFunctions) {
+  Rng rng(3);
+  const NoiselessChannel channel;
+  const BitExchangeInstance instance = SampleBitExchange(4, 3, rng);
+  const auto protocol = MakeBitExchangeProtocol(instance);
+  RoundEngine engine(channel, rng, 4);
+  const std::vector<BitString> committed(4, BitString());
+  const ChunkAttempt attempt =
+      SimulateChunk(*protocol, committed, 0, 12, 1, nullptr, engine);
+  // Replay and compare the recorded beep history.
+  for (int i = 0; i < 4; ++i) {
+    BitString prefix;
+    for (int m = 0; m < 12; ++m) {
+      EXPECT_EQ(attempt.beeped[i][m], protocol->party(i).ChooseBeep(prefix));
+      prefix.PushBack(attempt.candidate[i][m]);
+    }
+  }
+}
+
+TEST(ChunkSim, OwnerPhaseProducesValidOwnersNoiselessly) {
+  Rng rng(4);
+  const NoiselessChannel channel;
+  const InputSetInstance instance = SampleInputSet(8, rng);
+  const auto protocol = MakeInputSetProtocol(instance);
+  const BitString reference = ReferenceTranscript(*protocol);
+  const BeepCode code(16, 6, 11);
+  RoundEngine engine(channel, rng, 8);
+  const std::vector<BitString> committed(8, BitString());
+  const ChunkAttempt attempt =
+      SimulateChunk(*protocol, committed, 0, 16, 1, &code, engine);
+  ASSERT_EQ(attempt.owners.size(), 8u);
+  OwnerFindingResult as_result;
+  as_result.owners = attempt.owners;
+  EXPECT_TRUE(OwnersValid(as_result, reference.Prefix(16), attempt.beeped));
+}
+
+TEST(ChunkSim, RepetitionDefendsAgainstNoise) {
+  Rng rng(5);
+  const CorrelatedNoisyChannel channel(0.1);
+  const InputSetInstance instance = SampleInputSet(12, rng);
+  const auto protocol = MakeInputSetProtocol(instance);
+  const BitString reference = ReferenceTranscript(*protocol);
+  int good = 0;
+  constexpr int kTrials = 20;
+  for (int t = 0; t < kTrials; ++t) {
+    RoundEngine engine(channel, rng, 12);
+    const std::vector<BitString> committed(12, BitString());
+    const ChunkAttempt attempt =
+        SimulateChunk(*protocol, committed, 0, 24, 17, nullptr, engine);
+    good += attempt.candidate[0] == reference;
+  }
+  EXPECT_GE(good, kTrials - 1);
+}
+
+TEST(ChunkSim, ValidatesArguments) {
+  Rng rng(6);
+  const NoiselessChannel channel;
+  const InputSetInstance instance = SampleInputSet(4, rng);
+  const auto protocol = MakeInputSetProtocol(instance);
+  RoundEngine engine(channel, rng, 4);
+  const std::vector<BitString> committed(4, BitString());
+  // Chunk beyond the protocol end.
+  EXPECT_THROW((void)SimulateChunk(*protocol, committed, 0, 9, 1, nullptr,
+                                   engine),
+               std::invalid_argument);
+  // rep_factor must be positive.
+  EXPECT_THROW((void)SimulateChunk(*protocol, committed, 0, 4, 0, nullptr,
+                                   engine),
+               std::invalid_argument);
+  // Committed prefixes must match `start`.
+  EXPECT_THROW((void)SimulateChunk(*protocol, committed, 2, 2, 1, nullptr,
+                                   engine),
+               std::invalid_argument);
+  // Owner code sized for a different chunk length.
+  const BeepCode code(5, 4, 1);
+  EXPECT_THROW((void)SimulateChunk(*protocol, committed, 0, 4, 1, &code,
+                                   engine),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace noisybeeps

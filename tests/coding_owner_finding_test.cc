@@ -1,0 +1,172 @@
+#include "coding/owner_finding.h"
+
+#include <gtest/gtest.h>
+
+#include "channel/correlated.h"
+#include "channel/noiseless.h"
+#include "channel/one_sided.h"
+#include "util/rng.h"
+
+namespace noisybeeps {
+namespace {
+
+// Builds per-party beep matrices b[i] (chunk_len bits each) and the
+// resulting true transcript pi = OR_i b[i].
+struct OwnerFixture {
+  std::vector<BitString> beeped;
+  BitString pi;
+};
+
+OwnerFixture RandomFixture(int n, int chunk_len, double density, Rng& rng) {
+  OwnerFixture fx;
+  fx.beeped.assign(n, BitString());
+  for (int i = 0; i < n; ++i) {
+    for (int m = 0; m < chunk_len; ++m) {
+      fx.beeped[i].PushBack(rng.Bernoulli(density));
+    }
+  }
+  for (int m = 0; m < chunk_len; ++m) {
+    bool any = false;
+    for (int i = 0; i < n; ++i) any = any || fx.beeped[i][m];
+    fx.pi.PushBack(any);
+  }
+  return fx;
+}
+
+std::vector<BitString> SharedView(const BitString& pi, int n) {
+  return std::vector<BitString>(n, pi);
+}
+
+TEST(OwnerFinding, NoiselessAssignsValidOwners) {
+  Rng rng(1);
+  const NoiselessChannel channel;
+  const int n = 6;
+  const int chunk = 12;
+  const BeepCode code(chunk, 6, 7);
+  for (int trial = 0; trial < 10; ++trial) {
+    const OwnerFixture fx = RandomFixture(n, chunk, 0.2, rng);
+    RoundEngine engine(channel, rng, n);
+    const OwnerFindingResult result =
+        FindOwners(engine, code, SharedView(fx.pi, n), fx.beeped);
+    EXPECT_TRUE(OwnersValid(result, fx.pi, fx.beeped)) << trial;
+  }
+}
+
+TEST(OwnerFinding, ZeroRoundsGetNoOwner) {
+  Rng rng(2);
+  const NoiselessChannel channel;
+  const int n = 4;
+  const int chunk = 8;
+  const BeepCode code(chunk, 6, 7);
+  const OwnerFixture fx = RandomFixture(n, chunk, 0.15, rng);
+  RoundEngine engine(channel, rng, n);
+  const OwnerFindingResult result =
+      FindOwners(engine, code, SharedView(fx.pi, n), fx.beeped);
+  for (int m = 0; m < chunk; ++m) {
+    if (!fx.pi[m]) {
+      for (int i = 0; i < n; ++i) {
+        EXPECT_EQ(result.owners[i][m], -1) << "round " << m;
+      }
+    }
+  }
+}
+
+TEST(OwnerFinding, AllOnesChunkFullyOwned) {
+  // Every party beeps everywhere: all rounds must get owners.
+  Rng rng(3);
+  const NoiselessChannel channel;
+  const int n = 5;
+  const int chunk = 10;
+  const BeepCode code(chunk, 6, 7);
+  OwnerFixture fx;
+  fx.beeped.assign(n, BitString());
+  for (int i = 0; i < n; ++i) {
+    for (int m = 0; m < chunk; ++m) fx.beeped[i].PushBack(true);
+  }
+  for (int m = 0; m < chunk; ++m) fx.pi.PushBack(true);
+  RoundEngine engine(channel, rng, n);
+  const OwnerFindingResult result =
+      FindOwners(engine, code, SharedView(fx.pi, n), fx.beeped);
+  EXPECT_TRUE(OwnersValid(result, fx.pi, fx.beeped));
+  // With everyone able to own everything, party 0 (first turn) should own
+  // every round.
+  for (int m = 0; m < chunk; ++m) {
+    EXPECT_EQ(result.owners[0][m], 0) << m;
+  }
+}
+
+TEST(OwnerFinding, UniqueBeepersGetThemselves) {
+  // Party i beeps exactly in round i: owner of round i must be i.
+  Rng rng(4);
+  const NoiselessChannel channel;
+  const int n = 6;
+  const BeepCode code(n, 6, 7);
+  OwnerFixture fx;
+  fx.beeped.assign(n, BitString());
+  for (int i = 0; i < n; ++i) {
+    for (int m = 0; m < n; ++m) fx.beeped[i].PushBack(m == i);
+  }
+  for (int m = 0; m < n; ++m) fx.pi.PushBack(true);
+  RoundEngine engine(channel, rng, n);
+  const OwnerFindingResult result =
+      FindOwners(engine, code, SharedView(fx.pi, n), fx.beeped);
+  for (int m = 0; m < n; ++m) {
+    for (int i = 0; i < n; ++i) {
+      EXPECT_EQ(result.owners[i][m], m);
+    }
+  }
+}
+
+TEST(OwnerFinding, RoundBudgetIsIterationsTimesCodeword) {
+  Rng rng(5);
+  const NoiselessChannel channel;
+  const int n = 4;
+  const int chunk = 6;
+  const BeepCode code(chunk, 6, 7);
+  const OwnerFixture fx = RandomFixture(n, chunk, 0.3, rng);
+  RoundEngine engine(channel, rng, n);
+  (void)FindOwners(engine, code, SharedView(fx.pi, n), fx.beeped);
+  EXPECT_EQ(engine.rounds_used(),
+            static_cast<std::int64_t>(chunk + n) * code.codeword_length());
+}
+
+class OwnerFindingNoiseTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(OwnerFindingNoiseTest, SurvivesChannelNoiseWithHighProbability) {
+  const double eps = GetParam();
+  Rng rng(6);
+  const OneSidedUpChannel channel(eps);
+  const int n = 8;
+  const int chunk = 16;
+  const BeepCode code(chunk, 8, 7);
+  int good = 0;
+  constexpr int kTrials = 25;
+  for (int t = 0; t < kTrials; ++t) {
+    const OwnerFixture fx = RandomFixture(n, chunk, 0.2, rng);
+    RoundEngine engine(channel, rng, n);
+    const OwnerFindingResult result =
+        FindOwners(engine, code, SharedView(fx.pi, n), fx.beeped);
+    good += OwnersValid(result, fx.pi, fx.beeped);
+  }
+  EXPECT_GE(good, kTrials - 2) << "eps=" << eps;
+}
+
+INSTANTIATE_TEST_SUITE_P(NoiseRates, OwnerFindingNoiseTest,
+                         ::testing::Values(0.02, 0.05, 0.10));
+
+TEST(OwnerFinding, ValidatesShapes) {
+  Rng rng(7);
+  const NoiselessChannel channel;
+  RoundEngine engine(channel, rng, 3);
+  const BeepCode code(4, 4, 1);
+  const std::vector<BitString> wrong_count(2, BitString(4));
+  const std::vector<BitString> ok(3, BitString(4));
+  const std::vector<BitString> wrong_len(3, BitString(5));
+  EXPECT_THROW((void)FindOwners(engine, code, wrong_count, wrong_count),
+               std::invalid_argument);
+  EXPECT_THROW((void)FindOwners(engine, code, ok, wrong_len),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace noisybeeps

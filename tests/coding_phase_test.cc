@@ -1,0 +1,78 @@
+// Phase accounting: every simulator labels where its noisy rounds go, the
+// labels partition the total, and the split matches the scheme's design
+// (e.g. the down-only preset never runs an owner phase).
+#include <gtest/gtest.h>
+
+#include "channel/correlated.h"
+#include "channel/one_sided.h"
+#include "coding/hierarchical_sim.h"
+#include "coding/repetition_sim.h"
+#include "coding/rewind_sim.h"
+#include "tasks/input_set.h"
+#include "util/rng.h"
+
+namespace noisybeeps {
+namespace {
+
+std::int64_t PhaseSum(const SimulationResult& result) {
+  std::int64_t total = 0;
+  for (const auto& [phase, rounds] : result.phase_rounds) total += rounds;
+  return total;
+}
+
+TEST(PhaseAccounting, RepetitionSimIsAllRepetition) {
+  Rng rng(1);
+  const CorrelatedNoisyChannel channel(0.05);
+  const RepetitionSimulator sim;
+  const InputSetInstance instance = SampleInputSet(8, rng);
+  const auto protocol = MakeInputSetProtocol(instance);
+  const SimulationResult result = sim.Simulate(*protocol, channel, rng);
+  EXPECT_EQ(PhaseSum(result), result.noisy_rounds_used);
+  ASSERT_EQ(result.phase_rounds.size(), 1u);
+  EXPECT_EQ(result.phase_rounds.begin()->first, "repetition");
+}
+
+TEST(PhaseAccounting, RewindTwoSidedHasAllThreePhases) {
+  Rng rng(2);
+  const CorrelatedNoisyChannel channel(0.05);
+  const RewindSimulator sim;
+  const InputSetInstance instance = SampleInputSet(12, rng);
+  const auto protocol = MakeInputSetProtocol(instance);
+  const SimulationResult result = sim.Simulate(*protocol, channel, rng);
+  EXPECT_EQ(PhaseSum(result), result.noisy_rounds_used);
+  EXPECT_TRUE(result.phase_rounds.count("chunk-sim"));
+  EXPECT_TRUE(result.phase_rounds.count("owner-finding"));
+  EXPECT_TRUE(result.phase_rounds.count("verify-flags"));
+  // The owner phase dominates at these parameters (it is the log n tax).
+  EXPECT_GT(result.phase_rounds.at("owner-finding"),
+            result.phase_rounds.at("chunk-sim"));
+}
+
+TEST(PhaseAccounting, DownOnlyPresetSkipsOwners) {
+  Rng rng(3);
+  const OneSidedDownChannel channel(0.1);
+  const RewindSimulator sim(RewindSimOptions::DownOnly());
+  const InputSetInstance instance = SampleInputSet(12, rng);
+  const auto protocol = MakeInputSetProtocol(instance);
+  const SimulationResult result = sim.Simulate(*protocol, channel, rng);
+  EXPECT_EQ(PhaseSum(result), result.noisy_rounds_used);
+  EXPECT_EQ(result.phase_rounds.count("owner-finding"), 0u);
+  EXPECT_TRUE(result.phase_rounds.count("chunk-sim"));
+  EXPECT_TRUE(result.phase_rounds.count("verify-flags"));
+}
+
+TEST(PhaseAccounting, HierarchicalAddsAuditPhase) {
+  Rng rng(4);
+  const CorrelatedNoisyChannel channel(0.05);
+  const HierarchicalSimulator sim;
+  const InputSetInstance instance = SampleInputSet(12, rng);
+  const auto protocol = MakeInputSetProtocol(instance);
+  const SimulationResult result = sim.Simulate(*protocol, channel, rng);
+  EXPECT_EQ(PhaseSum(result), result.noisy_rounds_used);
+  EXPECT_TRUE(result.phase_rounds.count("audit"));
+  // The audit tax must be a minority of the budget.
+  EXPECT_LT(result.phase_rounds.at("audit"), result.noisy_rounds_used / 2);
+}
+
+}  // namespace
+}  // namespace noisybeeps

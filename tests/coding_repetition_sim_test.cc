@@ -1,0 +1,122 @@
+#include "coding/repetition_sim.h"
+
+#include <gtest/gtest.h>
+
+#include "channel/correlated.h"
+#include "channel/independent.h"
+#include "channel/noiseless.h"
+#include "channel/one_sided.h"
+#include "tasks/adaptive_find.h"
+#include "tasks/input_set.h"
+#include "tasks/leader_election.h"
+#include "util/rng.h"
+
+namespace noisybeeps {
+namespace {
+
+TEST(RepetitionSim, NoiselessChannelIsExact) {
+  Rng rng(1);
+  const NoiselessChannel channel;
+  const RepetitionSimulator sim(RepetitionSimOptions{.rep_factor = 3});
+  const InputSetInstance instance = SampleInputSet(8, rng);
+  const auto protocol = MakeInputSetProtocol(instance);
+  const SimulationResult result = sim.Simulate(*protocol, channel, rng);
+  EXPECT_TRUE(result.AllMatch(ReferenceTranscript(*protocol)));
+  EXPECT_EQ(result.noisy_rounds_used, 3 * protocol->length());
+  EXPECT_FALSE(result.budget_exhausted);
+}
+
+TEST(RepetitionSim, DefaultRepFactorScalesWithLogN) {
+  const RepetitionSimulator sim(RepetitionSimOptions{.rep_c = 4});
+  EXPECT_EQ(sim.EffectiveRepFactor(2), 4 * 1 + 1);
+  EXPECT_EQ(sim.EffectiveRepFactor(16), 4 * 4 + 1);
+  EXPECT_EQ(sim.EffectiveRepFactor(1024), 4 * 10 + 1);
+}
+
+TEST(RepetitionSim, RecoversInputSetUnderCorrelatedNoise) {
+  Rng rng(2);
+  const CorrelatedNoisyChannel channel(0.1);
+  const RepetitionSimulator sim;
+  int correct = 0;
+  constexpr int kTrials = 20;
+  for (int t = 0; t < kTrials; ++t) {
+    const InputSetInstance instance = SampleInputSet(16, rng);
+    const auto protocol = MakeInputSetProtocol(instance);
+    const SimulationResult result = sim.Simulate(*protocol, channel, rng);
+    correct += result.AllMatch(ReferenceTranscript(*protocol)) &&
+               InputSetAllCorrect(instance, result.outputs);
+  }
+  EXPECT_GE(correct, kTrials - 1);
+}
+
+TEST(RepetitionSim, RecoversAdaptiveProtocol) {
+  // The rewind-free simulator still handles adaptive protocols: each
+  // logical round's beep is recomputed from the majority-decoded prefix.
+  Rng rng(3);
+  const CorrelatedNoisyChannel channel(0.1);
+  const RepetitionSimulator sim(RepetitionSimOptions{.rep_c = 5});
+  int correct = 0;
+  constexpr int kTrials = 20;
+  for (int t = 0; t < kTrials; ++t) {
+    const AdaptiveFindInstance instance = SampleAdaptiveFind(64, 0.15, rng);
+    const auto protocol = MakeAdaptiveFindProtocol(instance);
+    const SimulationResult result = sim.Simulate(*protocol, channel, rng);
+    correct += AdaptiveFindAllCorrect(instance, result.outputs);
+  }
+  EXPECT_GE(correct, kTrials - 1);
+}
+
+TEST(RepetitionSim, WorksOnIndependentNoise) {
+  Rng rng(4);
+  const IndependentNoisyChannel channel(0.1);
+  const RepetitionSimulator sim(RepetitionSimOptions{.rep_c = 5});
+  int correct = 0;
+  constexpr int kTrials = 15;
+  for (int t = 0; t < kTrials; ++t) {
+    const LeaderElectionInstance instance = SampleLeaderElection(16, 10, rng);
+    const auto protocol = MakeLeaderElectionProtocol(instance);
+    const SimulationResult result = sim.Simulate(*protocol, channel, rng);
+    correct += LeaderElectionAllCorrect(instance, result.outputs);
+  }
+  EXPECT_GE(correct, kTrials - 1);
+}
+
+TEST(RepetitionSim, InsufficientRepetitionFailsUnderHeavyNoise) {
+  // With r = 1 the simulator degenerates to direct noisy execution.
+  Rng rng(5);
+  const OneSidedUpChannel channel(1.0 / 3.0);
+  const RepetitionSimulator sim(RepetitionSimOptions{.rep_factor = 1});
+  int correct = 0;
+  constexpr int kTrials = 30;
+  for (int t = 0; t < kTrials; ++t) {
+    const InputSetInstance instance = SampleInputSet(16, rng);
+    const auto protocol = MakeInputSetProtocol(instance);
+    const SimulationResult result = sim.Simulate(*protocol, channel, rng);
+    correct += result.AllMatch(ReferenceTranscript(*protocol));
+  }
+  EXPECT_LE(correct, 2);
+}
+
+TEST(RepetitionSim, OverheadIsExactlyRepFactor) {
+  Rng rng(6);
+  const CorrelatedNoisyChannel channel(0.05);
+  for (int r : {3, 9, 21}) {
+    const RepetitionSimulator sim(RepetitionSimOptions{.rep_factor = r});
+    const InputSetInstance instance = SampleInputSet(4, rng);
+    const auto protocol = MakeInputSetProtocol(instance);
+    const SimulationResult result = sim.Simulate(*protocol, channel, rng);
+    EXPECT_EQ(result.noisy_rounds_used,
+              static_cast<std::int64_t>(r) * protocol->length());
+  }
+}
+
+TEST(RepetitionSim, RejectsBadOptions) {
+  EXPECT_THROW(RepetitionSimulator(RepetitionSimOptions{.rep_factor = -1}),
+               std::invalid_argument);
+  EXPECT_THROW(
+      RepetitionSimulator(RepetitionSimOptions{.rep_factor = 0, .rep_c = 0}),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace noisybeeps

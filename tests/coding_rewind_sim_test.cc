@@ -1,0 +1,180 @@
+#include "coding/rewind_sim.h"
+
+#include <gtest/gtest.h>
+
+#include "channel/correlated.h"
+#include "channel/noiseless.h"
+#include "channel/one_sided.h"
+#include "tasks/adaptive_find.h"
+#include "tasks/bit_exchange.h"
+#include "tasks/input_set.h"
+#include "tasks/leader_election.h"
+#include "util/math.h"
+#include "util/rng.h"
+
+namespace noisybeeps {
+namespace {
+
+TEST(RewindSim, NoiselessChannelIsExactWithOwners) {
+  Rng rng(1);
+  const NoiselessChannel channel;
+  const RewindSimulator sim;
+  const InputSetInstance instance = SampleInputSet(8, rng);
+  const auto protocol = MakeInputSetProtocol(instance);
+  const SimulationResult result = sim.Simulate(*protocol, channel, rng);
+  const BitString reference = ReferenceTranscript(*protocol);
+  EXPECT_TRUE(result.AllMatch(reference));
+  EXPECT_FALSE(result.budget_exhausted);
+  // Every 1 of the committed transcript carries a valid owner.
+  for (std::size_t m = 0; m < reference.size(); ++m) {
+    if (reference[m]) {
+      const int owner = result.owners[0][m];
+      ASSERT_GE(owner, 0) << m;
+      EXPECT_EQ(instance.inputs[owner], static_cast<int>(m));
+    }
+  }
+}
+
+class RewindTwoSidedTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(RewindTwoSidedTest, RecoversInputSetUnderTwoSidedNoise) {
+  const double eps = GetParam();
+  Rng rng(42);
+  const CorrelatedNoisyChannel channel(eps);
+  const RewindSimulator sim;
+  int correct = 0;
+  constexpr int kTrials = 12;
+  for (int t = 0; t < kTrials; ++t) {
+    const InputSetInstance instance = SampleInputSet(16, rng);
+    const auto protocol = MakeInputSetProtocol(instance);
+    const SimulationResult result = sim.Simulate(*protocol, channel, rng);
+    correct += !result.budget_exhausted &&
+               result.AllMatch(ReferenceTranscript(*protocol)) &&
+               InputSetAllCorrect(instance, result.outputs);
+  }
+  EXPECT_GE(correct, kTrials - 1) << "eps=" << eps;
+}
+
+INSTANTIATE_TEST_SUITE_P(NoiseRates, RewindTwoSidedTest,
+                         ::testing::Values(0.02, 0.05, 0.10));
+
+TEST(RewindSim, RecoversBitExchangeUnderOneSidedUpNoise) {
+  // The lower-bound channel itself (one-sided-up), moderate rate.
+  Rng rng(43);
+  const OneSidedUpChannel channel(0.1);
+  const RewindSimulator sim;
+  int correct = 0;
+  constexpr int kTrials = 10;
+  for (int t = 0; t < kTrials; ++t) {
+    const BitExchangeInstance instance = SampleBitExchange(10, 6, rng);
+    const auto protocol = MakeBitExchangeProtocol(instance);
+    const SimulationResult result = sim.Simulate(*protocol, channel, rng);
+    correct += BitExchangeAllCorrect(instance, result.outputs);
+  }
+  EXPECT_GE(correct, kTrials - 1);
+}
+
+TEST(RewindSim, RecoversAdaptiveProtocol) {
+  Rng rng(44);
+  const CorrelatedNoisyChannel channel(0.08);
+  const RewindSimulator sim;
+  int correct = 0;
+  constexpr int kTrials = 12;
+  for (int t = 0; t < kTrials; ++t) {
+    const AdaptiveFindInstance instance = SampleAdaptiveFind(32, 0.2, rng);
+    const auto protocol = MakeAdaptiveFindProtocol(instance);
+    const SimulationResult result = sim.Simulate(*protocol, channel, rng);
+    correct += AdaptiveFindAllCorrect(instance, result.outputs);
+  }
+  EXPECT_GE(correct, kTrials - 1);
+}
+
+TEST(RewindSim, DownOnlyPresetRecoversUnderDownNoise) {
+  Rng rng(45);
+  const OneSidedDownChannel channel(0.15);
+  const RewindSimulator sim(RewindSimOptions::DownOnly());
+  int correct = 0;
+  constexpr int kTrials = 12;
+  for (int t = 0; t < kTrials; ++t) {
+    const InputSetInstance instance = SampleInputSet(16, rng);
+    const auto protocol = MakeInputSetProtocol(instance);
+    const SimulationResult result = sim.Simulate(*protocol, channel, rng);
+    correct += result.AllMatch(ReferenceTranscript(*protocol));
+  }
+  EXPECT_GE(correct, kTrials - 1);
+}
+
+TEST(RewindSim, DownOnlyOverheadIsConstantInN) {
+  // The Section 2 asymmetry: the down-only preset's blowup must not grow
+  // with n (compare 8 vs 128 parties).
+  Rng rng(46);
+  const OneSidedDownChannel channel(0.1);
+  const RewindSimulator sim(RewindSimOptions::DownOnly());
+  std::vector<double> overhead;
+  for (int n : {8, 128}) {
+    const InputSetInstance instance = SampleInputSet(n, rng);
+    const auto protocol = MakeInputSetProtocol(instance);
+    const SimulationResult result = sim.Simulate(*protocol, channel, rng);
+    EXPECT_TRUE(result.AllMatch(ReferenceTranscript(*protocol))) << n;
+    overhead.push_back(static_cast<double>(result.noisy_rounds_used) /
+                       protocol->length());
+  }
+  // Allow slack, but the 16x larger instance must not cost log-fold more.
+  EXPECT_LT(overhead[1], overhead[0] * 1.5 + 1.0);
+}
+
+TEST(RewindSim, TwoSidedOverheadIsLogarithmic) {
+  Rng rng(47);
+  const CorrelatedNoisyChannel channel(0.05);
+  const RewindSimulator sim;
+  for (int n : {8, 64}) {
+    const InputSetInstance instance = SampleInputSet(n, rng);
+    const auto protocol = MakeInputSetProtocol(instance);
+    const SimulationResult result = sim.Simulate(*protocol, channel, rng);
+    EXPECT_TRUE(result.AllMatch(ReferenceTranscript(*protocol)));
+    const double overhead =
+        static_cast<double>(result.noisy_rounds_used) / protocol->length();
+    const double log_n = CeilLog2(static_cast<std::uint64_t>(n));
+    // Overhead should be within a constant band of log2(n).
+    EXPECT_GT(overhead, log_n * 0.5);
+    EXPECT_LT(overhead, log_n * 40.0);
+  }
+}
+
+TEST(RewindSim, TinyBudgetExhaustsGracefully) {
+  Rng rng(48);
+  const CorrelatedNoisyChannel channel(0.2);
+  RewindSimOptions options;
+  options.max_rounds = 50;  // far below what a 16-party InputSet needs
+  const RewindSimulator sim(options);
+  const InputSetInstance instance = SampleInputSet(16, rng);
+  const auto protocol = MakeInputSetProtocol(instance);
+  const SimulationResult result = sim.Simulate(*protocol, channel, rng);
+  EXPECT_TRUE(result.budget_exhausted);
+  EXPECT_LE(result.noisy_rounds_used, 50 + 20000);  // one overshoot loop max
+  // Outputs still produced (padded transcript).
+  EXPECT_EQ(result.outputs.size(), 16u);
+}
+
+TEST(RewindSim, EffectiveParameterDefaults) {
+  const RewindSimulator two_sided;
+  EXPECT_EQ(two_sided.EffectiveChunkLen(32), 32);
+  EXPECT_EQ(two_sided.EffectiveRepFactor(32), 3 * 5 + 1);
+  EXPECT_EQ(two_sided.EffectiveFlagReps(32), 4 * 5 + 8);
+  const RewindSimulator down(RewindSimOptions::DownOnly());
+  EXPECT_EQ(down.EffectiveChunkLen(32), 8);
+  EXPECT_EQ(down.EffectiveRepFactor(32), 1);
+  EXPECT_EQ(down.EffectiveFlagReps(32), 5);
+}
+
+TEST(RewindSim, RejectsBadOptions) {
+  RewindSimOptions bad;
+  bad.chunk_len = -1;
+  EXPECT_THROW(RewindSimulator{bad}, std::invalid_argument);
+  RewindSimOptions bad2;
+  bad2.rep_c = 0;
+  EXPECT_THROW(RewindSimulator{bad2}, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace noisybeeps

@@ -1,0 +1,150 @@
+// The scheduled-ownership (EKS18-style) regime: for broadcast-like
+// protocols with a pre-assigned unique speaker per round, the owner
+// machinery is free and simulation is cheap even under two-sided noise --
+// Section 1.3/2.1's contrast with the noisy broadcast channel, made
+// executable.
+#include <gtest/gtest.h>
+
+#include "channel/correlated.h"
+#include "channel/noiseless.h"
+#include "coding/hierarchical_sim.h"
+#include "coding/rewind_sim.h"
+#include "tasks/bit_exchange.h"
+#include "tasks/input_set.h"
+#include "util/math.h"
+#include "util/rng.h"
+
+namespace noisybeeps {
+namespace {
+
+TEST(ScheduledSim, DefaultsAreTheCheapPreset) {
+  const RewindSimulator sim(
+      RewindSimOptions::Scheduled(BitExchangeSchedule(32, 4)));
+  EXPECT_EQ(sim.EffectiveChunkLen(32), 8);
+  EXPECT_EQ(sim.EffectiveRepFactor(32), 1);
+  EXPECT_EQ(sim.EffectiveFlagReps(32), 9);
+}
+
+TEST(ScheduledSim, NoiselessIsExactWithScheduleOwners) {
+  Rng rng(1);
+  const NoiselessChannel channel;
+  const BitExchangeInstance instance = SampleBitExchange(6, 5, rng);
+  const auto schedule = BitExchangeSchedule(6, 5);
+  const RewindSimulator sim(RewindSimOptions::Scheduled(schedule));
+  const auto protocol = MakeBitExchangeProtocol(instance);
+  const SimulationResult result = sim.Simulate(*protocol, channel, rng);
+  EXPECT_TRUE(result.AllMatch(ReferenceTranscript(*protocol)));
+  // Owners recorded are the schedule itself.
+  for (std::size_t m = 0; m < result.owners[0].size(); ++m) {
+    EXPECT_EQ(result.owners[0][m], schedule[m]) << m;
+  }
+  // No owner-finding rounds were spent.
+  EXPECT_EQ(result.phase_rounds.count("owner-finding"), 0u);
+}
+
+TEST(ScheduledSim, RecoversUnderTwoSidedNoise) {
+  Rng rng(2);
+  const CorrelatedNoisyChannel channel(0.05);
+  int correct = 0;
+  constexpr int kTrials = 10;
+  for (int t = 0; t < kTrials; ++t) {
+    const BitExchangeInstance instance = SampleBitExchange(10, 8, rng);
+    const RewindSimulator sim(
+        RewindSimOptions::Scheduled(BitExchangeSchedule(10, 8)));
+    const auto protocol = MakeBitExchangeProtocol(instance);
+    const SimulationResult result = sim.Simulate(*protocol, channel, rng);
+    correct += !result.budget_exhausted &&
+               BitExchangeAllCorrect(instance, result.outputs);
+  }
+  EXPECT_GE(correct, kTrials - 1);
+}
+
+TEST(ScheduledSim, OverheadIsConstantInN) {
+  // The headline: blowup flat in n under TWO-SIDED noise, where the
+  // unscheduled scheme pays Theta(log n).
+  Rng rng(3);
+  const CorrelatedNoisyChannel channel(0.05);
+  std::vector<double> overhead;
+  for (int n : {8, 128}) {
+    const BitExchangeInstance instance = SampleBitExchange(n, 8, rng);
+    const RewindSimulator sim(
+        RewindSimOptions::Scheduled(BitExchangeSchedule(n, 8)));
+    const auto protocol = MakeBitExchangeProtocol(instance);
+    const SimulationResult result = sim.Simulate(*protocol, channel, rng);
+    EXPECT_TRUE(result.AllMatch(ReferenceTranscript(*protocol))) << n;
+    overhead.push_back(static_cast<double>(result.noisy_rounds_used) /
+                       protocol->length());
+  }
+  EXPECT_LT(overhead[1], overhead[0] * 1.5 + 1.0);
+  EXPECT_LT(overhead[1], 10.0);  // constant, far below 3*log2(128)+1
+}
+
+TEST(ScheduledSim, HierarchicalVariantHandlesLongWorkloads) {
+  Rng rng(4);
+  const CorrelatedNoisyChannel channel(0.05);
+  const BitExchangeInstance instance = SampleBitExchange(8, 48, rng);
+  HierarchicalSimOptions options;
+  options.base = RewindSimOptions::Scheduled(BitExchangeSchedule(8, 48));
+  const HierarchicalSimulator sim(options);
+  const auto protocol = MakeBitExchangeProtocol(instance);  // T = 384
+  const SimulationResult result = sim.Simulate(*protocol, channel, rng);
+  EXPECT_FALSE(result.budget_exhausted);
+  EXPECT_TRUE(result.AllMatch(ReferenceTranscript(*protocol)));
+}
+
+TEST(ScheduledSim, RejectsWrongScheduleShapes) {
+  Rng rng(5);
+  const NoiselessChannel channel;
+  const BitExchangeInstance instance = SampleBitExchange(4, 3, rng);
+  const auto protocol = MakeBitExchangeProtocol(instance);
+  // Too short.
+  {
+    const RewindSimulator sim(
+        RewindSimOptions::Scheduled(std::vector<int>(5, 0)));
+    EXPECT_THROW((void)sim.Simulate(*protocol, channel, rng),
+                 std::invalid_argument);
+  }
+  // Owner out of range.
+  {
+    std::vector<int> bad = BitExchangeSchedule(4, 3);
+    bad[0] = 4;
+    const RewindSimulator sim(RewindSimOptions::Scheduled(bad));
+    EXPECT_THROW((void)sim.Simulate(*protocol, channel, rng),
+                 std::invalid_argument);
+  }
+  // Wrong owner: some party beeps a round it does not own.
+  {
+    std::vector<int> rotated = BitExchangeSchedule(4, 3);
+    std::rotate(rotated.begin(), rotated.begin() + 3, rotated.end());
+    const RewindSimulator sim(RewindSimOptions::Scheduled(rotated));
+    // Only detectable when the disowned party actually beeps; the
+    // validator replays the reference execution, so a mismatch throws
+    // unless the instance happens to beep nothing in the affected rounds.
+    bool threw = false;
+    try {
+      (void)sim.Simulate(*protocol, channel, rng);
+    } catch (const std::invalid_argument&) {
+      threw = true;
+    }
+    // With random 3-bit payloads all-zero owned blocks are rare but
+    // possible; accept either a throw or a correct run.
+    if (!threw) SUCCEED();
+  }
+}
+
+TEST(ScheduledSim, NonScheduledProtocolIsRejected) {
+  // InputSet has no static unique-speaker schedule (duplicate inputs beep
+  // together); the validator must catch it for such instances.
+  Rng rng(6);
+  const NoiselessChannel channel;
+  InputSetInstance instance;
+  instance.inputs = {2, 2, 5};  // parties 0 and 1 beep together in round 2
+  const auto protocol = MakeInputSetProtocol(instance);
+  std::vector<int> schedule(protocol->length(), 0);
+  const RewindSimulator sim(RewindSimOptions::Scheduled(schedule));
+  EXPECT_THROW((void)sim.Simulate(*protocol, channel, rng),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace noisybeeps

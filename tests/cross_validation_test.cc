@@ -1,0 +1,116 @@
+// Cross-validation properties: independent components of the library that
+// must agree with each other on shared ground.
+#include <gtest/gtest.h>
+
+#include "channel/noiseless.h"
+#include "coding/owner_finding.h"
+#include "coding/verification.h"
+#include "tasks/bit_exchange.h"
+#include "tasks/input_set.h"
+#include "util/rng.h"
+
+namespace noisybeeps {
+namespace {
+
+TEST(CrossValidation, Algorithm1RecoversTheStaticSchedule) {
+  // For a schedule-owned protocol, Algorithm 1's owner-finding (which
+  // knows nothing about the schedule) must assign exactly the scheduled
+  // owner to every 1 -- the dynamic and static ownership notions coincide.
+  Rng rng(1);
+  const NoiselessChannel channel;
+  const int n = 6;
+  const int k = 4;
+  const BitExchangeInstance instance = SampleBitExchange(n, k, rng);
+  const auto protocol = MakeBitExchangeProtocol(instance);
+  const std::vector<int> schedule = BitExchangeSchedule(n, k);
+  const BitString pi = ReferenceTranscript(*protocol);
+
+  // Per-party beep history along the reference transcript.
+  std::vector<BitString> beeped(n);
+  BitString prefix;
+  for (int m = 0; m < protocol->length(); ++m) {
+    for (int i = 0; i < n; ++i) {
+      beeped[i].PushBack(protocol->party(i).ChooseBeep(prefix));
+    }
+    prefix.PushBack(pi[m]);
+  }
+
+  const BeepCode code(protocol->length(), 6, 3);
+  RoundEngine engine(channel, rng, n);
+  const OwnerFindingResult found =
+      FindOwners(engine, code, std::vector<BitString>(n, pi), beeped);
+  for (int m = 0; m < protocol->length(); ++m) {
+    if (pi[m]) {
+      for (int i = 0; i < n; ++i) {
+        EXPECT_EQ(found.owners[i][m], schedule[m]) << "round " << m;
+      }
+    }
+  }
+}
+
+TEST(CrossValidation, FirstViolationIsMonotoneInFrom) {
+  // Raising `from` can only push the first violation later (or leave it):
+  // the scan ignores a prefix of potential violations.
+  Rng rng(2);
+  const InputSetInstance instance = SampleInputSet(6, rng);
+  const auto protocol = MakeInputSetProtocol(instance);
+  BitString corrupted = ReferenceTranscript(*protocol);
+  // Plant several corruptions.
+  corrupted.Set(1, !corrupted[1]);
+  corrupted.Set(5, !corrupted[5]);
+  corrupted.Set(9, !corrupted[9]);
+  const std::vector<int> owners(corrupted.size(), -1);
+  for (int i = 0; i < 6; ++i) {
+    std::size_t prev = 0;
+    for (std::size_t from = 0; from <= corrupted.size(); ++from) {
+      const std::size_t fv = FirstViolation(*protocol, i, corrupted, owners,
+                                            NoiseRegime::kDownOnly, from);
+      EXPECT_GE(fv, prev) << "party " << i << " from " << from;
+      EXPECT_GE(fv, from);
+      prev = fv;
+    }
+  }
+}
+
+TEST(CrossValidation, VerificationAcceptsExactlyTheReferenceContinuations) {
+  // For every prefix p of the reference transcript, verification of that
+  // prefix is clear at every party; any single bit flip in the prefix is
+  // flagged by someone (with correct owners in play).
+  Rng rng(3);
+  const InputSetInstance instance = SampleInputSet(5, rng);
+  const auto protocol = MakeInputSetProtocol(instance);
+  const BitString reference = ReferenceTranscript(*protocol);
+  // True owners: the (a) party with the matching input.
+  std::vector<int> owners(reference.size(), -1);
+  for (std::size_t m = 0; m < reference.size(); ++m) {
+    if (reference[m]) {
+      for (int i = 0; i < 5; ++i) {
+        if (instance.inputs[i] == static_cast<int>(m)) {
+          owners[m] = i;
+          break;
+        }
+      }
+    }
+  }
+  // Clean reference: no violations anywhere.
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(FirstViolation(*protocol, i, reference, owners,
+                             NoiseRegime::kTwoSided),
+              reference.size());
+  }
+  // Every single-bit corruption is caught by at least one party.
+  for (std::size_t m = 0; m < reference.size(); ++m) {
+    BitString corrupted = reference;
+    corrupted.Set(m, !corrupted[m]);
+    bool caught = false;
+    for (int i = 0; i < 5; ++i) {
+      caught = caught ||
+               FirstViolation(*protocol, i, corrupted, owners,
+                              NoiseRegime::kTwoSided) <= m;
+    }
+    EXPECT_TRUE(caught) << "flip at round " << m;
+  }
+}
+
+}  // namespace
+}  // namespace noisybeeps

@@ -1,0 +1,135 @@
+#include "ecc/codebook.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "ecc/code.h"
+#include "util/rng.h"
+
+namespace noisybeeps {
+namespace {
+
+TEST(CodebookCode, ExplicitBookRoundTrips) {
+  std::vector<BitString> book{BitString::FromString("0000"),
+                              BitString::FromString("1111"),
+                              BitString::FromString("0110")};
+  const CodebookCode code(std::move(book));
+  EXPECT_EQ(code.num_messages(), 3u);
+  EXPECT_EQ(code.codeword_length(), 4u);
+  for (std::uint64_t m = 0; m < 3; ++m) {
+    EXPECT_EQ(code.Decode(code.Encode(m)), m);
+  }
+}
+
+TEST(CodebookCode, RejectsInvalidBooks) {
+  EXPECT_THROW(CodebookCode({BitString::FromString("01")}),
+               std::invalid_argument);  // too few words
+  EXPECT_THROW(CodebookCode({BitString::FromString("01"),
+                             BitString::FromString("011")}),
+               std::invalid_argument);  // ragged lengths
+  EXPECT_THROW(CodebookCode({BitString::FromString("01"),
+                             BitString::FromString("01")}),
+               std::invalid_argument);  // duplicates
+  EXPECT_THROW(CodebookCode({BitString(), BitString()}),
+               std::invalid_argument);  // empty words
+}
+
+TEST(CodebookCode, RandomConstructionIsDeterministicInSeed) {
+  const CodebookCode a = CodebookCode::Random(17, 24, 99);
+  const CodebookCode b = CodebookCode::Random(17, 24, 99);
+  for (std::uint64_t m = 0; m < 17; ++m) {
+    EXPECT_EQ(a.Encode(m), b.Encode(m));
+  }
+  const CodebookCode c = CodebookCode::Random(17, 24, 100);
+  std::size_t same = 0;
+  for (std::uint64_t m = 0; m < 17; ++m) same += a.Encode(m) == c.Encode(m);
+  EXPECT_LT(same, 3u);
+}
+
+TEST(CodebookCode, RandomBookHasReasonableDistance) {
+  // Random codes of length 8*log2(q) concentrate near relative distance
+  // 1/2; anything below L/5 would be an implementation bug.
+  const CodebookCode code = CodebookCode::Random(33, 48, 7);
+  EXPECT_GE(MinimumDistance(code), 48u / 5);
+}
+
+TEST(CodebookCode, DecodeNearestTiesBreakLow) {
+  std::vector<BitString> book{BitString::FromString("0000"),
+                              BitString::FromString("0011")};
+  const CodebookCode code(std::move(book));
+  // "0001" is at distance 1 from both; message 0 must win.
+  EXPECT_EQ(code.Decode(BitString::FromString("0001")), 0u);
+}
+
+TEST(CodebookCode, DecodeRejectsWrongLength) {
+  const CodebookCode code = CodebookCode::Random(4, 10, 1);
+  EXPECT_THROW((void)code.Decode(BitString::FromString("01")),
+               std::invalid_argument);
+}
+
+TEST(GilbertVarshamov, GuaranteesMinimumDistance) {
+  const std::size_t d = 9;
+  const CodebookCode code = CodebookCode::GilbertVarshamov(16, 32, d, 5);
+  EXPECT_GE(MinimumDistance(code), d);
+}
+
+TEST(GilbertVarshamov, ImpossibleParametersThrow) {
+  // 2^8 = 256 codewords of length 8 at distance 8 means all-distinct
+  // repetitions -- impossible beyond 2 words.
+  EXPECT_THROW(
+      (void)CodebookCode::GilbertVarshamov(10, 8, 8, 1),
+      std::runtime_error);
+}
+
+TEST(GilbertVarshamov, CorrectsHalfDistanceErrors) {
+  const std::size_t d = 11;
+  const CodebookCode code = CodebookCode::GilbertVarshamov(8, 40, d, 6);
+  Rng rng(1234);
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::uint64_t msg = rng.UniformInt(code.num_messages());
+    BitString word = code.Encode(msg);
+    // Up to (d-1)/2 errors are always correctable.
+    for (std::size_t e = 0; e < (d - 1) / 2; ++e) {
+      const std::size_t p = rng.UniformInt(word.size());
+      word.Set(p, !word[p]);
+    }
+    // Distinct positions not guaranteed above, so the effective error
+    // count is <= (d-1)/2 -- decoding must still succeed.
+    EXPECT_EQ(code.Decode(word), msg) << trial;
+  }
+}
+
+class CodebookBscTest
+    : public ::testing::TestWithParam<std::tuple<int, double>> {};
+
+TEST_P(CodebookBscTest, MlDecodingSurvivesBscNoise) {
+  const auto [q, eps] = GetParam();
+  // Length ~ 8 * log2(q): generous rate, so decode failures should be
+  // rare at these noise levels.
+  std::size_t length = 8;
+  while ((1u << (length / 8)) < static_cast<unsigned>(q)) length += 8;
+  length += 24;
+  const CodebookCode code = CodebookCode::Random(q, length, 42);
+  Rng rng(4242);
+  int failures = 0;
+  constexpr int kTrials = 300;
+  for (int t = 0; t < kTrials; ++t) {
+    const std::uint64_t msg = rng.UniformInt(q);
+    BitString word = code.Encode(msg);
+    for (std::size_t i = 0; i < word.size(); ++i) {
+      if (rng.Bernoulli(eps)) word.Set(i, !word[i]);
+    }
+    failures += code.Decode(word) != msg;
+  }
+  EXPECT_LE(failures, kTrials / 10)
+      << "q=" << q << " eps=" << eps << " L=" << length;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, CodebookBscTest,
+    ::testing::Combine(::testing::Values(5, 17, 65),
+                       ::testing::Values(0.02, 0.05, 0.10)));
+
+}  // namespace
+}  // namespace noisybeeps

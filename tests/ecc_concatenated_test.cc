@@ -1,0 +1,95 @@
+#include "ecc/concatenated.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <stdexcept>
+
+#include "ecc/codebook.h"
+#include "ecc/hadamard.h"
+#include "util/rng.h"
+
+namespace noisybeeps {
+namespace {
+
+std::shared_ptr<const BinaryCode> ByteInner() {
+  // 256-message random codebook of 48 bits: rate 1/6 inner code.
+  return std::make_shared<CodebookCode>(CodebookCode::Random(256, 48, 77));
+}
+
+TEST(ConcatenatedCode, RejectsNonByteInner) {
+  EXPECT_THROW(
+      ConcatenatedCode(ReedSolomon(10, 6),
+                       std::make_shared<CodebookCode>(
+                           CodebookCode::Random(128, 32, 1))),
+      std::invalid_argument);
+  EXPECT_THROW(ConcatenatedCode(ReedSolomon(10, 6), nullptr),
+               std::invalid_argument);
+}
+
+TEST(ConcatenatedCode, CleanRoundTrip) {
+  const ConcatenatedCode code(ReedSolomon(12, 8), ByteInner());
+  EXPECT_EQ(code.data_bytes(), 8);
+  EXPECT_EQ(code.codeword_bits(), 12u * 48u);
+  Rng rng(70);
+  std::vector<std::uint8_t> data(8);
+  for (auto& b : data) b = static_cast<std::uint8_t>(rng.UniformInt(256));
+  const auto decoded = code.Decode(code.Encode(data));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, data);
+}
+
+TEST(ConcatenatedCode, HadamardInnerRoundTrip) {
+  const ConcatenatedCode code(ReedSolomon(10, 4),
+                              std::make_shared<HadamardCode>(8));
+  Rng rng(71);
+  std::vector<std::uint8_t> data(4);
+  for (auto& b : data) b = static_cast<std::uint8_t>(rng.UniformInt(256));
+  const auto decoded = code.Decode(code.Encode(data));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, data);
+}
+
+TEST(ConcatenatedCode, SurvivesBitNoise) {
+  // 5% BSC noise: inner decodes fix most symbols, RS mops up the rest.
+  const ConcatenatedCode code(ReedSolomon(16, 8), ByteInner());
+  Rng rng(72);
+  int failures = 0;
+  constexpr int kTrials = 40;
+  for (int t = 0; t < kTrials; ++t) {
+    std::vector<std::uint8_t> data(8);
+    for (auto& b : data) b = static_cast<std::uint8_t>(rng.UniformInt(256));
+    BitString word = code.Encode(data);
+    for (std::size_t i = 0; i < word.size(); ++i) {
+      if (rng.Bernoulli(0.05)) word.Set(i, !word[i]);
+    }
+    const auto decoded = code.Decode(word);
+    if (!decoded.has_value() || *decoded != data) ++failures;
+  }
+  EXPECT_LE(failures, 2);
+}
+
+TEST(ConcatenatedCode, SurvivesSymbolBursts) {
+  // Wipe out 4 entire inner blocks (4 symbol errors); RS(16,8) fixes them.
+  const ConcatenatedCode code(ReedSolomon(16, 8), ByteInner());
+  Rng rng(73);
+  std::vector<std::uint8_t> data(8);
+  for (auto& b : data) b = static_cast<std::uint8_t>(rng.UniformInt(256));
+  BitString word = code.Encode(data);
+  for (int s = 2; s < 6; ++s) {
+    for (std::size_t b = s * 48; b < (s + 1) * 48u; ++b) {
+      word.Set(b, rng.Bit());
+    }
+  }
+  const auto decoded = code.Decode(word);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, data);
+}
+
+TEST(ConcatenatedCode, WrongLengthThrows) {
+  const ConcatenatedCode code(ReedSolomon(12, 8), ByteInner());
+  EXPECT_THROW((void)code.Decode(BitString(10)), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace noisybeeps

@@ -1,0 +1,120 @@
+#include "ecc/gf256.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace noisybeeps {
+namespace {
+
+using gf256::Add;
+using gf256::Div;
+using gf256::EvalPoly;
+using gf256::Exp;
+using gf256::Inv;
+using gf256::Log;
+using gf256::Mul;
+
+TEST(Gf256, AdditionIsXor) {
+  EXPECT_EQ(Add(0x53, 0xCA), 0x53 ^ 0xCA);
+  EXPECT_EQ(Add(7, 7), 0);
+}
+
+TEST(Gf256, MultiplicativeIdentityAndZero) {
+  for (int a = 0; a < 256; ++a) {
+    EXPECT_EQ(Mul(static_cast<std::uint8_t>(a), 1), a);
+    EXPECT_EQ(Mul(static_cast<std::uint8_t>(a), 0), 0);
+  }
+}
+
+TEST(Gf256, KnownProducts) {
+  // x * x^7 = x^8 which reduces by 0x11d to 0x1d.
+  EXPECT_EQ(Mul(0x02, 0x80), 0x1D);
+  // x^2 * x^6 is the same element.
+  EXPECT_EQ(Mul(0x04, 0x40), 0x1D);
+  // (x+1)^2 = x^2 + 1 (Frobenius: squaring is linear in char 2).
+  EXPECT_EQ(Mul(0x03, 0x03), 0x05);
+}
+
+TEST(Gf256, MultiplicationIsCommutativeAndAssociative) {
+  for (int a = 1; a < 256; a += 13) {
+    for (int b = 1; b < 256; b += 17) {
+      const auto ua = static_cast<std::uint8_t>(a);
+      const auto ub = static_cast<std::uint8_t>(b);
+      EXPECT_EQ(Mul(ua, ub), Mul(ub, ua));
+      for (int c = 1; c < 256; c += 31) {
+        const auto uc = static_cast<std::uint8_t>(c);
+        EXPECT_EQ(Mul(Mul(ua, ub), uc), Mul(ua, Mul(ub, uc)));
+      }
+    }
+  }
+}
+
+TEST(Gf256, DistributivityOverAddition) {
+  for (int a = 1; a < 256; a += 11) {
+    for (int b = 0; b < 256; b += 19) {
+      for (int c = 0; c < 256; c += 23) {
+        const auto ua = static_cast<std::uint8_t>(a);
+        const auto ub = static_cast<std::uint8_t>(b);
+        const auto uc = static_cast<std::uint8_t>(c);
+        EXPECT_EQ(Mul(ua, Add(ub, uc)), Add(Mul(ua, ub), Mul(ua, uc)));
+      }
+    }
+  }
+}
+
+TEST(Gf256, EveryNonzeroElementHasInverse) {
+  for (int a = 1; a < 256; ++a) {
+    const auto ua = static_cast<std::uint8_t>(a);
+    EXPECT_EQ(Mul(ua, Inv(ua)), 1) << a;
+  }
+  EXPECT_THROW((void)Inv(0), std::invalid_argument);
+}
+
+TEST(Gf256, DivisionInvertsMultiplication) {
+  for (int a = 0; a < 256; a += 7) {
+    for (int b = 1; b < 256; b += 11) {
+      const auto ua = static_cast<std::uint8_t>(a);
+      const auto ub = static_cast<std::uint8_t>(b);
+      EXPECT_EQ(Mul(Div(ua, ub), ub), ua);
+    }
+  }
+  EXPECT_THROW((void)Div(1, 0), std::invalid_argument);
+}
+
+TEST(Gf256, GeneratorHasFullOrder) {
+  // alpha = 0x02 generates the multiplicative group: powers 0..254 are
+  // distinct.
+  bool seen[256] = {false};
+  for (int p = 0; p < 255; ++p) {
+    const std::uint8_t v = Exp(p);
+    EXPECT_NE(v, 0);
+    EXPECT_FALSE(seen[v]) << "repeat at power " << p;
+    seen[v] = true;
+  }
+  EXPECT_EQ(Exp(255), Exp(0));
+  EXPECT_EQ(Exp(-1), Exp(254));
+}
+
+TEST(Gf256, LogInvertsExp) {
+  for (int p = 0; p < 255; ++p) {
+    EXPECT_EQ(Log(Exp(p)), p);
+  }
+  EXPECT_THROW((void)Log(0), std::invalid_argument);
+}
+
+TEST(Gf256, EvalPolyHorner) {
+  // p(x) = 3 + 5x + x^2 at x = 2: 3 ^ Mul(5,2) ^ Mul(1,4).
+  const std::uint8_t coeffs[] = {3, 5, 1};
+  const std::uint8_t x = 2;
+  const std::uint8_t expected =
+      Add(Add(3, Mul(5, x)), Mul(1, Mul(x, x)));
+  EXPECT_EQ(EvalPoly(coeffs, 3, x), expected);
+}
+
+TEST(Gf256, EvalPolyEmptyIsZero) {
+  EXPECT_EQ(EvalPoly(nullptr, 0, 17), 0);
+}
+
+}  // namespace
+}  // namespace noisybeeps

@@ -1,0 +1,77 @@
+#include "ecc/hadamard.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "ecc/code.h"
+#include "util/rng.h"
+
+namespace noisybeeps {
+namespace {
+
+TEST(HadamardCode, Dimensions) {
+  const HadamardCode code(4);
+  EXPECT_EQ(code.num_messages(), 16u);
+  EXPECT_EQ(code.codeword_length(), 16u);
+}
+
+TEST(HadamardCode, RejectsBadParameters) {
+  EXPECT_THROW(HadamardCode(0), std::invalid_argument);
+  EXPECT_THROW(HadamardCode(21), std::invalid_argument);
+}
+
+TEST(HadamardCode, ZeroMessageIsAllZeros) {
+  const HadamardCode code(3);
+  EXPECT_EQ(code.Encode(0).PopCount(), 0u);
+}
+
+TEST(HadamardCode, NonzeroCodewordsAreBalanced) {
+  const HadamardCode code(5);
+  for (std::uint64_t m = 1; m < code.num_messages(); ++m) {
+    EXPECT_EQ(code.Encode(m).PopCount(), code.codeword_length() / 2) << m;
+  }
+}
+
+TEST(HadamardCode, PairwiseDistanceIsExactlyHalf) {
+  const HadamardCode code(4);
+  EXPECT_EQ(MinimumDistance(code), code.codeword_length() / 2);
+}
+
+TEST(HadamardCode, DecodeInvertsEncode) {
+  const HadamardCode code(6);
+  for (std::uint64_t m = 0; m < code.num_messages(); ++m) {
+    EXPECT_EQ(code.Decode(code.Encode(m)), m);
+  }
+}
+
+class HadamardNoiseTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(HadamardNoiseTest, CorrectsJustUnderQuarterLengthErrors) {
+  const int k = GetParam();
+  const HadamardCode code(k);
+  const std::size_t radius = code.codeword_length() / 4 - 1;
+  Rng rng(100 + k);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::uint64_t msg = rng.UniformInt(code.num_messages());
+    BitString word = code.Encode(msg);
+    // Flip `radius` distinct random positions.
+    std::vector<std::size_t> positions;
+    while (positions.size() < radius) {
+      const std::size_t p = rng.UniformInt(word.size());
+      bool fresh = true;
+      for (std::size_t q : positions) fresh = fresh && q != p;
+      if (fresh) {
+        positions.push_back(p);
+        word.Set(p, !word[p]);
+      }
+    }
+    EXPECT_EQ(code.Decode(word), msg) << "k=" << k << " trial=" << trial;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(MessageSizes, HadamardNoiseTest,
+                         ::testing::Values(4, 5, 6, 7, 8));
+
+}  // namespace
+}  // namespace noisybeeps

@@ -1,0 +1,90 @@
+#include "ecc/hamming.h"
+
+#include <gtest/gtest.h>
+
+#include "ecc/code.h"
+
+namespace noisybeeps {
+namespace {
+
+TEST(HammingCode, Dimensions) {
+  const HammingCode basic(false);
+  EXPECT_EQ(basic.num_messages(), 16u);
+  EXPECT_EQ(basic.codeword_length(), 7u);
+  const HammingCode extended(true);
+  EXPECT_EQ(extended.codeword_length(), 8u);
+}
+
+TEST(HammingCode, MinimumDistances) {
+  EXPECT_EQ(MinimumDistance(HammingCode(false)), 3u);
+  EXPECT_EQ(MinimumDistance(HammingCode(true)), 4u);
+}
+
+TEST(HammingCode, CleanRoundTrip) {
+  for (bool extended : {false, true}) {
+    const HammingCode code(extended);
+    for (std::uint64_t m = 0; m < 16; ++m) {
+      EXPECT_EQ(code.Decode(code.Encode(m)), m) << extended << " " << m;
+    }
+  }
+}
+
+TEST(HammingCode, CorrectsEverySingleBitError) {
+  for (bool extended : {false, true}) {
+    const HammingCode code(extended);
+    for (std::uint64_t m = 0; m < 16; ++m) {
+      const BitString word = code.Encode(m);
+      for (std::size_t p = 0; p < word.size(); ++p) {
+        BitString corrupted = word;
+        corrupted.Set(p, !corrupted[p]);
+        EXPECT_EQ(code.Decode(corrupted), m)
+            << "extended=" << extended << " m=" << m << " p=" << p;
+      }
+    }
+  }
+}
+
+TEST(HammingCode, ExtendedNeverMiscorrectsDoubleErrorsIntoWrongNeighbours) {
+  // [8,4,4]: double errors land at distance 2 from the true codeword and
+  // >= 2 from every other, so exhaustive ML can return the true message
+  // or a tie -- but must never return something at distance > 2.
+  const HammingCode code(true);
+  for (std::uint64_t m = 0; m < 16; ++m) {
+    const BitString word = code.Encode(m);
+    for (std::size_t p = 0; p < 8; ++p) {
+      for (std::size_t q = p + 1; q < 8; ++q) {
+        BitString corrupted = word;
+        corrupted.Set(p, !corrupted[p]);
+        corrupted.Set(q, !corrupted[q]);
+        const std::uint64_t decoded = code.Decode(corrupted);
+        EXPECT_LE(code.Encode(decoded).HammingDistance(corrupted), 2u)
+            << "m=" << m << " p=" << p << " q=" << q;
+      }
+    }
+  }
+}
+
+TEST(HammingCode, ParityBitOnlyErrorLeavesDataIntact) {
+  const HammingCode code(true);
+  for (std::uint64_t m = 0; m < 16; ++m) {
+    BitString word = code.Encode(m);
+    word.Set(7, !word[7]);  // flip the overall-parity bit
+    EXPECT_EQ(code.Decode(word), m);
+  }
+}
+
+TEST(HammingCode, RejectsBadInput) {
+  const HammingCode code(false);
+  EXPECT_THROW((void)code.Encode(16), std::invalid_argument);
+  EXPECT_THROW((void)code.Decode(BitString(8)), std::invalid_argument);
+}
+
+TEST(HammingCode, AllCodewordsHaveEvenWeightInExtended) {
+  const HammingCode code(true);
+  for (std::uint64_t m = 0; m < 16; ++m) {
+    EXPECT_EQ(code.Encode(m).PopCount() % 2, 0u) << m;
+  }
+}
+
+}  // namespace
+}  // namespace noisybeeps

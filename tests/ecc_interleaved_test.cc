@@ -1,0 +1,99 @@
+#include "ecc/interleaved.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "ecc/hamming.h"
+#include "ecc/codebook.h"
+#include "util/rng.h"
+
+namespace noisybeeps {
+namespace {
+
+std::shared_ptr<const BinaryCode> Inner() {
+  return std::make_shared<HammingCode>(false);  // [7,4,3]
+}
+
+TEST(InterleavedCode, Dimensions) {
+  const InterleavedCode code(Inner(), 5);
+  EXPECT_EQ(code.depth(), 5);
+  EXPECT_EQ(code.codeword_length(), 35u);
+}
+
+TEST(InterleavedCode, ValidatesParameters) {
+  EXPECT_THROW(InterleavedCode(nullptr, 3), std::invalid_argument);
+  EXPECT_THROW(InterleavedCode(Inner(), 0), std::invalid_argument);
+  const InterleavedCode code(Inner(), 2);
+  EXPECT_THROW((void)code.Encode({1}), std::invalid_argument);
+  EXPECT_THROW((void)code.Decode(BitString(13)), std::invalid_argument);
+}
+
+TEST(InterleavedCode, CleanRoundTrip) {
+  Rng rng(1);
+  const InterleavedCode code(Inner(), 4);
+  for (int trial = 0; trial < 30; ++trial) {
+    std::vector<std::uint64_t> messages(4);
+    for (auto& m : messages) m = rng.UniformInt(16);
+    EXPECT_EQ(code.Decode(code.Encode(messages)), messages);
+  }
+}
+
+TEST(InterleavedCode, ColumnMajorLayout) {
+  // Bit b of inner word w sits at position b*depth + w.
+  const InterleavedCode code(Inner(), 3);
+  const std::vector<std::uint64_t> messages{3, 9, 14};
+  const BitString combined = code.Encode(messages);
+  for (int w = 0; w < 3; ++w) {
+    const BitString word = code.inner().Encode(messages[w]);
+    for (std::size_t b = 0; b < 7; ++b) {
+      EXPECT_EQ(combined[b * 3 + w], word[b]) << w << " " << b;
+    }
+  }
+}
+
+TEST(InterleavedCode, BurstSpreadAcrossWords) {
+  // A burst of length <= depth hits each inner word at most once, and
+  // Hamming corrects single errors: ANY burst of `depth` consecutive
+  // flips decodes cleanly.
+  Rng rng(2);
+  const int depth = 6;
+  const InterleavedCode code(Inner(), depth);
+  std::vector<std::uint64_t> messages(depth);
+  for (auto& m : messages) m = rng.UniformInt(16);
+  const BitString clean = code.Encode(messages);
+  for (std::size_t start = 0; start + depth <= clean.size(); ++start) {
+    BitString burst = clean;
+    for (std::size_t p = start; p < start + depth; ++p) {
+      burst.Set(p, !burst[p]);
+    }
+    EXPECT_EQ(code.Decode(burst), messages) << "burst at " << start;
+  }
+}
+
+TEST(InterleavedCode, WithoutInterleavingTheSameBurstKills) {
+  // Control: the same burst inside a single inner codeword (depth 1)
+  // exceeds Hamming's radius and corrupts the message.
+  Rng rng(3);
+  const InterleavedCode flat(Inner(), 1);
+  int corrupted = 0;
+  for (int trial = 0; trial < 16; ++trial) {
+    const std::vector<std::uint64_t> messages{rng.UniformInt(16)};
+    BitString word = flat.Encode(messages);
+    for (std::size_t p = 0; p < 4; ++p) word.Set(p, !word[p]);
+    corrupted += flat.Decode(word) != messages;
+  }
+  EXPECT_GE(corrupted, 12);
+}
+
+TEST(InterleavedCode, WorksWithCodebookInner) {
+  Rng rng(4);
+  const auto inner = std::make_shared<CodebookCode>(
+      CodebookCode::Random(33, 30, 9));
+  const InterleavedCode code(inner, 3);
+  std::vector<std::uint64_t> messages{0, 17, 32};
+  EXPECT_EQ(code.Decode(code.Encode(messages)), messages);
+}
+
+}  // namespace
+}  // namespace noisybeeps

@@ -1,0 +1,147 @@
+#include "ecc/reed_solomon.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "util/rng.h"
+
+namespace noisybeeps {
+namespace {
+
+std::vector<std::uint8_t> RandomData(int k, Rng& rng) {
+  std::vector<std::uint8_t> data(k);
+  for (auto& b : data) b = static_cast<std::uint8_t>(rng.UniformInt(256));
+  return data;
+}
+
+TEST(ReedSolomon, ParameterValidation) {
+  EXPECT_THROW(ReedSolomon(10, 10), std::invalid_argument);
+  EXPECT_THROW(ReedSolomon(10, 0), std::invalid_argument);
+  EXPECT_THROW(ReedSolomon(256, 100), std::invalid_argument);
+  const ReedSolomon rs(255, 223);
+  EXPECT_EQ(rs.parity_symbols(), 32);
+  EXPECT_EQ(rs.correctable_errors(), 16);
+}
+
+TEST(ReedSolomon, EncodeIsSystematic) {
+  Rng rng(51);
+  const ReedSolomon rs(20, 12);
+  const auto data = RandomData(12, rng);
+  const auto word = rs.Encode(data);
+  ASSERT_EQ(word.size(), 20u);
+  for (int i = 0; i < 12; ++i) EXPECT_EQ(word[i], data[i]);
+}
+
+TEST(ReedSolomon, CleanWordDecodes) {
+  Rng rng(52);
+  const ReedSolomon rs(30, 20);
+  const auto data = RandomData(20, rng);
+  const auto decoded = rs.Decode(rs.Encode(data));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, data);
+}
+
+TEST(ReedSolomon, EncodeRejectsWrongLength) {
+  const ReedSolomon rs(10, 6);
+  EXPECT_THROW((void)rs.Encode(std::vector<std::uint8_t>(5)),
+               std::invalid_argument);
+  EXPECT_THROW((void)rs.Decode(std::vector<std::uint8_t>(9)),
+               std::invalid_argument);
+}
+
+class RsCorrectionTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(RsCorrectionTest, CorrectsUpToTErrors) {
+  const auto [n, k] = GetParam();
+  const ReedSolomon rs(n, k);
+  const int t = rs.correctable_errors();
+  Rng rng(60 + n * 257 + k);
+  for (int trial = 0; trial < 25; ++trial) {
+    const auto data = RandomData(k, rng);
+    auto word = rs.Encode(data);
+    // Corrupt exactly e distinct positions with nonzero error values.
+    const int e = 1 + static_cast<int>(rng.UniformInt(t));
+    std::vector<int> positions;
+    while (static_cast<int>(positions.size()) < e) {
+      const int p = static_cast<int>(rng.UniformInt(n));
+      bool fresh = true;
+      for (int q : positions) fresh = fresh && q != p;
+      if (fresh) positions.push_back(p);
+    }
+    for (int p : positions) {
+      word[p] ^= static_cast<std::uint8_t>(1 + rng.UniformInt(255));
+    }
+    const auto decoded = rs.Decode(word);
+    ASSERT_TRUE(decoded.has_value())
+        << "n=" << n << " k=" << k << " e=" << e << " trial=" << trial;
+    EXPECT_EQ(*decoded, data);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, RsCorrectionTest,
+                         ::testing::Values(std::make_tuple(15, 9),
+                                           std::make_tuple(20, 12),
+                                           std::make_tuple(32, 16),
+                                           std::make_tuple(63, 45),
+                                           std::make_tuple(255, 223)));
+
+TEST(ReedSolomon, DetectsBeyondRadiusMostly) {
+  // With t+several errors the decoder must not silently return wrong data
+  // *as the original*: it either fails (nullopt) or -- rarely -- lands on
+  // a different codeword.  It must never return the original data.
+  Rng rng(61);
+  const ReedSolomon rs(20, 10);
+  const int t = rs.correctable_errors();
+  int wrong_accepts = 0;
+  for (int trial = 0; trial < 60; ++trial) {
+    const auto data = RandomData(10, rng);
+    auto word = rs.Encode(data);
+    std::vector<int> positions;
+    while (static_cast<int>(positions.size()) < t + 3) {
+      const int p = static_cast<int>(rng.UniformInt(20));
+      bool fresh = true;
+      for (int q : positions) fresh = fresh && q != p;
+      if (fresh) positions.push_back(p);
+    }
+    for (int p : positions) {
+      word[p] ^= static_cast<std::uint8_t>(1 + rng.UniformInt(255));
+    }
+    const auto decoded = rs.Decode(word);
+    if (decoded.has_value()) {
+      EXPECT_NE(*decoded, data) << "trial " << trial;
+      ++wrong_accepts;
+    }
+  }
+  // Miscorrection beyond the radius is possible but rare.
+  EXPECT_LE(wrong_accepts, 6);
+}
+
+TEST(ReedSolomon, CorrectsBurstErrors) {
+  Rng rng(62);
+  const ReedSolomon rs(40, 24);
+  const auto data = RandomData(24, rng);
+  auto word = rs.Encode(data);
+  // A contiguous burst of t symbol errors.
+  for (int p = 5; p < 5 + rs.correctable_errors(); ++p) {
+    word[p] ^= 0x5A;
+  }
+  const auto decoded = rs.Decode(word);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, data);
+}
+
+TEST(ReedSolomon, ParityOneCodeDetectsOnly) {
+  // n-k = 1 corrects zero errors; clean decode still works.
+  const ReedSolomon rs(9, 8);
+  EXPECT_EQ(rs.correctable_errors(), 0);
+  Rng rng(63);
+  const auto data = RandomData(8, rng);
+  const auto decoded = rs.Decode(rs.Encode(data));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, data);
+}
+
+}  // namespace
+}  // namespace noisybeeps

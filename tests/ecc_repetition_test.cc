@@ -1,0 +1,67 @@
+#include "ecc/repetition.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "ecc/code.h"
+
+namespace noisybeeps {
+namespace {
+
+TEST(RepetitionCode, EncodeRepeats) {
+  const RepetitionCode code(5);
+  EXPECT_EQ(code.Encode(0).ToString(), "00000");
+  EXPECT_EQ(code.Encode(1).ToString(), "11111");
+  EXPECT_EQ(code.num_messages(), 2u);
+  EXPECT_EQ(code.codeword_length(), 5u);
+}
+
+TEST(RepetitionCode, RejectsBadParameters) {
+  EXPECT_THROW(RepetitionCode(0), std::invalid_argument);
+  const RepetitionCode code(3);
+  EXPECT_THROW((void)code.Encode(2), std::invalid_argument);
+  EXPECT_THROW((void)code.Decode(BitString::FromString("11")),
+               std::invalid_argument);
+}
+
+TEST(RepetitionCode, MajorityDecoding) {
+  const RepetitionCode code(5);
+  EXPECT_EQ(code.Decode(BitString::FromString("00000")), 0u);
+  EXPECT_EQ(code.Decode(BitString::FromString("00100")), 0u);
+  EXPECT_EQ(code.Decode(BitString::FromString("01101")), 1u);
+  EXPECT_EQ(code.Decode(BitString::FromString("11111")), 1u);
+}
+
+TEST(RepetitionCode, TieBreaksToOne) {
+  const RepetitionCode code(4);
+  EXPECT_EQ(code.Decode(BitString::FromString("0101")), 1u);
+}
+
+TEST(RepetitionCode, MinimumDistanceEqualsLength) {
+  for (std::size_t r : {1u, 2u, 3u, 7u}) {
+    EXPECT_EQ(MinimumDistance(RepetitionCode(r)), r);
+  }
+}
+
+class RepetitionCorrectionTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RepetitionCorrectionTest, CorrectsUpToHalfMinusOneFlips) {
+  const int r = GetParam();
+  const RepetitionCode code(r);
+  const int correctable = (r - 1) / 2;
+  for (std::uint64_t msg : {0u, 1u}) {
+    BitString word = code.Encode(msg);
+    for (int e = 0; e < correctable; ++e) {
+      word.Set(e, !word[e]);
+      EXPECT_EQ(code.Decode(word), msg)
+          << "r=" << r << " msg=" << msg << " errors=" << e + 1;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Radii, RepetitionCorrectionTest,
+                         ::testing::Values(3, 5, 7, 9, 15, 33));
+
+}  // namespace
+}  // namespace noisybeeps

@@ -1,0 +1,163 @@
+// Boundary conditions across the stack: single parties, unit lengths,
+// unit chunks, empty transcripts -- the degenerate shapes that production
+// users hit first and asymptotic reasoning ignores.
+#include <gtest/gtest.h>
+
+#include "channel/correlated.h"
+#include "channel/noiseless.h"
+#include "coding/hierarchical_sim.h"
+#include "coding/repetition_sim.h"
+#include "coding/rewind_sim.h"
+#include "protocol/executor.h"
+#include "tasks/input_set.h"
+#include "tasks/or_task.h"
+#include "tasks/random_protocol.h"
+#include "util/rng.h"
+
+namespace noisybeeps {
+namespace {
+
+// A do-nothing protocol of length zero.
+class SilentParty final : public Party {
+ public:
+  [[nodiscard]] bool ChooseBeep(const BitString&) const override {
+    return false;
+  }
+  [[nodiscard]] PartyOutput ComputeOutput(const BitString& pi) const override {
+    return PartyOutput{pi.size()};
+  }
+};
+
+std::unique_ptr<Protocol> ZeroLengthProtocol(int n) {
+  std::vector<std::unique_ptr<Party>> parties;
+  for (int i = 0; i < n; ++i) parties.push_back(std::make_unique<SilentParty>());
+  return std::make_unique<BasicProtocol>(std::move(parties), 0);
+}
+
+TEST(EdgeCases, ZeroLengthProtocolExecutes) {
+  Rng rng(1);
+  const NoiselessChannel channel;
+  const auto protocol = ZeroLengthProtocol(3);
+  const ExecutionResult result = Execute(*protocol, channel, rng);
+  EXPECT_TRUE(result.shared().empty());
+  for (const PartyOutput& out : result.outputs) {
+    EXPECT_EQ(out, PartyOutput{0});
+  }
+}
+
+TEST(EdgeCases, SimulatorsHandleZeroLengthProtocols) {
+  Rng rng(2);
+  const CorrelatedNoisyChannel channel(0.1);
+  const auto protocol = ZeroLengthProtocol(4);
+  const RepetitionSimulator rep;
+  const RewindSimulator rewind;
+  const HierarchicalSimulator hier;
+  for (const Simulator* sim :
+       std::initializer_list<const Simulator*>{&rep, &rewind, &hier}) {
+    const SimulationResult result = sim->Simulate(*protocol, channel, rng);
+    EXPECT_FALSE(result.budget_exhausted) << sim->name();
+    EXPECT_EQ(result.noisy_rounds_used, 0) << sim->name();
+    for (const BitString& t : result.transcripts) EXPECT_TRUE(t.empty());
+  }
+}
+
+TEST(EdgeCases, SinglePartyProtocols) {
+  Rng rng(3);
+  const CorrelatedNoisyChannel channel(0.05);
+  const RewindSimulator sim;
+  // n = 1 InputSet: universe of size 2, one beeping round.
+  const InputSetInstance instance{{1}};
+  const auto protocol = MakeInputSetProtocol(instance);
+  int correct = 0;
+  for (int t = 0; t < 10; ++t) {
+    const SimulationResult result = sim.Simulate(*protocol, channel, rng);
+    correct += InputSetAllCorrect(instance, result.outputs);
+  }
+  EXPECT_GE(correct, 9);
+}
+
+TEST(EdgeCases, OneRoundProtocolThroughEverySimulator) {
+  Rng rng(4);
+  const CorrelatedNoisyChannel channel(0.05);
+  const std::vector<std::uint8_t> bits{0, 1, 0};
+  for (int trial = 0; trial < 5; ++trial) {
+    const auto protocol = MakeOrProtocol(bits);
+    const RepetitionSimulator rep;
+    const RewindSimulator rewind;
+    const HierarchicalSimulator hier;
+    for (const Simulator* sim :
+         std::initializer_list<const Simulator*>{&rep, &rewind, &hier}) {
+      const SimulationResult result = sim->Simulate(*protocol, channel, rng);
+      for (const PartyOutput& out : result.outputs) {
+        EXPECT_EQ(out, PartyOutput{1}) << sim->name();
+      }
+    }
+  }
+}
+
+TEST(EdgeCases, UnitChunkRewind) {
+  Rng rng(5);
+  const CorrelatedNoisyChannel channel(0.05);
+  RewindSimOptions options;
+  options.chunk_len = 1;  // one protocol round per chunk
+  const RewindSimulator sim(options);
+  const InputSetInstance instance{{0, 3, 5}};
+  const auto protocol = MakeInputSetProtocol(instance);
+  const SimulationResult result = sim.Simulate(*protocol, channel, rng);
+  EXPECT_TRUE(result.AllMatch(ReferenceTranscript(*protocol)));
+}
+
+TEST(EdgeCases, ChunkLargerThanProtocol) {
+  Rng rng(6);
+  const CorrelatedNoisyChannel channel(0.05);
+  RewindSimOptions options;
+  options.chunk_len = 1000;  // clamped to T internally
+  const RewindSimulator sim(options);
+  const InputSetInstance instance{{1, 2}};
+  const auto protocol = MakeInputSetProtocol(instance);
+  const SimulationResult result = sim.Simulate(*protocol, channel, rng);
+  EXPECT_TRUE(result.AllMatch(ReferenceTranscript(*protocol)));
+}
+
+TEST(EdgeCases, AllOnesAndAllZerosTranscripts) {
+  Rng rng(7);
+  const CorrelatedNoisyChannel channel(0.05);
+  const RewindSimulator sim;
+  // density 1.0: every party beeps every round (all-ones transcript,
+  // maximal owner load); density 0.0: nobody ever beeps (all-zero
+  // transcript, pure 0->1 defence).
+  for (double density : {0.0, 1.0}) {
+    const RandomProtocolSpec spec =
+        SampleRandomProtocol(6, 18, density, false, rng);
+    const auto protocol = MakeRandomProtocol(spec);
+    const SimulationResult result = sim.Simulate(*protocol, channel, rng);
+    EXPECT_TRUE(result.AllMatch(ReferenceTranscript(*protocol))) << density;
+  }
+}
+
+TEST(EdgeCases, EpsilonZeroChannelsBehaveNoiselessly) {
+  Rng rng(8);
+  const CorrelatedNoisyChannel channel(0.0);
+  const InputSetInstance instance{{0, 1, 4}};
+  const auto protocol = MakeInputSetProtocol(instance);
+  const ExecutionResult result = Execute(*protocol, channel, rng);
+  EXPECT_EQ(result.shared(), ReferenceTranscript(*protocol));
+}
+
+TEST(EdgeCases, RepetitionSimWithNEqualsOne) {
+  Rng rng(9);
+  const CorrelatedNoisyChannel channel(0.1);
+  const RepetitionSimulator sim;  // default rep factor at n=1 is rep_c+1
+  EXPECT_GE(sim.EffectiveRepFactor(1), 2);
+  const std::vector<std::uint8_t> bits{1};
+  const auto protocol = MakeOrProtocol(bits);
+  int correct = 0;
+  for (int t = 0; t < 20; ++t) {
+    const SimulationResult result = sim.Simulate(*protocol, channel, rng);
+    correct += result.outputs[0] == PartyOutput{1};
+  }
+  EXPECT_GE(correct, 18);
+}
+
+}  // namespace
+}  // namespace noisybeeps

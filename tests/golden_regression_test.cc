@@ -1,0 +1,90 @@
+// Golden regression pins: exact seeded outputs of the stochastic
+// components.  EXPERIMENTS.md promises bit-reproducible numbers; these
+// tests fail loudly if anyone changes an RNG, a sampling routine, or a
+// protocol definition in a way that would silently invalidate every
+// documented measurement.  If a change here is INTENTIONAL, update the
+// pinned values and re-run the benchmarks to refresh EXPERIMENTS.md.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "channel/correlated.h"
+#include "channel/trace.h"
+#include "coding/rewind_sim.h"
+#include "protocol/executor.h"
+#include "tasks/input_set.h"
+#include "util/rng.h"
+
+namespace noisybeeps {
+namespace {
+
+TEST(Golden, RngStreamIsPinned) {
+  Rng rng(42);
+  EXPECT_EQ(rng.NextU64(), 0x15780b2e0c2ec716ULL);
+  EXPECT_EQ(rng.NextU64(), 0x6104d9866d113a7eULL);
+  EXPECT_EQ(rng.NextU64(), 0xae17533239e499a1ULL);
+}
+
+TEST(Golden, InputSetSampleIsPinned) {
+  Rng rng(7);
+  const InputSetInstance instance = SampleInputSet(8, rng);
+  EXPECT_EQ(instance.inputs,
+            (std::vector<int>{11, 4, 13, 15, 15, 13, 0, 1}));
+}
+
+TEST(Golden, ReferenceTranscriptIsPinned) {
+  Rng rng(7);
+  const InputSetInstance instance = SampleInputSet(8, rng);
+  const auto protocol = MakeInputSetProtocol(instance);
+  EXPECT_EQ(ReferenceTranscript(*protocol).ToString(), "1100100000010101");
+}
+
+TEST(Golden, NoisyExecutionIsPinned) {
+  Rng rng(7);
+  const InputSetInstance instance = SampleInputSet(8, rng);
+  const auto protocol = MakeInputSetProtocol(instance);
+  const CorrelatedNoisyChannel channel(0.2);
+  const ExecutionResult result = Execute(*protocol, channel, rng);
+  EXPECT_EQ(result.shared().ToString(), "1000100000101101");
+}
+
+TEST(Golden, RewindSimulationCostIsPinned) {
+  Rng rng(7);
+  const InputSetInstance instance = SampleInputSet(8, rng);
+  const auto protocol = MakeInputSetProtocol(instance);
+  const CorrelatedNoisyChannel channel(0.05);
+  const RewindSimulator sim;
+  const SimulationResult result = sim.Simulate(*protocol, channel, rng);
+  EXPECT_TRUE(result.AllMatch(ReferenceTranscript(*protocol)));
+  EXPECT_EQ(result.noisy_rounds_used, 1160);
+}
+
+TEST(Golden, TraceCsvRoundTrips) {
+  Rng rng(9);
+  const InputSetInstance instance = SampleInputSet(4, rng);
+  const auto protocol = MakeInputSetProtocol(instance);
+  const CorrelatedNoisyChannel inner(0.3);
+  const RecordingChannel recorder(inner);
+  (void)Execute(*protocol, recorder, rng);
+
+  std::stringstream buffer;
+  WriteTraceCsv(recorder.trace(), buffer);
+  const Trace parsed = ReadTraceCsv(buffer);
+  ASSERT_EQ(parsed.size(), recorder.trace().size());
+  for (std::size_t r = 0; r < parsed.size(); ++r) {
+    EXPECT_EQ(parsed[r].or_bit, recorder.trace()[r].or_bit);
+    EXPECT_EQ(parsed[r].delivered, recorder.trace()[r].delivered);
+  }
+}
+
+TEST(Golden, TraceCsvRejectsMalformedInput) {
+  std::istringstream missing_header("0,1,11\n");
+  EXPECT_THROW((void)ReadTraceCsv(missing_header), std::invalid_argument);
+  std::istringstream bad_bit("round,or_bit,delivered\n0,1,1x\n");
+  EXPECT_THROW((void)ReadTraceCsv(bad_bit), std::invalid_argument);
+  std::istringstream out_of_order("round,or_bit,delivered\n1,1,11\n");
+  EXPECT_THROW((void)ReadTraceCsv(out_of_order), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace noisybeeps

@@ -1,0 +1,117 @@
+// Model-based property tests: run library data structures against naive
+// reference implementations under long random operation sequences.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/bitstring.h"
+#include "util/rng.h"
+
+namespace noisybeeps {
+namespace {
+
+// Reference model: std::vector<bool> with the obvious semantics.
+class ReferenceBits {
+ public:
+  void PushBack(bool b) { bits_.push_back(b); }
+  void Set(std::size_t i, bool b) { bits_[i] = b; }
+  [[nodiscard]] bool Get(std::size_t i) const { return bits_[i]; }
+  void Truncate(std::size_t size) { bits_.resize(size); }
+  void Append(const ReferenceBits& other) {
+    bits_.insert(bits_.end(), other.bits_.begin(), other.bits_.end());
+  }
+  [[nodiscard]] std::size_t size() const { return bits_.size(); }
+  [[nodiscard]] std::size_t PopCount() const {
+    std::size_t count = 0;
+    for (bool b : bits_) count += b;
+    return count;
+  }
+  [[nodiscard]] std::string ToString() const {
+    std::string s;
+    for (bool b : bits_) s.push_back(b ? '1' : '0');
+    return s;
+  }
+
+ private:
+  std::vector<bool> bits_;
+};
+
+TEST(BitStringModel, LongRandomOperationSequencesAgree) {
+  Rng rng(2024);
+  for (int run = 0; run < 20; ++run) {
+    BitString subject;
+    ReferenceBits model;
+    for (int op = 0; op < 2000; ++op) {
+      switch (rng.UniformInt(6)) {
+        case 0:
+        case 1: {  // push (weighted: growth dominates)
+          const bool bit = rng.Bit();
+          subject.PushBack(bit);
+          model.PushBack(bit);
+          break;
+        }
+        case 2: {  // set
+          if (model.size() > 0) {
+            const std::size_t i = rng.UniformInt(model.size());
+            const bool bit = rng.Bit();
+            subject.Set(i, bit);
+            model.Set(i, bit);
+          }
+          break;
+        }
+        case 3: {  // truncate
+          if (model.size() > 0) {
+            const std::size_t target = rng.UniformInt(model.size() + 1);
+            subject.Truncate(target);
+            model.Truncate(target);
+          }
+          break;
+        }
+        case 4: {  // append a small random batch
+          BitString extra_subject;
+          ReferenceBits extra_model;
+          const int len = static_cast<int>(rng.UniformInt(70));
+          for (int i = 0; i < len; ++i) {
+            const bool bit = rng.Bit();
+            extra_subject.PushBack(bit);
+            extra_model.PushBack(bit);
+          }
+          subject.Append(extra_subject);
+          model.Append(extra_model);
+          break;
+        }
+        case 5: {  // point read
+          if (model.size() > 0) {
+            const std::size_t i = rng.UniformInt(model.size());
+            ASSERT_EQ(subject[i], model.Get(i));
+          }
+          break;
+        }
+      }
+      ASSERT_EQ(subject.size(), model.size()) << "run " << run << " op " << op;
+    }
+    EXPECT_EQ(subject.ToString(), model.ToString());
+    EXPECT_EQ(subject.PopCount(), model.PopCount());
+  }
+}
+
+TEST(BitStringModel, PrefixSubstringConsistency) {
+  Rng rng(2025);
+  for (int run = 0; run < 50; ++run) {
+    BitString s;
+    const int len = static_cast<int>(rng.UniformInt(300));
+    for (int i = 0; i < len; ++i) s.PushBack(rng.Bit());
+    const std::size_t a = rng.UniformInt(len + 1);
+    const std::size_t b = a + rng.UniformInt(len - a + 1);
+    const BitString sub = s.Substring(a, b);
+    ASSERT_EQ(sub.size(), b - a);
+    for (std::size_t i = 0; i < sub.size(); ++i) {
+      ASSERT_EQ(sub[i], s[a + i]);
+    }
+    EXPECT_EQ(s.Prefix(a), s.Substring(0, a));
+    EXPECT_TRUE(s.StartsWith(s.Prefix(a)));
+  }
+}
+
+}  // namespace
+}  // namespace noisybeeps

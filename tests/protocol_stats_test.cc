@@ -1,0 +1,64 @@
+#include "protocol/protocol_stats.h"
+
+#include <gtest/gtest.h>
+
+#include "tasks/bit_exchange.h"
+#include "tasks/input_set.h"
+#include "tasks/or_vector.h"
+#include "util/rng.h"
+
+namespace noisybeeps {
+namespace {
+
+TEST(ProtocolStats, InputSetCounts) {
+  // inputs {0, 2, 2} over universe 6: rounds 0 and 2 carry beeps; round 0
+  // has a unique beeper, round 2 has two.
+  const InputSetInstance instance{{0, 2, 2}};
+  const auto protocol = MakeInputSetProtocol(instance);
+  const ProtocolStats stats = ComputeProtocolStats(*protocol);
+  EXPECT_EQ(stats.length, 6);
+  EXPECT_EQ(stats.one_rounds, 2u);
+  EXPECT_EQ(stats.unique_owner_rounds, 1u);
+  EXPECT_EQ(stats.silent_rounds, 4u);
+  EXPECT_EQ(stats.beeper_histogram[0], 4u);
+  EXPECT_EQ(stats.beeper_histogram[1], 1u);
+  EXPECT_EQ(stats.beeper_histogram[2], 1u);
+  EXPECT_EQ(stats.beeper_histogram[3], 0u);
+  EXPECT_NEAR(stats.transcript_density(), 2.0 / 6.0, 1e-12);
+}
+
+TEST(ProtocolStats, BitExchangeAllRoundsHaveAtMostOneBeeper) {
+  Rng rng(1);
+  const BitExchangeInstance instance = SampleBitExchange(5, 8, rng);
+  const auto protocol = MakeBitExchangeProtocol(instance);
+  const ProtocolStats stats = ComputeProtocolStats(*protocol);
+  // Unique ownership is structural: a 1-round has exactly one beeper.
+  EXPECT_EQ(stats.unique_owner_rounds, stats.one_rounds);
+  for (std::size_t k = 2; k < stats.beeper_histogram.size(); ++k) {
+    EXPECT_EQ(stats.beeper_histogram[k], 0u) << k;
+  }
+}
+
+TEST(ProtocolStats, HistogramSumsToLength) {
+  Rng rng(2);
+  const OrVectorInstance instance = SampleOrVector(6, 40, 0.2, rng);
+  const auto protocol = MakeOrVectorProtocol(instance);
+  const ProtocolStats stats = ComputeProtocolStats(*protocol);
+  std::size_t total = 0;
+  for (std::size_t c : stats.beeper_histogram) total += c;
+  EXPECT_EQ(total, static_cast<std::size_t>(stats.length));
+  EXPECT_EQ(stats.one_rounds + stats.silent_rounds,
+            static_cast<std::size_t>(stats.length));
+}
+
+TEST(ProtocolStats, DensityMatchesReferenceTranscript) {
+  Rng rng(3);
+  const OrVectorInstance instance = SampleOrVector(4, 60, 0.15, rng);
+  const auto protocol = MakeOrVectorProtocol(instance);
+  const ProtocolStats stats = ComputeProtocolStats(*protocol);
+  const BitString pi = ReferenceTranscript(*protocol);
+  EXPECT_EQ(stats.one_rounds, pi.PopCount());
+}
+
+}  // namespace
+}  // namespace noisybeeps

@@ -1,0 +1,72 @@
+// Larger-scale end-to-end runs (each a second or less): the regimes a
+// downstream user actually deploys, kept in the default test suite as a
+// canary for performance and robustness regressions.
+#include <gtest/gtest.h>
+
+#include "channel/correlated.h"
+#include "coding/hierarchical_sim.h"
+#include "coding/rewind_sim.h"
+#include "protocol/combinators.h"
+#include "tasks/bit_exchange.h"
+#include "tasks/input_set.h"
+#include "tasks/random_protocol.h"
+#include "util/rng.h"
+
+namespace noisybeeps {
+namespace {
+
+TEST(Stress, RewindAt128Parties) {
+  Rng rng(1);
+  const CorrelatedNoisyChannel channel(0.05);
+  const RewindSimulator sim;
+  const InputSetInstance instance = SampleInputSet(128, rng);
+  const auto protocol = MakeInputSetProtocol(instance);
+  const SimulationResult result = sim.Simulate(*protocol, channel, rng);
+  EXPECT_FALSE(result.budget_exhausted);
+  EXPECT_TRUE(result.AllMatch(ReferenceTranscript(*protocol)));
+  EXPECT_TRUE(InputSetAllCorrect(instance, result.outputs));
+}
+
+TEST(Stress, HierarchicalOverSixtyChunks) {
+  Rng rng(2);
+  const CorrelatedNoisyChannel channel(0.05);
+  // 8 parties, chunk = 8, T = 512: 64 chunks, audits up to level 6.
+  const auto base = std::shared_ptr<const Protocol>(
+      MakeBitExchangeProtocol(SampleBitExchange(8, 8, rng)));
+  const auto repeated = RepeatProtocol(base, 8);  // T = 512
+  const HierarchicalSimulator sim;
+  const SimulationResult result = sim.Simulate(*repeated, channel, rng);
+  EXPECT_FALSE(result.budget_exhausted);
+  EXPECT_TRUE(result.AllMatch(ReferenceTranscript(*repeated)));
+}
+
+TEST(Stress, ScheduledPresetAt256Parties) {
+  Rng rng(3);
+  const CorrelatedNoisyChannel channel(0.05);
+  const BitExchangeInstance instance = SampleBitExchange(256, 4, rng);
+  const RewindSimulator sim(
+      RewindSimOptions::Scheduled(BitExchangeSchedule(256, 4)));
+  const auto protocol = MakeBitExchangeProtocol(instance);  // T = 1024
+  const SimulationResult result = sim.Simulate(*protocol, channel, rng);
+  EXPECT_FALSE(result.budget_exhausted);
+  EXPECT_TRUE(BitExchangeAllCorrect(instance, result.outputs));
+  // Constant-overhead regime even at this scale.
+  EXPECT_LT(static_cast<double>(result.noisy_rounds_used) /
+                protocol->length(),
+            8.0);
+}
+
+TEST(Stress, DenseAdaptiveRandomProtocol) {
+  Rng rng(4);
+  const CorrelatedNoisyChannel channel(0.05);
+  const RandomProtocolSpec spec =
+      SampleRandomProtocol(24, 96, 0.5, /*adaptive=*/true, rng);
+  const auto protocol = MakeRandomProtocol(spec);
+  const RewindSimulator sim;
+  const SimulationResult result = sim.Simulate(*protocol, channel, rng);
+  EXPECT_FALSE(result.budget_exhausted);
+  EXPECT_TRUE(result.AllMatch(ReferenceTranscript(*protocol)));
+}
+
+}  // namespace
+}  // namespace noisybeeps

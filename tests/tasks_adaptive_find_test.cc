@@ -1,0 +1,93 @@
+#include "tasks/adaptive_find.h"
+
+#include <gtest/gtest.h>
+
+#include "channel/correlated.h"
+#include "channel/noiseless.h"
+#include "protocol/executor.h"
+#include "util/math.h"
+#include "util/rng.h"
+
+namespace noisybeeps {
+namespace {
+
+TEST(AdaptiveFind, AnswerIsHighestSetBit) {
+  AdaptiveFindInstance instance;
+  instance.bits = {1, 0, 1, 0, 0};
+  EXPECT_EQ(AdaptiveFindAnswer(instance), 2u);
+  instance.bits = {0, 0, 0};
+  EXPECT_EQ(AdaptiveFindAnswer(instance), 3u);  // "not found" == n
+  instance.bits = {0, 0, 1};
+  EXPECT_EQ(AdaptiveFindAnswer(instance), 2u);
+}
+
+TEST(AdaptiveFind, ProtocolLengthIsLogarithmic) {
+  AdaptiveFindInstance instance;
+  instance.bits.assign(16, 1);
+  const auto protocol = MakeAdaptiveFindProtocol(instance);
+  EXPECT_EQ(protocol->length(), 1 + CeilLog2(16));
+}
+
+TEST(AdaptiveFind, ExhaustiveSmallInstances) {
+  // All 2^n bit patterns for several n: the binary search must always
+  // land on the highest set index.
+  Rng rng(1);
+  const NoiselessChannel channel;
+  for (int n : {1, 2, 3, 5, 8}) {
+    for (unsigned mask = 0; mask < (1u << n); ++mask) {
+      AdaptiveFindInstance instance;
+      for (int i = 0; i < n; ++i) {
+        instance.bits.push_back((mask >> i) & 1);
+      }
+      const auto protocol = MakeAdaptiveFindProtocol(instance);
+      const ExecutionResult result = Execute(*protocol, channel, rng);
+      EXPECT_TRUE(AdaptiveFindAllCorrect(instance, result.outputs))
+          << "n=" << n << " mask=" << mask;
+    }
+  }
+}
+
+TEST(AdaptiveFind, LargeRandomInstances) {
+  Rng rng(2);
+  const NoiselessChannel channel;
+  for (int t = 0; t < 30; ++t) {
+    const int n = 3 + static_cast<int>(rng.UniformInt(500));
+    const AdaptiveFindInstance instance = SampleAdaptiveFind(n, 0.1, rng);
+    const auto protocol = MakeAdaptiveFindProtocol(instance);
+    const ExecutionResult result = Execute(*protocol, channel, rng);
+    EXPECT_TRUE(AdaptiveFindAllCorrect(instance, result.outputs)) << n;
+  }
+}
+
+TEST(AdaptiveFind, BeepsDependOnTranscript) {
+  // The same party must beep differently under different prefixes --
+  // adaptivity in action.  Party 6 of 8 (upper half) with a 1:
+  AdaptiveFindInstance instance;
+  instance.bits = {0, 0, 0, 0, 0, 0, 1, 0};
+  const auto protocol = MakeAdaptiveFindProtocol(instance);
+  const Party& party = protocol->party(6);
+  // After probe answered 1, range [0,8) -> probe [4,8): party 6 beeps.
+  EXPECT_TRUE(party.ChooseBeep(BitString::FromString("1")));
+  // If round 1 then answers 0 (nobody in [4,8)... counterfactual), range
+  // becomes [0,4): party 6 is outside and must stay silent.
+  EXPECT_FALSE(party.ChooseBeep(BitString::FromString("10")));
+}
+
+TEST(AdaptiveFind, NoiseDerailsSearch) {
+  Rng rng(3);
+  const CorrelatedNoisyChannel channel(0.3);
+  int correct = 0;
+  constexpr int kTrials = 60;
+  for (int t = 0; t < kTrials; ++t) {
+    const AdaptiveFindInstance instance = SampleAdaptiveFind(64, 0.2, rng);
+    const auto protocol = MakeAdaptiveFindProtocol(instance);
+    const ExecutionResult result = Execute(*protocol, channel, rng);
+    correct += AdaptiveFindAllCorrect(instance, result.outputs);
+  }
+  // 7 rounds at eps=0.3: survival ~ 0.7^7 ~ 8%; a wrong round can still
+  // luck into the right answer occasionally.
+  EXPECT_LE(correct, kTrials / 2);
+}
+
+}  // namespace
+}  // namespace noisybeeps

@@ -1,0 +1,92 @@
+#include "tasks/bit_exchange.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "channel/noiseless.h"
+#include "channel/correlated.h"
+#include "protocol/executor.h"
+#include "util/rng.h"
+
+namespace noisybeeps {
+namespace {
+
+TEST(BitExchange, SampleShapes) {
+  Rng rng(1);
+  const BitExchangeInstance instance = SampleBitExchange(5, 12, rng);
+  EXPECT_EQ(instance.payloads.size(), 5u);
+  EXPECT_EQ(instance.bits_per_party, 12);
+  for (std::uint64_t p : instance.payloads) {
+    EXPECT_LT(p, 1ull << 12);
+  }
+}
+
+TEST(BitExchange, TranscriptIsConcatenatedPayloads) {
+  BitExchangeInstance instance;
+  instance.payloads = {0b101, 0b010};  // low bit first on the wire
+  instance.bits_per_party = 3;
+  const auto protocol = MakeBitExchangeProtocol(instance);
+  EXPECT_EQ(protocol->length(), 6);
+  // Party 0's payload 0b101 goes out LSB-first: 1,0,1; then party 1: 0,1,0.
+  EXPECT_EQ(ReferenceTranscript(*protocol).ToString(), "101010");
+}
+
+TEST(BitExchange, NoiselessEveryoneLearnsEverything) {
+  Rng rng(2);
+  const NoiselessChannel channel;
+  for (int n : {1, 4, 9}) {
+    for (int k : {1, 7, 64}) {
+      const BitExchangeInstance instance = SampleBitExchange(n, k, rng);
+      const auto protocol = MakeBitExchangeProtocol(instance);
+      const ExecutionResult result = Execute(*protocol, channel, rng);
+      EXPECT_TRUE(BitExchangeAllCorrect(instance, result.outputs))
+          << "n=" << n << " k=" << k;
+    }
+  }
+}
+
+TEST(BitExchange, NoiseCorruptsPayloads) {
+  Rng rng(3);
+  const CorrelatedNoisyChannel channel(0.2);
+  int correct = 0;
+  for (int t = 0; t < 30; ++t) {
+    const BitExchangeInstance instance = SampleBitExchange(8, 16, rng);
+    const auto protocol = MakeBitExchangeProtocol(instance);
+    const ExecutionResult result = Execute(*protocol, channel, rng);
+    correct += BitExchangeAllCorrect(instance, result.outputs);
+  }
+  // 128 rounds at eps=0.2: survival chance (0.8)^128 ~ 4e-13.
+  EXPECT_EQ(correct, 0);
+}
+
+TEST(BitExchange, EveryOneHasAUniqueOwner) {
+  // In the reference transcript, each 1 is beeped by exactly one party --
+  // the property that makes BitExchange the canonical owner-finding load.
+  Rng rng(4);
+  const BitExchangeInstance instance = SampleBitExchange(6, 10, rng);
+  const auto protocol = MakeBitExchangeProtocol(instance);
+  BitString prefix;
+  for (int m = 0; m < protocol->length(); ++m) {
+    int beepers = 0;
+    for (int i = 0; i < 6; ++i) {
+      beepers += protocol->party(i).ChooseBeep(prefix);
+    }
+    EXPECT_LE(beepers, 1);
+    prefix.PushBack(beepers > 0);
+  }
+}
+
+TEST(BitExchange, ValidatesParameters) {
+  Rng rng(5);
+  EXPECT_THROW((void)SampleBitExchange(0, 4, rng), std::invalid_argument);
+  EXPECT_THROW((void)SampleBitExchange(2, 0, rng), std::invalid_argument);
+  EXPECT_THROW((void)SampleBitExchange(2, 65, rng), std::invalid_argument);
+  BitExchangeInstance bad;
+  bad.payloads = {1};
+  bad.bits_per_party = 0;
+  EXPECT_THROW((void)MakeBitExchangeProtocol(bad), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace noisybeeps

@@ -1,0 +1,86 @@
+#include "tasks/counting.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "channel/noiseless.h"
+#include "protocol/executor.h"
+#include "util/rng.h"
+
+namespace noisybeeps {
+namespace {
+
+TEST(Counting, ProtocolLength) {
+  Rng rng(1);
+  const CountingInstance instance = SampleCounting(10, 8, 6, rng);
+  const auto protocol = MakeCountingProtocol(instance);
+  EXPECT_EQ(protocol->length(), 9 * 6);
+  EXPECT_EQ(protocol->num_parties(), 10);
+}
+
+TEST(Counting, PhaseZeroEveryoneBeeps) {
+  Rng rng(2);
+  const CountingInstance instance = SampleCounting(4, 5, 3, rng);
+  const auto protocol = MakeCountingProtocol(instance);
+  BitString prefix;
+  for (int m = 0; m < 3; ++m) {  // phase 0 rounds
+    for (int i = 0; i < 4; ++i) {
+      EXPECT_TRUE(protocol->party(i).ChooseBeep(prefix));
+    }
+    prefix.PushBack(true);
+  }
+}
+
+TEST(Counting, EstimateWithinConstantFactorNoiseless) {
+  Rng rng(3);
+  const NoiselessChannel channel;
+  int good = 0;
+  constexpr int kTrials = 20;
+  for (int t = 0; t < kTrials; ++t) {
+    const CountingInstance instance = SampleCounting(64, 10, 15, rng);
+    const auto protocol = MakeCountingProtocol(instance);
+    const ExecutionResult result = Execute(*protocol, channel, rng);
+    good += CountingAllWithinFactor(instance, result.outputs, 8.0);
+  }
+  EXPECT_GE(good, kTrials - 2);
+}
+
+TEST(Counting, EstimateScalesAcrossSizes) {
+  Rng rng(4);
+  const NoiselessChannel channel;
+  for (int n : {4, 32, 256}) {
+    int good = 0;
+    constexpr int kTrials = 10;
+    for (int t = 0; t < kTrials; ++t) {
+      const CountingInstance instance = SampleCounting(n, 12, 15, rng);
+      const auto protocol = MakeCountingProtocol(instance);
+      const ExecutionResult result = Execute(*protocol, channel, rng);
+      good += CountingAllWithinFactor(instance, result.outputs, 8.0);
+    }
+    EXPECT_GE(good, 8) << n;
+  }
+}
+
+TEST(Counting, AllPartiesAgreeOnEstimate) {
+  Rng rng(5);
+  const NoiselessChannel channel;
+  const CountingInstance instance = SampleCounting(30, 8, 9, rng);
+  const auto protocol = MakeCountingProtocol(instance);
+  const ExecutionResult result = Execute(*protocol, channel, rng);
+  for (const PartyOutput& out : result.outputs) {
+    EXPECT_EQ(out, result.outputs.front());
+  }
+}
+
+TEST(Counting, ValidatesParameters) {
+  Rng rng(6);
+  EXPECT_THROW((void)SampleCounting(0, 4, 3, rng), std::invalid_argument);
+  EXPECT_THROW((void)SampleCounting(4, 0, 3, rng), std::invalid_argument);
+  EXPECT_THROW((void)SampleCounting(4, 4, 0, rng), std::invalid_argument);
+  EXPECT_THROW((void)CountingAllWithinFactor({}, {}, 0.5),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace noisybeeps

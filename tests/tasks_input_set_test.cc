@@ -1,0 +1,158 @@
+#include "tasks/input_set.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "channel/noiseless.h"
+#include "channel/one_sided.h"
+#include "protocol/executor.h"
+#include "util/rng.h"
+
+namespace noisybeeps {
+namespace {
+
+TEST(InputSet, SampleStaysInRange) {
+  Rng rng(1);
+  for (int n : {1, 2, 5, 33}) {
+    const InputSetInstance instance = SampleInputSet(n, rng);
+    EXPECT_EQ(instance.num_parties(), n);
+    EXPECT_EQ(instance.universe_size(), 2 * n);
+    for (int x : instance.inputs) {
+      EXPECT_GE(x, 0);
+      EXPECT_LT(x, 2 * n);
+    }
+  }
+}
+
+TEST(InputSet, ExpectedOutputIsMembershipMask) {
+  InputSetInstance instance;
+  instance.inputs = {0, 3, 3, 5};  // n=4, universe 8
+  const PartyOutput mask = InputSetExpectedOutput(instance);
+  ASSERT_EQ(mask.size(), 1u);
+  EXPECT_EQ(mask[0], (1u << 0) | (1u << 3) | (1u << 5));
+}
+
+TEST(InputSet, ExpectedOutputSpansMultipleWords) {
+  InputSetInstance instance;
+  instance.inputs.assign(40, 0);
+  instance.inputs[1] = 79;  // universe 80 -> 2 words
+  const PartyOutput mask = InputSetExpectedOutput(instance);
+  ASSERT_EQ(mask.size(), 2u);
+  EXPECT_EQ(mask[0], 1u);             // element 0
+  EXPECT_EQ(mask[1], 1ull << 15);     // element 79
+}
+
+TEST(InputSet, TrivialProtocolTranscriptIsIndicator) {
+  InputSetInstance instance;
+  instance.inputs = {1, 4, 4};  // universe 6
+  const auto protocol = MakeInputSetProtocol(instance);
+  EXPECT_EQ(protocol->length(), 6);
+  const BitString pi = ReferenceTranscript(*protocol);
+  EXPECT_EQ(pi.ToString(), "010010");
+}
+
+TEST(InputSet, NoiselessExecutionIsCorrect) {
+  Rng rng(2);
+  const NoiselessChannel channel;
+  for (int n : {1, 3, 8, 20}) {
+    const InputSetInstance instance = SampleInputSet(n, rng);
+    const auto protocol = MakeInputSetProtocol(instance);
+    const ExecutionResult result = Execute(*protocol, channel, rng);
+    EXPECT_TRUE(InputSetAllCorrect(instance, result.outputs)) << n;
+  }
+}
+
+TEST(InputSet, RepeatedProtocolLengthScales) {
+  InputSetInstance instance;
+  instance.inputs = {0, 1};
+  const auto protocol = MakeRepeatedInputSetProtocol(instance, 7);
+  EXPECT_EQ(protocol->length(), 4 * 7);
+}
+
+TEST(InputSet, RepeatedProtocolNoiselessCorrect) {
+  Rng rng(3);
+  const NoiselessChannel channel;
+  const InputSetInstance instance = SampleInputSet(6, rng);
+  for (int r : {1, 2, 5}) {
+    for (RoundDecision d :
+         {RoundDecision::kMajority, RoundDecision::kAllOnes}) {
+      const auto protocol = MakeRepeatedInputSetProtocol(instance, r, d);
+      const ExecutionResult result = Execute(*protocol, channel, rng);
+      EXPECT_TRUE(InputSetAllCorrect(instance, result.outputs));
+    }
+  }
+}
+
+TEST(InputSet, SingleRepetitionFailsUnderNoise) {
+  // The headline phenomenon: the trivial protocol breaks immediately on a
+  // one-sided 1/3 channel.
+  Rng rng(4);
+  const OneSidedUpChannel channel(1.0 / 3.0);
+  int correct = 0;
+  constexpr int kTrials = 50;
+  for (int t = 0; t < kTrials; ++t) {
+    const InputSetInstance instance = SampleInputSet(16, rng);
+    const auto protocol = MakeInputSetProtocol(instance);
+    const ExecutionResult result = Execute(*protocol, channel, rng);
+    correct += InputSetAllCorrect(instance, result.outputs);
+  }
+  // Pr[no flip in 32 rounds] = (2/3)^{~22 zero rounds} -- essentially 0.
+  EXPECT_LE(correct, 2);
+}
+
+TEST(InputSet, HeavyRepetitionSurvivesNoise) {
+  Rng rng(5);
+  const OneSidedUpChannel channel(1.0 / 3.0);
+  int correct = 0;
+  constexpr int kTrials = 30;
+  for (int t = 0; t < kTrials; ++t) {
+    const InputSetInstance instance = SampleInputSet(16, rng);
+    // All-ones rule is the ML decision under one-sided-up noise.
+    const auto protocol =
+        MakeRepeatedInputSetProtocol(instance, 25, RoundDecision::kAllOnes);
+    const ExecutionResult result = Execute(*protocol, channel, rng);
+    correct += InputSetAllCorrect(instance, result.outputs);
+  }
+  EXPECT_GE(correct, 28);
+}
+
+TEST(InputSet, AllCorrectDetectsWrongOutput) {
+  InputSetInstance instance;
+  instance.inputs = {0, 1};
+  std::vector<PartyOutput> outputs(2, InputSetExpectedOutput(instance));
+  EXPECT_TRUE(InputSetAllCorrect(instance, outputs));
+  outputs[1][0] ^= 1;
+  EXPECT_FALSE(InputSetAllCorrect(instance, outputs));
+}
+
+TEST(InputSetFamily, MatchesProtocolBehaviour) {
+  const auto family = MakeInputSetFamily(4, 3);
+  EXPECT_EQ(family->num_parties(), 4);
+  EXPECT_EQ(family->num_inputs(), 8);
+  EXPECT_EQ(family->length(), 24);
+  // Party with input 2 beeps exactly in logical round 2 (rounds 6..8).
+  const auto party = family->MakeParty(0, 2);
+  BitString prefix;
+  for (int m = 0; m < 24; ++m) {
+    EXPECT_EQ(party->ChooseBeep(prefix), m / 3 == 2) << m;
+    prefix.PushBack(false);
+  }
+}
+
+TEST(InputSetFamily, ValidatesArguments) {
+  const auto family = MakeInputSetFamily(3);
+  EXPECT_THROW((void)family->MakeParty(3, 0), std::invalid_argument);
+  EXPECT_THROW((void)family->MakeParty(0, 6), std::invalid_argument);
+  EXPECT_THROW((void)MakeInputSetFamily(0), std::invalid_argument);
+}
+
+TEST(InputSet, RejectsOutOfRangeInputs) {
+  InputSetInstance instance;
+  instance.inputs = {5};  // universe is 2 for n=1
+  EXPECT_THROW((void)MakeInputSetProtocol(instance), std::invalid_argument);
+  EXPECT_THROW((void)InputSetExpectedOutput(instance), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace noisybeeps

@@ -1,0 +1,118 @@
+#include "tasks/leader_election.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "channel/noiseless.h"
+#include "channel/correlated.h"
+#include "protocol/executor.h"
+#include "util/rng.h"
+
+namespace noisybeeps {
+namespace {
+
+TEST(LeaderElection, SampleProducesDistinctIds) {
+  Rng rng(1);
+  const LeaderElectionInstance instance = SampleLeaderElection(50, 10, rng);
+  ASSERT_EQ(instance.ids.size(), 50u);
+  std::vector<std::uint64_t> sorted = instance.ids;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(std::adjacent_find(sorted.begin(), sorted.end()), sorted.end());
+  for (std::uint64_t id : instance.ids) EXPECT_LT(id, 1u << 10);
+}
+
+TEST(LeaderElection, WinnerIsMaxId) {
+  LeaderElectionInstance instance;
+  instance.ids = {5, 9, 3};
+  instance.id_bits = 4;
+  EXPECT_EQ(LeaderElectionWinner(instance), 9u);
+}
+
+TEST(LeaderElection, TranscriptSpellsWinnerMsbFirst) {
+  LeaderElectionInstance instance;
+  instance.ids = {0b0101, 0b0110};
+  instance.id_bits = 4;
+  const auto protocol = MakeLeaderElectionProtocol(instance);
+  EXPECT_EQ(protocol->length(), 4);
+  EXPECT_EQ(ReferenceTranscript(*protocol).ToString(), "0110");
+}
+
+TEST(LeaderElection, DropOutLogicElectsMaxNotOr) {
+  // ids 0b100 and 0b011: the OR of all bits would be 111, but the
+  // election must output 100 (party 2 drops out after round 0).
+  LeaderElectionInstance instance;
+  instance.ids = {0b100, 0b011};
+  instance.id_bits = 3;
+  const auto protocol = MakeLeaderElectionProtocol(instance);
+  EXPECT_EQ(ReferenceTranscript(*protocol).ToString(), "100");
+}
+
+TEST(LeaderElection, NoiselessAllSizesCorrect) {
+  Rng rng(2);
+  const NoiselessChannel channel;
+  for (int n : {1, 2, 7, 30}) {
+    const LeaderElectionInstance instance =
+        SampleLeaderElection(n, 12, rng);
+    const auto protocol = MakeLeaderElectionProtocol(instance);
+    const ExecutionResult result = Execute(*protocol, channel, rng);
+    EXPECT_TRUE(LeaderElectionAllCorrect(instance, result.outputs)) << n;
+  }
+}
+
+TEST(LeaderElection, ExactlyOneLeaderClaims) {
+  Rng rng(3);
+  const NoiselessChannel channel;
+  const LeaderElectionInstance instance = SampleLeaderElection(15, 8, rng);
+  const auto protocol = MakeLeaderElectionProtocol(instance);
+  const ExecutionResult result = Execute(*protocol, channel, rng);
+  int leaders = 0;
+  for (const PartyOutput& out : result.outputs) leaders += out[1] == 1;
+  EXPECT_EQ(leaders, 1);
+}
+
+TEST(LeaderElection, NoiseBreaksElection) {
+  Rng rng(4);
+  const CorrelatedNoisyChannel channel(0.3);
+  int correct = 0;
+  constexpr int kTrials = 40;
+  for (int t = 0; t < kTrials; ++t) {
+    const LeaderElectionInstance instance =
+        SampleLeaderElection(20, 16, rng);
+    const auto protocol = MakeLeaderElectionProtocol(instance);
+    const ExecutionResult result = Execute(*protocol, channel, rng);
+    correct += LeaderElectionAllCorrect(instance, result.outputs);
+  }
+  // 16 rounds at eps=0.3: survival ~ 0.7^16 ~ 0.3% ... allow a few flukes
+  // (a flip can also be harmless if it matches the bit anyway -- it
+  // cannot, noise always flips -- but the winner can still be spelled
+  // correctly only if no round flipped).
+  EXPECT_LE(correct, 4);
+}
+
+TEST(LeaderElection, AllCorrectRejectsImpostor) {
+  LeaderElectionInstance instance;
+  instance.ids = {1, 2};
+  instance.id_bits = 2;
+  std::vector<PartyOutput> outputs{{2, 0}, {2, 1}};
+  EXPECT_TRUE(LeaderElectionAllCorrect(instance, outputs));
+  // Party 0 (id 1) falsely claims leadership.
+  outputs[0][1] = 1;
+  EXPECT_FALSE(LeaderElectionAllCorrect(instance, outputs));
+  // Nobody claims.
+  outputs[0][1] = 0;
+  outputs[1][1] = 0;
+  EXPECT_FALSE(LeaderElectionAllCorrect(instance, outputs));
+}
+
+TEST(LeaderElection, ValidatesParameters) {
+  Rng rng(5);
+  EXPECT_THROW((void)SampleLeaderElection(0, 4, rng), std::invalid_argument);
+  EXPECT_THROW((void)SampleLeaderElection(10, 0, rng), std::invalid_argument);
+  // Id space of 2 bits cannot host 5 distinct ids.
+  EXPECT_THROW((void)SampleLeaderElection(5, 2, rng), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace noisybeeps

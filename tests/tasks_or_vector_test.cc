@@ -1,0 +1,93 @@
+#include "tasks/or_vector.h"
+
+#include <gtest/gtest.h>
+
+#include "channel/noiseless.h"
+#include "channel/one_sided.h"
+#include "coding/rewind_sim.h"
+#include "protocol/executor.h"
+#include "tasks/input_set.h"
+#include "util/rng.h"
+
+namespace noisybeeps {
+namespace {
+
+TEST(OrVector, SampleShapes) {
+  Rng rng(1);
+  const OrVectorInstance instance = SampleOrVector(5, 20, 0.2, rng);
+  EXPECT_EQ(instance.num_parties(), 5);
+  EXPECT_EQ(instance.width(), 20);
+}
+
+TEST(OrVector, ExpectedOutputIsColumnwiseOr) {
+  OrVectorInstance instance;
+  instance.rows = {BitString::FromString("1010"),
+                   BitString::FromString("0110")};
+  const PartyOutput out = OrVectorExpectedOutput(instance);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], 0b0111u);  // columns 0,1,2 set (bit m = column m)
+}
+
+TEST(OrVector, TrivialProtocolTranscriptIsTheAnswer) {
+  OrVectorInstance instance;
+  instance.rows = {BitString::FromString("10010"),
+                   BitString::FromString("00011"),
+                   BitString::FromString("00000")};
+  const auto protocol = MakeOrVectorProtocol(instance);
+  EXPECT_EQ(protocol->length(), 5);
+  EXPECT_EQ(ReferenceTranscript(*protocol).ToString(), "10011");
+}
+
+TEST(OrVector, NoiselessExecutionCorrectAcrossDensities) {
+  Rng rng(2);
+  const NoiselessChannel channel;
+  for (double density : {0.0, 0.05, 0.3, 1.0}) {
+    const OrVectorInstance instance = SampleOrVector(7, 30, density, rng);
+    const auto protocol = MakeOrVectorProtocol(instance);
+    const ExecutionResult result = Execute(*protocol, channel, rng);
+    EXPECT_TRUE(OrVectorAllCorrect(instance, result.outputs)) << density;
+  }
+}
+
+TEST(OrVector, GeneralizesInputSet) {
+  // InputSet is OrVector with one-hot rows over width 2n: the transcripts
+  // coincide.
+  Rng rng(3);
+  const InputSetInstance is = SampleInputSet(6, rng);
+  OrVectorInstance ov;
+  ov.rows.assign(6, BitString(12));
+  for (int i = 0; i < 6; ++i) ov.rows[i].Set(is.inputs[i], true);
+  const auto p_is = MakeInputSetProtocol(is);
+  const auto p_ov = MakeOrVectorProtocol(ov);
+  EXPECT_EQ(ReferenceTranscript(*p_is), ReferenceTranscript(*p_ov));
+}
+
+TEST(OrVector, RewindSchemeSolvesItUnderLowerBoundChannel) {
+  // The unrestricted Section 2.2 task over the lower-bound channel: the
+  // upper bound applies to it just as to InputSet.
+  Rng rng(4);
+  const OneSidedUpChannel channel(0.1);
+  const RewindSimulator sim;
+  int correct = 0;
+  constexpr int kTrials = 8;
+  for (int t = 0; t < kTrials; ++t) {
+    const OrVectorInstance instance = SampleOrVector(10, 20, 0.1, rng);
+    const auto protocol = MakeOrVectorProtocol(instance);
+    const SimulationResult result = sim.Simulate(*protocol, channel, rng);
+    correct += OrVectorAllCorrect(instance, result.outputs);
+  }
+  EXPECT_GE(correct, kTrials - 1);
+}
+
+TEST(OrVector, ValidatesParameters) {
+  Rng rng(5);
+  EXPECT_THROW((void)SampleOrVector(0, 4, 0.1, rng), std::invalid_argument);
+  EXPECT_THROW((void)SampleOrVector(2, 0, 0.1, rng), std::invalid_argument);
+  EXPECT_THROW((void)SampleOrVector(2, 4, -0.1, rng), std::invalid_argument);
+  OrVectorInstance ragged;
+  ragged.rows = {BitString::FromString("10"), BitString::FromString("1")};
+  EXPECT_THROW((void)MakeOrVectorProtocol(ragged), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace noisybeeps

@@ -1,0 +1,208 @@
+#include "util/bitstring.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "util/rng.h"
+
+namespace noisybeeps {
+namespace {
+
+TEST(BitString, DefaultIsEmpty) {
+  BitString s;
+  EXPECT_EQ(s.size(), 0u);
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.PopCount(), 0u);
+  EXPECT_EQ(s.ToString(), "");
+}
+
+TEST(BitString, SizedConstructorIsAllZero) {
+  BitString s(130);
+  EXPECT_EQ(s.size(), 130u);
+  EXPECT_EQ(s.PopCount(), 0u);
+  for (std::size_t i = 0; i < s.size(); ++i) EXPECT_FALSE(s[i]);
+}
+
+TEST(BitString, InitializerList) {
+  BitString s({1, 0, 1, 1});
+  EXPECT_EQ(s.size(), 4u);
+  EXPECT_TRUE(s[0]);
+  EXPECT_FALSE(s[1]);
+  EXPECT_TRUE(s[2]);
+  EXPECT_TRUE(s[3]);
+  EXPECT_EQ(s.PopCount(), 3u);
+}
+
+TEST(BitString, InitializerListRejectsNonBits) {
+  EXPECT_THROW(BitString({0, 2}), std::invalid_argument);
+}
+
+TEST(BitString, FromStringRoundTrip) {
+  const std::string pattern = "01101001100101101001011001101001";
+  EXPECT_EQ(BitString::FromString(pattern).ToString(), pattern);
+}
+
+TEST(BitString, FromStringRejectsJunk) {
+  EXPECT_THROW(BitString::FromString("01x"), std::invalid_argument);
+}
+
+TEST(BitString, PushBackGrowsAcrossWordBoundary) {
+  BitString s;
+  for (int i = 0; i < 200; ++i) s.PushBack(i % 3 == 0);
+  EXPECT_EQ(s.size(), 200u);
+  for (int i = 0; i < 200; ++i) EXPECT_EQ(s[i], i % 3 == 0) << i;
+}
+
+TEST(BitString, SetAndGet) {
+  BitString s(100);
+  s.Set(63, true);
+  s.Set(64, true);
+  s.Set(99, true);
+  EXPECT_TRUE(s[63]);
+  EXPECT_TRUE(s[64]);
+  EXPECT_TRUE(s[99]);
+  EXPECT_EQ(s.PopCount(), 3u);
+  s.Set(64, false);
+  EXPECT_FALSE(s[64]);
+  EXPECT_EQ(s.PopCount(), 2u);
+}
+
+TEST(BitString, IndexOutOfRangeThrows) {
+  BitString s(5);
+  EXPECT_THROW((void)s[5], std::invalid_argument);
+  EXPECT_THROW(s.Set(5, true), std::invalid_argument);
+}
+
+TEST(BitString, AppendConcatenates) {
+  BitString a = BitString::FromString("101");
+  BitString b = BitString::FromString("0110");
+  a.Append(b);
+  EXPECT_EQ(a.ToString(), "1010110");
+}
+
+TEST(BitString, AppendEmptyIsNoop) {
+  BitString a = BitString::FromString("11");
+  a.Append(BitString());
+  EXPECT_EQ(a.ToString(), "11");
+}
+
+TEST(BitString, TruncateShrinksAndClearsSlack) {
+  BitString s;
+  for (int i = 0; i < 70; ++i) s.PushBack(true);
+  s.Truncate(65);
+  EXPECT_EQ(s.size(), 65u);
+  EXPECT_EQ(s.PopCount(), 65u);
+  // Growing again must not resurrect stale bits.
+  s.Truncate(3);
+  s.PushBack(false);
+  EXPECT_EQ(s.ToString(), "1110");
+}
+
+TEST(BitString, TruncateBeyondSizeThrows) {
+  BitString s(4);
+  EXPECT_THROW(s.Truncate(5), std::invalid_argument);
+}
+
+TEST(BitString, PrefixAndSubstring) {
+  const BitString s = BitString::FromString("1100101");
+  EXPECT_EQ(s.Prefix(4).ToString(), "1100");
+  EXPECT_EQ(s.Prefix(0).ToString(), "");
+  EXPECT_EQ(s.Substring(2, 6).ToString(), "0010");
+  EXPECT_EQ(s.Substring(3, 3).ToString(), "");
+  EXPECT_THROW((void)s.Substring(5, 4), std::invalid_argument);
+  EXPECT_THROW((void)s.Prefix(8), std::invalid_argument);
+}
+
+TEST(BitString, HammingDistance) {
+  const BitString a = BitString::FromString("110010");
+  const BitString b = BitString::FromString("011011");
+  EXPECT_EQ(a.HammingDistance(b), 3u);
+  EXPECT_EQ(a.HammingDistance(a), 0u);
+  EXPECT_THROW((void)a.HammingDistance(BitString::FromString("1")),
+               std::invalid_argument);
+}
+
+TEST(BitString, StartsWith) {
+  const BitString s = BitString::FromString("10110");
+  EXPECT_TRUE(s.StartsWith(BitString()));
+  EXPECT_TRUE(s.StartsWith(BitString::FromString("101")));
+  EXPECT_TRUE(s.StartsWith(s));
+  EXPECT_FALSE(s.StartsWith(BitString::FromString("100")));
+  EXPECT_FALSE(s.StartsWith(BitString::FromString("101101")));
+}
+
+TEST(BitString, EqualityIsValueBased) {
+  BitString a = BitString::FromString("0101");
+  BitString b;
+  for (char c : std::string("0101")) b.PushBack(c == '1');
+  EXPECT_EQ(a, b);
+  b.PushBack(false);
+  EXPECT_NE(a, b);
+}
+
+TEST(BitString, EqualityIgnoresConstructionHistory) {
+  // A string truncated down and rebuilt must equal a fresh one (slack
+  // words cleared).
+  BitString a;
+  for (int i = 0; i < 128; ++i) a.PushBack(true);
+  a.Truncate(2);
+  const BitString b = BitString::FromString("11");
+  EXPECT_EQ(a, b);
+}
+
+TEST(BitStringProperty, AppendThenPrefixRecoversOriginal) {
+  Rng rng(7);
+  for (int trial = 0; trial < 50; ++trial) {
+    BitString a;
+    BitString b;
+    const int la = static_cast<int>(rng.UniformInt(100));
+    const int lb = static_cast<int>(rng.UniformInt(100));
+    for (int i = 0; i < la; ++i) a.PushBack(rng.Bit());
+    for (int i = 0; i < lb; ++i) b.PushBack(rng.Bit());
+    BitString joined = a;
+    joined.Append(b);
+    ASSERT_EQ(joined.size(), a.size() + b.size());
+    EXPECT_EQ(joined.Prefix(a.size()), a);
+    EXPECT_EQ(joined.Substring(a.size(), joined.size()), b);
+  }
+}
+
+TEST(BitStringProperty, PopCountMatchesNaive) {
+  Rng rng(11);
+  for (int trial = 0; trial < 30; ++trial) {
+    BitString s;
+    std::size_t expected = 0;
+    const int len = static_cast<int>(rng.UniformInt(300));
+    for (int i = 0; i < len; ++i) {
+      const bool bit = rng.Bit();
+      s.PushBack(bit);
+      expected += bit;
+    }
+    EXPECT_EQ(s.PopCount(), expected);
+  }
+}
+
+TEST(BitStringProperty, HammingDistanceIsAMetric) {
+  Rng rng(13);
+  for (int trial = 0; trial < 30; ++trial) {
+    const int len = 1 + static_cast<int>(rng.UniformInt(128));
+    BitString a;
+    BitString b;
+    BitString c;
+    for (int i = 0; i < len; ++i) {
+      a.PushBack(rng.Bit());
+      b.PushBack(rng.Bit());
+      c.PushBack(rng.Bit());
+    }
+    const std::size_t ab = a.HammingDistance(b);
+    const std::size_t bc = b.HammingDistance(c);
+    const std::size_t ac = a.HammingDistance(c);
+    EXPECT_EQ(ab, b.HammingDistance(a));
+    EXPECT_LE(ac, ab + bc);  // triangle inequality
+    EXPECT_EQ(a.HammingDistance(a), 0u);
+  }
+}
+
+}  // namespace
+}  // namespace noisybeeps

@@ -1,0 +1,75 @@
+#include "util/flags.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace noisybeeps {
+namespace {
+
+Flags Parse(std::initializer_list<const char*> args) {
+  std::vector<const char*> argv{"prog"};
+  argv.insert(argv.end(), args.begin(), args.end());
+  return Flags(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(Flags, EqualsAndSpaceForms) {
+  Flags flags = Parse({"--n=32", "--eps", "0.25", "--name", "rewind"});
+  EXPECT_EQ(flags.GetInt("n", 0), 32);
+  EXPECT_DOUBLE_EQ(flags.GetDouble("eps", 0.0), 0.25);
+  EXPECT_EQ(flags.GetString("name", ""), "rewind");
+}
+
+TEST(Flags, DefaultsWhenAbsent) {
+  Flags flags = Parse({});
+  EXPECT_EQ(flags.GetInt("n", 7), 7);
+  EXPECT_DOUBLE_EQ(flags.GetDouble("eps", 0.5), 0.5);
+  EXPECT_EQ(flags.GetString("name", "x"), "x");
+  EXPECT_FALSE(flags.GetBool("verbose", false));
+  EXPECT_TRUE(flags.GetBool("verbose", true));
+}
+
+TEST(Flags, BooleanForms) {
+  Flags bare = Parse({"--verbose"});
+  EXPECT_TRUE(bare.GetBool("verbose", false));
+  Flags explicit_true = Parse({"--verbose=true"});
+  EXPECT_TRUE(explicit_true.GetBool("verbose", false));
+  Flags explicit_false = Parse({"--verbose=false"});
+  EXPECT_FALSE(explicit_false.GetBool("verbose", true));
+  Flags numeric = Parse({"--verbose=1"});
+  EXPECT_TRUE(numeric.GetBool("verbose", false));
+}
+
+TEST(Flags, NegativeNumbersAsValues) {
+  Flags flags = Parse({"--delta=-5"});
+  EXPECT_EQ(flags.GetInt("delta", 0), -5);
+}
+
+TEST(Flags, HasAndUnconsumed) {
+  Flags flags = Parse({"--used=1", "--typo=2"});
+  EXPECT_TRUE(flags.Has("used"));
+  EXPECT_TRUE(flags.Has("typo"));
+  EXPECT_FALSE(flags.Has("absent"));
+  (void)flags.GetInt("used", 0);
+  const auto unconsumed = flags.UnconsumedFlags();
+  ASSERT_EQ(unconsumed.size(), 1u);
+  EXPECT_EQ(unconsumed[0], "typo");
+}
+
+TEST(Flags, MalformedInputThrows) {
+  EXPECT_THROW(Parse({"notaflag"}), std::invalid_argument);
+  Flags bad_int = Parse({"--n=abc"});
+  EXPECT_THROW((void)bad_int.GetInt("n", 0), std::invalid_argument);
+  Flags bad_double = Parse({"--eps=zz"});
+  EXPECT_THROW((void)bad_double.GetDouble("eps", 0), std::invalid_argument);
+  Flags bad_bool = Parse({"--v=maybe"});
+  EXPECT_THROW((void)bad_bool.GetBool("v", false), std::invalid_argument);
+}
+
+TEST(Flags, LastOccurrenceWins) {
+  Flags flags = Parse({"--n=1", "--n=2"});
+  EXPECT_EQ(flags.GetInt("n", 0), 2);
+}
+
+}  // namespace
+}  // namespace noisybeeps

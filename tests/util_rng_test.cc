@@ -1,0 +1,113 @@
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+namespace noisybeeps {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.NextU64(), b.NextU64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += a.NextU64() == b.NextU64();
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformIntStaysInRange) {
+  Rng rng(3);
+  for (std::uint64_t bound : {1ull, 2ull, 3ull, 7ull, 100ull, 1ull << 40}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.UniformInt(bound), bound);
+    }
+  }
+}
+
+TEST(Rng, UniformIntZeroBoundThrows) {
+  Rng rng(4);
+  EXPECT_THROW(rng.UniformInt(0), std::invalid_argument);
+}
+
+TEST(Rng, UniformIntIsRoughlyUniform) {
+  Rng rng(5);
+  constexpr int kBuckets = 8;
+  constexpr int kSamples = 80000;
+  std::vector<int> counts(kBuckets, 0);
+  for (int i = 0; i < kSamples; ++i) ++counts[rng.UniformInt(kBuckets)];
+  const double expected = static_cast<double>(kSamples) / kBuckets;
+  for (int b = 0; b < kBuckets; ++b) {
+    EXPECT_NEAR(counts[b], expected, 5 * std::sqrt(expected)) << b;
+  }
+}
+
+TEST(Rng, UniformDoubleInHalfOpenUnitInterval) {
+  Rng rng(6);
+  double sum = 0;
+  for (int i = 0; i < 20000; ++i) {
+    const double u = rng.UniformDouble();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 20000, 0.5, 0.02);
+}
+
+TEST(Rng, BernoulliMatchesRate) {
+  Rng rng(7);
+  for (double p : {0.0, 0.1, 0.333, 0.5, 0.9, 1.0}) {
+    int hits = 0;
+    constexpr int kSamples = 40000;
+    for (int i = 0; i < kSamples; ++i) hits += rng.Bernoulli(p);
+    EXPECT_NEAR(static_cast<double>(hits) / kSamples, p, 0.01) << p;
+  }
+}
+
+TEST(Rng, BernoulliRejectsOutOfRange) {
+  Rng rng(8);
+  EXPECT_THROW(rng.Bernoulli(-0.1), std::invalid_argument);
+  EXPECT_THROW(rng.Bernoulli(1.1), std::invalid_argument);
+}
+
+TEST(Rng, BitIsBalanced) {
+  Rng rng(9);
+  int ones = 0;
+  for (int i = 0; i < 40000; ++i) ones += rng.Bit();
+  EXPECT_NEAR(ones / 40000.0, 0.5, 0.01);
+}
+
+TEST(Rng, SplitProducesDecorrelatedStream) {
+  Rng parent(10);
+  Rng child = parent.Split();
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += parent.NextU64() == child.NextU64();
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, SplitIsDeterministic) {
+  Rng a(11);
+  Rng b(11);
+  Rng ca = a.Split();
+  Rng cb = b.Split();
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(ca.NextU64(), cb.NextU64());
+}
+
+TEST(Rng, NoShortCycles) {
+  Rng rng(12);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_TRUE(seen.insert(rng.NextU64()).second) << "cycle at " << i;
+  }
+}
+
+}  // namespace
+}  // namespace noisybeeps

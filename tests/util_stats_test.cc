@@ -1,0 +1,120 @@
+#include "util/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/rng.h"
+
+namespace noisybeeps {
+namespace {
+
+TEST(RunningStat, EmptyIsZero) {
+  RunningStat stat;
+  EXPECT_EQ(stat.count(), 0u);
+  EXPECT_DOUBLE_EQ(stat.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(stat.variance(), 0.0);
+}
+
+TEST(RunningStat, SingleValue) {
+  RunningStat stat;
+  stat.Add(3.5);
+  EXPECT_EQ(stat.count(), 1u);
+  EXPECT_DOUBLE_EQ(stat.mean(), 3.5);
+  EXPECT_DOUBLE_EQ(stat.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(stat.min(), 3.5);
+  EXPECT_DOUBLE_EQ(stat.max(), 3.5);
+}
+
+TEST(RunningStat, KnownMoments) {
+  RunningStat stat;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) stat.Add(v);
+  EXPECT_DOUBLE_EQ(stat.mean(), 5.0);
+  // Sample variance with n-1 = 7: sum of squared deviations is 32.
+  EXPECT_NEAR(stat.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_NEAR(stat.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+  EXPECT_DOUBLE_EQ(stat.min(), 2.0);
+  EXPECT_DOUBLE_EQ(stat.max(), 9.0);
+}
+
+TEST(RunningStat, AgreesWithTwoPassOnRandomData) {
+  Rng rng(31);
+  RunningStat stat;
+  std::vector<double> values;
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.UniformDouble() * 100 - 50;
+    values.push_back(v);
+    stat.Add(v);
+  }
+  double mean = 0;
+  for (double v : values) mean += v;
+  mean /= values.size();
+  double var = 0;
+  for (double v : values) var += (v - mean) * (v - mean);
+  var /= values.size() - 1;
+  EXPECT_NEAR(stat.mean(), mean, 1e-9);
+  EXPECT_NEAR(stat.variance(), var, 1e-6);
+}
+
+TEST(WilsonInterval, ContainsPointEstimate) {
+  for (std::size_t successes : {0u, 1u, 25u, 50u, 99u, 100u}) {
+    const WilsonInterval ci = WilsonScoreInterval(successes, 100);
+    const double p = successes / 100.0;
+    EXPECT_LE(ci.low, p + 1e-12);
+    EXPECT_GE(ci.high, p - 1e-12);
+    EXPECT_GE(ci.low, 0.0);
+    EXPECT_LE(ci.high, 1.0);
+  }
+}
+
+TEST(WilsonInterval, NarrowsWithMoreTrials) {
+  const WilsonInterval small = WilsonScoreInterval(5, 10);
+  const WilsonInterval large = WilsonScoreInterval(500, 1000);
+  EXPECT_LT(large.high - large.low, small.high - small.low);
+}
+
+TEST(WilsonInterval, ExtremesStayProper) {
+  const WilsonInterval zero = WilsonScoreInterval(0, 30);
+  EXPECT_DOUBLE_EQ(zero.low, 0.0);
+  EXPECT_GT(zero.high, 0.0);
+  const WilsonInterval full = WilsonScoreInterval(30, 30);
+  EXPECT_DOUBLE_EQ(full.high, 1.0);
+  EXPECT_LT(full.low, 1.0);
+}
+
+TEST(WilsonInterval, RejectsBadArguments) {
+  EXPECT_THROW((void)WilsonScoreInterval(1, 0), std::invalid_argument);
+  EXPECT_THROW((void)WilsonScoreInterval(5, 4), std::invalid_argument);
+}
+
+TEST(WilsonInterval, CoversTrueRate) {
+  // ~95% of intervals over repeated experiments should contain p.
+  Rng rng(32);
+  const double p = 0.3;
+  int covered = 0;
+  constexpr int kExperiments = 400;
+  for (int e = 0; e < kExperiments; ++e) {
+    std::size_t hits = 0;
+    constexpr std::size_t kTrials = 200;
+    for (std::size_t t = 0; t < kTrials; ++t) hits += rng.Bernoulli(p);
+    const WilsonInterval ci = WilsonScoreInterval(hits, kTrials);
+    covered += (ci.low <= p && p <= ci.high);
+  }
+  EXPECT_GT(covered, kExperiments * 0.90);
+}
+
+TEST(SuccessCounter, TracksRateAndInterval) {
+  SuccessCounter counter;
+  EXPECT_DOUBLE_EQ(counter.rate(), 0.0);
+  for (int i = 0; i < 10; ++i) counter.Record(i < 7);
+  EXPECT_EQ(counter.trials(), 10u);
+  EXPECT_EQ(counter.successes(), 7u);
+  EXPECT_DOUBLE_EQ(counter.rate(), 0.7);
+  const WilsonInterval ci = counter.interval();
+  EXPECT_LT(ci.low, 0.7);
+  EXPECT_GT(ci.high, 0.7);
+}
+
+}  // namespace
+}  // namespace noisybeeps
