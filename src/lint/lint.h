@@ -1,0 +1,78 @@
+// nblint: project-specific static checks for the noisybeeps sources.
+//
+// Generic linters cannot see this library's correctness contracts; nblint
+// enforces the ones that keep the Monte Carlo reproduction deterministic
+// and the public API honest:
+//
+//   header-guard           include guards must be NOISYBEEPS_<PATH>_H_
+//   banned-random          no std::rand / std::random_device / <random> /
+//                          std::mt19937 etc. outside src/util/rng.cc --
+//                          all randomness flows through the splittable Rng
+//   raw-thread             no std::thread / std::jthread / std::async /
+//                          pthread_create outside src/util/parallel.h --
+//                          ParallelTrials is the only concurrency primitive
+//   include-cycle          the src/ module graph (util, ecc, channel,
+//                          protocol, tasks, coding, analysis, lint) must
+//                          stay acyclic
+//   require-precondition   a constructor or Make*/Sample* factory whose
+//                          header declaration documents a "Precondition:"
+//                          must call NB_REQUIRE in its definition
+//
+// The checks operate on file CONTENTS handed in by the caller (the nblint
+// tool reads the tree; the unit test feeds synthetic files), with comments
+// and string/char literals stripped first so documentation never
+// false-positives.  Findings print as "file:line: rule-id: message" or as
+// JSON via --json.
+#ifndef NOISYBEEPS_LINT_LINT_H_
+#define NOISYBEEPS_LINT_LINT_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace noisybeeps::lint {
+
+struct SourceFile {
+  // Repo-relative path with '/' separators, e.g. "src/util/rng.h".
+  std::string path;
+  std::string content;
+};
+
+struct Finding {
+  std::string file;
+  int line = 0;
+  std::string rule_id;
+  std::string message;
+
+  friend bool operator==(const Finding& a, const Finding& b) = default;
+};
+
+// Replaces comments and string/char literal contents with spaces,
+// preserving newlines (so line numbers survive).  Handles //, /* */,
+// "...", '...', and raw string literals; a ' preceded by an identifier
+// character is treated as a digit separator, not a char literal.
+[[nodiscard]] std::string StripCommentsAndStrings(std::string_view content);
+
+// Individual rules (exposed for unit tests).  Per-file rules:
+[[nodiscard]] std::vector<Finding> CheckHeaderGuard(const SourceFile& file);
+[[nodiscard]] std::vector<Finding> CheckBannedRandomness(
+    const SourceFile& file);
+[[nodiscard]] std::vector<Finding> CheckRawThreads(const SourceFile& file);
+// Whole-repo rules:
+[[nodiscard]] std::vector<Finding> CheckIncludeCycles(
+    const std::vector<SourceFile>& files);
+[[nodiscard]] std::vector<Finding> CheckRequireCoverage(
+    const std::vector<SourceFile>& files);
+
+// All rules over all files, findings sorted by (file, line, rule).
+[[nodiscard]] std::vector<Finding> RunAllChecks(
+    const std::vector<SourceFile>& files);
+
+// "file:line: rule-id: message\n" per finding.
+[[nodiscard]] std::string FormatText(const std::vector<Finding>& findings);
+// A JSON array of {"file","line","rule","message"} objects.
+[[nodiscard]] std::string FormatJson(const std::vector<Finding>& findings);
+
+}  // namespace noisybeeps::lint
+
+#endif  // NOISYBEEPS_LINT_LINT_H_

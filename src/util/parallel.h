@@ -6,14 +6,20 @@
 // split into one child PER TRIAL up front (a pure function of the parent
 // state and the trial index), so results are identical for any worker
 // count, including 1.  Workers pull trial indices from a shared atomic
-// counter; the per-trial results vector is pre-sized so there is no
+// counter; the per-trial result slots are pre-sized so there is no
 // cross-thread contention on anything but the counter.
+//
+// This header is the ONLY place in the library that may spawn threads
+// (nblint rule raw-thread); tests/determinism_audit_test.cc holds the
+// guarantee above to account across representative workloads.
 #ifndef NOISYBEEPS_UTIL_PARALLEL_H_
 #define NOISYBEEPS_UTIL_PARALLEL_H_
 
 #include <atomic>
-#include <functional>
+#include <optional>
 #include <thread>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "util/require.h"
@@ -22,22 +28,34 @@
 namespace noisybeeps {
 
 // Runs `body(trial_index, trial_rng)` for every trial in [0, num_trials),
-// on up to `num_workers` threads (0 = hardware concurrency).  Each trial
-// gets an independent Rng split deterministically from `rng`; `rng` is
-// advanced by exactly num_trials splits regardless of scheduling.
+// on up to `num_workers` threads (0 = hardware concurrency).  `body` is
+// any callable of signature Result(int, Rng&); Result must be
+// move-constructible (results are constructed in place -- no
+// default-construct-then-assign).
+//
+// Determinism contract (verified by tests/determinism_audit_test.cc):
+// results[t] depends only on (rng's state at entry, t) -- each trial gets
+// an Rng split deterministically from `rng` before any worker starts, and
+// `rng` is advanced by exactly num_trials splits regardless of scheduling.
+// Hence the returned vector is bit-identical for every num_workers value,
+// including 1.
+//
+// Preconditions: num_trials >= 0 and num_workers >= 0.
 // The body must not touch shared mutable state (write only through its
-// own return slot or captured per-trial storage).
-template <typename Result>
-std::vector<Result> ParallelTrials(
-    int num_trials, Rng& rng,
-    const std::function<Result(int, Rng&)>& body, int num_workers = 0) {
+// own return value or captured per-trial storage).
+template <typename Body,
+          typename Result = std::decay_t<std::invoke_result_t<Body&, int, Rng&>>>
+std::vector<Result> ParallelTrials(int num_trials, Rng& rng, Body&& body,
+                                   int num_workers = 0) {
   NB_REQUIRE(num_trials >= 0, "negative trial count");
+  NB_REQUIRE(num_workers >= 0,
+             "num_workers must be >= 0 (0 = hardware concurrency); results "
+             "are bit-identical for every worker count");
   std::vector<Rng> trial_rngs;
-  trial_rngs.reserve(num_trials);
+  trial_rngs.reserve(static_cast<std::size_t>(num_trials));
   for (int t = 0; t < num_trials; ++t) trial_rngs.push_back(rng.Split());
 
-  std::vector<Result> results(num_trials);
-  if (num_trials == 0) return results;
+  if (num_trials == 0) return {};
 
   int workers = num_workers > 0
                     ? num_workers
@@ -46,22 +64,35 @@ std::vector<Result> ParallelTrials(
   if (workers > num_trials) workers = num_trials;
 
   if (workers == 1) {
+    std::vector<Result> results;
+    results.reserve(static_cast<std::size_t>(num_trials));
     for (int t = 0; t < num_trials; ++t) {
-      results[t] = body(t, trial_rngs[t]);
+      results.push_back(body(t, trial_rngs[t]));
     }
     return results;
   }
 
+  // Each slot is written by exactly one worker (the one that pulled its
+  // index off the counter) and read only after all joins: no data race,
+  // and no default-constructibility requirement on Result.
+  std::vector<std::optional<Result>> slots(static_cast<std::size_t>(num_trials));
   std::atomic<int> next{0};
   auto worker = [&] {
-    for (int t = next.fetch_add(1); t < num_trials; t = next.fetch_add(1)) {
-      results[t] = body(t, trial_rngs[t]);
+    for (int t = next.fetch_add(1, std::memory_order_relaxed); t < num_trials;
+         t = next.fetch_add(1, std::memory_order_relaxed)) {
+      slots[static_cast<std::size_t>(t)].emplace(body(t, trial_rngs[t]));
     }
   };
   std::vector<std::thread> threads;
-  threads.reserve(workers);
+  threads.reserve(static_cast<std::size_t>(workers));
   for (int w = 0; w < workers; ++w) threads.emplace_back(worker);
   for (std::thread& t : threads) t.join();
+
+  std::vector<Result> results;
+  results.reserve(static_cast<std::size_t>(num_trials));
+  for (std::optional<Result>& slot : slots) {
+    results.push_back(std::move(*slot));
+  }
   return results;
 }
 

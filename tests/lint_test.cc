@@ -1,0 +1,301 @@
+#include "lint/lint.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+namespace noisybeeps::lint {
+namespace {
+
+SourceFile Header(std::string path, std::string body) {
+  return SourceFile{std::move(path), std::move(body)};
+}
+
+// --- StripCommentsAndStrings ----------------------------------------------
+
+TEST(LintStrip, BlanksLineAndBlockComments) {
+  const std::string code = "int x = 1; // std::rand here\nint y; /* more\nrand */ int z;\n";
+  const std::string stripped = StripCommentsAndStrings(code);
+  EXPECT_EQ(stripped.find("rand"), std::string::npos);
+  EXPECT_NE(stripped.find("int x = 1;"), std::string::npos);
+  EXPECT_NE(stripped.find("int z;"), std::string::npos);
+  // Line structure is preserved so findings keep their line numbers.
+  EXPECT_EQ(std::count(stripped.begin(), stripped.end(), '\n'),
+            std::count(code.begin(), code.end(), '\n'));
+}
+
+TEST(LintStrip, BlanksStringAndCharLiterals) {
+  const std::string code = "auto s = \"std::rand()\"; char c = 'x';";
+  const std::string stripped = StripCommentsAndStrings(code);
+  EXPECT_EQ(stripped.find("rand"), std::string::npos);
+  EXPECT_EQ(stripped.find('x'), std::string::npos);
+  EXPECT_NE(stripped.find("auto s ="), std::string::npos);
+  EXPECT_NE(stripped.find("char c ="), std::string::npos);
+}
+
+TEST(LintStrip, DigitSeparatorIsNotACharLiteral) {
+  const std::string code = "int big = 1'000'000; int after = 7;";
+  EXPECT_EQ(StripCommentsAndStrings(code), code);
+}
+
+TEST(LintStrip, HandlesEscapedQuotes) {
+  const std::string code = "auto s = \"a\\\"b\"; int keep = 3;";
+  const std::string stripped = StripCommentsAndStrings(code);
+  EXPECT_NE(stripped.find("int keep = 3;"), std::string::npos);
+}
+
+// --- header-guard ----------------------------------------------------------
+
+constexpr char kGoodHeader[] =
+    "#ifndef NOISYBEEPS_FOO_BAR_H_\n"
+    "#define NOISYBEEPS_FOO_BAR_H_\n"
+    "int f();\n"
+    "#endif  // NOISYBEEPS_FOO_BAR_H_\n";
+
+TEST(LintHeaderGuard, AcceptsCanonicalGuard) {
+  EXPECT_TRUE(CheckHeaderGuard(Header("src/foo/bar.h", kGoodHeader)).empty());
+}
+
+TEST(LintHeaderGuard, FlagsWrongGuardName) {
+  const std::string body =
+      "#ifndef WRONG_GUARD_H\n#define WRONG_GUARD_H\n#endif\n";
+  const auto findings = CheckHeaderGuard(Header("src/foo/bar.h", body));
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule_id, "header-guard");
+  EXPECT_EQ(findings[0].line, 1);
+  EXPECT_NE(findings[0].message.find("NOISYBEEPS_FOO_BAR_H_"),
+            std::string::npos);
+}
+
+TEST(LintHeaderGuard, FlagsMissingGuard) {
+  const auto findings =
+      CheckHeaderGuard(Header("src/foo/bar.h", "int f();\n"));
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule_id, "header-guard");
+}
+
+TEST(LintHeaderGuard, FlagsMismatchedDefine) {
+  const std::string body =
+      "#ifndef NOISYBEEPS_FOO_BAR_H_\n#define NOISYBEEPS_OTHER_H_\n#endif\n";
+  const auto findings = CheckHeaderGuard(Header("src/foo/bar.h", body));
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].line, 2);
+}
+
+TEST(LintHeaderGuard, IgnoresNonSrcFiles) {
+  EXPECT_TRUE(CheckHeaderGuard(Header("tools/x.h", "int f();\n")).empty());
+  EXPECT_TRUE(
+      CheckHeaderGuard(Header("src/foo/bar.cc", "int f() { return 1; }\n"))
+          .empty());
+}
+
+// --- banned-random ---------------------------------------------------------
+
+TEST(LintBannedRandom, FlagsStdRandAndFriends) {
+  const std::string body =
+      "#include <random>\n"
+      "int a() { return std::rand(); }\n"
+      "std::mt19937 gen;\n"
+      "int b() { return rand(); }\n";
+  const auto findings =
+      CheckBannedRandomness(Header("src/foo/bar.cc", body));
+  ASSERT_EQ(findings.size(), 4u);
+  EXPECT_EQ(findings[0].line, 1);
+  EXPECT_EQ(findings[1].line, 2);
+  EXPECT_EQ(findings[2].line, 3);
+  EXPECT_EQ(findings[3].line, 4);
+  for (const Finding& f : findings) EXPECT_EQ(f.rule_id, "banned-random");
+}
+
+TEST(LintBannedRandom, ExemptsRngCc) {
+  const std::string body = "#include <random>\nstd::mt19937 gen;\n";
+  EXPECT_TRUE(CheckBannedRandomness(Header("src/util/rng.cc", body)).empty());
+}
+
+TEST(LintBannedRandom, IgnoresCommentsStringsAndSubstrings) {
+  const std::string body =
+      "// std::rand is banned\n"
+      "const char* msg = \"std::rand\";\n"
+      "int operand = 3;\n"
+      "int brand = operand;\n";
+  EXPECT_TRUE(
+      CheckBannedRandomness(Header("src/foo/bar.cc", body)).empty());
+}
+
+TEST(LintBannedRandom, BareRandNeedsCallParens) {
+  // A variable merely NAMED rand is legal; calling rand() is not.
+  EXPECT_TRUE(CheckBannedRandomness(
+                  Header("src/foo/bar.cc", "int rand = 3; int y = rand;\n"))
+                  .empty());
+  EXPECT_EQ(CheckBannedRandomness(
+                Header("src/foo/bar.cc", "int y = rand();\n"))
+                .size(),
+            1u);
+}
+
+// --- raw-thread ------------------------------------------------------------
+
+TEST(LintRawThread, FlagsThreadSpawnsOutsideParallelH) {
+  const std::string body =
+      "#include <thread>\n"
+      "void f() { std::thread t([]{}); t.join(); }\n"
+      "void g() { auto fut = std::async([]{}); }\n";
+  const auto findings = CheckRawThreads(Header("src/foo/bar.cc", body));
+  ASSERT_EQ(findings.size(), 2u);
+  EXPECT_EQ(findings[0].rule_id, "raw-thread");
+  EXPECT_EQ(findings[0].line, 2);
+  EXPECT_EQ(findings[1].line, 3);
+}
+
+TEST(LintRawThread, ExemptsParallelHAndConcurrencyQueries) {
+  const std::string spawn = "void f() { std::thread t([]{}); t.join(); }\n";
+  EXPECT_TRUE(CheckRawThreads(Header("src/util/parallel.h", spawn)).empty());
+  // Asking how many cores exist spawns nothing.
+  const std::string query =
+      "int n() { return (int)std::thread::hardware_concurrency(); }\n";
+  EXPECT_TRUE(CheckRawThreads(Header("src/foo/bar.cc", query)).empty());
+}
+
+// --- include-cycle ---------------------------------------------------------
+
+TEST(LintIncludeCycle, AcceptsAcyclicModuleGraph) {
+  const std::vector<SourceFile> files = {
+      Header("src/util/a.h", "int a();\n"),
+      Header("src/ecc/b.h", "#include \"util/a.h\"\n"),
+      Header("src/coding/c.h", "#include \"ecc/b.h\"\n#include \"util/a.h\"\n"),
+  };
+  EXPECT_TRUE(CheckIncludeCycles(files).empty());
+}
+
+TEST(LintIncludeCycle, DetectsSeededCycle) {
+  const std::vector<SourceFile> files = {
+      Header("src/util/a.h", "#include \"ecc/b.h\"\n"),
+      Header("src/ecc/b.h", "#include \"util/a.h\"\n"),
+  };
+  const auto findings = CheckIncludeCycles(files);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule_id, "include-cycle");
+  EXPECT_NE(findings[0].message.find("->"), std::string::npos);
+}
+
+TEST(LintIncludeCycle, IntraModuleIncludesAreFine) {
+  const std::vector<SourceFile> files = {
+      Header("src/util/a.h", "#include \"util/b.h\"\n"),
+      Header("src/util/b.h", "#include \"util/c.h\"\n"),
+      Header("src/util/c.h", "int c();\n"),
+  };
+  EXPECT_TRUE(CheckIncludeCycles(files).empty());
+}
+
+// --- require-precondition --------------------------------------------------
+
+constexpr char kChannelHeader[] =
+    "#ifndef NOISYBEEPS_FOO_WIDGET_H_\n"
+    "#define NOISYBEEPS_FOO_WIDGET_H_\n"
+    "class Widget {\n"
+    " public:\n"
+    "  // Precondition: 0 <= eps < 1/2.\n"
+    "  explicit Widget(double eps);\n"
+    "};\n"
+    "// Preconditions: n >= 1.\n"
+    "Widget MakeWidget(int n);\n"
+    "#endif  // NOISYBEEPS_FOO_WIDGET_H_\n";
+
+TEST(LintRequire, PassesWhenDefinitionsCheck) {
+  const std::string cc =
+      "#include \"foo/widget.h\"\n"
+      "Widget::Widget(double eps) { NB_REQUIRE(eps >= 0, \"eps\"); }\n"
+      "Widget MakeWidget(int n) {\n"
+      "  NB_REQUIRE(n >= 1, \"n\");\n"
+      "  return Widget(0.1);\n"
+      "}\n";
+  const std::vector<SourceFile> files = {
+      Header("src/foo/widget.h", kChannelHeader),
+      Header("src/foo/widget.cc", cc)};
+  EXPECT_TRUE(CheckRequireCoverage(files).empty());
+}
+
+TEST(LintRequire, FlagsUncheckedConstructorAndFactory) {
+  const std::string cc =
+      "#include \"foo/widget.h\"\n"
+      "Widget::Widget(double eps) { (void)eps; }\n"
+      "Widget MakeWidget(int n) { (void)n; return Widget(0.1); }\n";
+  const std::vector<SourceFile> files = {
+      Header("src/foo/widget.h", kChannelHeader),
+      Header("src/foo/widget.cc", cc)};
+  const auto findings = CheckRequireCoverage(files);
+  ASSERT_EQ(findings.size(), 2u);
+  EXPECT_EQ(findings[0].rule_id, "require-precondition");
+  EXPECT_EQ(findings[0].line, 5);  // the ctor's Precondition comment
+  EXPECT_NE(findings[0].message.find("Widget"), std::string::npos);
+  EXPECT_EQ(findings[1].line, 8);  // the factory's Precondition comment
+}
+
+TEST(LintRequire, UndocumentedFunctionsAreNotRequired) {
+  const std::string header =
+      "class Plain {\n public:\n  explicit Plain(int x);\n};\n";
+  const std::string cc = "Plain::Plain(int x) { (void)x; }\n";
+  const std::vector<SourceFile> files = {
+      Header("src/foo/plain.h", header), Header("src/foo/plain.cc", cc)};
+  EXPECT_TRUE(CheckRequireCoverage(files).empty());
+}
+
+TEST(LintRequire, FindsHeaderOnlyDefinitions) {
+  const std::string header =
+      "class Inline {\n public:\n"
+      "  // Precondition: x > 0.\n"
+      "  explicit Inline(int x) { (void)x; }\n"
+      "};\n";
+  const auto findings =
+      CheckRequireCoverage({Header("src/foo/inline.h", header)});
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule_id, "require-precondition");
+}
+
+// --- output formats --------------------------------------------------------
+
+TEST(LintFormat, TextIsFileLineRuleMessage) {
+  const std::vector<Finding> findings = {
+      {"src/a.cc", 12, "banned-random", "no"}};
+  EXPECT_EQ(FormatText(findings), "src/a.cc:12: banned-random: no\n");
+}
+
+TEST(LintFormat, JsonEscapesAndRoundTrips) {
+  const std::vector<Finding> findings = {
+      {"src/a.cc", 3, "header-guard", "say \"hi\"\\"}};
+  const std::string json = FormatJson(findings);
+  EXPECT_NE(json.find("\"file\": \"src/a.cc\""), std::string::npos);
+  EXPECT_NE(json.find("\"line\": 3"), std::string::npos);
+  EXPECT_NE(json.find("\\\"hi\\\""), std::string::npos);
+  EXPECT_NE(json.find("\\\\"), std::string::npos);
+  EXPECT_EQ(FormatJson({}), "[]\n");
+}
+
+// --- RunAllChecks ----------------------------------------------------------
+
+TEST(LintRunAll, AggregatesAndSortsFindings) {
+  const std::vector<SourceFile> files = {
+      Header("src/zoo/z.h", "int z();\n"),  // missing guard
+      Header("src/foo/bad.cc",
+             "int f() { return std::rand(); }\n"),  // banned randomness
+  };
+  const auto findings = RunAllChecks(files);
+  ASSERT_EQ(findings.size(), 2u);
+  EXPECT_EQ(findings[0].file, "src/foo/bad.cc");
+  EXPECT_EQ(findings[0].rule_id, "banned-random");
+  EXPECT_EQ(findings[1].file, "src/zoo/z.h");
+  EXPECT_EQ(findings[1].rule_id, "header-guard");
+}
+
+TEST(LintRunAll, CleanFilesProduceNoFindings) {
+  const std::vector<SourceFile> files = {
+      Header("src/foo/bar.h", kGoodHeader),
+      Header("src/foo/bar.cc",
+             "#include \"foo/bar.h\"\nint f() { return 1; }\n")};
+  EXPECT_TRUE(RunAllChecks(files).empty());
+}
+
+}  // namespace
+}  // namespace noisybeeps::lint

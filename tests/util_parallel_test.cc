@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <functional>
+#include <memory>
 #include <numeric>
 
 namespace noisybeeps {
@@ -9,14 +11,38 @@ namespace {
 
 TEST(ParallelTrials, RunsEveryTrialExactlyOnce) {
   Rng rng(1);
-  const std::function<int(int, Rng&)> body = [](int t, Rng&) { return t; };
-  const std::vector<int> results = ParallelTrials(100, rng, body, 4);
+  // A plain lambda: no std::function type erasure on the sweep path.
+  const std::vector<int> results =
+      ParallelTrials(100, rng, [](int t, Rng&) { return t; }, 4);
   ASSERT_EQ(results.size(), 100u);
   for (int t = 0; t < 100; ++t) EXPECT_EQ(results[t], t);
 }
 
+TEST(ParallelTrials, StdFunctionBodiesStillWork) {
+  Rng rng(1);
+  const std::function<int(int, Rng&)> body = [](int t, Rng&) { return t; };
+  const std::vector<int> results = ParallelTrials(10, rng, body, 2);
+  ASSERT_EQ(results.size(), 10u);
+  for (int t = 0; t < 10; ++t) EXPECT_EQ(results[t], t);
+}
+
+TEST(ParallelTrials, ResultNeedsNoDefaultConstructor) {
+  // Results are constructed in place; move-only, non-default-constructible
+  // result types are fine.
+  struct Heavy {
+    explicit Heavy(int v) : value(std::make_unique<int>(v)) {}
+    Heavy(Heavy&&) = default;
+    std::unique_ptr<int> value;
+  };
+  Rng rng(5);
+  const std::vector<Heavy> results = ParallelTrials(
+      32, rng, [](int t, Rng&) { return Heavy(t * 3); }, 4);
+  ASSERT_EQ(results.size(), 32u);
+  for (int t = 0; t < 32; ++t) EXPECT_EQ(*results[t].value, t * 3);
+}
+
 TEST(ParallelTrials, ResultsIndependentOfWorkerCount) {
-  const std::function<std::uint64_t(int, Rng&)> body = [](int t, Rng& r) {
+  const auto body = [](int t, Rng& r) {
     // Consume a trial-dependent amount of randomness to catch any
     // cross-trial stream sharing.
     std::uint64_t acc = 0;
@@ -36,7 +62,7 @@ TEST(ParallelTrials, ResultsIndependentOfWorkerCount) {
 TEST(ParallelTrials, ParentRngAdvancesDeterministically) {
   Rng a(7);
   Rng b(7);
-  const std::function<int(int, Rng&)> body = [](int, Rng&) { return 0; };
+  const auto body = [](int, Rng&) { return 0; };
   (void)ParallelTrials(10, a, body, 3);
   for (int t = 0; t < 10; ++t) (void)b.Split();
   EXPECT_EQ(a.NextU64(), b.NextU64());
@@ -44,15 +70,16 @@ TEST(ParallelTrials, ParentRngAdvancesDeterministically) {
 
 TEST(ParallelTrials, ZeroTrials) {
   Rng rng(3);
-  const std::function<int(int, Rng&)> body = [](int, Rng&) { return 1; };
+  const auto body = [](int, Rng&) { return 1; };
   EXPECT_TRUE(ParallelTrials(0, rng, body).empty());
   EXPECT_THROW((void)ParallelTrials(-1, rng, body), std::invalid_argument);
+  EXPECT_THROW((void)ParallelTrials(1, rng, body, -2), std::invalid_argument);
 }
 
 TEST(ParallelTrials, AggregatesLikeSerialLoop) {
   // A small Monte Carlo: estimate the mean of UniformDouble.
   Rng rng(11);
-  const std::function<double(int, Rng&)> body = [](int, Rng& r) {
+  const auto body = [](int, Rng& r) {
     double sum = 0;
     for (int i = 0; i < 100; ++i) sum += r.UniformDouble();
     return sum / 100;

@@ -1,0 +1,89 @@
+// nblint: the project's custom static checker (see src/lint/lint.h for the
+// rule set and rationale).  Registered as a ctest so every build gates on
+// the repo linting clean.
+//
+// Usage:
+//   nblint --root=/path/to/repo          text findings, exit 1 if any
+//   nblint --root=/path/to/repo --json   machine-readable findings
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lint/lint.h"
+#include "util/flags.h"
+
+namespace {
+
+namespace fs = std::filesystem;
+using noisybeeps::lint::Finding;
+using noisybeeps::lint::SourceFile;
+
+bool IsLintableSource(const fs::path& path) {
+  const std::string ext = path.extension().string();
+  return ext == ".h" || ext == ".cc" || ext == ".cpp";
+}
+
+std::vector<SourceFile> LoadTree(const fs::path& root) {
+  std::vector<fs::path> paths;
+  for (const char* dir : {"src", "tools", "tests", "examples", "bench"}) {
+    const fs::path base = root / dir;
+    if (!fs::is_directory(base)) continue;
+    for (const auto& entry : fs::recursive_directory_iterator(base)) {
+      if (entry.is_regular_file() && IsLintableSource(entry.path())) {
+        paths.push_back(entry.path());
+      }
+    }
+  }
+  std::sort(paths.begin(), paths.end());
+  std::vector<SourceFile> files;
+  files.reserve(paths.size());
+  for (const fs::path& path : paths) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+      std::cerr << "nblint: cannot read " << path << "\n";
+      continue;
+    }
+    std::ostringstream content;
+    content << in.rdbuf();
+    files.push_back(SourceFile{
+        fs::relative(path, root).generic_string(), content.str()});
+  }
+  return files;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    noisybeeps::Flags flags(argc, argv);
+    const std::string root = flags.GetString("root", ".");
+    const bool json = flags.GetBool("json", false);
+    for (const std::string& unknown : flags.UnconsumedFlags()) {
+      std::cerr << "nblint: unknown flag --" << unknown << "\n";
+      return 2;
+    }
+
+    const std::vector<SourceFile> files = LoadTree(fs::path(root));
+    if (files.empty()) {
+      std::cerr << "nblint: no sources found under " << root << "\n";
+      return 2;
+    }
+    const std::vector<Finding> findings =
+        noisybeeps::lint::RunAllChecks(files);
+    if (json) {
+      std::cout << noisybeeps::lint::FormatJson(findings);
+    } else {
+      std::cout << noisybeeps::lint::FormatText(findings);
+      std::cout << "nblint: " << files.size() << " files, "
+                << findings.size() << " finding(s)\n";
+    }
+    return findings.empty() ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::cerr << "nblint: " << e.what() << "\n";
+    return 2;
+  }
+}

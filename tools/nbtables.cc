@@ -52,7 +52,7 @@ Cell Aggregate(const std::vector<TrialOutcome>& outcomes) {
 // that carry hidden state (the burst channel's Markov chain).
 Cell MeasureInputSet(const Simulator& sim, const Channel& channel, int n,
                      int trials, Rng& rng, int workers = 0) {
-  const std::function<TrialOutcome(int, Rng&)> body =
+  const auto body =
       [&sim, &channel, n](int, Rng& trial_rng) {
         const InputSetInstance instance = SampleInputSet(n, trial_rng);
         const auto protocol = MakeInputSetProtocol(instance);
@@ -68,7 +68,7 @@ Cell MeasureInputSet(const Simulator& sim, const Channel& channel, int n,
 
 Cell MeasureBitExchange(const Simulator& sim, const Channel& channel, int n,
                         int trials, Rng& rng, int workers = 0) {
-  const std::function<TrialOutcome(int, Rng&)> body =
+  const auto body =
       [&sim, &channel, n](int, Rng& trial_rng) {
         const BitExchangeInstance instance =
             SampleBitExchange(n, 8, trial_rng);
