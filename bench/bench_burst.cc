@@ -36,7 +36,7 @@ void Measure(benchmark::State& state, const Channel& channel,
       const InputSetInstance instance = SampleInputSet(kParties, rng);
       const auto protocol = MakeInputSetProtocol(instance);
       const SimulationResult result = sim.Simulate(*protocol, channel, rng);
-      counter.Record(!result.budget_exhausted &&
+      counter.Record(!result.budget_exhausted() &&
                      InputSetAllCorrect(instance, result.outputs));
       blowup.Add(static_cast<double>(result.noisy_rounds_used) /
                  protocol->length());

@@ -1,0 +1,163 @@
+// E12 (extension) -- graceful degradation under party faults.
+//
+// The paper's theorems assume every party is honest and alive; this bench
+// measures what each scheme actually does when parties misbehave
+// (fault/fault_plan.h): for each fault kind, sweep the number of faulty
+// parties and record how the verdict ladder (ok / degraded / failed) and
+// majority-vote recovery respond.  The claims to check: degradation is
+// graceful (ok decays into degraded-with-majority-recovery before
+// anything fails outright), receive-side faults (deaf) are strictly
+// milder than send-side faults, and the verified schemes (rewind,
+// hierarchical) tolerate a babbler that sinks plain repetition -- the
+// verification phases catch the corrupted chunks and re-simulate, paying
+// rounds instead of correctness.
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <string>
+
+#include "channel/correlated.h"
+#include "channel/one_sided.h"
+#include "coding/hierarchical_sim.h"
+#include "coding/repetition_sim.h"
+#include "coding/rewind_sim.h"
+#include "fault/fault_plan.h"
+#include "protocol/executor.h"
+#include "tasks/input_set.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace {
+
+using namespace noisybeeps;
+
+constexpr int kParties = 16;
+constexpr int kTrials = 8;
+constexpr double kEps = 0.05;
+// Bound every run: a plan that defeats a scheme outright would otherwise
+// burn the full default budget retrying forever.
+constexpr std::int64_t kMaxRounds = 60000;
+
+// One plan per (kind, faulty-party count): parties 0..f-1 misbehave with
+// deterministic, bounded windows so runs terminate and seeds reproduce.
+// Crashes are staggered so the population thins out gradually; babblers
+// jam the early rounds (where chunks and owners are decided); deaf
+// parties stay deaf for the whole run -- receive-side faults never block
+// the others, so this is the mild end of the spectrum.
+FaultPlan MakePlan(int kind, int faulty, std::uint64_t seed) {
+  FaultPlan plan(seed);
+  for (int k = 0; k < faulty; ++k) {
+    switch (kind) {
+      case 0:
+        plan.CrashStop(k, 200 + 100 * k);
+        break;
+      case 1:
+        plan.Sleepy(k, 100, 400);
+        break;
+      case 2:
+        plan.StuckBeeper(k, 50, 90);
+        break;
+      case 3:
+        plan.Babbler(k, 0, 500, 0.3);
+        break;
+      default:
+        plan.DeafReceiver(k, 0, FaultSpec::kNoLastRound);
+        break;
+    }
+  }
+  return plan;
+}
+
+const char* KindLabel(int kind) {
+  switch (kind) {
+    case 0: return "crash";
+    case 1: return "sleepy";
+    case 2: return "stuck";
+    case 3: return "babble";
+    default: return "deaf";
+  }
+}
+
+void Measure(benchmark::State& state, const Simulator& sim,
+             const Channel& channel, std::uint64_t seed) {
+  const int kind = static_cast<int>(state.range(0));
+  const int faulty = static_cast<int>(state.range(1));
+  state.SetLabel(std::string(KindLabel(kind)) + " x" +
+                 std::to_string(faulty));
+  Rng rng(seed + static_cast<std::uint64_t>(100 * kind + faulty));
+  int ok = 0;
+  int degraded = 0;
+  int failed = 0;
+  int recovered = 0;  // majority-vote transcript equals the true one
+  RunningStat blowup;
+  for (auto _ : state) {
+    for (int t = 0; t < kTrials; ++t) {
+      const InputSetInstance instance = SampleInputSet(kParties, rng);
+      const auto protocol = MakeInputSetProtocol(instance);
+      const BitString reference = ReferenceTranscript(*protocol);
+      const FaultPlan plan =
+          MakePlan(kind, faulty, seed + static_cast<std::uint64_t>(t));
+      const SimulationResult result =
+          sim.Simulate(*protocol, channel, plan, rng);
+      switch (result.verdict.status) {
+        case SimulationStatus::kOk: ++ok; break;
+        case SimulationStatus::kDegraded: ++degraded; break;
+        case SimulationStatus::kFailed: ++failed; break;
+      }
+      recovered += result.verdict.majority_transcript == reference ? 1 : 0;
+      blowup.Add(static_cast<double>(result.noisy_rounds_used) /
+                 protocol->length());
+    }
+  }
+  const double total = ok + degraded + failed;
+  state.counters["ok"] = ok / total;
+  state.counters["degraded"] = degraded / total;
+  state.counters["failed"] = failed / total;
+  state.counters["recovered"] = recovered / total;
+  state.counters["blowup"] = blowup.mean();
+}
+
+// kind in {0 crash, 1 sleepy, 2 stuck, 3 babble, 4 deaf} x faulty parties.
+void FaultArgs(benchmark::internal::Benchmark* b) {
+  b->ArgsProduct({{0, 1, 2, 3, 4}, {1, 2, 4}})
+      ->Iterations(1)
+      ->Unit(benchmark::kMillisecond);
+}
+
+void BM_Repetition(benchmark::State& state) {
+  const CorrelatedNoisyChannel channel(kEps);
+  const RepetitionSimulator sim;
+  Measure(state, sim, channel, 26000);
+}
+BENCHMARK(BM_Repetition)->Apply(FaultArgs);
+
+void BM_Rewind(benchmark::State& state) {
+  const CorrelatedNoisyChannel channel(kEps);
+  RewindSimOptions options;
+  options.max_rounds = kMaxRounds;
+  const RewindSimulator sim(options);
+  Measure(state, sim, channel, 26100);
+}
+BENCHMARK(BM_Rewind)->Apply(FaultArgs);
+
+void BM_RewindDown(benchmark::State& state) {
+  const OneSidedDownChannel channel(kEps);
+  RewindSimOptions options = RewindSimOptions::DownOnly();
+  options.max_rounds = kMaxRounds;
+  const RewindSimulator sim(options);
+  Measure(state, sim, channel, 26200);
+}
+BENCHMARK(BM_RewindDown)->Apply(FaultArgs);
+
+void BM_Hierarchical(benchmark::State& state) {
+  const CorrelatedNoisyChannel channel(kEps);
+  HierarchicalSimOptions options;
+  options.base.max_rounds = kMaxRounds;
+  const HierarchicalSimulator sim(options);
+  Measure(state, sim, channel, 26300);
+}
+BENCHMARK(BM_Hierarchical)->Apply(FaultArgs);
+
+}  // namespace
+
+BENCHMARK_MAIN();

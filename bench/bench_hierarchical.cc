@@ -38,7 +38,7 @@ void Run(benchmark::State& state, const Simulator& sim, int bits_per_party,
           SampleBitExchange(kParties, bits_per_party, rng);
       const auto protocol = MakeBitExchangeProtocol(instance);
       const SimulationResult result = sim.Simulate(*protocol, channel, rng);
-      counter.Record(!result.budget_exhausted &&
+      counter.Record(!result.budget_exhausted() &&
                      BitExchangeAllCorrect(instance, result.outputs));
       overhead.Add(static_cast<double>(result.noisy_rounds_used) /
                    protocol->length());

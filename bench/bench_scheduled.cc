@@ -45,7 +45,7 @@ void Measure(benchmark::State& state, const Channel& channel,
       const RewindSimulator sim(options);
       const auto protocol = MakeBitExchangeProtocol(instance);
       const SimulationResult result = sim.Simulate(*protocol, channel, rng);
-      counter.Record(!result.budget_exhausted &&
+      counter.Record(!result.budget_exhausted() &&
                      BitExchangeAllCorrect(instance, result.outputs));
       blowup.Add(static_cast<double>(result.noisy_rounds_used) /
                  protocol->length());
@@ -88,7 +88,7 @@ void BM_DownNoiseReference(benchmark::State& state) {
       const RewindSimulator sim(RewindSimOptions::DownOnly());
       const auto protocol = MakeBitExchangeProtocol(instance);
       const SimulationResult result = sim.Simulate(*protocol, channel, rng);
-      counter.Record(!result.budget_exhausted &&
+      counter.Record(!result.budget_exhausted() &&
                      BitExchangeAllCorrect(instance, result.outputs));
       blowup.Add(static_cast<double>(result.noisy_rounds_used) /
                  protocol->length());

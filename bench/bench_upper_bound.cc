@@ -45,7 +45,7 @@ void BM_RewindOverhead_InputSet(benchmark::State& state) {
       const InputSetInstance instance = SampleInputSet(n, rng);
       const auto protocol = MakeInputSetProtocol(instance);
       const SimulationResult result = sim.Simulate(*protocol, channel, rng);
-      counter.Record(!result.budget_exhausted &&
+      counter.Record(!result.budget_exhausted() &&
                      InputSetAllCorrect(instance, result.outputs));
       total_overhead += static_cast<double>(result.noisy_rounds_used) /
                         protocol->length();
@@ -69,7 +69,7 @@ void BM_RewindOverhead_BitExchange(benchmark::State& state) {
       const BitExchangeInstance instance = SampleBitExchange(n, 8, rng);
       const auto protocol = MakeBitExchangeProtocol(instance);
       const SimulationResult result = sim.Simulate(*protocol, channel, rng);
-      counter.Record(!result.budget_exhausted &&
+      counter.Record(!result.budget_exhausted() &&
                      BitExchangeAllCorrect(instance, result.outputs));
       total_overhead += static_cast<double>(result.noisy_rounds_used) /
                         protocol->length();
@@ -100,7 +100,7 @@ void BM_RewindOverhead_NoOwnerAblation(benchmark::State& state) {
       const InputSetInstance instance = SampleInputSet(n, rng);
       const auto protocol = MakeInputSetProtocol(instance);
       const SimulationResult result = sim.Simulate(*protocol, channel, rng);
-      counter.Record(!result.budget_exhausted &&
+      counter.Record(!result.budget_exhausted() &&
                      result.AllMatch(ReferenceTranscript(*protocol)));
       total_overhead += static_cast<double>(result.noisy_rounds_used) /
                         protocol->length();
@@ -135,7 +135,7 @@ void BM_RewindOverhead_NoiseSweep(benchmark::State& state) {
       const InputSetInstance instance = SampleInputSet(n, rng);
       const auto protocol = MakeInputSetProtocol(instance);
       const SimulationResult result = sim.Simulate(*protocol, channel, rng);
-      counter.Record(!result.budget_exhausted &&
+      counter.Record(!result.budget_exhausted() &&
                      InputSetAllCorrect(instance, result.outputs));
       total_overhead += static_cast<double>(result.noisy_rounds_used) /
                         protocol->length();

@@ -39,7 +39,7 @@ CellResult RunCell(const noisybeeps::Simulator& sim, int n, double eps,
         SampleLeaderElection(n, 16, rng);
     const auto protocol = MakeLeaderElectionProtocol(instance);
     const SimulationResult result = sim.Simulate(*protocol, channel, rng);
-    counter.Record(!result.budget_exhausted &&
+    counter.Record(!result.budget_exhausted() &&
                    LeaderElectionAllCorrect(instance, result.outputs));
     rounds.Add(static_cast<double>(result.noisy_rounds_used));
   }

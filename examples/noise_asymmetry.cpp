@@ -37,7 +37,7 @@ Cell Measure(const Channel& channel, const RewindSimulator& sim, int n,
     const BitExchangeInstance instance = SampleBitExchange(n, 8, rng);
     const auto protocol = MakeBitExchangeProtocol(instance);
     const SimulationResult result = sim.Simulate(*protocol, channel, rng);
-    counter.Record(!result.budget_exhausted &&
+    counter.Record(!result.budget_exhausted() &&
                    BitExchangeAllCorrect(instance, result.outputs));
     overhead.Add(static_cast<double>(result.noisy_rounds_used) /
                  protocol->length());

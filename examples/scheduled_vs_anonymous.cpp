@@ -40,7 +40,7 @@ double MeasureBlowup(const Simulator& sim, const Channel& channel, int n,
     const BitExchangeInstance instance = SampleBitExchange(n, 8, rng);
     const auto protocol = MakeBitExchangeProtocol(instance);
     const SimulationResult result = sim.Simulate(*protocol, channel, rng);
-    if (result.budget_exhausted ||
+    if (result.budget_exhausted() ||
         !BitExchangeAllCorrect(instance, result.outputs)) {
       return -1.0;
     }

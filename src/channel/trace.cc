@@ -35,10 +35,19 @@ Trace ReadTraceCsv(std::istream& is) {
                    static_cast<bool>(std::getline(row, or_str, ',')) &&
                    static_cast<bool>(std::getline(row, delivered_str)),
                "malformed trace CSV row: " + line);
+    // Comparing against the expected rendering catches out-of-order rows,
+    // non-numeric indices, and indices too large to have been written by
+    // WriteTraceCsv (which emits consecutive ones from 0) -- without ever
+    // parsing an attacker-sized integer.
     NB_REQUIRE(round_str == std::to_string(trace.size()),
                "trace CSV rows out of order at: " + line);
     NB_REQUIRE(or_str == "0" || or_str == "1",
                "bad or_bit in trace CSV row: " + line);
+    NB_REQUIRE(!delivered_str.empty(),
+               "empty delivered column in trace CSV row: " + line);
+    NB_REQUIRE(trace.empty() ||
+                   delivered_str.size() == trace.front().delivered.size(),
+               "ragged trace CSV: delivered width changed at: " + line);
     TraceRound round;
     round.or_bit = or_str == "1";
     round.delivered.reserve(delivered_str.size());
@@ -82,16 +91,27 @@ std::string RecordingChannel::name() const {
 }
 
 ReplayChannel::ReplayChannel(Trace trace, bool correlated)
-    : trace_(std::move(trace)), correlated_(correlated) {}
+    : trace_(std::move(trace)), correlated_(correlated) {
+  for (std::size_t r = 0; r < trace_.size(); ++r) {
+    NB_REQUIRE(!trace_[r].delivered.empty(),
+               "replay trace has a round with no delivered bits (round " +
+                   std::to_string(r) + ")");
+    NB_REQUIRE(trace_[r].delivered.size() == trace_.front().delivered.size(),
+               "replay trace is ragged: party count changes at round " +
+                   std::to_string(r));
+  }
+}
 
 void ReplayChannel::Deliver(int num_beepers,
                             std::span<std::uint8_t> received,
                             Rng& rng) const {
   (void)num_beepers;  // the recording dictates the outcome
   (void)rng;
-  if (next_ >= trace_.size()) {
-    throw std::out_of_range("ReplayChannel: trace exhausted");
-  }
+  NB_REQUIRE(next_ < trace_.size(),
+             "ReplayChannel: trace exhausted after " +
+                 std::to_string(trace_.size()) +
+                 " rounds -- the replayed execution asked for more rounds "
+                 "than were recorded");
   const TraceRound& round = trace_[next_++];
   NB_REQUIRE(round.delivered.size() == received.size(),
              "replaying a trace recorded with a different party count");

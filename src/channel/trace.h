@@ -62,9 +62,13 @@ class RecordingChannel final : public Channel {
 class ReplayChannel final : public Channel {
  public:
   // Plays `trace` back round by round.  `correlated` declares what the
-  // original channel was.  Throws std::out_of_range when asked for more
-  // rounds than the trace holds, or std::invalid_argument if the party
-  // count differs from the recording.
+  // original channel was.
+  // Precondition: every round of `trace` delivers to the same non-zero
+  // number of parties (a ragged trace is rejected at construction).
+  // Deliver fails loudly (std::invalid_argument via NB_REQUIRE) when asked
+  // for more rounds than the trace holds or when the party count differs
+  // from the recording -- replay divergence is a bug in the caller, never
+  // silently absorbed.
   ReplayChannel(Trace trace, bool correlated);
 
   void Deliver(int num_beepers, std::span<std::uint8_t> received,

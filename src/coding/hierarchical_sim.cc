@@ -3,7 +3,7 @@
 #include <map>
 
 #include "coding/sim_common.h"
-#include "protocol/round_engine.h"
+#include "fault/injection.h"
 #include "util/math.h"
 #include "util/require.h"
 
@@ -12,6 +12,7 @@ namespace noisybeeps {
 using internal::AllFirstViolations;
 using internal::AppendAttempt;
 using internal::CommitState;
+using internal::DivergenceTracker;
 using internal::TruncateTo;
 
 HierarchicalSimulator::HierarchicalSimulator(HierarchicalSimOptions options)
@@ -28,7 +29,7 @@ namespace {
 // verified prefix length (the scheme's working view of progress).
 std::size_t Audit(const Protocol& protocol, CommitState& state,
                   RoundEngine& engine, NoiseRegime regime, FlagRule rule,
-                  int flag_reps) {
+                  int flag_reps, DivergenceTracker& tracker) {
   const std::size_t len = state.committed.front().size();
   if (len == 0) return 0;
   const std::vector<std::size_t> first_violation =
@@ -36,6 +37,7 @@ std::size_t Audit(const Protocol& protocol, CommitState& state,
   engine.SetPhase("audit");
   const std::vector<std::size_t> verified =
       BinarySearchVerifiedPrefix(engine, first_violation, len, flag_reps, rule);
+  tracker.Observe(verified, "audit", engine.rounds_used());
   // All parties truncate to the SAME length (party 0's verified prefix):
   // the orchestration keeps per-party transcript lengths equal, and under
   // a correlated channel the verified lengths coincide anyway.  A party
@@ -50,6 +52,7 @@ std::size_t Audit(const Protocol& protocol, CommitState& state,
 
 SimulationResult HierarchicalSimulator::Simulate(const Protocol& protocol,
                                                  const Channel& channel,
+                                                 const FaultPlan& faults,
                                                  Rng& rng) const {
   const int n = protocol.num_parties();
   const int T = protocol.length();
@@ -70,8 +73,9 @@ SimulationResult HierarchicalSimulator::Simulate(const Protocol& protocol,
     internal::RequireValidSchedule(protocol, options_.base.owner_schedule);
   }
 
-  RoundEngine engine(channel, rng, n);
+  FaultyRoundEngine engine(channel, rng, n, faults);
   CommitState state(n);
+  internal::DivergenceTracker tracker;
   std::map<int, BeepCode> codes;
 
   std::int64_t commits = 0;
@@ -108,6 +112,11 @@ SimulationResult HierarchicalSimulator::Simulate(const Protocol& protocol,
         internal::InjectScheduleOwners(attempt, options_.base.owner_schedule,
                                        start);
       }
+      tracker.Observe(attempt.candidate, "chunk-sim", engine.rounds_used());
+      if (code != nullptr) {
+        tracker.Observe(attempt.owners, "owner-finding",
+                        engine.rounds_used());
+      }
       CommitState trial = state;
       AppendAttempt(trial, attempt);
       const std::vector<std::size_t> first_violation = AllFirstViolations(
@@ -120,6 +129,7 @@ SimulationResult HierarchicalSimulator::Simulate(const Protocol& protocol,
       engine.SetPhase("verify-flags");
       const std::vector<std::uint8_t> verdict = CommunicateFlags(
           engine, flags, level0_flag_reps, options_.base.flag_rule);
+      tracker.Observe(verdict, "verify-flags", engine.rounds_used());
       if (verdict[0] == 0) {
         state = std::move(trial);
         start += chunk_len;
@@ -130,7 +140,8 @@ SimulationResult HierarchicalSimulator::Simulate(const Protocol& protocol,
           const int reps = audit_base + l * options_.audit_flag_slope;
           start = static_cast<int>(Audit(protocol, state, engine,
                                          options_.base.regime,
-                                         options_.base.flag_rule, reps));
+                                         options_.base.flag_rule, reps,
+                                         tracker));
         }
       }
       continue;
@@ -143,7 +154,7 @@ SimulationResult HierarchicalSimulator::Simulate(const Protocol& protocol,
     const int reps = audit_base + final_level * options_.audit_flag_slope;
     start = static_cast<int>(Audit(protocol, state, engine,
                                    options_.base.regime,
-                                   options_.base.flag_rule, reps));
+                                   options_.base.flag_rule, reps, tracker));
     final_audit_passed = start == T;
   }
 
@@ -158,7 +169,8 @@ SimulationResult HierarchicalSimulator::Simulate(const Protocol& protocol,
   }
   result.noisy_rounds_used = engine.rounds_used();
   result.phase_rounds = engine.phase_rounds();
-  result.budget_exhausted = exhausted;
+  result.verdict = ComputeVerdict(result.transcripts, T, exhausted);
+  tracker.Export(result.verdict);
   return result;
 }
 

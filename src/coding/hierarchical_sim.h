@@ -49,8 +49,10 @@ class HierarchicalSimulator final : public Simulator {
  public:
   explicit HierarchicalSimulator(HierarchicalSimOptions options = {});
 
+  using Simulator::Simulate;
   [[nodiscard]] SimulationResult Simulate(const Protocol& protocol,
                                           const Channel& channel,
+                                          const FaultPlan& faults,
                                           Rng& rng) const override;
   [[nodiscard]] std::string name() const override;
 

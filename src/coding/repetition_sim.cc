@@ -1,6 +1,7 @@
 #include "coding/repetition_sim.h"
 
-#include "protocol/round_engine.h"
+#include "coding/sim_common.h"
+#include "fault/injection.h"
 #include "util/math.h"
 #include "util/require.h"
 
@@ -21,16 +22,19 @@ int RepetitionSimulator::EffectiveRepFactor(int num_parties) const {
 
 SimulationResult RepetitionSimulator::Simulate(const Protocol& protocol,
                                                const Channel& channel,
+                                               const FaultPlan& faults,
                                                Rng& rng) const {
   const int n = protocol.num_parties();
   const int reps = EffectiveRepFactor(n);
-  RoundEngine engine(channel, rng, n);
+  FaultyRoundEngine engine(channel, rng, n, faults);
   engine.SetPhase("repetition");
+  internal::DivergenceTracker tracker;
 
   SimulationResult result;
   result.transcripts.assign(n, BitString());
 
   std::vector<std::uint8_t> beeps(n, 0);
+  std::vector<std::uint8_t> decoded(n, 0);
   std::vector<std::size_t> ones(n, 0);
   for (int m = 0; m < protocol.length(); ++m) {
     // Each party fixes its beep for logical round m from its own
@@ -44,9 +48,10 @@ SimulationResult RepetitionSimulator::Simulate(const Protocol& protocol,
       for (int i = 0; i < n; ++i) ones[i] += received[i];
     }
     for (int i = 0; i < n; ++i) {
-      result.transcripts[i].PushBack(2 * ones[i] >=
-                                     static_cast<std::size_t>(reps));
+      decoded[i] = 2 * ones[i] >= static_cast<std::size_t>(reps) ? 1 : 0;
+      result.transcripts[i].PushBack(decoded[i] != 0);
     }
+    tracker.Observe(decoded, "repetition", engine.rounds_used());
   }
 
   result.outputs.reserve(n);
@@ -56,6 +61,9 @@ SimulationResult RepetitionSimulator::Simulate(const Protocol& protocol,
   }
   result.noisy_rounds_used = engine.rounds_used();
   result.phase_rounds = engine.phase_rounds();
+  result.verdict = ComputeVerdict(result.transcripts, protocol.length(),
+                                  /*budget_exhausted=*/false);
+  tracker.Export(result.verdict);
   return result;
 }
 

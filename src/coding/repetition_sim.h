@@ -25,8 +25,10 @@ class RepetitionSimulator final : public Simulator {
  public:
   explicit RepetitionSimulator(RepetitionSimOptions options = {});
 
+  using Simulator::Simulate;
   [[nodiscard]] SimulationResult Simulate(const Protocol& protocol,
                                           const Channel& channel,
+                                          const FaultPlan& faults,
                                           Rng& rng) const override;
   [[nodiscard]] std::string name() const override;
 

@@ -3,7 +3,7 @@
 #include <map>
 
 #include "coding/sim_common.h"
-#include "protocol/round_engine.h"
+#include "fault/injection.h"
 #include "util/math.h"
 #include "util/require.h"
 
@@ -48,6 +48,7 @@ int RewindSimulator::EffectiveFlagReps(int n) const {
 
 SimulationResult RewindSimulator::Simulate(const Protocol& protocol,
                                            const Channel& channel,
+                                           const FaultPlan& faults,
                                            Rng& rng) const {
   const int n = protocol.num_parties();
   const int T = protocol.length();
@@ -64,8 +65,9 @@ SimulationResult RewindSimulator::Simulate(const Protocol& protocol,
     internal::RequireValidSchedule(protocol, options_.owner_schedule);
   }
 
-  RoundEngine engine(channel, rng, n);
+  FaultyRoundEngine engine(channel, rng, n, faults);
   CommitState state(n);
+  internal::DivergenceTracker tracker;
   // Beep codes are deterministic functions of (chunk length, seed): part
   // of the protocol description, shared by all parties.
   std::map<int, BeepCode> codes;
@@ -100,6 +102,10 @@ SimulationResult RewindSimulator::Simulate(const Protocol& protocol,
     if (options_.scheduled()) {
       internal::InjectScheduleOwners(attempt, options_.owner_schedule, start);
     }
+    tracker.Observe(attempt.candidate, "chunk-sim", engine.rounds_used());
+    if (code != nullptr) {
+      tracker.Observe(attempt.owners, "owner-finding", engine.rounds_used());
+    }
 
     // Verification: each party checks the candidate extension against its
     // own beeps (and its owned 1s), then the flags are OR'd noisily.
@@ -115,6 +121,7 @@ SimulationResult RewindSimulator::Simulate(const Protocol& protocol,
     engine.SetPhase("verify-flags");
     const std::vector<std::uint8_t> verdict =
         CommunicateFlags(engine, flags, flag_reps, options_.flag_rule);
+    tracker.Observe(verdict, "verify-flags", engine.rounds_used());
 
     // Commit/rewind follows party 0's verdict (see sim_common.h on
     // control-flow synchronization).
@@ -136,7 +143,8 @@ SimulationResult RewindSimulator::Simulate(const Protocol& protocol,
   }
   result.noisy_rounds_used = engine.rounds_used();
   result.phase_rounds = engine.phase_rounds();
-  result.budget_exhausted = exhausted;
+  result.verdict = ComputeVerdict(result.transcripts, T, exhausted);
+  tracker.Export(result.verdict);
   return result;
 }
 

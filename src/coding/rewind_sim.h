@@ -82,8 +82,10 @@ class RewindSimulator final : public Simulator {
  public:
   explicit RewindSimulator(RewindSimOptions options = {});
 
+  using Simulator::Simulate;
   [[nodiscard]] SimulationResult Simulate(const Protocol& protocol,
                                           const Channel& channel,
+                                          const FaultPlan& faults,
                                           Rng& rng) const override;
   [[nodiscard]] std::string name() const override;
 

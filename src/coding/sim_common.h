@@ -16,13 +16,56 @@
 #ifndef NOISYBEEPS_CODING_SIM_COMMON_H_
 #define NOISYBEEPS_CODING_SIM_COMMON_H_
 
+#include <cstdint>
+#include <string>
 #include <vector>
 
 #include "coding/chunk_sim.h"
+#include "coding/simulator.h"
 #include "coding/verification.h"
 #include "protocol/protocol.h"
 
 namespace noisybeeps::internal {
+
+// Records the first engine phase in which per-party state stopped being
+// identical -- the SimulationVerdict's "which phase first diverged"
+// answer.  Simulators call Observe at each synchronization point (decoded
+// chunk bits, owner records, flag verdicts, audit results); once a
+// divergence is recorded all further calls are no-ops, so the steady-state
+// cost is one branch.
+class DivergenceTracker {
+ public:
+  // Observes one per-party vector of values that SHOULD agree across
+  // parties.  `phase` labels the phase that produced them; `round` is the
+  // engine's rounds_used() at the observation.
+  template <typename T>
+  void Observe(const std::vector<T>& per_party, const char* phase,
+               std::int64_t round) {
+    if (diverged_) return;
+    for (std::size_t i = 1; i < per_party.size(); ++i) {
+      if (!(per_party[i] == per_party[0])) {
+        diverged_ = true;
+        first_phase_ = phase;
+        first_round_ = round;
+        return;
+      }
+    }
+  }
+
+  [[nodiscard]] bool diverged() const { return diverged_; }
+
+  // Copies the divergence fields into a verdict (whose status/agreement
+  // fields were already filled by ComputeVerdict).
+  void Export(SimulationVerdict& verdict) const {
+    verdict.first_divergent_phase = first_phase_;
+    verdict.first_divergence_round = first_round_;
+  }
+
+ private:
+  bool diverged_ = false;
+  std::string first_phase_;
+  std::int64_t first_round_ = -1;
+};
 
 struct CommitState {
   std::vector<BitString> committed;        // per-party transcripts

@@ -1,0 +1,71 @@
+#include "coding/simulator.h"
+
+#include "util/require.h"
+
+namespace noisybeeps {
+
+namespace {
+
+// Deterministic tie-break for the plurality transcript: true when a is
+// lexicographically less than b (shorter prefix wins on a tie).
+bool BitsLess(const BitString& a, const BitString& b) {
+  const std::size_t common = a.size() < b.size() ? a.size() : b.size();
+  for (std::size_t i = 0; i < common; ++i) {
+    if (a[i] != b[i]) return !a[i];
+  }
+  return a.size() < b.size();
+}
+
+}  // namespace
+
+std::string SimulationStatusName(SimulationStatus status) {
+  switch (status) {
+    case SimulationStatus::kOk:
+      return "ok";
+    case SimulationStatus::kDegraded:
+      return "degraded";
+    case SimulationStatus::kFailed:
+      return "failed";
+  }
+  return "unknown";
+}
+
+SimulationVerdict ComputeVerdict(const std::vector<BitString>& transcripts,
+                                 int full_length, bool budget_exhausted) {
+  NB_REQUIRE(!transcripts.empty(), "need at least one transcript");
+  const int n = static_cast<int>(transcripts.size());
+
+  SimulationVerdict verdict;
+  verdict.budget_exhausted = budget_exhausted;
+  verdict.agreement.assign(n, 0);
+  // O(n^2) transcript comparisons; n is the party count (tens to a few
+  // hundred) and comparisons are word-wise, so this is cheap next to the
+  // simulation itself.
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      if (transcripts[i] == transcripts[j]) ++verdict.agreement[i];
+    }
+  }
+  int best = 0;
+  for (int i = 0; i < n; ++i) {
+    const bool bigger = verdict.agreement[i] > verdict.agreement[best];
+    const bool tie_less =
+        verdict.agreement[i] == verdict.agreement[best] &&
+        BitsLess(transcripts[i], transcripts[best]);
+    if (bigger || tie_less) best = i;
+  }
+  verdict.majority_size = verdict.agreement[best];
+  verdict.majority_transcript = transcripts[best];
+
+  if (!budget_exhausted && verdict.majority_size == n &&
+      static_cast<int>(verdict.majority_transcript.size()) == full_length) {
+    verdict.status = SimulationStatus::kOk;
+  } else if (2 * verdict.majority_size > n) {
+    verdict.status = SimulationStatus::kDegraded;
+  } else {
+    verdict.status = SimulationStatus::kFailed;
+  }
+  return verdict;
+}
+
+}  // namespace noisybeeps

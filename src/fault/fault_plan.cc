@@ -1,0 +1,284 @@
+#include "fault/fault_plan.h"
+
+#include <istream>
+#include <ostream>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/require.h"
+
+namespace noisybeeps {
+
+namespace {
+
+void RequireWindow(int party, std::int64_t first, std::int64_t last) {
+  NB_REQUIRE(party >= 0, "fault party index must be non-negative");
+  NB_REQUIRE(first >= 0, "fault window must start at a non-negative round");
+  NB_REQUIRE(last >= first, "fault window must not end before it starts");
+}
+
+// Parses a non-negative integer occupying ALL of `text`.  Throws
+// std::invalid_argument otherwise (including on overflow).
+std::int64_t ParseRound(const std::string& text, const std::string& context) {
+  if (text.empty() || text.find_first_not_of("0123456789") != std::string::npos) {
+    throw std::invalid_argument("FaultPlan: bad round index '" + text +
+                                "' in " + context);
+  }
+  try {
+    return std::stoll(text);
+  } catch (const std::out_of_range&) {
+    throw std::invalid_argument("FaultPlan: round index overflows in " +
+                                context);
+  }
+}
+
+double ParseProb(const std::string& text, const std::string& context) {
+  std::size_t used = 0;
+  double p = 0;
+  try {
+    p = std::stod(text, &used);
+  } catch (const std::exception&) {
+    used = std::string::npos;  // force the error below
+  }
+  if (used != text.size() || !(p >= 0.0 && p <= 1.0)) {
+    throw std::invalid_argument("FaultPlan: bad beep probability '" + text +
+                                "' in " + context);
+  }
+  return p;
+}
+
+}  // namespace
+
+std::string FaultKindName(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kCrashStop:
+      return "crash";
+    case FaultKind::kSleepy:
+      return "sleepy";
+    case FaultKind::kStuckBeeper:
+      return "stuck";
+    case FaultKind::kBabbler:
+      return "babble";
+    case FaultKind::kDeafReceiver:
+      return "deaf";
+  }
+  throw std::invalid_argument("FaultKindName: unknown FaultKind");
+}
+
+FaultKind ParseFaultKind(const std::string& name) {
+  if (name == "crash") return FaultKind::kCrashStop;
+  if (name == "sleepy") return FaultKind::kSleepy;
+  if (name == "stuck") return FaultKind::kStuckBeeper;
+  if (name == "babble") return FaultKind::kBabbler;
+  if (name == "deaf") return FaultKind::kDeafReceiver;
+  throw std::invalid_argument("FaultPlan: unknown fault kind '" + name +
+                              "' (expected crash|sleepy|stuck|babble|deaf)");
+}
+
+FaultPlan& FaultPlan::CrashStop(int party, std::int64_t from_round) {
+  RequireWindow(party, from_round, FaultSpec::kNoLastRound);
+  specs_.push_back({FaultKind::kCrashStop, party, from_round,
+                    FaultSpec::kNoLastRound, 0.0});
+  return *this;
+}
+
+FaultPlan& FaultPlan::Sleepy(int party, std::int64_t first,
+                             std::int64_t last) {
+  RequireWindow(party, first, last);
+  specs_.push_back({FaultKind::kSleepy, party, first, last, 0.0});
+  return *this;
+}
+
+FaultPlan& FaultPlan::StuckBeeper(int party, std::int64_t first,
+                                  std::int64_t last) {
+  RequireWindow(party, first, last);
+  specs_.push_back({FaultKind::kStuckBeeper, party, first, last, 0.0});
+  return *this;
+}
+
+FaultPlan& FaultPlan::Babbler(int party, std::int64_t first, std::int64_t last,
+                              double beep_prob) {
+  RequireWindow(party, first, last);
+  NB_REQUIRE(beep_prob >= 0.0 && beep_prob <= 1.0,
+             "babbler beep probability must be in [0, 1]");
+  specs_.push_back({FaultKind::kBabbler, party, first, last, beep_prob});
+  return *this;
+}
+
+FaultPlan& FaultPlan::DeafReceiver(int party, std::int64_t first,
+                                   std::int64_t last) {
+  RequireWindow(party, first, last);
+  specs_.push_back({FaultKind::kDeafReceiver, party, first, last, 0.0});
+  return *this;
+}
+
+int FaultPlan::MaxParty() const {
+  int max_party = -1;
+  for (const FaultSpec& spec : specs_) {
+    if (spec.party > max_party) max_party = spec.party;
+  }
+  return max_party;
+}
+
+int FaultPlan::NumFaultyParties() const {
+  std::set<int> parties;
+  for (const FaultSpec& spec : specs_) parties.insert(spec.party);
+  return static_cast<int>(parties.size());
+}
+
+FaultPlan FaultPlan::Parse(const std::string& text, std::uint64_t seed) {
+  FaultPlan plan(seed);
+  std::istringstream stream(text);
+  std::string entry;
+  while (std::getline(stream, entry, ';')) {
+    if (entry.empty()) continue;
+    const std::string context = "spec '" + entry + "'";
+    const std::size_t colon = entry.find(':');
+    const std::size_t at = entry.find('@');
+    if (colon == std::string::npos || at == std::string::npos || at < colon) {
+      throw std::invalid_argument(
+          "FaultPlan: expected kind:party@first[-last][:prob], got " +
+          context);
+    }
+    const FaultKind kind = ParseFaultKind(entry.substr(0, colon));
+    const int party = static_cast<int>(
+        ParseRound(entry.substr(colon + 1, at - colon - 1), context));
+
+    std::string window = entry.substr(at + 1);
+    double prob = 0.5;
+    bool have_prob = false;
+    const std::size_t prob_colon = window.find(':');
+    if (prob_colon != std::string::npos) {
+      prob = ParseProb(window.substr(prob_colon + 1), context);
+      have_prob = true;
+      window = window.substr(0, prob_colon);
+    }
+    std::int64_t first = 0;
+    std::int64_t last = FaultSpec::kNoLastRound;
+    const std::size_t dash = window.find('-');
+    if (dash == std::string::npos) {
+      first = ParseRound(window, context);
+    } else {
+      first = ParseRound(window.substr(0, dash), context);
+      const std::string last_str = window.substr(dash + 1);
+      if (!last_str.empty() && last_str != "*") {
+        last = ParseRound(last_str, context);
+      }
+    }
+    if (last < first) {
+      throw std::invalid_argument("FaultPlan: window ends before it starts in " +
+                                  context);
+    }
+    if (have_prob && kind != FaultKind::kBabbler) {
+      throw std::invalid_argument(
+          "FaultPlan: only babble specs take a probability, got " + context);
+    }
+    switch (kind) {
+      case FaultKind::kCrashStop:
+        if (last != FaultSpec::kNoLastRound) {
+          throw std::invalid_argument(
+              "FaultPlan: crash is open-ended, it takes no end round: " +
+              context);
+        }
+        plan.CrashStop(party, first);
+        break;
+      case FaultKind::kSleepy:
+        plan.Sleepy(party, first, last);
+        break;
+      case FaultKind::kStuckBeeper:
+        plan.StuckBeeper(party, first, last);
+        break;
+      case FaultKind::kBabbler:
+        plan.Babbler(party, first, last, prob);
+        break;
+      case FaultKind::kDeafReceiver:
+        plan.DeafReceiver(party, first, last);
+        break;
+    }
+  }
+  return plan;
+}
+
+std::string FaultPlan::ToString() const {
+  std::ostringstream os;
+  for (std::size_t k = 0; k < specs_.size(); ++k) {
+    const FaultSpec& spec = specs_[k];
+    if (k > 0) os << ';';
+    os << FaultKindName(spec.kind) << ':' << spec.party << '@'
+       << spec.first_round;
+    if (spec.kind != FaultKind::kCrashStop) {
+      os << '-';
+      if (spec.last_round == FaultSpec::kNoLastRound) {
+        os << '*';
+      } else {
+        os << spec.last_round;
+      }
+    }
+    if (spec.kind == FaultKind::kBabbler) os << ':' << spec.beep_prob;
+  }
+  return os.str();
+}
+
+void WriteFaultPlanCsv(const FaultPlan& plan, std::ostream& os) {
+  os << "kind,party,first_round,last_round,beep_prob\n";
+  for (const FaultSpec& spec : plan.specs()) {
+    os << FaultKindName(spec.kind) << ',' << spec.party << ','
+       << spec.first_round << ',';
+    if (spec.last_round == FaultSpec::kNoLastRound) {
+      os << '*';
+    } else {
+      os << spec.last_round;
+    }
+    os << ',' << spec.beep_prob << '\n';
+  }
+}
+
+FaultPlan ReadFaultPlanCsv(std::istream& is, std::uint64_t seed) {
+  std::string line;
+  NB_REQUIRE(static_cast<bool>(std::getline(is, line)) &&
+                 line == "kind,party,first_round,last_round,beep_prob",
+             "missing or malformed fault-plan CSV header");
+  FaultPlan plan(seed);
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    std::istringstream row(line);
+    std::string cells[5];
+    for (int c = 0; c < 5; ++c) {
+      NB_REQUIRE(static_cast<bool>(std::getline(row, cells[c], ',')),
+                 "fault-plan CSV row has too few cells: " + line);
+    }
+    std::string extra;
+    NB_REQUIRE(!std::getline(row, extra),
+               "fault-plan CSV row has too many cells: " + line);
+    const std::string context = "CSV row '" + line + "'";
+    const FaultKind kind = ParseFaultKind(cells[0]);
+    const int party = static_cast<int>(ParseRound(cells[1], context));
+    const std::int64_t first = ParseRound(cells[2], context);
+    const std::int64_t last = cells[3] == "*"
+                                  ? FaultSpec::kNoLastRound
+                                  : ParseRound(cells[3], context);
+    switch (kind) {
+      case FaultKind::kCrashStop:
+        NB_REQUIRE(last == FaultSpec::kNoLastRound,
+                   "crash rows must have last_round='*': " + line);
+        plan.CrashStop(party, first);
+        break;
+      case FaultKind::kSleepy:
+        plan.Sleepy(party, first, last);
+        break;
+      case FaultKind::kStuckBeeper:
+        plan.StuckBeeper(party, first, last);
+        break;
+      case FaultKind::kBabbler:
+        plan.Babbler(party, first, last, ParseProb(cells[4], context));
+        break;
+      case FaultKind::kDeafReceiver:
+        plan.DeafReceiver(party, first, last);
+        break;
+    }
+  }
+  return plan;
+}
+
+}  // namespace noisybeeps

@@ -1,0 +1,127 @@
+// FaultPlan: a deterministic, seed-driven description of party faults.
+//
+// The paper's theorems assume every party is alive, synchronized, and
+// faithfully runs its broadcast functions; the only adversity is channel
+// noise.  The fault layer asks the harsher question the related beeping
+// literature raises (Noisy Beeping Networks, arXiv:1909.06811; Design
+// Patterns in Beeping Algorithms, arXiv:1607.02951): what does a scheme do
+// when a party MISBEHAVES?  A FaultPlan is a pure value describing, per
+// party and per noisy-channel round, one of five behaviours:
+//
+//   crash-stop     from round r on, the party neither beeps nor listens
+//                  (it hears all-zeros) -- a dead node
+//   sleepy         crash-stop limited to a round window [first, last]
+//   stuck-beeper   the party beeps in EVERY round of its window
+//   babbler        the party beeps at random (Bernoulli, its own
+//                  adversarial Rng stream derived from the plan seed) --
+//                  a Byzantine jammer independent of the channel noise
+//   deaf-receiver  the party's received bit is forced to 0 in its window
+//                  (it still beeps faithfully)
+//
+// Rounds are NOISY-CHANNEL rounds (the rounds RoundEngine counts), not
+// logical rounds of the simulated protocol.  Plans are applied by
+// fault/injection.h; the Channel implementations never see them.
+//
+// Determinism: a FaultPlan is part of the experiment configuration.  The
+// babbler streams are derived from (plan seed, spec index) only, so
+// identical (protocol, channel, FaultPlan, seed) tuples reproduce
+// bit-identical executions -- the same contract every other stochastic
+// component of the library obeys.
+#ifndef NOISYBEEPS_FAULT_FAULT_PLAN_H_
+#define NOISYBEEPS_FAULT_FAULT_PLAN_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace noisybeeps {
+
+enum class FaultKind {
+  kCrashStop,
+  kSleepy,
+  kStuckBeeper,
+  kBabbler,
+  kDeafReceiver,
+};
+
+// The canonical short name ("crash", "sleepy", "stuck", "babble", "deaf").
+[[nodiscard]] std::string FaultKindName(FaultKind kind);
+// Inverse of FaultKindName.  Throws std::invalid_argument on unknown names.
+[[nodiscard]] FaultKind ParseFaultKind(const std::string& name);
+
+// One fault: `party` behaves as `kind` in noisy rounds
+// [first_round, last_round] (inclusive; kNoLastRound = forever).
+struct FaultSpec {
+  static constexpr std::int64_t kNoLastRound =
+      std::numeric_limits<std::int64_t>::max();
+
+  FaultKind kind = FaultKind::kCrashStop;
+  int party = 0;
+  std::int64_t first_round = 0;
+  std::int64_t last_round = kNoLastRound;
+  double beep_prob = 0.5;  // babbler only
+
+  [[nodiscard]] bool ActiveAt(std::int64_t round) const {
+    return round >= first_round && round <= last_round;
+  }
+
+  friend bool operator==(const FaultSpec& a, const FaultSpec& b) = default;
+};
+
+class FaultPlan {
+ public:
+  // An empty plan: injecting it is a provable no-op (bit-for-bit identical
+  // to the unfaulted execution; the golden test holds this to account).
+  FaultPlan() = default;
+  // `seed` drives the babbler Rng streams (unused by the other kinds).
+  explicit FaultPlan(std::uint64_t seed) : seed_(seed) {}
+
+  // Builder API; all return *this for chaining.  Windows are inclusive.
+  // Preconditions: party >= 0, first_round >= 0, last >= first, and for
+  // Babbler 0 <= beep_prob <= 1.
+  FaultPlan& CrashStop(int party, std::int64_t from_round);
+  FaultPlan& Sleepy(int party, std::int64_t first, std::int64_t last);
+  FaultPlan& StuckBeeper(int party, std::int64_t first, std::int64_t last);
+  FaultPlan& Babbler(int party, std::int64_t first, std::int64_t last,
+                     double beep_prob = 0.5);
+  FaultPlan& DeafReceiver(int party, std::int64_t first, std::int64_t last);
+
+  [[nodiscard]] bool empty() const { return specs_.empty(); }
+  [[nodiscard]] const std::vector<FaultSpec>& specs() const { return specs_; }
+  [[nodiscard]] std::uint64_t seed() const { return seed_; }
+  // Largest party index any spec names (-1 when empty).  Executions must
+  // have more parties than this.
+  [[nodiscard]] int MaxParty() const;
+  // Number of distinct parties with at least one fault.
+  [[nodiscard]] int NumFaultyParties() const;
+
+  // The compact flag grammar (round-trip inverse of ToString):
+  //   plan  := spec (';' spec)*     |  "" (empty plan)
+  //   spec  := kind ':' party '@' first ['-' last] [':' prob]
+  //   kind  := crash | sleepy | stuck | babble | deaf
+  // e.g. "crash:3@100;sleepy:1@10-20;babble:2@0-50:0.7".  `last` omitted
+  // or '*' means forever; crash takes no `last` (it is forever by
+  // definition).  Throws std::invalid_argument on malformed input.
+  static FaultPlan Parse(const std::string& text, std::uint64_t seed = 0);
+  [[nodiscard]] std::string ToString() const;
+
+  friend bool operator==(const FaultPlan& a, const FaultPlan& b) = default;
+
+ private:
+  std::uint64_t seed_ = 0;
+  std::vector<FaultSpec> specs_;
+};
+
+// CSV serialization for tools: header "kind,party,first_round,last_round,
+// beep_prob" with last_round = '*' for open-ended windows.  ReadFaultPlanCsv
+// throws std::invalid_argument on malformed input (missing header, ragged
+// rows, unknown kinds, non-numeric cells).
+void WriteFaultPlanCsv(const FaultPlan& plan, std::ostream& os);
+[[nodiscard]] FaultPlan ReadFaultPlanCsv(std::istream& is,
+                                         std::uint64_t seed = 0);
+
+}  // namespace noisybeeps
+
+#endif  // NOISYBEEPS_FAULT_FAULT_PLAN_H_

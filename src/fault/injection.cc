@@ -1,0 +1,118 @@
+#include "fault/injection.h"
+
+#include <algorithm>
+
+#include "util/require.h"
+
+namespace noisybeeps {
+
+FaultInjector::FaultInjector(const FaultPlan& plan, int num_parties)
+    : specs_(plan.specs()) {
+  NB_REQUIRE(plan.MaxParty() < num_parties,
+             "fault plan names a party the execution does not have");
+  babbler_rngs_.reserve(specs_.size());
+  for (std::size_t k = 0; k < specs_.size(); ++k) {
+    // One decorrelated stream per spec: distinct SplitMix64 seed chains
+    // keyed by (plan seed, spec index).  Never touches the channel rng, so
+    // adding or removing a babbler cannot shift the noise realization.
+    babbler_rngs_.emplace_back(plan.seed() ^
+                               (0x9e3779b97f4a7c15ULL * (k + 1)));
+  }
+}
+
+void FaultInjector::ApplySend(std::int64_t round,
+                              std::span<std::uint8_t> beeps) {
+  for (std::size_t k = 0; k < specs_.size(); ++k) {
+    const FaultSpec& spec = specs_[k];
+    if (!spec.ActiveAt(round)) continue;
+    switch (spec.kind) {
+      case FaultKind::kCrashStop:
+      case FaultKind::kSleepy:
+        beeps[spec.party] = 0;
+        break;
+      case FaultKind::kStuckBeeper:
+        beeps[spec.party] = 1;
+        break;
+      case FaultKind::kBabbler:
+        beeps[spec.party] = babbler_rngs_[k].Bernoulli(spec.beep_prob) ? 1 : 0;
+        break;
+      case FaultKind::kDeafReceiver:
+        break;  // send side untouched
+    }
+  }
+}
+
+void FaultInjector::ApplyReceive(std::int64_t round,
+                                 std::span<std::uint8_t> received) {
+  for (const FaultSpec& spec : specs_) {
+    if (!spec.ActiveAt(round)) continue;
+    switch (spec.kind) {
+      case FaultKind::kCrashStop:
+      case FaultKind::kSleepy:
+      case FaultKind::kDeafReceiver:
+        received[spec.party] = 0;
+        break;
+      case FaultKind::kStuckBeeper:
+      case FaultKind::kBabbler:
+        break;  // receive side untouched
+    }
+  }
+}
+
+FaultyRoundEngine::FaultyRoundEngine(const Channel& channel, Rng& rng,
+                                     int num_parties, const FaultPlan& plan)
+    : RoundEngine(channel, rng, num_parties),
+      injector_(plan, num_parties),
+      faulted_beeps_(num_parties, 0),
+      faulted_received_(num_parties, 0) {
+  NB_REQUIRE(plan.MaxParty() < num_parties,
+             "fault plan names a party the engine does not have");
+}
+
+std::span<const std::uint8_t> FaultyRoundEngine::Round(
+    std::span<const std::uint8_t> beeps) {
+  if (!injector_.active()) return RoundEngine::Round(beeps);
+  const std::int64_t round = rounds_used();
+  std::copy(beeps.begin(), beeps.end(), faulted_beeps_.begin());
+  injector_.ApplySend(round, faulted_beeps_);
+  const std::span<const std::uint8_t> received =
+      RoundEngine::Round(faulted_beeps_);
+  std::copy(received.begin(), received.end(), faulted_received_.begin());
+  injector_.ApplyReceive(round, faulted_received_);
+  return faulted_received_;
+}
+
+ExecutionResult Execute(const Protocol& protocol, const Channel& channel,
+                        const FaultPlan& plan, Rng& rng) {
+  const int n = protocol.num_parties();
+  NB_REQUIRE(plan.MaxParty() < n,
+             "fault plan names a party the protocol does not have");
+  FaultInjector injector(plan, n);
+
+  ExecutionResult result;
+  result.transcripts.assign(n, BitString());
+  std::vector<std::uint8_t> beeps(n, 0);
+  std::vector<std::uint8_t> received(n, 0);
+  for (int m = 0; m < protocol.length(); ++m) {
+    for (int i = 0; i < n; ++i) {
+      beeps[i] = protocol.party(i).ChooseBeep(result.transcripts[i]) ? 1 : 0;
+    }
+    if (injector.active()) injector.ApplySend(m, beeps);
+    int num_beepers = 0;
+    for (std::uint8_t b : beeps) num_beepers += b != 0;
+    channel.Deliver(num_beepers, received, rng);
+    if (injector.active()) injector.ApplyReceive(m, received);
+    for (int i = 0; i < n; ++i) {
+      result.transcripts[i].PushBack(received[i] != 0);
+    }
+  }
+
+  result.outputs.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    result.outputs.push_back(
+        protocol.party(i).ComputeOutput(result.transcripts[i]));
+  }
+  return result;
+}
+
+}  // namespace noisybeeps

@@ -596,6 +596,52 @@ std::vector<Finding> CheckRequireCoverage(const std::vector<SourceFile>& files) 
   return findings;
 }
 
+std::vector<Finding> CheckFaultLayering(const std::vector<SourceFile>& files) {
+  // The fault-injection layer must stay a leaf: it may reach down into
+  // channel/ and protocol/ (plus util/ and itself), and only coding/,
+  // bench/, tools/, and tests may reach back into it.  Anything else
+  // would let the core grow a dependency on its own failure model.
+  static const std::set<std::string> kFaultMayInclude = {
+      "fault", "channel", "protocol", "util"};
+  std::vector<Finding> findings;
+  for (const SourceFile& file : files) {
+    const std::string module = ModuleOf(file.path);
+    const bool in_fault = module == "fault";
+    const bool may_include_fault =
+        in_fault || module == "coding" || file.path.starts_with("bench/") ||
+        file.path.starts_with("tools/") || file.path.starts_with("tests/");
+    const std::vector<std::string> lines =
+        SplitLines(StripComments(file.content));
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+      const std::string& line = lines[i];
+      const std::size_t pos = line.find("#include \"");
+      if (pos == std::string::npos) continue;
+      const std::size_t start = pos + 10;
+      const std::size_t slash = line.find('/', start);
+      const std::size_t quote = line.find('"', start);
+      if (slash == std::string::npos || quote == std::string::npos ||
+          slash > quote) {
+        continue;
+      }
+      const std::string to = line.substr(start, slash - start);
+      const int line_no = static_cast<int>(i) + 1;
+      if (in_fault && kFaultMayInclude.count(to) == 0) {
+        findings.push_back(
+            {file.path, line_no, "fault-layering",
+             "src/fault/ may include only fault/, channel/, protocol/, and "
+             "util/ headers, not \"" + to + "/...\""});
+      } else if (!may_include_fault && to == "fault") {
+        findings.push_back(
+            {file.path, line_no, "fault-layering",
+             "only src/fault/, src/coding/, bench/, tools/, and tests may "
+             "include \"fault/...\" headers; the core must not depend on "
+             "the fault layer"});
+      }
+    }
+  }
+  return findings;
+}
+
 std::vector<Finding> RunAllChecks(const std::vector<SourceFile>& files) {
   std::vector<Finding> findings;
   for (const SourceFile& file : files) {
@@ -605,7 +651,8 @@ std::vector<Finding> RunAllChecks(const std::vector<SourceFile>& files) {
       findings.insert(findings.end(), found.begin(), found.end());
     }
   }
-  for (auto* check : {&CheckIncludeCycles, &CheckRequireCoverage}) {
+  for (auto* check :
+       {&CheckIncludeCycles, &CheckRequireCoverage, &CheckFaultLayering}) {
     std::vector<Finding> found = (*check)(files);
     findings.insert(findings.end(), found.begin(), found.end());
   }

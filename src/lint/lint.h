@@ -12,8 +12,13 @@
 //                          pthread_create outside src/util/parallel.h --
 //                          ParallelTrials is the only concurrency primitive
 //   include-cycle          the src/ module graph (util, ecc, channel,
-//                          protocol, tasks, coding, analysis, lint) must
-//                          stay acyclic
+//                          protocol, tasks, fault, coding, analysis, lint)
+//                          must stay acyclic
+//   fault-layering         src/fault/ may include only util/, channel/,
+//                          protocol/ (and itself); fault/ headers may be
+//                          included only from fault/, coding/, bench/,
+//                          tools/, and tests/ -- the fault layer stays a
+//                          leaf the core cannot grow a dependency on
 //   require-precondition   a constructor or Make*/Sample* factory whose
 //                          header declaration documents a "Precondition:"
 //                          must call NB_REQUIRE in its definition
@@ -62,6 +67,8 @@ struct Finding {
 [[nodiscard]] std::vector<Finding> CheckIncludeCycles(
     const std::vector<SourceFile>& files);
 [[nodiscard]] std::vector<Finding> CheckRequireCoverage(
+    const std::vector<SourceFile>& files);
+[[nodiscard]] std::vector<Finding> CheckFaultLayering(
     const std::vector<SourceFile>& files);
 
 // All rules over all files, findings sorted by (file, line, rule).

@@ -27,13 +27,18 @@ class RoundEngine {
  public:
   // The engine borrows the channel and rng; both must outlive it.
   RoundEngine(const Channel& channel, Rng& rng, int num_parties);
+  virtual ~RoundEngine() = default;
 
   [[nodiscard]] int num_parties() const { return num_parties_; }
 
   // Runs one noisy round.  beeps[i] != 0 iff party i beeps.  Returns the
-  // per-party received bits (valid until the next call).
+  // per-party received bits (valid until the next call).  Virtual so that
+  // fault/injection.h can wrap the round boundary (send-side faults before
+  // the channel sees the beeper count, receive-side faults after Deliver)
+  // without the simulators or the Channel implementations noticing.
   // Precondition: beeps.size() == num_parties().
-  std::span<const std::uint8_t> Round(std::span<const std::uint8_t> beeps);
+  virtual std::span<const std::uint8_t> Round(
+      std::span<const std::uint8_t> beeps);
 
   // Correlated-channel convenience: the single shared received bit.
   // Preconditions: as Round, plus channel.is_correlated().
@@ -46,6 +51,9 @@ class RoundEngine {
   // "owner-finding", "verify-flags", "audit").  Purely observational: the
   // label has no effect on channel behaviour.
   void SetPhase(std::string phase) { phase_ = std::move(phase); }
+
+  // The current phase label ("" before any SetPhase call).
+  [[nodiscard]] const std::string& phase() const { return phase_; }
 
   // Rounds consumed per phase label (rounds before any SetPhase call are
   // accounted under "").

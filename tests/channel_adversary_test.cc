@@ -76,7 +76,7 @@ TEST(AdversaryChannel, DropCorrectingAdversaryMakesDownPresetUnsound) {
     const InputSetInstance instance = SampleInputSet(16, rng);
     const auto protocol = MakeInputSetProtocol(instance);
     const SimulationResult result = down.Simulate(*protocol, channel, rng);
-    correct += !result.budget_exhausted &&
+    correct += !result.budget_exhausted() &&
                result.AllMatch(ReferenceTranscript(*protocol));
   }
   EXPECT_LE(correct, kTrials / 3);
@@ -93,7 +93,7 @@ TEST(AdversaryChannel, DropCorrectingAdversaryMakesDownPresetUnsound) {
     const auto protocol = MakeInputSetProtocol(instance);
     const SimulationResult result =
         two_sided.Simulate(*protocol, channel, rng);
-    correct += !result.budget_exhausted &&
+    correct += !result.budget_exhausted() &&
                result.AllMatch(ReferenceTranscript(*protocol));
   }
   EXPECT_GE(correct, kTrials - 1);

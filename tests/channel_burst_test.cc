@@ -107,7 +107,7 @@ TEST(BurstChannel, RewindSchemeSurvivesModerateBursts) {
     const InputSetInstance instance = SampleInputSet(12, rng);
     const auto protocol = MakeInputSetProtocol(instance);
     const SimulationResult result = sim.Simulate(*protocol, channel, rng);
-    correct += !result.budget_exhausted &&
+    correct += !result.budget_exhausted() &&
                InputSetAllCorrect(instance, result.outputs);
   }
   EXPECT_GE(correct, kTrials - 1);

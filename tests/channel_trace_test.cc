@@ -86,14 +86,30 @@ TEST(ReplayChannel, RewindAllowsASecondPass) {
   EXPECT_EQ(first.transcripts, second.transcripts);
 }
 
-TEST(ReplayChannel, ExhaustionThrows) {
+TEST(ReplayChannel, ExhaustionFailsLoudly) {
   Trace trace(3);
   for (auto& round : trace) round.delivered = {0, 0};
   const ReplayChannel replay(std::move(trace), true);
   Rng rng(6);
   std::vector<std::uint8_t> received(2, 0);
   for (int r = 0; r < 3; ++r) replay.Deliver(false, received, rng);
-  EXPECT_THROW(replay.Deliver(false, received, rng), std::out_of_range);
+  // Past the trace end the replay MUST refuse (NB_REQUIRE), not read
+  // stale or out-of-bounds rounds.
+  EXPECT_THROW(replay.Deliver(false, received, rng), std::invalid_argument);
+}
+
+TEST(ReplayChannel, ExhaustedChannelStaysUsableAfterRewind) {
+  Trace trace(2);
+  for (auto& round : trace) round.delivered = {1};
+  const ReplayChannel replay(std::move(trace), true);
+  Rng rng(6);
+  std::vector<std::uint8_t> received(1, 0);
+  replay.Deliver(true, received, rng);
+  replay.Deliver(true, received, rng);
+  EXPECT_THROW(replay.Deliver(true, received, rng), std::invalid_argument);
+  replay.Rewind();
+  replay.Deliver(true, received, rng);  // no throw after rewind
+  EXPECT_EQ(replay.rounds_remaining(), 1u);
 }
 
 TEST(ReplayChannel, PartyCountMismatchThrows) {
@@ -105,6 +121,20 @@ TEST(ReplayChannel, PartyCountMismatchThrows) {
   EXPECT_THROW(replay.Deliver(false, received, rng), std::invalid_argument);
 }
 
+TEST(ReplayChannel, RaggedTraceRejectedAtConstruction) {
+  Trace trace(2);
+  trace[0].delivered = {1, 0};
+  trace[1].delivered = {1, 0, 1};  // width changes mid-trace
+  EXPECT_THROW(ReplayChannel(std::move(trace), false),
+               std::invalid_argument);
+}
+
+TEST(ReplayChannel, EmptyRoundRejectedAtConstruction) {
+  Trace trace(1);  // delivered left empty: a zero-party round is nonsense
+  EXPECT_THROW(ReplayChannel(std::move(trace), false),
+               std::invalid_argument);
+}
+
 TEST(Trace, CsvFormat) {
   Trace trace(2);
   trace[0].or_bit = true;
@@ -114,6 +144,55 @@ TEST(Trace, CsvFormat) {
   std::ostringstream os;
   WriteTraceCsv(trace, os);
   EXPECT_EQ(os.str(), "round,or_bit,delivered\n0,1,11\n1,0,01\n");
+}
+
+TEST(Trace, CsvRoundTrips) {
+  Trace trace(3);
+  trace[0].or_bit = true;
+  trace[0].delivered = {1, 0, 1};
+  trace[1].or_bit = false;
+  trace[1].delivered = {0, 0, 0};
+  trace[2].or_bit = true;
+  trace[2].delivered = {1, 1, 1};
+  std::ostringstream os;
+  WriteTraceCsv(trace, os);
+  std::istringstream is(os.str());
+  const Trace read = ReadTraceCsv(is);
+  ASSERT_EQ(read.size(), trace.size());
+  for (std::size_t r = 0; r < trace.size(); ++r) {
+    EXPECT_EQ(read[r].or_bit, trace[r].or_bit);
+    EXPECT_EQ(read[r].delivered, trace[r].delivered);
+  }
+}
+
+// Table-driven malformed-input coverage: every rejected shape, each with
+// the reason it must not parse.
+TEST(Trace, CsvRejectsMalformedInput) {
+  const struct {
+    const char* label;
+    const char* csv;
+  } kCases[] = {
+      {"empty input", ""},
+      {"wrong header", "round,or,delivered\n"},
+      {"missing cells", "round,or_bit,delivered\n0,1\n"},
+      {"rows out of order", "round,or_bit,delivered\n1,1,01\n"},
+      {"duplicate round index",
+       "round,or_bit,delivered\n0,1,01\n0,0,01\n"},
+      {"non-numeric round index", "round,or_bit,delivered\nx,1,01\n"},
+      {"negative round index", "round,or_bit,delivered\n-1,1,01\n"},
+      {"overflowing round index",
+       "round,or_bit,delivered\n99999999999999999999,1,01\n"},
+      {"bad or_bit", "round,or_bit,delivered\n0,2,01\n"},
+      {"non-binary delivered cell", "round,or_bit,delivered\n0,1,0x\n"},
+      {"empty delivered column", "round,or_bit,delivered\n0,1,\n"},
+      {"ragged delivered widths",
+       "round,or_bit,delivered\n0,1,01\n1,0,011\n"},
+      {"extra cells", "round,or_bit,delivered\n0,1,01,zzz\n"},
+  };
+  for (const auto& c : kCases) {
+    std::istringstream is(c.csv);
+    EXPECT_THROW((void)ReadTraceCsv(is), std::invalid_argument) << c.label;
+  }
 }
 
 TEST(ReplayChannel, SimulatorRunIsReproducibleFromItsTrace) {

@@ -20,7 +20,7 @@ TEST(HierarchicalSim, NoiselessIsExact) {
   const auto protocol = MakeInputSetProtocol(instance);
   const SimulationResult result = sim.Simulate(*protocol, channel, rng);
   EXPECT_TRUE(result.AllMatch(ReferenceTranscript(*protocol)));
-  EXPECT_FALSE(result.budget_exhausted);
+  EXPECT_FALSE(result.budget_exhausted());
 }
 
 TEST(HierarchicalSim, RecoversUnderTwoSidedNoise) {
@@ -48,7 +48,7 @@ TEST(HierarchicalSim, LongProtocolManyChunksStillExact) {
   const BitExchangeInstance instance = SampleBitExchange(8, 40, rng);
   const auto protocol = MakeBitExchangeProtocol(instance);  // T = 320
   const SimulationResult result = sim.Simulate(*protocol, channel, rng);
-  EXPECT_FALSE(result.budget_exhausted);
+  EXPECT_FALSE(result.budget_exhausted());
   EXPECT_TRUE(result.AllMatch(ReferenceTranscript(*protocol)));
   EXPECT_TRUE(BitExchangeAllCorrect(instance, result.outputs));
 }
@@ -83,7 +83,7 @@ TEST(HierarchicalSim, FinalAuditGateRejectsPlantedCorruption) {
     const InputSetInstance instance = SampleInputSet(12, rng);
     const auto protocol = MakeInputSetProtocol(instance);
     const SimulationResult result = sim.Simulate(*protocol, channel, rng);
-    if (!result.budget_exhausted) {
+    if (!result.budget_exhausted()) {
       correct += result.AllMatch(ReferenceTranscript(*protocol));
     }
   }
@@ -101,7 +101,7 @@ TEST(HierarchicalSim, BudgetExhaustionIsReported) {
   const InputSetInstance instance = SampleInputSet(16, rng);
   const auto protocol = MakeInputSetProtocol(instance);
   const SimulationResult result = sim.Simulate(*protocol, channel, rng);
-  EXPECT_TRUE(result.budget_exhausted);
+  EXPECT_TRUE(result.budget_exhausted());
 }
 
 TEST(HierarchicalSim, RejectsBadOptions) {

@@ -23,7 +23,7 @@ TEST(RepetitionSim, NoiselessChannelIsExact) {
   const SimulationResult result = sim.Simulate(*protocol, channel, rng);
   EXPECT_TRUE(result.AllMatch(ReferenceTranscript(*protocol)));
   EXPECT_EQ(result.noisy_rounds_used, 3 * protocol->length());
-  EXPECT_FALSE(result.budget_exhausted);
+  EXPECT_FALSE(result.budget_exhausted());
 }
 
 TEST(RepetitionSim, DefaultRepFactorScalesWithLogN) {

@@ -24,7 +24,7 @@ TEST(RewindSim, NoiselessChannelIsExactWithOwners) {
   const SimulationResult result = sim.Simulate(*protocol, channel, rng);
   const BitString reference = ReferenceTranscript(*protocol);
   EXPECT_TRUE(result.AllMatch(reference));
-  EXPECT_FALSE(result.budget_exhausted);
+  EXPECT_FALSE(result.budget_exhausted());
   // Every 1 of the committed transcript carries a valid owner.
   for (std::size_t m = 0; m < reference.size(); ++m) {
     if (reference[m]) {
@@ -48,7 +48,7 @@ TEST_P(RewindTwoSidedTest, RecoversInputSetUnderTwoSidedNoise) {
     const InputSetInstance instance = SampleInputSet(16, rng);
     const auto protocol = MakeInputSetProtocol(instance);
     const SimulationResult result = sim.Simulate(*protocol, channel, rng);
-    correct += !result.budget_exhausted &&
+    correct += !result.budget_exhausted() &&
                result.AllMatch(ReferenceTranscript(*protocol)) &&
                InputSetAllCorrect(instance, result.outputs);
   }
@@ -150,7 +150,7 @@ TEST(RewindSim, TinyBudgetExhaustsGracefully) {
   const InputSetInstance instance = SampleInputSet(16, rng);
   const auto protocol = MakeInputSetProtocol(instance);
   const SimulationResult result = sim.Simulate(*protocol, channel, rng);
-  EXPECT_TRUE(result.budget_exhausted);
+  EXPECT_TRUE(result.budget_exhausted());
   EXPECT_LE(result.noisy_rounds_used, 50 + 20000);  // one overshoot loop max
   // Outputs still produced (padded transcript).
   EXPECT_EQ(result.outputs.size(), 16u);

@@ -53,7 +53,7 @@ TEST(ScheduledSim, RecoversUnderTwoSidedNoise) {
         RewindSimOptions::Scheduled(BitExchangeSchedule(10, 8)));
     const auto protocol = MakeBitExchangeProtocol(instance);
     const SimulationResult result = sim.Simulate(*protocol, channel, rng);
-    correct += !result.budget_exhausted &&
+    correct += !result.budget_exhausted() &&
                BitExchangeAllCorrect(instance, result.outputs);
   }
   EXPECT_GE(correct, kTrials - 1);
@@ -88,7 +88,7 @@ TEST(ScheduledSim, HierarchicalVariantHandlesLongWorkloads) {
   const HierarchicalSimulator sim(options);
   const auto protocol = MakeBitExchangeProtocol(instance);  // T = 384
   const SimulationResult result = sim.Simulate(*protocol, channel, rng);
-  EXPECT_FALSE(result.budget_exhausted);
+  EXPECT_FALSE(result.budget_exhausted());
   EXPECT_TRUE(result.AllMatch(ReferenceTranscript(*protocol)));
 }
 

@@ -7,7 +7,10 @@
 // simulation, chunk simulation, the hierarchical A_l scheme, owner
 // finding, and the InputSet_n progress measure -- by fingerprinting every
 // trial's full result at 1, 2, and hardware_concurrency workers and
-// asserting bit-identical fingerprints.  Any cross-trial Rng sharing,
+// asserting bit-identical fingerprints.  A rewind run under a five-party
+// FaultPlan rides along, pinning the fault layer to the same contract
+// (babbler streams derive from the plan seed, never from shared state).
+// Any cross-trial Rng sharing,
 // shared mutable channel state, or racy result write shows up here as a
 // fingerprint mismatch (and under TSan as a reported race; CI runs both).
 #include <gtest/gtest.h>
@@ -23,7 +26,9 @@
 #include "coding/hierarchical_sim.h"
 #include "coding/owner_finding.h"
 #include "coding/repetition_sim.h"
+#include "coding/rewind_sim.h"
 #include "analysis/progress_measure.h"
+#include "fault/fault_plan.h"
 #include "protocol/round_engine.h"
 #include "tasks/input_set.h"
 #include "util/parallel.h"
@@ -77,7 +82,17 @@ std::uint64_t FingerprintSimulation(const SimulationResult& result) {
     for (std::uint64_t word : out) fp.Mix(word);
   }
   fp.Mix(static_cast<std::uint64_t>(result.noisy_rounds_used));
-  fp.Mix(result.budget_exhausted ? 1 : 0);
+  fp.Mix(result.budget_exhausted() ? 1 : 0);
+  fp.Mix(static_cast<std::uint64_t>(result.verdict.status));
+  for (int a : result.verdict.agreement) {
+    fp.Mix(static_cast<std::uint64_t>(a));
+  }
+  fp.Mix(static_cast<std::uint64_t>(result.verdict.majority_size));
+  fp.MixBits(result.verdict.majority_transcript);
+  for (char c : result.verdict.first_divergent_phase) {
+    fp.Mix(static_cast<std::uint64_t>(c));
+  }
+  fp.Mix(static_cast<std::uint64_t>(result.verdict.first_divergence_round));
   for (const auto& [phase, rounds] : result.phase_rounds) {
     for (char c : phase) fp.Mix(static_cast<std::uint64_t>(c));
     fp.Mix(static_cast<std::uint64_t>(rounds));
@@ -161,6 +176,28 @@ TEST(DeterminismAudit, HierarchicalSimulation) {
     const CorrelatedNoisyChannel channel(0.05);
     const HierarchicalSimulator sim;
     return FingerprintSimulation(sim.Simulate(*protocol, channel, rng));
+  });
+}
+
+TEST(DeterminismAudit, FaultedRewindSimulation) {
+  // The fault layer must not break the bit-identity contract: the babbler
+  // streams derive from the plan seed alone and every other fault kind is
+  // deterministic, so a faulted workload audits exactly like a clean one.
+  // Windows are bounded so the run terminates even with five misbehavers.
+  AuditWorkload("faulted-rewind-sim", 707, [](int, Rng& rng) {
+    const InputSetInstance instance = SampleInputSet(8, rng);
+    const auto protocol = MakeInputSetProtocol(instance);
+    const CorrelatedNoisyChannel channel(0.05);
+    FaultPlan plan(99);
+    plan.CrashStop(1, 400)
+        .Babbler(2, 0, 200, 0.3)
+        .DeafReceiver(0, 50, 120)
+        .Sleepy(3, 10, 60)
+        .StuckBeeper(4, 5, 25);
+    RewindSimOptions options;
+    options.max_rounds = 20000;  // bounded: babbler runs can be expensive
+    const RewindSimulator sim(options);
+    return FingerprintSimulation(sim.Simulate(*protocol, channel, plan, rng));
   });
 }
 

@@ -55,7 +55,7 @@ TEST(EdgeCases, SimulatorsHandleZeroLengthProtocols) {
   for (const Simulator* sim :
        std::initializer_list<const Simulator*>{&rep, &rewind, &hier}) {
     const SimulationResult result = sim->Simulate(*protocol, channel, rng);
-    EXPECT_FALSE(result.budget_exhausted) << sim->name();
+    EXPECT_FALSE(result.budget_exhausted()) << sim->name();
     EXPECT_EQ(result.noisy_rounds_used, 0) << sim->name();
     for (const BitString& t : result.transcripts) EXPECT_TRUE(t.empty());
   }

@@ -1,0 +1,79 @@
+// Graceful degradation under round-budget exhaustion: a simulator that
+// runs out of budget must stop with whatever chunks it committed, and
+// those committed transcripts must be (a) identical across parties under a
+// correlated channel and (b) a prefix of the true noiseless transcript
+// when the channel never lied.  The verdict reports the truncation as
+// kDegraded, never as silent success.
+#include <gtest/gtest.h>
+
+#include "channel/correlated.h"
+#include "channel/noiseless.h"
+#include "coding/hierarchical_sim.h"
+#include "coding/rewind_sim.h"
+#include "protocol/executor.h"
+#include "tasks/input_set.h"
+#include "util/rng.h"
+
+namespace noisybeeps {
+namespace {
+
+template <typename Sim>
+void ExpectConsistentPrefixOnExhaustion(const Sim& sim,
+                                        const Channel& channel,
+                                        bool check_reference_prefix) {
+  Rng setup(21);
+  const InputSetInstance instance = SampleInputSet(8, setup);
+  const auto protocol = MakeInputSetProtocol(instance);
+  const BitString reference = ReferenceTranscript(*protocol);
+
+  Rng rng(4);
+  const SimulationResult result = sim.Simulate(*protocol, channel, rng);
+  ASSERT_TRUE(result.budget_exhausted());
+  EXPECT_EQ(result.verdict.status, SimulationStatus::kDegraded);
+  // All parties committed the SAME truncated transcript...
+  for (const BitString& t : result.transcripts) {
+    EXPECT_EQ(t, result.transcripts.front());
+  }
+  EXPECT_EQ(result.verdict.majority_size,
+            static_cast<int>(result.transcripts.size()));
+  EXPECT_LT(result.transcripts.front().size(), reference.size());
+  // ...and over a truthful channel it is a prefix of the real one.
+  if (check_reference_prefix) {
+    EXPECT_TRUE(reference.StartsWith(result.transcripts.front()));
+  }
+}
+
+TEST(BudgetExhaustion, RewindCommitsAConsistentPrefixNoiseless) {
+  RewindSimOptions options;
+  options.max_rounds = 60;  // far below any full run
+  ExpectConsistentPrefixOnExhaustion(RewindSimulator(options),
+                                     NoiselessChannel(),
+                                     /*check_reference_prefix=*/true);
+}
+
+TEST(BudgetExhaustion, RewindStaysConsistentUnderCorrelatedNoise) {
+  RewindSimOptions options;
+  options.max_rounds = 60;
+  ExpectConsistentPrefixOnExhaustion(RewindSimulator(options),
+                                     CorrelatedNoisyChannel(0.1),
+                                     /*check_reference_prefix=*/false);
+}
+
+TEST(BudgetExhaustion, HierarchicalCommitsAConsistentPrefixNoiseless) {
+  HierarchicalSimOptions options;
+  options.base.max_rounds = 60;
+  ExpectConsistentPrefixOnExhaustion(HierarchicalSimulator(options),
+                                     NoiselessChannel(),
+                                     /*check_reference_prefix=*/true);
+}
+
+TEST(BudgetExhaustion, HierarchicalStaysConsistentUnderCorrelatedNoise) {
+  HierarchicalSimOptions options;
+  options.base.max_rounds = 60;
+  ExpectConsistentPrefixOnExhaustion(HierarchicalSimulator(options),
+                                     CorrelatedNoisyChannel(0.1),
+                                     /*check_reference_prefix=*/false);
+}
+
+}  // namespace
+}  // namespace noisybeeps

@@ -1,0 +1,182 @@
+#include "fault/fault_plan.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+
+namespace noisybeeps {
+namespace {
+
+TEST(FaultPlan, DefaultIsEmpty) {
+  const FaultPlan plan;
+  EXPECT_TRUE(plan.empty());
+  EXPECT_EQ(plan.seed(), 0u);
+  EXPECT_EQ(plan.MaxParty(), -1);
+  EXPECT_EQ(plan.NumFaultyParties(), 0);
+  EXPECT_EQ(plan.ToString(), "");
+}
+
+TEST(FaultPlan, BuilderChainsAndRecordsSpecs) {
+  FaultPlan plan(7);
+  plan.CrashStop(3, 100)
+      .Sleepy(1, 10, 20)
+      .StuckBeeper(0, 0, 5)
+      .Babbler(2, 0, 50, 0.7)
+      .DeafReceiver(4, 30, 40);
+  ASSERT_EQ(plan.specs().size(), 5u);
+  EXPECT_EQ(plan.seed(), 7u);
+  EXPECT_EQ(plan.MaxParty(), 4);
+  EXPECT_EQ(plan.NumFaultyParties(), 5);
+
+  const FaultSpec& crash = plan.specs()[0];
+  EXPECT_EQ(crash.kind, FaultKind::kCrashStop);
+  EXPECT_EQ(crash.party, 3);
+  EXPECT_EQ(crash.first_round, 100);
+  EXPECT_EQ(crash.last_round, FaultSpec::kNoLastRound);
+  EXPECT_TRUE(crash.ActiveAt(100));
+  EXPECT_TRUE(crash.ActiveAt(1'000'000'000));
+  EXPECT_FALSE(crash.ActiveAt(99));
+
+  const FaultSpec& babble = plan.specs()[3];
+  EXPECT_EQ(babble.kind, FaultKind::kBabbler);
+  EXPECT_DOUBLE_EQ(babble.beep_prob, 0.7);
+  EXPECT_TRUE(babble.ActiveAt(50));
+  EXPECT_FALSE(babble.ActiveAt(51));
+}
+
+TEST(FaultPlan, NumFaultyPartiesCountsDistinctParties) {
+  FaultPlan plan;
+  plan.Sleepy(1, 0, 5).DeafReceiver(1, 10, 20).StuckBeeper(2, 0, 3);
+  EXPECT_EQ(plan.NumFaultyParties(), 2);
+  EXPECT_EQ(plan.MaxParty(), 2);
+}
+
+TEST(FaultPlan, KindNamesRoundTrip) {
+  for (FaultKind kind :
+       {FaultKind::kCrashStop, FaultKind::kSleepy, FaultKind::kStuckBeeper,
+        FaultKind::kBabbler, FaultKind::kDeafReceiver}) {
+    EXPECT_EQ(ParseFaultKind(FaultKindName(kind)), kind);
+  }
+  EXPECT_THROW((void)ParseFaultKind("byzantine"), std::invalid_argument);
+}
+
+TEST(FaultPlan, BuilderRejectsBadWindows) {
+  FaultPlan plan;
+  EXPECT_THROW(plan.CrashStop(-1, 0), std::invalid_argument);
+  EXPECT_THROW(plan.Sleepy(0, -1, 5), std::invalid_argument);
+  EXPECT_THROW(plan.Sleepy(0, 10, 9), std::invalid_argument);
+  EXPECT_THROW(plan.Babbler(0, 0, 5, 1.5), std::invalid_argument);
+  EXPECT_THROW(plan.Babbler(0, 0, 5, -0.1), std::invalid_argument);
+  EXPECT_TRUE(plan.empty());  // failed builder calls add nothing
+}
+
+TEST(FaultPlan, ParseToStringRoundTrips) {
+  const char* kPlans[] = {
+      "",
+      "crash:3@100",
+      "sleepy:1@10-20",
+      "stuck:0@0-5",
+      "babble:2@0-50:0.7",
+      "deaf:4@30-40",
+      "crash:3@100;sleepy:1@10-20;babble:2@0-50:0.7",
+      "sleepy:1@10-*",  // open-ended window
+  };
+  for (const char* text : kPlans) {
+    const FaultPlan plan = FaultPlan::Parse(text, 42);
+    EXPECT_EQ(FaultPlan::Parse(plan.ToString(), 42), plan) << text;
+  }
+}
+
+TEST(FaultPlan, ParseAcceptsGrammarVariants) {
+  // Omitted last == forever.
+  const FaultPlan open = FaultPlan::Parse("sleepy:1@10");
+  EXPECT_EQ(open.specs()[0].last_round, FaultSpec::kNoLastRound);
+  // '-*' is the same window spelled explicitly.
+  EXPECT_EQ(FaultPlan::Parse("sleepy:1@10-*").specs()[0],
+            open.specs()[0]);
+  // Babbler defaults to beep_prob 0.5.
+  EXPECT_DOUBLE_EQ(FaultPlan::Parse("babble:0@0-9").specs()[0].beep_prob,
+                   0.5);
+  // Empty specs between separators are skipped.
+  EXPECT_EQ(FaultPlan::Parse("crash:0@1;;sleepy:1@2-3").specs().size(), 2u);
+}
+
+// Table-driven malformed-grammar coverage.
+TEST(FaultPlan, ParseRejectsMalformedInput) {
+  const struct {
+    const char* label;
+    const char* text;
+  } kCases[] = {
+      {"unknown kind", "byzantine:0@0"},
+      {"missing party", "crash:@0"},
+      {"missing window", "crash:0"},
+      {"non-numeric party", "crash:x@0"},
+      {"negative-looking party", "crash:-1@0"},
+      {"non-numeric round", "sleepy:0@x-5"},
+      {"overflowing round", "sleepy:0@99999999999999999999-*"},
+      {"window ends before start", "sleepy:0@10-9"},
+      {"crash with an end round", "crash:0@5-10"},
+      {"prob on a non-babbler", "sleepy:0@0-5:0.5"},
+      {"prob above one", "babble:0@0-5:1.5"},
+      {"prob not a number", "babble:0@0-5:x"},
+      {"at before colon", "crash@0:5"},
+  };
+  for (const auto& c : kCases) {
+    EXPECT_THROW((void)FaultPlan::Parse(c.text), std::invalid_argument)
+        << c.label;
+  }
+}
+
+TEST(FaultPlan, CsvRoundTrips) {
+  FaultPlan plan(9);
+  plan.CrashStop(3, 100).Babbler(2, 0, 50, 0.25).Sleepy(1, 10, 20);
+  std::ostringstream os;
+  WriteFaultPlanCsv(plan, os);
+  std::istringstream is(os.str());
+  EXPECT_EQ(ReadFaultPlanCsv(is, 9), plan);
+}
+
+TEST(FaultPlan, CsvFormat) {
+  FaultPlan plan;
+  plan.CrashStop(1, 4).Babbler(0, 2, 8, 0.5);
+  std::ostringstream os;
+  WriteFaultPlanCsv(plan, os);
+  EXPECT_EQ(os.str(),
+            "kind,party,first_round,last_round,beep_prob\n"
+            "crash,1,4,*,0\n"
+            "babble,0,2,8,0.5\n");
+}
+
+TEST(FaultPlan, CsvRejectsMalformedInput) {
+  const struct {
+    const char* label;
+    const char* csv;
+  } kCases[] = {
+      {"empty input", ""},
+      {"wrong header", "kind,party,first,last,prob\n"},
+      {"too few cells", "kind,party,first_round,last_round,beep_prob\n"
+                        "crash,0,0,*\n"},
+      {"too many cells", "kind,party,first_round,last_round,beep_prob\n"
+                         "crash,0,0,*,0,extra\n"},
+      {"unknown kind", "kind,party,first_round,last_round,beep_prob\n"
+                       "lazy,0,0,*,0\n"},
+      {"non-numeric party", "kind,party,first_round,last_round,beep_prob\n"
+                            "crash,x,0,*,0\n"},
+      {"crash with finite end", "kind,party,first_round,last_round,beep_prob\n"
+                                "crash,0,0,9,0\n"},
+      {"bad probability", "kind,party,first_round,last_round,beep_prob\n"
+                          "babble,0,0,9,2.0\n"},
+      {"window ends before start",
+       "kind,party,first_round,last_round,beep_prob\n"
+       "sleepy,0,10,9,0\n"},
+  };
+  for (const auto& c : kCases) {
+    std::istringstream is(c.csv);
+    EXPECT_THROW((void)ReadFaultPlanCsv(is), std::invalid_argument)
+        << c.label;
+  }
+}
+
+}  // namespace
+}  // namespace noisybeeps

@@ -85,7 +85,7 @@ int RunMatrixCell(const Simulator& sim, const Channel& channel,
     const Workload workload = workload_factory(n, rng);
     const auto protocol = workload.make(rng);
     const SimulationResult result = sim.Simulate(*protocol, channel, rng);
-    correct += !result.budget_exhausted && workload.judge(result.outputs);
+    correct += !result.budget_exhausted() && workload.judge(result.outputs);
   }
   return correct;
 }
@@ -185,7 +185,7 @@ TEST(Integration, CountingPipelineEndToEnd) {
     const CountingInstance instance = SampleCounting(24, 8, 9, rng);
     const auto protocol = MakeCountingProtocol(instance);
     const SimulationResult result = sim.Simulate(*protocol, channel, rng);
-    good += !result.budget_exhausted &&
+    good += !result.budget_exhausted() &&
             CountingAllWithinFactor(instance, result.outputs, 8.0);
   }
   EXPECT_GE(good, kTrials - 1);
@@ -204,7 +204,7 @@ TEST(Integration, ScheduledPresetOnItsNativeWorkload) {
         RewindSimOptions::Scheduled(BitExchangeSchedule(12, 8)));
     const auto protocol = MakeBitExchangeProtocol(instance);
     const SimulationResult result = sim.Simulate(*protocol, channel, rng);
-    correct += !result.budget_exhausted &&
+    correct += !result.budget_exhausted() &&
                BitExchangeAllCorrect(instance, result.outputs);
   }
   EXPECT_GE(correct, kTrials - 1);

@@ -189,6 +189,66 @@ TEST(LintIncludeCycle, IntraModuleIncludesAreFine) {
   EXPECT_TRUE(CheckIncludeCycles(files).empty());
 }
 
+// --- fault-layering --------------------------------------------------------
+
+TEST(LintFaultLayering, AcceptsTheIntendedGraph) {
+  const std::vector<SourceFile> files = {
+      Header("src/fault/fault_plan.h", "#include \"util/require.h\"\n"),
+      Header("src/fault/injection.h",
+             "#include \"channel/channel.h\"\n"
+             "#include \"fault/fault_plan.h\"\n"
+             "#include \"protocol/round_engine.h\"\n"),
+      Header("src/coding/simulator.h", "#include \"fault/fault_plan.h\"\n"),
+      Header("bench/bench_faults.cc", "#include \"fault/injection.h\"\n"),
+      Header("tools/nbsim.cc", "#include \"fault/fault_plan.h\"\n"),
+      Header("tests/fault_plan_test.cc",
+             "#include \"fault/fault_plan.h\"\n"),
+  };
+  EXPECT_TRUE(CheckFaultLayering(files).empty());
+}
+
+TEST(LintFaultLayering, FlagsFaultReachingUpIntoCoding) {
+  const std::vector<SourceFile> files = {
+      Header("src/fault/injection.h", "#include \"coding/simulator.h\"\n"),
+  };
+  const auto findings = CheckFaultLayering(files);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule_id, "fault-layering");
+  EXPECT_EQ(findings[0].file, "src/fault/injection.h");
+  EXPECT_EQ(findings[0].line, 1);
+  EXPECT_NE(findings[0].message.find("coding"), std::string::npos);
+}
+
+TEST(LintFaultLayering, FlagsCoreDependingBackOnFault) {
+  const std::vector<SourceFile> files = {
+      Header("src/protocol/executor.h", "#include \"fault/injection.h\"\n"),
+      Header("src/channel/channel.h",
+             "int x;\n#include \"fault/fault_plan.h\"\n"),
+      Header("src/analysis/budget.h", "#include \"fault/fault_plan.h\"\n"),
+  };
+  const auto findings = CheckFaultLayering(files);
+  ASSERT_EQ(findings.size(), 3u);
+  for (const Finding& f : findings) {
+    EXPECT_EQ(f.rule_id, "fault-layering");
+  }
+  // The second file's offending include sits on line 2.
+  const auto channel = std::find_if(
+      findings.begin(), findings.end(),
+      [](const Finding& f) { return f.file == "src/channel/channel.h"; });
+  ASSERT_NE(channel, findings.end());
+  EXPECT_EQ(channel->line, 2);
+}
+
+TEST(LintFaultLayering, IgnoresCommentedIncludesAndSystemHeaders) {
+  const std::vector<SourceFile> files = {
+      Header("src/protocol/executor.h",
+             "// #include \"fault/injection.h\"\n#include <vector>\n"),
+      Header("src/fault/fault_plan.cc",
+             "#include <string>\n// see coding/simulator.h for the verdict\n"),
+  };
+  EXPECT_TRUE(CheckFaultLayering(files).empty());
+}
+
 // --- require-precondition --------------------------------------------------
 
 constexpr char kChannelHeader[] =

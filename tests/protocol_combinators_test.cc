@@ -101,7 +101,7 @@ TEST(RepeatProtocol, LongRepeatedWorkloadSimulatesCorrectly) {
   const CorrelatedNoisyChannel channel(0.05);
   const HierarchicalSimulator sim;
   const SimulationResult result = sim.Simulate(*repeated, channel, rng);
-  EXPECT_FALSE(result.budget_exhausted);
+  EXPECT_FALSE(result.budget_exhausted());
   EXPECT_TRUE(result.AllMatch(ReferenceTranscript(*repeated)));
 }
 

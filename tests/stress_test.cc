@@ -22,7 +22,7 @@ TEST(Stress, RewindAt128Parties) {
   const InputSetInstance instance = SampleInputSet(128, rng);
   const auto protocol = MakeInputSetProtocol(instance);
   const SimulationResult result = sim.Simulate(*protocol, channel, rng);
-  EXPECT_FALSE(result.budget_exhausted);
+  EXPECT_FALSE(result.budget_exhausted());
   EXPECT_TRUE(result.AllMatch(ReferenceTranscript(*protocol)));
   EXPECT_TRUE(InputSetAllCorrect(instance, result.outputs));
 }
@@ -36,7 +36,7 @@ TEST(Stress, HierarchicalOverSixtyChunks) {
   const auto repeated = RepeatProtocol(base, 8);  // T = 512
   const HierarchicalSimulator sim;
   const SimulationResult result = sim.Simulate(*repeated, channel, rng);
-  EXPECT_FALSE(result.budget_exhausted);
+  EXPECT_FALSE(result.budget_exhausted());
   EXPECT_TRUE(result.AllMatch(ReferenceTranscript(*repeated)));
 }
 
@@ -48,7 +48,7 @@ TEST(Stress, ScheduledPresetAt256Parties) {
       RewindSimOptions::Scheduled(BitExchangeSchedule(256, 4)));
   const auto protocol = MakeBitExchangeProtocol(instance);  // T = 1024
   const SimulationResult result = sim.Simulate(*protocol, channel, rng);
-  EXPECT_FALSE(result.budget_exhausted);
+  EXPECT_FALSE(result.budget_exhausted());
   EXPECT_TRUE(BitExchangeAllCorrect(instance, result.outputs));
   // Constant-overhead regime even at this scale.
   EXPECT_LT(static_cast<double>(result.noisy_rounds_used) /
@@ -64,7 +64,7 @@ TEST(Stress, DenseAdaptiveRandomProtocol) {
   const auto protocol = MakeRandomProtocol(spec);
   const RewindSimulator sim;
   const SimulationResult result = sim.Simulate(*protocol, channel, rng);
-  EXPECT_FALSE(result.budget_exhausted);
+  EXPECT_FALSE(result.budget_exhausted());
   EXPECT_TRUE(result.AllMatch(ReferenceTranscript(*protocol)));
 }
 

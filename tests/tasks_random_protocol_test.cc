@@ -105,7 +105,7 @@ TEST_P(RandomProtocolSimTest, RewindReconstructsArbitraryProtocols) {
         SampleRandomProtocol(10, 40, density, adaptive, rng);
     const auto protocol = MakeRandomProtocol(spec);
     const SimulationResult result = sim.Simulate(*protocol, channel, rng);
-    correct += !result.budget_exhausted &&
+    correct += !result.budget_exhausted() &&
                result.AllMatch(ReferenceTranscript(*protocol));
   }
   EXPECT_GE(correct, kTrials - 1)

@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# Seeded fault-soak: drive nbsim over a fixed seed x fault-plan matrix under
+# whatever sanitizer the caller built with.  A faulted run may legitimately
+# lose (exit 1: success rate <= 50% when parties misbehave), so both 0 and 1
+# are accepted; what the soak catches is sanitizer reports (nonzero beyond 1),
+# crashes, and hangs (the strict per-run timeout).
+#
+# Usage: tools/fault_soak.sh <path-to-nbsim>
+set -u
+
+nbsim="${1:?usage: fault_soak.sh <path-to-nbsim>}"
+timeout_s=120
+failures=0
+
+plans=(
+  'crash:1@200'
+  'sleepy:0@100-400;sleepy:1@150-450'
+  'stuck:2@50-90'
+  'babble:3@0-500:0.3'
+  'deaf:0@0-*'
+  'crash:1@300;babble:2@0-200:0.5;deaf:3@0-*'
+)
+
+for seed in 1 2 3; do
+  for plan in "${plans[@]}"; do
+    for sim in repetition rewind hierarchical; do
+      cmd=("$nbsim" --task=input_set --channel=correlated --eps=0.05
+           --sim="$sim" --n=8 --trials=3 --seed="$seed"
+           --fault-plan="$plan" --fault-seed="$seed")
+      timeout "$timeout_s" "${cmd[@]}" > /dev/null
+      rc=$?
+      if [ "$rc" -gt 1 ]; then
+        echo "FAULT-SOAK FAILURE (rc=$rc): ${cmd[*]}"
+        failures=$((failures + 1))
+      fi
+    done
+  done
+done
+
+if [ "$failures" -gt 0 ]; then
+  echo "fault soak: $failures failing configuration(s)"
+  exit 1
+fi
+echo "fault soak: all configurations clean"

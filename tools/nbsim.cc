@@ -12,10 +12,18 @@
 // Channels: noiseless | correlated | up | down | independent | burst
 // Sims:     raw | repetition | rewind | rewind_down | hierarchical |
 //           hierarchical_down
+//
+// Party faults (docs/FAULTS.md): --fault-plan takes the compact grammar
+// ("crash:3@100;babble:2@0-50:0.7") or @path/to/plan.csv; --fault-seed
+// drives the babbler streams.  Faulted runs additionally report the
+// ok/degraded/failed verdict breakdown.
 #include <cstdio>
+#include <fstream>
 #include <functional>
 #include <iostream>
 #include <memory>
+
+#include "fault/fault_plan.h"
 
 #include "channel/burst.h"
 #include "channel/collision.h"
@@ -174,17 +182,33 @@ std::unique_ptr<Simulator> MakeSimulator(const std::string& sim,
   throw std::invalid_argument("unknown --sim: " + sim);
 }
 
+FaultPlan MakeFaultPlan(const std::string& text, std::uint64_t fault_seed) {
+  if (text.empty()) return FaultPlan();
+  if (text.front() == '@') {
+    std::ifstream file(text.substr(1));
+    if (!file) {
+      throw std::invalid_argument("--fault-plan: cannot open " +
+                                  text.substr(1));
+    }
+    return ReadFaultPlanCsv(file, fault_seed);
+  }
+  return FaultPlan::Parse(text, fault_seed);
+}
+
 int Run(int argc, char** argv) {
   Flags flags(argc, argv);
   if (flags.Has("help")) {
     std::puts(
         "nbsim --task=<task> --channel=<channel> --sim=<sim> [--n N]\n"
         "      [--eps E] [--trials K] [--seed S] [--csv]\n"
+        "      [--fault-plan=PLAN|@file.csv] [--fault-seed S]\n"
         "tasks: input_set bit_exchange leader counting adaptive or_vector "
         "random\n"
         "channels: noiseless correlated up down independent burst collision\n"
         "sims: raw repetition rewind rewind_down hierarchical "
-        "hierarchical_down scheduled (bit_exchange only)");
+        "hierarchical_down scheduled (bit_exchange only)\n"
+        "fault plan grammar: kind:party@first[-last][:prob] joined by ';'\n"
+        "  kinds: crash sleepy stuck babble deaf (see docs/FAULTS.md)");
     return 0;
   }
   const std::string task = flags.GetString("task", "input_set");
@@ -196,11 +220,20 @@ int Run(int argc, char** argv) {
   const std::uint64_t seed =
       static_cast<std::uint64_t>(flags.GetInt("seed", 1));
   const bool csv = flags.GetBool("csv", false);
+  const std::string fault_plan_text = flags.GetString("fault-plan", "");
+  const std::uint64_t fault_seed =
+      static_cast<std::uint64_t>(flags.GetInt("fault-seed", 0));
   for (const std::string& unknown : flags.UnconsumedFlags()) {
     std::cerr << "unknown flag: --" << unknown << " (try --help)\n";
     return 2;
   }
 
+  const FaultPlan faults = MakeFaultPlan(fault_plan_text, fault_seed);
+  if (faults.MaxParty() >= n) {
+    std::cerr << "nbsim: --fault-plan names party " << faults.MaxParty()
+              << " but --n=" << n << "\n";
+    return 2;
+  }
   const std::unique_ptr<Channel> channel = MakeChannel(channel_name, eps);
   const std::unique_ptr<Simulator> sim = MakeSimulator(sim_name, task, n);
 
@@ -209,11 +242,13 @@ int Run(int argc, char** argv) {
   RunningStat rounds;
   RunningStat blowup;
   std::map<std::string, std::int64_t> phases;
+  int verdicts[3] = {0, 0, 0};  // kOk, kDegraded, kFailed
   for (int t = 0; t < trials; ++t) {
     const Workload workload = MakeWorkload(task, n, rng);
     const SimulationResult result =
-        sim->Simulate(*workload.protocol, *channel, rng);
-    counter.Record(!result.budget_exhausted && workload.judge(result));
+        sim->Simulate(*workload.protocol, *channel, faults, rng);
+    counter.Record(!result.budget_exhausted() && workload.judge(result));
+    ++verdicts[static_cast<int>(result.verdict.status)];
     rounds.Add(static_cast<double>(result.noisy_rounds_used));
     blowup.Add(static_cast<double>(result.noisy_rounds_used) /
                std::max(1, workload.protocol->length()));
@@ -226,17 +261,24 @@ int Run(int argc, char** argv) {
   if (csv) {
     std::printf(
         "task,channel,sim,n,eps,trials,success_rate,ci_low,ci_high,"
-        "mean_rounds,mean_blowup\n");
-    std::printf("%s,%s,%s,%d,%g,%d,%.4f,%.4f,%.4f,%.1f,%.2f\n", task.c_str(),
-                channel_name.c_str(), sim_name.c_str(), n, eps, trials,
-                counter.rate(), ci.low, ci.high, rounds.mean(),
-                blowup.mean());
+        "mean_rounds,mean_blowup,fault_plan,ok,degraded,failed\n");
+    std::printf("%s,%s,%s,%d,%g,%d,%.4f,%.4f,%.4f,%.1f,%.2f,%s,%d,%d,%d\n",
+                task.c_str(), channel_name.c_str(), sim_name.c_str(), n, eps,
+                trials, counter.rate(), ci.low, ci.high, rounds.mean(),
+                blowup.mean(), faults.ToString().c_str(), verdicts[0],
+                verdicts[1], verdicts[2]);
   } else {
     std::printf("task=%s channel=%s sim=%s n=%d eps=%g trials=%d\n",
                 task.c_str(), channel->name().c_str(), sim->name().c_str(),
                 n, eps, trials);
+    if (!faults.empty()) {
+      std::printf("  faults   %s (seed %llu)\n", faults.ToString().c_str(),
+                  static_cast<unsigned long long>(faults.seed()));
+    }
     std::printf("  success  %5.1f%%  (95%% CI [%.1f%%, %.1f%%])\n",
                 100 * counter.rate(), 100 * ci.low, 100 * ci.high);
+    std::printf("  verdicts ok=%d degraded=%d failed=%d\n", verdicts[0],
+                verdicts[1], verdicts[2]);
     std::printf("  rounds   %.1f mean  (blowup %.2fx)\n", rounds.mean(),
                 blowup.mean());
     if (!phases.empty()) {

@@ -58,7 +58,7 @@ Cell MeasureInputSet(const Simulator& sim, const Channel& channel, int n,
         const auto protocol = MakeInputSetProtocol(instance);
         const SimulationResult result =
             sim.Simulate(*protocol, channel, trial_rng);
-        return TrialOutcome{!result.budget_exhausted &&
+        return TrialOutcome{!result.budget_exhausted() &&
                                 InputSetAllCorrect(instance, result.outputs),
                             static_cast<double>(result.noisy_rounds_used) /
                                 protocol->length()};
@@ -76,7 +76,7 @@ Cell MeasureBitExchange(const Simulator& sim, const Channel& channel, int n,
         const SimulationResult result =
             sim.Simulate(*protocol, channel, trial_rng);
         return TrialOutcome{
-            !result.budget_exhausted &&
+            !result.budget_exhausted() &&
                 BitExchangeAllCorrect(instance, result.outputs),
             static_cast<double>(result.noisy_rounds_used) /
                 protocol->length()};
