@@ -6,43 +6,51 @@
 // Also measures the A.1.2 reduction channel (one-sided-up 1/3 + shared
 // 1/4 down-flip == two-sided 1/4), demonstrating that the hard direction
 // subsumes the general model.
+//
+// Trials run through bench_harness.h's resilient engine; each cell also
+// surfaces the retry/abandonment taxonomy of its run.
 #include <benchmark/benchmark.h>
 
+#include "bench_harness.h"
 #include "channel/one_sided.h"
 #include "channel/shared_randomness.h"
 #include "coding/rewind_sim.h"
 #include "tasks/bit_exchange.h"
 #include "util/math.h"
 #include "util/rng.h"
-#include "util/stats.h"
 
 namespace {
 
 using namespace noisybeeps;
+using bench::BenchPoint;
+using bench::BenchRun;
 
 constexpr int kTrials = 6;
 
 void Measure(benchmark::State& state, const Channel& channel,
              const RewindSimulator& sim, int n, std::uint64_t seed) {
-  Rng rng(seed);
-  SuccessCounter counter;
-  RunningStat overhead;
+  BenchRun run;
   for (auto _ : state) {
-    for (int t = 0; t < kTrials; ++t) {
+    run = bench::RunTrials(kTrials, seed, [&](int, Rng& rng) {
       const BitExchangeInstance instance = SampleBitExchange(n, 8, rng);
       const auto protocol = MakeBitExchangeProtocol(instance);
       const SimulationResult result = sim.Simulate(*protocol, channel, rng);
-      counter.Record(!result.budget_exhausted() &&
-                     BitExchangeAllCorrect(instance, result.outputs));
-      overhead.Add(static_cast<double>(result.noisy_rounds_used) /
-                   protocol->length());
-    }
+      BenchPoint point;
+      point.success = !result.budget_exhausted() &&
+                      BitExchangeAllCorrect(instance, result.outputs);
+      point.status = result.budget_exhausted() ? 2 : 0;
+      point.rounds = result.noisy_rounds_used;
+      point.value =
+          static_cast<double>(result.noisy_rounds_used) / protocol->length();
+      return point;
+    });
   }
   const double log_n = CeilLog2(static_cast<std::uint64_t>(n < 2 ? 2 : n));
-  state.counters["blowup"] = overhead.mean();
+  state.counters["blowup"] = run.value.mean();
   state.counters["blowup_per_log_n"] =
-      overhead.mean() / (log_n > 0 ? log_n : 1);
-  state.counters["success_rate"] = counter.rate();
+      run.value.mean() / (log_n > 0 ? log_n : 1);
+  state.counters["success_rate"] = run.successes.rate();
+  bench::SurfaceReport(state, run.report);
 }
 
 void BM_DownNoiseConstantOverhead(benchmark::State& state) {

@@ -10,12 +10,12 @@
 // straddle whole chunks and force re-simulation).
 #include <benchmark/benchmark.h>
 
+#include "bench_harness.h"
 #include "channel/burst.h"
 #include "channel/correlated.h"
 #include "coding/rewind_sim.h"
 #include "tasks/input_set.h"
 #include "util/rng.h"
-#include "util/stats.h"
 
 namespace {
 
@@ -27,23 +27,26 @@ constexpr double kStationary = 0.05;
 
 void Measure(benchmark::State& state, const Channel& channel,
              std::uint64_t seed) {
-  Rng rng(seed);
   const RewindSimulator sim;
-  SuccessCounter counter;
-  RunningStat blowup;
+  bench::BenchRun run;
   for (auto _ : state) {
-    for (int t = 0; t < kTrials; ++t) {
+    run = bench::RunTrials(kTrials, seed, [&](int, Rng& rng) {
       const InputSetInstance instance = SampleInputSet(kParties, rng);
       const auto protocol = MakeInputSetProtocol(instance);
       const SimulationResult result = sim.Simulate(*protocol, channel, rng);
-      counter.Record(!result.budget_exhausted() &&
-                     InputSetAllCorrect(instance, result.outputs));
-      blowup.Add(static_cast<double>(result.noisy_rounds_used) /
-                 protocol->length());
-    }
+      bench::BenchPoint point;
+      point.success = !result.budget_exhausted() &&
+                      InputSetAllCorrect(instance, result.outputs);
+      point.status = result.budget_exhausted() ? 2 : 0;
+      point.rounds = result.noisy_rounds_used;
+      point.value =
+          static_cast<double>(result.noisy_rounds_used) / protocol->length();
+      return point;
+    });
   }
-  state.counters["success_rate"] = counter.rate();
-  state.counters["blowup"] = blowup.mean();
+  state.counters["success_rate"] = run.successes.rate();
+  state.counters["blowup"] = run.value.mean();
+  bench::SurfaceReport(state, run.report);
 }
 
 void BM_IidControl(benchmark::State& state) {

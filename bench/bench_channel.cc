@@ -1,8 +1,12 @@
 // E7 -- substrate scaling: the cost of one beeping round, per channel
 // model, as the party count grows.  This is the simulator's innermost
 // loop; everything else in the library multiplies it.
+//
+// The end-to-end execution sweep runs through bench_harness.h's resilient
+// engine and surfaces its run report; the single-round loops stay plain.
 #include <benchmark/benchmark.h>
 
+#include "bench_harness.h"
 #include "channel/correlated.h"
 #include "channel/independent.h"
 #include "channel/noiseless.h"
@@ -56,19 +60,30 @@ void BM_RoundSharedRandomness(benchmark::State& state) {
 BENCHMARK(BM_RoundSharedRandomness)->Arg(8)->Arg(64)->Arg(512);
 
 // Full protocol execution end to end (round loop + party beep functions +
-// transcript bookkeeping): rounds/second for the trivial InputSet run.
+// transcript bookkeeping): rounds/second for the trivial InputSet run,
+// with each trial sampling a fresh instance through the resilient engine.
 void BM_ExecuteInputSet(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));
-  Rng rng(2);
+  constexpr int kTrials = 32;
   const CorrelatedNoisyChannel channel(0.1);
-  const InputSetInstance instance = SampleInputSet(n, rng);
-  const auto protocol = MakeInputSetProtocol(instance);
+  bench::BenchRun run;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(Execute(*protocol, channel, rng));
+    run = bench::RunTrials(kTrials, 2, [&](int, Rng& rng) {
+      const InputSetInstance instance = SampleInputSet(n, rng);
+      const auto protocol = MakeInputSetProtocol(instance);
+      const ExecutionResult result = Execute(*protocol, channel, rng);
+      bench::BenchPoint point;
+      point.success = InputSetAllCorrect(instance, result.outputs);
+      point.rounds = protocol->length();
+      return point;
+    });
   }
-  state.SetItemsProcessed(state.iterations() * protocol->length());
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(run.rounds.mean() * kTrials));
+  state.counters["success_rate"] = run.successes.rate();
+  bench::SurfaceReport(state, run.report);
 }
-BENCHMARK(BM_ExecuteInputSet)->Arg(8)->Arg(64)->Arg(256);
+BENCHMARK(BM_ExecuteInputSet)->Arg(8)->Arg(64)->Arg(256)->Iterations(1);
 
 }  // namespace
 

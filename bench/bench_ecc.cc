@@ -1,8 +1,13 @@
 // E6 -- the code substrate Algorithm 1 leans on: throughput of the
 // encode/decode pipelines and the decode-error rate of the beep code
 // under one-sided channel noise, as rate and noise vary.
+//
+// The decode-error-rate sweep (the one Monte Carlo section) runs through
+// bench_harness.h's resilient engine and surfaces its run report; the
+// throughput loops stay plain -- they time single operations, not trials.
 #include <benchmark/benchmark.h>
 
+#include "bench_harness.h"
 #include "coding/beep_code.h"
 #include "ecc/codebook.h"
 #include "ecc/concatenated.h"
@@ -90,24 +95,23 @@ void BM_BeepCodeErrorRate(benchmark::State& state) {
   const int factor = static_cast<int>(state.range(0));
   const double eps = static_cast<double>(state.range(1)) / 100.0;
   const BeepCode code(64, factor, 11);
-  Rng rng(15000 + factor);
-  std::size_t failures = 0;
-  std::size_t trials = 0;
+  bench::BenchRun run;
   for (auto _ : state) {
-    for (int t = 0; t < 2000; ++t) {
+    run = bench::RunTrials(2000, 15000 + factor, [&](int, Rng& rng) {
       const std::uint64_t msg = rng.UniformInt(65);
       BitString word = code.Encode(msg);
       for (std::size_t i = 0; i < word.size(); ++i) {
         if (!word[i] && rng.Bernoulli(eps)) word.Set(i, true);
       }
-      failures += code.Decode(word) != msg;
-      ++trials;
-    }
+      bench::BenchPoint point;
+      point.success = code.Decode(word) == msg;
+      return point;
+    });
   }
-  state.counters["decode_error_rate"] =
-      static_cast<double>(failures) / trials;
+  state.counters["decode_error_rate"] = 1.0 - run.successes.rate();
   state.counters["codeword_bits"] =
       static_cast<double>(code.codeword_length());
+  bench::SurfaceReport(state, run.report);
 }
 BENCHMARK(BM_BeepCodeErrorRate)
     ->ArgsProduct({{2, 4, 6, 8}, {5, 10, 20}})

@@ -16,6 +16,7 @@
 #include <cstdint>
 #include <string>
 
+#include "bench_harness.h"
 #include "channel/correlated.h"
 #include "channel/one_sided.h"
 #include "coding/hierarchical_sim.h"
@@ -84,37 +85,46 @@ void Measure(benchmark::State& state, const Simulator& sim,
   const int faulty = static_cast<int>(state.range(1));
   state.SetLabel(std::string(KindLabel(kind)) + " x" +
                  std::to_string(faulty));
-  Rng rng(seed + static_cast<std::uint64_t>(100 * kind + faulty));
+  bench::BenchRun run;
+  for (auto _ : state) {
+    run = bench::RunTrials(
+        kTrials, seed + static_cast<std::uint64_t>(100 * kind + faulty),
+        [&](int t, Rng& rng) {
+          const InputSetInstance instance = SampleInputSet(kParties, rng);
+          const auto protocol = MakeInputSetProtocol(instance);
+          const BitString reference = ReferenceTranscript(*protocol);
+          const FaultPlan plan =
+              MakePlan(kind, faulty, seed + static_cast<std::uint64_t>(t));
+          const SimulationResult result =
+              sim.Simulate(*protocol, channel, plan, rng);
+          bench::BenchPoint point;
+          point.status = static_cast<std::uint8_t>(result.verdict.status);
+          point.success = result.verdict.status != SimulationStatus::kFailed;
+          point.rounds = result.noisy_rounds_used;
+          point.value = static_cast<double>(result.noisy_rounds_used) /
+                        protocol->length();
+          point.extra =
+              result.verdict.majority_transcript == reference ? 1.0 : 0.0;
+          return point;
+        });
+  }
   int ok = 0;
   int degraded = 0;
   int failed = 0;
-  int recovered = 0;  // majority-vote transcript equals the true one
-  RunningStat blowup;
-  for (auto _ : state) {
-    for (int t = 0; t < kTrials; ++t) {
-      const InputSetInstance instance = SampleInputSet(kParties, rng);
-      const auto protocol = MakeInputSetProtocol(instance);
-      const BitString reference = ReferenceTranscript(*protocol);
-      const FaultPlan plan =
-          MakePlan(kind, faulty, seed + static_cast<std::uint64_t>(t));
-      const SimulationResult result =
-          sim.Simulate(*protocol, channel, plan, rng);
-      switch (result.verdict.status) {
-        case SimulationStatus::kOk: ++ok; break;
-        case SimulationStatus::kDegraded: ++degraded; break;
-        case SimulationStatus::kFailed: ++failed; break;
-      }
-      recovered += result.verdict.majority_transcript == reference ? 1 : 0;
-      blowup.Add(static_cast<double>(result.noisy_rounds_used) /
-                 protocol->length());
+  for (const bench::BenchPoint& point : run.points) {
+    switch (static_cast<SimulationStatus>(point.status)) {
+      case SimulationStatus::kOk: ++ok; break;
+      case SimulationStatus::kDegraded: ++degraded; break;
+      case SimulationStatus::kFailed: ++failed; break;
     }
   }
   const double total = ok + degraded + failed;
   state.counters["ok"] = ok / total;
   state.counters["degraded"] = degraded / total;
   state.counters["failed"] = failed / total;
-  state.counters["recovered"] = recovered / total;
-  state.counters["blowup"] = blowup.mean();
+  state.counters["recovered"] = run.extra.mean();
+  state.counters["blowup"] = run.value.mean();
+  bench::SurfaceReport(state, run.report);
 }
 
 // kind in {0 crash, 1 sleepy, 2 stuck, 3 babble, 4 deaf} x faulty parties.

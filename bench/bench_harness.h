@@ -1,0 +1,171 @@
+// Shared resilient-trial harness for the E1..E12 bench binaries.
+//
+// Every bench's Monte Carlo loop runs through RunTrials, which drives the
+// resilience engine (src/resilience/resilient_trials.h): per-trial
+// generators are split from one seed, attempts are watchdog-classified,
+// and the end-of-run RunReport (retries / abandonments / failure
+// taxonomy) is surfaced as benchmark counters next to the scientific
+// ones.  With the default policy (one attempt, no budgets, one worker)
+// the engine is bit-identical to a plain serial trial loop, so the
+// benches keep stable timings and reproducible statistics; a flaky or
+// shared machine can opt into retries and budgets through environment
+// variables without a rebuild:
+//
+//   NB_BENCH_MAX_ATTEMPTS  attempts per trial (default 1 = never retry)
+//   NB_BENCH_ROUND_BUDGET  per-trial round budget (default 0 = unlimited)
+//   NB_BENCH_WORKERS       trial workers (default 1 = serial timings)
+#ifndef NOISYBEEPS_BENCH_BENCH_HARNESS_H_
+#define NOISYBEEPS_BENCH_BENCH_HARNESS_H_
+
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "resilience/resilient_trials.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace noisybeeps::bench {
+
+// One trial's outcome, as every bench reports it.  `status` mirrors the
+// SimulationStatus ladder (0 ok, 1 degraded, 2 failed) where the workload
+// has one; `value`/`extra` are workload scalars (blowup, zeta, ...).
+struct BenchPoint {
+  bool success = true;
+  std::uint8_t status = 0;
+  std::int64_t rounds = 0;
+  double value = 0;
+  double extra = 0;
+};
+
+// Checkpoint codec + watchdog bridge.  A failed simulation verdict is the
+// retryable failure; an incorrect-but-completed trial is a legitimate
+// sample (retrying it would bias the success-rate estimate).
+struct BenchPointAdapter {
+  [[nodiscard]] std::string Encode(const BenchPoint& p) const {
+    std::string out;
+    resilience::AppendU64(out, p.success ? 1 : 0);
+    resilience::AppendU64(out, p.status);
+    resilience::AppendU64(out, static_cast<std::uint64_t>(p.rounds));
+    resilience::AppendF64(out, p.value);
+    resilience::AppendF64(out, p.extra);
+    return out;
+  }
+
+  [[nodiscard]] BenchPoint Decode(std::string_view bytes) const {
+    resilience::ByteReader reader(bytes);
+    BenchPoint p;
+    p.success = reader.U64() != 0;
+    p.status = static_cast<std::uint8_t>(reader.U64());
+    p.rounds = static_cast<std::int64_t>(reader.U64());
+    p.value = reader.F64();
+    p.extra = reader.F64();
+    if (!reader.AtEnd()) {
+      throw resilience::CheckpointError("trailing bytes in bench payload");
+    }
+    return p;
+  }
+
+  [[nodiscard]] resilience::TrialAssessment Assess(const BenchPoint& p) const {
+    resilience::TrialAssessment assessment;
+    if (p.status == 2) {
+      assessment.verdict = resilience::TrialVerdict::kFailed;
+    } else if (p.status == 1) {
+      assessment.verdict = resilience::TrialVerdict::kDegraded;
+    }
+    assessment.rounds_used = p.rounds;
+    return assessment;
+  }
+};
+
+// Aggregated sweep cell: the standard statistics every bench wants, the
+// raw points for bench-specific post-processing (conditional stats,
+// maxima, ladders), and the resilience report.
+struct BenchRun {
+  SuccessCounter successes;
+  RunningStat value;
+  RunningStat extra;
+  RunningStat rounds;
+  std::vector<BenchPoint> points;
+  resilience::RunReport report;
+
+  // Pairwise combination (SuccessCounter/RunningStat::Merge underneath),
+  // for benches that aggregate one report across a multi-cell search.
+  void Merge(const BenchRun& other) {
+    successes.Merge(other.successes);
+    value.Merge(other.value);
+    extra.Merge(other.extra);
+    rounds.Merge(other.rounds);
+    points.insert(points.end(), other.points.begin(), other.points.end());
+    report.total_trials += other.report.total_trials;
+    report.completed += other.report.completed;
+    report.retried += other.report.retried;
+    report.abandoned += other.report.abandoned;
+    report.attempts += other.report.attempts;
+    report.timeouts += other.report.timeouts;
+    report.exceptions += other.report.exceptions;
+    report.degraded_verdicts += other.report.degraded_verdicts;
+    report.resumed_trials += other.report.resumed_trials;
+    report.checkpoints_written += other.report.checkpoints_written;
+  }
+};
+
+inline std::int64_t EnvInt(const char* name, std::int64_t fallback) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || *raw == '\0') return fallback;
+  return std::strtoll(raw, nullptr, 10);
+}
+
+// The bench-wide resilience policy (see the header comment for the
+// environment knobs).  Serial by default: benches time wall-clock.
+inline resilience::ResilienceOptions BenchOptions() {
+  resilience::ResilienceOptions opts;
+  opts.retry.max_attempts =
+      static_cast<int>(EnvInt("NB_BENCH_MAX_ATTEMPTS", 1));
+  opts.budget.max_rounds = EnvInt("NB_BENCH_ROUND_BUDGET", 0);
+  opts.num_workers = static_cast<int>(EnvInt("NB_BENCH_WORKERS", 1));
+  return opts;
+}
+
+// Runs `body(trial_index, attempt_rng) -> BenchPoint` for num_trials
+// trials through the resilient engine and aggregates.
+template <typename Body>
+BenchRun RunTrials(int num_trials, std::uint64_t seed, Body&& body,
+                   const resilience::ResilienceOptions& opts = BenchOptions()) {
+  Rng rng(seed);
+  resilience::RunOutput<BenchPoint> out = resilience::ResilientTrials(
+      num_trials, rng, std::forward<Body>(body), BenchPointAdapter{}, opts);
+  BenchRun run;
+  run.report = out.report;
+  for (const BenchPoint& p : out.results) {
+    run.successes.Record(p.success);
+    run.value.Add(p.value);
+    run.extra.Add(p.extra);
+    run.rounds.Add(static_cast<double>(p.rounds));
+  }
+  run.points = std::move(out.results);
+  return run;
+}
+
+// Writes the resilience taxonomy into the benchmark cell, next to the
+// scientific counters the bench itself sets.
+inline void SurfaceReport(benchmark::State& state,
+                          const resilience::RunReport& report) {
+  state.counters["trials"] = static_cast<double>(report.total_trials);
+  state.counters["retried"] = static_cast<double>(report.retried);
+  state.counters["abandoned"] = static_cast<double>(report.abandoned);
+  state.counters["attempts"] = static_cast<double>(report.attempts);
+  state.counters["timeouts"] = static_cast<double>(report.timeouts);
+  state.counters["trial_exceptions"] = static_cast<double>(report.exceptions);
+  state.counters["degraded_verdicts"] =
+      static_cast<double>(report.degraded_verdicts);
+}
+
+}  // namespace noisybeeps::bench
+
+#endif  // NOISYBEEPS_BENCH_BENCH_HARNESS_H_

@@ -11,12 +11,12 @@
 // repair what slips through.
 #include <benchmark/benchmark.h>
 
+#include "bench_harness.h"
 #include "channel/correlated.h"
 #include "coding/hierarchical_sim.h"
 #include "coding/rewind_sim.h"
 #include "tasks/bit_exchange.h"
 #include "util/rng.h"
-#include "util/stats.h"
 
 namespace {
 
@@ -28,25 +28,28 @@ constexpr int kTrials = 6;
 
 void Run(benchmark::State& state, const Simulator& sim, int bits_per_party,
          std::uint64_t seed) {
-  Rng rng(seed);
   const CorrelatedNoisyChannel channel(kEps);
-  SuccessCounter counter;
-  RunningStat overhead;
+  bench::BenchRun run;
   for (auto _ : state) {
-    for (int t = 0; t < kTrials; ++t) {
+    run = bench::RunTrials(kTrials, seed, [&](int, Rng& rng) {
       const BitExchangeInstance instance =
           SampleBitExchange(kParties, bits_per_party, rng);
       const auto protocol = MakeBitExchangeProtocol(instance);
       const SimulationResult result = sim.Simulate(*protocol, channel, rng);
-      counter.Record(!result.budget_exhausted() &&
-                     BitExchangeAllCorrect(instance, result.outputs));
-      overhead.Add(static_cast<double>(result.noisy_rounds_used) /
-                   protocol->length());
-    }
+      bench::BenchPoint point;
+      point.success = !result.budget_exhausted() &&
+                      BitExchangeAllCorrect(instance, result.outputs);
+      point.status = result.budget_exhausted() ? 2 : 0;
+      point.rounds = result.noisy_rounds_used;
+      point.value =
+          static_cast<double>(result.noisy_rounds_used) / protocol->length();
+      return point;
+    });
   }
   state.counters["T"] = kParties * bits_per_party;
-  state.counters["success_rate"] = counter.rate();
-  state.counters["blowup"] = overhead.mean();
+  state.counters["success_rate"] = run.successes.rate();
+  state.counters["blowup"] = run.value.mean();
+  bench::SurfaceReport(state, run.report);
 }
 
 void BM_FlatRewind(benchmark::State& state) {

@@ -8,44 +8,51 @@
 //  * BM_MinimalRepetition: the minimal r* reaching 90% success, per n,
 //    plus r* normalized by log2(n); the normalized column flattening to a
 //    constant is the Omega(log n)-overhead shape the theorem predicts.
+//
+// Trials run through bench_harness.h's resilient engine; the r* searches
+// merge every probed cell's BenchRun so the surfaced resilience report
+// covers the WHOLE search, not just the final r.
 #include <benchmark/benchmark.h>
 
+#include "bench_harness.h"
 #include "channel/one_sided.h"
 #include "protocol/executor.h"
 #include "tasks/input_set.h"
 #include "util/math.h"
 #include "util/rng.h"
-#include "util/stats.h"
 
 namespace {
 
 using namespace noisybeeps;
+using bench::BenchPoint;
+using bench::BenchRun;
 
 constexpr double kEps = 1.0 / 3.0;
 
-double SuccessRate(int n, int r, int trials, Rng& rng) {
+BenchRun RepetitionRun(int n, int r, int trials, std::uint64_t seed) {
   const OneSidedUpChannel channel(kEps);
-  SuccessCounter counter;
-  for (int t = 0; t < trials; ++t) {
+  return bench::RunTrials(trials, seed, [&](int, Rng& rng) {
     const InputSetInstance instance = SampleInputSet(n, rng);
     const auto protocol =
         MakeRepeatedInputSetProtocol(instance, r, RoundDecision::kAllOnes);
     const ExecutionResult result = Execute(*protocol, channel, rng);
-    counter.Record(InputSetAllCorrect(instance, result.outputs));
-  }
-  return counter.rate();
+    BenchPoint point;
+    point.success = InputSetAllCorrect(instance, result.outputs);
+    point.rounds = protocol->length();
+    return point;
+  });
 }
 
 void BM_RepetitionSuccess(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));
   const int r = static_cast<int>(state.range(1));
-  Rng rng(4000 + 131 * n + r);
-  double rate = 0;
+  BenchRun run;
   for (auto _ : state) {
-    rate = SuccessRate(n, r, 80, rng);
+    run = RepetitionRun(n, r, 80, 4000 + 131 * n + r);
   }
-  state.counters["success_rate"] = rate;
+  state.counters["success_rate"] = run.successes.rate();
   state.counters["total_rounds"] = 2.0 * n * r;
+  bench::SurfaceReport(state, run.report);
 }
 BENCHMARK(BM_RepetitionSuccess)
     ->ArgsProduct({{8, 32, 128}, {2, 4, 8, 12, 16, 24}})
@@ -53,11 +60,14 @@ BENCHMARK(BM_RepetitionSuccess)
 
 void BM_MinimalRepetition(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));
-  Rng rng(5000 + n);
   int r_star = -1;
+  BenchRun search;
   for (auto _ : state) {
     for (int r = 1; r <= 128; ++r) {
-      if (SuccessRate(n, r, 60, rng) >= 0.9) {
+      BenchRun cell = RepetitionRun(n, r, 60, 5000 + 131 * n + r);
+      const double rate = cell.successes.rate();
+      search.Merge(cell);
+      if (rate >= 0.9) {
         r_star = r;
         break;
       }
@@ -68,6 +78,7 @@ void BM_MinimalRepetition(benchmark::State& state) {
   state.counters["r_star_per_log_n"] = r_star / (log_n > 0 ? log_n : 1);
   state.counters["rounds_n_log_n"] =
       (2.0 * n * r_star) / (n * (log_n > 0 ? log_n : 1));
+  bench::SurfaceReport(state, search.report);
 }
 BENCHMARK(BM_MinimalRepetition)
     ->Arg(4)->Arg(8)->Arg(16)->Arg(32)->Arg(64)->Arg(128)
@@ -81,13 +92,13 @@ BENCHMARK(BM_MinimalRepetition)
 // detect-and-retry mechanism, which bench_asymmetry measures.
 void BM_MinimalRepetitionDownNoise(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));
-  Rng rng(6000 + n);
   const OneSidedDownChannel channel(kEps);
   int r_star = -1;
+  BenchRun search;
   for (auto _ : state) {
     for (int r = 1; r <= 128; ++r) {
-      SuccessCounter counter;
-      for (int t = 0; t < 60; ++t) {
+      BenchRun cell = bench::RunTrials(60, 6000 + 131 * n + r,
+                                       [&](int, Rng& rng) {
         const InputSetInstance instance = SampleInputSet(n, rng);
         // Majority is wrong for down noise; "any one" is ML.  The
         // repetition protocol with threshold kMajority under-counts, so
@@ -102,9 +113,14 @@ void BM_MinimalRepetitionDownNoise(benchmark::State& state) {
           }
           if (any) mask[e / 64] |= std::uint64_t{1} << (e % 64);
         }
-        counter.Record(mask == InputSetExpectedOutput(instance));
-      }
-      if (counter.rate() >= 0.9) {
+        BenchPoint point;
+        point.success = mask == InputSetExpectedOutput(instance);
+        point.rounds = protocol->length();
+        return point;
+      });
+      const double rate = cell.successes.rate();
+      search.Merge(cell);
+      if (rate >= 0.9) {
         r_star = r;
         break;
       }
@@ -113,6 +129,7 @@ void BM_MinimalRepetitionDownNoise(benchmark::State& state) {
   const double log_n = CeilLog2(static_cast<std::uint64_t>(n < 2 ? 2 : n));
   state.counters["r_star"] = r_star;
   state.counters["r_star_per_log_n"] = r_star / (log_n > 0 ? log_n : 1);
+  bench::SurfaceReport(state, search.report);
 }
 BENCHMARK(BM_MinimalRepetitionDownNoise)
     ->Arg(4)->Arg(16)->Arg(64)->Arg(128)

@@ -7,17 +7,22 @@
 // OwnersValid, the rounds spent, and rounds normalized by n log n.  The
 // code-length ablation shows how the failure rate responds to the
 // codeword-length factor.
+//
+// Trials run through bench_harness.h's resilient engine; each cell also
+// surfaces the retry/abandonment taxonomy of its run.
 #include <benchmark/benchmark.h>
 
+#include "bench_harness.h"
 #include "channel/one_sided.h"
 #include "coding/owner_finding.h"
 #include "util/math.h"
 #include "util/rng.h"
-#include "util/stats.h"
 
 namespace {
 
 using namespace noisybeeps;
+using bench::BenchPoint;
+using bench::BenchRun;
 
 struct Fixture {
   std::vector<BitString> beeped;
@@ -42,26 +47,27 @@ Fixture RandomFixture(int n, int chunk_len, double density, Rng& rng) {
 
 void RunOwnerBench(benchmark::State& state, int n, int length_factor,
                    double eps, std::uint64_t seed) {
-  Rng rng(seed);
   const OneSidedUpChannel channel(eps);
   const BeepCode code(n, length_factor, 13);
-  SuccessCounter counter;
-  RunningStat rounds;
+  BenchRun run;
   for (auto _ : state) {
-    for (int t = 0; t < 8; ++t) {
+    run = bench::RunTrials(8, seed, [&](int, Rng& rng) {
       const Fixture fx = RandomFixture(n, n, 2.0 / n, rng);
       RoundEngine engine(channel, rng, n);
       const OwnerFindingResult result = FindOwners(
           engine, code, std::vector<BitString>(n, fx.pi), fx.beeped);
-      counter.Record(OwnersValid(result, fx.pi, fx.beeped));
-      rounds.Add(static_cast<double>(engine.rounds_used()));
-    }
+      BenchPoint point;
+      point.success = OwnersValid(result, fx.pi, fx.beeped);
+      point.rounds = engine.rounds_used();
+      return point;
+    });
   }
   const double log_n = CeilLog2(static_cast<std::uint64_t>(n < 2 ? 2 : n));
-  state.counters["success_rate"] = counter.rate();
-  state.counters["rounds"] = rounds.mean();
+  state.counters["success_rate"] = run.successes.rate();
+  state.counters["rounds"] = run.rounds.mean();
   state.counters["rounds_per_n_log_n"] =
-      rounds.mean() / (n * (log_n > 0 ? log_n : 1));
+      run.rounds.mean() / (n * (log_n > 0 ? log_n : 1));
+  bench::SurfaceReport(state, run.report);
 }
 
 void BM_OwnerFinding(benchmark::State& state) {

@@ -16,13 +16,13 @@
 //   down-only  -- the Section 2 cheap direction:           O(1) blowup.
 #include <benchmark/benchmark.h>
 
+#include "bench_harness.h"
 #include "channel/correlated.h"
 #include "channel/one_sided.h"
 #include "coding/rewind_sim.h"
 #include "tasks/bit_exchange.h"
 #include "util/math.h"
 #include "util/rng.h"
-#include "util/stats.h"
 
 namespace {
 
@@ -31,31 +31,39 @@ using namespace noisybeeps;
 constexpr int kBits = 8;
 constexpr int kTrials = 6;
 
+bench::BenchPoint SimulatePoint(const RewindSimulator& sim,
+                                const Channel& channel, int n, Rng& rng) {
+  const BitExchangeInstance instance = SampleBitExchange(n, kBits, rng);
+  const auto protocol = MakeBitExchangeProtocol(instance);
+  const SimulationResult result = sim.Simulate(*protocol, channel, rng);
+  bench::BenchPoint point;
+  point.success = !result.budget_exhausted() &&
+                  BitExchangeAllCorrect(instance, result.outputs);
+  point.status = result.budget_exhausted() ? 2 : 0;
+  point.rounds = result.noisy_rounds_used;
+  point.value =
+      static_cast<double>(result.noisy_rounds_used) / protocol->length();
+  return point;
+}
+
 void Measure(benchmark::State& state, const Channel& channel,
              bool scheduled, int n, std::uint64_t seed) {
-  Rng rng(seed);
-  SuccessCounter counter;
-  RunningStat blowup;
+  const RewindSimOptions options =
+      scheduled ? RewindSimOptions::Scheduled(BitExchangeSchedule(n, kBits))
+                : RewindSimOptions::TwoSided();
+  const RewindSimulator sim(options);
+  bench::BenchRun run;
   for (auto _ : state) {
-    for (int t = 0; t < kTrials; ++t) {
-      const BitExchangeInstance instance = SampleBitExchange(n, kBits, rng);
-      const RewindSimOptions options =
-          scheduled ? RewindSimOptions::Scheduled(BitExchangeSchedule(n, kBits))
-                    : RewindSimOptions::TwoSided();
-      const RewindSimulator sim(options);
-      const auto protocol = MakeBitExchangeProtocol(instance);
-      const SimulationResult result = sim.Simulate(*protocol, channel, rng);
-      counter.Record(!result.budget_exhausted() &&
-                     BitExchangeAllCorrect(instance, result.outputs));
-      blowup.Add(static_cast<double>(result.noisy_rounds_used) /
-                 protocol->length());
-    }
+    run = bench::RunTrials(kTrials, seed, [&](int, Rng& rng) {
+      return SimulatePoint(sim, channel, n, rng);
+    });
   }
   const double log_n = CeilLog2(static_cast<std::uint64_t>(n < 2 ? 2 : n));
-  state.counters["blowup"] = blowup.mean();
+  state.counters["blowup"] = run.value.mean();
   state.counters["blowup_per_log_n"] =
-      blowup.mean() / (log_n > 0 ? log_n : 1);
-  state.counters["success_rate"] = counter.rate();
+      run.value.mean() / (log_n > 0 ? log_n : 1);
+  state.counters["success_rate"] = run.successes.rate();
+  bench::SurfaceReport(state, run.report);
 }
 
 void BM_ScheduledOwnership(benchmark::State& state) {
@@ -79,23 +87,16 @@ BENCHMARK(BM_AnonymousOwnership)
 void BM_DownNoiseReference(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));
   const OneSidedDownChannel channel(0.05);
-  Rng rng(32000 + n);
-  SuccessCounter counter;
-  RunningStat blowup;
+  const RewindSimulator sim(RewindSimOptions::DownOnly());
+  bench::BenchRun run;
   for (auto _ : state) {
-    for (int t = 0; t < kTrials; ++t) {
-      const BitExchangeInstance instance = SampleBitExchange(n, kBits, rng);
-      const RewindSimulator sim(RewindSimOptions::DownOnly());
-      const auto protocol = MakeBitExchangeProtocol(instance);
-      const SimulationResult result = sim.Simulate(*protocol, channel, rng);
-      counter.Record(!result.budget_exhausted() &&
-                     BitExchangeAllCorrect(instance, result.outputs));
-      blowup.Add(static_cast<double>(result.noisy_rounds_used) /
-                 protocol->length());
-    }
+    run = bench::RunTrials(kTrials, 32000 + n, [&](int, Rng& rng) {
+      return SimulatePoint(sim, channel, n, rng);
+    });
   }
-  state.counters["blowup"] = blowup.mean();
-  state.counters["success_rate"] = counter.rate();
+  state.counters["blowup"] = run.value.mean();
+  state.counters["success_rate"] = run.successes.rate();
+  bench::SurfaceReport(state, run.report);
 }
 BENCHMARK(BM_DownNoiseReference)
     ->Arg(8)->Arg(64)->Arg(256)

@@ -9,12 +9,12 @@
 
 #include "analysis/good_players.h"
 #include "analysis/neighbors.h"
+#include "bench_harness.h"
 #include "channel/one_sided.h"
 #include "protocol/executor.h"
 #include "tasks/input_set.h"
 #include "util/math.h"
 #include "util/rng.h"
-#include "util/stats.h"
 
 namespace {
 
@@ -22,23 +22,23 @@ using namespace noisybeeps;
 
 void BM_LemmaB8UniqueFraction(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));
-  Rng rng(20000 + n);
-  int below_third = 0;
   constexpr int kTrials = 2000;
-  RunningStat unique_fraction;
+  bench::BenchRun run;
   for (auto _ : state) {
-    for (int t = 0; t < kTrials; ++t) {
+    run = bench::RunTrials(kTrials, 20000 + n, [&](int, Rng& rng) {
       const InputSetInstance instance = SampleInputSet(n, rng);
-      const std::size_t unique =
-          UniqueInputPlayers(instance.inputs).size();
-      unique_fraction.Add(static_cast<double>(unique) / n);
-      if (3 * unique <= static_cast<std::size_t>(n)) ++below_third;
-    }
+      const std::size_t unique = UniqueInputPlayers(instance.inputs).size();
+      bench::BenchPoint point;
+      // "Success" = the Lemma B.8 event: MORE than n/3 unique players.
+      point.success = 3 * unique > static_cast<std::size_t>(n);
+      point.value = static_cast<double>(unique) / n;
+      return point;
+    });
   }
-  state.counters["pr_below_third"] =
-      static_cast<double>(below_third) / kTrials;
+  state.counters["pr_below_third"] = 1.0 - run.successes.rate();
   state.counters["lemma_b8_bound"] = LemmaB8Bound(n, 2 * n);
-  state.counters["mean_unique_fraction"] = unique_fraction.mean();
+  state.counters["mean_unique_fraction"] = run.value.mean();
+  bench::SurfaceReport(state, run.report);
 }
 BENCHMARK(BM_LemmaB8UniqueFraction)
     ->Arg(8)->Arg(32)->Arg(128)->Arg(512)
@@ -46,22 +46,24 @@ BENCHMARK(BM_LemmaB8UniqueFraction)
 
 void BM_NeighborSensitivity(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));
-  Rng rng(21000 + n);
-  RunningStat total;
-  int quadratic = 0;
   constexpr int kTrials = 500;
+  bench::BenchRun run;
   for (auto _ : state) {
-    for (int t = 0; t < kTrials; ++t) {
+    run = bench::RunTrials(kTrials, 21000 + n, [&](int, Rng& rng) {
       const InputSetInstance instance = SampleInputSet(n, rng);
       const std::size_t count = TotalNeighborCount(instance);
-      total.Add(static_cast<double>(count));
-      if (count >= static_cast<std::size_t>(n) * n / 4) ++quadratic;
-    }
+      bench::BenchPoint point;
+      // "Success" = the Theta(n^2) event: at least n^2/4 neighbors.
+      point.success = count >= static_cast<std::size_t>(n) * n / 4;
+      point.value = static_cast<double>(count);
+      return point;
+    });
   }
-  state.counters["mean_neighbors"] = total.mean();
+  state.counters["mean_neighbors"] = run.value.mean();
   state.counters["mean_neighbors_per_n2"] =
-      total.mean() / (static_cast<double>(n) * n);
-  state.counters["pr_quadratic"] = static_cast<double>(quadratic) / kTrials;
+      run.value.mean() / (static_cast<double>(n) * n);
+  state.counters["pr_quadratic"] = run.successes.rate();
+  bench::SurfaceReport(state, run.report);
 }
 BENCHMARK(BM_NeighborSensitivity)
     ->Arg(8)->Arg(32)->Arg(128)->Arg(512)
@@ -69,24 +71,26 @@ BENCHMARK(BM_NeighborSensitivity)
 
 void BM_GoodEventFrequency(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));
-  Rng rng(22000 + n);
   const OneSidedUpChannel channel(1.0 / 3.0);
   const auto family = MakeInputSetFamily(n);
-  int good_events = 0;
   constexpr int kTrials = 40;
+  bench::BenchRun run;
   for (auto _ : state) {
-    for (int t = 0; t < kTrials; ++t) {
+    run = bench::RunTrials(kTrials, 22000 + n, [&](int, Rng& rng) {
       const InputSetInstance instance = SampleInputSet(n, rng);
       const auto protocol = MakeInputSetProtocol(instance);
-      const ExecutionResult run = Execute(*protocol, channel, rng);
+      const ExecutionResult result = Execute(*protocol, channel, rng);
       const auto good =
-          GoodPlayers(*family, instance.inputs, run.shared());
-      good_events += EventGoodHolds(good.size(), n);
-    }
+          GoodPlayers(*family, instance.inputs, result.shared());
+      bench::BenchPoint point;
+      point.success = EventGoodHolds(good.size(), n);
+      point.rounds = protocol->length();
+      return point;
+    });
   }
-  state.counters["pr_event_good"] =
-      static_cast<double>(good_events) / kTrials;
+  state.counters["pr_event_good"] = run.successes.rate();
   state.counters["lemma_c5_floor"] = 1.0 / 3.0;  // Pr[G] >= 1/3
+  bench::SurfaceReport(state, run.report);
 }
 BENCHMARK(BM_GoodEventFrequency)
     ->Arg(8)->Arg(16)->Arg(32)

@@ -7,51 +7,63 @@
 // theorem says should flatten to a constant -- and the end-to-end success
 // rate.  Workloads: InputSet (the paper's task) and BitExchange (the
 // generic non-adaptive protocol where every 1 has a unique owner).
+//
+// Trials run through bench_harness.h's resilient engine; each cell also
+// surfaces the retry/abandonment taxonomy of its run.
 #include <benchmark/benchmark.h>
 
+#include "bench_harness.h"
 #include "channel/correlated.h"
 #include "coding/rewind_sim.h"
 #include "tasks/bit_exchange.h"
 #include "tasks/input_set.h"
 #include "util/math.h"
 #include "util/rng.h"
-#include "util/stats.h"
 
 namespace {
 
 using namespace noisybeeps;
+using bench::BenchPoint;
+using bench::BenchRun;
 
 constexpr double kEps = 0.05;
 constexpr int kTrials = 6;
 
-void ReportCell(benchmark::State& state, double total_overhead,
-                const SuccessCounter& counter, int n) {
+void ReportCell(benchmark::State& state, const BenchRun& run, int n) {
   const double log_n = CeilLog2(static_cast<std::uint64_t>(n < 2 ? 2 : n));
-  const double overhead = total_overhead / counter.trials();
-  state.counters["blowup"] = overhead;
-  state.counters["blowup_per_log_n"] = overhead / (log_n > 0 ? log_n : 1);
-  state.counters["success_rate"] = counter.rate();
+  state.counters["blowup"] = run.value.mean();
+  state.counters["blowup_per_log_n"] =
+      run.value.mean() / (log_n > 0 ? log_n : 1);
+  state.counters["success_rate"] = run.successes.rate();
+  bench::SurfaceReport(state, run.report);
+}
+
+BenchPoint InputSetPoint(const Simulator& sim, const Channel& channel, int n,
+                         Rng& rng) {
+  const InputSetInstance instance = SampleInputSet(n, rng);
+  const auto protocol = MakeInputSetProtocol(instance);
+  const SimulationResult result = sim.Simulate(*protocol, channel, rng);
+  BenchPoint point;
+  point.success = !result.budget_exhausted() &&
+                  InputSetAllCorrect(instance, result.outputs);
+  point.status = result.budget_exhausted() ? 2 : 0;
+  point.rounds = result.noisy_rounds_used;
+  point.value =
+      static_cast<double>(result.noisy_rounds_used) / protocol->length();
+  return point;
 }
 
 void BM_RewindOverhead_InputSet(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));
-  Rng rng(1000 + n);
   const CorrelatedNoisyChannel channel(kEps);
   const RewindSimulator sim;
-  SuccessCounter counter;
-  double total_overhead = 0;
+  BenchRun run;
   for (auto _ : state) {
-    for (int t = 0; t < kTrials; ++t) {
-      const InputSetInstance instance = SampleInputSet(n, rng);
-      const auto protocol = MakeInputSetProtocol(instance);
-      const SimulationResult result = sim.Simulate(*protocol, channel, rng);
-      counter.Record(!result.budget_exhausted() &&
-                     InputSetAllCorrect(instance, result.outputs));
-      total_overhead += static_cast<double>(result.noisy_rounds_used) /
-                        protocol->length();
-    }
+    run = bench::RunTrials(kTrials, 1000 + n, [&](int, Rng& rng) {
+      return InputSetPoint(sim, channel, n, rng);
+    });
   }
-  ReportCell(state, total_overhead, counter, n);
+  ReportCell(state, run, n);
 }
 BENCHMARK(BM_RewindOverhead_InputSet)
     ->Arg(8)->Arg(16)->Arg(32)->Arg(64)->Arg(128)->Arg(256)
@@ -59,23 +71,25 @@ BENCHMARK(BM_RewindOverhead_InputSet)
 
 void BM_RewindOverhead_BitExchange(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));
-  Rng rng(2000 + n);
   const CorrelatedNoisyChannel channel(kEps);
   const RewindSimulator sim;
-  SuccessCounter counter;
-  double total_overhead = 0;
+  BenchRun run;
   for (auto _ : state) {
-    for (int t = 0; t < kTrials; ++t) {
+    run = bench::RunTrials(kTrials, 2000 + n, [&](int, Rng& rng) {
       const BitExchangeInstance instance = SampleBitExchange(n, 8, rng);
       const auto protocol = MakeBitExchangeProtocol(instance);
       const SimulationResult result = sim.Simulate(*protocol, channel, rng);
-      counter.Record(!result.budget_exhausted() &&
-                     BitExchangeAllCorrect(instance, result.outputs));
-      total_overhead += static_cast<double>(result.noisy_rounds_used) /
-                        protocol->length();
-    }
+      BenchPoint point;
+      point.success = !result.budget_exhausted() &&
+                      BitExchangeAllCorrect(instance, result.outputs);
+      point.status = result.budget_exhausted() ? 2 : 0;
+      point.rounds = result.noisy_rounds_used;
+      point.value =
+          static_cast<double>(result.noisy_rounds_used) / protocol->length();
+      return point;
+    });
   }
-  ReportCell(state, total_overhead, counter, n);
+  ReportCell(state, run, n);
 }
 BENCHMARK(BM_RewindOverhead_BitExchange)
     ->Arg(8)->Arg(16)->Arg(32)->Arg(64)->Arg(128)
@@ -86,27 +100,29 @@ BENCHMARK(BM_RewindOverhead_BitExchange)
 // (which breaks correctness under two-sided noise but isolates its cost).
 void BM_RewindOverhead_NoOwnerAblation(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));
-  Rng rng(3000 + n);
   const CorrelatedNoisyChannel channel(kEps);
   RewindSimOptions options;
   options.regime = NoiseRegime::kDownOnly;  // skips owners + uses 1 rep
   options.rep_factor =
       3 * CeilLog2(static_cast<std::uint64_t>(n < 2 ? 2 : n)) + 1;
   const RewindSimulator sim(options);
-  SuccessCounter counter;
-  double total_overhead = 0;
+  BenchRun run;
   for (auto _ : state) {
-    for (int t = 0; t < kTrials; ++t) {
+    run = bench::RunTrials(kTrials, 3000 + n, [&](int, Rng& rng) {
       const InputSetInstance instance = SampleInputSet(n, rng);
       const auto protocol = MakeInputSetProtocol(instance);
       const SimulationResult result = sim.Simulate(*protocol, channel, rng);
-      counter.Record(!result.budget_exhausted() &&
-                     result.AllMatch(ReferenceTranscript(*protocol)));
-      total_overhead += static_cast<double>(result.noisy_rounds_used) /
-                        protocol->length();
-    }
+      BenchPoint point;
+      point.success = !result.budget_exhausted() &&
+                      result.AllMatch(ReferenceTranscript(*protocol));
+      point.status = result.budget_exhausted() ? 2 : 0;
+      point.rounds = result.noisy_rounds_used;
+      point.value =
+          static_cast<double>(result.noisy_rounds_used) / protocol->length();
+      return point;
+    });
   }
-  ReportCell(state, total_overhead, counter, n);
+  ReportCell(state, run, n);
 }
 BENCHMARK(BM_RewindOverhead_NoOwnerAblation)
     ->Arg(16)->Arg(64)->Arg(256)
@@ -119,7 +135,6 @@ void BM_RewindOverhead_NoiseSweep(benchmark::State& state) {
   const double eps = static_cast<double>(state.range(0)) / 100.0;
   const bool heavy = state.range(1) != 0;
   const int n = 32;
-  Rng rng(4000 + state.range(0) + (heavy ? 17 : 0));
   const CorrelatedNoisyChannel channel(eps);
   RewindSimOptions options;
   if (heavy) {
@@ -128,20 +143,14 @@ void BM_RewindOverhead_NoiseSweep(benchmark::State& state) {
     options.code_length_factor = 10;
   }
   const RewindSimulator sim(options);
-  SuccessCounter counter;
-  double total_overhead = 0;
+  const std::uint64_t seed = 4000 + state.range(0) + (heavy ? 17 : 0);
+  BenchRun run;
   for (auto _ : state) {
-    for (int t = 0; t < kTrials; ++t) {
-      const InputSetInstance instance = SampleInputSet(n, rng);
-      const auto protocol = MakeInputSetProtocol(instance);
-      const SimulationResult result = sim.Simulate(*protocol, channel, rng);
-      counter.Record(!result.budget_exhausted() &&
-                     InputSetAllCorrect(instance, result.outputs));
-      total_overhead += static_cast<double>(result.noisy_rounds_used) /
-                        protocol->length();
-    }
+    run = bench::RunTrials(kTrials, seed, [&](int, Rng& rng) {
+      return InputSetPoint(sim, channel, n, rng);
+    });
   }
-  ReportCell(state, total_overhead, counter, n);
+  ReportCell(state, run, n);
 }
 BENCHMARK(BM_RewindOverhead_NoiseSweep)
     ->ArgsProduct({{2, 5, 10, 15, 20}, {0, 1}})

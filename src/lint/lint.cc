@@ -497,6 +497,51 @@ std::vector<Finding> CheckRawThreads(const SourceFile& file) {
   return findings;
 }
 
+std::vector<Finding> CheckCheckpointAtomicity(const SourceFile& file) {
+  // A checkpoint written with a bare std::ofstream can be torn by a kill
+  // mid-write, and the resume path will then (correctly, but avoidably)
+  // refuse the file.  All checkpoint writes must flow through
+  // WriteCheckpointAtomic in src/resilience/, which stages a temp file and
+  // renames it into place.  tests/ are exempt: the negative tests write
+  // deliberately corrupt checkpoint files, and src/lint/ because the
+  // rule's own diagnostic names the banned pattern.
+  std::vector<Finding> findings;
+  if (file.path.starts_with("src/resilience/") ||
+      file.path.starts_with("src/lint/") || file.path.starts_with("tests/")) {
+    return findings;
+  }
+  // Comments are stripped but string literals kept: the checkpoint path
+  // usually appears as a literal or a *_path variable on the same line.
+  const std::vector<std::string> lines =
+      SplitLines(StripComments(file.content));
+  constexpr std::string_view kStream = "std::ofstream";
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    const std::string& line = lines[i];
+    std::size_t pos = std::string::npos;
+    for (std::size_t j = 0; j + kStream.size() <= line.size(); ++j) {
+      if (TokenAt(line, j, kStream)) {
+        pos = j;
+        break;
+      }
+    }
+    if (pos == std::string::npos) continue;
+    std::string lower = line;
+    for (char& c : lower) {
+      c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    }
+    if (lower.find("checkpoint") == std::string::npos &&
+        lower.find("ckpt") == std::string::npos) {
+      continue;
+    }
+    findings.push_back(
+        {file.path, static_cast<int>(i) + 1, "checkpoint-atomicity",
+         "direct std::ofstream write of a checkpoint path: use "
+         "WriteCheckpointAtomic (src/resilience/checkpoint.h) so an "
+         "interrupted write can never leave a torn checkpoint"});
+  }
+  return findings;
+}
+
 std::vector<Finding> CheckIncludeCycles(const std::vector<SourceFile>& files) {
   std::vector<Finding> findings;
   std::set<std::string> modules;
@@ -645,8 +690,8 @@ std::vector<Finding> CheckFaultLayering(const std::vector<SourceFile>& files) {
 std::vector<Finding> RunAllChecks(const std::vector<SourceFile>& files) {
   std::vector<Finding> findings;
   for (const SourceFile& file : files) {
-    for (auto* check :
-         {&CheckHeaderGuard, &CheckBannedRandomness, &CheckRawThreads}) {
+    for (auto* check : {&CheckHeaderGuard, &CheckBannedRandomness,
+                        &CheckRawThreads, &CheckCheckpointAtomicity}) {
       std::vector<Finding> found = (*check)(file);
       findings.insert(findings.end(), found.begin(), found.end());
     }

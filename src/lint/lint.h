@@ -22,6 +22,11 @@
 //   require-precondition   a constructor or Make*/Sample* factory whose
 //                          header declaration documents a "Precondition:"
 //                          must call NB_REQUIRE in its definition
+//   checkpoint-atomicity   no direct std::ofstream writes of checkpoint
+//                          files outside src/resilience/ -- checkpoints
+//                          must go through WriteCheckpointAtomic (temp file
+//                          + rename) so a kill mid-write can never leave a
+//                          torn file that a resume would then reject
 //
 // The checks operate on file CONTENTS handed in by the caller (the nblint
 // tool reads the tree; the unit test feeds synthetic files), with comments
@@ -63,6 +68,8 @@ struct Finding {
 [[nodiscard]] std::vector<Finding> CheckBannedRandomness(
     const SourceFile& file);
 [[nodiscard]] std::vector<Finding> CheckRawThreads(const SourceFile& file);
+[[nodiscard]] std::vector<Finding> CheckCheckpointAtomicity(
+    const SourceFile& file);
 // Whole-repo rules:
 [[nodiscard]] std::vector<Finding> CheckIncludeCycles(
     const std::vector<SourceFile>& files);

@@ -1,0 +1,190 @@
+#include "resilience/checkpoint.h"
+
+#include <bit>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace noisybeeps::resilience {
+namespace {
+
+// "NBCKPT01" read as a little-endian u64.
+constexpr std::uint64_t kMagic = 0x313054504b43424eULL;
+
+// A ledger entry costs two u64s; cap attempts per record so a corrupt
+// length field cannot drive a multi-gigabyte allocation before the
+// checksum would have caught it.
+constexpr std::uint64_t kMaxAttemptsPerRecord = 1024;
+
+[[noreturn]] void Fail(const std::string& what) { throw CheckpointError(what); }
+
+}  // namespace
+
+std::uint64_t Fnv1a64(std::string_view bytes) {
+  std::uint64_t hash = 1469598103934665603ULL;
+  for (char c : bytes) {
+    hash = (hash ^ static_cast<unsigned char>(c)) * 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+void AppendU64(std::string& out, std::uint64_t v) {
+  for (int byte = 0; byte < 8; ++byte) {
+    out.push_back(static_cast<char>((v >> (8 * byte)) & 0xff));
+  }
+}
+
+void AppendF64(std::string& out, double v) {
+  AppendU64(out, std::bit_cast<std::uint64_t>(v));
+}
+
+void AppendBytes(std::string& out, std::string_view bytes) {
+  AppendU64(out, bytes.size());
+  out.append(bytes);
+}
+
+std::uint64_t ByteReader::U64() {
+  if (bytes_.size() - pos_ < 8) Fail("truncated checkpoint data");
+  std::uint64_t v = 0;
+  for (int byte = 0; byte < 8; ++byte) {
+    v |= static_cast<std::uint64_t>(
+             static_cast<unsigned char>(bytes_[pos_ + byte]))
+         << (8 * byte);
+  }
+  pos_ += 8;
+  return v;
+}
+
+double ByteReader::F64() { return std::bit_cast<double>(U64()); }
+
+std::string_view ByteReader::Bytes() {
+  const std::uint64_t size = U64();
+  if (bytes_.size() - pos_ < size) Fail("truncated checkpoint data");
+  std::string_view view = bytes_.substr(pos_, size);
+  pos_ += size;
+  return view;
+}
+
+std::string TrialCheckpoint::Serialize() const {
+  std::string out;
+  AppendU64(out, kMagic);
+  AppendU64(out, kCheckpointVersion);
+  AppendU64(out, config_hash);
+  for (std::uint64_t word : rng_state) AppendU64(out, word);
+  AppendU64(out, static_cast<std::uint64_t>(num_trials));
+  AppendU64(out, records.size());
+  for (const TrialRecord& record : records) {
+    AppendU64(out, static_cast<std::uint64_t>(record.trial_index));
+    AppendU64(out, record.ledger.abandoned ? 1 : 0);
+    AppendU64(out, record.ledger.attempts.size());
+    for (const AttemptRecord& attempt : record.ledger.attempts) {
+      AppendU64(out, static_cast<std::uint64_t>(attempt.failure));
+      AppendU64(out, static_cast<std::uint64_t>(attempt.backoff_millis));
+    }
+    AppendBytes(out, record.payload);
+  }
+  AppendU64(out, Fnv1a64(out));
+  return out;
+}
+
+TrialCheckpoint TrialCheckpoint::Parse(std::string_view bytes) {
+  // Validate the trailing checksum before interpreting anything else, so
+  // every flipped bit -- header or record -- reports the same way.
+  if (bytes.size() < 8) Fail("truncated checkpoint data");
+  const std::string_view body = bytes.substr(0, bytes.size() - 8);
+  ByteReader checksum_reader(bytes.substr(bytes.size() - 8));
+  const std::uint64_t stored_checksum = checksum_reader.U64();
+  // Bad magic beats bad checksum as a diagnosis: a file that never was a
+  // checkpoint should say so.
+  ByteReader reader(body);
+  const std::uint64_t magic = reader.U64();
+  if (magic != kMagic) Fail("bad magic (not a TrialCheckpoint file)");
+  if (Fnv1a64(body) != stored_checksum) Fail("checksum mismatch");
+  const std::uint64_t version = reader.U64();
+  if (version != kCheckpointVersion) {
+    std::ostringstream os;
+    os << "unsupported version " << version << " (this build reads version "
+       << kCheckpointVersion << ")";
+    Fail(os.str());
+  }
+  TrialCheckpoint checkpoint;
+  checkpoint.config_hash = reader.U64();
+  for (std::uint64_t& word : checkpoint.rng_state) word = reader.U64();
+  checkpoint.num_trials = static_cast<std::int64_t>(reader.U64());
+  if (checkpoint.num_trials < 0) Fail("negative trial count");
+  const std::uint64_t num_records = reader.U64();
+  if (num_records > static_cast<std::uint64_t>(checkpoint.num_trials)) {
+    Fail("more records than trials");
+  }
+  checkpoint.records.reserve(num_records);
+  std::int64_t previous_index = -1;
+  for (std::uint64_t r = 0; r < num_records; ++r) {
+    TrialRecord record;
+    record.trial_index = static_cast<std::int64_t>(reader.U64());
+    if (record.trial_index <= previous_index) {
+      Fail("record trial indices not strictly increasing");
+    }
+    if (record.trial_index >= checkpoint.num_trials) {
+      Fail("record trial index out of range");
+    }
+    previous_index = record.trial_index;
+    const std::uint64_t abandoned = reader.U64();
+    if (abandoned > 1) Fail("malformed abandoned flag");
+    record.ledger.abandoned = abandoned == 1;
+    const std::uint64_t num_attempts = reader.U64();
+    if (num_attempts == 0 || num_attempts > kMaxAttemptsPerRecord) {
+      Fail("malformed attempt count");
+    }
+    record.ledger.attempts.reserve(num_attempts);
+    for (std::uint64_t a = 0; a < num_attempts; ++a) {
+      AttemptRecord attempt;
+      const std::uint64_t failure = reader.U64();
+      if (failure > static_cast<std::uint64_t>(
+                        TrialFailure::kDegradedVerdict)) {
+        Fail("malformed failure code");
+      }
+      attempt.failure = static_cast<TrialFailure>(failure);
+      attempt.backoff_millis = static_cast<std::int64_t>(reader.U64());
+      record.ledger.attempts.push_back(attempt);
+    }
+    record.payload = std::string(reader.Bytes());
+    checkpoint.records.push_back(std::move(record));
+  }
+  if (!reader.AtEnd()) Fail("trailing bytes after final record");
+  return checkpoint;
+}
+
+void WriteCheckpointAtomic(const std::string& path,
+                           const TrialCheckpoint& checkpoint) {
+  const std::string bytes = checkpoint.Serialize();
+  const std::string tmp_path = path + ".tmp";
+  {
+    std::ofstream out(tmp_path, std::ios::binary | std::ios::trunc);
+    if (!out) Fail("cannot open " + tmp_path + " for writing");
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    out.flush();
+    if (!out) Fail("short write to " + tmp_path);
+  }
+  // rename(2) is atomic within a filesystem: a crash leaves either the old
+  // checkpoint or the new one, never a torn file.
+  if (std::rename(tmp_path.c_str(), path.c_str()) != 0) {
+    Fail("cannot rename " + tmp_path + " onto " + path);
+  }
+}
+
+std::optional<TrialCheckpoint> LoadCheckpoint(const std::string& path) {
+  if (!std::filesystem::exists(path)) return std::nullopt;
+  std::ifstream in(path, std::ios::binary);
+  if (!in) Fail("cannot read " + path);
+  std::ostringstream content;
+  content << in.rdbuf();
+  try {
+    return TrialCheckpoint::Parse(content.str());
+  } catch (const CheckpointError& e) {
+    Fail(std::string(e.what() + 12 /* strip "checkpoint: " */) + " in " +
+         path);
+  }
+}
+
+}  // namespace noisybeeps::resilience

@@ -1,0 +1,27 @@
+#include "resilience/clock.h"
+
+#include <chrono>
+#include <thread>
+
+#include "util/require.h"
+
+namespace noisybeeps::resilience {
+
+std::int64_t SteadyClock::NowMillis() const {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void SteadyClock::Sleep(std::int64_t millis) const {
+  NB_REQUIRE(millis >= 0, "cannot sleep a negative duration");
+  if (millis == 0) return;
+  std::this_thread::sleep_for(std::chrono::milliseconds(millis));
+}
+
+const SteadyClock* SteadyClock::Instance() {
+  static const SteadyClock clock;
+  return &clock;
+}
+
+}  // namespace noisybeeps::resilience

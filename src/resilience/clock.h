@@ -1,0 +1,62 @@
+// Injectable monotonic time for the resilience layer.
+//
+// Wall-clock watchdogs and backoff sleeps must be testable without real
+// waiting, and the production clock must be monotonic (never jumps
+// backward on NTP adjustments).  Clock is the seam: SteadyClock wraps the
+// OS monotonic clock; FakeClock is a hand-advanced test double whose
+// Sleep() advances virtual time instantly, so watchdog and backoff
+// behaviour is exercised deterministically in unit tests.
+#ifndef NOISYBEEPS_RESILIENCE_CLOCK_H_
+#define NOISYBEEPS_RESILIENCE_CLOCK_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace noisybeeps::resilience {
+
+class Clock {
+ public:
+  virtual ~Clock() = default;
+
+  // Milliseconds since an arbitrary fixed origin; monotonically
+  // non-decreasing.
+  [[nodiscard]] virtual std::int64_t NowMillis() const = 0;
+
+  // Blocks (or virtually advances) for `millis` milliseconds.
+  // Precondition: millis >= 0.
+  virtual void Sleep(std::int64_t millis) const = 0;
+};
+
+// The production clock: std::chrono::steady_clock.
+class SteadyClock final : public Clock {
+ public:
+  [[nodiscard]] std::int64_t NowMillis() const override;
+  void Sleep(std::int64_t millis) const override;
+
+  // A shared instance (the default when ResilienceOptions.clock is null).
+  [[nodiscard]] static const SteadyClock* Instance();
+};
+
+// Test double: time moves only when advanced, and Sleep() advances it.
+// Thread-safe (the resilient engine calls it from worker threads).
+class FakeClock final : public Clock {
+ public:
+  explicit FakeClock(std::int64_t start_millis = 0) : now_(start_millis) {}
+
+  [[nodiscard]] std::int64_t NowMillis() const override {
+    return now_.load(std::memory_order_relaxed);
+  }
+  // Virtual sleep: advances time without blocking.
+  void Sleep(std::int64_t millis) const override { Advance(millis); }
+
+  void Advance(std::int64_t millis) const {
+    now_.fetch_add(millis, std::memory_order_relaxed);
+  }
+
+ private:
+  mutable std::atomic<std::int64_t> now_;
+};
+
+}  // namespace noisybeeps::resilience
+
+#endif  // NOISYBEEPS_RESILIENCE_CLOCK_H_

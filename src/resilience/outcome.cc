@@ -1,0 +1,91 @@
+#include "resilience/outcome.h"
+
+#include <sstream>
+
+namespace noisybeeps::resilience {
+namespace {
+
+void MixU64(std::uint64_t& hash, std::uint64_t v) {
+  for (int byte = 0; byte < 8; ++byte) {
+    hash = (hash ^ ((v >> (8 * byte)) & 0xff)) * 0x100000001b3ULL;
+  }
+}
+
+}  // namespace
+
+const char* TrialFailureName(TrialFailure failure) {
+  switch (failure) {
+    case TrialFailure::kNone: return "none";
+    case TrialFailure::kTimeout: return "timeout";
+    case TrialFailure::kException: return "exception";
+    case TrialFailure::kDegradedVerdict: return "degraded_verdict";
+  }
+  return "unknown";
+}
+
+TrialFailure ClassifyAttempt(const TrialAssessment& assessment,
+                             std::int64_t elapsed_millis,
+                             const TrialBudget& budget) {
+  if (budget.max_rounds > 0 && assessment.rounds_used > budget.max_rounds) {
+    return TrialFailure::kTimeout;
+  }
+  if (budget.max_wall_millis > 0 && elapsed_millis > budget.max_wall_millis) {
+    return TrialFailure::kTimeout;
+  }
+  if (assessment.verdict == TrialVerdict::kFailed) {
+    return TrialFailure::kDegradedVerdict;
+  }
+  return TrialFailure::kNone;
+}
+
+std::uint64_t RunReport::Fingerprint() const {
+  std::uint64_t hash = 1469598103934665603ULL;
+  MixU64(hash, static_cast<std::uint64_t>(total_trials));
+  MixU64(hash, static_cast<std::uint64_t>(completed));
+  MixU64(hash, static_cast<std::uint64_t>(retried));
+  MixU64(hash, static_cast<std::uint64_t>(abandoned));
+  MixU64(hash, static_cast<std::uint64_t>(attempts));
+  MixU64(hash, static_cast<std::uint64_t>(timeouts));
+  MixU64(hash, static_cast<std::uint64_t>(exceptions));
+  MixU64(hash, static_cast<std::uint64_t>(degraded_verdicts));
+  return hash;
+}
+
+RunReport ReportFromLedgers(const std::vector<TrialLedger>& ledgers) {
+  RunReport report;
+  report.total_trials = static_cast<std::int64_t>(ledgers.size());
+  for (const TrialLedger& ledger : ledgers) {
+    report.attempts += static_cast<std::int64_t>(ledger.attempts.size());
+    if (ledger.abandoned) {
+      ++report.abandoned;
+    } else {
+      ++report.completed;
+    }
+    if (ledger.retries() > 0) ++report.retried;
+    for (const AttemptRecord& attempt : ledger.attempts) {
+      switch (attempt.failure) {
+        case TrialFailure::kNone: break;
+        case TrialFailure::kTimeout: ++report.timeouts; break;
+        case TrialFailure::kException: ++report.exceptions; break;
+        case TrialFailure::kDegradedVerdict:
+          ++report.degraded_verdicts;
+          break;
+      }
+    }
+  }
+  return report;
+}
+
+std::string FormatRunReport(const RunReport& report) {
+  std::ostringstream os;
+  os << "completed=" << report.completed << "/" << report.total_trials
+     << " retried=" << report.retried << " abandoned=" << report.abandoned
+     << " attempts=" << report.attempts << " failures[timeout="
+     << report.timeouts << " exception=" << report.exceptions
+     << " degraded_verdict=" << report.degraded_verdicts << "]"
+     << " resumed=" << report.resumed_trials
+     << " checkpoints=" << report.checkpoints_written;
+  return os.str();
+}
+
+}  // namespace noisybeeps::resilience

@@ -1,0 +1,122 @@
+// Structured per-trial outcomes for resilient execution.
+//
+// A hung, crashed, or misbehaving trial must become DATA -- a classified
+// failure in a per-trial ledger -- rather than a stuck process or a
+// silently dropped sample.  This header defines the failure taxonomy
+// (timeout / exception / degraded verdict), the per-trial budget the
+// watchdog enforces, the attempt ledger the retry policy appends to, and
+// the RunReport every bench binary and nbsim surface at the end of a run.
+//
+// Determinism: everything here is a pure function of the trial bodies'
+// results EXCEPT wall-clock timeouts (TrialBudget.max_wall_millis), which
+// depend on real time and are therefore off by default; the deterministic
+// budget is max_rounds.  RunReport::Fingerprint() covers only the
+// deterministic fields, so an interrupted-and-resumed run must fingerprint
+// identically to an uninterrupted one (docs/RESILIENCE.md).
+#ifndef NOISYBEEPS_RESILIENCE_OUTCOME_H_
+#define NOISYBEEPS_RESILIENCE_OUTCOME_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace noisybeeps::resilience {
+
+// Why an attempt was rejected (kNone = it was accepted).
+enum class TrialFailure : std::uint8_t {
+  kNone = 0,             // attempt succeeded (ok or degraded verdict)
+  kTimeout = 1,          // wall-clock or round budget exceeded
+  kException = 2,        // the trial body threw
+  kDegradedVerdict = 3,  // the caller's classifier judged the result failed
+};
+
+[[nodiscard]] const char* TrialFailureName(TrialFailure failure);
+
+// The caller's judgement of one attempt's result, fed to the watchdog.
+enum class TrialVerdict : std::uint8_t { kOk = 0, kDegraded = 1, kFailed = 2 };
+
+struct TrialAssessment {
+  TrialVerdict verdict = TrialVerdict::kOk;
+  // Rounds the attempt consumed (0 if the workload has no round notion);
+  // compared against TrialBudget.max_rounds.
+  std::int64_t rounds_used = 0;
+};
+
+// Per-trial deadline budget.  0 = unlimited for both fields.
+struct TrialBudget {
+  // Wall-clock budget, measured via the injectable Clock.  NOT
+  // deterministic with the real clock -- use only where bit-reproducible
+  // reports are not required, or with a FakeClock in tests.
+  std::int64_t max_wall_millis = 0;
+  // Deterministic budget: an attempt reporting rounds_used > max_rounds is
+  // classified kTimeout no matter how fast the wall clock was.
+  std::int64_t max_rounds = 0;
+};
+
+// Classifies one attempt: kNone = accepted; anything else is retried (or
+// abandoned when attempts are exhausted).  A degraded verdict is accepted
+// -- degradation is a reportable outcome, not a transient failure -- but a
+// failed verdict is retried.
+[[nodiscard]] TrialFailure ClassifyAttempt(const TrialAssessment& assessment,
+                                           std::int64_t elapsed_millis,
+                                           const TrialBudget& budget);
+
+// One attempt's ledger entry.
+struct AttemptRecord {
+  TrialFailure failure = TrialFailure::kNone;
+  // Backoff waited BEFORE this attempt (0 for the first attempt).
+  std::int64_t backoff_millis = 0;
+
+  friend bool operator==(const AttemptRecord&, const AttemptRecord&) = default;
+};
+
+// The full retry history of one trial, persisted in the checkpoint so a
+// resumed run reconstructs the identical RunReport.
+struct TrialLedger {
+  std::vector<AttemptRecord> attempts;
+  // True when the retry budget ran out and the final (failed) attempt's
+  // result was kept anyway.
+  bool abandoned = false;
+
+  [[nodiscard]] int retries() const {
+    return attempts.empty() ? 0 : static_cast<int>(attempts.size()) - 1;
+  }
+
+  friend bool operator==(const TrialLedger&, const TrialLedger&) = default;
+};
+
+// End-of-run accounting, surfaced by every bench binary and nbsim.
+struct RunReport {
+  // -- deterministic fields (covered by Fingerprint) -----------------------
+  std::int64_t total_trials = 0;
+  std::int64_t completed = 0;  // final result accepted (ok or degraded)
+  std::int64_t retried = 0;    // trials that needed more than one attempt
+  std::int64_t abandoned = 0;  // retry budget exhausted
+  std::int64_t attempts = 0;   // attempts across all trials
+  // Failure taxonomy histogram over all rejected attempts:
+  std::int64_t timeouts = 0;
+  std::int64_t exceptions = 0;
+  std::int64_t degraded_verdicts = 0;
+  // -- execution metadata (NOT covered by Fingerprint: legitimately differs
+  //    between an uninterrupted run and an interrupted-then-resumed one) --
+  std::int64_t resumed_trials = 0;
+  std::int64_t checkpoints_written = 0;
+
+  // FNV-1a over the deterministic fields only: byte-identical between a
+  // clean run and any interrupt/resume schedule at any worker count.
+  [[nodiscard]] std::uint64_t Fingerprint() const;
+
+  friend bool operator==(const RunReport&, const RunReport&) = default;
+};
+
+// Builds the deterministic part of a RunReport from per-trial ledgers.
+[[nodiscard]] RunReport ReportFromLedgers(
+    const std::vector<TrialLedger>& ledgers);
+
+// "completed=9/10 retried=2 abandoned=1 attempts=13 failures[timeout=1
+// exception=0 degraded_verdict=3] resumed=4 checkpoints=2"
+[[nodiscard]] std::string FormatRunReport(const RunReport& report);
+
+}  // namespace noisybeeps::resilience
+
+#endif  // NOISYBEEPS_RESILIENCE_OUTCOME_H_

@@ -1,0 +1,253 @@
+// ResilientTrials: checkpoint/resume, per-trial watchdogs, and
+// retry-with-backoff over the ParallelTrials engine.
+//
+// The resilience contract (verified by tests/resilience_resume_test.cc):
+// for a fixed (parent Rng state, num_trials, adapter, retry policy, round
+// budget), the returned result vector and the deterministic RunReport
+// fields are BIT-IDENTICAL for every worker count and for every
+// interrupt/resume schedule -- kill the process after any checkpoint,
+// resume with different num_workers, and the outputs match an
+// uninterrupted run byte for byte.  This holds because trial generators
+// are a pure function of (parent state, index), retries perturb seeds as a
+// pure function of (trial state, attempt), and the checkpoint persists
+// both results and retry ledgers.  Wall-clock budgets
+// (TrialBudget.max_wall_millis) are the one escape hatch and are off by
+// default.
+//
+// The trial body may throw: the exception is converted into a structured
+// TrialFailure::kException and the trial retried with a perturbed seed; if
+// the FINAL attempt still throws, the exception propagates (a persistent
+// failure must stop the run loudly, not fabricate data).
+#ifndef NOISYBEEPS_RESILIENCE_RESILIENT_TRIALS_H_
+#define NOISYBEEPS_RESILIENCE_RESILIENT_TRIALS_H_
+
+#include <algorithm>
+#include <array>
+#include <cstdint>
+#include <exception>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "resilience/checkpoint.h"
+#include "resilience/clock.h"
+#include "resilience/outcome.h"
+#include "resilience/retry.h"
+#include "util/parallel.h"
+#include "util/require.h"
+#include "util/rng.h"
+
+namespace noisybeeps::resilience {
+
+// Thrown when halt_after_checkpoints fires: the in-process stand-in for a
+// SIGKILL / preemption, used by tools/fault_soak.sh and the resume tests.
+// The checkpoint on disk is complete and consistent when this is thrown.
+class RunInterrupted : public std::runtime_error {
+ public:
+  explicit RunInterrupted(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+struct ResilienceOptions {
+  // Empty = no checkpointing.  The file is written atomically (temp +
+  // rename) after every batch of checkpoint_every trials; an existing
+  // compatible checkpoint at this path is resumed from.
+  std::string checkpoint_path;
+  // Trials per checkpoint batch; 0 = a single batch (one final
+  // checkpoint).  Ignored when checkpoint_path is empty.
+  int checkpoint_every = 0;
+  // Guards against resuming a checkpoint under different parameters: hash
+  // the workload configuration (Fnv1a64 of a config string works well).
+  std::uint64_t config_hash = 0;
+  RetryPolicy retry;
+  TrialBudget budget;
+  int num_workers = 0;  // 0 = hardware concurrency
+  // Injectable clock for wall budgets and backoff sleeps; null = the
+  // shared SteadyClock.
+  const Clock* clock = nullptr;
+  // Testing/soak hook: throw RunInterrupted after this many checkpoint
+  // writes if trials remain (0 = never).  Simulates preemption at a
+  // deterministic point.
+  int halt_after_checkpoints = 0;
+};
+
+template <typename Result>
+struct RunOutput {
+  // One final result per trial, in index order (abandoned trials keep
+  // their final attempt's result and are counted in the report).
+  std::vector<Result> results;
+  RunReport report;
+};
+
+// Runs `body(trial_index, attempt_rng)` resiliently.  The adapter bridges
+// the caller's Result type:
+//   std::string Encode(const Result&) const;           // for checkpoints
+//   Result Decode(std::string_view) const;             // loud on garbage
+//   TrialAssessment Assess(const Result&) const;       // verdict + rounds
+// Preconditions: num_trials >= 0, opts.retry.max_attempts >= 1,
+// opts.checkpoint_every >= 0, opts.halt_after_checkpoints >= 0.
+template <typename Body, typename Adapter,
+          typename Result = std::decay_t<std::invoke_result_t<Body&, int, Rng&>>>
+RunOutput<Result> ResilientTrials(int num_trials, Rng& rng, Body&& body,
+                                  const Adapter& adapter,
+                                  const ResilienceOptions& opts = {}) {
+  NB_REQUIRE(num_trials >= 0, "negative trial count");
+  NB_REQUIRE(opts.retry.max_attempts >= 1,
+             "retry.max_attempts must be >= 1 (1 = never retry)");
+  NB_REQUIRE(opts.checkpoint_every >= 0,
+             "checkpoint_every must be >= 0 (0 = one final checkpoint)");
+  NB_REQUIRE(opts.halt_after_checkpoints >= 0,
+             "halt_after_checkpoints must be >= 0 (0 = never halt)");
+  const Clock* clock = opts.clock ? opts.clock : SteadyClock::Instance();
+  const std::array<std::uint64_t, 4> entry_state = rng.SaveState();
+  const std::vector<Rng> trial_rngs = SplitTrialRngs(num_trials, rng);
+
+  std::vector<std::optional<Result>> slots(
+      static_cast<std::size_t>(num_trials));
+  std::vector<TrialLedger> ledgers(static_cast<std::size_t>(num_trials));
+
+  // Resume: decode completed trials from an existing checkpoint after
+  // verifying it belongs to THIS sweep (same config, same parent state,
+  // same trial count).
+  std::int64_t resumed = 0;
+  const bool checkpointing = !opts.checkpoint_path.empty();
+  if (checkpointing) {
+    if (std::optional<TrialCheckpoint> loaded =
+            LoadCheckpoint(opts.checkpoint_path)) {
+      if (loaded->config_hash != opts.config_hash) {
+        throw CheckpointError(
+            "config hash mismatch: " + opts.checkpoint_path +
+            " was written by a different workload configuration");
+      }
+      if (loaded->rng_state != entry_state) {
+        throw CheckpointError(
+            "rng state mismatch: " + opts.checkpoint_path +
+            " was written from a different parent seed/stream");
+      }
+      if (loaded->num_trials != num_trials) {
+        throw CheckpointError(
+            "trial count mismatch: " + opts.checkpoint_path + " holds " +
+            std::to_string(loaded->num_trials) + " trials, run wants " +
+            std::to_string(num_trials));
+      }
+      for (const TrialRecord& record : loaded->records) {
+        const auto index = static_cast<std::size_t>(record.trial_index);
+        slots[index].emplace(adapter.Decode(record.payload));
+        ledgers[index] = record.ledger;
+        ++resumed;
+      }
+    }
+  }
+
+  std::vector<int> pending;
+  for (int t = 0; t < num_trials; ++t) {
+    if (!slots[static_cast<std::size_t>(t)].has_value()) pending.push_back(t);
+  }
+
+  // One trial, start to final verdict: watchdog-classified attempts under
+  // the retry policy.  Pure per trial -- safe to run from worker threads.
+  auto run_one = [&](int t) -> std::pair<Result, TrialLedger> {
+    TrialLedger ledger;
+    for (int attempt = 0;; ++attempt) {
+      const std::int64_t backoff = BackoffMillis(opts.retry, attempt);
+      if (backoff > 0) clock->Sleep(backoff);
+      Rng attempt_rng =
+          PerturbedAttemptRng(trial_rngs[static_cast<std::size_t>(t)],
+                              attempt);
+      const std::int64_t start = clock->NowMillis();
+      std::optional<Result> result;
+      std::exception_ptr thrown;
+      try {
+        result.emplace(body(t, attempt_rng));
+      } catch (...) {
+        thrown = std::current_exception();
+      }
+      const std::int64_t elapsed = clock->NowMillis() - start;
+      TrialFailure failure = TrialFailure::kNone;
+      if (thrown) {
+        failure = TrialFailure::kException;
+      } else {
+        failure = ClassifyAttempt(adapter.Assess(*result), elapsed,
+                                  opts.budget);
+      }
+      ledger.attempts.push_back(AttemptRecord{failure, backoff});
+      if (failure == TrialFailure::kNone) {
+        return {std::move(*result), std::move(ledger)};
+      }
+      if (attempt + 1 >= opts.retry.max_attempts) {
+        // Retry budget exhausted.  A result-bearing failure (timeout or
+        // failed verdict) is kept and reported as abandoned; a trailing
+        // exception has nothing to keep and must stop the run loudly.
+        if (thrown) std::rethrow_exception(thrown);
+        ledger.abandoned = true;
+        return {std::move(*result), std::move(ledger)};
+      }
+    }
+  };
+
+  auto write_checkpoint = [&] {
+    TrialCheckpoint checkpoint;
+    checkpoint.config_hash = opts.config_hash;
+    checkpoint.rng_state = entry_state;
+    checkpoint.num_trials = num_trials;
+    for (int t = 0; t < num_trials; ++t) {
+      const auto index = static_cast<std::size_t>(t);
+      if (!slots[index].has_value()) continue;
+      checkpoint.records.push_back(TrialRecord{
+          t, ledgers[index], adapter.Encode(*slots[index])});
+    }
+    WriteCheckpointAtomic(opts.checkpoint_path, checkpoint);
+  };
+
+  const int batch_size =
+      checkpointing && opts.checkpoint_every > 0
+          ? opts.checkpoint_every
+          : (pending.empty() ? 1 : static_cast<int>(pending.size()));
+  std::int64_t checkpoints_written = 0;
+  for (std::size_t begin = 0; begin < pending.size();
+       begin += static_cast<std::size_t>(batch_size)) {
+    const std::size_t end =
+        std::min(begin + static_cast<std::size_t>(batch_size),
+                 pending.size());
+    std::vector<std::pair<Result, TrialLedger>> batch = ParallelForEach(
+        static_cast<int>(end - begin),
+        [&](int i) {
+          return run_one(pending[begin + static_cast<std::size_t>(i)]);
+        },
+        opts.num_workers);
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      const auto index = static_cast<std::size_t>(pending[begin + i]);
+      slots[index].emplace(std::move(batch[i].first));
+      ledgers[index] = std::move(batch[i].second);
+    }
+    if (checkpointing) {
+      write_checkpoint();
+      ++checkpoints_written;
+      if (opts.halt_after_checkpoints > 0 &&
+          checkpoints_written >= opts.halt_after_checkpoints &&
+          end < pending.size()) {
+        throw RunInterrupted(
+            "halted after " + std::to_string(checkpoints_written) +
+            " checkpoint(s) with " + std::to_string(pending.size() - end) +
+            " trial(s) left (resume from " + opts.checkpoint_path + ")");
+      }
+    }
+  }
+
+  RunOutput<Result> out;
+  out.report = ReportFromLedgers(ledgers);
+  out.report.resumed_trials = resumed;
+  out.report.checkpoints_written = checkpoints_written;
+  out.results.reserve(static_cast<std::size_t>(num_trials));
+  for (std::optional<Result>& slot : slots) {
+    out.results.push_back(std::move(*slot));
+  }
+  return out;
+}
+
+}  // namespace noisybeeps::resilience
+
+#endif  // NOISYBEEPS_RESILIENCE_RESILIENT_TRIALS_H_

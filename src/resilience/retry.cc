@@ -1,0 +1,50 @@
+#include "resilience/retry.h"
+
+#include <array>
+
+#include "util/require.h"
+
+namespace noisybeeps::resilience {
+namespace {
+
+// SplitMix64's finalizer (distinct constants from the Rng seed chain so a
+// perturbed stream never collides with a plain Split() child).
+std::uint64_t Mix(std::uint64_t z) {
+  z = (z ^ (z >> 33)) * 0xff51afd7ed558ccdULL;
+  z = (z ^ (z >> 33)) * 0xc4ceb9fe1a85ec53ULL;
+  return z ^ (z >> 33);
+}
+
+}  // namespace
+
+std::int64_t BackoffMillis(const RetryPolicy& policy, int attempt) {
+  NB_REQUIRE(attempt >= 0, "attempt index must be non-negative");
+  NB_REQUIRE(policy.base_backoff_millis >= 0 && policy.max_backoff_millis >= 0,
+             "backoff bounds must be non-negative");
+  if (attempt == 0 || policy.base_backoff_millis == 0) return 0;
+  std::int64_t backoff = policy.base_backoff_millis;
+  for (int a = 1; a < attempt; ++a) {
+    if (backoff >= policy.max_backoff_millis) break;
+    backoff *= 2;
+  }
+  return backoff < policy.max_backoff_millis ? backoff
+                                             : policy.max_backoff_millis;
+}
+
+Rng PerturbedAttemptRng(const Rng& base, int attempt) {
+  NB_REQUIRE(attempt >= 0, "attempt index must be non-negative");
+  if (attempt == 0) return base;
+  std::array<std::uint64_t, 4> state = base.SaveState();
+  const std::uint64_t salt =
+      Mix(static_cast<std::uint64_t>(attempt) * 0x9e3779b97f4a7c15ULL);
+  for (std::size_t w = 0; w < state.size(); ++w) {
+    state[w] = Mix(state[w] ^ (salt + w));
+  }
+  // Astronomically unlikely, but Restore() requires a non-zero state.
+  if (state[0] == 0 && state[1] == 0 && state[2] == 0 && state[3] == 0) {
+    state[0] = 0x9e3779b97f4a7c15ULL;
+  }
+  return Rng::Restore(state);
+}
+
+}  // namespace noisybeeps::resilience

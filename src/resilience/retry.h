@@ -1,0 +1,49 @@
+// Retry-with-backoff for transient trial failures.
+//
+// A trial whose attempt is rejected (failed verdict, exception, timeout)
+// is retried with a PERTURBED seed: attempt a of trial t draws from a
+// generator that is a pure function of (trial t's base rng state, a), so
+// retries are reproducible, independent across attempts, and -- crucially
+// -- attempt 0 uses the base generator unchanged, which keeps a
+// max_attempts=1 run bit-identical to plain ParallelTrials.
+//
+// The backoff schedule is deterministic (exponential, capped): attempt a
+// waits min(base * 2^(a-1), max) milliseconds.  In-process Monte Carlo
+// trials rarely need a real wait, so base_backoff_millis defaults to 0;
+// the schedule exists for callers whose failures are genuinely transient
+// in time (file IO, external services) and is recorded in the per-trial
+// ledger either way.
+#ifndef NOISYBEEPS_RESILIENCE_RETRY_H_
+#define NOISYBEEPS_RESILIENCE_RETRY_H_
+
+#include <cstdint>
+
+#include "util/rng.h"
+
+namespace noisybeeps::resilience {
+
+struct RetryPolicy {
+  // Total attempts per trial (1 = never retry).  Precondition (checked by
+  // the resilient engine): >= 1.
+  int max_attempts = 1;
+  // Backoff before attempt a (a >= 1): min(base * 2^(a-1), max).
+  std::int64_t base_backoff_millis = 0;
+  std::int64_t max_backoff_millis = 60'000;
+};
+
+// The deterministic backoff before `attempt` (0-based); 0 for attempt 0.
+// Preconditions: attempt >= 0, policy.base_backoff_millis >= 0,
+// policy.max_backoff_millis >= 0.
+[[nodiscard]] std::int64_t BackoffMillis(const RetryPolicy& policy,
+                                         int attempt);
+
+// The generator for attempt `attempt` of a trial whose base generator is
+// `base`: attempt 0 returns a copy of `base` (ParallelTrials
+// compatibility); attempt a >= 1 reseeds from a SplitMix64-style mix of
+// the base state and a, giving a decorrelated but reproducible stream.
+// Precondition: attempt >= 0.
+[[nodiscard]] Rng PerturbedAttemptRng(const Rng& base, int attempt);
+
+}  // namespace noisybeeps::resilience
+
+#endif  // NOISYBEEPS_RESILIENCE_RETRY_H_

@@ -9,6 +9,12 @@
 // counter; the per-trial result slots are pre-sized so there is no
 // cross-thread contention on anything but the counter.
 //
+// The engine is layered so the resilience wrapper (src/resilience/) can
+// reuse it on arbitrary index subsets without spawning threads of its own:
+//   SplitTrialRngs   derive the per-trial generators (the pure function)
+//   ParallelForEach  run body(i) for i in [0, count) across workers
+//   ParallelTrials   the composition most callers want
+//
 // This header is the ONLY place in the library that may spawn threads
 // (nblint rule raw-thread); tests/determinism_audit_test.cc holds the
 // guarantee above to account across representative workloads.
@@ -26,6 +32,74 @@
 #include "util/rng.h"
 
 namespace noisybeeps {
+
+// Derives one independent child generator per trial, advancing `rng` by
+// exactly num_trials splits.  trial_rngs[t] is a pure function of (rng's
+// state at entry, t) -- the root of the determinism contract below.
+// Precondition: num_trials >= 0.
+inline std::vector<Rng> SplitTrialRngs(int num_trials, Rng& rng) {
+  NB_REQUIRE(num_trials >= 0, "negative trial count");
+  std::vector<Rng> trial_rngs;
+  trial_rngs.reserve(static_cast<std::size_t>(num_trials));
+  for (int t = 0; t < num_trials; ++t) trial_rngs.push_back(rng.Split());
+  return trial_rngs;
+}
+
+// Runs `body(i)` for every i in [0, count) on up to `num_workers` threads
+// (0 = hardware concurrency) and returns the results in index order.
+// `body` is any callable of signature Result(int); Result must be
+// move-constructible.  The body must not touch shared mutable state (write
+// only through its own return value or captured per-index storage); under
+// that contract the returned vector is identical for every worker count.
+// Preconditions: count >= 0 and num_workers >= 0.
+template <typename Body,
+          typename Result = std::decay_t<std::invoke_result_t<Body&, int>>>
+std::vector<Result> ParallelForEach(int count, Body&& body,
+                                    int num_workers = 0) {
+  NB_REQUIRE(count >= 0, "negative trial count");
+  NB_REQUIRE(num_workers >= 0,
+             "num_workers must be >= 0 (0 = hardware concurrency); results "
+             "are bit-identical for every worker count");
+  if (count == 0) return {};
+
+  int workers = num_workers > 0
+                    ? num_workers
+                    : static_cast<int>(std::thread::hardware_concurrency());
+  if (workers < 1) workers = 1;
+  if (workers > count) workers = count;
+
+  if (workers == 1) {
+    std::vector<Result> results;
+    results.reserve(static_cast<std::size_t>(count));
+    for (int i = 0; i < count; ++i) {
+      results.push_back(body(i));
+    }
+    return results;
+  }
+
+  // Each slot is written by exactly one worker (the one that pulled its
+  // index off the counter) and read only after all joins: no data race,
+  // and no default-constructibility requirement on Result.
+  std::vector<std::optional<Result>> slots(static_cast<std::size_t>(count));
+  std::atomic<int> next{0};
+  auto worker = [&] {
+    for (int i = next.fetch_add(1, std::memory_order_relaxed); i < count;
+         i = next.fetch_add(1, std::memory_order_relaxed)) {
+      slots[static_cast<std::size_t>(i)].emplace(body(i));
+    }
+  };
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(workers));
+  for (int w = 0; w < workers; ++w) threads.emplace_back(worker);
+  for (std::thread& t : threads) t.join();
+
+  std::vector<Result> results;
+  results.reserve(static_cast<std::size_t>(count));
+  for (std::optional<Result>& slot : slots) {
+    results.push_back(std::move(*slot));
+  }
+  return results;
+}
 
 // Runs `body(trial_index, trial_rng)` for every trial in [0, num_trials),
 // on up to `num_workers` threads (0 = hardware concurrency).  `body` is
@@ -47,53 +121,12 @@ template <typename Body,
           typename Result = std::decay_t<std::invoke_result_t<Body&, int, Rng&>>>
 std::vector<Result> ParallelTrials(int num_trials, Rng& rng, Body&& body,
                                    int num_workers = 0) {
-  NB_REQUIRE(num_trials >= 0, "negative trial count");
   NB_REQUIRE(num_workers >= 0,
              "num_workers must be >= 0 (0 = hardware concurrency); results "
              "are bit-identical for every worker count");
-  std::vector<Rng> trial_rngs;
-  trial_rngs.reserve(static_cast<std::size_t>(num_trials));
-  for (int t = 0; t < num_trials; ++t) trial_rngs.push_back(rng.Split());
-
-  if (num_trials == 0) return {};
-
-  int workers = num_workers > 0
-                    ? num_workers
-                    : static_cast<int>(std::thread::hardware_concurrency());
-  if (workers < 1) workers = 1;
-  if (workers > num_trials) workers = num_trials;
-
-  if (workers == 1) {
-    std::vector<Result> results;
-    results.reserve(static_cast<std::size_t>(num_trials));
-    for (int t = 0; t < num_trials; ++t) {
-      results.push_back(body(t, trial_rngs[t]));
-    }
-    return results;
-  }
-
-  // Each slot is written by exactly one worker (the one that pulled its
-  // index off the counter) and read only after all joins: no data race,
-  // and no default-constructibility requirement on Result.
-  std::vector<std::optional<Result>> slots(static_cast<std::size_t>(num_trials));
-  std::atomic<int> next{0};
-  auto worker = [&] {
-    for (int t = next.fetch_add(1, std::memory_order_relaxed); t < num_trials;
-         t = next.fetch_add(1, std::memory_order_relaxed)) {
-      slots[static_cast<std::size_t>(t)].emplace(body(t, trial_rngs[t]));
-    }
-  };
-  std::vector<std::thread> threads;
-  threads.reserve(static_cast<std::size_t>(workers));
-  for (int w = 0; w < workers; ++w) threads.emplace_back(worker);
-  for (std::thread& t : threads) t.join();
-
-  std::vector<Result> results;
-  results.reserve(static_cast<std::size_t>(num_trials));
-  for (std::optional<Result>& slot : slots) {
-    results.push_back(std::move(*slot));
-  }
-  return results;
+  std::vector<Rng> trial_rngs = SplitTrialRngs(num_trials, rng);
+  return ParallelForEach(
+      num_trials, [&](int t) { return body(t, trial_rngs[t]); }, num_workers);
 }
 
 }  // namespace noisybeeps

@@ -61,6 +61,14 @@ bool Rng::Bernoulli(double p) {
   return UniformDouble() < p;
 }
 
+Rng Rng::Restore(const std::array<std::uint64_t, 4>& state) {
+  NB_REQUIRE(state[0] != 0 || state[1] != 0 || state[2] != 0 || state[3] != 0,
+             "all-zero state is the xoshiro256** fixed point");
+  Rng rng(0);
+  rng.state_ = state;
+  return rng;
+}
+
 Rng Rng::Split() {
   // Seed the child from fresh output; the child reseeds through SplitMix64
   // so parent and child trajectories are decorrelated.

@@ -39,6 +39,17 @@ class Rng {
   // from the parent's subsequent output (distinct SplitMix64 seed chain).
   Rng Split();
 
+  // The full 256-bit generator state, for checkpointing (resilience
+  // layer).  Restore(SaveState()) reconstructs a generator that emits the
+  // identical stream from this point on.
+  [[nodiscard]] std::array<std::uint64_t, 4> SaveState() const {
+    return state_;
+  }
+
+  // Rebuilds a generator from a saved state.
+  // Precondition: state is not all-zero (the xoshiro256** fixed point).
+  [[nodiscard]] static Rng Restore(const std::array<std::uint64_t, 4>& state);
+
  private:
   std::array<std::uint64_t, 4> state_;
 };

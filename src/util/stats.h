@@ -12,6 +12,13 @@ class RunningStat {
  public:
   void Add(double value);
 
+  // Folds `other` into this accumulator (Chan et al. pairwise combine), as
+  // if every sample added to `other` had been added here instead.  Count,
+  // min, and max merge exactly; mean and variance agree with one-shot
+  // accumulation up to floating-point rounding.  Needed to fold
+  // checkpointed partial aggregates (src/resilience/) back into one stat.
+  void Merge(const RunningStat& other);
+
   [[nodiscard]] std::size_t count() const { return count_; }
   [[nodiscard]] double mean() const { return mean_; }
   // Sample variance (n-1 denominator); 0 for fewer than two samples.
@@ -46,6 +53,12 @@ class SuccessCounter {
   void Record(bool success) {
     ++trials_;
     if (success) ++successes_;
+  }
+
+  // Folds `other` into this counter; exact and associative.
+  void Merge(const SuccessCounter& other) {
+    trials_ += other.trials_;
+    successes_ += other.successes_;
   }
 
   [[nodiscard]] std::size_t trials() const { return trials_; }

@@ -158,6 +158,50 @@ TEST(LintRawThread, ExemptsParallelHAndConcurrencyQueries) {
   EXPECT_TRUE(CheckRawThreads(Header("src/foo/bar.cc", query)).empty());
 }
 
+// --- checkpoint-atomicity --------------------------------------------------
+
+TEST(LintCheckpointAtomicity, FlagsDirectCheckpointStreamWrites) {
+  const std::string body =
+      "void Save(const std::string& checkpoint_path) {\n"
+      "  std::ofstream out(checkpoint_path, std::ios::binary);\n"
+      "  std::ofstream raw(\"run.nbckpt\");\n"
+      "}\n";
+  const auto findings =
+      CheckCheckpointAtomicity(Header("tools/sweep.cc", body));
+  ASSERT_EQ(findings.size(), 2u);
+  EXPECT_EQ(findings[0].rule_id, "checkpoint-atomicity");
+  EXPECT_EQ(findings[0].line, 2);
+  EXPECT_EQ(findings[1].line, 3);
+  EXPECT_NE(findings[0].message.find("WriteCheckpointAtomic"),
+            std::string::npos);
+}
+
+TEST(LintCheckpointAtomicity, ExemptsResilienceModuleAndTests) {
+  const std::string body =
+      "void W(const std::string& p) { std::ofstream out(p + \".ckpt\"); }\n";
+  EXPECT_TRUE(
+      CheckCheckpointAtomicity(Header("src/resilience/checkpoint.cc", body))
+          .empty());
+  // Negative tests write deliberately corrupt checkpoint files.
+  EXPECT_TRUE(CheckCheckpointAtomicity(
+                  Header("tests/resilience_checkpoint_test.cc", body))
+                  .empty());
+}
+
+TEST(LintCheckpointAtomicity, IgnoresUnrelatedStreamsAndComments) {
+  // ofstream writes of non-checkpoint files are fine...
+  const std::string csv = "std::ofstream out(\"results.csv\");\n";
+  EXPECT_TRUE(CheckCheckpointAtomicity(Header("bench/b.cc", csv)).empty());
+  // ...as is merely TALKING about checkpoints next to an ofstream.
+  const std::string comment =
+      "std::ofstream out(path);  // not a checkpoint: plain CSV\n";
+  EXPECT_TRUE(
+      CheckCheckpointAtomicity(Header("bench/b.cc", comment)).empty());
+  // And "ofstream" inside an identifier is not the stream type.
+  const std::string fake = "my_std__ofstream_checkpoint(path);\n";
+  EXPECT_TRUE(CheckCheckpointAtomicity(Header("bench/b.cc", fake)).empty());
+}
+
 // --- include-cycle ---------------------------------------------------------
 
 TEST(LintIncludeCycle, AcceptsAcyclicModuleGraph) {

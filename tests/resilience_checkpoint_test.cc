@@ -1,0 +1,293 @@
+// The TrialCheckpoint format: round-trips, atomic writes, and -- the
+// point of the exercise -- LOUD failures on every way a file on disk can
+// lie to us: wrong magic, truncation at any prefix, flipped bits, a
+// version from the future, and malformed record structure.  A checkpoint
+// that cannot be trusted must never be silently "resumed".
+#include "resilience/checkpoint.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "resilience/resilient_trials.h"
+#include "util/rng.h"
+
+namespace noisybeeps::resilience {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string TempPath(const std::string& name) {
+  return (fs::path(::testing::TempDir()) / name).string();
+}
+
+void WriteRawFile(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+TrialCheckpoint SampleCheckpoint() {
+  TrialCheckpoint checkpoint;
+  checkpoint.config_hash = Fnv1a64("task=demo n=8 eps=0.05");
+  checkpoint.rng_state = Rng(42).SaveState();
+  checkpoint.num_trials = 6;
+  TrialRecord first;
+  first.trial_index = 0;
+  first.ledger.attempts = {{TrialFailure::kNone, 0}};
+  first.payload = "alpha";
+  TrialRecord second;
+  second.trial_index = 2;
+  second.ledger.attempts = {{TrialFailure::kDegradedVerdict, 0},
+                            {TrialFailure::kTimeout, 5},
+                            {TrialFailure::kNone, 10}};
+  second.payload = std::string("raw\0bytes\xff", 10);
+  TrialRecord third;
+  third.trial_index = 5;
+  third.ledger.attempts = {{TrialFailure::kException, 0},
+                           {TrialFailure::kDegradedVerdict, 3}};
+  third.ledger.abandoned = true;
+  third.payload = "";
+  checkpoint.records = {first, second, third};
+  return checkpoint;
+}
+
+TEST(TrialCheckpoint, SerializeParseRoundTrip) {
+  const TrialCheckpoint original = SampleCheckpoint();
+  const TrialCheckpoint parsed = TrialCheckpoint::Parse(original.Serialize());
+  EXPECT_EQ(parsed, original);
+}
+
+TEST(TrialCheckpoint, WriteLoadRoundTripAndNoTempLeftBehind) {
+  const std::string path = TempPath("ckpt_roundtrip.nbckpt");
+  const TrialCheckpoint original = SampleCheckpoint();
+  WriteCheckpointAtomic(path, original);
+  EXPECT_FALSE(fs::exists(path + ".tmp"))
+      << "atomic write must rename the temp file away";
+  const auto loaded = LoadCheckpoint(path);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(*loaded, original);
+  fs::remove(path);
+}
+
+TEST(TrialCheckpoint, MissingFileIsFreshStartNotError) {
+  EXPECT_FALSE(LoadCheckpoint(TempPath("never_written.nbckpt")).has_value());
+}
+
+TEST(TrialCheckpoint, RejectsBadMagic) {
+  std::string bytes = SampleCheckpoint().Serialize();
+  bytes[0] = 'X';
+  try {
+    (void)TrialCheckpoint::Parse(bytes);
+    FAIL() << "bad magic must throw";
+  } catch (const CheckpointError& e) {
+    EXPECT_NE(std::string(e.what()).find("bad magic"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(TrialCheckpoint, RejectsTruncationAtEveryPrefix) {
+  const std::string bytes = SampleCheckpoint().Serialize();
+  // Every proper prefix must fail loudly: truncation, checksum mismatch,
+  // or (for prefixes that keep a valid trailing-8-byte window) a
+  // structural error -- never a quietly parsed partial checkpoint.
+  for (std::size_t len = 0; len < bytes.size(); ++len) {
+    EXPECT_THROW((void)TrialCheckpoint::Parse(bytes.substr(0, len)),
+                 CheckpointError)
+        << "prefix of " << len << " bytes parsed successfully";
+  }
+}
+
+TEST(TrialCheckpoint, RejectsEveryFlippedByte) {
+  const std::string bytes = SampleCheckpoint().Serialize();
+  for (std::size_t i = 0; i < bytes.size(); ++i) {
+    std::string corrupt = bytes;
+    corrupt[i] = static_cast<char>(corrupt[i] ^ 0x40);
+    EXPECT_THROW((void)TrialCheckpoint::Parse(corrupt), CheckpointError)
+        << "flipping byte " << i << " went undetected";
+  }
+}
+
+TEST(TrialCheckpoint, RejectsFutureVersion) {
+  // Rebuild the file with version+1 and a VALID checksum: the version
+  // check itself must fire, not the checksum.
+  TrialCheckpoint checkpoint = SampleCheckpoint();
+  std::string bytes = checkpoint.Serialize();
+  std::string body = bytes.substr(0, bytes.size() - 8);
+  body[8] = static_cast<char>(kCheckpointVersion + 1);  // version field LSB
+  std::string rewritten = body;
+  AppendU64(rewritten, Fnv1a64(body));
+  try {
+    (void)TrialCheckpoint::Parse(rewritten);
+    FAIL() << "future version must throw";
+  } catch (const CheckpointError& e) {
+    EXPECT_NE(std::string(e.what()).find("unsupported version"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(TrialCheckpoint, RejectsCorruptFileOnDiskLoudly) {
+  const std::string path = TempPath("ckpt_corrupt.nbckpt");
+  WriteCheckpointAtomic(path, SampleCheckpoint());
+  // Simulate bit rot: flip one payload byte in place.
+  std::string bytes;
+  {
+    std::ifstream in(path, std::ios::binary);
+    bytes.assign(std::istreambuf_iterator<char>(in),
+                 std::istreambuf_iterator<char>());
+  }
+  bytes[bytes.size() / 2] = static_cast<char>(bytes[bytes.size() / 2] ^ 1);
+  WriteRawFile(path, bytes);
+  EXPECT_THROW((void)LoadCheckpoint(path), CheckpointError);
+  fs::remove(path);
+}
+
+TEST(TrialCheckpoint, RejectsShortReadOnDisk) {
+  const std::string path = TempPath("ckpt_short.nbckpt");
+  const std::string bytes = SampleCheckpoint().Serialize();
+  WriteRawFile(path, bytes.substr(0, bytes.size() / 2));
+  try {
+    (void)LoadCheckpoint(path);
+    FAIL() << "short read must throw";
+  } catch (const CheckpointError& e) {
+    // The path is named so the operator knows which file rotted.
+    EXPECT_NE(std::string(e.what()).find("ckpt_short"), std::string::npos)
+        << e.what();
+  }
+  fs::remove(path);
+}
+
+// Structural defects with valid checksums: the record validator itself.
+std::string ReserializeWithChecksum(std::string body) {
+  AppendU64(body, Fnv1a64(body));
+  return body;
+}
+
+std::string HeaderBytes(const TrialCheckpoint& checkpoint,
+                        std::uint64_t num_records) {
+  std::string out;
+  AppendU64(out, 0x313054504b43424eULL);  // magic
+  AppendU64(out, kCheckpointVersion);
+  AppendU64(out, checkpoint.config_hash);
+  for (std::uint64_t word : checkpoint.rng_state) AppendU64(out, word);
+  AppendU64(out, static_cast<std::uint64_t>(checkpoint.num_trials));
+  AppendU64(out, num_records);
+  return out;
+}
+
+void AppendRecord(std::string& out, std::uint64_t index,
+                  std::uint64_t abandoned, std::uint64_t attempts) {
+  AppendU64(out, index);
+  AppendU64(out, abandoned);
+  AppendU64(out, attempts);
+  for (std::uint64_t a = 0; a < attempts; ++a) {
+    AppendU64(out, 0);  // failure = kNone
+    AppendU64(out, 0);  // backoff
+  }
+  AppendBytes(out, "p");
+}
+
+TEST(TrialCheckpoint, RejectsStructuralDefects) {
+  TrialCheckpoint base = SampleCheckpoint();
+  base.records.clear();
+
+  {  // record index beyond num_trials
+    std::string body = HeaderBytes(base, 1);
+    AppendRecord(body, 99, 0, 1);
+    EXPECT_THROW((void)TrialCheckpoint::Parse(ReserializeWithChecksum(body)),
+                 CheckpointError);
+  }
+  {  // duplicate / non-increasing indices
+    std::string body = HeaderBytes(base, 2);
+    AppendRecord(body, 1, 0, 1);
+    AppendRecord(body, 1, 0, 1);
+    EXPECT_THROW((void)TrialCheckpoint::Parse(ReserializeWithChecksum(body)),
+                 CheckpointError);
+  }
+  {  // more records than trials
+    std::string body = HeaderBytes(base, 7);
+    EXPECT_THROW((void)TrialCheckpoint::Parse(ReserializeWithChecksum(body)),
+                 CheckpointError);
+  }
+  {  // zero attempts
+    std::string body = HeaderBytes(base, 1);
+    AppendRecord(body, 0, 0, 0);
+    EXPECT_THROW((void)TrialCheckpoint::Parse(ReserializeWithChecksum(body)),
+                 CheckpointError);
+  }
+  {  // trailing garbage after the final record
+    std::string body = HeaderBytes(base, 1);
+    AppendRecord(body, 0, 0, 1);
+    AppendU64(body, 123);
+    EXPECT_THROW((void)TrialCheckpoint::Parse(ReserializeWithChecksum(body)),
+                 CheckpointError);
+  }
+}
+
+TEST(ByteReader, ThrowsOnShortReads) {
+  std::string bytes;
+  AppendU64(bytes, 7);
+  ByteReader reader(bytes);
+  EXPECT_EQ(reader.U64(), 7u);
+  EXPECT_TRUE(reader.AtEnd());
+  EXPECT_THROW((void)reader.U64(), CheckpointError);
+  std::string with_bytes;
+  AppendBytes(with_bytes, "hello");
+  ByteReader reader2(std::string_view(with_bytes).substr(0, 10));
+  EXPECT_THROW((void)reader2.Bytes(), CheckpointError);
+}
+
+// Resume-compatibility checks live in ResilientTrials: a checkpoint from a
+// different config / seed / trial count must refuse to resume.
+struct U64Adapter {
+  [[nodiscard]] std::string Encode(const std::uint64_t& v) const {
+    std::string out;
+    AppendU64(out, v);
+    return out;
+  }
+  [[nodiscard]] std::uint64_t Decode(std::string_view bytes) const {
+    ByteReader reader(bytes);
+    const std::uint64_t v = reader.U64();
+    return v;
+  }
+  [[nodiscard]] TrialAssessment Assess(const std::uint64_t&) const {
+    return {};
+  }
+};
+
+TEST(ResilientTrials, RefusesMismatchedResume) {
+  const std::string path = TempPath("ckpt_mismatch.nbckpt");
+  fs::remove(path);
+  const auto body = [](int t, Rng&) { return static_cast<std::uint64_t>(t); };
+  ResilienceOptions opts;
+  opts.checkpoint_path = path;
+  opts.config_hash = Fnv1a64("config-a");
+  {
+    Rng rng(5);
+    (void)ResilientTrials(4, rng, body, U64Adapter{}, opts);
+  }
+  {  // different config hash
+    Rng rng(5);
+    ResilienceOptions bad = opts;
+    bad.config_hash = Fnv1a64("config-b");
+    EXPECT_THROW((void)ResilientTrials(4, rng, body, U64Adapter{}, bad),
+                 CheckpointError);
+  }
+  {  // different seed (parent rng state)
+    Rng rng(6);
+    EXPECT_THROW((void)ResilientTrials(4, rng, body, U64Adapter{}, opts),
+                 CheckpointError);
+  }
+  {  // different trial count
+    Rng rng(5);
+    EXPECT_THROW((void)ResilientTrials(9, rng, body, U64Adapter{}, opts),
+                 CheckpointError);
+  }
+  fs::remove(path);
+}
+
+}  // namespace
+}  // namespace noisybeeps::resilience

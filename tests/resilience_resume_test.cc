@@ -1,0 +1,350 @@
+// The kill-and-resume reproducibility audit -- the acceptance criterion of
+// the resilience layer.  For three representative workloads (repetition
+// simulation, the hierarchical A_l scheme, and a faulted rewind run), an
+// interrupted run -- checkpoint written, RunInterrupted thrown mid-sweep,
+// then resumed in a fresh engine at a DIFFERENT worker count -- must
+// produce bit-identical per-trial results and an identical deterministic
+// RunReport fingerprint versus an uninterrupted baseline.  Trial
+// generators are pure functions of (parent state, index) and retry seeds
+// pure functions of (trial state, attempt), so no interrupt/resume
+// schedule may perturb a single bit.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "analysis/progress_measure.h"
+#include "channel/correlated.h"
+#include "coding/hierarchical_sim.h"
+#include "coding/repetition_sim.h"
+#include "coding/rewind_sim.h"
+#include "fault/fault_plan.h"
+#include "resilience/checkpoint.h"
+#include "resilience/resilient_trials.h"
+#include "tasks/input_set.h"
+#include "util/rng.h"
+
+namespace noisybeeps::resilience {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string TempPath(const std::string& name) {
+  return (fs::path(::testing::TempDir()) / name).string();
+}
+
+// One trial's digest: a full-result fingerprint plus the verdict ladder
+// mapped into the resilience taxonomy, so degraded/failed simulations
+// exercise the watchdog + report plumbing, not just the happy path.
+struct SimPoint {
+  std::uint64_t fingerprint = 0;
+  std::uint8_t status = 0;  // SimulationStatus as a wire byte
+  std::int64_t rounds = 0;
+
+  friend bool operator==(const SimPoint&, const SimPoint&) = default;
+};
+
+struct SimPointAdapter {
+  [[nodiscard]] std::string Encode(const SimPoint& p) const {
+    std::string out;
+    AppendU64(out, p.fingerprint);
+    AppendU64(out, p.status);
+    AppendU64(out, static_cast<std::uint64_t>(p.rounds));
+    return out;
+  }
+  [[nodiscard]] SimPoint Decode(std::string_view bytes) const {
+    ByteReader reader(bytes);
+    SimPoint p;
+    p.fingerprint = reader.U64();
+    p.status = static_cast<std::uint8_t>(reader.U64());
+    p.rounds = static_cast<std::int64_t>(reader.U64());
+    return p;
+  }
+  [[nodiscard]] TrialAssessment Assess(const SimPoint& p) const {
+    TrialAssessment assessment;
+    // kOk / kDegraded are accepted outcomes; kFailed would be retried.
+    // (These workloads never fail outright at the chosen noise levels, so
+    // the resume audit is not entangled with retry nondeterminism.)
+    if (p.status == 2) assessment.verdict = TrialVerdict::kFailed;
+    assessment.rounds_used = p.rounds;
+    return assessment;
+  }
+};
+
+// FNV-1a over the full SimulationResult (mirrors the determinism audit).
+class Fingerprint {
+ public:
+  void Mix(std::uint64_t v) {
+    for (int byte = 0; byte < 8; ++byte) {
+      hash_ = (hash_ ^ ((v >> (8 * byte)) & 0xff)) * 0x100000001b3ULL;
+    }
+  }
+  void MixBits(const BitString& bits) {
+    Mix(bits.size());
+    std::uint64_t word = 0;
+    for (std::size_t i = 0; i < bits.size(); ++i) {
+      word = (word << 1) | static_cast<std::uint64_t>(bits[i]);
+      if (i % 64 == 63) {
+        Mix(word);
+        word = 0;
+      }
+    }
+    Mix(word);
+  }
+  [[nodiscard]] std::uint64_t value() const { return hash_; }
+
+ private:
+  std::uint64_t hash_ = 1469598103934665603ULL;
+};
+
+SimPoint PointFromSimulation(const SimulationResult& result) {
+  Fingerprint fp;
+  for (const BitString& t : result.transcripts) fp.MixBits(t);
+  for (const PartyOutput& out : result.outputs) {
+    fp.Mix(out.size());
+    for (std::uint64_t word : out) fp.Mix(word);
+  }
+  fp.Mix(static_cast<std::uint64_t>(result.noisy_rounds_used));
+  fp.Mix(static_cast<std::uint64_t>(result.verdict.status));
+  for (int a : result.verdict.agreement) {
+    fp.Mix(static_cast<std::uint64_t>(a));
+  }
+  SimPoint p;
+  p.fingerprint = fp.value();
+  p.status = static_cast<std::uint8_t>(result.verdict.status);
+  p.rounds = result.noisy_rounds_used;
+  return p;
+}
+
+SimPoint RepetitionBody(int, Rng& rng) {
+  const InputSetInstance instance = SampleInputSet(8, rng);
+  const auto protocol = MakeInputSetProtocol(instance);
+  const CorrelatedNoisyChannel channel(0.1);
+  const RepetitionSimulator sim;
+  return PointFromSimulation(sim.Simulate(*protocol, channel, rng));
+}
+
+SimPoint HierarchicalBody(int, Rng& rng) {
+  const InputSetInstance instance = SampleInputSet(6, rng);
+  const auto protocol = MakeInputSetProtocol(instance);
+  const CorrelatedNoisyChannel channel(0.05);
+  const HierarchicalSimulator sim;
+  return PointFromSimulation(sim.Simulate(*protocol, channel, rng));
+}
+
+SimPoint FaultedRewindBody(int, Rng& rng) {
+  const InputSetInstance instance = SampleInputSet(8, rng);
+  const auto protocol = MakeInputSetProtocol(instance);
+  const CorrelatedNoisyChannel channel(0.05);
+  FaultPlan plan(99);
+  plan.CrashStop(1, 400)
+      .Babbler(2, 0, 200, 0.3)
+      .DeafReceiver(0, 50, 120)
+      .Sleepy(3, 10, 60)
+      .StuckBeeper(4, 5, 25);
+  RewindSimOptions options;
+  options.max_rounds = 20000;
+  const RewindSimulator sim(options);
+  return PointFromSimulation(sim.Simulate(*protocol, channel, plan, rng));
+}
+
+constexpr int kTrials = 12;
+
+// Uninterrupted baseline -> interrupted run (checkpoint, then a simulated
+// SIGKILL via RunInterrupted) -> resume in a FRESH engine at a different
+// worker count.  Results and deterministic report must be bit-identical.
+template <typename Body>
+void AuditKillAndResume(const char* name, std::uint64_t seed, Body&& body) {
+  const SimPointAdapter adapter;
+  const std::uint64_t config_hash = Fnv1a64(name);
+
+  ResilienceOptions baseline_opts;
+  baseline_opts.num_workers = 1;
+  Rng baseline_rng(seed);
+  const RunOutput<SimPoint> baseline =
+      ResilientTrials(kTrials, baseline_rng, body, adapter, baseline_opts);
+  const std::uint64_t baseline_parent_next = baseline_rng.NextU64();
+
+  const std::string path =
+      TempPath(std::string("resume_audit_") + name + ".nbckpt");
+  fs::remove(path);
+
+  // Phase 1: run with small checkpoint batches, killed after the second
+  // checkpoint with most of the sweep still pending.
+  ResilienceOptions interrupted_opts;
+  interrupted_opts.checkpoint_path = path;
+  interrupted_opts.checkpoint_every = 3;
+  interrupted_opts.config_hash = config_hash;
+  interrupted_opts.halt_after_checkpoints = 2;
+  interrupted_opts.num_workers = 2;
+  {
+    Rng rng(seed);
+    EXPECT_THROW(
+        (void)ResilientTrials(kTrials, rng, body, adapter, interrupted_opts),
+        RunInterrupted)
+        << name;
+  }
+  ASSERT_TRUE(fs::exists(path)) << name << ": no checkpoint survived the kill";
+
+  // Phase 2: fresh engine, fresh parent Rng, DIFFERENT worker count.
+  ResilienceOptions resume_opts = interrupted_opts;
+  resume_opts.halt_after_checkpoints = 0;
+  resume_opts.num_workers = 4;
+  Rng resume_rng(seed);
+  const RunOutput<SimPoint> resumed =
+      ResilientTrials(kTrials, resume_rng, body, adapter, resume_opts);
+
+  EXPECT_EQ(resumed.results, baseline.results)
+      << name << ": kill-and-resume changed per-trial results";
+  EXPECT_EQ(resumed.report.Fingerprint(), baseline.report.Fingerprint())
+      << name << ": deterministic report fields diverged after resume";
+  EXPECT_EQ(resumed.report.total_trials, baseline.report.total_trials);
+  EXPECT_EQ(resumed.report.completed, baseline.report.completed);
+  EXPECT_EQ(resumed.report.attempts, baseline.report.attempts);
+  // The resume DID restore prior work -- the audit is not vacuous.
+  EXPECT_EQ(resumed.report.resumed_trials, 6) << name;
+  EXPECT_GT(resumed.report.checkpoints_written, 0) << name;
+  // The parent stream advances identically (sweeps can continue past the
+  // resilient block without divergence).
+  EXPECT_EQ(resume_rng.NextU64(), baseline_parent_next) << name;
+
+  // Trials are genuinely stochastic: the audit would catch a real
+  // divergence.
+  int distinct = 0;
+  for (std::size_t i = 1; i < resumed.results.size(); ++i) {
+    distinct += resumed.results[i].fingerprint != resumed.results[0].fingerprint;
+  }
+  EXPECT_GT(distinct, 0) << name;
+  fs::remove(path);
+}
+
+TEST(KillAndResumeAudit, RepetitionSimulation) {
+  AuditKillAndResume("repetition-sim", 1101, RepetitionBody);
+}
+
+TEST(KillAndResumeAudit, HierarchicalSimulation) {
+  AuditKillAndResume("hierarchical-sim", 1303, HierarchicalBody);
+}
+
+TEST(KillAndResumeAudit, FaultedRewindSimulation) {
+  AuditKillAndResume("faulted-rewind-sim", 1707, FaultedRewindBody);
+}
+
+TEST(KillAndResumeAudit, ResumeAfterEveryPossibleKillPoint) {
+  // Exhaustive over a cheap workload: kill after checkpoint 1, 2, ...;
+  // every resume must land on the same bits.
+  const SimPointAdapter adapter;
+  const auto body = [](int t, Rng& rng) {
+    SimPoint p;
+    p.fingerprint = rng.NextU64() ^ static_cast<std::uint64_t>(t);
+    p.rounds = static_cast<std::int64_t>(rng.UniformInt(100));
+    return p;
+  };
+  constexpr int kCheapTrials = 20;
+  ResilienceOptions base;
+  base.num_workers = 1;
+  Rng baseline_rng(4242);
+  const RunOutput<SimPoint> baseline =
+      ResilientTrials(kCheapTrials, baseline_rng, body, adapter, base);
+
+  const std::string path = TempPath("resume_audit_every_kill.nbckpt");
+  for (int kill_after = 1; kill_after <= 6; ++kill_after) {
+    fs::remove(path);
+    ResilienceOptions opts;
+    opts.checkpoint_path = path;
+    opts.checkpoint_every = 3;
+    opts.config_hash = Fnv1a64("every-kill");
+    opts.halt_after_checkpoints = kill_after;
+    opts.num_workers = 3;
+    {
+      Rng rng(4242);
+      EXPECT_THROW((void)ResilientTrials(kCheapTrials, rng, body, adapter,
+                                         opts),
+                   RunInterrupted)
+          << kill_after;
+    }
+    opts.halt_after_checkpoints = 0;
+    opts.num_workers = kill_after % 4 + 1;  // vary the resume worker count
+    Rng rng(4242);
+    const RunOutput<SimPoint> resumed =
+        ResilientTrials(kCheapTrials, rng, body, adapter, opts);
+    EXPECT_EQ(resumed.results, baseline.results) << kill_after;
+    EXPECT_EQ(resumed.report.Fingerprint(), baseline.report.Fingerprint())
+        << kill_after;
+    EXPECT_EQ(resumed.report.resumed_trials, 3 * kill_after) << kill_after;
+  }
+  fs::remove(path);
+}
+
+TEST(KillAndResumeAudit, DoubleKillThenResume) {
+  // Kill, resume-and-kill again, then finish: checkpoints compose.
+  const SimPointAdapter adapter;
+  const auto body = [](int t, Rng& rng) {
+    SimPoint p;
+    p.fingerprint = rng.NextU64() + static_cast<std::uint64_t>(t);
+    return p;
+  };
+  constexpr int kCheapTrials = 16;
+  ResilienceOptions base;
+  base.num_workers = 1;
+  Rng baseline_rng(555);
+  const RunOutput<SimPoint> baseline =
+      ResilientTrials(kCheapTrials, baseline_rng, body, adapter, base);
+
+  const std::string path = TempPath("resume_audit_double_kill.nbckpt");
+  fs::remove(path);
+  ResilienceOptions opts;
+  opts.checkpoint_path = path;
+  opts.checkpoint_every = 2;
+  opts.config_hash = Fnv1a64("double-kill");
+  opts.halt_after_checkpoints = 1;
+  opts.num_workers = 2;
+  for (int kill = 0; kill < 2; ++kill) {
+    Rng rng(555);
+    EXPECT_THROW((void)ResilientTrials(kCheapTrials, rng, body, adapter, opts),
+                 RunInterrupted)
+        << kill;
+  }
+  opts.halt_after_checkpoints = 0;
+  opts.num_workers = 4;
+  Rng rng(555);
+  const RunOutput<SimPoint> resumed =
+      ResilientTrials(kCheapTrials, rng, body, adapter, opts);
+  EXPECT_EQ(resumed.results, baseline.results);
+  EXPECT_EQ(resumed.report.Fingerprint(), baseline.report.Fingerprint());
+  // First kill banked 2 trials, second banked 2 more.
+  EXPECT_EQ(resumed.report.resumed_trials, 4);
+  fs::remove(path);
+}
+
+TEST(KillAndResumeAudit, CompletedCheckpointShortCircuits) {
+  // Resuming a finished sweep re-runs nothing and reproduces the report's
+  // deterministic fields.
+  const SimPointAdapter adapter;
+  const auto body = [](int, Rng& rng) {
+    SimPoint p;
+    p.fingerprint = rng.NextU64();
+    return p;
+  };
+  const std::string path = TempPath("resume_audit_complete.nbckpt");
+  fs::remove(path);
+  ResilienceOptions opts;
+  opts.checkpoint_path = path;
+  opts.config_hash = Fnv1a64("complete");
+  opts.num_workers = 2;
+  Rng first_rng(808);
+  const RunOutput<SimPoint> first =
+      ResilientTrials(10, first_rng, body, adapter, opts);
+  Rng second_rng(808);
+  const RunOutput<SimPoint> second =
+      ResilientTrials(10, second_rng, body, adapter, opts);
+  EXPECT_EQ(second.results, first.results);
+  EXPECT_EQ(second.report.resumed_trials, 10);
+  EXPECT_EQ(second.report.Fingerprint(), first.report.Fingerprint());
+  fs::remove(path);
+}
+
+}  // namespace
+}  // namespace noisybeeps::resilience

@@ -1,0 +1,420 @@
+// The watchdog + retry half of the resilience layer: deterministic
+// backoff schedules, seed perturbation that leaves attempt 0 untouched,
+// failure classification under round/wall budgets, and the full
+// ResilientTrials retry loop (retry-then-succeed, abandonment, exception
+// propagation, report accounting).
+#include "resilience/retry.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <set>
+#include <stdexcept>
+#include <string>
+
+#include "resilience/checkpoint.h"
+#include "resilience/clock.h"
+#include "resilience/outcome.h"
+#include "resilience/resilient_trials.h"
+#include "util/parallel.h"
+#include "util/rng.h"
+
+namespace noisybeeps::resilience {
+namespace {
+
+TEST(BackoffMillis, FirstAttemptIsFree) {
+  RetryPolicy policy;
+  policy.base_backoff_millis = 100;
+  EXPECT_EQ(BackoffMillis(policy, 0), 0);
+}
+
+TEST(BackoffMillis, ExponentialWithCap) {
+  RetryPolicy policy;
+  policy.base_backoff_millis = 100;
+  policy.max_backoff_millis = 1000;
+  EXPECT_EQ(BackoffMillis(policy, 1), 100);
+  EXPECT_EQ(BackoffMillis(policy, 2), 200);
+  EXPECT_EQ(BackoffMillis(policy, 3), 400);
+  EXPECT_EQ(BackoffMillis(policy, 4), 800);
+  EXPECT_EQ(BackoffMillis(policy, 5), 1000);  // capped
+  EXPECT_EQ(BackoffMillis(policy, 20), 1000);
+}
+
+TEST(BackoffMillis, ZeroBaseMeansNoWaiting) {
+  RetryPolicy policy;  // base 0 is the in-process default
+  for (int a = 0; a < 5; ++a) EXPECT_EQ(BackoffMillis(policy, a), 0);
+}
+
+TEST(BackoffMillis, RejectsNegativeArguments) {
+  RetryPolicy policy;
+  EXPECT_THROW((void)BackoffMillis(policy, -1), std::invalid_argument);
+  policy.base_backoff_millis = -5;
+  EXPECT_THROW((void)BackoffMillis(policy, 1), std::invalid_argument);
+}
+
+TEST(PerturbedAttemptRng, AttemptZeroIsTheBaseStream) {
+  // The load-bearing compatibility guarantee: max_attempts=1 resilient
+  // runs are bit-identical to plain ParallelTrials.
+  Rng base(17);
+  (void)base.NextU64();
+  Rng copy = base;
+  Rng attempt0 = PerturbedAttemptRng(base, 0);
+  for (int i = 0; i < 32; ++i) EXPECT_EQ(attempt0.NextU64(), copy.NextU64());
+}
+
+TEST(PerturbedAttemptRng, LaterAttemptsAreDecorrelatedAndReproducible) {
+  Rng base(17);
+  std::set<std::uint64_t> firsts;
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    Rng a = PerturbedAttemptRng(base, attempt);
+    Rng b = PerturbedAttemptRng(base, attempt);
+    const std::uint64_t first = a.NextU64();
+    EXPECT_EQ(first, b.NextU64()) << attempt;  // reproducible
+    EXPECT_TRUE(firsts.insert(first).second) << attempt;  // decorrelated
+  }
+  EXPECT_THROW((void)PerturbedAttemptRng(base, -1), std::invalid_argument);
+}
+
+TEST(ClassifyAttempt, AcceptsOkAndDegradedUnderNoBudget) {
+  const TrialBudget unlimited;
+  EXPECT_EQ(ClassifyAttempt({TrialVerdict::kOk, 1000}, 99999, unlimited),
+            TrialFailure::kNone);
+  // Degradation is a reportable outcome, not a transient failure.
+  EXPECT_EQ(ClassifyAttempt({TrialVerdict::kDegraded, 0}, 0, unlimited),
+            TrialFailure::kNone);
+}
+
+TEST(ClassifyAttempt, FailedVerdictIsRetryable) {
+  EXPECT_EQ(ClassifyAttempt({TrialVerdict::kFailed, 0}, 0, {}),
+            TrialFailure::kDegradedVerdict);
+}
+
+TEST(ClassifyAttempt, RoundBudgetIsDeterministicTimeout) {
+  TrialBudget budget;
+  budget.max_rounds = 500;
+  EXPECT_EQ(ClassifyAttempt({TrialVerdict::kOk, 500}, 0, budget),
+            TrialFailure::kNone);  // at the budget is fine
+  EXPECT_EQ(ClassifyAttempt({TrialVerdict::kOk, 501}, 0, budget),
+            TrialFailure::kTimeout);
+  // The round budget outranks the verdict: a "passing" runaway is a hang.
+  EXPECT_EQ(ClassifyAttempt({TrialVerdict::kFailed, 501}, 0, budget),
+            TrialFailure::kTimeout);
+}
+
+TEST(ClassifyAttempt, WallBudgetUsesElapsedMillis) {
+  TrialBudget budget;
+  budget.max_wall_millis = 20;
+  EXPECT_EQ(ClassifyAttempt({TrialVerdict::kOk, 0}, 20, budget),
+            TrialFailure::kNone);
+  EXPECT_EQ(ClassifyAttempt({TrialVerdict::kOk, 0}, 21, budget),
+            TrialFailure::kTimeout);
+}
+
+// ---------------------------------------------------------------------------
+// ResilientTrials retry loop, driven by a value-classifying adapter: the
+// body returns one draw from its attempt rng, and the adapter fails any
+// value listed in `failed_values`.  Expected retry behaviour is computed
+// in the test by replaying PerturbedAttemptRng -- no hidden state.
+struct ValueAdapter {
+  std::set<std::uint64_t>* failed_values;
+
+  [[nodiscard]] std::string Encode(const std::uint64_t& v) const {
+    std::string out;
+    AppendU64(out, v);
+    return out;
+  }
+  [[nodiscard]] std::uint64_t Decode(std::string_view bytes) const {
+    ByteReader reader(bytes);
+    return reader.U64();
+  }
+  [[nodiscard]] TrialAssessment Assess(const std::uint64_t& v) const {
+    TrialAssessment assessment;
+    if (failed_values->count(v) > 0) assessment.verdict = TrialVerdict::kFailed;
+    return assessment;
+  }
+};
+
+std::uint64_t DrawBody(int, Rng& rng) { return rng.NextU64(); }
+
+// First draw of attempt `a` for trial `t` under parent seed `seed`.
+std::uint64_t AttemptValue(std::uint64_t seed, int num_trials, int t, int a) {
+  Rng parent(seed);
+  std::vector<Rng> rngs = SplitTrialRngs(num_trials, parent);
+  Rng attempt = PerturbedAttemptRng(rngs[static_cast<std::size_t>(t)], a);
+  return attempt.NextU64();
+}
+
+TEST(ResilientTrials, RetriesFailedVerdictsWithPerturbedSeeds) {
+  constexpr std::uint64_t kSeed = 123;
+  constexpr int kTrials = 4;
+  // Trials 1 and 3 fail their first attempt; their retry must land on the
+  // perturbed attempt-1 stream.
+  std::set<std::uint64_t> failed = {AttemptValue(kSeed, kTrials, 1, 0),
+                                    AttemptValue(kSeed, kTrials, 3, 0)};
+  ResilienceOptions opts;
+  opts.retry.max_attempts = 3;
+  Rng rng(kSeed);
+  const RunOutput<std::uint64_t> out =
+      ResilientTrials(kTrials, rng, DrawBody, ValueAdapter{&failed}, opts);
+  ASSERT_EQ(out.results.size(), 4u);
+  EXPECT_EQ(out.results[0], AttemptValue(kSeed, kTrials, 0, 0));
+  EXPECT_EQ(out.results[1], AttemptValue(kSeed, kTrials, 1, 1));
+  EXPECT_EQ(out.results[2], AttemptValue(kSeed, kTrials, 2, 0));
+  EXPECT_EQ(out.results[3], AttemptValue(kSeed, kTrials, 3, 1));
+  EXPECT_EQ(out.report.total_trials, 4);
+  EXPECT_EQ(out.report.completed, 4);
+  EXPECT_EQ(out.report.retried, 2);
+  EXPECT_EQ(out.report.abandoned, 0);
+  EXPECT_EQ(out.report.attempts, 6);
+  EXPECT_EQ(out.report.degraded_verdicts, 2);
+  EXPECT_EQ(out.report.timeouts, 0);
+  EXPECT_EQ(out.report.exceptions, 0);
+}
+
+TEST(ResilientTrials, AbandonsAfterRetryBudgetAndKeepsFinalResult) {
+  constexpr std::uint64_t kSeed = 31;
+  constexpr int kTrials = 2;
+  constexpr int kMaxAttempts = 3;
+  std::set<std::uint64_t> failed;
+  for (int a = 0; a < kMaxAttempts; ++a) {
+    failed.insert(AttemptValue(kSeed, kTrials, 0, a));
+  }
+  ResilienceOptions opts;
+  opts.retry.max_attempts = kMaxAttempts;
+  Rng rng(kSeed);
+  const RunOutput<std::uint64_t> out =
+      ResilientTrials(kTrials, rng, DrawBody, ValueAdapter{&failed}, opts);
+  // The final attempt's result is kept (abandoned, not dropped): the
+  // result vector always has one entry per trial.
+  EXPECT_EQ(out.results[0], AttemptValue(kSeed, kTrials, 0, kMaxAttempts - 1));
+  EXPECT_EQ(out.report.abandoned, 1);
+  EXPECT_EQ(out.report.completed, 1);
+  EXPECT_EQ(out.report.attempts, kMaxAttempts + 1);
+  EXPECT_EQ(out.report.degraded_verdicts, kMaxAttempts);
+}
+
+TEST(ResilientTrials, ExceptionIsClassifiedAndRetried) {
+  constexpr std::uint64_t kSeed = 77;
+  constexpr int kTrials = 3;
+  std::set<std::uint64_t> throw_on = {AttemptValue(kSeed, kTrials, 2, 0)};
+  const auto body = [&](int t, Rng& rng) -> std::uint64_t {
+    const std::uint64_t v = DrawBody(t, rng);
+    if (throw_on.count(v) > 0) throw std::runtime_error("flaky trial body");
+    return v;
+  };
+  std::set<std::uint64_t> no_failures;
+  ResilienceOptions opts;
+  opts.retry.max_attempts = 2;
+  Rng rng(kSeed);
+  const RunOutput<std::uint64_t> out =
+      ResilientTrials(kTrials, rng, body, ValueAdapter{&no_failures}, opts);
+  EXPECT_EQ(out.results[2], AttemptValue(kSeed, kTrials, 2, 1));
+  EXPECT_EQ(out.report.exceptions, 1);
+  EXPECT_EQ(out.report.retried, 1);
+  EXPECT_EQ(out.report.completed, 3);
+  EXPECT_EQ(out.report.abandoned, 0);
+}
+
+TEST(ResilientTrials, FinalAttemptExceptionPropagates) {
+  // A persistent crash must stop the run loudly -- there is no result to
+  // keep, and fabricating one would poison the sweep.
+  const auto body = [](int, Rng&) -> std::uint64_t {
+    throw std::runtime_error("always broken");
+  };
+  std::set<std::uint64_t> no_failures;
+  ResilienceOptions opts;
+  opts.retry.max_attempts = 2;
+  opts.num_workers = 1;
+  Rng rng(9);
+  EXPECT_THROW((void)ResilientTrials(2, rng, body, ValueAdapter{&no_failures},
+                                     opts),
+               std::runtime_error);
+}
+
+TEST(ResilientTrials, WallTimeoutRetriesUnderFakeClock) {
+  // The body burns 50 virtual ms on attempt 0 of every trial and runs
+  // instantly afterward; a 20ms wall budget classifies attempt 0 as a
+  // timeout and the retry succeeds.
+  FakeClock clock;
+  constexpr std::uint64_t kSeed = 5;
+  constexpr int kTrials = 2;
+  std::set<std::uint64_t> slow_values = {AttemptValue(kSeed, kTrials, 0, 0),
+                                         AttemptValue(kSeed, kTrials, 1, 0)};
+  const auto body = [&](int t, Rng& rng) {
+    const std::uint64_t v = DrawBody(t, rng);
+    if (slow_values.count(v) > 0) clock.Advance(50);
+    return v;
+  };
+  std::set<std::uint64_t> no_failures;
+  ResilienceOptions opts;
+  opts.retry.max_attempts = 2;
+  opts.budget.max_wall_millis = 20;
+  opts.clock = &clock;
+  opts.num_workers = 1;  // virtual elapsed time is per-run, not per-thread
+  Rng rng(kSeed);
+  const RunOutput<std::uint64_t> out =
+      ResilientTrials(kTrials, rng, body, ValueAdapter{&no_failures}, opts);
+  EXPECT_EQ(out.report.timeouts, 2);
+  EXPECT_EQ(out.report.retried, 2);
+  EXPECT_EQ(out.report.completed, 2);
+  EXPECT_EQ(out.results[0], AttemptValue(kSeed, kTrials, 0, 1));
+  EXPECT_EQ(out.results[1], AttemptValue(kSeed, kTrials, 1, 1));
+}
+
+TEST(ResilientTrials, RoundBudgetIsDeterministicWatchdog) {
+  // rounds_used = first draw % 100; budget 50.  Which trials blow the
+  // budget is a pure function of the seed -- the watchdog is reproducible.
+  struct RoundsAdapter {
+    [[nodiscard]] std::string Encode(const std::uint64_t& v) const {
+      std::string out;
+      AppendU64(out, v);
+      return out;
+    }
+    [[nodiscard]] std::uint64_t Decode(std::string_view bytes) const {
+      ByteReader reader(bytes);
+      return reader.U64();
+    }
+    [[nodiscard]] TrialAssessment Assess(const std::uint64_t& v) const {
+      return {TrialVerdict::kOk, static_cast<std::int64_t>(v % 100)};
+    }
+  };
+  ResilienceOptions opts;
+  opts.retry.max_attempts = 4;
+  opts.budget.max_rounds = 50;
+  RunReport first;
+  for (int run = 0; run < 2; ++run) {
+    Rng rng(2024);
+    const RunOutput<std::uint64_t> out =
+        ResilientTrials(40, rng, DrawBody, RoundsAdapter{}, opts);
+    EXPECT_GT(out.report.timeouts, 0) << "seed produced no over-budget draws";
+    EXPECT_EQ(out.report.completed + out.report.abandoned, 40);
+    if (run == 0) {
+      first = out.report;
+    } else {
+      EXPECT_EQ(out.report, first);  // bit-stable across repeat runs
+    }
+  }
+}
+
+TEST(ResilientTrials, BackoffIsRecordedViaFakeClockSleeps) {
+  FakeClock clock;
+  constexpr std::uint64_t kSeed = 88;
+  std::set<std::uint64_t> failed = {AttemptValue(kSeed, 1, 0, 0),
+                                    AttemptValue(kSeed, 1, 0, 1)};
+  ResilienceOptions opts;
+  opts.retry.max_attempts = 3;
+  opts.retry.base_backoff_millis = 10;
+  opts.clock = &clock;
+  opts.num_workers = 1;
+  Rng rng(kSeed);
+  const RunOutput<std::uint64_t> out =
+      ResilientTrials(1, rng, DrawBody, ValueAdapter{&failed}, opts);
+  EXPECT_EQ(out.report.attempts, 3);
+  // Slept 10ms before attempt 1 and 20ms before attempt 2.
+  EXPECT_EQ(clock.NowMillis(), 30);
+}
+
+TEST(ResilientTrials, MatchesParallelTrialsWhenRetriesDisabled) {
+  // With max_attempts=1 and no checkpoint, the resilient engine is a
+  // drop-in for ParallelTrials: identical results, identical parent
+  // advance.
+  const auto body = [](int t, Rng& r) { return r.NextU64() ^ t; };
+  Rng plain_rng(321);
+  const std::vector<std::uint64_t> plain =
+      ParallelTrials(32, plain_rng, body, 4);
+  std::set<std::uint64_t> no_failures;
+  Rng resilient_rng(321);
+  const RunOutput<std::uint64_t> out = ResilientTrials(
+      32, resilient_rng, body, ValueAdapter{&no_failures}, {});
+  EXPECT_EQ(out.results, plain);
+  EXPECT_EQ(plain_rng.NextU64(), resilient_rng.NextU64());
+  EXPECT_EQ(out.report.attempts, 32);
+  EXPECT_EQ(out.report.completed, 32);
+}
+
+TEST(ResilientTrials, RejectsBadOptions) {
+  const auto body = [](int, Rng&) -> std::uint64_t { return 0; };
+  std::set<std::uint64_t> no_failures;
+  const ValueAdapter adapter{&no_failures};
+  Rng rng(1);
+  ResilienceOptions opts;
+  opts.retry.max_attempts = 0;
+  EXPECT_THROW((void)ResilientTrials(1, rng, body, adapter, opts),
+               std::invalid_argument);
+  opts = {};
+  opts.checkpoint_every = -1;
+  EXPECT_THROW((void)ResilientTrials(1, rng, body, adapter, opts),
+               std::invalid_argument);
+  opts = {};
+  opts.halt_after_checkpoints = -1;
+  EXPECT_THROW((void)ResilientTrials(1, rng, body, adapter, opts),
+               std::invalid_argument);
+  EXPECT_THROW((void)ResilientTrials(-1, rng, body, adapter, {}),
+               std::invalid_argument);
+}
+
+TEST(RunReport, FingerprintIgnoresExecutionMetadata) {
+  RunReport a;
+  a.total_trials = 10;
+  a.completed = 9;
+  a.retried = 2;
+  a.abandoned = 1;
+  a.attempts = 13;
+  a.timeouts = 1;
+  a.degraded_verdicts = 3;
+  RunReport b = a;
+  b.resumed_trials = 7;        // differs between clean and resumed runs
+  b.checkpoints_written = 4;   // -- must not perturb the fingerprint
+  EXPECT_EQ(a.Fingerprint(), b.Fingerprint());
+  RunReport c = a;
+  c.completed = 8;
+  EXPECT_NE(a.Fingerprint(), c.Fingerprint());
+}
+
+TEST(RunReport, FormatIsOperatorReadable) {
+  RunReport report;
+  report.total_trials = 10;
+  report.completed = 9;
+  report.retried = 2;
+  report.abandoned = 1;
+  report.attempts = 13;
+  report.timeouts = 1;
+  report.degraded_verdicts = 3;
+  report.resumed_trials = 4;
+  report.checkpoints_written = 2;
+  EXPECT_EQ(FormatRunReport(report),
+            "completed=9/10 retried=2 abandoned=1 attempts=13 "
+            "failures[timeout=1 exception=0 degraded_verdict=3] "
+            "resumed=4 checkpoints=2");
+}
+
+TEST(ReportFromLedgers, CountsTaxonomy) {
+  std::vector<TrialLedger> ledgers(3);
+  ledgers[0].attempts = {{TrialFailure::kNone, 0}};
+  ledgers[1].attempts = {{TrialFailure::kTimeout, 0},
+                         {TrialFailure::kException, 5},
+                         {TrialFailure::kNone, 10}};
+  ledgers[2].attempts = {{TrialFailure::kDegradedVerdict, 0},
+                         {TrialFailure::kDegradedVerdict, 5}};
+  ledgers[2].abandoned = true;
+  const RunReport report = ReportFromLedgers(ledgers);
+  EXPECT_EQ(report.total_trials, 3);
+  EXPECT_EQ(report.completed, 2);
+  EXPECT_EQ(report.abandoned, 1);
+  EXPECT_EQ(report.retried, 2);
+  EXPECT_EQ(report.attempts, 6);
+  EXPECT_EQ(report.timeouts, 1);
+  EXPECT_EQ(report.exceptions, 1);
+  EXPECT_EQ(report.degraded_verdicts, 2);
+}
+
+TEST(TrialFailureName, NamesEveryKind) {
+  EXPECT_STREQ(TrialFailureName(TrialFailure::kNone), "none");
+  EXPECT_STREQ(TrialFailureName(TrialFailure::kTimeout), "timeout");
+  EXPECT_STREQ(TrialFailureName(TrialFailure::kException), "exception");
+  EXPECT_STREQ(TrialFailureName(TrialFailure::kDegradedVerdict),
+               "degraded_verdict");
+}
+
+}  // namespace
+}  // namespace noisybeeps::resilience

@@ -76,6 +76,34 @@ TEST(ParallelTrials, ZeroTrials) {
   EXPECT_THROW((void)ParallelTrials(1, rng, body, -2), std::invalid_argument);
 }
 
+TEST(ParallelForEach, RunsEveryIndexInOrder) {
+  const std::vector<int> results =
+      ParallelForEach(50, [](int i) { return i * 2; }, 4);
+  ASSERT_EQ(results.size(), 50u);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(results[i], i * 2);
+}
+
+TEST(ParallelForEach, RejectsBadArguments) {
+  const auto body = [](int i) { return i; };
+  EXPECT_TRUE(ParallelForEach(0, body).empty());
+  EXPECT_THROW((void)ParallelForEach(-1, body), std::invalid_argument);
+  EXPECT_THROW((void)ParallelForEach(1, body, -1), std::invalid_argument);
+}
+
+TEST(SplitTrialRngs, MatchesParallelTrialsStreams) {
+  // ParallelTrials == SplitTrialRngs + ParallelForEach by construction;
+  // the resilience layer depends on this decomposition staying exact.
+  Rng a(21);
+  Rng b(21);
+  const auto body = [](int t, Rng& r) { return r.NextU64() + t; };
+  const std::vector<std::uint64_t> via_trials = ParallelTrials(16, a, body, 3);
+  std::vector<Rng> rngs = SplitTrialRngs(16, b);
+  const std::vector<std::uint64_t> via_for_each = ParallelForEach(
+      16, [&](int t) { return body(t, rngs[t]); }, 3);
+  EXPECT_EQ(via_trials, via_for_each);
+  EXPECT_EQ(a.NextU64(), b.NextU64());
+}
+
 TEST(ParallelTrials, AggregatesLikeSerialLoop) {
   // A small Monte Carlo: estimate the mean of UniformDouble.
   Rng rng(11);

@@ -104,6 +104,82 @@ TEST(WilsonInterval, CoversTrueRate) {
   EXPECT_GT(covered, kExperiments * 0.90);
 }
 
+TEST(RunningStat, MergeMatchesOneShotAccumulation) {
+  Rng rng(33);
+  std::vector<double> values;
+  for (int i = 0; i < 900; ++i) values.push_back(rng.UniformDouble() * 40 - 7);
+  RunningStat one_shot;
+  for (double v : values) one_shot.Add(v);
+  // Fold three disjoint chunks -- the shape of checkpointed partial
+  // aggregates -- and compare against one-shot accumulation.
+  RunningStat merged;
+  for (int chunk = 0; chunk < 3; ++chunk) {
+    RunningStat part;
+    for (int i = chunk * 300; i < (chunk + 1) * 300; ++i) part.Add(values[i]);
+    merged.Merge(part);
+  }
+  EXPECT_EQ(merged.count(), one_shot.count());
+  EXPECT_DOUBLE_EQ(merged.min(), one_shot.min());
+  EXPECT_DOUBLE_EQ(merged.max(), one_shot.max());
+  EXPECT_NEAR(merged.mean(), one_shot.mean(), 1e-9);
+  EXPECT_NEAR(merged.variance(), one_shot.variance(), 1e-9);
+}
+
+TEST(RunningStat, MergeIsAssociative) {
+  Rng rng(34);
+  RunningStat a, b, c;
+  for (int i = 0; i < 100; ++i) a.Add(rng.UniformDouble());
+  for (int i = 0; i < 57; ++i) b.Add(rng.UniformDouble() * 3 + 1);
+  for (int i = 0; i < 211; ++i) c.Add(rng.UniformDouble() * 9 - 5);
+  RunningStat left = a;
+  left.Merge(b);
+  left.Merge(c);
+  RunningStat bc = b;
+  bc.Merge(c);
+  RunningStat right = a;
+  right.Merge(bc);
+  EXPECT_EQ(left.count(), right.count());
+  EXPECT_DOUBLE_EQ(left.min(), right.min());
+  EXPECT_DOUBLE_EQ(left.max(), right.max());
+  EXPECT_NEAR(left.mean(), right.mean(), 1e-12);
+  EXPECT_NEAR(left.variance(), right.variance(), 1e-9);
+}
+
+TEST(RunningStat, MergeWithEmptyIsIdentity) {
+  RunningStat stat;
+  for (double v : {1.0, 2.0, 6.0}) stat.Add(v);
+  RunningStat empty;
+  stat.Merge(empty);
+  EXPECT_EQ(stat.count(), 3u);
+  EXPECT_DOUBLE_EQ(stat.mean(), 3.0);
+  RunningStat other;
+  other.Merge(stat);
+  EXPECT_EQ(other.count(), 3u);
+  EXPECT_DOUBLE_EQ(other.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(other.min(), 1.0);
+  EXPECT_DOUBLE_EQ(other.max(), 6.0);
+}
+
+TEST(SuccessCounter, MergeMatchesOneShotAndAssociates) {
+  SuccessCounter one_shot, a, b, c;
+  for (int i = 0; i < 30; ++i) {
+    const bool success = i % 3 == 0;
+    one_shot.Record(success);
+    (i < 10 ? a : i < 17 ? b : c).Record(success);
+  }
+  SuccessCounter left = a;
+  left.Merge(b);
+  left.Merge(c);
+  SuccessCounter bc = b;
+  bc.Merge(c);
+  SuccessCounter right = a;
+  right.Merge(bc);
+  EXPECT_EQ(left.trials(), one_shot.trials());
+  EXPECT_EQ(left.successes(), one_shot.successes());
+  EXPECT_EQ(right.trials(), one_shot.trials());
+  EXPECT_EQ(right.successes(), one_shot.successes());
+}
+
 TEST(SuccessCounter, TracksRateAndInterval) {
   SuccessCounter counter;
   EXPECT_DOUBLE_EQ(counter.rate(), 0.0);

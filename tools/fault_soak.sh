@@ -1,44 +1,124 @@
 #!/usr/bin/env bash
-# Seeded fault-soak: drive nbsim over a fixed seed x fault-plan matrix under
-# whatever sanitizer the caller built with.  A faulted run may legitimately
-# lose (exit 1: success rate <= 50% when parties misbehave), so both 0 and 1
-# are accepted; what the soak catches is sanitizer reports (nonzero beyond 1),
-# crashes, and hangs (the strict per-run timeout).
+# Seeded soak for the simulation stack, in two parts:
 #
-# Usage: tools/fault_soak.sh <path-to-nbsim>
+#   faults  -- drive nbsim over a fixed seed x fault-plan matrix under
+#              whatever sanitizer the caller built with.  A faulted run may
+#              legitimately lose (exit 1: success rate <= 50% when parties
+#              misbehave), so both 0 and 1 are accepted; what the soak
+#              catches is sanitizer reports (nonzero beyond 1), crashes,
+#              and hangs (the strict per-run timeout).
+#   resume  -- kill-and-resume reproducibility: for each workload, run
+#              once uninterrupted, then run with checkpointing and
+#              --halt-after so the process dies mid-sweep (exit 3), then
+#              resume from the checkpoint at a DIFFERENT worker count.
+#              The resumed run must report the exact fingerprint of the
+#              uninterrupted one; any divergence fails loudly.
+#
+# Usage: tools/fault_soak.sh <path-to-nbsim> [faults|resume|all]
 set -u
 
-nbsim="${1:?usage: fault_soak.sh <path-to-nbsim>}"
+nbsim="${1:?usage: fault_soak.sh <path-to-nbsim> [faults|resume|all]}"
+mode="${2:-all}"
 timeout_s=120
 failures=0
 
-plans=(
-  'crash:1@200'
-  'sleepy:0@100-400;sleepy:1@150-450'
-  'stuck:2@50-90'
-  'babble:3@0-500:0.3'
-  'deaf:0@0-*'
-  'crash:1@300;babble:2@0-200:0.5;deaf:3@0-*'
-)
-
-for seed in 1 2 3; do
-  for plan in "${plans[@]}"; do
-    for sim in repetition rewind hierarchical; do
-      cmd=("$nbsim" --task=input_set --channel=correlated --eps=0.05
-           --sim="$sim" --n=8 --trials=3 --seed="$seed"
-           --fault-plan="$plan" --fault-seed="$seed")
-      timeout "$timeout_s" "${cmd[@]}" > /dev/null
-      rc=$?
-      if [ "$rc" -gt 1 ]; then
-        echo "FAULT-SOAK FAILURE (rc=$rc): ${cmd[*]}"
-        failures=$((failures + 1))
-      fi
+run_faults() {
+  local plans=(
+    'crash:1@200'
+    'sleepy:0@100-400;sleepy:1@150-450'
+    'stuck:2@50-90'
+    'babble:3@0-500:0.3'
+    'deaf:0@0-*'
+    'crash:1@300;babble:2@0-200:0.5;deaf:3@0-*'
+  )
+  for seed in 1 2 3; do
+    for plan in "${plans[@]}"; do
+      for sim in repetition rewind hierarchical; do
+        local cmd=("$nbsim" --task=input_set --channel=correlated --eps=0.05
+                   --sim="$sim" --n=8 --trials=3 --seed="$seed"
+                   --fault-plan="$plan" --fault-seed="$seed")
+        timeout "$timeout_s" "${cmd[@]}" > /dev/null
+        local rc=$?
+        if [ "$rc" -gt 1 ]; then
+          echo "FAULT-SOAK FAILURE (rc=$rc): ${cmd[*]}"
+          failures=$((failures + 1))
+        fi
+      done
     done
   done
-done
+}
+
+# Prints the "fingerprint" field of an nbsim human-format run.
+fingerprint_of() {
+  awk '/^  fingerprint / { print $2 }'
+}
+
+# One kill-and-resume round trip.  Arguments: a label followed by the
+# workload's nbsim flags.  Clean run at 1 worker; interrupted run at 2
+# workers; resume at 4 workers -- the fingerprints must all agree.
+check_resume() {
+  local label="$1"; shift
+  local ckpt
+  ckpt="$(mktemp -t nbsoak.XXXXXX.nbckpt)"
+  rm -f "$ckpt"  # nbsim must see a fresh path, not an empty file
+
+  local clean interrupted resumed rc
+  clean="$(timeout "$timeout_s" "$nbsim" "$@" --workers=1 \
+             | fingerprint_of)"
+  if [ -z "$clean" ]; then
+    echo "RESUME-SOAK FAILURE ($label): clean run produced no fingerprint"
+    failures=$((failures + 1)); rm -f "$ckpt" "$ckpt.tmp"; return
+  fi
+
+  timeout "$timeout_s" "$nbsim" "$@" --workers=2 \
+      --checkpoint="$ckpt" --checkpoint-every=2 --halt-after=1 > /dev/null
+  rc=$?
+  if [ "$rc" -ne 3 ]; then
+    echo "RESUME-SOAK FAILURE ($label): expected interrupt exit 3, got $rc"
+    failures=$((failures + 1)); rm -f "$ckpt" "$ckpt.tmp"; return
+  fi
+  if [ ! -s "$ckpt" ]; then
+    echo "RESUME-SOAK FAILURE ($label): interrupt left no checkpoint"
+    failures=$((failures + 1)); rm -f "$ckpt" "$ckpt.tmp"; return
+  fi
+  if [ -e "$ckpt.tmp" ]; then
+    echo "RESUME-SOAK FAILURE ($label): torn temp file $ckpt.tmp left behind"
+    failures=$((failures + 1)); rm -f "$ckpt" "$ckpt.tmp"; return
+  fi
+
+  resumed="$(timeout "$timeout_s" "$nbsim" "$@" --workers=4 \
+               --checkpoint="$ckpt" --checkpoint-every=2 | fingerprint_of)"
+  if [ "$resumed" != "$clean" ]; then
+    echo "RESUME-SOAK FAILURE ($label): resumed fingerprint $resumed" \
+         "diverges from uninterrupted $clean"
+    failures=$((failures + 1)); rm -f "$ckpt" "$ckpt.tmp"; return
+  fi
+  echo "resume soak: $label fingerprint $clean reproduced"
+  rm -f "$ckpt" "$ckpt.tmp"
+}
+
+run_resume() {
+  check_resume "repetition/correlated" \
+      --task=input_set --channel=correlated --eps=0.05 --sim=repetition \
+      --n=8 --trials=9 --seed=11
+  check_resume "hierarchical/correlated" \
+      --task=input_set --channel=correlated --eps=0.05 --sim=hierarchical \
+      --n=6 --trials=8 --seed=12
+  check_resume "rewind/faulted/retries" \
+      --task=input_set --channel=correlated --eps=0.05 --sim=rewind \
+      --n=8 --trials=8 --seed=13 --fault-plan='babble:3@0-200:0.3' \
+      --fault-seed=13 --max-attempts=2 --trial-round-budget=200000
+}
+
+case "$mode" in
+  faults) run_faults ;;
+  resume) run_resume ;;
+  all) run_faults; run_resume ;;
+  *) echo "unknown mode '$mode' (want faults|resume|all)"; exit 2 ;;
+esac
 
 if [ "$failures" -gt 0 ]; then
   echo "fault soak: $failures failing configuration(s)"
   exit 1
 fi
-echo "fault soak: all configurations clean"
+echo "fault soak ($mode): all configurations clean"

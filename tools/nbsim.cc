@@ -17,13 +17,26 @@
 // ("crash:3@100;babble:2@0-50:0.7") or @path/to/plan.csv; --fault-seed
 // drives the babbler streams.  Faulted runs additionally report the
 // ok/degraded/failed verdict breakdown.
+//
+// Resilience (docs/RESILIENCE.md): trials run through ResilientTrials, so
+// a sweep can checkpoint (--checkpoint run.nbckpt --checkpoint-every K),
+// be killed, and resume bit-identically at any --workers count; hung
+// trials are cut off by --trial-round-budget / --trial-timeout-ms, and
+// transient failures retried with --max-attempts.  Every run ends with a
+// RunReport line and a results fingerprint (identical across any
+// interrupt/resume schedule).  Exit 3 = interrupted via --halt-after (the
+// deterministic kill used by tools/fault_soak.sh).
 #include <cstdio>
 #include <fstream>
 #include <functional>
 #include <iostream>
+#include <map>
 #include <memory>
+#include <sstream>
+#include <string_view>
 
 #include "fault/fault_plan.h"
+#include "resilience/resilient_trials.h"
 
 #include "channel/burst.h"
 #include "channel/collision.h"
@@ -182,6 +195,56 @@ std::unique_ptr<Simulator> MakeSimulator(const std::string& sim,
   throw std::invalid_argument("unknown --sim: " + sim);
 }
 
+// One trial's distilled outcome: everything the end-of-run aggregation
+// needs, in a form the checkpoint codec can round-trip byte-exactly.
+struct TrialPoint {
+  bool success = false;
+  std::uint8_t status = 0;  // SimulationStatus as a wire byte
+  std::int64_t rounds = 0;
+  double blowup = 0;
+  std::map<std::string, std::int64_t> phases;
+};
+
+struct TrialPointAdapter {
+  [[nodiscard]] std::string Encode(const TrialPoint& p) const {
+    std::string out;
+    resilience::AppendU64(out, p.success ? 1 : 0);
+    resilience::AppendU64(out, p.status);
+    resilience::AppendU64(out, static_cast<std::uint64_t>(p.rounds));
+    resilience::AppendF64(out, p.blowup);
+    resilience::AppendU64(out, p.phases.size());
+    for (const auto& [phase, count] : p.phases) {
+      resilience::AppendBytes(out, phase);
+      resilience::AppendU64(out, static_cast<std::uint64_t>(count));
+    }
+    return out;
+  }
+  [[nodiscard]] TrialPoint Decode(std::string_view bytes) const {
+    resilience::ByteReader reader(bytes);
+    TrialPoint p;
+    p.success = reader.U64() != 0;
+    p.status = static_cast<std::uint8_t>(reader.U64());
+    p.rounds = static_cast<std::int64_t>(reader.U64());
+    p.blowup = reader.F64();
+    const std::uint64_t num_phases = reader.U64();
+    for (std::uint64_t i = 0; i < num_phases; ++i) {
+      const std::string phase(reader.Bytes());
+      p.phases[phase] = static_cast<std::int64_t>(reader.U64());
+    }
+    return p;
+  }
+  [[nodiscard]] resilience::TrialAssessment Assess(const TrialPoint& p) const {
+    resilience::TrialAssessment assessment;
+    // The graceful-degradation ladder maps directly: a kFailed simulation
+    // verdict is retried (with --max-attempts > 1), kDegraded is kept as
+    // a reportable outcome.  The task-level judge does NOT drive retries:
+    // an unlucky-noise failure is a legitimate sample, not a transient.
+    if (p.status == 2) assessment.verdict = resilience::TrialVerdict::kFailed;
+    assessment.rounds_used = p.rounds;
+    return assessment;
+  }
+};
+
 FaultPlan MakeFaultPlan(const std::string& text, std::uint64_t fault_seed) {
   if (text.empty()) return FaultPlan();
   if (text.front() == '@') {
@@ -202,13 +265,19 @@ int Run(int argc, char** argv) {
         "nbsim --task=<task> --channel=<channel> --sim=<sim> [--n N]\n"
         "      [--eps E] [--trials K] [--seed S] [--csv]\n"
         "      [--fault-plan=PLAN|@file.csv] [--fault-seed S]\n"
+        "      [--checkpoint=PATH] [--checkpoint-every K] [--halt-after N]\n"
+        "      [--workers W] [--max-attempts A] [--retry-backoff-ms B]\n"
+        "      [--trial-round-budget R] [--trial-timeout-ms T]\n"
         "tasks: input_set bit_exchange leader counting adaptive or_vector "
         "random\n"
         "channels: noiseless correlated up down independent burst collision\n"
         "sims: raw repetition rewind rewind_down hierarchical "
         "hierarchical_down scheduled (bit_exchange only)\n"
         "fault plan grammar: kind:party@first[-last][:prob] joined by ';'\n"
-        "  kinds: crash sleepy stuck babble deaf (see docs/FAULTS.md)");
+        "  kinds: crash sleepy stuck babble deaf (see docs/FAULTS.md)\n"
+        "resilience: a killed checkpointed run resumes bit-identically at\n"
+        "  any --workers count (docs/RESILIENCE.md); exit 3 = halted at a\n"
+        "  checkpoint via --halt-after");
     return 0;
   }
   const std::string task = flags.GetString("task", "input_set");
@@ -223,6 +292,16 @@ int Run(int argc, char** argv) {
   const std::string fault_plan_text = flags.GetString("fault-plan", "");
   const std::uint64_t fault_seed =
       static_cast<std::uint64_t>(flags.GetInt("fault-seed", 0));
+  const std::string checkpoint_path = flags.GetString("checkpoint", "");
+  const int checkpoint_every =
+      static_cast<int>(flags.GetInt("checkpoint-every", 5));
+  const int halt_after = static_cast<int>(flags.GetInt("halt-after", 0));
+  const int workers = static_cast<int>(flags.GetInt("workers", 0));
+  const int max_attempts = static_cast<int>(flags.GetInt("max-attempts", 1));
+  const std::int64_t retry_backoff_ms = flags.GetInt("retry-backoff-ms", 0);
+  const std::int64_t trial_round_budget =
+      flags.GetInt("trial-round-budget", 0);
+  const std::int64_t trial_timeout_ms = flags.GetInt("trial-timeout-ms", 0);
   for (const std::string& unknown : flags.UnconsumedFlags()) {
     std::cerr << "unknown flag: --" << unknown << " (try --help)\n";
     return 2;
@@ -237,36 +316,89 @@ int Run(int argc, char** argv) {
   const std::unique_ptr<Channel> channel = MakeChannel(channel_name, eps);
   const std::unique_ptr<Simulator> sim = MakeSimulator(sim_name, task, n);
 
+  // The configuration hash guards --checkpoint resumes: a checkpoint is
+  // only resumed under the exact workload that wrote it (seed and trial
+  // count are checked separately, from the parent Rng state).
+  std::ostringstream config;
+  config << "task=" << task << "|channel=" << channel_name
+         << "|sim=" << sim_name << "|n=" << n << "|eps=" << eps
+         << "|faults=" << faults.ToString() << "|fault_seed=" << fault_seed
+         << "|max_attempts=" << max_attempts
+         << "|round_budget=" << trial_round_budget;
+
+  resilience::ResilienceOptions opts;
+  opts.checkpoint_path = checkpoint_path;
+  opts.checkpoint_every = checkpoint_every;
+  opts.config_hash = resilience::Fnv1a64(config.str());
+  opts.retry.max_attempts = max_attempts;
+  opts.retry.base_backoff_millis = retry_backoff_ms;
+  opts.budget.max_rounds = trial_round_budget;
+  opts.budget.max_wall_millis = trial_timeout_ms;
+  opts.num_workers = workers;
+  opts.halt_after_checkpoints = halt_after;
+
   Rng rng(seed);
+  const auto body = [&](int, Rng& trial_rng) {
+    const Workload workload = MakeWorkload(task, n, trial_rng);
+    const SimulationResult result =
+        sim->Simulate(*workload.protocol, *channel, faults, trial_rng);
+    TrialPoint point;
+    point.success = !result.budget_exhausted() && workload.judge(result);
+    point.status = static_cast<std::uint8_t>(result.verdict.status);
+    point.rounds = result.noisy_rounds_used;
+    point.blowup = static_cast<double>(result.noisy_rounds_used) /
+                   std::max(1, workload.protocol->length());
+    for (const auto& [phase, count] : result.phase_rounds) {
+      point.phases[phase] += count;
+    }
+    return point;
+  };
+  const TrialPointAdapter adapter;
+  const resilience::RunOutput<TrialPoint> run =
+      resilience::ResilientTrials(trials, rng, body, adapter, opts);
+
   SuccessCounter counter;
   RunningStat rounds;
   RunningStat blowup;
   std::map<std::string, std::int64_t> phases;
   int verdicts[3] = {0, 0, 0};  // kOk, kDegraded, kFailed
-  for (int t = 0; t < trials; ++t) {
-    const Workload workload = MakeWorkload(task, n, rng);
-    const SimulationResult result =
-        sim->Simulate(*workload.protocol, *channel, faults, rng);
-    counter.Record(!result.budget_exhausted() && workload.judge(result));
-    ++verdicts[static_cast<int>(result.verdict.status)];
-    rounds.Add(static_cast<double>(result.noisy_rounds_used));
-    blowup.Add(static_cast<double>(result.noisy_rounds_used) /
-               std::max(1, workload.protocol->length()));
-    for (const auto& [phase, count] : result.phase_rounds) {
-      phases[phase] += count;
-    }
+  std::string encoded_results;
+  for (const TrialPoint& point : run.results) {
+    counter.Record(point.success);
+    ++verdicts[point.status < 3 ? point.status : 2];
+    rounds.Add(static_cast<double>(point.rounds));
+    blowup.Add(point.blowup);
+    for (const auto& [phase, count] : point.phases) phases[phase] += count;
+    encoded_results += adapter.Encode(point);
   }
+  // Bit-stable across every interrupt/resume schedule and worker count;
+  // tools/fault_soak.sh compares this between clean and resumed runs.
+  const std::uint64_t results_fingerprint =
+      resilience::Fnv1a64(encoded_results);
 
   const WilsonInterval ci = counter.interval();
   if (csv) {
     std::printf(
         "task,channel,sim,n,eps,trials,success_rate,ci_low,ci_high,"
-        "mean_rounds,mean_blowup,fault_plan,ok,degraded,failed\n");
-    std::printf("%s,%s,%s,%d,%g,%d,%.4f,%.4f,%.4f,%.1f,%.2f,%s,%d,%d,%d\n",
-                task.c_str(), channel_name.c_str(), sim_name.c_str(), n, eps,
-                trials, counter.rate(), ci.low, ci.high, rounds.mean(),
-                blowup.mean(), faults.ToString().c_str(), verdicts[0],
-                verdicts[1], verdicts[2]);
+        "mean_rounds,mean_blowup,fault_plan,ok,degraded,failed,"
+        "completed,retried,abandoned,attempts,timeouts,exceptions,"
+        "degraded_verdicts,resumed,checkpoints,fingerprint\n");
+    std::printf(
+        "%s,%s,%s,%d,%g,%d,%.4f,%.4f,%.4f,%.1f,%.2f,%s,%d,%d,%d,"
+        "%lld,%lld,%lld,%lld,%lld,%lld,%lld,%lld,%lld,%016llx\n",
+        task.c_str(), channel_name.c_str(), sim_name.c_str(), n, eps,
+        trials, counter.rate(), ci.low, ci.high, rounds.mean(),
+        blowup.mean(), faults.ToString().c_str(), verdicts[0], verdicts[1],
+        verdicts[2], static_cast<long long>(run.report.completed),
+        static_cast<long long>(run.report.retried),
+        static_cast<long long>(run.report.abandoned),
+        static_cast<long long>(run.report.attempts),
+        static_cast<long long>(run.report.timeouts),
+        static_cast<long long>(run.report.exceptions),
+        static_cast<long long>(run.report.degraded_verdicts),
+        static_cast<long long>(run.report.resumed_trials),
+        static_cast<long long>(run.report.checkpoints_written),
+        static_cast<unsigned long long>(results_fingerprint));
   } else {
     std::printf("task=%s channel=%s sim=%s n=%d eps=%g trials=%d\n",
                 task.c_str(), channel->name().c_str(), sim->name().c_str(),
@@ -291,6 +423,10 @@ int Run(int argc, char** argv) {
       }
       std::printf("\n");
     }
+    std::printf("  resilience %s\n",
+                resilience::FormatRunReport(run.report).c_str());
+    std::printf("  fingerprint %016llx\n",
+                static_cast<unsigned long long>(results_fingerprint));
   }
   return counter.rate() > 0.5 ? 0 : 1;
 }
@@ -300,6 +436,11 @@ int Run(int argc, char** argv) {
 int main(int argc, char** argv) {
   try {
     return Run(argc, argv);
+  } catch (const noisybeeps::resilience::RunInterrupted& e) {
+    // The deterministic kill (--halt-after): the checkpoint on disk is
+    // complete; rerunning with the same --checkpoint resumes the sweep.
+    std::cerr << "nbsim: interrupted: " << e.what() << "\n";
+    return 3;
   } catch (const std::exception& e) {
     std::cerr << "nbsim: " << e.what() << "\n";
     return 2;
