@@ -5,6 +5,7 @@
 #include <filesystem>
 #include <fstream>
 #include <sstream>
+#include <string_view>
 
 namespace noisybeeps::resilience {
 namespace {
@@ -117,6 +118,11 @@ TrialCheckpoint TrialCheckpoint::Parse(std::string_view bytes) {
   if (num_records > static_cast<std::uint64_t>(checkpoint.num_trials)) {
     Fail("more records than trials");
   }
+  // A record occupies at least 48 wire bytes (index, abandoned flag,
+  // attempt count, one attempt, payload length); a checksum-valid file
+  // with an absurd count must fail loudly here, not let reserve() throw
+  // bad_alloc / length_error past the CheckpointError handlers.
+  if (num_records > bytes.size() / 48) Fail("record count exceeds file size");
   checkpoint.records.reserve(num_records);
   std::int64_t previous_index = -1;
   for (std::uint64_t r = 0; r < num_records; ++r) {
@@ -181,9 +187,16 @@ std::optional<TrialCheckpoint> LoadCheckpoint(const std::string& path) {
   content << in.rdbuf();
   try {
     return TrialCheckpoint::Parse(content.str());
-  } catch (const CheckpointError& e) {
-    Fail(std::string(e.what() + 12 /* strip "checkpoint: " */) + " in " +
-         path);
+  } catch (const std::exception& e) {
+    // Re-wrap with the file path so the operator knows which file rotted.
+    // CheckpointError's own "checkpoint: " prefix is stripped (when
+    // present) so Fail() does not stack a second one.
+    constexpr std::string_view kPrefix = "checkpoint: ";
+    std::string_view what = e.what();
+    if (what.substr(0, kPrefix.size()) == kPrefix) {
+      what.remove_prefix(kPrefix.size());
+    }
+    Fail(std::string(what) + " in " + path);
   }
 }
 

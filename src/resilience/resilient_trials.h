@@ -181,6 +181,8 @@ RunOutput<Result> ResilientTrials(int num_trials, Rng& rng, Body&& body,
         // Retry budget exhausted.  A result-bearing failure (timeout or
         // failed verdict) is kept and reported as abandoned; a trailing
         // exception has nothing to keep and must stop the run loudly.
+        // (run_one executes on ParallelForEach workers, which ferry this
+        // rethrow back to the joining thread at any worker count.)
         if (thrown) std::rethrow_exception(thrown);
         ledger.abandoned = true;
         return {std::move(*result), std::move(ledger)};

@@ -25,6 +25,13 @@ std::int64_t BackoffMillis(const RetryPolicy& policy, int attempt) {
   std::int64_t backoff = policy.base_backoff_millis;
   for (int a = 1; a < attempt; ++a) {
     if (backoff >= policy.max_backoff_millis) break;
+    // Double only while backoff*2 cannot exceed the cap: with a huge cap
+    // (e.g. INT64_MAX) an unguarded doubling would signed-overflow (UB)
+    // before the cap check stopped it.
+    if (backoff > policy.max_backoff_millis / 2) {
+      backoff = policy.max_backoff_millis;
+      break;
+    }
     backoff *= 2;
   }
   return backoff < policy.max_backoff_millis ? backoff

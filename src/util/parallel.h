@@ -22,6 +22,7 @@
 #define NOISYBEEPS_UTIL_PARALLEL_H_
 
 #include <atomic>
+#include <exception>
 #include <optional>
 #include <thread>
 #include <type_traits>
@@ -51,6 +52,10 @@ inline std::vector<Rng> SplitTrialRngs(int num_trials, Rng& rng) {
 // move-constructible.  The body must not touch shared mutable state (write
 // only through its own return value or captured per-index storage); under
 // that contract the returned vector is identical for every worker count.
+// If `body` throws, the exception propagates to the CALLER at every worker
+// count (never std::terminate): workers stop pulling new indices and one
+// captured exception is rethrown after the join.  Which indices ran before
+// the stop is unspecified; no partial results are returned.
 // Preconditions: count >= 0 and num_workers >= 0.
 template <typename Body,
           typename Result = std::decay_t<std::invoke_result_t<Body&, int>>>
@@ -79,19 +84,36 @@ std::vector<Result> ParallelForEach(int count, Body&& body,
 
   // Each slot is written by exactly one worker (the one that pulled its
   // index off the counter) and read only after all joins: no data race,
-  // and no default-constructibility requirement on Result.
+  // and no default-constructibility requirement on Result.  A body
+  // exception must never escape a thread's start function (that would be
+  // std::terminate, killing the process with no diagnostic): each worker
+  // captures its first exception into its own slot and raises the shared
+  // stop flag, and the captured exception is rethrown on the calling
+  // thread after the join.
   std::vector<std::optional<Result>> slots(static_cast<std::size_t>(count));
+  std::vector<std::exception_ptr> errors(static_cast<std::size_t>(workers));
   std::atomic<int> next{0};
-  auto worker = [&] {
-    for (int i = next.fetch_add(1, std::memory_order_relaxed); i < count;
+  std::atomic<bool> stop{false};
+  auto worker = [&](int w) {
+    for (int i = next.fetch_add(1, std::memory_order_relaxed);
+         i < count && !stop.load(std::memory_order_relaxed);
          i = next.fetch_add(1, std::memory_order_relaxed)) {
-      slots[static_cast<std::size_t>(i)].emplace(body(i));
+      try {
+        slots[static_cast<std::size_t>(i)].emplace(body(i));
+      } catch (...) {
+        errors[static_cast<std::size_t>(w)] = std::current_exception();
+        stop.store(true, std::memory_order_relaxed);
+        return;
+      }
     }
   };
   std::vector<std::thread> threads;
   threads.reserve(static_cast<std::size_t>(workers));
-  for (int w = 0; w < workers; ++w) threads.emplace_back(worker);
+  for (int w = 0; w < workers; ++w) threads.emplace_back(worker, w);
   for (std::thread& t : threads) t.join();
+  for (const std::exception_ptr& error : errors) {
+    if (error) std::rethrow_exception(error);
+  }
 
   std::vector<Result> results;
   results.reserve(static_cast<std::size_t>(count));

@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <filesystem>
 #include <fstream>
+#include <limits>
 #include <string>
 
 #include "resilience/resilient_trials.h"
@@ -215,6 +216,15 @@ TEST(TrialCheckpoint, RejectsStructuralDefects) {
   {  // zero attempts
     std::string body = HeaderBytes(base, 1);
     AppendRecord(body, 0, 0, 0);
+    EXPECT_THROW((void)TrialCheckpoint::Parse(ReserializeWithChecksum(body)),
+                 CheckpointError);
+  }
+  {  // absurd record count (with matching num_trials and a VALID
+     // checksum): must fail loudly before reserve() can throw
+     // length_error / bad_alloc past the CheckpointError handlers
+    TrialCheckpoint huge = base;
+    huge.num_trials = std::numeric_limits<std::int64_t>::max();
+    std::string body = HeaderBytes(huge, std::uint64_t{1} << 40);
     EXPECT_THROW((void)TrialCheckpoint::Parse(ReserializeWithChecksum(body)),
                  CheckpointError);
   }

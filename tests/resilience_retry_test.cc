@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <limits>
 #include <set>
 #include <stdexcept>
 #include <string>
@@ -38,6 +39,18 @@ TEST(BackoffMillis, ExponentialWithCap) {
   EXPECT_EQ(BackoffMillis(policy, 4), 800);
   EXPECT_EQ(BackoffMillis(policy, 5), 1000);  // capped
   EXPECT_EQ(BackoffMillis(policy, 20), 1000);
+}
+
+TEST(BackoffMillis, HugeCapDoesNotOverflow) {
+  // With an effectively-unbounded cap the doubling must saturate at the
+  // cap, not signed-overflow std::int64_t (UB, caught under UBSan).
+  RetryPolicy policy;
+  policy.base_backoff_millis = 3;
+  policy.max_backoff_millis = std::numeric_limits<std::int64_t>::max();
+  EXPECT_EQ(BackoffMillis(policy, 1), 3);
+  EXPECT_EQ(BackoffMillis(policy, 2), 6);
+  EXPECT_EQ(BackoffMillis(policy, 100), policy.max_backoff_millis);
+  EXPECT_EQ(BackoffMillis(policy, 10000), policy.max_backoff_millis);
 }
 
 TEST(BackoffMillis, ZeroBaseMeansNoWaiting) {
@@ -217,18 +230,26 @@ TEST(ResilientTrials, ExceptionIsClassifiedAndRetried) {
 
 TEST(ResilientTrials, FinalAttemptExceptionPropagates) {
   // A persistent crash must stop the run loudly -- there is no result to
-  // keep, and fabricating one would poison the sweep.
+  // keep, and fabricating one would poison the sweep.  This must hold at
+  // EVERY worker count: run_one executes on ParallelForEach workers, so
+  // the rethrow has to be ferried to the joining thread, not escape a
+  // thread start function (std::terminate, no diagnostic, no catch).
   const auto body = [](int, Rng&) -> std::uint64_t {
     throw std::runtime_error("always broken");
   };
   std::set<std::uint64_t> no_failures;
-  ResilienceOptions opts;
-  opts.retry.max_attempts = 2;
-  opts.num_workers = 1;
-  Rng rng(9);
-  EXPECT_THROW((void)ResilientTrials(2, rng, body, ValueAdapter{&no_failures},
-                                     opts),
-               std::runtime_error);
+  for (int workers : {1, 2, 4}) {
+    ResilienceOptions opts;
+    opts.retry.max_attempts = 2;
+    opts.num_workers = workers;
+    Rng rng(9);
+    try {
+      (void)ResilientTrials(8, rng, body, ValueAdapter{&no_failures}, opts);
+      FAIL() << "final-attempt exception swallowed at workers=" << workers;
+    } catch (const std::runtime_error& e) {
+      EXPECT_EQ(std::string(e.what()), "always broken") << workers;
+    }
+  }
 }
 
 TEST(ResilientTrials, WallTimeoutRetriesUnderFakeClock) {

@@ -2,9 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <functional>
 #include <memory>
 #include <numeric>
+#include <stdexcept>
+#include <string>
 
 namespace noisybeeps {
 namespace {
@@ -88,6 +91,46 @@ TEST(ParallelForEach, RejectsBadArguments) {
   EXPECT_TRUE(ParallelForEach(0, body).empty());
   EXPECT_THROW((void)ParallelForEach(-1, body), std::invalid_argument);
   EXPECT_THROW((void)ParallelForEach(1, body, -1), std::invalid_argument);
+}
+
+TEST(ParallelForEach, BodyExceptionPropagatesAtEveryWorkerCount) {
+  // A throwing body must reach the CALLER as the thrown exception at every
+  // worker count.  Before the exception_ptr ferry this aborted the whole
+  // process via std::terminate whenever workers > 1 (an exception escaping
+  // a thread's start function), so nothing downstream could catch it.
+  for (int workers : {1, 2, 4, 8}) {
+    try {
+      (void)ParallelForEach(
+          64,
+          [](int i) -> int {
+            if (i == 13) throw std::runtime_error("broken body");
+            return i;
+          },
+          workers);
+      FAIL() << "body exception swallowed at workers=" << workers;
+    } catch (const std::runtime_error& e) {
+      EXPECT_EQ(std::string(e.what()), "broken body") << workers;
+    }
+  }
+}
+
+TEST(ParallelForEach, ExceptionStopsWorkersFromDrainingTheSweep) {
+  // Once one index throws, workers stop pulling new indices: a persistent
+  // failure ends the run promptly instead of burning the whole sweep.
+  constexpr int kCount = 100000;
+  std::atomic<int> ran{0};
+  try {
+    (void)ParallelForEach(
+        kCount,
+        [&](int) -> int {
+          ran.fetch_add(1, std::memory_order_relaxed);
+          throw std::runtime_error("always broken");
+        },
+        4);
+    FAIL() << "body exception swallowed";
+  } catch (const std::runtime_error&) {
+  }
+  EXPECT_LT(ran.load(), kCount);
 }
 
 TEST(SplitTrialRngs, MatchesParallelTrialsStreams) {

@@ -231,6 +231,9 @@ struct TrialPointAdapter {
       const std::string phase(reader.Bytes());
       p.phases[phase] = static_cast<std::int64_t>(reader.U64());
     }
+    if (!reader.AtEnd()) {
+      throw resilience::CheckpointError("trailing bytes in trial payload");
+    }
     return p;
   }
   [[nodiscard]] resilience::TrialAssessment Assess(const TrialPoint& p) const {
@@ -324,7 +327,9 @@ int Run(int argc, char** argv) {
          << "|sim=" << sim_name << "|n=" << n << "|eps=" << eps
          << "|faults=" << faults.ToString() << "|fault_seed=" << fault_seed
          << "|max_attempts=" << max_attempts
-         << "|round_budget=" << trial_round_budget;
+         << "|round_budget=" << trial_round_budget
+         << "|timeout_ms=" << trial_timeout_ms
+         << "|backoff_ms=" << retry_backoff_ms;
 
   resilience::ResilienceOptions opts;
   opts.checkpoint_path = checkpoint_path;
