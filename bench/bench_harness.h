@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "resilience/resilient_trials.h"
+#include "util/flags.h"
 #include "util/rng.h"
 #include "util/stats.h"
 
@@ -115,10 +116,12 @@ struct BenchRun {
   }
 };
 
+// Strictly parsed (util/flags.h): NB_BENCH_MAX_ATTEMPTS=all used to
+// strtoll-decay to 0 and silently change the resilience policy; now any
+// set-but-unparseable knob throws std::invalid_argument naming the
+// variable, which aborts the bench loudly before it measures anything.
 inline std::int64_t EnvInt(const char* name, std::int64_t fallback) {
-  const char* raw = std::getenv(name);
-  if (raw == nullptr || *raw == '\0') return fallback;
-  return std::strtoll(raw, nullptr, 10);
+  return EnvInt64(name, fallback);
 }
 
 // The bench-wide resilience policy (see the header comment for the

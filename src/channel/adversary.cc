@@ -1,12 +1,13 @@
 #include "channel/adversary.h"
 
+#include "util/format.h"
 #include "util/require.h"
 
 namespace noisybeeps {
 
 AdversarialCorrectionChannel::AdversarialCorrectionChannel(
     double epsilon, CorrectionPolicy policy)
-    : epsilon_(epsilon), policy_(policy) {
+    : epsilon_(epsilon), policy_(policy), noise_(epsilon) {
   NB_REQUIRE(epsilon >= 0.0 && epsilon < 0.5,
              "noise rate must lie in [0, 1/2)");
 }
@@ -16,7 +17,7 @@ void AdversarialCorrectionChannel::Deliver(int num_beepers,
                                            Rng& rng) const {
   const bool or_bit = num_beepers > 0;
   // The underlying two-sided channel decides on a flip...
-  bool out = or_bit != rng.Bernoulli(epsilon_);
+  bool out = or_bit != noise_.Sample(rng);
   // ...then the adversary, knowing the truth, may revert it.
   if (out != or_bit) {
     const bool is_drop = or_bit;  // a flipped 1 (delivered as 0)
@@ -26,7 +27,7 @@ void AdversarialCorrectionChannel::Deliver(int num_beepers,
         (policy_ == CorrectionPolicy::kCorrectSpurious && !is_drop);
     if (revert) out = or_bit;
   }
-  for (auto& bit : received) bit = out ? 1 : 0;
+  FillShared(received, out);
 }
 
 std::string AdversarialCorrectionChannel::name() const {
@@ -45,7 +46,7 @@ std::string AdversarialCorrectionChannel::name() const {
       policy = "all";
       break;
   }
-  return "adversary(eps=" + std::to_string(epsilon_) + ",corrects=" + policy +
+  return "adversary(eps=" + FormatDouble(epsilon_) + ",corrects=" + policy +
          ")";
 }
 

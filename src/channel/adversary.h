@@ -47,6 +47,7 @@ class AdversarialCorrectionChannel final : public Channel {
  private:
   double epsilon_;
   CorrectionPolicy policy_;
+  BernoulliSampler noise_;
 };
 
 }  // namespace noisybeeps

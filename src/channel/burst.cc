@@ -1,5 +1,6 @@
 #include "channel/burst.h"
 
+#include "util/format.h"
 #include "util/require.h"
 
 namespace noisybeeps {
@@ -10,7 +11,11 @@ BurstNoisyChannel::BurstNoisyChannel(double eps_good, double eps_bad,
     : eps_good_(eps_good),
       eps_bad_(eps_bad),
       p_gb_(p_good_to_bad),
-      p_bg_(p_bad_to_good) {
+      p_bg_(p_bad_to_good),
+      noise_good_(eps_good),
+      noise_bad_(eps_bad),
+      trans_gb_(p_good_to_bad),
+      trans_bg_(p_bad_to_good) {
   NB_REQUIRE(eps_good >= 0.0 && eps_good < 1.0, "good-state rate out of range");
   NB_REQUIRE(eps_bad >= 0.0 && eps_bad < 1.0, "bad-state rate out of range");
   NB_REQUIRE(p_good_to_bad > 0.0 && p_good_to_bad <= 1.0,
@@ -24,19 +29,19 @@ void BurstNoisyChannel::Deliver(int num_beepers,
                                 Rng& rng) const {
   // State transition first, then emission: dwell times are geometric.
   if (in_bad_state_) {
-    if (rng.Bernoulli(p_bg_)) in_bad_state_ = false;
+    if (trans_bg_.Sample(rng)) in_bad_state_ = false;
   } else {
-    if (rng.Bernoulli(p_gb_)) in_bad_state_ = true;
+    if (trans_gb_.Sample(rng)) in_bad_state_ = true;
   }
-  const double eps = in_bad_state_ ? eps_bad_ : eps_good_;
-  const bool out = (num_beepers > 0) != rng.Bernoulli(eps);
-  for (auto& bit : received) bit = out ? 1 : 0;
+  const BernoulliSampler& noise = in_bad_state_ ? noise_bad_ : noise_good_;
+  const bool out = (num_beepers > 0) != noise.Sample(rng);
+  FillShared(received, out);
 }
 
 std::string BurstNoisyChannel::name() const {
-  return "burst(good=" + std::to_string(eps_good_) +
-         ",bad=" + std::to_string(eps_bad_) +
-         ",burst_len=" + std::to_string(MeanBurstLength()) + ")";
+  return "burst(good=" + FormatDouble(eps_good_) +
+         ",bad=" + FormatDouble(eps_bad_) +
+         ",burst_len=" + FormatDouble(MeanBurstLength()) + ")";
 }
 
 double BurstNoisyChannel::StationaryNoiseRate() const {

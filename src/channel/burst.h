@@ -48,6 +48,10 @@ class BurstNoisyChannel final : public Channel {
   double eps_bad_;
   double p_gb_;
   double p_bg_;
+  BernoulliSampler noise_good_;
+  BernoulliSampler noise_bad_;
+  BernoulliSampler trans_gb_;
+  BernoulliSampler trans_bg_;
   mutable bool in_bad_state_ = false;
 };
 

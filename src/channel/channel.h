@@ -14,12 +14,23 @@
 #define NOISYBEEPS_CHANNEL_CHANNEL_H_
 
 #include <cstdint>
+#include <cstring>
 #include <span>
 #include <string>
 
 #include "util/rng.h"
 
 namespace noisybeeps {
+
+// Fills every listener slot with the same received bit.  Shared-draw
+// channels (everything except the independent-noise channel) hand one
+// transcript to all parties; a memset is word-wide where the obvious
+// byte loop is not.
+inline void FillShared(std::span<std::uint8_t> received, bool bit) {
+  if (!received.empty()) {
+    std::memset(received.data(), bit ? 1 : 0, received.size());
+  }
+}
 
 class Channel {
  public:

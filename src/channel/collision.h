@@ -37,6 +37,7 @@ class CollisionAsSilenceChannel final : public Channel {
 
  private:
   double epsilon_;
+  BernoulliSampler noise_;
 };
 
 }  // namespace noisybeeps

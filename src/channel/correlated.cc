@@ -1,11 +1,12 @@
 #include "channel/correlated.h"
 
+#include "util/format.h"
 #include "util/require.h"
 
 namespace noisybeeps {
 
 CorrelatedNoisyChannel::CorrelatedNoisyChannel(double epsilon)
-    : epsilon_(epsilon) {
+    : epsilon_(epsilon), noise_(epsilon) {
   NB_REQUIRE(epsilon >= 0.0 && epsilon < 0.5,
              "noise rate must lie in [0, 1/2)");
 }
@@ -13,12 +14,12 @@ CorrelatedNoisyChannel::CorrelatedNoisyChannel(double epsilon)
 void CorrelatedNoisyChannel::Deliver(int num_beepers,
                                      std::span<std::uint8_t> received,
                                      Rng& rng) const {
-  const bool flipped = (num_beepers > 0) != rng.Bernoulli(epsilon_);
-  for (auto& bit : received) bit = flipped ? 1 : 0;
+  const bool flipped = (num_beepers > 0) != noise_.Sample(rng);
+  FillShared(received, flipped);
 }
 
 std::string CorrelatedNoisyChannel::name() const {
-  return "correlated(eps=" + std::to_string(epsilon_) + ")";
+  return "correlated(eps=" + FormatDouble(epsilon_) + ")";
 }
 
 }  // namespace noisybeeps

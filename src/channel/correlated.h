@@ -23,6 +23,7 @@ class CorrelatedNoisyChannel final : public Channel {
 
  private:
   double epsilon_;
+  BernoulliSampler noise_;
 };
 
 }  // namespace noisybeeps

@@ -1,11 +1,12 @@
 #include "channel/independent.h"
 
+#include "util/format.h"
 #include "util/require.h"
 
 namespace noisybeeps {
 
 IndependentNoisyChannel::IndependentNoisyChannel(double epsilon)
-    : epsilon_(epsilon) {
+    : epsilon_(epsilon), noise_(epsilon) {
   NB_REQUIRE(epsilon >= 0.0 && epsilon < 0.5,
              "noise rate must lie in [0, 1/2)");
 }
@@ -13,14 +14,16 @@ IndependentNoisyChannel::IndependentNoisyChannel(double epsilon)
 void IndependentNoisyChannel::Deliver(int num_beepers,
                                       std::span<std::uint8_t> received,
                                       Rng& rng) const {
-  const bool or_bit = num_beepers > 0;
+  // One draw per listener, in listener order (the stream contract); the
+  // precomputed sampler turns each draw into a single integer compare.
+  const std::uint8_t or_bit = num_beepers > 0 ? 1 : 0;
   for (auto& bit : received) {
-    bit = (or_bit != rng.Bernoulli(epsilon_)) ? 1 : 0;
+    bit = or_bit ^ static_cast<std::uint8_t>(noise_.Sample(rng));
   }
 }
 
 std::string IndependentNoisyChannel::name() const {
-  return "independent(eps=" + std::to_string(epsilon_) + ")";
+  return "independent(eps=" + FormatDouble(epsilon_) + ")";
 }
 
 }  // namespace noisybeeps

@@ -21,6 +21,7 @@ class IndependentNoisyChannel final : public Channel {
 
  private:
   double epsilon_;
+  BernoulliSampler noise_;
 };
 
 }  // namespace noisybeeps

@@ -6,7 +6,7 @@ void NoiselessChannel::Deliver(int num_beepers,
                                std::span<std::uint8_t> received,
                                Rng& rng) const {
   (void)rng;
-  for (auto& bit : received) bit = num_beepers > 0 ? 1 : 0;
+  FillShared(received, num_beepers > 0);
 }
 
 }  // namespace noisybeeps

@@ -1,37 +1,40 @@
 #include "channel/one_sided.h"
 
+#include "util/format.h"
 #include "util/require.h"
 
 namespace noisybeeps {
 
-OneSidedUpChannel::OneSidedUpChannel(double epsilon) : epsilon_(epsilon) {
+OneSidedUpChannel::OneSidedUpChannel(double epsilon)
+    : epsilon_(epsilon), noise_(epsilon) {
   NB_REQUIRE(epsilon >= 0.0 && epsilon < 1.0, "noise rate must lie in [0, 1)");
 }
 
 void OneSidedUpChannel::Deliver(int num_beepers,
                                 std::span<std::uint8_t> received,
                                 Rng& rng) const {
-  const bool out = num_beepers > 0 || rng.Bernoulli(epsilon_);
-  for (auto& bit : received) bit = out ? 1 : 0;
+  const bool out = num_beepers > 0 || noise_.Sample(rng);
+  FillShared(received, out);
 }
 
 std::string OneSidedUpChannel::name() const {
-  return "one-sided-up(eps=" + std::to_string(epsilon_) + ")";
+  return "one-sided-up(eps=" + FormatDouble(epsilon_) + ")";
 }
 
-OneSidedDownChannel::OneSidedDownChannel(double epsilon) : epsilon_(epsilon) {
+OneSidedDownChannel::OneSidedDownChannel(double epsilon)
+    : epsilon_(epsilon), noise_(epsilon) {
   NB_REQUIRE(epsilon >= 0.0 && epsilon < 1.0, "noise rate must lie in [0, 1)");
 }
 
 void OneSidedDownChannel::Deliver(int num_beepers,
                                   std::span<std::uint8_t> received,
                                   Rng& rng) const {
-  const bool out = num_beepers > 0 && !rng.Bernoulli(epsilon_);
-  for (auto& bit : received) bit = out ? 1 : 0;
+  const bool out = num_beepers > 0 && !noise_.Sample(rng);
+  FillShared(received, out);
 }
 
 std::string OneSidedDownChannel::name() const {
-  return "one-sided-down(eps=" + std::to_string(epsilon_) + ")";
+  return "one-sided-down(eps=" + FormatDouble(epsilon_) + ")";
 }
 
 }  // namespace noisybeeps

@@ -29,6 +29,7 @@ class OneSidedUpChannel final : public Channel {
 
  private:
   double epsilon_;
+  BernoulliSampler noise_;
 };
 
 class OneSidedDownChannel final : public Channel {
@@ -44,6 +45,7 @@ class OneSidedDownChannel final : public Channel {
 
  private:
   double epsilon_;
+  BernoulliSampler noise_;
 };
 
 }  // namespace noisybeeps

@@ -1,12 +1,13 @@
 #include "channel/shared_randomness.h"
 
+#include "util/format.h"
 #include "util/require.h"
 
 namespace noisybeeps {
 
 SharedRandomnessOneSidedAdapter::SharedRandomnessOneSidedAdapter(
     double up_eps, double flip_prob)
-    : inner_(up_eps), flip_prob_(flip_prob) {
+    : inner_(up_eps), flip_prob_(flip_prob), flip_(flip_prob) {
   NB_REQUIRE(flip_prob >= 0.0 && flip_prob < 1.0,
              "shared flip probability must lie in [0, 1)");
 }
@@ -18,14 +19,15 @@ void SharedRandomnessOneSidedAdapter::Deliver(int num_beepers,
   bool bit = inner_.DeliverShared(num_beepers, rng);
   // Step 2: shared-randomness downward flip applied by the parties
   // themselves.  Because the randomness is shared, everyone flips (or not)
-  // in unison, so the channel stays correlated.
-  if (bit && rng.Bernoulli(flip_prob_)) bit = false;
-  for (auto& b : received) b = bit ? 1 : 0;
+  // in unison, so the channel stays correlated.  The short-circuit (no
+  // draw on a received 0) is part of the stream contract.
+  if (bit && flip_.Sample(rng)) bit = false;
+  FillShared(received, bit);
 }
 
 std::string SharedRandomnessOneSidedAdapter::name() const {
-  return "shared-randomness(up=" + std::to_string(inner_.epsilon()) +
-         ",flip=" + std::to_string(flip_prob_) + ")";
+  return "shared-randomness(up=" + FormatDouble(inner_.epsilon()) +
+         ",flip=" + FormatDouble(flip_prob_) + ")";
 }
 
 }  // namespace noisybeeps

@@ -44,6 +44,7 @@ class SharedRandomnessOneSidedAdapter final : public Channel {
  private:
   OneSidedUpChannel inner_;
   double flip_prob_;
+  BernoulliSampler flip_;
 };
 
 }  // namespace noisybeeps

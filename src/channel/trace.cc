@@ -1,5 +1,6 @@
 #include "channel/trace.h"
 
+#include <algorithm>
 #include <istream>
 #include <ostream>
 #include <sstream>
@@ -115,9 +116,7 @@ void ReplayChannel::Deliver(int num_beepers,
   const TraceRound& round = trace_[next_++];
   NB_REQUIRE(round.delivered.size() == received.size(),
              "replaying a trace recorded with a different party count");
-  for (std::size_t i = 0; i < received.size(); ++i) {
-    received[i] = round.delivered[i];
-  }
+  std::copy(round.delivered.begin(), round.delivered.end(), received.begin());
 }
 
 std::string ReplayChannel::name() const {

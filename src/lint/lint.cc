@@ -542,6 +542,84 @@ std::vector<Finding> CheckCheckpointAtomicity(const SourceFile& file) {
   return findings;
 }
 
+std::vector<Finding> CheckChannelHotPath(const SourceFile& file) {
+  // Channel::Deliver is the Monte Carlo inner loop: one call per noisy
+  // round, one coin flip per listener on the independent channel.  A
+  // per-sample rng.Bernoulli(p)/UniformDouble() < p flip re-derives the
+  // fixed-point threshold (or pays a u64->double convert, multiply, and
+  // double compare) on every draw; channels must precompute a
+  // BernoulliSampler member instead, which is bit-identical (see
+  // util/rng.h) and a single integer compare per draw.
+  std::vector<Finding> findings;
+  if (!file.path.starts_with("src/channel/")) return findings;
+  const std::string code = StripCommentsAndStrings(file.content);
+  constexpr std::string_view kDeliver = "Deliver";
+  std::size_t pos = 0;
+  while ((pos = code.find(kDeliver, pos)) != std::string::npos) {
+    const std::size_t match = pos;
+    pos += kDeliver.size();
+    // Not TokenAt: out-of-class definitions are "::"-qualified
+    // ("IndependentNoisyChannel::Deliver"), which TokenAt deliberately
+    // rejects.  Only the identifier boundaries matter here ("DeliverShared"
+    // and "Redeliver" are different identifiers).
+    if (match > 0 && IsIdentChar(code[match - 1])) continue;
+    if (match + kDeliver.size() < code.size() &&
+        IsIdentChar(code[match + kDeliver.size()])) {
+      continue;
+    }
+    // Parameter list: the next non-space character must open it.
+    std::size_t open = match + kDeliver.size();
+    while (open < code.size() &&
+           std::isspace(static_cast<unsigned char>(code[open])) != 0) {
+      ++open;
+    }
+    if (open >= code.size() || code[open] != '(') continue;
+    int depth = 0;
+    std::size_t close = open;
+    for (; close < code.size(); ++close) {
+      if (code[close] == '(') ++depth;
+      if (code[close] == ')' && --depth == 0) break;
+    }
+    if (close >= code.size()) continue;
+    // A definition has a '{' before the next ';' (allowing const /
+    // override / noexcept in between); pure declarations are skipped.
+    std::size_t body_open = std::string::npos;
+    for (std::size_t k = close + 1; k < code.size(); ++k) {
+      if (code[k] == '{') {
+        body_open = k;
+        break;
+      }
+      if (code[k] == ';') break;
+    }
+    if (body_open == std::string::npos) continue;
+    int braces = 0;
+    std::size_t body_end = body_open;
+    for (; body_end < code.size(); ++body_end) {
+      if (code[body_end] == '{') ++braces;
+      if (code[body_end] == '}' && --braces == 0) break;
+    }
+    const std::string_view body(code.data() + body_open,
+                                body_end - body_open);
+    for (std::string_view banned : {std::string_view("UniformDouble"),
+                                    std::string_view("Bernoulli")}) {
+      for (std::size_t k = 0; (k = body.find(banned, k)) !=
+                              std::string_view::npos;
+           k += banned.size()) {
+        if (!TokenAt(body, k, banned)) continue;
+        findings.push_back(
+            {file.path, LineOfOffset(code, body_open + k),
+             "channel-hot-path",
+             std::string(banned) +
+                 " inside a Deliver implementation: precompute a "
+                 "BernoulliSampler member (util/rng.h) -- bit-identical "
+                 "stream, one integer compare per draw"});
+      }
+    }
+    pos = body_end;
+  }
+  return findings;
+}
+
 std::vector<Finding> CheckIncludeCycles(const std::vector<SourceFile>& files) {
   std::vector<Finding> findings;
   std::set<std::string> modules;
@@ -691,7 +769,8 @@ std::vector<Finding> RunAllChecks(const std::vector<SourceFile>& files) {
   std::vector<Finding> findings;
   for (const SourceFile& file : files) {
     for (auto* check : {&CheckHeaderGuard, &CheckBannedRandomness,
-                        &CheckRawThreads, &CheckCheckpointAtomicity}) {
+                        &CheckRawThreads, &CheckCheckpointAtomicity,
+                        &CheckChannelHotPath}) {
       std::vector<Finding> found = (*check)(file);
       findings.insert(findings.end(), found.begin(), found.end());
     }

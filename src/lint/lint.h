@@ -27,6 +27,11 @@
 //                          must go through WriteCheckpointAtomic (temp file
 //                          + rename) so a kill mid-write can never leave a
 //                          torn file that a resume would then reject
+//   channel-hot-path       no per-sample UniformDouble()/Bernoulli() coin
+//                          flips inside src/channel/ Deliver bodies -- the
+//                          Monte Carlo inner loop must draw through a
+//                          precomputed BernoulliSampler (bit-identical,
+//                          one integer compare per draw)
 //
 // The checks operate on file CONTENTS handed in by the caller (the nblint
 // tool reads the tree; the unit test feeds synthetic files), with comments
@@ -70,6 +75,7 @@ struct Finding {
 [[nodiscard]] std::vector<Finding> CheckRawThreads(const SourceFile& file);
 [[nodiscard]] std::vector<Finding> CheckCheckpointAtomicity(
     const SourceFile& file);
+[[nodiscard]] std::vector<Finding> CheckChannelHotPath(const SourceFile& file);
 // Whole-repo rules:
 [[nodiscard]] std::vector<Finding> CheckIncludeCycles(
     const std::vector<SourceFile>& files);

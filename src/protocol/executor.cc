@@ -9,6 +9,9 @@ ExecutionResult Execute(const Protocol& protocol, const Channel& channel,
   const int n = protocol.num_parties();
   ExecutionResult result;
   result.transcripts.assign(n, BitString());
+  for (BitString& transcript : result.transcripts) {
+    transcript.Reserve(static_cast<std::size_t>(protocol.length()));
+  }
 
   std::vector<std::uint8_t> received(n, 0);
   for (int m = 0; m < protocol.length(); ++m) {

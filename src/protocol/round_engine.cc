@@ -18,7 +18,12 @@ std::span<const std::uint8_t> RoundEngine::Round(
   for (std::uint8_t b : beeps) num_beepers += b != 0;
   channel_->Deliver(num_beepers, received_, *rng_);
   ++rounds_used_;
-  ++phase_rounds_[phase_];
+  // Resolve the phase counter at most once per SetPhase, not per round: a
+  // phase gets a map entry only once a round actually runs under it (so
+  // phase_rounds() never reports zero-round phases), and every later
+  // round is a plain pointer increment instead of a string-keyed lookup.
+  if (phase_counter_ == nullptr) phase_counter_ = &phase_rounds_[phase_];
+  ++*phase_counter_;
   return received_;
 }
 

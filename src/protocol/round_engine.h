@@ -29,6 +29,12 @@ class RoundEngine {
   RoundEngine(const Channel& channel, Rng& rng, int num_parties);
   virtual ~RoundEngine() = default;
 
+  // Not copyable/movable: the engine caches an interior pointer into its
+  // phase-accounting map (and hands out spans into received_), so a copy
+  // would alias the wrong instance's state.
+  RoundEngine(const RoundEngine&) = delete;
+  RoundEngine& operator=(const RoundEngine&) = delete;
+
   [[nodiscard]] int num_parties() const { return num_parties_; }
 
   // Runs one noisy round.  beeps[i] != 0 iff party i beeps.  Returns the
@@ -50,7 +56,14 @@ class RoundEngine {
   // Labels subsequent rounds for cost accounting (e.g. "chunk-sim",
   // "owner-finding", "verify-flags", "audit").  Purely observational: the
   // label has no effect on channel behaviour.
-  void SetPhase(std::string phase) { phase_ = std::move(phase); }
+  void SetPhase(std::string phase) {
+    phase_ = std::move(phase);
+    // Invalidate the cached counter; the next Round() re-resolves it (and
+    // only then creates the map entry, so zero-round phases never appear
+    // in phase_rounds()).  std::map nodes are stable, so the resolved
+    // pointer survives later insertions.
+    phase_counter_ = nullptr;
+  }
 
   // The current phase label ("" before any SetPhase call).
   [[nodiscard]] const std::string& phase() const { return phase_; }
@@ -73,6 +86,9 @@ class RoundEngine {
   std::vector<std::uint8_t> received_;
   std::string phase_;
   std::map<std::string, std::int64_t> phase_rounds_;
+  // Points at phase_rounds_[phase_] once the first round of the current
+  // phase has run; nullptr until then (see SetPhase / Round).
+  std::int64_t* phase_counter_ = nullptr;
 };
 
 }  // namespace noisybeeps

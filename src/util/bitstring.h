@@ -37,6 +37,11 @@ class BitString {
   [[nodiscard]] bool operator[](std::size_t pos) const;
   void Set(std::size_t pos, bool value);
 
+  // Pre-allocates backing storage for at least `bits` total bits, so a
+  // loop of PushBack calls (the per-round transcript append in the
+  // executors) never reallocates mid-run.  Size is unchanged.
+  void Reserve(std::size_t bits) { words_.reserve(WordCount(bits)); }
+
   // Appends one bit at the end.
   void PushBack(bool bit);
 

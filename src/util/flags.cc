@@ -1,5 +1,6 @@
 #include "util/flags.h"
 
+#include <cerrno>
 #include <cstdlib>
 #include <stdexcept>
 
@@ -43,9 +44,8 @@ std::int64_t Flags::GetInt(const std::string& name,
   const auto it = values_.find(name);
   if (it == values_.end()) return default_value;
   consumed_[name] = true;
-  char* end = nullptr;
-  const long long value = std::strtoll(it->second.c_str(), &end, 10);
-  NB_REQUIRE(end != nullptr && *end == '\0' && !it->second.empty(),
+  std::int64_t value = 0;
+  NB_REQUIRE(TryParseInt64(it->second, value),
              "flag --" + name + " is not an integer: " + it->second);
   return value;
 }
@@ -75,6 +75,29 @@ bool Flags::GetBool(const std::string& name, bool default_value) {
 
 bool Flags::Has(const std::string& name) const {
   return values_.count(name) > 0;
+}
+
+bool TryParseInt64(const std::string& text, std::int64_t& out) {
+  if (text.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  const long long value = std::strtoll(text.c_str(), &end, 10);
+  // end must have consumed the whole string: this rejects "12x", "all",
+  // and strings with an embedded NUL.  ERANGE catches clamped overflow.
+  if (end != text.c_str() + text.size()) return false;
+  if (errno == ERANGE) return false;
+  out = value;
+  return true;
+}
+
+std::int64_t EnvInt64(const char* name, std::int64_t fallback) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || *raw == '\0') return fallback;
+  std::int64_t value = 0;
+  NB_REQUIRE(TryParseInt64(raw, value),
+             std::string("environment variable ") + name +
+                 " is not an integer: \"" + raw + "\"");
+  return value;
 }
 
 std::vector<std::string> Flags::UnconsumedFlags() const {

@@ -41,6 +41,18 @@ class Flags {
   std::map<std::string, bool> consumed_;
 };
 
+// Strict base-10 parse of the ENTIRE string into `out`.  Fails (returns
+// false, leaves `out` untouched) on empty input, non-numeric input,
+// trailing garbage ("12x", "all"), and values outside int64 range --
+// unlike bare strtoll, which silently returns 0 or a clamped value.
+[[nodiscard]] bool TryParseInt64(const std::string& text, std::int64_t& out);
+
+// Integer-valued environment variable: `fallback` when unset or empty.
+// A set-but-unparseable value throws std::invalid_argument naming the
+// variable, so a typo like NB_BENCH_MAX_ATTEMPTS=all fails the run
+// loudly instead of silently becoming 0 and changing policy.
+[[nodiscard]] std::int64_t EnvInt64(const char* name, std::int64_t fallback);
+
 }  // namespace noisybeeps
 
 #endif  // NOISYBEEPS_UTIL_FLAGS_H_

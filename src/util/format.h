@@ -1,0 +1,29 @@
+// Locale-stable number formatting.
+//
+// Channel and simulator name() strings embed their parameters (e.g.
+// "independent(eps=0.1)"), and those names end up in logs, CSV rows, and
+// config fingerprints.  std::to_string and printf-family formatting honor
+// the process's C locale, so a locale that spells the decimal point ","
+// would silently change every such string.  FormatDouble goes through
+// std::to_chars, which is locale-independent by specification and emits
+// the shortest representation that round-trips.
+#ifndef NOISYBEEPS_UTIL_FORMAT_H_
+#define NOISYBEEPS_UTIL_FORMAT_H_
+
+#include <charconv>
+#include <string>
+
+namespace noisybeeps {
+
+// Shortest round-trip decimal rendering of `value`, independent of the
+// global locale ("0.1", "0.33333333333333331", "1e-300", "inf").
+[[nodiscard]] inline std::string FormatDouble(double value) {
+  char buffer[64];
+  const std::to_chars_result result =
+      std::to_chars(buffer, buffer + sizeof buffer, value);
+  return std::string(buffer, result.ptr);
+}
+
+}  // namespace noisybeeps
+
+#endif  // NOISYBEEPS_UTIL_FORMAT_H_

@@ -1,6 +1,7 @@
 #include "util/rng.h"
 
 #include <bit>
+#include <cmath>
 
 #include "util/require.h"
 
@@ -57,8 +58,22 @@ double Rng::UniformDouble() {
 }
 
 bool Rng::Bernoulli(double p) {
+  // Validate before drawing: an out-of-range p must not advance the
+  // stream (comparison operand order is unspecified).
+  const std::uint64_t threshold = BernoulliThreshold(p);
+  return (NextU64() >> 11) < threshold;
+}
+
+std::uint64_t BernoulliThreshold(double p) {
   NB_REQUIRE(p >= 0.0 && p <= 1.0, "Bernoulli parameter out of [0,1]");
-  return UniformDouble() < p;
+  // p * 2^53 is exact (power-of-two scaling of a double in [0, 1]), so
+  // ceil introduces no rounding; the result fits in 54 bits.
+  return static_cast<std::uint64_t>(std::ceil(p * 0x1.0p53));
+}
+
+BernoulliSampler::BernoulliSampler(double p) : p_(p), threshold_(0) {
+  NB_REQUIRE(p >= 0.0 && p <= 1.0, "Bernoulli parameter out of [0,1]");
+  threshold_ = BernoulliThreshold(p);
 }
 
 Rng Rng::Restore(const std::array<std::uint64_t, 4>& state) {

@@ -30,6 +30,9 @@ class Rng {
   double UniformDouble();
 
   // True with probability p.  Precondition: 0 <= p <= 1.
+  // Consumes exactly one NextU64 and decides via the fixed-point
+  // threshold (see BernoulliThreshold), which is bit-identical to the
+  // historical `UniformDouble() < p` comparison.
   bool Bernoulli(double p);
 
   // Uniform random bit.
@@ -52,6 +55,44 @@ class Rng {
 
  private:
   std::array<std::uint64_t, 4> state_;
+};
+
+// The fixed-point threshold t(p) = ceil(p * 2^53), so that for the 53-bit
+// draw k = NextU64() >> 11 the comparisons
+//
+//     k < t(p)      and      k * 2^-53 < p
+//
+// agree for EVERY double p in [0, 1] and every k in [0, 2^53):  k * 2^-53
+// and p * 2^53 are both exact in IEEE double (power-of-two scaling, no
+// overflow since p <= 1, and a subnormal p scales up to a normal value),
+// so `k * 2^-53 < p  <=>  k < p * 2^53  <=>  k < ceil(p * 2^53)` for
+// integer k.  This lets hot paths replace a u64->double conversion,
+// multiply, and double compare per sample with a single integer compare
+// against a precomputed constant -- without changing a single random
+// stream.  Precondition: 0 <= p <= 1.
+[[nodiscard]] std::uint64_t BernoulliThreshold(double p);
+
+// Precomputed Bernoulli(p) sampler for hot loops that draw from one fixed
+// p many times (the channel Deliver implementations).  Sample() consumes
+// exactly one NextU64 and is bit-identical to Rng::Bernoulli(p) -- and to
+// the historical `UniformDouble() < p` path -- so threading a sampler
+// through a hot loop never perturbs a seeded stream.
+class BernoulliSampler {
+ public:
+  // Precondition: 0 <= p <= 1.
+  explicit BernoulliSampler(double p = 0.0);
+
+  // True with probability p(); consumes exactly one NextU64.
+  [[nodiscard]] bool Sample(Rng& rng) const {
+    return (rng.NextU64() >> 11) < threshold_;
+  }
+
+  [[nodiscard]] double p() const { return p_; }
+  [[nodiscard]] std::uint64_t threshold() const { return threshold_; }
+
+ private:
+  double p_;
+  std::uint64_t threshold_;
 };
 
 }  // namespace noisybeeps

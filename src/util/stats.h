@@ -68,8 +68,12 @@ class SuccessCounter {
                         : static_cast<double>(successes_) /
                               static_cast<double>(trials_);
   }
+  // With zero trials there is no data: the interval is the vacuous [0, 1]
+  // (every proportion is consistent with an empty sample), NOT a Wilson
+  // interval for a fabricated one-trial sample.
   [[nodiscard]] WilsonInterval interval(double z = 1.96) const {
-    return WilsonScoreInterval(successes_, trials_ == 0 ? 1 : trials_, z);
+    if (trials_ == 0) return WilsonInterval{0.0, 1.0};
+    return WilsonScoreInterval(successes_, trials_, z);
   }
 
  private:

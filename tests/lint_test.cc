@@ -358,6 +358,59 @@ TEST(LintRequire, FindsHeaderOnlyDefinitions) {
   EXPECT_EQ(findings[0].rule_id, "require-precondition");
 }
 
+// --- channel-hot-path ------------------------------------------------------
+
+TEST(LintChannelHotPath, FlagsPerSampleFlipsInsideDeliver) {
+  const std::string body =
+      "void Foo::Deliver(int n, std::span<std::uint8_t> r, Rng& rng) const {\n"
+      "  const bool flip = rng.UniformDouble() < eps_;\n"
+      "  const bool again = rng.Bernoulli(eps_);\n"
+      "  FillShared(r, flip != again);\n"
+      "}\n";
+  const auto findings =
+      CheckChannelHotPath(Header("src/channel/foo.cc", body));
+  ASSERT_EQ(findings.size(), 2u);
+  EXPECT_EQ(findings[0].rule_id, "channel-hot-path");
+  EXPECT_EQ(findings[0].line, 2);
+  EXPECT_EQ(findings[1].line, 3);
+  EXPECT_NE(findings[0].message.find("BernoulliSampler"), std::string::npos);
+}
+
+TEST(LintChannelHotPath, PrecomputedSamplerDrawsAreClean) {
+  const std::string body =
+      "void Foo::Deliver(int n, std::span<std::uint8_t> r, Rng& rng) const {\n"
+      "  // Bernoulli in a comment is fine; so is the sampler itself.\n"
+      "  FillShared(r, (n > 0) != noise_.Sample(rng));\n"
+      "}\n"
+      "Foo::Foo(double eps) : noise_(BernoulliSampler(eps)) {}\n";
+  EXPECT_TRUE(
+      CheckChannelHotPath(Header("src/channel/foo.cc", body)).empty());
+}
+
+TEST(LintChannelHotPath, OnlyChannelSourcesAreInScope) {
+  // Elsewhere a direct Bernoulli draw is legitimate (setup code, tests,
+  // protocols) -- the rule polices the Monte Carlo inner loop only.
+  const std::string body =
+      "void Deliver(int n, std::span<std::uint8_t> r, Rng& rng) {\n"
+      "  r[0] = rng.Bernoulli(0.5) ? 1 : 0;\n"
+      "}\n";
+  EXPECT_TRUE(
+      CheckChannelHotPath(Header("src/protocol/relay.cc", body)).empty());
+  EXPECT_TRUE(CheckChannelHotPath(Header("tests/foo_test.cc", body)).empty());
+}
+
+TEST(LintChannelHotPath, DeclarationsAndOtherFunctionsAreSkipped) {
+  // A pure declaration has no body to scan, draws outside Deliver are out
+  // of scope, and DeliverShared is a different identifier.
+  const std::string body =
+      "void Deliver(int n, std::span<std::uint8_t> r, Rng& rng) const "
+      "override;\n"
+      "bool Warmup(Rng& rng) { return rng.Bernoulli(0.5); }\n"
+      "bool DeliverShared(int n, Rng& rng) { return rng.Bernoulli(eps_); }\n";
+  EXPECT_TRUE(
+      CheckChannelHotPath(Header("src/channel/foo.h", body)).empty());
+}
+
 // --- output formats --------------------------------------------------------
 
 TEST(LintFormat, TextIsFileLineRuleMessage) {

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <cstdlib>
+#include <limits>
 #include <stdexcept>
 
 namespace noisybeeps {
@@ -69,6 +72,47 @@ TEST(Flags, MalformedInputThrows) {
 TEST(Flags, LastOccurrenceWins) {
   Flags flags = Parse({"--n=1", "--n=2"});
   EXPECT_EQ(flags.GetInt("n", 0), 2);
+}
+
+TEST(TryParseInt64, AcceptsExactIntegers) {
+  std::int64_t value = -1;
+  EXPECT_TRUE(TryParseInt64("0", value));
+  EXPECT_EQ(value, 0);
+  EXPECT_TRUE(TryParseInt64("42", value));
+  EXPECT_EQ(value, 42);
+  EXPECT_TRUE(TryParseInt64("-17", value));
+  EXPECT_EQ(value, -17);
+  EXPECT_TRUE(TryParseInt64("9223372036854775807", value));
+  EXPECT_EQ(value, std::numeric_limits<std::int64_t>::max());
+}
+
+TEST(TryParseInt64, RejectsGarbageAndOverflow) {
+  std::int64_t value = 99;
+  // The strtoll footgun this guards against: "all" parses as 0 with no
+  // error unless the end pointer is checked.
+  EXPECT_FALSE(TryParseInt64("all", value));
+  EXPECT_FALSE(TryParseInt64("12x", value));
+  EXPECT_FALSE(TryParseInt64("12 ", value));
+  EXPECT_FALSE(TryParseInt64("", value));
+  EXPECT_FALSE(TryParseInt64("1e3", value));
+  EXPECT_FALSE(TryParseInt64("9223372036854775808", value));  // INT64_MAX + 1
+  EXPECT_FALSE(TryParseInt64("-9223372036854775809", value));
+  EXPECT_EQ(value, 99);  // failed parses leave the output untouched
+}
+
+TEST(EnvInt64, FallsBackWhenUnsetOrEmptyAndThrowsOnGarbage) {
+  constexpr char kVar[] = "NB_TEST_ENV_INT64";
+  ASSERT_EQ(unsetenv(kVar), 0);
+  EXPECT_EQ(EnvInt64(kVar, 5), 5);
+  ASSERT_EQ(setenv(kVar, "", 1), 0);
+  EXPECT_EQ(EnvInt64(kVar, 5), 5);
+  ASSERT_EQ(setenv(kVar, "12", 1), 0);
+  EXPECT_EQ(EnvInt64(kVar, 5), 12);
+  // Regression: NB_BENCH_MAX_ATTEMPTS=all used to silently become 0; an
+  // unparseable value must fail loudly instead.
+  ASSERT_EQ(setenv(kVar, "all", 1), 0);
+  EXPECT_THROW((void)EnvInt64(kVar, 5), std::invalid_argument);
+  ASSERT_EQ(unsetenv(kVar), 0);
 }
 
 }  // namespace

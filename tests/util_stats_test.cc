@@ -192,5 +192,31 @@ TEST(SuccessCounter, TracksRateAndInterval) {
   EXPECT_GT(ci.high, 0.7);
 }
 
+TEST(SuccessCounter, ZeroTrialsIntervalIsVacuous) {
+  // With no data the interval must be the vacuous [0, 1], not the
+  // Wilson formula evaluated at n = 0 (which fabricates a finite-looking
+  // interval centred on z^2 / (z^2) terms that no trial ever supported).
+  const SuccessCounter counter;
+  ASSERT_EQ(counter.trials(), 0u);
+  const WilsonInterval ci = counter.interval();
+  EXPECT_DOUBLE_EQ(ci.low, 0.0);
+  EXPECT_DOUBLE_EQ(ci.high, 1.0);
+  // ...and at any confidence level.
+  const WilsonInterval wide = counter.interval(/*z=*/3.0);
+  EXPECT_DOUBLE_EQ(wide.low, 0.0);
+  EXPECT_DOUBLE_EQ(wide.high, 1.0);
+}
+
+TEST(SuccessCounter, OneTrialIntervalIsInformative) {
+  // The n >= 1 branch still goes through the Wilson formula: a single
+  // success must pull the interval off [0, 1].
+  SuccessCounter counter;
+  counter.Record(true);
+  const WilsonInterval ci = counter.interval();
+  EXPECT_GT(ci.low, 0.0);
+  EXPECT_LE(ci.high, 1.0);
+  EXPECT_LT(ci.low, ci.high);
+}
+
 }  // namespace
 }  // namespace noisybeeps
