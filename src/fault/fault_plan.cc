@@ -6,6 +6,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "util/format.h"
 #include "util/require.h"
 
 namespace noisybeeps {
@@ -215,7 +216,9 @@ std::string FaultPlan::ToString() const {
         os << spec.last_round;
       }
     }
-    if (spec.kind == FaultKind::kBabbler) os << ':' << spec.beep_prob;
+    if (spec.kind == FaultKind::kBabbler) {
+      os << ':' << FormatDouble(spec.beep_prob);
+    }
   }
   return os.str();
 }
@@ -230,7 +233,7 @@ void WriteFaultPlanCsv(const FaultPlan& plan, std::ostream& os) {
     } else {
       os << spec.last_round;
     }
-    os << ',' << spec.beep_prob << '\n';
+    os << ',' << FormatDouble(spec.beep_prob) << '\n';
   }
 }
 

@@ -3,802 +3,156 @@
 #include <algorithm>
 #include <cctype>
 #include <cstdio>
-#include <map>
-#include <set>
-#include <sstream>
 #include <tuple>
 #include <utility>
 
 namespace noisybeeps::lint {
 namespace {
 
-bool IsIdentChar(char c) {
-  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
-}
+constexpr std::string_view kMarker = "NBLINT(";
 
-std::vector<std::string> SplitLines(std::string_view text) {
-  std::vector<std::string> lines;
-  std::size_t start = 0;
-  while (start <= text.size()) {
-    std::size_t end = text.find('\n', start);
-    if (end == std::string_view::npos) {
-      lines.emplace_back(text.substr(start));
-      break;
-    }
-    lines.emplace_back(text.substr(start, end - start));
-    start = end + 1;
+std::string Trimmed(std::string_view text) {
+  while (!text.empty() &&
+         std::isspace(static_cast<unsigned char>(text.front())) != 0) {
+    text.remove_prefix(1);
   }
-  return lines;
-}
-
-// True when `text[pos, pos+token)` equals token and neither neighbour is an
-// identifier character (so "operand" never matches "rand").
-bool TokenAt(std::string_view text, std::size_t pos, std::string_view token) {
-  if (text.compare(pos, token.size(), token) != 0) return false;
-  if (pos > 0 && IsIdentChar(text[pos - 1])) return false;
-  std::size_t after = pos + token.size();
-  if (after < text.size() && IsIdentChar(text[after])) return false;
-  // Reject "std::rand" matching bare "rand": a qualifying "::" before the
-  // token means a longer qualified token should have matched instead.
-  if (pos >= 2 && text[pos - 1] == ':' && text[pos - 2] == ':') return false;
-  return true;
-}
-
-int LineOfOffset(std::string_view text, std::size_t offset) {
-  return 1 + static_cast<int>(
-                 std::count(text.begin(), text.begin() + offset, '\n'));
-}
-
-// Whether the path is a header under src/ (the only files that carry
-// NOISYBEEPS_ include guards).
-bool IsSrcHeader(const std::string& path) {
-  return path.starts_with("src/") && path.ends_with(".h");
-}
-
-std::string ExpectedGuard(const std::string& path) {
-  std::string guard = "NOISYBEEPS_";
-  for (char c : path.substr(4, path.size() - 4 - 2)) {  // strip src/ and .h
-    if (c == '/' || c == '.') {
-      guard += '_';
-    } else {
-      guard += static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
-    }
+  while (!text.empty() &&
+         std::isspace(static_cast<unsigned char>(text.back())) != 0) {
+    text.remove_suffix(1);
   }
-  guard += "_H_";
-  return guard;
-}
-
-// First whitespace-delimited token after `prefix` on the line, or "".
-std::string TokenAfter(const std::string& line, std::string_view prefix) {
-  std::size_t pos = line.find(prefix);
-  if (pos == std::string::npos) return "";
-  std::istringstream is(line.substr(pos + prefix.size()));
-  std::string token;
-  is >> token;
-  return token;
-}
-
-struct BannedToken {
-  std::string_view token;
-  bool requires_call;  // only flag when followed by '(' (bare rand/srand)
-};
-
-constexpr BannedToken kBannedRandomness[] = {
-    {"std::rand", false},          {"std::srand", false},
-    {"std::random_device", false}, {"std::mt19937", false},
-    {"std::mt19937_64", false},    {"std::minstd_rand", false},
-    {"std::default_random_engine", false},
-    {"std::random_shuffle", false},
-    {"rand", true},                {"srand", true},
-    {"drand48", false},            {"lrand48", false},
-};
-
-constexpr std::string_view kBannedThreadTokens[] = {
-    "std::thread",
-    "std::jthread",
-    "std::async",
-    "pthread_create",
-};
-
-bool FollowedByCall(std::string_view text, std::size_t after) {
-  while (after < text.size() &&
-         std::isspace(static_cast<unsigned char>(text[after])) != 0) {
-    ++after;
-  }
-  return after < text.size() && text[after] == '(';
-}
-
-bool FollowedByScope(std::string_view text, std::size_t after) {
-  while (after < text.size() &&
-         std::isspace(static_cast<unsigned char>(text[after])) != 0) {
-    ++after;
-  }
-  return after + 1 < text.size() && text[after] == ':' &&
-         text[after + 1] == ':';
-}
-
-// The module directory of a src/ path ("src/util/rng.cc" -> "util"), or "".
-std::string ModuleOf(const std::string& path) {
-  if (!path.starts_with("src/")) return "";
-  std::size_t slash = path.find('/', 4);
-  if (slash == std::string::npos) return "";
-  return path.substr(4, slash - 4);
-}
-
-// --- require-precondition support -----------------------------------------
-
-struct DocumentedDecl {
-  std::string header;  // path of the declaring header
-  int line = 0;        // line of the Precondition comment
-  std::string name;    // constructor class name or factory function name
-  bool is_ctor = false;
-};
-
-// Strips decl-specifier noise so a constructor declaration starts with the
-// class name.
-std::string StripDeclPrefix(std::string decl) {
-  const std::string_view kPrefixes[] = {"explicit", "constexpr", "inline",
-                                        "static", "friend", "virtual"};
-  bool changed = true;
-  while (changed) {
-    changed = false;
-    while (!decl.empty() &&
-           std::isspace(static_cast<unsigned char>(decl.front())) != 0) {
-      decl.erase(decl.begin());
-      changed = true;
-    }
-    if (decl.starts_with("[[")) {
-      std::size_t end = decl.find("]]");
-      if (end == std::string::npos) return decl;
-      decl.erase(0, end + 2);
-      changed = true;
-      continue;
-    }
-    for (std::string_view p : kPrefixes) {
-      if (decl.starts_with(p) && decl.size() > p.size() &&
-          !IsIdentChar(decl[p.size()])) {
-        decl.erase(0, p.size());
-        changed = true;
-      }
-    }
-  }
-  return decl;
-}
-
-// Extracts the identifier immediately preceding the first '(' of `decl`.
-std::string CalleeName(const std::string& decl) {
-  std::size_t paren = decl.find('(');
-  if (paren == std::string::npos || paren == 0) return "";
-  std::size_t end = paren;
-  while (end > 0 &&
-         std::isspace(static_cast<unsigned char>(decl[end - 1])) != 0) {
-    --end;
-  }
-  std::size_t begin = end;
-  while (begin > 0 && IsIdentChar(decl[begin - 1])) --begin;
-  return decl.substr(begin, end - begin);
-}
-
-// Collects constructor / factory declarations whose preceding comment
-// documents a Precondition.
-std::vector<DocumentedDecl> CollectDocumentedDecls(const SourceFile& file) {
-  std::vector<DocumentedDecl> decls;
-  const std::vector<std::string> lines = SplitLines(file.content);
-  for (std::size_t i = 0; i < lines.size(); ++i) {
-    const std::string& line = lines[i];
-    std::size_t comment = line.find("//");
-    if (comment == std::string::npos) continue;
-    std::size_t kw = line.find("Precondition", comment);
-    if (kw == std::string::npos) continue;
-    // Find the declaration: skip the rest of the comment block and blanks.
-    std::size_t j = i + 1;
-    while (j < lines.size()) {
-      std::string trimmed = lines[j];
-      while (!trimmed.empty() &&
-             std::isspace(static_cast<unsigned char>(trimmed.front())) != 0) {
-        trimmed.erase(trimmed.begin());
-      }
-      if (trimmed.empty() || trimmed.starts_with("//")) {
-        ++j;
-        continue;
-      }
-      break;
-    }
-    if (j >= lines.size()) continue;
-    // Accumulate the declaration until ';' or '{' (bounded lookahead).
-    std::string decl;
-    for (std::size_t k = j; k < std::min(j + 8, lines.size()); ++k) {
-      decl += lines[k];
-      decl += ' ';
-      if (lines[k].find(';') != std::string::npos ||
-          lines[k].find('{') != std::string::npos) {
-        break;
-      }
-    }
-    const std::string stripped = StripDeclPrefix(decl);
-    const std::string name = CalleeName(stripped);
-    if (name.empty()) continue;
-    const bool is_ctor = stripped.starts_with(name) &&
-                         stripped.size() > name.size() &&
-                         !IsIdentChar(stripped[name.size()]);
-    const bool is_factory =
-        name.starts_with("Make") || name.starts_with("Sample");
-    if (!is_ctor && !is_factory) continue;
-    decls.push_back(DocumentedDecl{file.path, static_cast<int>(i) + 1, name,
-                                   is_ctor});
-  }
-  return decls;
-}
-
-// Scans `code` (already stripped) for definitions of `pattern` ("Name" or
-// "Name::Name") and reports whether any definition body calls NB_REQUIRE.
-// Returns {found_any_definition, any_definition_has_require}.
-std::pair<bool, bool> DefinitionsHaveRequire(std::string_view code,
-                                             std::string_view pattern) {
-  bool found = false;
-  bool has_require = false;
-  std::size_t pos = 0;
-  while ((pos = code.find(pattern, pos)) != std::string_view::npos) {
-    const std::size_t match = pos;
-    pos += pattern.size();
-    if (match > 0 && (IsIdentChar(code[match - 1]) || code[match - 1] == ':' ||
-                      code[match - 1] == '.' || code[match - 1] == '>')) {
-      continue;
-    }
-    std::size_t after = pos;
-    while (after < code.size() &&
-           std::isspace(static_cast<unsigned char>(code[after])) != 0) {
-      ++after;
-    }
-    if (after >= code.size() || code[after] != '(') continue;
-    // Find the matching ')'.
-    int depth = 0;
-    std::size_t close = after;
-    for (; close < code.size(); ++close) {
-      if (code[close] == '(') ++depth;
-      if (code[close] == ')' && --depth == 0) break;
-    }
-    if (close >= code.size()) continue;
-    // A definition has a '{' before the next ';' (allowing an init list /
-    // const / noexcept in between).
-    std::size_t body_open = std::string_view::npos;
-    for (std::size_t k = close + 1; k < code.size(); ++k) {
-      if (code[k] == '{') {
-        body_open = k;
-        break;
-      }
-      if (code[k] == ';') break;
-    }
-    if (body_open == std::string_view::npos) continue;
-    int braces = 0;
-    std::size_t body_end = body_open;
-    for (; body_end < code.size(); ++body_end) {
-      if (code[body_end] == '{') ++braces;
-      if (code[body_end] == '}' && --braces == 0) break;
-    }
-    found = true;
-    if (code.substr(body_open, body_end - body_open).find("NB_REQUIRE") !=
-        std::string_view::npos) {
-      has_require = true;
-    }
-  }
-  return {found, has_require};
+  return std::string(text);
 }
 
 }  // namespace
+
+std::vector<Suppression> CollectSuppressions(const FileModel& file) {
+  std::vector<Suppression> suppressions;
+  for (std::size_t ti = 0; ti < file.tokens().size(); ++ti) {
+    const Token& token = file.tokens()[ti];
+    if (token.kind != TokenKind::kComment) continue;
+    // A suppression is the WHOLE comment: the marker must lead it, so
+    // prose that merely mentions the syntax never parses as one.
+    const std::string text = CommentText(token);
+    if (!text.starts_with("NBLINT")) continue;
+
+    Suppression sup;
+    sup.file = file.path();
+    sup.comment_line = token.line;
+    // A trailing comment targets its own line; a comment alone on a line
+    // targets the next one.
+    bool code_before = false;
+    for (const std::size_t ci : file.code()) {
+      const Token& t = file.tokens()[ci];
+      if (t.line == token.line && t.offset < token.offset) {
+        code_before = true;
+        break;
+      }
+    }
+    sup.target_line = code_before ? token.line : token.line + 1;
+
+    const std::size_t close = text.find(')');
+    if (!text.starts_with(kMarker) || close == std::string::npos) {
+      // Malformed (typo'd marker, no closing paren): rule_id stays
+      // empty; the engine reports it instead of silently ignoring it.
+      suppressions.push_back(std::move(sup));
+      continue;
+    }
+    sup.rule_id = Trimmed(
+        std::string_view(text).substr(kMarker.size(), close - kMarker.size()));
+    std::string_view rest = std::string_view(text).substr(close + 1);
+    if (!rest.empty() && rest.front() == ':') rest.remove_prefix(1);
+    sup.justification = Trimmed(rest);
+    suppressions.push_back(std::move(sup));
+  }
+  return suppressions;
+}
 
 namespace {
-// Shared engine for StripCommentsAndStrings / StripComments: blanks
-// comments always, and string/char literal contents when strip_strings.
-std::string StripImpl(std::string_view content, bool strip_strings) {
-  std::string out(content);
-  enum class State {
-    kCode,
-    kLineComment,
-    kBlockComment,
-    kString,
-    kChar,
-    kRawString
-  };
-  State state = State::kCode;
-  std::string raw_delim;  // the )delim" closer of the active raw string
-  for (std::size_t i = 0; i < content.size(); ++i) {
-    const char c = content[i];
-    const char next = i + 1 < content.size() ? content[i + 1] : '\0';
-    switch (state) {
-      case State::kCode:
-        if (c == '/' && next == '/') {
-          state = State::kLineComment;
-          out[i] = ' ';
-        } else if (c == '/' && next == '*') {
-          state = State::kBlockComment;
-          out[i] = ' ';
-        } else if (c == '"') {
-          // Raw string: R" possibly prefixed by u8/u/U/L.
-          std::size_t p = i;
-          if (p > 0 && content[p - 1] == 'R' &&
-              (p < 2 || !IsIdentChar(content[p - 2]) ||
-               content[p - 2] == '8' || content[p - 2] == 'u' ||
-               content[p - 2] == 'U' || content[p - 2] == 'L')) {
-            raw_delim = ")";
-            std::size_t d = i + 1;
-            while (d < content.size() && content[d] != '(') {
-              raw_delim += content[d];
-              ++d;
-            }
-            raw_delim += '"';
-            state = State::kRawString;
-          } else {
-            state = State::kString;
-          }
-        } else if (c == '\'' && (i == 0 || !IsIdentChar(content[i - 1]))) {
-          state = State::kChar;
-        }
-        break;
-      case State::kLineComment:
-        if (c == '\n') {
-          state = State::kCode;
-        } else {
-          out[i] = ' ';
-        }
-        break;
-      case State::kBlockComment:
-        if (c == '*' && next == '/') {
-          out[i] = ' ';
-          out[i + 1] = ' ';
-          ++i;
-          state = State::kCode;
-        } else if (c != '\n') {
-          out[i] = ' ';
-        }
-        break;
-      case State::kString:
-        if (c == '\\') {
-          if (strip_strings) out[i] = ' ';
-          if (next != '\n') {
-            if (i + 1 < content.size() && strip_strings) out[i + 1] = ' ';
-            ++i;
-          }
-        } else if (c == '"') {
-          state = State::kCode;
-        } else if (c != '\n' && strip_strings) {
-          out[i] = ' ';
-        }
-        break;
-      case State::kChar:
-        if (c == '\\') {
-          if (strip_strings) out[i] = ' ';
-          if (i + 1 < content.size() && next != '\n') {
-            if (strip_strings) out[i + 1] = ' ';
-            ++i;
-          }
-        } else if (c == '\'') {
-          state = State::kCode;
-        } else if (c != '\n' && strip_strings) {
-          out[i] = ' ';
-        }
-        break;
-      case State::kRawString:
-        if (content.compare(i, raw_delim.size(), raw_delim) == 0) {
-          if (strip_strings) {
-            for (std::size_t k = 0; k + 1 < raw_delim.size(); ++k) {
-              out[i + k] = ' ';
-            }
-          }
-          i += raw_delim.size() - 1;
-          state = State::kCode;
-        } else if (c != '\n' && strip_strings) {
-          out[i] = ' ';
-        }
-        break;
-    }
-  }
-  return out;
-}
 
-// Comments blanked, string literals preserved -- what the include-graph
-// rule needs, since #include paths are themselves string literals.
-std::string StripComments(std::string_view content) {
-  return StripImpl(content, /*strip_strings=*/false);
-}
-}  // namespace
-
-std::string StripCommentsAndStrings(std::string_view content) {
-  return StripImpl(content, /*strip_strings=*/true);
-}
-
-std::vector<Finding> CheckHeaderGuard(const SourceFile& file) {
-  std::vector<Finding> findings;
-  if (!IsSrcHeader(file.path)) return findings;
-  const std::string expected = ExpectedGuard(file.path);
-  const std::string code = StripCommentsAndStrings(file.content);
-  const std::vector<std::string> lines = SplitLines(code);
-  for (std::size_t i = 0; i < lines.size(); ++i) {
-    const std::string guard = TokenAfter(lines[i], "#ifndef");
-    if (guard.empty()) continue;
-    if (guard != expected) {
-      findings.push_back(
-          {file.path, static_cast<int>(i) + 1, "header-guard",
-           "include guard '" + guard + "' should be '" + expected + "'"});
-      return findings;
-    }
-    // The guard name matched; the very next directive must #define it.
-    for (std::size_t j = i + 1; j < lines.size(); ++j) {
-      if (lines[j].find_first_not_of(" \t") == std::string::npos) continue;
-      const std::string defined = TokenAfter(lines[j], "#define");
-      if (defined != expected) {
-        findings.push_back({file.path, static_cast<int>(j) + 1, "header-guard",
-                            "#ifndef " + expected +
-                                " must be followed by #define " + expected});
-      }
-      return findings;
-    }
-    return findings;
-  }
-  findings.push_back({file.path, 1, "header-guard",
-                      "missing include guard (expected #ifndef " + expected +
-                          ")"});
-  return findings;
-}
-
-std::vector<Finding> CheckBannedRandomness(const SourceFile& file) {
-  std::vector<Finding> findings;
-  if (file.path == "src/util/rng.cc") return findings;
-  const std::string code = StripCommentsAndStrings(file.content);
-  constexpr std::string_view kIncludeRandom = "#include <random>";
-  constexpr std::string_view kIncludeRandomTight = "#include<random>";
-  for (std::size_t i = 0; i < code.size(); ++i) {
-    if (code.compare(i, kIncludeRandom.size(), kIncludeRandom) == 0 ||
-        code.compare(i, kIncludeRandomTight.size(), kIncludeRandomTight) ==
-            0) {
-      findings.push_back({file.path, LineOfOffset(code, i), "banned-random",
-                          "#include <random>: all randomness must flow "
-                          "through util/rng.h (Rng is the reproducibility "
-                          "boundary)"});
-      continue;
-    }
-    for (const BannedToken& banned : kBannedRandomness) {
-      if (!TokenAt(code, i, banned.token)) continue;
-      if (banned.requires_call &&
-          !FollowedByCall(code, i + banned.token.size())) {
-        continue;
-      }
-      findings.push_back(
-          {file.path, LineOfOffset(code, i), "banned-random",
-           std::string(banned.token) +
-               " is banned outside src/util/rng.cc: use Rng (seeded, "
-               "splittable) so runs stay bit-reproducible"});
-      i += banned.token.size() - 1;
-      break;
-    }
-  }
-  return findings;
-}
-
-std::vector<Finding> CheckRawThreads(const SourceFile& file) {
-  std::vector<Finding> findings;
-  if (file.path == "src/util/parallel.h") return findings;
-  const std::string code = StripCommentsAndStrings(file.content);
-  for (std::size_t i = 0; i < code.size(); ++i) {
-    for (std::string_view token : kBannedThreadTokens) {
-      if (!TokenAt(code, i, token)) continue;
-      // Static member access (std::thread::hardware_concurrency) queries;
-      // it does not spawn.
-      if (FollowedByScope(code, i + token.size())) continue;
-      findings.push_back(
-          {file.path, LineOfOffset(code, i), "raw-thread",
-           std::string(token) +
-               " is banned outside src/util/parallel.h: spawn workers via "
-               "ParallelTrials so determinism is preserved by construction"});
-      i += token.size() - 1;
-      break;
-    }
-  }
-  return findings;
-}
-
-std::vector<Finding> CheckCheckpointAtomicity(const SourceFile& file) {
-  // A checkpoint written with a bare std::ofstream can be torn by a kill
-  // mid-write, and the resume path will then (correctly, but avoidably)
-  // refuse the file.  All checkpoint writes must flow through
-  // WriteCheckpointAtomic in src/resilience/, which stages a temp file and
-  // renames it into place.  tests/ are exempt: the negative tests write
-  // deliberately corrupt checkpoint files, and src/lint/ because the
-  // rule's own diagnostic names the banned pattern.
-  std::vector<Finding> findings;
-  if (file.path.starts_with("src/resilience/") ||
-      file.path.starts_with("src/lint/") || file.path.starts_with("tests/")) {
-    return findings;
-  }
-  // Comments are stripped but string literals kept: the checkpoint path
-  // usually appears as a literal or a *_path variable on the same line.
-  const std::vector<std::string> lines =
-      SplitLines(StripComments(file.content));
-  constexpr std::string_view kStream = "std::ofstream";
-  for (std::size_t i = 0; i < lines.size(); ++i) {
-    const std::string& line = lines[i];
-    std::size_t pos = std::string::npos;
-    for (std::size_t j = 0; j + kStream.size() <= line.size(); ++j) {
-      if (TokenAt(line, j, kStream)) {
-        pos = j;
-        break;
-      }
-    }
-    if (pos == std::string::npos) continue;
-    std::string lower = line;
-    for (char& c : lower) {
-      c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
-    }
-    if (lower.find("checkpoint") == std::string::npos &&
-        lower.find("ckpt") == std::string::npos) {
-      continue;
-    }
-    findings.push_back(
-        {file.path, static_cast<int>(i) + 1, "checkpoint-atomicity",
-         "direct std::ofstream write of a checkpoint path: use "
-         "WriteCheckpointAtomic (src/resilience/checkpoint.h) so an "
-         "interrupted write can never leave a torn checkpoint"});
-  }
-  return findings;
-}
-
-std::vector<Finding> CheckChannelHotPath(const SourceFile& file) {
-  // Channel::Deliver is the Monte Carlo inner loop: one call per noisy
-  // round, one coin flip per listener on the independent channel.  A
-  // per-sample rng.Bernoulli(p)/UniformDouble() < p flip re-derives the
-  // fixed-point threshold (or pays a u64->double convert, multiply, and
-  // double compare) on every draw; channels must precompute a
-  // BernoulliSampler member instead, which is bit-identical (see
-  // util/rng.h) and a single integer compare per draw.
-  std::vector<Finding> findings;
-  if (!file.path.starts_with("src/channel/")) return findings;
-  const std::string code = StripCommentsAndStrings(file.content);
-  constexpr std::string_view kDeliver = "Deliver";
-  std::size_t pos = 0;
-  while ((pos = code.find(kDeliver, pos)) != std::string::npos) {
-    const std::size_t match = pos;
-    pos += kDeliver.size();
-    // Not TokenAt: out-of-class definitions are "::"-qualified
-    // ("IndependentNoisyChannel::Deliver"), which TokenAt deliberately
-    // rejects.  Only the identifier boundaries matter here ("DeliverShared"
-    // and "Redeliver" are different identifiers).
-    if (match > 0 && IsIdentChar(code[match - 1])) continue;
-    if (match + kDeliver.size() < code.size() &&
-        IsIdentChar(code[match + kDeliver.size()])) {
-      continue;
-    }
-    // Parameter list: the next non-space character must open it.
-    std::size_t open = match + kDeliver.size();
-    while (open < code.size() &&
-           std::isspace(static_cast<unsigned char>(code[open])) != 0) {
-      ++open;
-    }
-    if (open >= code.size() || code[open] != '(') continue;
-    int depth = 0;
-    std::size_t close = open;
-    for (; close < code.size(); ++close) {
-      if (code[close] == '(') ++depth;
-      if (code[close] == ')' && --depth == 0) break;
-    }
-    if (close >= code.size()) continue;
-    // A definition has a '{' before the next ';' (allowing const /
-    // override / noexcept in between); pure declarations are skipped.
-    std::size_t body_open = std::string::npos;
-    for (std::size_t k = close + 1; k < code.size(); ++k) {
-      if (code[k] == '{') {
-        body_open = k;
-        break;
-      }
-      if (code[k] == ';') break;
-    }
-    if (body_open == std::string::npos) continue;
-    int braces = 0;
-    std::size_t body_end = body_open;
-    for (; body_end < code.size(); ++body_end) {
-      if (code[body_end] == '{') ++braces;
-      if (code[body_end] == '}' && --braces == 0) break;
-    }
-    const std::string_view body(code.data() + body_open,
-                                body_end - body_open);
-    for (std::string_view banned : {std::string_view("UniformDouble"),
-                                    std::string_view("Bernoulli")}) {
-      for (std::size_t k = 0; (k = body.find(banned, k)) !=
-                              std::string_view::npos;
-           k += banned.size()) {
-        if (!TokenAt(body, k, banned)) continue;
-        findings.push_back(
-            {file.path, LineOfOffset(code, body_open + k),
-             "channel-hot-path",
-             std::string(banned) +
-                 " inside a Deliver implementation: precompute a "
-                 "BernoulliSampler member (util/rng.h) -- bit-identical "
-                 "stream, one integer compare per draw"});
-      }
-    }
-    pos = body_end;
-  }
-  return findings;
-}
-
-std::vector<Finding> CheckIncludeCycles(const std::vector<SourceFile>& files) {
-  std::vector<Finding> findings;
-  std::set<std::string> modules;
-  for (const SourceFile& file : files) {
-    const std::string module = ModuleOf(file.path);
-    if (!module.empty()) modules.insert(module);
-  }
-  // edges[a][b] = (file, line) of one include that witnesses a -> b.
-  std::map<std::string, std::map<std::string, std::pair<std::string, int>>>
-      edges;
-  for (const SourceFile& file : files) {
-    const std::string from = ModuleOf(file.path);
-    if (from.empty()) continue;
-    const std::vector<std::string> lines =
-        SplitLines(StripComments(file.content));
-    for (std::size_t i = 0; i < lines.size(); ++i) {
-      const std::string& line = lines[i];
-      std::size_t pos = line.find("#include \"");
-      if (pos == std::string::npos) continue;
-      const std::size_t start = pos + 10;
-      const std::size_t slash = line.find('/', start);
-      const std::size_t quote = line.find('"', start);
-      if (slash == std::string::npos || quote == std::string::npos ||
-          slash > quote) {
-        continue;
-      }
-      const std::string to = line.substr(start, slash - start);
-      if (to == from || modules.count(to) == 0) continue;
-      edges[from].emplace(to,
-                          std::make_pair(file.path, static_cast<int>(i) + 1));
-    }
-  }
-  // Iterative DFS with three colours; a grey->grey edge closes a cycle.
-  std::map<std::string, int> colour;  // 0 white, 1 grey, 2 black
-  std::vector<std::string> stack;
-  auto dfs = [&](auto&& self, const std::string& node) -> void {
-    colour[node] = 1;
-    stack.push_back(node);
-    for (const auto& [to, witness] : edges[node]) {
-      if (colour[to] == 1) {
-        std::string path;
-        auto it = std::find(stack.begin(), stack.end(), to);
-        for (; it != stack.end(); ++it) path += *it + " -> ";
-        path += to;
-        findings.push_back({witness.first, witness.second, "include-cycle",
-                            "module include cycle: " + path});
-      } else if (colour[to] == 0) {
-        self(self, to);
-      }
-    }
-    stack.pop_back();
-    colour[node] = 2;
-  };
-  for (const std::string& module : modules) {
-    if (colour[module] == 0) dfs(dfs, module);
-  }
-  return findings;
-}
-
-std::vector<Finding> CheckRequireCoverage(const std::vector<SourceFile>& files) {
-  std::vector<Finding> findings;
-  std::map<std::string, const SourceFile*> by_path;
-  for (const SourceFile& file : files) by_path[file.path] = &file;
-  for (const SourceFile& file : files) {
-    if (!IsSrcHeader(file.path)) continue;
-    for (const DocumentedDecl& decl : CollectDocumentedDecls(file)) {
-      // Constructors are defined out of line as Name::Name, or inline in
-      // the class body as plain Name; factories as plain Name.
-      std::vector<std::string> patterns = {decl.name};
-      if (decl.is_ctor) patterns.insert(patterns.begin(),
-                                        decl.name + "::" + decl.name);
-      // Look in the paired .cc and in the header itself (header-only
-      // definitions).
-      const std::string cc_path =
-          file.path.substr(0, file.path.size() - 2) + ".cc";
-      bool found = false;
-      bool has_require = false;
-      for (const std::string& candidate : {cc_path, file.path}) {
-        auto it = by_path.find(candidate);
-        if (it == by_path.end()) continue;
-        const std::string code =
-            StripCommentsAndStrings(it->second->content);
-        for (const std::string& pattern : patterns) {
-          const auto [f, r] = DefinitionsHaveRequire(code, pattern);
-          found = found || f;
-          has_require = has_require || r;
-        }
-      }
-      if (found && !has_require) {
-        findings.push_back(
-            {decl.header, decl.line, "require-precondition",
-             decl.name + " documents a Precondition but its definition "
-                         "never calls NB_REQUIRE"});
-      }
-    }
-  }
-  return findings;
-}
-
-std::vector<Finding> CheckFaultLayering(const std::vector<SourceFile>& files) {
-  // The fault-injection layer must stay a leaf: it may reach down into
-  // channel/ and protocol/ (plus util/ and itself), and only coding/,
-  // bench/, tools/, and tests may reach back into it.  Anything else
-  // would let the core grow a dependency on its own failure model.
-  static const std::set<std::string> kFaultMayInclude = {
-      "fault", "channel", "protocol", "util"};
-  std::vector<Finding> findings;
-  for (const SourceFile& file : files) {
-    const std::string module = ModuleOf(file.path);
-    const bool in_fault = module == "fault";
-    const bool may_include_fault =
-        in_fault || module == "coding" || file.path.starts_with("bench/") ||
-        file.path.starts_with("tools/") || file.path.starts_with("tests/");
-    const std::vector<std::string> lines =
-        SplitLines(StripComments(file.content));
-    for (std::size_t i = 0; i < lines.size(); ++i) {
-      const std::string& line = lines[i];
-      const std::size_t pos = line.find("#include \"");
-      if (pos == std::string::npos) continue;
-      const std::size_t start = pos + 10;
-      const std::size_t slash = line.find('/', start);
-      const std::size_t quote = line.find('"', start);
-      if (slash == std::string::npos || quote == std::string::npos ||
-          slash > quote) {
-        continue;
-      }
-      const std::string to = line.substr(start, slash - start);
-      const int line_no = static_cast<int>(i) + 1;
-      if (in_fault && kFaultMayInclude.count(to) == 0) {
-        findings.push_back(
-            {file.path, line_no, "fault-layering",
-             "src/fault/ may include only fault/, channel/, protocol/, and "
-             "util/ headers, not \"" + to + "/...\""});
-      } else if (!may_include_fault && to == "fault") {
-        findings.push_back(
-            {file.path, line_no, "fault-layering",
-             "only src/fault/, src/coding/, bench/, tools/, and tests may "
-             "include \"fault/...\" headers; the core must not depend on "
-             "the fault layer"});
-      }
-    }
-  }
-  return findings;
-}
-
-std::vector<Finding> RunAllChecks(const std::vector<SourceFile>& files) {
-  std::vector<Finding> findings;
-  for (const SourceFile& file : files) {
-    for (auto* check : {&CheckHeaderGuard, &CheckBannedRandomness,
-                        &CheckRawThreads, &CheckCheckpointAtomicity,
-                        &CheckChannelHotPath}) {
-      std::vector<Finding> found = (*check)(file);
-      findings.insert(findings.end(), found.begin(), found.end());
-    }
-  }
-  for (auto* check :
-       {&CheckIncludeCycles, &CheckRequireCoverage, &CheckFaultLayering}) {
-    std::vector<Finding> found = (*check)(files);
-    findings.insert(findings.end(), found.begin(), found.end());
-  }
+void SortFindings(std::vector<Finding>& findings) {
   std::sort(findings.begin(), findings.end(),
             [](const Finding& a, const Finding& b) {
               return std::tie(a.file, a.line, a.rule_id, a.message) <
                      std::tie(b.file, b.line, b.rule_id, b.message);
             });
+}
+
+}  // namespace
+
+std::vector<Finding> RunRule(const Rule& rule,
+                             const std::vector<SourceFile>& files) {
+  std::vector<Finding> findings;
+  if (rule.run != nullptr) {
+    const RepoModel model(files);
+    rule.run(model, findings);
+    for (Finding& f : findings) f.severity = rule.severity;
+  }
+  SortFindings(findings);
+  return findings;
+}
+
+std::vector<Finding> RunAllChecks(const std::vector<SourceFile>& files) {
+  const RepoModel model(files);
+  std::vector<Finding> findings;
+  for (const Rule& rule : AllRules()) {
+    if (rule.run == nullptr) continue;
+    const std::size_t before = findings.size();
+    rule.run(model, findings);
+    for (std::size_t i = before; i < findings.size(); ++i) {
+      findings[i].severity = rule.severity;
+    }
+  }
+
+  std::vector<Finding> meta;
+  for (const FileModel& file : model.files()) {
+    for (const Suppression& sup : CollectSuppressions(file)) {
+      if (sup.rule_id.empty()) {
+        meta.push_back(
+            {sup.file, sup.comment_line, "suppression-unknown-rule",
+             "malformed NBLINT suppression: expected "
+             "// NBLINT(rule-id): justification"});
+        continue;
+      }
+      if (FindRule(sup.rule_id) == nullptr) {
+        meta.push_back(
+            {sup.file, sup.comment_line, "suppression-unknown-rule",
+             "NBLINT suppression names unknown rule '" + sup.rule_id +
+                 "'; it silences nothing"});
+        continue;
+      }
+      if (sup.justification.empty()) {
+        meta.push_back(
+            {sup.file, sup.comment_line, "suppression-justification",
+             "NBLINT(" + sup.rule_id +
+                 ") suppression has no justification -- say why the "
+                 "finding is acceptable; an unjustified suppression "
+                 "silences nothing"});
+        continue;
+      }
+      std::erase_if(findings, [&sup](const Finding& f) {
+        return f.file == sup.file && f.rule_id == sup.rule_id &&
+               f.line == sup.target_line;
+      });
+    }
+  }
+  findings.insert(findings.end(), meta.begin(), meta.end());
+  SortFindings(findings);
   return findings;
 }
 
 std::string FormatText(const std::vector<Finding>& findings) {
-  std::ostringstream os;
+  std::string out;
   for (const Finding& f : findings) {
-    os << f.file << ":" << f.line << ": " << f.rule_id << ": " << f.message
-       << "\n";
+    out += f.file + ":" + std::to_string(f.line) + ": ";
+    out += SeverityName(f.severity);
+    out += ": " + f.rule_id + ": " + f.message + "\n";
   }
-  return os.str();
+  return out;
 }
 
 namespace {
-void AppendJsonString(std::string& out, const std::string& s) {
+
+void AppendJsonString(std::string& out, std::string_view s) {
   out += '"';
   for (char c : s) {
     switch (c) {
@@ -826,6 +180,7 @@ void AppendJsonString(std::string& out, const std::string& s) {
   }
   out += '"';
 }
+
 }  // namespace
 
 std::string FormatJson(const std::vector<Finding>& findings) {
@@ -836,11 +191,82 @@ std::string FormatJson(const std::vector<Finding>& findings) {
     AppendJsonString(out, findings[i].file);
     out += ", \"line\": " + std::to_string(findings[i].line) + ", \"rule\": ";
     AppendJsonString(out, findings[i].rule_id);
+    out += ", \"severity\": ";
+    AppendJsonString(out, SeverityName(findings[i].severity));
     out += ", \"message\": ";
     AppendJsonString(out, findings[i].message);
     out += "}";
   }
   out += findings.empty() ? "]\n" : "\n]\n";
+  return out;
+}
+
+std::string FormatSarif(const std::vector<Finding>& findings) {
+  // SARIF maps our severities onto its `level` enum: error stays error,
+  // warn becomes "warning".
+  const auto level = [](Severity s) {
+    return s == Severity::kError ? "error" : "warning";
+  };
+  std::string out;
+  out +=
+      "{\n"
+      "  \"$schema\": "
+      "\"https://json.schemastore.org/sarif-2.1.0.json\",\n"
+      "  \"version\": \"2.1.0\",\n"
+      "  \"runs\": [\n"
+      "    {\n"
+      "      \"tool\": {\n"
+      "        \"driver\": {\n"
+      "          \"name\": \"nblint\",\n"
+      "          \"informationUri\": \"docs/TOOLING.md\",\n"
+      "          \"rules\": [\n";
+  const std::vector<Rule>& rules = AllRules();
+  for (std::size_t i = 0; i < rules.size(); ++i) {
+    out += "            {\"id\": ";
+    AppendJsonString(out, rules[i].id);
+    out += ", \"shortDescription\": {\"text\": ";
+    AppendJsonString(out, rules[i].summary);
+    out += "}, \"defaultConfiguration\": {\"level\": ";
+    AppendJsonString(out, level(rules[i].severity));
+    out += "}, \"properties\": {\"category\": ";
+    AppendJsonString(out, rules[i].category);
+    out += "}}";
+    out += i + 1 < rules.size() ? ",\n" : "\n";
+  }
+  out +=
+      "          ]\n"
+      "        }\n"
+      "      },\n"
+      "      \"results\": [\n";
+  for (std::size_t i = 0; i < findings.size(); ++i) {
+    const Finding& f = findings[i];
+    std::size_t rule_index = 0;
+    for (std::size_t r = 0; r < rules.size(); ++r) {
+      if (rules[r].id == f.rule_id) {
+        rule_index = r;
+        break;
+      }
+    }
+    out += "        {\"ruleId\": ";
+    AppendJsonString(out, f.rule_id);
+    out += ", \"ruleIndex\": " + std::to_string(rule_index);
+    out += ", \"level\": ";
+    AppendJsonString(out, level(f.severity));
+    out += ", \"message\": {\"text\": ";
+    AppendJsonString(out, f.message);
+    out +=
+        "}, \"locations\": [{\"physicalLocation\": {\"artifactLocation\": "
+        "{\"uri\": ";
+    AppendJsonString(out, f.file);
+    out += "}, \"region\": {\"startLine\": " + std::to_string(f.line) +
+           "}}}]}";
+    out += i + 1 < findings.size() ? ",\n" : "\n";
+  }
+  out +=
+      "      ]\n"
+      "    }\n"
+      "  ]\n"
+      "}\n";
   return out;
 }
 

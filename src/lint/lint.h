@@ -1,97 +1,78 @@
 // nblint: project-specific static checks for the noisybeeps sources.
 //
-// Generic linters cannot see this library's correctness contracts; nblint
-// enforces the ones that keep the Monte Carlo reproduction deterministic
-// and the public API honest:
+// The checker is built in two stages.  Stage one (token.h, model.h) lexes
+// every file into a classified token stream and derives a lightweight
+// structural model: function/class boundaries, qualified names, declared
+// value types, and the src/ module include graph.  Stage two (rules.h) is
+// a registry of rules -- each with an id, a severity, a category, and a
+// firing fixture -- that run over the model.  This header is the engine
+// that ties them together: it runs the rules, applies inline suppressions,
+// and renders findings as text, JSON, or SARIF 2.1.0.
 //
-//   header-guard           include guards must be NOISYBEEPS_<PATH>_H_
-//   banned-random          no std::rand / std::random_device / <random> /
-//                          std::mt19937 etc. outside src/util/rng.cc --
-//                          all randomness flows through the splittable Rng
-//   raw-thread             no std::thread / std::jthread / std::async /
-//                          pthread_create outside src/util/parallel.h --
-//                          ParallelTrials is the only concurrency primitive
-//   include-cycle          the src/ module graph (util, ecc, channel,
-//                          protocol, tasks, fault, coding, analysis, lint)
-//                          must stay acyclic
-//   fault-layering         src/fault/ may include only util/, channel/,
-//                          protocol/ (and itself); fault/ headers may be
-//                          included only from fault/, coding/, bench/,
-//                          tools/, and tests/ -- the fault layer stays a
-//                          leaf the core cannot grow a dependency on
-//   require-precondition   a constructor or Make*/Sample* factory whose
-//                          header declaration documents a "Precondition:"
-//                          must call NB_REQUIRE in its definition
-//   checkpoint-atomicity   no direct std::ofstream writes of checkpoint
-//                          files outside src/resilience/ -- checkpoints
-//                          must go through WriteCheckpointAtomic (temp file
-//                          + rename) so a kill mid-write can never leave a
-//                          torn file that a resume would then reject
-//   channel-hot-path       no per-sample UniformDouble()/Bernoulli() coin
-//                          flips inside src/channel/ Deliver bodies -- the
-//                          Monte Carlo inner loop must draw through a
-//                          precomputed BernoulliSampler (bit-identical,
-//                          one integer compare per draw)
+// Suppressions.  A finding can be silenced for one line with
+//
+//     offending code;  // NBLINT(rule-id): why this is acceptable
+//
+// A suppression comment on its own line targets the NEXT line; trailing a
+// statement it targets its own line.  The justification is mandatory: an
+// empty one suppresses nothing and is reported as
+// `suppression-justification`, and a rule id that does not exist is
+// reported as `suppression-unknown-rule`.  Silencing must never be
+// cheaper than fixing.
 //
 // The checks operate on file CONTENTS handed in by the caller (the nblint
-// tool reads the tree; the unit test feeds synthetic files), with comments
-// and string/char literals stripped first so documentation never
-// false-positives.  Findings print as "file:line: rule-id: message" or as
-// JSON via --json.
+// tool reads the tree; the unit tests feed synthetic files).  Findings
+// print as "file:line: severity: rule-id: message", as JSON via --json, or
+// as SARIF via --sarif.
 #ifndef NOISYBEEPS_LINT_LINT_H_
 #define NOISYBEEPS_LINT_LINT_H_
 
 #include <string>
-#include <string_view>
 #include <vector>
+
+#include "lint/model.h"
+#include "lint/rules.h"
 
 namespace noisybeeps::lint {
 
-struct SourceFile {
-  // Repo-relative path with '/' separators, e.g. "src/util/rng.h".
-  std::string path;
-  std::string content;
-};
-
-struct Finding {
+// One parsed NBLINT comment.
+struct Suppression {
   std::string file;
-  int line = 0;
+  int comment_line = 0;  // where the NBLINT comment sits
+  int target_line = 0;   // the line whose findings it silences
   std::string rule_id;
-  std::string message;
+  std::string justification;
 
-  friend bool operator==(const Finding& a, const Finding& b) = default;
+  friend bool operator==(const Suppression& a, const Suppression& b) =
+      default;
 };
 
-// Replaces comments and string/char literal contents with spaces,
-// preserving newlines (so line numbers survive).  Handles //, /* */,
-// "...", '...', and raw string literals; a ' preceded by an identifier
-// character is treated as a digit separator, not a char literal.
-[[nodiscard]] std::string StripCommentsAndStrings(std::string_view content);
+// All NBLINT suppressions in one file, in order of appearance.  Malformed
+// markers (no closing parenthesis) come back with an empty rule_id so the
+// engine can report them instead of dropping them.
+[[nodiscard]] std::vector<Suppression> CollectSuppressions(
+    const FileModel& file);
 
-// Individual rules (exposed for unit tests).  Per-file rules:
-[[nodiscard]] std::vector<Finding> CheckHeaderGuard(const SourceFile& file);
-[[nodiscard]] std::vector<Finding> CheckBannedRandomness(
-    const SourceFile& file);
-[[nodiscard]] std::vector<Finding> CheckRawThreads(const SourceFile& file);
-[[nodiscard]] std::vector<Finding> CheckCheckpointAtomicity(
-    const SourceFile& file);
-[[nodiscard]] std::vector<Finding> CheckChannelHotPath(const SourceFile& file);
-// Whole-repo rules:
-[[nodiscard]] std::vector<Finding> CheckIncludeCycles(
-    const std::vector<SourceFile>& files);
-[[nodiscard]] std::vector<Finding> CheckRequireCoverage(
-    const std::vector<SourceFile>& files);
-[[nodiscard]] std::vector<Finding> CheckFaultLayering(
-    const std::vector<SourceFile>& files);
+// Runs a single rule over `files` with NO suppression processing --
+// what rule unit tests and the vacuity meta-test want.  Engine-implemented
+// rules (rule.run == nullptr) yield no findings here; exercise those
+// through RunAllChecks.  Findings carry the rule's severity and are sorted.
+[[nodiscard]] std::vector<Finding> RunRule(
+    const Rule& rule, const std::vector<SourceFile>& files);
 
-// All rules over all files, findings sorted by (file, line, rule).
+// The full engine: every registered rule over every file, suppressions
+// applied, suppression findings added, sorted by (file, line, rule,
+// message).
 [[nodiscard]] std::vector<Finding> RunAllChecks(
     const std::vector<SourceFile>& files);
 
-// "file:line: rule-id: message\n" per finding.
+// "file:line: severity: rule-id: message\n" per finding.
 [[nodiscard]] std::string FormatText(const std::vector<Finding>& findings);
-// A JSON array of {"file","line","rule","message"} objects.
+// A JSON array of {"file","line","rule","severity","message"} objects.
 [[nodiscard]] std::string FormatJson(const std::vector<Finding>& findings);
+// A SARIF 2.1.0 log: one run, the full rule registry in
+// tool.driver.rules, one result per finding.
+[[nodiscard]] std::string FormatSarif(const std::vector<Finding>& findings);
 
 }  // namespace noisybeeps::lint
 

@@ -1,0 +1,852 @@
+#include "lint/rules.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstring>
+#include <utility>
+
+namespace noisybeeps::lint {
+namespace {
+
+bool IsSrcHeader(const FileModel& file) {
+  return file.path().starts_with("src/") && file.is_header();
+}
+
+std::string ExpectedGuard(const std::string& path) {
+  std::string guard = "NOISYBEEPS_";
+  for (char c : path.substr(4, path.size() - 4 - 2)) {  // strip src/ and .h
+    if (c == '/' || c == '.') {
+      guard += '_';
+    } else {
+      guard += static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+    }
+  }
+  guard += "_H_";
+  return guard;
+}
+
+const Token& Tok(const FileModel& file, std::size_t ci) {
+  return file.tokens()[file.code()[ci]];
+}
+
+// The ::-qualified identifier chain ending at code index `ci`
+// ("std" "::" "rand" -> parts {"std","rand"}), plus its start index.
+struct IdentChain {
+  std::vector<std::string> parts;
+  std::size_t start_ci = 0;
+};
+
+IdentChain ChainEndingAt(const FileModel& file, std::size_t ci) {
+  IdentChain chain;
+  chain.parts.push_back(Tok(file, ci).text);
+  chain.start_ci = ci;
+  while (chain.start_ci >= 2 &&
+         Tok(file, chain.start_ci - 1).text == "::" &&
+         Tok(file, chain.start_ci - 2).kind == TokenKind::kIdentifier) {
+    chain.start_ci -= 2;
+    chain.parts.push_back(Tok(file, chain.start_ci).text);
+  }
+  std::reverse(chain.parts.begin(), chain.parts.end());
+  return chain;
+}
+
+// True when `ci` is the last identifier of its qualification chain (the
+// next token is not a '::' continuing it).
+bool IsChainEnd(const FileModel& file, std::size_t ci) {
+  return ci + 1 >= file.code().size() || Tok(file, ci + 1).text != "::";
+}
+
+// --- header-guard -----------------------------------------------------------
+
+void CheckHeaderGuard(const RepoModel& repo, std::vector<Finding>& out) {
+  for (const FileModel& file : repo.files()) {
+    if (!IsSrcHeader(file)) continue;
+    const std::string expected = ExpectedGuard(file.path());
+    const std::vector<std::size_t>& code = file.code();
+    bool found_ifndef = false;
+    for (std::size_t ci = 0; ci + 2 < code.size(); ++ci) {
+      const Token& hash = Tok(file, ci);
+      if (hash.text != "#" || Tok(file, ci + 1).text != "ifndef" ||
+          Tok(file, ci + 1).line != hash.line) {
+        continue;
+      }
+      const Token& name = Tok(file, ci + 2);
+      if (name.kind != TokenKind::kIdentifier || name.line != hash.line) {
+        continue;
+      }
+      found_ifndef = true;
+      if (name.text != expected) {
+        out.push_back(
+            {file.path(), name.line, "header-guard",
+             "include guard '" + name.text + "' should be '" + expected +
+                 "'"});
+        break;
+      }
+      // The guard name matched; the very next directive must #define it.
+      if (ci + 5 < code.size() && Tok(file, ci + 3).text == "#" &&
+          Tok(file, ci + 4).text == "define" &&
+          Tok(file, ci + 5).text == expected) {
+        break;
+      }
+      if (ci + 3 < code.size()) {
+        out.push_back({file.path(), Tok(file, ci + 3).line, "header-guard",
+                       "#ifndef " + expected +
+                           " must be followed by #define " + expected});
+      }
+      break;
+    }
+    if (!found_ifndef) {
+      out.push_back({file.path(), 1, "header-guard",
+                     "missing include guard (expected #ifndef " + expected +
+                         ")"});
+    }
+  }
+}
+
+// --- banned-random ----------------------------------------------------------
+
+void CheckBannedRandomness(const RepoModel& repo, std::vector<Finding>& out) {
+  // requires_call: bare rand/srand are only banned as calls, so a local
+  // variable named `rand` never false-positives.
+  struct BannedToken {
+    std::string_view token;
+    bool requires_call;
+  };
+  static constexpr BannedToken kBanned[] = {
+      {"std::rand", false},          {"std::srand", false},
+      {"std::random_device", false}, {"std::mt19937", false},
+      {"std::mt19937_64", false},    {"std::minstd_rand", false},
+      {"std::default_random_engine", false},
+      {"std::random_shuffle", false},
+      {"rand", true},                {"srand", true},
+      {"drand48", false},            {"lrand48", false},
+  };
+  for (const FileModel& file : repo.files()) {
+    if (file.path() == "src/util/rng.cc") continue;
+    for (const IncludeEdge& inc : file.includes()) {
+      if (inc.system && inc.target == "random") {
+        out.push_back({file.path(), inc.line, "banned-random",
+                       "#include <random>: all randomness must flow "
+                       "through util/rng.h (Rng is the reproducibility "
+                       "boundary)"});
+      }
+    }
+    const std::vector<std::size_t>& code = file.code();
+    for (std::size_t ci = 0; ci < code.size(); ++ci) {
+      const Token& t = Tok(file, ci);
+      if (t.kind != TokenKind::kIdentifier || !IsChainEnd(file, ci)) continue;
+      const IdentChain chain = ChainEndingAt(file, ci);
+      // Any chain PREFIX may match: std::mt19937::min is still std::mt19937.
+      std::string prefix;
+      for (std::size_t p = 0; p < chain.parts.size(); ++p) {
+        if (p > 0) prefix += "::";
+        prefix += chain.parts[p];
+        for (const BannedToken& banned : kBanned) {
+          if (prefix != banned.token) continue;
+          if (banned.requires_call &&
+              (chain.parts.size() > 1 || ci + 1 >= code.size() ||
+               Tok(file, ci + 1).text != "(")) {
+            continue;
+          }
+          out.push_back(
+              {file.path(), Tok(file, chain.start_ci).line, "banned-random",
+               std::string(banned.token) +
+                   " is banned outside src/util/rng.cc: use Rng (seeded, "
+                   "splittable) so runs stay bit-reproducible"});
+          p = chain.parts.size();  // one finding per chain
+          break;
+        }
+      }
+    }
+  }
+}
+
+// --- raw-thread -------------------------------------------------------------
+
+void CheckRawThreads(const RepoModel& repo, std::vector<Finding>& out) {
+  static constexpr std::string_view kBanned[] = {
+      "std::thread", "std::jthread", "std::async", "pthread_create"};
+  for (const FileModel& file : repo.files()) {
+    if (file.path() == "src/util/parallel.h") continue;
+    const std::vector<std::size_t>& code = file.code();
+    for (std::size_t ci = 0; ci < code.size(); ++ci) {
+      const Token& t = Tok(file, ci);
+      if (t.kind != TokenKind::kIdentifier || !IsChainEnd(file, ci)) continue;
+      const IdentChain chain = ChainEndingAt(file, ci);
+      std::string qualified;
+      for (std::size_t p = 0; p < chain.parts.size(); ++p) {
+        if (p > 0) qualified += "::";
+        qualified += chain.parts[p];
+      }
+      // Only the FULL chain counts: std::thread::hardware_concurrency is a
+      // static query, not a spawn, so a longer chain is exempt.
+      for (std::string_view banned : kBanned) {
+        if (qualified != banned) continue;
+        out.push_back(
+            {file.path(), Tok(file, chain.start_ci).line, "raw-thread",
+             std::string(banned) +
+                 " is banned outside src/util/parallel.h: spawn workers via "
+                 "ParallelTrials so determinism is preserved by "
+                 "construction"});
+        break;
+      }
+    }
+  }
+}
+
+// --- include-cycle ----------------------------------------------------------
+
+void CheckIncludeCycles(const RepoModel& repo, std::vector<Finding>& out) {
+  // Iterative-enough DFS with three colours; a grey->grey edge closes a
+  // cycle, reported at the witnessing #include.
+  std::map<std::string, int> colour;  // 0 white, 1 grey, 2 black
+  std::vector<std::string> stack;
+  auto dfs = [&](auto&& self, const std::string& node) -> void {
+    colour[node] = 1;
+    stack.push_back(node);
+    const auto it = repo.edges().find(node);
+    if (it != repo.edges().end()) {
+      for (const auto& [to, witness] : it->second) {
+        if (colour[to] == 1) {
+          std::string path;
+          auto s = std::find(stack.begin(), stack.end(), to);
+          for (; s != stack.end(); ++s) path += *s + " -> ";
+          path += to;
+          out.push_back({witness.file, witness.line, "include-cycle",
+                         "module include cycle: " + path});
+        } else if (colour[to] == 0) {
+          self(self, to);
+        }
+      }
+    }
+    stack.pop_back();
+    colour[node] = 2;
+  };
+  for (const std::string& module : repo.modules()) {
+    if (colour[module] == 0) dfs(dfs, module);
+  }
+}
+
+// --- layering ---------------------------------------------------------------
+
+// The declarative module-layer table: every src/ module appears here with
+// the exact set of sibling modules it may include.  Adding a module or a
+// dependency means editing this table -- which is the point: the layering
+// of the simulator is a reviewed decision, not an accident of #includes.
+const std::map<std::string, std::set<std::string>>& LayerTable() {
+  static const std::map<std::string, std::set<std::string>> kTable = {
+      {"util", {}},
+      {"lint", {"util"}},
+      {"ecc", {"util"}},
+      {"channel", {"util"}},
+      {"protocol", {"channel", "util"}},
+      {"tasks", {"protocol", "util"}},
+      {"fault", {"channel", "protocol", "util"}},
+      {"coding", {"channel", "ecc", "fault", "protocol", "util"}},
+      {"analysis", {"protocol", "tasks", "util"}},
+      {"resilience", {"util"}},
+  };
+  return kTable;
+}
+
+void CheckLayering(const RepoModel& repo, std::vector<Finding>& out) {
+  // Restricted modules stay leaves: their headers may be included from
+  // inside src/ only where the layer table says so, and from outside src/
+  // only by the listed directories.  The core must never grow a dependency
+  // on its own failure model.
+  static const std::set<std::string> kRestricted = {"fault"};
+  static const std::set<std::string> kRestrictedImporterDirs = {
+      "bench/", "tools/", "tests/"};
+  for (const FileModel& file : repo.files()) {
+    const std::string& from = file.module();
+    const auto layer = LayerTable().find(from);
+    if (!from.empty() && layer == LayerTable().end()) {
+      out.push_back(
+          {file.path(), 1, "layering",
+           "module src/" + from +
+               "/ is not in the nblint layer table; add it with an "
+               "explicit allowed-dependency list (src/lint/rules.cc)"});
+      continue;
+    }
+    for (const IncludeEdge& inc : file.includes()) {
+      if (inc.system || inc.module.empty() || inc.module == from) continue;
+      if (!from.empty()) {
+        if (layer->second.count(inc.module) > 0) continue;
+        std::string allowed;
+        for (const std::string& dep : layer->second) {
+          if (!allowed.empty()) allowed += ", ";
+          allowed += dep + "/";
+        }
+        if (allowed.empty()) allowed = "no other module";
+        out.push_back({file.path(), inc.line, "layering",
+                       "layer table forbids src/" + from + "/ including \"" +
+                           inc.module + "/...\" (allowed: " + allowed + ")"});
+        continue;
+      }
+      if (kRestricted.count(inc.module) == 0) continue;
+      bool allowed_dir = false;
+      for (const std::string& dir : kRestrictedImporterDirs) {
+        if (file.path().starts_with(dir)) allowed_dir = true;
+      }
+      if (allowed_dir) continue;
+      out.push_back(
+          {file.path(), inc.line, "layering",
+           "only src/fault/, src/coding/, bench/, tools/, and tests may "
+           "include \"fault/...\" headers; the core must not depend on "
+           "the fault layer"});
+    }
+  }
+}
+
+// --- require-precondition ---------------------------------------------------
+
+// Declarator tokens that may sit between a Precondition comment and the
+// function name it documents: specifiers, attributes, and the return type.
+// Anything else (a member variable's '=' or ';', a brace) means the comment
+// does not belong to the next recorded function.
+bool IsDeclPrefixToken(const Token& t) {
+  if (t.kind == TokenKind::kIdentifier) return true;
+  static const std::set<std::string> kAllowed = {"::", "<",  ">", ">>", "&",
+                                                 "&&", "*",  "[", "]",  ",",
+                                                 "~"};
+  return kAllowed.count(t.text) > 0;
+}
+
+bool BodyCallsRequire(const FileModel& file, const FunctionInfo& fn) {
+  if (!fn.is_definition) return false;
+  for (std::size_t i = fn.body_begin; i <= fn.body_end &&
+                                      i < file.tokens().size();
+       ++i) {
+    const Token& t = file.tokens()[i];
+    if (t.kind == TokenKind::kIdentifier && t.text == "NB_REQUIRE") {
+      return true;
+    }
+  }
+  return false;
+}
+
+void CheckRequireCoverage(const RepoModel& repo, std::vector<Finding>& out) {
+  for (const FileModel& file : repo.files()) {
+    if (!IsSrcHeader(file)) continue;
+    for (const Token& comment : file.tokens()) {
+      if (comment.kind != TokenKind::kComment ||
+          comment.text.find("Precondition") == std::string::npos) {
+        continue;
+      }
+      // The first code token after the comment starts the documented
+      // declaration; find the function whose name token follows it.
+      std::size_t first_code = kNpos;
+      for (std::size_t ci = 0; ci < file.code().size(); ++ci) {
+        if (Tok(file, ci).offset > comment.offset) {
+          first_code = ci;
+          break;
+        }
+      }
+      if (first_code == kNpos) continue;
+      const FunctionInfo* decl = nullptr;
+      for (const FunctionInfo& fn : file.functions()) {
+        if (file.tokens()[fn.name_token].offset >=
+            Tok(file, first_code).offset) {
+          decl = &fn;
+          break;
+        }
+      }
+      if (decl == nullptr) continue;
+      bool attached = true;
+      for (std::size_t ci = first_code; ci < file.code().size() &&
+                                        file.code()[ci] < decl->name_token;
+           ++ci) {
+        if (!IsDeclPrefixToken(Tok(file, ci))) {
+          attached = false;
+          break;
+        }
+      }
+      if (!attached) continue;
+      const bool is_ctor =
+          !decl->class_name.empty() && decl->name == decl->class_name;
+      const bool is_factory = decl->name.starts_with("Make") ||
+                              decl->name.starts_with("Sample");
+      if (!is_ctor && !is_factory) continue;
+      // Definitions live in the paired .cc or in the header itself.
+      std::string cc_path = file.path();
+      cc_path.replace(cc_path.size() - 2, 2, ".cc");
+      bool found = false;
+      bool has_require = false;
+      for (const FileModel* candidate :
+           {repo.FindFile(cc_path), &file}) {
+        if (candidate == nullptr) continue;
+        for (const FunctionInfo& fn : candidate->functions()) {
+          if (!fn.is_definition || fn.name != decl->name) continue;
+          if (is_ctor && fn.class_name != decl->name) continue;
+          found = true;
+          has_require = has_require || BodyCallsRequire(*candidate, fn);
+        }
+      }
+      if (found && !has_require) {
+        out.push_back(
+            {file.path(), comment.line, "require-precondition",
+             decl->name + " documents a Precondition but its definition "
+                          "never calls NB_REQUIRE"});
+      }
+    }
+  }
+}
+
+// --- checkpoint-atomicity ---------------------------------------------------
+
+void CheckCheckpointAtomicity(const RepoModel& repo,
+                              std::vector<Finding>& out) {
+  // tests/ are exempt (the negative tests write deliberately corrupt
+  // checkpoints), src/resilience/ owns the sanctioned writer, and
+  // src/lint/ names the banned pattern in its own diagnostics.
+  for (const FileModel& file : repo.files()) {
+    if (file.path().starts_with("src/resilience/") ||
+        file.path().starts_with("src/lint/") ||
+        file.path().starts_with("tests/")) {
+      continue;
+    }
+    const std::vector<std::size_t>& code = file.code();
+    for (std::size_t ci = 2; ci < code.size(); ++ci) {
+      if (Tok(file, ci).text != "ofstream" ||
+          Tok(file, ci - 1).text != "::" ||
+          Tok(file, ci - 2).text != "std") {
+        continue;
+      }
+      const int line = Tok(file, ci - 2).line;
+      if (!file.LineMentions(line, "checkpoint") &&
+          !file.LineMentions(line, "ckpt")) {
+        continue;
+      }
+      out.push_back(
+          {file.path(), line, "checkpoint-atomicity",
+           "direct std::ofstream write of a checkpoint path: use "
+           "WriteCheckpointAtomic (src/resilience/checkpoint.h) so an "
+           "interrupted write can never leave a torn checkpoint"});
+    }
+  }
+}
+
+// --- channel-hot-path -------------------------------------------------------
+
+void CheckChannelHotPath(const RepoModel& repo, std::vector<Finding>& out) {
+  // Channel::Deliver is the Monte Carlo inner loop: one call per noisy
+  // round, one coin flip per listener.  Per-sample rng.Bernoulli(p) /
+  // UniformDouble() < p re-derives the fixed-point threshold on every
+  // draw; channels must precompute a BernoulliSampler member instead,
+  // which is bit-identical (see util/rng.h) and one integer compare.
+  for (const FileModel& file : repo.files()) {
+    if (!file.path().starts_with("src/channel/")) continue;
+    for (const FunctionInfo& fn : file.functions()) {
+      if (fn.name != "Deliver" || !fn.is_definition) continue;
+      const std::vector<std::size_t>& code = file.code();
+      for (std::size_t ci = 0; ci < code.size(); ++ci) {
+        if (file.code()[ci] <= fn.body_begin) continue;
+        if (file.code()[ci] >= fn.body_end) break;
+        const Token& t = Tok(file, ci);
+        if (t.kind != TokenKind::kIdentifier ||
+            (t.text != "UniformDouble" && t.text != "Bernoulli")) {
+          continue;
+        }
+        if (ci > 0 && Tok(file, ci - 1).text == "::") continue;
+        out.push_back(
+            {file.path(), t.line, "channel-hot-path",
+             t.text +
+                 " inside a Deliver implementation: precompute a "
+                 "BernoulliSampler member (util/rng.h) -- bit-identical "
+                 "stream, one integer compare per draw"});
+      }
+    }
+  }
+}
+
+// --- rng-stream-discipline --------------------------------------------------
+
+void CheckRngStreamDiscipline(const RepoModel& repo,
+                              std::vector<Finding>& out) {
+  // An Rng is a position in one deterministic stream.  Copying it forks the
+  // stream: two consumers silently draw identical values, which is exactly
+  // the aliasing bug seeded-reproducibility exists to prevent.  Split() is
+  // the sanctioned way to derive an independent child.  tests/ are exempt
+  // (stream-identity tests copy deliberately), as is util/rng itself.
+  for (const FileModel& file : repo.files()) {
+    if (file.path() == "src/util/rng.h" || file.path() == "src/util/rng.cc" ||
+        file.path().starts_with("tests/")) {
+      continue;
+    }
+    const std::vector<std::size_t>& code = file.code();
+    for (std::size_t ci = 0; ci < code.size(); ++ci) {
+      const Token& t = Tok(file, ci);
+      if (t.kind != TokenKind::kIdentifier || t.text != "Rng") continue;
+      if (ci > 0 && Tok(file, ci - 1).text == "::") continue;
+      // By-value parameter: (Rng x / , Rng x / , const Rng x, with no & or *.
+      std::size_t before = ci;
+      if (before > 0 && Tok(file, before - 1).text == "const") --before;
+      const bool param_context =
+          before > 0 && (Tok(file, before - 1).text == "(" ||
+                         Tok(file, before - 1).text == ",");
+      if (param_context && ci + 1 < code.size()) {
+        const Token& next = Tok(file, ci + 1);
+        const bool by_ref = next.text == "&" || next.text == "&&" ||
+                            next.text == "*";
+        const bool ends_param = next.kind == TokenKind::kIdentifier ||
+                                next.text == "," || next.text == ")";
+        if (!by_ref && ends_param) {
+          out.push_back(
+              {file.path(), t.line, "rng-stream-discipline",
+               "Rng parameter passed by value: the copy forks the "
+               "deterministic stream and both sides draw identical values; "
+               "pass Rng& (or hand the callee rng.Split())"});
+          continue;
+        }
+      }
+      // Copy-initialisation from another Rng: Rng a = b; / Rng a{b};
+      if (ci + 4 < code.size() &&
+          Tok(file, ci + 1).kind == TokenKind::kIdentifier) {
+        const std::string& open = Tok(file, ci + 2).text;
+        const std::string& close = Tok(file, ci + 4).text;
+        const Token& source = Tok(file, ci + 3);
+        const bool copy_form = (open == "=" && close == ";") ||
+                               (open == "{" && close == "}");
+        if (copy_form && source.kind == TokenKind::kIdentifier &&
+            repo.TypeOf(file, source.text) == "Rng") {
+          out.push_back(
+              {file.path(), t.line, "rng-stream-discipline",
+               "copying an Rng forks its stream: derive an independent "
+               "child with " +
+                   source.text + ".Split() instead of copy-construction"});
+        }
+      }
+    }
+  }
+}
+
+// --- float-equality ---------------------------------------------------------
+
+bool IsFloatTyped(const RepoModel& repo, const FileModel& file,
+                  const Token& t) {
+  if (IsFloatLiteral(t)) return true;
+  if (t.kind != TokenKind::kIdentifier) return false;
+  const std::string type = repo.TypeOf(file, t.text);
+  return type == "double" || type == "float";
+}
+
+void CheckFloatEquality(const RepoModel& repo, std::vector<Finding>& out) {
+  // The analysis and ECC layers compute with rounded doubles (empirical
+  // rates, thresholds, code rates); exact ==/!= there is either dead
+  // (never true) or a latent tolerance bug.
+  for (const FileModel& file : repo.files()) {
+    if (!file.path().starts_with("src/analysis/") &&
+        !file.path().starts_with("src/ecc/")) {
+      continue;
+    }
+    const std::vector<std::size_t>& code = file.code();
+    for (std::size_t ci = 1; ci + 1 < code.size(); ++ci) {
+      const Token& op = Tok(file, ci);
+      if (op.text != "==" && op.text != "!=") continue;
+      const Token& lhs = Tok(file, ci - 1);
+      std::size_t ri = ci + 1;
+      if ((Tok(file, ri).text == "-" || Tok(file, ri).text == "+") &&
+          ri + 1 < code.size()) {
+        ++ri;
+      }
+      const Token& rhs = Tok(file, ri);
+      if (!IsFloatTyped(repo, file, lhs) && !IsFloatTyped(repo, file, rhs)) {
+        continue;
+      }
+      out.push_back(
+          {file.path(), op.line, "float-equality",
+           "floating-point values compared with " + op.text +
+               ": rounding makes exact equality meaningless here; compare "
+               "|a - b| against an explicit tolerance"});
+    }
+  }
+}
+
+// --- locale-formatting ------------------------------------------------------
+
+// True when `fmt` contains a printf floating-point conversion (%f %e %g %a
+// and friends), i.e. output whose decimal point follows the global locale.
+bool HasFloatConversion(const std::string& fmt) {
+  for (std::size_t i = 0; i < fmt.size(); ++i) {
+    if (fmt[i] != '%') continue;
+    std::size_t j = i + 1;
+    if (j < fmt.size() && fmt[j] == '%') {
+      i = j;
+      continue;
+    }
+    while (j < fmt.size() &&
+           (std::strchr("-+ #0123456789.*'", fmt[j]) != nullptr)) {
+      ++j;
+    }
+    while (j < fmt.size() && std::strchr("hlLqjzt", fmt[j]) != nullptr) ++j;
+    if (j < fmt.size() && std::strchr("fFeEgGaA", fmt[j]) != nullptr) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void CheckLocaleFormatting(const RepoModel& repo, std::vector<Finding>& out) {
+  // Config fingerprints, channel name() strings, and CSV cells must not
+  // change spelling with the host locale ("0.5" vs "0,5" breaks checkpoint
+  // compatibility and downstream parsing).  FormatDouble (util/format.h)
+  // is the canonical, locale-free, round-trippable spelling; this rule
+  // flags the locale-dependent paths a double can leak through instead:
+  // operator<< into a declared ostream/ostringstream, std::to_string, and
+  // printf-family %f/%g.
+  static constexpr std::string_view kPrintf[] = {"printf", "fprintf",
+                                                 "sprintf", "snprintf"};
+  for (const FileModel& file : repo.files()) {
+    const bool in_scope = (file.path().starts_with("src/") ||
+                           file.path().starts_with("tools/")) &&
+                          !file.path().starts_with("src/util/format");
+    if (!in_scope) continue;
+    const std::vector<std::size_t>& code = file.code();
+    for (std::size_t ci = 0; ci < code.size(); ++ci) {
+      const Token& t = Tok(file, ci);
+      if (t.kind != TokenKind::kIdentifier) continue;
+
+      // ostream << chains rooted at a declared stream variable.
+      const std::string root_type = repo.TypeOf(file, t.text);
+      if ((root_type == "std::ostringstream" || root_type == "std::ostream") &&
+          ci + 1 < code.size() && Tok(file, ci + 1).text == "<<") {
+        std::size_t pos = ci + 1;
+        while (pos < code.size() && Tok(file, pos).text == "<<") {
+          const std::size_t span_begin = pos + 1;
+          int depth = 0;
+          bool has_call = false;
+          std::size_t last_value = kNpos;
+          std::size_t k = span_begin;
+          for (; k < code.size(); ++k) {
+            const std::string& x = Tok(file, k).text;
+            if (x == "(") {
+              ++depth;
+              has_call = true;  // conservatively treat calls as formatted
+              continue;
+            }
+            if (x == ")") {
+              if (depth == 0) break;
+              --depth;
+              continue;
+            }
+            if (depth > 0) continue;
+            if (x == "<<" || x == ";") break;
+            if (Tok(file, k).kind == TokenKind::kIdentifier ||
+                Tok(file, k).kind == TokenKind::kNumber) {
+              last_value = k;
+            }
+          }
+          if (k >= code.size()) break;
+          if (!has_call && last_value != kNpos &&
+              IsFloatTyped(repo, file, Tok(file, last_value))) {
+            out.push_back(
+                {file.path(), Tok(file, span_begin).line, "locale-formatting",
+                 "streaming a double through operator<< spells the decimal "
+                 "point per the global locale; stream "
+                 "FormatDouble(value) (util/format.h) instead"});
+          }
+          if (Tok(file, k).text != "<<") break;
+          pos = k;
+        }
+        continue;
+      }
+
+      // std::to_string(double).
+      if (t.text == "to_string" && ci >= 2 &&
+          Tok(file, ci - 1).text == "::" && Tok(file, ci - 2).text == "std" &&
+          ci + 1 < code.size() && Tok(file, ci + 1).text == "(") {
+        int depth = 0;
+        bool has_call = false;
+        std::size_t last_value = kNpos;
+        for (std::size_t k = ci + 1; k < code.size(); ++k) {
+          const std::string& x = Tok(file, k).text;
+          if (x == "(") {
+            if (depth > 0) has_call = true;
+            ++depth;
+            continue;
+          }
+          if (x == ")" && --depth == 0) break;
+          if (depth != 1) continue;
+          if (Tok(file, k).kind == TokenKind::kIdentifier ||
+              Tok(file, k).kind == TokenKind::kNumber) {
+            last_value = k;
+          }
+        }
+        if (!has_call && last_value != kNpos &&
+            IsFloatTyped(repo, file, Tok(file, last_value))) {
+          out.push_back(
+              {file.path(), Tok(file, ci - 2).line, "locale-formatting",
+               "std::to_string of a double spells the decimal point per "
+               "the global locale; use FormatDouble (util/format.h)"});
+        }
+        continue;
+      }
+
+      // printf-family with a %f/%e/%g/%a conversion -- src/ only: a tool
+      // main that never calls setlocale() is guaranteed the "C" locale by
+      // the C standard, but library code may run under any host locale.
+      if (!file.path().starts_with("src/")) continue;
+      for (std::string_view fn : kPrintf) {
+        if (t.text != fn) continue;
+        if (ci > 0 && Tok(file, ci - 1).text == "::" &&
+            (ci < 2 || Tok(file, ci - 2).text != "std")) {
+          break;  // some other namespace's printf
+        }
+        if (ci + 1 >= code.size() || Tok(file, ci + 1).text != "(") break;
+        int depth = 0;
+        for (std::size_t k = ci + 1; k < code.size(); ++k) {
+          const std::string& x = Tok(file, k).text;
+          if (x == "(") ++depth;
+          if (x == ")" && --depth == 0) break;
+          const Token& arg = Tok(file, k);
+          if (arg.kind != TokenKind::kString) continue;
+          if (HasFloatConversion(StringLiteralText(arg))) {
+            out.push_back(
+                {file.path(), t.line, "locale-formatting",
+                 "printf-style %f/%g formatting of a double spells the "
+                 "decimal point per the global locale; format the value "
+                 "with FormatDouble (util/format.h) and print the string"});
+          }
+          break;  // only the format string matters
+        }
+        break;
+      }
+    }
+  }
+}
+
+// --- the registry -----------------------------------------------------------
+
+SourceFile F(std::string path, std::string content) {
+  return SourceFile{std::move(path), std::move(content)};
+}
+
+std::vector<Rule> BuildRegistry() {
+  std::vector<Rule> rules;
+  rules.push_back(Rule{
+      "banned-random", Severity::kError, "determinism",
+      "All randomness must flow through the seeded, splittable Rng in "
+      "util/rng.h; <random>, rand(), and friends are banned elsewhere.",
+      CheckBannedRandomness,
+      {F("src/analysis/fixture.cc", "int Draw() { return std::rand(); }\n")}});
+  rules.push_back(Rule{
+      "channel-hot-path", Severity::kError, "performance",
+      "Channel Deliver bodies must draw through a precomputed "
+      "BernoulliSampler, not per-sample UniformDouble()/Bernoulli().",
+      CheckChannelHotPath,
+      {F("src/channel/fixture.cc",
+         "struct Chan {\n"
+         "  bool Deliver(double p) { return rng_.Bernoulli(p); }\n"
+         "};\n")}});
+  rules.push_back(Rule{
+      "checkpoint-atomicity", Severity::kError, "robustness",
+      "Checkpoint files must be written via WriteCheckpointAtomic "
+      "(temp file + rename), never a direct std::ofstream.",
+      CheckCheckpointAtomicity,
+      {F("src/tasks/fixture.cc",
+         "#include <fstream>\n"
+         "void Save() { std::ofstream out(\"trial.ckpt\"); }\n")}});
+  rules.push_back(Rule{
+      "float-equality", Severity::kWarn, "numerics",
+      "No ==/!= between floating-point expressions in src/analysis/ and "
+      "src/ecc/; compare against an explicit tolerance.",
+      CheckFloatEquality,
+      {F("src/analysis/fixture.cc",
+         "bool Same(double a, double b) { return a == b; }\n")}});
+  rules.push_back(Rule{
+      "header-guard", Severity::kError, "style",
+      "src/ headers carry NOISYBEEPS_<PATH>_H_ include guards.",
+      CheckHeaderGuard,
+      {F("src/util/fixture.h",
+         "#ifndef WRONG_GUARD\n#define WRONG_GUARD\n#endif\n")}});
+  rules.push_back(Rule{
+      "include-cycle", Severity::kError, "architecture",
+      "The src/ module include graph must stay acyclic.",
+      CheckIncludeCycles,
+      {F("src/ecc/fixture.h", "#include \"channel/fixture.h\"\n"),
+       F("src/channel/fixture.h", "#include \"ecc/fixture.h\"\n")}});
+  rules.push_back(Rule{
+      "layering", Severity::kError, "architecture",
+      "Every src/ module's dependencies must match the declarative layer "
+      "table; restricted modules (fault/) are importable only where "
+      "listed.",
+      CheckLayering,
+      {F("src/protocol/fixture.cc", "#include \"fault/fault_plan.h\"\n")}});
+  rules.push_back(Rule{
+      "locale-formatting", Severity::kError, "portability",
+      "Doubles in name()/fingerprint/CSV paths must be formatted with "
+      "FormatDouble (util/format.h), not locale-dependent <<, "
+      "std::to_string, or printf %f/%g.",
+      CheckLocaleFormatting,
+      {F("src/analysis/fixture.cc",
+         "#include <sstream>\n"
+         "std::string Name(double eps) {\n"
+         "  std::ostringstream os;\n"
+         "  os << eps;\n"
+         "  return os.str();\n"
+         "}\n")}});
+  rules.push_back(Rule{
+      "raw-thread", Severity::kError, "determinism",
+      "No std::thread/std::jthread/std::async/pthread_create outside "
+      "src/util/parallel.h; ParallelTrials is the concurrency primitive.",
+      CheckRawThreads,
+      {F("src/tasks/fixture.cc",
+         "#include <thread>\nvoid Go() { std::thread t; }\n")}});
+  rules.push_back(Rule{
+      "require-precondition", Severity::kError, "contracts",
+      "A constructor or Make*/Sample* factory documenting a Precondition "
+      "must call NB_REQUIRE in its definition.",
+      CheckRequireCoverage,
+      {F("src/util/fixture.h",
+         "#ifndef NOISYBEEPS_UTIL_FIXTURE_H_\n"
+         "#define NOISYBEEPS_UTIL_FIXTURE_H_\n"
+         "struct Widget { int n = 0; };\n"
+         "// Precondition: n > 0.\n"
+         "Widget MakeWidget(int n);\n"
+         "#endif  // NOISYBEEPS_UTIL_FIXTURE_H_\n"),
+       F("src/util/fixture.cc",
+         "#include \"util/fixture.h\"\n"
+         "Widget MakeWidget(int n) { return Widget{n}; }\n")}});
+  rules.push_back(Rule{
+      "rng-stream-discipline", Severity::kError, "determinism",
+      "Rng is a stream position: no by-value Rng parameters and no Rng "
+      "copies outside Split(); a copy silently forks the stream.",
+      CheckRngStreamDiscipline,
+      {F("src/tasks/fixture.cc",
+         "#include \"util/rng.h\"\nvoid Run(Rng rng);\n")}});
+  rules.push_back(Rule{
+      "suppression-justification", Severity::kError, "suppressions",
+      "Every NBLINT suppression must carry a non-empty justification; an "
+      "unjustified suppression suppresses nothing and is itself reported.",
+      nullptr,
+      {F("src/analysis/fixture.cc",
+         "int Draw() { return std::rand(); }  // NBLINT(banned-random):\n")}});
+  rules.push_back(Rule{
+      "suppression-unknown-rule", Severity::kError, "suppressions",
+      "An NBLINT suppression naming a rule id that does not exist is "
+      "reported loudly instead of silently ignored.",
+      nullptr,
+      {F("src/analysis/fixture.cc",
+         "int Zero() { return 0; }  // NBLINT(no-such-rule): spurious\n")}});
+  return rules;
+}
+
+}  // namespace
+
+std::string_view SeverityName(Severity severity) {
+  return severity == Severity::kError ? "error" : "warn";
+}
+
+const std::vector<Rule>& AllRules() {
+  static const std::vector<Rule> kRules = BuildRegistry();
+  return kRules;
+}
+
+const Rule* FindRule(std::string_view id) {
+  for (const Rule& rule : AllRules()) {
+    if (rule.id == id) return &rule;
+  }
+  return nullptr;
+}
+
+}  // namespace noisybeeps::lint

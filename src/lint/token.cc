@@ -1,0 +1,273 @@
+#include "lint/token.h"
+
+#include <algorithm>
+#include <array>
+#include <cctype>
+
+namespace noisybeeps::lint {
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool IsDigit(char c) { return std::isdigit(static_cast<unsigned char>(c)) != 0; }
+
+// Multi-character punctuators, longest first so maximal munch falls out of
+// scan order.  Only operators C++ actually has; "<::" digraph trivia is
+// ignored on purpose.
+constexpr std::string_view kPunctuators[] = {
+    "<<=", ">>=", "->*", "...", "::", "->", "<<", ">>", "<=", ">=", "==",
+    "!=", "&&", "||", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=",
+    "++", "--", ".*", "##",
+};
+
+// An encoding prefix that may precede a string/char literal.
+bool IsLiteralPrefix(std::string_view ident) {
+  return ident == "u8" || ident == "u" || ident == "U" || ident == "L" ||
+         ident == "R" || ident == "u8R" || ident == "uR" || ident == "UR" ||
+         ident == "LR";
+}
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view content) : content_(content) {}
+
+  std::vector<Token> Run() {
+    std::vector<Token> tokens;
+    while (pos_ < content_.size()) {
+      const char c = content_[pos_];
+      if (c == '\n') {
+        ++line_;
+        ++pos_;
+        continue;
+      }
+      if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+        ++pos_;
+        continue;
+      }
+      const std::size_t start = pos_;
+      const int start_line = line_;
+      Token token;
+      if (c == '/' && Peek(1) == '/') {
+        LexLineComment();
+        token.kind = TokenKind::kComment;
+      } else if (c == '/' && Peek(1) == '*') {
+        LexBlockComment();
+        token.kind = TokenKind::kComment;
+      } else if (c == '"') {
+        LexString();
+        token.kind = TokenKind::kString;
+      } else if (c == '\'') {
+        LexChar();
+        token.kind = TokenKind::kChar;
+      } else if (IsIdentStart(c)) {
+        while (pos_ < content_.size() && IsIdentChar(content_[pos_])) ++pos_;
+        const std::string_view ident =
+            content_.substr(start, pos_ - start);
+        if (IsLiteralPrefix(ident) && pos_ < content_.size() &&
+            (content_[pos_] == '"' || content_[pos_] == '\'')) {
+          // u8"...", R"(...)", L'x': the prefix belongs to the literal.
+          const bool raw = ident.back() == 'R';
+          const char quote = content_[pos_];
+          if (quote == '"' && raw) {
+            LexRawString();
+          } else if (quote == '"') {
+            LexString();
+          } else {
+            LexChar();
+          }
+          token.kind =
+              quote == '"' ? TokenKind::kString : TokenKind::kChar;
+        } else {
+          token.kind = TokenKind::kIdentifier;
+        }
+      } else if (IsDigit(c) || (c == '.' && IsDigit(Peek(1)))) {
+        LexNumber();
+        token.kind = TokenKind::kNumber;
+      } else {
+        LexPunct();
+        token.kind = TokenKind::kPunct;
+      }
+      token.text = std::string(content_.substr(start, pos_ - start));
+      token.line = start_line;
+      token.offset = start;
+      tokens.push_back(std::move(token));
+    }
+    return tokens;
+  }
+
+ private:
+  char Peek(std::size_t ahead) const {
+    return pos_ + ahead < content_.size() ? content_[pos_ + ahead] : '\0';
+  }
+
+  void Advance() {
+    if (content_[pos_] == '\n') ++line_;
+    ++pos_;
+  }
+
+  void LexLineComment() {
+    while (pos_ < content_.size() && content_[pos_] != '\n') ++pos_;
+  }
+
+  void LexBlockComment() {
+    pos_ += 2;
+    while (pos_ < content_.size()) {
+      if (content_[pos_] == '*' && Peek(1) == '/') {
+        pos_ += 2;
+        return;
+      }
+      Advance();
+    }
+  }
+
+  void LexString() {
+    ++pos_;  // opening quote
+    while (pos_ < content_.size()) {
+      const char c = content_[pos_];
+      if (c == '\\' && pos_ + 1 < content_.size()) {
+        Advance();
+        Advance();
+        continue;
+      }
+      if (c == '"' || c == '\n') {  // newline: unterminated, stop gracefully
+        if (c == '"') ++pos_;
+        return;
+      }
+      Advance();
+    }
+  }
+
+  void LexChar() {
+    ++pos_;
+    while (pos_ < content_.size()) {
+      const char c = content_[pos_];
+      if (c == '\\' && pos_ + 1 < content_.size()) {
+        Advance();
+        Advance();
+        continue;
+      }
+      if (c == '\'' || c == '\n') {
+        if (c == '\'') ++pos_;
+        return;
+      }
+      Advance();
+    }
+  }
+
+  void LexRawString() {
+    // At the '"' of R"delim( ... )delim".
+    ++pos_;
+    std::string delim = ")";
+    while (pos_ < content_.size() && content_[pos_] != '(') {
+      delim += content_[pos_];
+      ++pos_;
+    }
+    delim += '"';
+    while (pos_ < content_.size()) {
+      if (content_.compare(pos_, delim.size(), delim) == 0) {
+        for (std::size_t k = 0; k < delim.size(); ++k) Advance();
+        return;
+      }
+      Advance();
+    }
+  }
+
+  void LexNumber() {
+    // A pp-number-ish scan: digits, identifier characters (hex digits,
+    // suffixes, the 0x prefix), digit separators, '.', and exponent signs
+    // immediately after e/E/p/P.
+    while (pos_ < content_.size()) {
+      const char c = content_[pos_];
+      if (IsIdentChar(c) || c == '.' || c == '\'') {
+        ++pos_;
+        continue;
+      }
+      if ((c == '+' || c == '-') && pos_ > 0) {
+        const char prev = content_[pos_ - 1];
+        if (prev == 'e' || prev == 'E' || prev == 'p' || prev == 'P') {
+          ++pos_;
+          continue;
+        }
+      }
+      break;
+    }
+  }
+
+  void LexPunct() {
+    for (std::string_view op : kPunctuators) {
+      if (content_.compare(pos_, op.size(), op) == 0) {
+        pos_ += op.size();
+        return;
+      }
+    }
+    ++pos_;
+  }
+
+  std::string_view content_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+};
+
+}  // namespace
+
+std::vector<Token> Lex(std::string_view content) {
+  return Lexer(content).Run();
+}
+
+bool IsFloatLiteral(const Token& token) {
+  if (token.kind != TokenKind::kNumber) return false;
+  const std::string& t = token.text;
+  const bool hex = t.size() > 1 && t[0] == '0' && (t[1] == 'x' || t[1] == 'X');
+  if (hex) {
+    return t.find_first_of("pP") != std::string::npos;
+  }
+  return t.find_first_of(".eE") != std::string::npos;
+}
+
+std::string StringLiteralText(const Token& token) {
+  if (token.kind != TokenKind::kString) return "";
+  std::string_view t = token.text;
+  // Strip the encoding prefix up to the first quote or 'R'.
+  const std::size_t quote = t.find('"');
+  if (quote == std::string_view::npos) return "";
+  const bool raw = quote > 0 && t[quote - 1] == 'R';
+  t.remove_prefix(quote + 1);
+  if (!t.empty() && t.back() == '"') t.remove_suffix(1);
+  if (raw) {
+    const std::size_t open = t.find('(');
+    const std::size_t close = t.rfind(')');
+    if (open != std::string_view::npos && close != std::string_view::npos &&
+        close >= open) {
+      t = t.substr(open + 1, close - open - 1);
+    }
+  }
+  return std::string(t);
+}
+
+std::string CommentText(const Token& token) {
+  if (token.kind != TokenKind::kComment) return "";
+  std::string_view t = token.text;
+  if (t.starts_with("//")) {
+    t.remove_prefix(2);
+  } else if (t.starts_with("/*")) {
+    t.remove_prefix(2);
+    if (t.ends_with("*/")) t.remove_suffix(2);
+  }
+  while (!t.empty() &&
+         std::isspace(static_cast<unsigned char>(t.front())) != 0) {
+    t.remove_prefix(1);
+  }
+  while (!t.empty() &&
+         std::isspace(static_cast<unsigned char>(t.back())) != 0) {
+    t.remove_suffix(1);
+  }
+  return std::string(t);
+}
+
+}  // namespace noisybeeps::lint

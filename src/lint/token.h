@@ -1,0 +1,64 @@
+// A lightweight C++ lexer for nblint.
+//
+// The regex-era checker scanned raw text with ad-hoc comment/string
+// stripping; every rule re-derived "is this a real identifier" on its own,
+// and PR 4's channel-hot-path vacuity bug showed how silently that can go
+// wrong.  The lexer produces one classified token stream per file that all
+// rules share: identifiers, numbers, string/char literals, punctuators,
+// and -- unlike a compiler front end -- COMMENTS, kept as first-class
+// tokens so suppression markers ("// NBLINT(rule-id): why") and
+// documentation contracts ("// Precondition: ...") stay queryable.
+//
+// The lexer is deliberately not a preprocessor: directives appear as
+// ordinary tokens ('#', 'include', a string or a '<'..'>' sequence), which
+// is exactly what the include-graph and header-guard rules want.
+#ifndef NOISYBEEPS_LINT_TOKEN_H_
+#define NOISYBEEPS_LINT_TOKEN_H_
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace noisybeeps::lint {
+
+enum class TokenKind {
+  kIdentifier,  // identifiers and keywords alike (rules match by spelling)
+  kNumber,      // integer or floating literal, incl. digit separators
+  kString,      // "...", R"(...)", with encoding prefixes; text keeps quotes
+  kChar,        // '...'
+  kComment,     // // or /* */; text keeps the comment markers
+  kPunct,       // operators and punctuation, maximal munch ("::", "<<", ...)
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kPunct;
+  std::string text;        // exact source spelling
+  int line = 1;            // 1-based line of the token's first character
+  std::size_t offset = 0;  // byte offset into the file content
+
+  friend bool operator==(const Token& a, const Token& b) = default;
+};
+
+// Lexes `content` into a token stream.  Never throws on malformed input:
+// an unterminated literal or comment simply extends to end of file, and a
+// byte that starts no token is emitted as a single-character punctuator --
+// a linter must degrade gracefully on code it half-understands.
+[[nodiscard]] std::vector<Token> Lex(std::string_view content);
+
+// True for floating-point literals: a '.'/'e'/'E' in a decimal literal, a
+// 'p'/'P' exponent in a hexadecimal one ("0x1p3").  Digit separators and
+// suffixes are handled.  False for every non-number token.
+[[nodiscard]] bool IsFloatLiteral(const Token& token);
+
+// The inner text of a string-literal token: quotes, encoding prefixes, and
+// raw-string delimiters removed.  Returns "" for non-string tokens.
+[[nodiscard]] std::string StringLiteralText(const Token& token);
+
+// The justification-free text of a comment token: "//", "/*", "*/" markers
+// removed and surrounding whitespace trimmed.  "" for non-comment tokens.
+[[nodiscard]] std::string CommentText(const Token& token);
+
+}  // namespace noisybeeps::lint
+
+#endif  // NOISYBEEPS_LINT_TOKEN_H_

@@ -1,6 +1,7 @@
 #include "util/flags.h"
 
 #include <cerrno>
+#include <cmath>
 #include <cstdlib>
 #include <stdexcept>
 
@@ -54,10 +55,9 @@ double Flags::GetDouble(const std::string& name, double default_value) {
   const auto it = values_.find(name);
   if (it == values_.end()) return default_value;
   consumed_[name] = true;
-  char* end = nullptr;
-  const double value = std::strtod(it->second.c_str(), &end);
-  NB_REQUIRE(end != nullptr && *end == '\0' && !it->second.empty(),
-             "flag --" + name + " is not a number: " + it->second);
+  double value = 0.0;
+  NB_REQUIRE(TryParseDouble(it->second, value),
+             "flag --" + name + " is not a finite number: " + it->second);
   return value;
 }
 
@@ -90,6 +90,24 @@ bool TryParseInt64(const std::string& text, std::int64_t& out) {
   return true;
 }
 
+bool TryParseDouble(const std::string& text, double& out) {
+  if (text.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  const double value = std::strtod(text.c_str(), &end);
+  if (end != text.c_str() + text.size()) return false;
+  // ERANGE covers both overflow (clamped to +-HUGE_VAL) and underflow;
+  // underflow to a denormal-or-zero is harmless, so only reject values
+  // strtod could not represent finitely.  The isfinite check then drops
+  // explicit "inf"/"nan" spellings, which set no errno at all.
+  if (errno == ERANGE && (value == HUGE_VAL || value == -HUGE_VAL)) {
+    return false;
+  }
+  if (!std::isfinite(value)) return false;
+  out = value;
+  return true;
+}
+
 std::int64_t EnvInt64(const char* name, std::int64_t fallback) {
   const char* raw = std::getenv(name);
   if (raw == nullptr || *raw == '\0') return fallback;
@@ -97,6 +115,16 @@ std::int64_t EnvInt64(const char* name, std::int64_t fallback) {
   NB_REQUIRE(TryParseInt64(raw, value),
              std::string("environment variable ") + name +
                  " is not an integer: \"" + raw + "\"");
+  return value;
+}
+
+double EnvDouble(const char* name, double fallback) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || *raw == '\0') return fallback;
+  double value = 0.0;
+  NB_REQUIRE(TryParseDouble(raw, value),
+             std::string("environment variable ") + name +
+                 " is not a finite number: \"" + raw + "\"");
   return value;
 }
 

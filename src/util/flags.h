@@ -47,11 +47,25 @@ class Flags {
 // unlike bare strtoll, which silently returns 0 or a clamped value.
 [[nodiscard]] bool TryParseInt64(const std::string& text, std::int64_t& out);
 
+// Strict parse of the ENTIRE string into `out` as a finite double.
+// Fails (returns false, leaves `out` untouched) on empty input, trailing
+// garbage ("0.5x"), and on overflow: bare strtod happily turns "1e999"
+// into +inf and sets errno, which callers never checked.  "inf" and
+// "nan" are rejected by the finiteness check too -- no experiment
+// parameter in this repo is meaningfully infinite, so a value that
+// overflows or spells out inf/nan is always a typo worth failing on.
+[[nodiscard]] bool TryParseDouble(const std::string& text, double& out);
+
 // Integer-valued environment variable: `fallback` when unset or empty.
 // A set-but-unparseable value throws std::invalid_argument naming the
 // variable, so a typo like NB_BENCH_MAX_ATTEMPTS=all fails the run
 // loudly instead of silently becoming 0 and changing policy.
 [[nodiscard]] std::int64_t EnvInt64(const char* name, std::int64_t fallback);
+
+// Double-valued environment variable with the same contract as EnvInt64:
+// `fallback` when unset or empty, std::invalid_argument (naming the
+// variable) when set but unparseable under TryParseDouble.
+[[nodiscard]] double EnvDouble(const char* name, double fallback);
 
 }  // namespace noisybeeps
 

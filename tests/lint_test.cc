@@ -1,3 +1,6 @@
+// Behavior of the individual nblint rules (stage two of the checker).
+// Each rule runs through RunRule, i.e. over the real model with the rule's
+// registered severity but without suppression processing.
 #include "lint/lint.h"
 
 #include <gtest/gtest.h>
@@ -13,37 +16,14 @@ SourceFile Header(std::string path, std::string body) {
   return SourceFile{std::move(path), std::move(body)};
 }
 
-// --- StripCommentsAndStrings ----------------------------------------------
-
-TEST(LintStrip, BlanksLineAndBlockComments) {
-  const std::string code = "int x = 1; // std::rand here\nint y; /* more\nrand */ int z;\n";
-  const std::string stripped = StripCommentsAndStrings(code);
-  EXPECT_EQ(stripped.find("rand"), std::string::npos);
-  EXPECT_NE(stripped.find("int x = 1;"), std::string::npos);
-  EXPECT_NE(stripped.find("int z;"), std::string::npos);
-  // Line structure is preserved so findings keep their line numbers.
-  EXPECT_EQ(std::count(stripped.begin(), stripped.end(), '\n'),
-            std::count(code.begin(), code.end(), '\n'));
-}
-
-TEST(LintStrip, BlanksStringAndCharLiterals) {
-  const std::string code = "auto s = \"std::rand()\"; char c = 'x';";
-  const std::string stripped = StripCommentsAndStrings(code);
-  EXPECT_EQ(stripped.find("rand"), std::string::npos);
-  EXPECT_EQ(stripped.find('x'), std::string::npos);
-  EXPECT_NE(stripped.find("auto s ="), std::string::npos);
-  EXPECT_NE(stripped.find("char c ="), std::string::npos);
-}
-
-TEST(LintStrip, DigitSeparatorIsNotACharLiteral) {
-  const std::string code = "int big = 1'000'000; int after = 7;";
-  EXPECT_EQ(StripCommentsAndStrings(code), code);
-}
-
-TEST(LintStrip, HandlesEscapedQuotes) {
-  const std::string code = "auto s = \"a\\\"b\"; int keep = 3;";
-  const std::string stripped = StripCommentsAndStrings(code);
-  EXPECT_NE(stripped.find("int keep = 3;"), std::string::npos);
+std::vector<Finding> RunRuleId(const char* id,
+                         const std::vector<SourceFile>& files) {
+  const Rule* rule = FindRule(id);
+  if (rule == nullptr) {
+    ADD_FAILURE() << "no such rule: " << id;
+    return {};
+  }
+  return RunRule(*rule, files);
 }
 
 // --- header-guard ----------------------------------------------------------
@@ -55,23 +35,25 @@ constexpr char kGoodHeader[] =
     "#endif  // NOISYBEEPS_FOO_BAR_H_\n";
 
 TEST(LintHeaderGuard, AcceptsCanonicalGuard) {
-  EXPECT_TRUE(CheckHeaderGuard(Header("src/foo/bar.h", kGoodHeader)).empty());
+  EXPECT_TRUE(
+      RunRuleId("header-guard", {Header("src/foo/bar.h", kGoodHeader)}).empty());
 }
 
 TEST(LintHeaderGuard, FlagsWrongGuardName) {
   const std::string body =
       "#ifndef WRONG_GUARD_H\n#define WRONG_GUARD_H\n#endif\n";
-  const auto findings = CheckHeaderGuard(Header("src/foo/bar.h", body));
+  const auto findings = RunRuleId("header-guard", {Header("src/foo/bar.h", body)});
   ASSERT_EQ(findings.size(), 1u);
   EXPECT_EQ(findings[0].rule_id, "header-guard");
   EXPECT_EQ(findings[0].line, 1);
+  EXPECT_EQ(findings[0].severity, Severity::kError);
   EXPECT_NE(findings[0].message.find("NOISYBEEPS_FOO_BAR_H_"),
             std::string::npos);
 }
 
 TEST(LintHeaderGuard, FlagsMissingGuard) {
   const auto findings =
-      CheckHeaderGuard(Header("src/foo/bar.h", "int f();\n"));
+      RunRuleId("header-guard", {Header("src/foo/bar.h", "int f();\n")});
   ASSERT_EQ(findings.size(), 1u);
   EXPECT_EQ(findings[0].rule_id, "header-guard");
 }
@@ -79,15 +61,16 @@ TEST(LintHeaderGuard, FlagsMissingGuard) {
 TEST(LintHeaderGuard, FlagsMismatchedDefine) {
   const std::string body =
       "#ifndef NOISYBEEPS_FOO_BAR_H_\n#define NOISYBEEPS_OTHER_H_\n#endif\n";
-  const auto findings = CheckHeaderGuard(Header("src/foo/bar.h", body));
+  const auto findings = RunRuleId("header-guard", {Header("src/foo/bar.h", body)});
   ASSERT_EQ(findings.size(), 1u);
   EXPECT_EQ(findings[0].line, 2);
 }
 
 TEST(LintHeaderGuard, IgnoresNonSrcFiles) {
-  EXPECT_TRUE(CheckHeaderGuard(Header("tools/x.h", "int f();\n")).empty());
   EXPECT_TRUE(
-      CheckHeaderGuard(Header("src/foo/bar.cc", "int f() { return 1; }\n"))
+      RunRuleId("header-guard", {Header("tools/x.h", "int f();\n")}).empty());
+  EXPECT_TRUE(
+      RunRuleId("header-guard", {Header("src/foo/bar.cc", "int f() { return 1; }\n")})
           .empty());
 }
 
@@ -100,7 +83,7 @@ TEST(LintBannedRandom, FlagsStdRandAndFriends) {
       "std::mt19937 gen;\n"
       "int b() { return rand(); }\n";
   const auto findings =
-      CheckBannedRandomness(Header("src/foo/bar.cc", body));
+      RunRuleId("banned-random", {Header("src/foo/bar.cc", body)});
   ASSERT_EQ(findings.size(), 4u);
   EXPECT_EQ(findings[0].line, 1);
   EXPECT_EQ(findings[1].line, 2);
@@ -111,7 +94,8 @@ TEST(LintBannedRandom, FlagsStdRandAndFriends) {
 
 TEST(LintBannedRandom, ExemptsRngCc) {
   const std::string body = "#include <random>\nstd::mt19937 gen;\n";
-  EXPECT_TRUE(CheckBannedRandomness(Header("src/util/rng.cc", body)).empty());
+  EXPECT_TRUE(
+      RunRuleId("banned-random", {Header("src/util/rng.cc", body)}).empty());
 }
 
 TEST(LintBannedRandom, IgnoresCommentsStringsAndSubstrings) {
@@ -121,18 +105,27 @@ TEST(LintBannedRandom, IgnoresCommentsStringsAndSubstrings) {
       "int operand = 3;\n"
       "int brand = operand;\n";
   EXPECT_TRUE(
-      CheckBannedRandomness(Header("src/foo/bar.cc", body)).empty());
+      RunRuleId("banned-random", {Header("src/foo/bar.cc", body)}).empty());
 }
 
 TEST(LintBannedRandom, BareRandNeedsCallParens) {
   // A variable merely NAMED rand is legal; calling rand() is not.
-  EXPECT_TRUE(CheckBannedRandomness(
-                  Header("src/foo/bar.cc", "int rand = 3; int y = rand;\n"))
+  EXPECT_TRUE(RunRuleId("banned-random",
+                  {Header("src/foo/bar.cc", "int rand = 3; int y = rand;\n")})
                   .empty());
-  EXPECT_EQ(CheckBannedRandomness(
-                Header("src/foo/bar.cc", "int y = rand();\n"))
-                .size(),
-            1u);
+  EXPECT_EQ(
+      RunRuleId("banned-random", {Header("src/foo/bar.cc", "int y = rand();\n")})
+          .size(),
+      1u);
+}
+
+TEST(LintBannedRandom, MemberAccessOnBannedTypeStillFires) {
+  // std::mt19937::result_type is still a dependency on the banned engine.
+  const auto findings =
+      RunRuleId("banned-random",
+          {Header("src/foo/bar.cc", "using T = std::mt19937::result_type;\n")});
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_NE(findings[0].message.find("std::mt19937"), std::string::npos);
 }
 
 // --- raw-thread ------------------------------------------------------------
@@ -142,7 +135,7 @@ TEST(LintRawThread, FlagsThreadSpawnsOutsideParallelH) {
       "#include <thread>\n"
       "void f() { std::thread t([]{}); t.join(); }\n"
       "void g() { auto fut = std::async([]{}); }\n";
-  const auto findings = CheckRawThreads(Header("src/foo/bar.cc", body));
+  const auto findings = RunRuleId("raw-thread", {Header("src/foo/bar.cc", body)});
   ASSERT_EQ(findings.size(), 2u);
   EXPECT_EQ(findings[0].rule_id, "raw-thread");
   EXPECT_EQ(findings[0].line, 2);
@@ -151,11 +144,13 @@ TEST(LintRawThread, FlagsThreadSpawnsOutsideParallelH) {
 
 TEST(LintRawThread, ExemptsParallelHAndConcurrencyQueries) {
   const std::string spawn = "void f() { std::thread t([]{}); t.join(); }\n";
-  EXPECT_TRUE(CheckRawThreads(Header("src/util/parallel.h", spawn)).empty());
+  EXPECT_TRUE(
+      RunRuleId("raw-thread", {Header("src/util/parallel.h", spawn)}).empty());
   // Asking how many cores exist spawns nothing.
   const std::string query =
       "int n() { return (int)std::thread::hardware_concurrency(); }\n";
-  EXPECT_TRUE(CheckRawThreads(Header("src/foo/bar.cc", query)).empty());
+  EXPECT_TRUE(
+      RunRuleId("raw-thread", {Header("src/foo/bar.cc", query)}).empty());
 }
 
 // --- checkpoint-atomicity --------------------------------------------------
@@ -167,7 +162,7 @@ TEST(LintCheckpointAtomicity, FlagsDirectCheckpointStreamWrites) {
       "  std::ofstream raw(\"run.nbckpt\");\n"
       "}\n";
   const auto findings =
-      CheckCheckpointAtomicity(Header("tools/sweep.cc", body));
+      RunRuleId("checkpoint-atomicity", {Header("tools/sweep.cc", body)});
   ASSERT_EQ(findings.size(), 2u);
   EXPECT_EQ(findings[0].rule_id, "checkpoint-atomicity");
   EXPECT_EQ(findings[0].line, 2);
@@ -179,27 +174,29 @@ TEST(LintCheckpointAtomicity, FlagsDirectCheckpointStreamWrites) {
 TEST(LintCheckpointAtomicity, ExemptsResilienceModuleAndTests) {
   const std::string body =
       "void W(const std::string& p) { std::ofstream out(p + \".ckpt\"); }\n";
-  EXPECT_TRUE(
-      CheckCheckpointAtomicity(Header("src/resilience/checkpoint.cc", body))
-          .empty());
+  EXPECT_TRUE(RunRuleId("checkpoint-atomicity",
+                  {Header("src/resilience/checkpoint.cc", body)})
+                  .empty());
   // Negative tests write deliberately corrupt checkpoint files.
-  EXPECT_TRUE(CheckCheckpointAtomicity(
-                  Header("tests/resilience_checkpoint_test.cc", body))
+  EXPECT_TRUE(RunRuleId("checkpoint-atomicity",
+                  {Header("tests/resilience_checkpoint_test.cc", body)})
                   .empty());
 }
 
 TEST(LintCheckpointAtomicity, IgnoresUnrelatedStreamsAndComments) {
   // ofstream writes of non-checkpoint files are fine...
   const std::string csv = "std::ofstream out(\"results.csv\");\n";
-  EXPECT_TRUE(CheckCheckpointAtomicity(Header("bench/b.cc", csv)).empty());
+  EXPECT_TRUE(
+      RunRuleId("checkpoint-atomicity", {Header("bench/b.cc", csv)}).empty());
   // ...as is merely TALKING about checkpoints next to an ofstream.
   const std::string comment =
       "std::ofstream out(path);  // not a checkpoint: plain CSV\n";
   EXPECT_TRUE(
-      CheckCheckpointAtomicity(Header("bench/b.cc", comment)).empty());
+      RunRuleId("checkpoint-atomicity", {Header("bench/b.cc", comment)}).empty());
   // And "ofstream" inside an identifier is not the stream type.
   const std::string fake = "my_std__ofstream_checkpoint(path);\n";
-  EXPECT_TRUE(CheckCheckpointAtomicity(Header("bench/b.cc", fake)).empty());
+  EXPECT_TRUE(
+      RunRuleId("checkpoint-atomicity", {Header("bench/b.cc", fake)}).empty());
 }
 
 // --- include-cycle ---------------------------------------------------------
@@ -208,9 +205,10 @@ TEST(LintIncludeCycle, AcceptsAcyclicModuleGraph) {
   const std::vector<SourceFile> files = {
       Header("src/util/a.h", "int a();\n"),
       Header("src/ecc/b.h", "#include \"util/a.h\"\n"),
-      Header("src/coding/c.h", "#include \"ecc/b.h\"\n#include \"util/a.h\"\n"),
+      Header("src/coding/c.h",
+             "#include \"ecc/b.h\"\n#include \"util/a.h\"\n"),
   };
-  EXPECT_TRUE(CheckIncludeCycles(files).empty());
+  EXPECT_TRUE(RunRuleId("include-cycle", files).empty());
 }
 
 TEST(LintIncludeCycle, DetectsSeededCycle) {
@@ -218,7 +216,7 @@ TEST(LintIncludeCycle, DetectsSeededCycle) {
       Header("src/util/a.h", "#include \"ecc/b.h\"\n"),
       Header("src/ecc/b.h", "#include \"util/a.h\"\n"),
   };
-  const auto findings = CheckIncludeCycles(files);
+  const auto findings = RunRuleId("include-cycle", files);
   ASSERT_EQ(findings.size(), 1u);
   EXPECT_EQ(findings[0].rule_id, "include-cycle");
   EXPECT_NE(findings[0].message.find("->"), std::string::npos);
@@ -230,12 +228,12 @@ TEST(LintIncludeCycle, IntraModuleIncludesAreFine) {
       Header("src/util/b.h", "#include \"util/c.h\"\n"),
       Header("src/util/c.h", "int c();\n"),
   };
-  EXPECT_TRUE(CheckIncludeCycles(files).empty());
+  EXPECT_TRUE(RunRuleId("include-cycle", files).empty());
 }
 
-// --- fault-layering --------------------------------------------------------
+// --- layering ---------------------------------------------------------------
 
-TEST(LintFaultLayering, AcceptsTheIntendedGraph) {
+TEST(LintLayering, AcceptsTheIntendedGraph) {
   const std::vector<SourceFile> files = {
       Header("src/fault/fault_plan.h", "#include \"util/require.h\"\n"),
       Header("src/fault/injection.h",
@@ -243,37 +241,38 @@ TEST(LintFaultLayering, AcceptsTheIntendedGraph) {
              "#include \"fault/fault_plan.h\"\n"
              "#include \"protocol/round_engine.h\"\n"),
       Header("src/coding/simulator.h", "#include \"fault/fault_plan.h\"\n"),
+      Header("src/analysis/budget.h", "#include \"tasks/input_set.h\"\n"),
       Header("bench/bench_faults.cc", "#include \"fault/injection.h\"\n"),
       Header("tools/nbsim.cc", "#include \"fault/fault_plan.h\"\n"),
       Header("tests/fault_plan_test.cc",
              "#include \"fault/fault_plan.h\"\n"),
   };
-  EXPECT_TRUE(CheckFaultLayering(files).empty());
+  EXPECT_TRUE(RunRuleId("layering", files).empty());
 }
 
-TEST(LintFaultLayering, FlagsFaultReachingUpIntoCoding) {
+TEST(LintLayering, FlagsFaultReachingUpIntoCoding) {
   const std::vector<SourceFile> files = {
       Header("src/fault/injection.h", "#include \"coding/simulator.h\"\n"),
   };
-  const auto findings = CheckFaultLayering(files);
+  const auto findings = RunRuleId("layering", files);
   ASSERT_EQ(findings.size(), 1u);
-  EXPECT_EQ(findings[0].rule_id, "fault-layering");
+  EXPECT_EQ(findings[0].rule_id, "layering");
   EXPECT_EQ(findings[0].file, "src/fault/injection.h");
   EXPECT_EQ(findings[0].line, 1);
   EXPECT_NE(findings[0].message.find("coding"), std::string::npos);
 }
 
-TEST(LintFaultLayering, FlagsCoreDependingBackOnFault) {
+TEST(LintLayering, FlagsCoreDependingBackOnFault) {
   const std::vector<SourceFile> files = {
       Header("src/protocol/executor.h", "#include \"fault/injection.h\"\n"),
       Header("src/channel/channel.h",
              "int x;\n#include \"fault/fault_plan.h\"\n"),
       Header("src/analysis/budget.h", "#include \"fault/fault_plan.h\"\n"),
   };
-  const auto findings = CheckFaultLayering(files);
+  const auto findings = RunRuleId("layering", files);
   ASSERT_EQ(findings.size(), 3u);
   for (const Finding& f : findings) {
-    EXPECT_EQ(f.rule_id, "fault-layering");
+    EXPECT_EQ(f.rule_id, "layering");
   }
   // The second file's offending include sits on line 2.
   const auto channel = std::find_if(
@@ -283,19 +282,36 @@ TEST(LintFaultLayering, FlagsCoreDependingBackOnFault) {
   EXPECT_EQ(channel->line, 2);
 }
 
-TEST(LintFaultLayering, IgnoresCommentedIncludesAndSystemHeaders) {
+TEST(LintLayering, RestrictedImportOutsideTheAllowedDirs) {
+  // examples/ is not among the directories allowed to reach fault/.
+  const auto findings = RunRuleId(
+      "layering",
+      {Header("examples/demo.cc", "#include \"fault/fault_plan.h\"\n")});
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_NE(findings[0].message.find("fault"), std::string::npos);
+}
+
+TEST(LintLayering, UnknownModuleMustJoinTheTable) {
+  const auto findings =
+      RunRuleId("layering", {Header("src/viz/plot.h", "int p();\n")});
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].line, 1);
+  EXPECT_NE(findings[0].message.find("layer table"), std::string::npos);
+}
+
+TEST(LintLayering, IgnoresCommentedIncludesAndSystemHeaders) {
   const std::vector<SourceFile> files = {
       Header("src/protocol/executor.h",
              "// #include \"fault/injection.h\"\n#include <vector>\n"),
       Header("src/fault/fault_plan.cc",
              "#include <string>\n// see coding/simulator.h for the verdict\n"),
   };
-  EXPECT_TRUE(CheckFaultLayering(files).empty());
+  EXPECT_TRUE(RunRuleId("layering", files).empty());
 }
 
 // --- require-precondition --------------------------------------------------
 
-constexpr char kChannelHeader[] =
+constexpr char kWidgetHeader[] =
     "#ifndef NOISYBEEPS_FOO_WIDGET_H_\n"
     "#define NOISYBEEPS_FOO_WIDGET_H_\n"
     "class Widget {\n"
@@ -316,9 +332,9 @@ TEST(LintRequire, PassesWhenDefinitionsCheck) {
       "  return Widget(0.1);\n"
       "}\n";
   const std::vector<SourceFile> files = {
-      Header("src/foo/widget.h", kChannelHeader),
+      Header("src/foo/widget.h", kWidgetHeader),
       Header("src/foo/widget.cc", cc)};
-  EXPECT_TRUE(CheckRequireCoverage(files).empty());
+  EXPECT_TRUE(RunRuleId("require-precondition", files).empty());
 }
 
 TEST(LintRequire, FlagsUncheckedConstructorAndFactory) {
@@ -327,9 +343,9 @@ TEST(LintRequire, FlagsUncheckedConstructorAndFactory) {
       "Widget::Widget(double eps) { (void)eps; }\n"
       "Widget MakeWidget(int n) { (void)n; return Widget(0.1); }\n";
   const std::vector<SourceFile> files = {
-      Header("src/foo/widget.h", kChannelHeader),
+      Header("src/foo/widget.h", kWidgetHeader),
       Header("src/foo/widget.cc", cc)};
-  const auto findings = CheckRequireCoverage(files);
+  const auto findings = RunRuleId("require-precondition", files);
   ASSERT_EQ(findings.size(), 2u);
   EXPECT_EQ(findings[0].rule_id, "require-precondition");
   EXPECT_EQ(findings[0].line, 5);  // the ctor's Precondition comment
@@ -343,7 +359,7 @@ TEST(LintRequire, UndocumentedFunctionsAreNotRequired) {
   const std::string cc = "Plain::Plain(int x) { (void)x; }\n";
   const std::vector<SourceFile> files = {
       Header("src/foo/plain.h", header), Header("src/foo/plain.cc", cc)};
-  EXPECT_TRUE(CheckRequireCoverage(files).empty());
+  EXPECT_TRUE(RunRuleId("require-precondition", files).empty());
 }
 
 TEST(LintRequire, FindsHeaderOnlyDefinitions) {
@@ -353,9 +369,23 @@ TEST(LintRequire, FindsHeaderOnlyDefinitions) {
       "  explicit Inline(int x) { (void)x; }\n"
       "};\n";
   const auto findings =
-      CheckRequireCoverage({Header("src/foo/inline.h", header)});
+      RunRuleId("require-precondition", {Header("src/foo/inline.h", header)});
   ASSERT_EQ(findings.size(), 1u);
   EXPECT_EQ(findings[0].rule_id, "require-precondition");
+}
+
+TEST(LintRequire, CommentAboveAMemberVariableDoesNotMisattach) {
+  // The Precondition comment documents a member DATUM; the next recorded
+  // function (the ctor further down) must not inherit it.
+  const std::string header =
+      "class Holder {\n public:\n"
+      "  // Precondition: callers keep eps_ in range.\n"
+      "  double eps_ = 0.0;\n"
+      "  explicit Holder(int x) { (void)x; }\n"
+      "};\n";
+  EXPECT_TRUE(
+      RunRuleId("require-precondition", {Header("src/foo/holder.h", header)})
+          .empty());
 }
 
 // --- channel-hot-path ------------------------------------------------------
@@ -368,7 +398,7 @@ TEST(LintChannelHotPath, FlagsPerSampleFlipsInsideDeliver) {
       "  FillShared(r, flip != again);\n"
       "}\n";
   const auto findings =
-      CheckChannelHotPath(Header("src/channel/foo.cc", body));
+      RunRuleId("channel-hot-path", {Header("src/channel/foo.cc", body)});
   ASSERT_EQ(findings.size(), 2u);
   EXPECT_EQ(findings[0].rule_id, "channel-hot-path");
   EXPECT_EQ(findings[0].line, 2);
@@ -384,7 +414,7 @@ TEST(LintChannelHotPath, PrecomputedSamplerDrawsAreClean) {
       "}\n"
       "Foo::Foo(double eps) : noise_(BernoulliSampler(eps)) {}\n";
   EXPECT_TRUE(
-      CheckChannelHotPath(Header("src/channel/foo.cc", body)).empty());
+      RunRuleId("channel-hot-path", {Header("src/channel/foo.cc", body)}).empty());
 }
 
 TEST(LintChannelHotPath, OnlyChannelSourcesAreInScope) {
@@ -395,8 +425,10 @@ TEST(LintChannelHotPath, OnlyChannelSourcesAreInScope) {
       "  r[0] = rng.Bernoulli(0.5) ? 1 : 0;\n"
       "}\n";
   EXPECT_TRUE(
-      CheckChannelHotPath(Header("src/protocol/relay.cc", body)).empty());
-  EXPECT_TRUE(CheckChannelHotPath(Header("tests/foo_test.cc", body)).empty());
+      RunRuleId("channel-hot-path", {Header("src/protocol/relay.cc", body)})
+          .empty());
+  EXPECT_TRUE(
+      RunRuleId("channel-hot-path", {Header("tests/foo_test.cc", body)}).empty());
 }
 
 TEST(LintChannelHotPath, DeclarationsAndOtherFunctionsAreSkipped) {
@@ -408,50 +440,179 @@ TEST(LintChannelHotPath, DeclarationsAndOtherFunctionsAreSkipped) {
       "bool Warmup(Rng& rng) { return rng.Bernoulli(0.5); }\n"
       "bool DeliverShared(int n, Rng& rng) { return rng.Bernoulli(eps_); }\n";
   EXPECT_TRUE(
-      CheckChannelHotPath(Header("src/channel/foo.h", body)).empty());
+      RunRuleId("channel-hot-path", {Header("src/channel/foo.h", body)}).empty());
 }
 
-// --- output formats --------------------------------------------------------
+// --- rng-stream-discipline -------------------------------------------------
 
-TEST(LintFormat, TextIsFileLineRuleMessage) {
-  const std::vector<Finding> findings = {
-      {"src/a.cc", 12, "banned-random", "no"}};
-  EXPECT_EQ(FormatText(findings), "src/a.cc:12: banned-random: no\n");
-}
-
-TEST(LintFormat, JsonEscapesAndRoundTrips) {
-  const std::vector<Finding> findings = {
-      {"src/a.cc", 3, "header-guard", "say \"hi\"\\"}};
-  const std::string json = FormatJson(findings);
-  EXPECT_NE(json.find("\"file\": \"src/a.cc\""), std::string::npos);
-  EXPECT_NE(json.find("\"line\": 3"), std::string::npos);
-  EXPECT_NE(json.find("\\\"hi\\\""), std::string::npos);
-  EXPECT_NE(json.find("\\\\"), std::string::npos);
-  EXPECT_EQ(FormatJson({}), "[]\n");
-}
-
-// --- RunAllChecks ----------------------------------------------------------
-
-TEST(LintRunAll, AggregatesAndSortsFindings) {
-  const std::vector<SourceFile> files = {
-      Header("src/zoo/z.h", "int z();\n"),  // missing guard
-      Header("src/foo/bad.cc",
-             "int f() { return std::rand(); }\n"),  // banned randomness
-  };
-  const auto findings = RunAllChecks(files);
+TEST(LintRngDiscipline, FlagsByValueRngParameters) {
+  const std::string body =
+      "#include \"util/rng.h\"\n"
+      "void RunRuleId(Rng rng);\n"
+      "int Draw(int n, const Rng r2) { return n; }\n";
+  const auto findings =
+      RunRuleId("rng-stream-discipline", {Header("src/tasks/a.cc", body)});
   ASSERT_EQ(findings.size(), 2u);
-  EXPECT_EQ(findings[0].file, "src/foo/bad.cc");
-  EXPECT_EQ(findings[0].rule_id, "banned-random");
-  EXPECT_EQ(findings[1].file, "src/zoo/z.h");
-  EXPECT_EQ(findings[1].rule_id, "header-guard");
+  EXPECT_EQ(findings[0].line, 2);
+  EXPECT_EQ(findings[1].line, 3);
+  EXPECT_NE(findings[0].message.find("by value"), std::string::npos);
 }
 
-TEST(LintRunAll, CleanFilesProduceNoFindings) {
+TEST(LintRngDiscipline, ReferencesAndPointersAreClean) {
+  const std::string body =
+      "void A(Rng& rng);\n"
+      "void B(const Rng& rng);\n"
+      "void C(Rng* rng);\n"
+      "void D(std::vector<Rng>& rngs);\n";
+  EXPECT_TRUE(
+      RunRuleId("rng-stream-discipline", {Header("src/tasks/a.cc", body)}).empty());
+}
+
+TEST(LintRngDiscipline, FlagsCopyInitFromAnotherRng) {
+  const std::string body =
+      "Rng base = MakeRng();\n"
+      "Rng copy = base;\n";
+  const auto findings =
+      RunRuleId("rng-stream-discipline", {Header("src/tasks/a.cc", body)});
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].line, 2);
+  EXPECT_NE(findings[0].message.find("Split"), std::string::npos);
+}
+
+TEST(LintRngDiscipline, SplitAndSeedConstructionAreClean) {
+  const std::string body =
+      "Rng base = MakeRng();\n"
+      "Rng child = base.Split();\n"
+      "Rng seeded(seed);\n"
+      "Rng restored = Rng::Restore(state);\n";
+  EXPECT_TRUE(
+      RunRuleId("rng-stream-discipline", {Header("src/tasks/a.cc", body)}).empty());
+}
+
+TEST(LintRngDiscipline, TestsAndRngItselfAreExempt) {
+  const std::string body = "Rng base = MakeRng();\nRng copy = base;\n";
+  EXPECT_TRUE(RunRuleId("rng-stream-discipline",
+                  {Header("tests/stream_identity_test.cc", body)})
+                  .empty());
+  EXPECT_TRUE(
+      RunRuleId("rng-stream-discipline", {Header("src/util/rng.h", body)}).empty());
+}
+
+// --- float-equality --------------------------------------------------------
+
+TEST(LintFloatEquality, FlagsFloatComparisonsInAnalysisAndEcc) {
+  const std::string body =
+      "bool Same(double a, double b) { return a == b; }\n"
+      "bool Zero(float x) { return x != 0.5f; }\n";
+  const auto findings =
+      RunRuleId("float-equality", {Header("src/analysis/a.cc", body)});
+  ASSERT_EQ(findings.size(), 2u);
+  EXPECT_EQ(findings[0].line, 1);
+  EXPECT_EQ(findings[0].severity, Severity::kWarn);  // warn, not error
+  EXPECT_EQ(findings[1].line, 2);
+  EXPECT_FALSE(
+      RunRuleId("float-equality", {Header("src/ecc/e.cc", body)}).empty());
+}
+
+TEST(LintFloatEquality, IntegerComparisonsAreClean) {
+  const std::string body =
+      "bool Same(int a, int b) { return a == b; }\n"
+      "bool Ver(long v) { return v != 2; }\n";
+  EXPECT_TRUE(
+      RunRuleId("float-equality", {Header("src/analysis/a.cc", body)}).empty());
+}
+
+TEST(LintFloatEquality, OtherModulesAreOutOfScope) {
+  const std::string body = "bool Same(double a, double b) { return a == b; }\n";
+  EXPECT_TRUE(
+      RunRuleId("float-equality", {Header("src/protocol/p.cc", body)}).empty());
+  EXPECT_TRUE(
+      RunRuleId("float-equality", {Header("tests/t.cc", body)}).empty());
+}
+
+// --- locale-formatting -----------------------------------------------------
+
+TEST(LintLocaleFormatting, FlagsStreamingADoubleIntoAStringBuilder) {
+  const std::string body =
+      "#include <sstream>\n"
+      "std::string Name(double eps) {\n"
+      "  std::ostringstream os;\n"
+      "  os << \"eps=\" << eps;\n"
+      "  return os.str();\n"
+      "}\n";
+  const auto findings =
+      RunRuleId("locale-formatting", {Header("src/channel/name.cc", body)});
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].line, 4);
+  EXPECT_NE(findings[0].message.find("FormatDouble"), std::string::npos);
+}
+
+TEST(LintLocaleFormatting, FormatDoubleCallsAreClean) {
+  const std::string body =
+      "#include <sstream>\n"
+      "std::string Name(double eps) {\n"
+      "  std::ostringstream os;\n"
+      "  os << \"eps=\" << FormatDouble(eps);\n"
+      "  return os.str();\n"
+      "}\n";
+  EXPECT_TRUE(
+      RunRuleId("locale-formatting", {Header("src/channel/name.cc", body)})
+          .empty());
+}
+
+TEST(LintLocaleFormatting, UndeclaredStreamsAndIntsAreClean) {
+  // std::cout is not a stream DECLARED in the repo; ints are locale-safe.
+  const std::string body =
+      "#include <sstream>\n"
+      "void P(double eps, int n) {\n"
+      "  std::cout << eps;\n"
+      "  std::ostringstream os;\n"
+      "  os << n;\n"
+      "}\n";
+  EXPECT_TRUE(
+      RunRuleId("locale-formatting", {Header("src/analysis/p.cc", body)}).empty());
+}
+
+TEST(LintLocaleFormatting, FlagsToStringOfDouble) {
+  const std::string body =
+      "std::string F(double rate) { return std::to_string(rate); }\n"
+      "std::string G(int n) { return std::to_string(n); }\n";
+  const auto findings =
+      RunRuleId("locale-formatting", {Header("src/analysis/f.cc", body)});
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].line, 1);
+}
+
+TEST(LintLocaleFormatting, FlagsPrintfFloatConversionsInSrcOnly) {
+  const std::string body =
+      "void P(double r) { std::printf(\"rate=%.3f\\n\", r); }\n"
+      "void Q(int n) { std::printf(\"n=%d\\n\", n); }\n";
+  const auto in_src =
+      RunRuleId("locale-formatting", {Header("src/analysis/p.cc", body)});
+  ASSERT_EQ(in_src.size(), 1u);
+  EXPECT_EQ(in_src[0].line, 1);
+  // Tool mains never call setlocale, so the C standard pins their printf
+  // locale to "C"; library code gets no such guarantee.
+  EXPECT_TRUE(
+      RunRuleId("locale-formatting", {Header("tools/nbx.cc", body)}).empty());
+}
+
+TEST(LintLocaleFormatting, StreamStateAlsoCoversPairedHeaderTypes) {
   const std::vector<SourceFile> files = {
-      Header("src/foo/bar.h", kGoodHeader),
-      Header("src/foo/bar.cc",
-             "#include \"foo/bar.h\"\nint f() { return 1; }\n")};
-  EXPECT_TRUE(RunAllChecks(files).empty());
+      Header("src/fault/plan.h", "struct Spec { double beep_prob = 0.5; };\n"),
+      Header("src/fault/plan.cc",
+             "#include \"fault/plan.h\"\n"
+             "#include <sstream>\n"
+             "std::string S(const Spec& spec) {\n"
+             "  std::ostringstream os;\n"
+             "  os << spec.beep_prob;\n"
+             "  return os.str();\n"
+             "}\n"),
+  };
+  const auto findings = RunRuleId("locale-formatting", files);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].file, "src/fault/plan.cc");
+  EXPECT_EQ(findings[0].line, 5);
 }
 
 }  // namespace

@@ -100,6 +100,48 @@ TEST(TryParseInt64, RejectsGarbageAndOverflow) {
   EXPECT_EQ(value, 99);  // failed parses leave the output untouched
 }
 
+TEST(TryParseDouble, AcceptsFiniteNumbers) {
+  double value = -1.0;
+  EXPECT_TRUE(TryParseDouble("0", value));
+  EXPECT_DOUBLE_EQ(value, 0.0);
+  EXPECT_TRUE(TryParseDouble("0.25", value));
+  EXPECT_DOUBLE_EQ(value, 0.25);
+  EXPECT_TRUE(TryParseDouble("-1e-3", value));
+  EXPECT_DOUBLE_EQ(value, -0.001);
+  EXPECT_TRUE(TryParseDouble("1e308", value));
+  EXPECT_DOUBLE_EQ(value, 1e308);
+  // Underflow to zero/denormal is harmless and accepted.
+  EXPECT_TRUE(TryParseDouble("1e-400", value));
+  EXPECT_GE(value, 0.0);
+}
+
+TEST(TryParseDouble, RejectsGarbageOverflowAndNonFinite) {
+  double value = 99.0;
+  EXPECT_FALSE(TryParseDouble("", value));
+  EXPECT_FALSE(TryParseDouble("zz", value));
+  EXPECT_FALSE(TryParseDouble("0.5x", value));
+  EXPECT_FALSE(TryParseDouble("0.5 ", value));
+  // Regression: bare strtod turns "1e999" into +inf with only errno to
+  // show for it, so --eps=1e999 used to sail through GetDouble.
+  EXPECT_FALSE(TryParseDouble("1e999", value));
+  EXPECT_FALSE(TryParseDouble("-1e999", value));
+  // Explicit non-finite spellings set no errno; the policy is that no
+  // experiment parameter is meaningfully infinite, so reject them too.
+  EXPECT_FALSE(TryParseDouble("inf", value));
+  EXPECT_FALSE(TryParseDouble("-inf", value));
+  EXPECT_FALSE(TryParseDouble("nan", value));
+  EXPECT_DOUBLE_EQ(value, 99.0);  // failed parses leave the output untouched
+}
+
+TEST(Flags, GetDoubleRejectsOverflowAndNonFinite) {
+  Flags overflow = Parse({"--eps=1e999"});
+  EXPECT_THROW((void)overflow.GetDouble("eps", 0), std::invalid_argument);
+  Flags infinite = Parse({"--eps=inf"});
+  EXPECT_THROW((void)infinite.GetDouble("eps", 0), std::invalid_argument);
+  Flags fine = Parse({"--eps=1e300"});
+  EXPECT_DOUBLE_EQ(fine.GetDouble("eps", 0), 1e300);
+}
+
 TEST(EnvInt64, FallsBackWhenUnsetOrEmptyAndThrowsOnGarbage) {
   constexpr char kVar[] = "NB_TEST_ENV_INT64";
   ASSERT_EQ(unsetenv(kVar), 0);
@@ -112,6 +154,21 @@ TEST(EnvInt64, FallsBackWhenUnsetOrEmptyAndThrowsOnGarbage) {
   // unparseable value must fail loudly instead.
   ASSERT_EQ(setenv(kVar, "all", 1), 0);
   EXPECT_THROW((void)EnvInt64(kVar, 5), std::invalid_argument);
+  ASSERT_EQ(unsetenv(kVar), 0);
+}
+
+TEST(EnvDouble, FallsBackWhenUnsetOrEmptyAndThrowsOnGarbage) {
+  constexpr char kVar[] = "NB_TEST_ENV_DOUBLE";
+  ASSERT_EQ(unsetenv(kVar), 0);
+  EXPECT_DOUBLE_EQ(EnvDouble(kVar, 0.5), 0.5);
+  ASSERT_EQ(setenv(kVar, "", 1), 0);
+  EXPECT_DOUBLE_EQ(EnvDouble(kVar, 0.5), 0.5);
+  ASSERT_EQ(setenv(kVar, "0.125", 1), 0);
+  EXPECT_DOUBLE_EQ(EnvDouble(kVar, 0.5), 0.125);
+  ASSERT_EQ(setenv(kVar, "1e999", 1), 0);
+  EXPECT_THROW((void)EnvDouble(kVar, 0.5), std::invalid_argument);
+  ASSERT_EQ(setenv(kVar, "half", 1), 0);
+  EXPECT_THROW((void)EnvDouble(kVar, 0.5), std::invalid_argument);
   ASSERT_EQ(unsetenv(kVar), 0);
 }
 

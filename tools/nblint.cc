@@ -1,10 +1,15 @@
 // nblint: the project's custom static checker (see src/lint/lint.h for the
-// rule set and rationale).  Registered as a ctest so every build gates on
-// the repo linting clean.
+// engine and src/lint/rules.cc for the rule registry).  Registered as a
+// ctest so every build gates on the repo linting clean.
 //
 // Usage:
-//   nblint --root=/path/to/repo          text findings, exit 1 if any
+//   nblint --root=/path/to/repo          text findings
 //   nblint --root=/path/to/repo --json   machine-readable findings
+//   nblint --root=/path/to/repo --sarif  SARIF 2.1.0 (CI code-scanning)
+//   nblint --list-rules                  the rule registry, one per line
+//
+// Exit status: 0 when no error-severity findings remain (warnings do not
+// fail the build), 1 when at least one error fires, 2 on usage/IO errors.
 #include <algorithm>
 #include <filesystem>
 #include <fstream>
@@ -20,6 +25,7 @@ namespace {
 
 namespace fs = std::filesystem;
 using noisybeeps::lint::Finding;
+using noisybeeps::lint::Severity;
 using noisybeeps::lint::SourceFile;
 
 bool IsLintableSource(const fs::path& path) {
@@ -62,9 +68,23 @@ int main(int argc, char** argv) {
     noisybeeps::Flags flags(argc, argv);
     const std::string root = flags.GetString("root", ".");
     const bool json = flags.GetBool("json", false);
+    const bool sarif = flags.GetBool("sarif", false);
+    const bool list_rules = flags.GetBool("list-rules", false);
     for (const std::string& unknown : flags.UnconsumedFlags()) {
       std::cerr << "nblint: unknown flag --" << unknown << "\n";
       return 2;
+    }
+    if (json && sarif) {
+      std::cerr << "nblint: --json and --sarif are mutually exclusive\n";
+      return 2;
+    }
+    if (list_rules) {
+      for (const noisybeeps::lint::Rule& rule :
+           noisybeeps::lint::AllRules()) {
+        std::cout << rule.id << " [" << SeverityName(rule.severity) << ", "
+                  << rule.category << "] " << rule.summary << "\n";
+      }
+      return 0;
     }
 
     const std::vector<SourceFile> files = LoadTree(fs::path(root));
@@ -74,14 +94,24 @@ int main(int argc, char** argv) {
     }
     const std::vector<Finding> findings =
         noisybeeps::lint::RunAllChecks(files);
+    std::size_t errors = 0;
+    for (const Finding& f : findings) {
+      if (f.severity == Severity::kError) ++errors;
+    }
     if (json) {
       std::cout << noisybeeps::lint::FormatJson(findings);
+    } else if (sarif) {
+      std::cout << noisybeeps::lint::FormatSarif(findings);
+      std::cerr << "nblint: " << files.size() << " files, "
+                << findings.size() << " finding(s), " << errors
+                << " error(s)\n";
     } else {
       std::cout << noisybeeps::lint::FormatText(findings);
       std::cout << "nblint: " << files.size() << " files, "
-                << findings.size() << " finding(s)\n";
+                << findings.size() << " finding(s), " << errors
+                << " error(s)\n";
     }
-    return findings.empty() ? 0 : 1;
+    return errors == 0 ? 0 : 1;
   } catch (const std::exception& e) {
     std::cerr << "nblint: " << e.what() << "\n";
     return 2;

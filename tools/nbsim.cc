@@ -55,6 +55,7 @@
 #include "tasks/or_vector.h"
 #include "tasks/random_protocol.h"
 #include "util/flags.h"
+#include "util/format.h"
 #include "util/rng.h"
 #include "util/stats.h"
 
@@ -324,7 +325,8 @@ int Run(int argc, char** argv) {
   // count are checked separately, from the parent Rng state).
   std::ostringstream config;
   config << "task=" << task << "|channel=" << channel_name
-         << "|sim=" << sim_name << "|n=" << n << "|eps=" << eps
+         << "|sim=" << sim_name << "|n=" << n << "|eps="
+         << noisybeeps::FormatDouble(eps)
          << "|faults=" << faults.ToString() << "|fault_seed=" << fault_seed
          << "|max_attempts=" << max_attempts
          << "|round_budget=" << trial_round_budget
