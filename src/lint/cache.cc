@@ -1,0 +1,172 @@
+#include "lint/cache.h"
+
+#include <cstdint>
+#include <map>
+#include <sstream>
+#include <utility>
+
+namespace noisybeeps::lint {
+namespace {
+
+constexpr std::string_view kHeader = "nblint-cache 1";
+
+// "" round-trips as "-" so every record keeps a fixed field count.
+std::string Opt(const std::string& value) {
+  return value.empty() ? "-" : value;
+}
+std::string UnOpt(const std::string& value) {
+  return value == "-" ? "" : value;
+}
+
+std::string PairedPath(const std::string& path) {
+  std::string paired = path;
+  if (paired.ends_with(".cc")) {
+    paired.replace(paired.size() - 3, 3, ".h");
+  } else if (paired.ends_with(".h")) {
+    paired.replace(paired.size() - 2, 2, ".cc");
+  } else {
+    return "";
+  }
+  return paired;
+}
+
+}  // namespace
+
+std::string HashContent(std::string_view content) {
+  std::uint64_t hash = 14695981039346656037ull;
+  for (const char c : content) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 1099511628211ull;
+  }
+  static const char* kHex = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = kHex[hash & 0xf];
+    hash >>= 4;
+  }
+  return out;
+}
+
+std::string SerializeCache(const std::vector<FileExtract>& extracts) {
+  std::ostringstream out;
+  out << kHeader << "\n";
+  for (const FileExtract& file : extracts) {
+    out << "file " << file.path << " " << Opt(file.module) << " "
+        << file.content_hash << " " << Opt(file.paired_hash) << "\n";
+    for (const FunctionExtract& fn : file.functions) {
+      out << "fn " << fn.line << " " << fn.direct_effects << " " << fn.name
+          << " " << Opt(fn.class_name) << "\n";
+      for (const EffectOrigin& origin : fn.origins) {
+        out << "origin " << origin.effect << " " << origin.line << " "
+            << origin.detail << "\n";
+      }
+      for (const RawCallSite& call : fn.calls) {
+        out << "call " << static_cast<int>(call.kind) << " " << call.line
+            << " " << call.callee << " " << Opt(call.qualifier) << " "
+            << Opt(call.receiver_type) << "\n";
+      }
+    }
+  }
+  return out.str();
+}
+
+std::vector<FileExtract> ParseCache(const std::string& text) {
+  std::vector<FileExtract> extracts;
+  std::istringstream in(text);
+  std::string line;
+  if (!std::getline(in, line) || line != kHeader) return {};
+  FileExtract* file = nullptr;
+  FunctionExtract* fn = nullptr;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::istringstream fields(line);
+    std::string tag;
+    fields >> tag;
+    if (tag == "file") {
+      FileExtract next;
+      std::string module;
+      std::string paired;
+      if (!(fields >> next.path >> module >> next.content_hash >> paired)) {
+        return {};
+      }
+      next.module = UnOpt(module);
+      next.paired_hash = UnOpt(paired);
+      extracts.push_back(std::move(next));
+      file = &extracts.back();
+      fn = nullptr;
+    } else if (tag == "fn") {
+      if (file == nullptr) return {};
+      FunctionExtract next;
+      std::string cls;
+      if (!(fields >> next.line >> next.direct_effects >> next.name >>
+            cls)) {
+        return {};
+      }
+      next.class_name = UnOpt(cls);
+      file->functions.push_back(std::move(next));
+      fn = &file->functions.back();
+    } else if (tag == "origin") {
+      if (fn == nullptr) return {};
+      EffectOrigin origin;
+      if (!(fields >> origin.effect >> origin.line)) return {};
+      std::getline(fields, origin.detail);
+      if (!origin.detail.empty() && origin.detail.front() == ' ') {
+        origin.detail.erase(0, 1);
+      }
+      fn->origins.push_back(std::move(origin));
+    } else if (tag == "call") {
+      if (fn == nullptr) return {};
+      RawCallSite call;
+      int kind = 0;
+      std::string qualifier;
+      std::string receiver;
+      if (!(fields >> kind >> call.line >> call.callee >> qualifier >>
+            receiver) ||
+          kind < 0 || kind > 2) {
+        return {};
+      }
+      call.kind = static_cast<CallKind>(kind);
+      call.qualifier = UnOpt(qualifier);
+      call.receiver_type = UnOpt(receiver);
+      fn->calls.push_back(std::move(call));
+    } else {
+      return {};
+    }
+  }
+  return extracts;
+}
+
+std::vector<FileExtract> ExtractWithCache(
+    const RepoModel& repo, const std::vector<FileExtract>& cached,
+    std::size_t* cache_hits) {
+  std::map<std::string, const FileExtract*> by_path;
+  for (const FileExtract& entry : cached) {
+    by_path.emplace(entry.path, &entry);
+  }
+  if (cache_hits != nullptr) *cache_hits = 0;
+  std::vector<FileExtract> extracts;
+  extracts.reserve(repo.files().size());
+  for (const FileModel& file : repo.files()) {
+    const std::string own = HashContent(file.content());
+    std::string paired_hash;
+    const std::string paired = PairedPath(file.path());
+    if (const FileModel* other =
+            paired.empty() ? nullptr : repo.FindFile(paired)) {
+      paired_hash = HashContent(other->content());
+    }
+    const auto hit = by_path.find(file.path());
+    if (hit != by_path.end() && hit->second->content_hash == own &&
+        hit->second->paired_hash == paired_hash) {
+      if (cache_hits != nullptr) ++*cache_hits;
+      extracts.push_back(*hit->second);
+      continue;
+    }
+    FileExtract fresh = ExtractFile(repo, file);
+    fresh.content_hash = own;
+    fresh.paired_hash = paired_hash;
+    extracts.push_back(std::move(fresh));
+  }
+  return extracts;
+}
+
+}  // namespace noisybeeps::lint

@@ -1,0 +1,54 @@
+// The incremental whole-program analysis cache (build/nblint.cache).
+//
+// Whole-program mode adds one per-file cost over the v2 engine: scanning
+// every function body for call sites and direct effects (summary.h).
+// That scan depends only on the file's own content plus its paired
+// header/source (receiver typing consults the pair), so its result is
+// cached per file under both content hashes.  Call RESOLUTION and effect
+// PROPAGATION are global and always re-run -- they are cheap, and caching
+// them would make staleness bugs possible.
+//
+// The format is deliberately line-based text, written in deterministic
+// (sorted-path, declaration-order) order so that two cold runs over the
+// same tree produce byte-identical files -- CI diffs them to prove the
+// cache is reproducible.  Any parse hiccup or version mismatch degrades
+// to a cold run; a cache can never make nblint wrong, only slow.
+//
+// File IO stays in the caller (tools/nblint.cc); this layer works on
+// strings so tests can round-trip without touching disk.
+#ifndef NOISYBEEPS_LINT_CACHE_H_
+#define NOISYBEEPS_LINT_CACHE_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "lint/model.h"
+#include "lint/summary.h"
+
+namespace noisybeeps::lint {
+
+// FNV-1a/64 of `content`, as 16 lowercase hex digits.  (Local to the lint
+// layer on purpose: the layer table forbids lint/ -> resilience/, where
+// the repo's other FNV lives.)
+[[nodiscard]] std::string HashContent(std::string_view content);
+
+// Serializes extracts (with their hashes) to the "nblint-cache 1" format.
+[[nodiscard]] std::string SerializeCache(
+    const std::vector<FileExtract>& extracts);
+
+// Parses a serialized cache.  Returns an empty vector on version mismatch
+// or any malformed line -- the caller just runs cold.
+[[nodiscard]] std::vector<FileExtract> ParseCache(const std::string& text);
+
+// The cache-aware extraction pipeline: for each file in `repo`, reuse the
+// cached entry when both content hashes match, otherwise re-extract.
+// Always returns one entry per file, hashes filled in, ready to
+// serialize.  `cache_hits` (optional) receives the reuse count.
+[[nodiscard]] std::vector<FileExtract> ExtractWithCache(
+    const RepoModel& repo, const std::vector<FileExtract>& cached,
+    std::size_t* cache_hits = nullptr);
+
+}  // namespace noisybeeps::lint
+
+#endif  // NOISYBEEPS_LINT_CACHE_H_

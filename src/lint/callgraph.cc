@@ -1,0 +1,266 @@
+#include "lint/callgraph.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <utility>
+
+namespace noisybeeps::lint {
+namespace {
+
+// Identifier-kind tokens that look like calls but are control flow or
+// operators.  (Overlaps model.cc's list; kept local so the two heuristic
+// passes stay independently tunable.)
+bool IsCallKeyword(const std::string& name) {
+  static const std::set<std::string> kKeywords = {
+      "if",       "while",   "for",     "switch",        "catch",
+      "sizeof",   "alignof", "alignas", "decltype",      "static_assert",
+      "return",   "throw",   "defined", "noexcept",      "typeid",
+      "requires", "assert"};
+  return kKeywords.count(name) > 0;
+}
+
+// Identifier-kind tokens after which `name(` is still an expression --
+// they must NOT veto a call the way `Type name(` does.
+bool IsExpressionKeyword(const std::string& name) {
+  static const std::set<std::string> kKeywords = {
+      "return", "throw",  "co_return", "co_yield", "case",
+      "new",    "delete", "else",      "do",       "in"};
+  return kKeywords.count(name) > 0;
+}
+
+std::string PairedPath(const std::string& path) {
+  std::string paired = path;
+  if (paired.ends_with(".cc")) {
+    paired.replace(paired.size() - 3, 3, ".h");
+  } else if (paired.ends_with(".h")) {
+    paired.replace(paired.size() - 2, 2, ".cc");
+  } else {
+    return "";
+  }
+  return paired;
+}
+
+}  // namespace
+
+std::vector<RawCallSite> ExtractCallSites(const RepoModel& repo,
+                                          const FileModel& file,
+                                          const FunctionInfo& fn) {
+  std::vector<RawCallSite> sites;
+  if (!fn.is_definition || fn.body_begin == kNpos ||
+      fn.body_end <= fn.body_begin) {
+    return sites;
+  }
+  // The body's code tokens, braces excluded.
+  std::vector<std::size_t> body;
+  for (const std::size_t raw : file.code()) {
+    if (raw > fn.body_begin && raw < fn.body_end) body.push_back(raw);
+  }
+  const auto tok = [&](std::size_t i) -> const Token& {
+    return file.tokens()[body[i]];
+  };
+
+  for (std::size_t i = 0; i < body.size(); ++i) {
+    const Token& t = tok(i);
+    if (t.kind != TokenKind::kIdentifier || IsCallKeyword(t.text)) continue;
+    if (i + 1 >= body.size() || tok(i + 1).text != "(") continue;
+
+    // Walk back over an `A::B::` chain to find the qualifier.
+    std::size_t start = i;
+    std::vector<std::string> qualifiers;
+    while (start >= 2 && tok(start - 1).text == "::" &&
+           tok(start - 2).kind == TokenKind::kIdentifier) {
+      qualifiers.push_back(tok(start - 2).text);
+      start -= 2;
+    }
+    std::reverse(qualifiers.begin(), qualifiers.end());
+
+    RawCallSite site;
+    site.callee = t.text;
+    site.line = t.line;
+
+    if (!qualifiers.empty()) {
+      site.kind = CallKind::kQualified;
+      for (std::size_t q = 0; q < qualifiers.size(); ++q) {
+        if (q > 0) site.qualifier += "::";
+        site.qualifier += qualifiers[q];
+      }
+    } else if (start > 0 &&
+               (tok(start - 1).text == "." || tok(start - 1).text == "->")) {
+      site.kind = CallKind::kMember;
+      if (start >= 2 && tok(start - 2).kind == TokenKind::kIdentifier) {
+        const std::string& receiver = tok(start - 2).text;
+        site.receiver_type = receiver == "this"
+                                 ? fn.class_name
+                                 : repo.TypeOf(file, receiver);
+      }
+    } else {
+      site.kind = CallKind::kFree;
+      if (start > 0) {
+        const Token& prev = tok(start - 1);
+        // `Type name(` / `T* name(` / `vector<T> name(` declare, not call.
+        if ((prev.kind == TokenKind::kIdentifier &&
+             !IsExpressionKeyword(prev.text)) ||
+            prev.text == ">" || prev.text == ">>" || prev.text == "*" ||
+            prev.text == "&") {
+          continue;
+        }
+      }
+    }
+    sites.push_back(std::move(site));
+  }
+  return sites;
+}
+
+CallGraph CallGraph::Build(const RepoModel& repo) {
+  std::vector<NodeInput> inputs;
+  for (const FileModel& file : repo.files()) {
+    for (const FunctionInfo& fn : file.functions()) {
+      if (!fn.is_definition) continue;
+      NodeInput input;
+      input.path = file.path();
+      input.module = file.module();
+      input.name = fn.name;
+      input.class_name = fn.class_name;
+      input.qualified_name =
+          fn.class_name.empty() ? fn.name : fn.class_name + "::" + fn.name;
+      input.line = fn.line;
+      input.calls = ExtractCallSites(repo, file, fn);
+      inputs.push_back(std::move(input));
+    }
+  }
+  return Build(std::move(inputs));
+}
+
+CallGraph CallGraph::Build(std::vector<NodeInput> inputs) {
+  CallGraph graph;
+  graph.nodes_.reserve(inputs.size());
+  for (NodeInput& input : inputs) {
+    CallNode node;
+    node.path = std::move(input.path);
+    node.module = std::move(input.module);
+    node.name = std::move(input.name);
+    node.class_name = std::move(input.class_name);
+    node.qualified_name = std::move(input.qualified_name);
+    node.line = input.line;
+    node.edges.reserve(input.calls.size());
+    for (RawCallSite& site : input.calls) {
+      CallEdge edge;
+      edge.site = std::move(site);
+      node.edges.push_back(std::move(edge));
+    }
+    graph.nodes_.push_back(std::move(node));
+  }
+
+  // Name tables.  methods: (class, name) -> nodes.  free_fns: name ->
+  // nodes with no class.  any_method: name -> nodes with SOME class (the
+  // union fallback for untyped receivers).
+  std::map<std::pair<std::string, std::string>, std::vector<std::size_t>>
+      methods;
+  std::map<std::string, std::vector<std::size_t>> free_fns;
+  std::map<std::string, std::vector<std::size_t>> any_method;
+  for (std::size_t n = 0; n < graph.nodes_.size(); ++n) {
+    const CallNode& node = graph.nodes_[n];
+    if (node.class_name.empty()) {
+      free_fns[node.name].push_back(n);
+    } else {
+      methods[{node.class_name, node.name}].push_back(n);
+      any_method[node.name].push_back(n);
+    }
+  }
+
+  const auto resolve_free = [&](const CallNode& caller,
+                                const std::string& name, CallEdge& edge) {
+    // A bare call inside a member function reaches sibling methods first.
+    if (!caller.class_name.empty()) {
+      const auto sibling = methods.find({caller.class_name, name});
+      if (sibling != methods.end()) {
+        edge.targets = sibling->second;
+        edge.resolution = Resolution::kExact;
+        return;
+      }
+    }
+    const auto it = free_fns.find(name);
+    if (it != free_fns.end()) {
+      // Prefer definitions in the calling file, then its pair, then all --
+      // same-named static helpers in other modules are not candidates.
+      const std::string paired = PairedPath(caller.path);
+      std::vector<std::size_t> same, pair;
+      for (const std::size_t n : it->second) {
+        if (graph.nodes_[n].path == caller.path) same.push_back(n);
+        if (!paired.empty() && graph.nodes_[n].path == paired) {
+          pair.push_back(n);
+        }
+      }
+      edge.targets = !same.empty() ? same : !pair.empty() ? pair : it->second;
+      edge.resolution = Resolution::kExact;
+      return;
+    }
+    // `Foo(...)` constructing a class resolves to Foo's constructors.
+    const auto ctor = methods.find({name, name});
+    if (ctor != methods.end()) {
+      edge.targets = ctor->second;
+      edge.resolution = Resolution::kExact;
+    }
+  };
+
+  for (CallNode& node : graph.nodes_) {
+    for (CallEdge& edge : node.edges) {
+      const RawCallSite& site = edge.site;
+      switch (site.kind) {
+        case CallKind::kQualified: {
+          if (site.qualifier == "std" ||
+              site.qualifier.starts_with("std::")) {
+            break;  // external; stays kUnresolved
+          }
+          // The last qualifier segment is the class candidate; the rest
+          // is namespace noise ("lint::Foo::Bar" -> "Foo").
+          const std::size_t sep = site.qualifier.rfind("::");
+          const std::string cls = sep == std::string::npos
+                                      ? site.qualifier
+                                      : site.qualifier.substr(sep + 2);
+          const auto it = methods.find({cls, site.callee});
+          if (it != methods.end()) {
+            edge.targets = it->second;
+            edge.resolution = Resolution::kExact;
+            break;
+          }
+          // Namespace-qualified free call ("lint::RunRule(...)").
+          resolve_free(node, site.callee, edge);
+          break;
+        }
+        case CallKind::kMember: {
+          if (!site.receiver_type.empty() &&
+              !site.receiver_type.starts_with("std::")) {
+            const auto it = methods.find({site.receiver_type, site.callee});
+            if (it != methods.end()) {
+              edge.targets = it->second;
+              edge.resolution = Resolution::kExact;
+              break;
+            }
+          }
+          if (site.receiver_type.starts_with("std::")) break;  // external
+          const auto it = any_method.find(site.callee);
+          if (it != any_method.end()) {
+            edge.targets = it->second;
+            edge.resolution = Resolution::kMethodUnion;
+          }
+          break;
+        }
+        case CallKind::kFree:
+          resolve_free(node, site.callee, edge);
+          break;
+      }
+    }
+  }
+  return graph;
+}
+
+std::size_t CallGraph::FindNode(const std::string& qualified_name) const {
+  for (std::size_t n = 0; n < nodes_.size(); ++n) {
+    if (nodes_[n].qualified_name == qualified_name) return n;
+  }
+  return kNpos;
+}
+
+}  // namespace noisybeeps::lint

@@ -1,0 +1,118 @@
+// The repo-wide call graph nblint's whole-program rules run over.
+//
+// Nodes are FUNCTION DEFINITIONS as found by the structural model
+// (model.h): one node per FunctionInfo with a body, in file order.  Edges
+// are call sites extracted from those bodies, resolved best-effort to
+// target nodes.  Resolution is honest about its confidence:
+//
+//   kExact        qualifier or receiver type pinned the target; an
+//                 overload set yields every matching definition
+//   kMethodUnion  an unqualified member call (`x.Frob()`) whose receiver
+//                 type is unknown -- every class with a `Frob` is a
+//                 target.  Sound for effect propagation, too blunt for
+//                 layering, so the layering rule skips these edges.
+//   kUnresolved   no definition in the repo matches (std::, libc, system
+//                 headers).  The edge is kept -- `determinism-taint`
+//                 classifies some unresolved callees (steady_clock::now,
+//                 getenv) as direct effect origins in summary.cc.
+//
+// Free-call resolution prefers definitions in the calling file, then its
+// paired header/source, then anywhere in the repo -- so two modules each
+// defining a static helper `Hash` do not grow a phantom cross-module edge.
+//
+// Like the rest of nblint this is a heuristic, not a compiler: it must
+// never crash, and it prefers an explicit kUnresolved edge over a guessed
+// target.
+#ifndef NOISYBEEPS_LINT_CALLGRAPH_H_
+#define NOISYBEEPS_LINT_CALLGRAPH_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "lint/model.h"
+
+namespace noisybeeps::lint {
+
+enum class CallKind {
+  kFree,       // Frob(...)
+  kQualified,  // Foo::Frob(...), std::chrono::steady_clock::now(...)
+  kMember,     // x.Frob(...), p->Frob(...)
+};
+
+// One call site inside a function body, before resolution.  For kMember
+// calls `receiver_type` is the receiver's declared type when the model
+// knows it ("" otherwise) -- resolved at extraction time because it
+// consults the paired header, which the incremental cache keys on.
+struct RawCallSite {
+  std::string callee;         // last name segment: "Frob", "now"
+  std::string qualifier;      // "Foo", "std::chrono::steady_clock", ""
+  std::string receiver_type;  // "Rng", "std::unordered_map", ""
+  CallKind kind = CallKind::kFree;
+  int line = 0;
+
+  friend bool operator==(const RawCallSite& a, const RawCallSite& b) =
+      default;
+};
+
+// All call sites in `fn`'s body (no-op for declarations).  `repo` supplies
+// receiver typing via RepoModel::TypeOf.
+[[nodiscard]] std::vector<RawCallSite> ExtractCallSites(
+    const RepoModel& repo, const FileModel& file, const FunctionInfo& fn);
+
+enum class Resolution { kExact, kMethodUnion, kUnresolved };
+
+struct CallEdge {
+  RawCallSite site;
+  std::vector<std::size_t> targets;  // node indices; empty iff unresolved
+  Resolution resolution = Resolution::kUnresolved;
+};
+
+// Everything the graph needs to know about one function definition.  The
+// warm path reconstitutes these from build/nblint.cache instead of
+// re-scanning bodies (cache.h).
+struct NodeInput {
+  std::string path;    // repo-relative file
+  std::string module;  // "util" for src/util/..., "" outside src/
+  std::string name;
+  std::string class_name;
+  std::string qualified_name;
+  int line = 0;
+  std::vector<RawCallSite> calls;
+};
+
+struct CallNode {
+  std::string path;
+  std::string module;
+  std::string name;
+  std::string class_name;
+  std::string qualified_name;
+  int line = 0;
+  std::vector<CallEdge> edges;
+
+  // "src/util/rng.cc:Rng::NextDouble" -- stable display identity.
+  [[nodiscard]] std::string Display() const {
+    return path + ":" + qualified_name;
+  }
+};
+
+class CallGraph {
+ public:
+  // Resolves `inputs` (one per definition, file order) into a graph.
+  [[nodiscard]] static CallGraph Build(std::vector<NodeInput> inputs);
+  // Convenience: extract every definition in `repo` and build.
+  [[nodiscard]] static CallGraph Build(const RepoModel& repo);
+
+  [[nodiscard]] const std::vector<CallNode>& nodes() const { return nodes_; }
+
+  // First node with this qualified name ("Rng::NextDouble" or a free
+  // function's name), kNpos when absent.  Test/diagnostic convenience.
+  [[nodiscard]] std::size_t FindNode(const std::string& qualified_name) const;
+
+ private:
+  std::vector<CallNode> nodes_;
+};
+
+}  // namespace noisybeeps::lint
+
+#endif  // NOISYBEEPS_LINT_CALLGRAPH_H_

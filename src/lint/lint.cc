@@ -3,8 +3,12 @@
 #include <algorithm>
 #include <cctype>
 #include <cstdio>
+#include <set>
 #include <tuple>
 #include <utility>
+
+#include "lint/cache.h"
+#include "lint/summary.h"
 
 namespace noisybeeps::lint {
 namespace {
@@ -86,12 +90,22 @@ std::vector<Finding> RunRule(const Rule& rule,
     const RepoModel model(files);
     rule.run(model, findings);
     for (Finding& f : findings) f.severity = rule.severity;
+  } else if (rule.run_program != nullptr) {
+    const RepoModel model(files);
+    const ProgramAnalysis analysis = ProgramAnalysis::Build(model);
+    rule.run_program(analysis, findings);
+    for (Finding& f : findings) f.severity = rule.severity;
   }
   SortFindings(findings);
   return findings;
 }
 
 std::vector<Finding> RunAllChecks(const std::vector<SourceFile>& files) {
+  return RunAllChecks(files, LintOptions{});
+}
+
+std::vector<Finding> RunAllChecks(const std::vector<SourceFile>& files,
+                                  const LintOptions& options) {
   const RepoModel model(files);
   std::vector<Finding> findings;
   for (const Rule& rule : AllRules()) {
@@ -100,6 +114,35 @@ std::vector<Finding> RunAllChecks(const std::vector<SourceFile>& files) {
     rule.run(model, findings);
     for (std::size_t i = before; i < findings.size(); ++i) {
       findings[i].severity = rule.severity;
+    }
+  }
+
+  if (options.whole_program) {
+    std::size_t cache_hits = 0;
+    const std::vector<FileExtract> extracts =
+        ExtractWithCache(model, ParseCache(options.cache_in), &cache_hits);
+    if (options.cache_out != nullptr) {
+      *options.cache_out = SerializeCache(extracts);
+    }
+    const ProgramAnalysis analysis = ProgramAnalysis::Build(extracts);
+    if (options.stats != nullptr) {
+      options.stats->files = model.files().size();
+      options.stats->cache_hits = cache_hits;
+      options.stats->nodes = analysis.graph().nodes().size();
+      for (const CallNode& node : analysis.graph().nodes()) {
+        options.stats->edges += node.edges.size();
+        for (const CallEdge& edge : node.edges) {
+          if (!edge.targets.empty()) ++options.stats->resolved_edges;
+        }
+      }
+    }
+    for (const Rule& rule : AllRules()) {
+      if (rule.run_program == nullptr) continue;
+      const std::size_t before = findings.size();
+      rule.run_program(analysis, findings);
+      for (std::size_t i = before; i < findings.size(); ++i) {
+        findings[i].severity = rule.severity;
+      }
     }
   }
 
@@ -268,6 +311,84 @@ std::string FormatSarif(const std::vector<Finding>& findings) {
       "  ]\n"
       "}\n";
   return out;
+}
+
+namespace {
+
+// The next JSON string literal at or after `pos`; npos when none.
+// Good enough for the baseline file, whose strings are rule ids and
+// repo-relative paths (no escapes).
+std::string NextJsonString(const std::string& json, std::size_t& pos) {
+  const std::size_t open = json.find('"', pos);
+  if (open == std::string::npos) {
+    pos = std::string::npos;
+    return "";
+  }
+  const std::size_t close = json.find('"', open + 1);
+  if (close == std::string::npos) {
+    pos = std::string::npos;
+    return "";
+  }
+  pos = close + 1;
+  return json.substr(open + 1, close - open - 1);
+}
+
+}  // namespace
+
+std::vector<BaselineEntry> ParseBaseline(const std::string& json) {
+  std::vector<BaselineEntry> entries;
+  std::size_t pos = 0;
+  while (pos != std::string::npos) {
+    const std::size_t rule_key = json.find("\"rule\"", pos);
+    if (rule_key == std::string::npos) break;
+    pos = rule_key + 6;
+    BaselineEntry entry;
+    entry.rule_id = NextJsonString(json, pos);
+    if (pos == std::string::npos) break;
+    const std::size_t file_key = json.find("\"file\"", pos);
+    if (file_key == std::string::npos) break;
+    pos = file_key + 6;
+    entry.file = NextJsonString(json, pos);
+    if (entry.rule_id.empty() || entry.file.empty()) continue;
+    entries.push_back(std::move(entry));
+  }
+  return entries;
+}
+
+std::string FormatBaseline(const std::vector<Finding>& findings) {
+  std::set<std::pair<std::string, std::string>> keys;
+  for (const Finding& f : findings) {
+    if (f.severity != Severity::kWarn) continue;
+    keys.emplace(f.rule_id, f.file);
+  }
+  std::string out = "{\n  \"version\": 1,\n  \"findings\": [";
+  bool first = true;
+  for (const auto& [rule, file] : keys) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    {\"rule\": ";
+    AppendJsonString(out, rule);
+    out += ", \"file\": ";
+    AppendJsonString(out, file);
+    out += "}";
+  }
+  out += keys.empty() ? "]\n}\n" : "\n  ]\n}\n";
+  return out;
+}
+
+std::vector<Finding> NewFindings(const std::vector<Finding>& findings,
+                                 const std::vector<BaselineEntry>& baseline) {
+  std::set<std::pair<std::string, std::string>> known;
+  for (const BaselineEntry& entry : baseline) {
+    known.emplace(entry.rule_id, entry.file);
+  }
+  std::vector<Finding> fresh;
+  for (const Finding& f : findings) {
+    if (f.severity != Severity::kWarn) continue;
+    if (known.count({f.rule_id, f.file}) > 0) continue;
+    fresh.push_back(f);
+  }
+  return fresh;
 }
 
 }  // namespace noisybeeps::lint

@@ -36,6 +36,11 @@ bool RejectsDeclarator(const Token& prev) {
   return kReject.count(prev.text) > 0;
 }
 
+bool IsUnorderedContainer(const std::string& name) {
+  return name == "unordered_map" || name == "unordered_set" ||
+         name == "unordered_multimap" || name == "unordered_multiset";
+}
+
 // Identifiers that introduce statements/expressions, never function names.
 bool IsNonFunctionKeyword(const std::string& name) {
   static const std::set<std::string> kKeywords = {
@@ -53,7 +58,8 @@ class ModelBuilder {
       : tokens_(tokens), code_(code) {}
 
   void Run(std::vector<FunctionInfo>& functions,
-           std::map<std::string, std::string>& value_types) {
+           std::map<std::string, std::string>& value_types,
+           std::set<std::string>& globals) {
     CollectValueTypes(value_types);
     std::size_t i = 0;
     while (i < code_.size()) {
@@ -73,7 +79,13 @@ class ModelBuilder {
         continue;
       }
       if (t.text == "{") {
-        scopes_.push_back("");  // namespace body, init list, etc.
+        // Namespace bodies keep namespace scope; any other brace (init
+        // list, lambda body, array initializer) is an opaque region whose
+        // declarations must not be mistaken for namespace-scope state.
+        scopes_.push_back(
+            Scope{IsNamespaceBrace(i) ? ScopeKind::kNamespace
+                                      : ScopeKind::kOther,
+                  ""});
         ++i;
         continue;
       }
@@ -90,12 +102,74 @@ class ModelBuilder {
           continue;
         }
       }
+      if (t.kind == TokenKind::kIdentifier && AtNamespaceScope() &&
+          IsGlobalVariableName(i)) {
+        globals.insert(t.text);
+      }
       ++i;
     }
   }
 
  private:
+  enum class ScopeKind { kNamespace, kClass, kOther };
+  struct Scope {
+    ScopeKind kind = ScopeKind::kOther;
+    std::string name;  // the class name for kClass scopes
+  };
+
   const Token& Tok(std::size_t i) const { return tokens_[code_[i]]; }
+
+  // True when every open scope is a namespace body (i.e. the walker sits
+  // at namespace scope, where variable declarations are shared state).
+  bool AtNamespaceScope() const {
+    for (const Scope& scope : scopes_) {
+      if (scope.kind != ScopeKind::kNamespace) return false;
+    }
+    return true;
+  }
+
+  // `i` is at a '{' in the main walk.  True when the brace opens a
+  // namespace body: "namespace {", "namespace name {", "namespace a::b {".
+  bool IsNamespaceBrace(std::size_t i) const {
+    std::size_t j = i;
+    while (j > 0) {
+      const Token& prev = Tok(j - 1);
+      if (prev.kind == TokenKind::kIdentifier && prev.text == "namespace") {
+        return true;
+      }
+      if (prev.kind == TokenKind::kIdentifier || prev.text == "::") {
+        --j;
+        continue;
+      }
+      return false;
+    }
+    return false;
+  }
+
+  // `i` is at an identifier at namespace scope.  True when it declares a
+  // MUTABLE namespace-scope variable: the next token closes a declarator
+  // ('=', ';', '[', '{'), a type precedes it in the same statement, and
+  // the statement carries no const/constexpr/using/... disqualifier.
+  bool IsGlobalVariableName(std::size_t i) const {
+    if (i + 1 >= code_.size()) return false;
+    const std::string& next = Tok(i + 1).text;
+    if (next != "=" && next != ";" && next != "[" && next != "{") {
+      return false;
+    }
+    static const std::set<std::string> kDisqualifiers = {
+        "const",    "constexpr", "constinit", "using",  "typedef",
+        "extern",   "namespace", "friend",    "enum",   "operator",
+        "template", "return",    "class",     "struct", "static_assert",
+        "="};
+    bool saw_type = false;
+    for (std::size_t j = i; j > 0; --j) {
+      const Token& prev = Tok(j - 1);
+      if (prev.text == ";" || prev.text == "{" || prev.text == "}") break;
+      if (kDisqualifiers.count(prev.text) > 0) return false;
+      if (prev.kind == TokenKind::kIdentifier) saw_type = true;
+    }
+    return saw_type;
+  }
 
   // `i` is at the '<' after `template`; returns the index after the
   // matching '>'.  Understands '>>' closing two levels.
@@ -139,7 +213,7 @@ class ModelBuilder {
       }
     }
     if (j >= code_.size()) return j;
-    scopes_.push_back(name);
+    scopes_.push_back(Scope{ScopeKind::kClass, name});
     return j + 1;
   }
 
@@ -169,7 +243,9 @@ class ModelBuilder {
   // Innermost named class scope, or "".
   std::string EnclosingClass() const {
     for (auto it = scopes_.rbegin(); it != scopes_.rend(); ++it) {
-      if (!it->empty()) return *it;
+      if (it->kind == ScopeKind::kClass && !it->name.empty()) {
+        return it->name;
+      }
     }
     return "";
   }
@@ -178,13 +254,48 @@ class ModelBuilder {
   // returns the resume index, or kNpos when this is not a declarator.
   std::size_t TryFunction(std::size_t i, std::vector<FunctionInfo>& out) {
     // Walk back over a `A::B::` qualification chain to the declarator
-    // start, whose own predecessor decides declaration context.
+    // start, whose own predecessor decides declaration context.  A
+    // qualifier may carry template arguments ("Foo<T>::Bar" in an
+    // out-of-line template member definition): the argument list is
+    // skipped backward to the class name that owns it.
     std::size_t chain_start = i;
     std::vector<std::string> qualifiers;
-    while (chain_start >= 2 && Tok(chain_start - 1).text == "::" &&
-           Tok(chain_start - 2).kind == TokenKind::kIdentifier) {
-      qualifiers.push_back(Tok(chain_start - 2).text);
-      chain_start -= 2;
+    while (chain_start >= 2 && Tok(chain_start - 1).text == "::") {
+      if (Tok(chain_start - 2).kind == TokenKind::kIdentifier) {
+        qualifiers.push_back(Tok(chain_start - 2).text);
+        chain_start -= 2;
+        continue;
+      }
+      if (Tok(chain_start - 2).text != ">" &&
+          Tok(chain_start - 2).text != ">>") {
+        break;
+      }
+      // Scan back across the template-argument list to its '<'.
+      std::size_t k = chain_start - 2;
+      int depth = 0;
+      bool matched = false;
+      for (; k + 1 > 0; --k) {
+        const std::string& text = Tok(k).text;
+        if (text == ">") {
+          ++depth;
+        } else if (text == ">>") {
+          depth += 2;
+        } else if (text == "<") {
+          if (--depth <= 0) {
+            matched = depth == 0;
+            break;
+          }
+        } else if (text == "{" || text == "}" || text == ";") {
+          break;
+        }
+        if (k == 0) break;
+      }
+      if (!matched || k < 1 ||
+          Tok(k - 1).kind != TokenKind::kIdentifier) {
+        break;
+      }
+      qualifiers.push_back(Tok(k - 1).text);
+      chain_start = k - 1;
     }
     if (chain_start > 0) {
       const Token& prev = Tok(chain_start - 1);
@@ -257,7 +368,7 @@ class ModelBuilder {
 
   const std::vector<Token>& tokens_;
   const std::vector<std::size_t>& code_;
-  std::vector<std::string> scopes_;  // "" = unnamed (namespace/other)
+  std::vector<Scope> scopes_;
 
   void CollectValueTypes(std::map<std::string, std::string>& out) {
     for (std::size_t i = 0; i < code_.size(); ++i) {
@@ -273,6 +384,35 @@ class ModelBuilder {
                   Tok(i + 2).text == "ostream")) {
         type = "std::" + Tok(i + 2).text;
         after = i + 3;
+      } else if (t.text == "std" && i + 2 < code_.size() &&
+                 Tok(i + 1).text == "::" &&
+                 IsUnorderedContainer(Tok(i + 2).text)) {
+        // Record the container sans template arguments; the declared
+        // identifier follows the argument list.
+        type = "std::" + Tok(i + 2).text;
+        after = i + 3;
+        if (after >= code_.size() || Tok(after).text != "<") continue;
+        int depth = 0;
+        for (; after < code_.size(); ++after) {
+          const std::string& text = Tok(after).text;
+          if (text == "<") {
+            ++depth;
+          } else if (text == ">") {
+            if (--depth == 0) {
+              ++after;
+              break;
+            }
+          } else if (text == ">>") {
+            depth -= 2;
+            if (depth <= 0) {
+              ++after;
+              break;
+            }
+          } else if (text == "{" || text == ";") {
+            break;  // malformed argument list; skip this declaration
+          }
+        }
+        if (after >= code_.size()) continue;
       } else {
         continue;
       }
@@ -291,10 +431,31 @@ class ModelBuilder {
       const std::string& ident = Tok(after).text;
       if (after + 1 < code_.size()) {
         const std::string& next = Tok(after + 1).text;
-        if (next == "(") continue;  // a function returning the type
-        static const std::set<std::string> kEnders = {
-            ";", ",", ")", "=", "{", "[", ":"};
-        if (kEnders.count(next) == 0) continue;
+        if (next == "(") {
+          // `Rng rng(seed);` constructs; `Rng Make(Rng base);` declares a
+          // function.  A construction's argument list opens with a literal
+          // or an identifier followed by an expression separator, while a
+          // parameter's type is followed by more declarator tokens.
+          if (after + 2 >= code_.size()) continue;
+          const Token& arg = Tok(after + 2);
+          bool constructs = false;
+          if (arg.kind == TokenKind::kNumber ||
+              arg.kind == TokenKind::kString ||
+              arg.kind == TokenKind::kChar) {
+            constructs = true;
+          } else if (arg.kind == TokenKind::kIdentifier &&
+                     !IsNonFunctionKeyword(arg.text) &&
+                     after + 3 < code_.size()) {
+            static const std::set<std::string> kExprSeparators = {
+                ")", ",", ".", "->", "(", "+", "-", "["};
+            constructs = kExprSeparators.count(Tok(after + 3).text) > 0;
+          }
+          if (!constructs) continue;
+        } else {
+          static const std::set<std::string> kEnders = {
+              ";", ",", ")", "=", "{", "[", ":"};
+          if (kEnders.count(next) == 0) continue;
+        }
       }
       out.emplace(ident, type);  // first declaration wins
     }
@@ -369,7 +530,7 @@ FileModel FileModel::Build(SourceFile file) {
     structural.push_back(i);
   }
   ModelBuilder builder(model.tokens_, structural);
-  builder.Run(model.functions_, model.value_types_);
+  builder.Run(model.functions_, model.value_types_, model.globals_);
   return model;
 }
 

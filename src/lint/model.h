@@ -85,10 +85,19 @@ class FileModel {
   }
   // Identifier -> declared type, for the declaration forms the model
   // recognises ("double", "float", "Rng", "std::ostringstream",
-  // "std::ostream").  Best-effort; absent means unknown.
+  // "std::ostream", and the unordered containers as
+  // "std::unordered_map" etc. with their template arguments dropped).
+  // Best-effort; absent means unknown.
   [[nodiscard]] const std::map<std::string, std::string>& value_types()
       const {
     return value_types_;
+  }
+  // Names of MUTABLE namespace-scope variables declared in this file
+  // (const/constexpr/using/extern declarations excluded).  Writes to these
+  // are shared-state hazards under parallel execution; the whole-program
+  // shared-state-discipline rule queries this set.
+  [[nodiscard]] const std::set<std::string>& globals() const {
+    return globals_;
   }
 
   // True when any code token or string literal on `line` contains
@@ -105,6 +114,7 @@ class FileModel {
   std::vector<IncludeEdge> includes_;
   std::vector<FunctionInfo> functions_;
   std::map<std::string, std::string> value_types_;
+  std::set<std::string> globals_;
 };
 
 class RepoModel {

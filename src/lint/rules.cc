@@ -5,6 +5,8 @@
 #include <cstring>
 #include <utility>
 
+#include "lint/taint.h"
+
 namespace noisybeeps::lint {
 namespace {
 
@@ -229,10 +231,14 @@ void CheckIncludeCycles(const RepoModel& repo, std::vector<Finding>& out) {
 
 // --- layering ---------------------------------------------------------------
 
+}  // namespace
+
 // The declarative module-layer table: every src/ module appears here with
 // the exact set of sibling modules it may include.  Adding a module or a
 // dependency means editing this table -- which is the point: the layering
 // of the simulator is a reviewed decision, not an accident of #includes.
+// Declared in rules.h so layering-reachability (taint.cc) can close it
+// transitively.
 const std::map<std::string, std::set<std::string>>& LayerTable() {
   static const std::map<std::string, std::set<std::string>> kTable = {
       {"util", {}},
@@ -248,6 +254,8 @@ const std::map<std::string, std::set<std::string>>& LayerTable() {
   };
   return kTable;
 }
+
+namespace {
 
 void CheckLayering(const RepoModel& repo, std::vector<Finding>& out) {
   // Restricted modules stay leaves: their headers may be included from
@@ -728,7 +736,12 @@ std::vector<Rule> BuildRegistry() {
       "All randomness must flow through the seeded, splittable Rng in "
       "util/rng.h; <random>, rand(), and friends are banned elsewhere.",
       CheckBannedRandomness,
-      {F("src/analysis/fixture.cc", "int Draw() { return std::rand(); }\n")}});
+      {F("src/analysis/fixture.cc", "int Draw() { return std::rand(); }\n")},
+      "The paper's guarantees are statements about distributions over "
+      "transcripts, so every trial must replay bit-identically from its "
+      "seed.  A stray rand() or thread-local <random> engine breaks "
+      "replay silently; funnelling every draw through Rng keeps the "
+      "whole experiment a pure function of the seed."});
   rules.push_back(Rule{
       "channel-hot-path", Severity::kError, "performance",
       "Channel Deliver bodies must draw through a precomputed "
@@ -737,7 +750,11 @@ std::vector<Rule> BuildRegistry() {
       {F("src/channel/fixture.cc",
          "struct Chan {\n"
          "  bool Deliver(double p) { return rng_.Bernoulli(p); }\n"
-         "};\n")}});
+         "};\n")},
+      "Deliver runs once per slot per trial -- billions of times in a "
+      "sweep.  PR 4 moved it to stream-identical fixed-point sampling; "
+      "this rule keeps per-sample floating-point draws from creeping "
+      "back into the hot path."});
   rules.push_back(Rule{
       "checkpoint-atomicity", Severity::kError, "robustness",
       "Checkpoint files must be written via WriteCheckpointAtomic "
@@ -745,33 +762,95 @@ std::vector<Rule> BuildRegistry() {
       CheckCheckpointAtomicity,
       {F("src/tasks/fixture.cc",
          "#include <fstream>\n"
-         "void Save() { std::ofstream out(\"trial.ckpt\"); }\n")}});
+         "void Save() { std::ofstream out(\"trial.ckpt\"); }\n")},
+      "A checkpoint torn by a crash mid-write is worse than none: "
+      "resume would replay from corrupt state.  Temp-file-plus-rename "
+      "makes the visible file transition atomic on POSIX."});
+  rules.push_back(Rule{
+      "determinism-taint", Severity::kWarn, "determinism",
+      "Whole-program: no call path from a determinism-critical sink "
+      "(checkpoint payloads, fingerprints, transcripts, digests, seed "
+      "derivation) may reach a nondeterminism source (raw wall clock, "
+      "getenv, unordered-container iteration, pointer-to-integer casts); "
+      "raw clocks are confined to src/resilience/clock.",
+      nullptr,
+      {F("src/analysis/fixture.cc",
+         "#include <chrono>\n"
+         "namespace noisybeeps {\n"
+         "long StampNow() {\n"
+         "  return "
+         "std::chrono::steady_clock::now().time_since_epoch().count();\n"
+         "}\n"
+         "long ReportFingerprint() { return StampNow(); }\n"
+         "}  // namespace noisybeeps\n")},
+      "Replay guarantees (bit-identical trials across worker counts, "
+      "bit-identical kill-and-resume) hold only if checkpoint payloads, "
+      "RunReport fingerprints, golden transcripts, and derived seeds are "
+      "functions of the seeded Rng alone.  Per-file rules cannot see a "
+      "helper three calls down reading the clock; the call-graph closure "
+      "can, and the diagnostic carries the full witness path.  Rng draws "
+      "and the injectable Clock are sanctioned boundaries, not sources.",
+      CheckDeterminismTaint});
   rules.push_back(Rule{
       "float-equality", Severity::kWarn, "numerics",
       "No ==/!= between floating-point expressions in src/analysis/ and "
       "src/ecc/; compare against an explicit tolerance.",
       CheckFloatEquality,
       {F("src/analysis/fixture.cc",
-         "bool Same(double a, double b) { return a == b; }\n")}});
+         "bool Same(double a, double b) { return a == b; }\n")},
+      "Estimator and bound computations accumulate rounding error; exact "
+      "comparison turns harmless last-ulp drift into logic divergence.  "
+      "An explicit tolerance documents the intended precision."});
   rules.push_back(Rule{
       "header-guard", Severity::kError, "style",
       "src/ headers carry NOISYBEEPS_<PATH>_H_ include guards.",
       CheckHeaderGuard,
       {F("src/util/fixture.h",
-         "#ifndef WRONG_GUARD\n#define WRONG_GUARD\n#endif\n")}});
+         "#ifndef WRONG_GUARD\n#define WRONG_GUARD\n#endif\n")},
+      "Path-derived guards cannot collide as files move or multiply, and "
+      "uniformity makes the guard mechanical to audit."});
   rules.push_back(Rule{
       "include-cycle", Severity::kError, "architecture",
       "The src/ module include graph must stay acyclic.",
       CheckIncludeCycles,
       {F("src/ecc/fixture.h", "#include \"channel/fixture.h\"\n"),
-       F("src/channel/fixture.h", "#include \"ecc/fixture.h\"\n")}});
+       F("src/channel/fixture.h", "#include \"ecc/fixture.h\"\n")},
+      "A cycle between modules means neither can be understood, tested, "
+      "or replaced alone.  Acyclicity is what makes the layer table "
+      "meaningful."});
   rules.push_back(Rule{
       "layering", Severity::kError, "architecture",
       "Every src/ module's dependencies must match the declarative layer "
       "table; restricted modules (fault/) are importable only where "
       "listed.",
       CheckLayering,
-      {F("src/protocol/fixture.cc", "#include \"fault/fault_plan.h\"\n")}});
+      {F("src/protocol/fixture.cc", "#include \"fault/fault_plan.h\"\n")},
+      "The simulator's layering is a reviewed decision, not an accident "
+      "of #includes: adding a dependency means editing the table in "
+      "src/lint/rules.cc where the change is visible in review."});
+  rules.push_back(Rule{
+      "layering-reachability", Severity::kWarn, "architecture",
+      "Whole-program: every resolved cross-module call edge must stay "
+      "within the transitive closure of the layer table, catching "
+      "dependencies no direct #include witnesses.",
+      nullptr,
+      {F("src/util/fixture.cc",
+         "namespace noisybeeps {\n"
+         "int TaskCount();\n"
+         "int UtilThing() { return TaskCount(); }\n"
+         "}  // namespace noisybeeps\n"),
+       F("src/tasks/fixture.cc",
+         "namespace noisybeeps {\n"
+         "int TaskCount() { return 3; }\n"
+         "}  // namespace noisybeeps\n")},
+      "A module can reach another through a forward declaration or a "
+      "same-module header that re-exports the symbol -- no #include "
+      "edge, so the per-file layering rule is blind to it.  Checking "
+      "resolved call edges against the closed layer table catches the "
+      "dependency where it actually flows.  Method-union edges are "
+      "skipped: a guessed receiver class must not invent an "
+      "architecture violation.",
+      CheckLayeringReachability});
   rules.push_back(Rule{
       "locale-formatting", Severity::kError, "portability",
       "Doubles in name()/fingerprint/CSV paths must be formatted with "
@@ -784,14 +863,20 @@ std::vector<Rule> BuildRegistry() {
          "  std::ostringstream os;\n"
          "  os << eps;\n"
          "  return os.str();\n"
-         "}\n")}});
+         "}\n")},
+      "A German locale renders 0.1 as \"0,1\": experiment names, CSV "
+      "rows, and fingerprints silently change meaning on another "
+      "machine.  FormatDouble pins the 'C' locale and round-trips."});
   rules.push_back(Rule{
       "raw-thread", Severity::kError, "determinism",
       "No std::thread/std::jthread/std::async/pthread_create outside "
       "src/util/parallel.h; ParallelTrials is the concurrency primitive.",
       CheckRawThreads,
       {F("src/tasks/fixture.cc",
-         "#include <thread>\nvoid Go() { std::thread t; }\n")}});
+         "#include <thread>\nvoid Go() { std::thread t; }\n")},
+      "ParallelTrials guarantees the worker count cannot affect results "
+      "by deriving per-trial Rngs up front.  Ad-hoc threads re-open "
+      "every scheduling-dependent nondeterminism the primitive closed."});
   rules.push_back(Rule{
       "require-precondition", Severity::kError, "contracts",
       "A constructor or Make*/Sample* factory documenting a Precondition "
@@ -806,28 +891,63 @@ std::vector<Rule> BuildRegistry() {
          "#endif  // NOISYBEEPS_UTIL_FIXTURE_H_\n"),
        F("src/util/fixture.cc",
          "#include \"util/fixture.h\"\n"
-         "Widget MakeWidget(int n) { return Widget{n}; }\n")}});
+         "Widget MakeWidget(int n) { return Widget{n}; }\n")},
+      "A documented precondition that is not checked is a trap for the "
+      "next caller: violations surface as corrupt statistics long after "
+      "the bad argument.  NB_REQUIRE turns them into immediate, "
+      "attributable failures."});
   rules.push_back(Rule{
       "rng-stream-discipline", Severity::kError, "determinism",
       "Rng is a stream position: no by-value Rng parameters and no Rng "
       "copies outside Split(); a copy silently forks the stream.",
       CheckRngStreamDiscipline,
       {F("src/tasks/fixture.cc",
-         "#include \"util/rng.h\"\nvoid Run(Rng rng);\n")}});
+         "#include \"util/rng.h\"\nvoid Run(Rng rng);\n")},
+      "Copying an Rng duplicates its stream position: two call sites "
+      "draw identical values that should have been independent, and the "
+      "determinism audit cannot see it.  Split() is the one sanctioned "
+      "way to fork."});
+  rules.push_back(Rule{
+      "shared-state-discipline", Severity::kWarn, "concurrency",
+      "Whole-program: functions reachable from ParallelForEach / "
+      "ParallelTrials worker bodies must not write namespace-scope or "
+      "static state without a lock; use the per-worker accumulator + "
+      "Merge pattern.",
+      nullptr,
+      {F("src/analysis/fixture.cc",
+         "namespace noisybeeps {\n"
+         "int g_hits = 0;\n"
+         "void Bump() { g_hits += 1; }\n"
+         "void Sweep() {\n"
+         "  ParallelForEach(8, [](int i) { Bump(); });\n"
+         "}\n"
+         "}  // namespace noisybeeps\n")},
+      "A data race in a worker body is both undefined behaviour and a "
+      "determinism leak: results depend on interleaving.  The repo's "
+      "pattern -- each worker fills its own accumulator, the caller "
+      "Merges sequentially -- makes races structurally impossible; this "
+      "rule walks the call closure of every worker body to find writes "
+      "that escape the pattern.",
+      CheckSharedStateDiscipline});
   rules.push_back(Rule{
       "suppression-justification", Severity::kError, "suppressions",
       "Every NBLINT suppression must carry a non-empty justification; an "
       "unjustified suppression suppresses nothing and is itself reported.",
       nullptr,
       {F("src/analysis/fixture.cc",
-         "int Draw() { return std::rand(); }  // NBLINT(banned-random):\n")}});
+         "int Draw() { return std::rand(); }  // NBLINT(banned-random):\n")},
+      "Silencing a finding must never be cheaper than fixing it.  The "
+      "justification is the reviewable artifact: it states why this one "
+      "site is exempt."});
   rules.push_back(Rule{
       "suppression-unknown-rule", Severity::kError, "suppressions",
       "An NBLINT suppression naming a rule id that does not exist is "
       "reported loudly instead of silently ignored.",
       nullptr,
       {F("src/analysis/fixture.cc",
-         "int Zero() { return 0; }  // NBLINT(no-such-rule): spurious\n")}});
+         "int Zero() { return 0; }  // NBLINT(no-such-rule): spurious\n")},
+      "A typo'd rule id would otherwise leave the author believing a "
+      "finding is handled while the engine ignores the comment."});
   return rules;
 }
 

@@ -17,6 +17,8 @@
 #define NOISYBEEPS_LINT_RULES_H_
 
 #include <functional>
+#include <map>
+#include <set>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -24,6 +26,8 @@
 #include "lint/model.h"
 
 namespace noisybeeps::lint {
+
+class ProgramAnalysis;  // summary.h -- the whole-program effect closure
 
 enum class Severity { kError, kWarn };
 
@@ -45,10 +49,18 @@ struct Rule {
   Severity severity = Severity::kError;
   std::string category;
   std::string summary;
-  // Emits findings over the model; nullptr for engine-implemented rules.
+  // Emits findings over the model; nullptr for engine-implemented and
+  // whole-program rules.
   std::function<void(const RepoModel&, std::vector<Finding>&)> run;
   // Synthetic files on which this rule must fire (vacuity meta-test).
   std::vector<SourceFile> firing_fixture;
+  // Longer-form why-this-exists, surfaced by `nblint --explain=<id>`.
+  std::string rationale;
+  // Emits findings over the whole-program analysis (taint.h); only set
+  // for whole-program rules, which run when the engine is invoked with
+  // LintOptions.whole_program (lint.h).
+  std::function<void(const ProgramAnalysis&, std::vector<Finding>&)>
+      run_program;
 };
 
 // The registry, in stable order (SARIF ruleIndex depends on it).
@@ -56,6 +68,13 @@ struct Rule {
 
 // nullptr when no rule has that id.
 [[nodiscard]] const Rule* FindRule(std::string_view id);
+
+// The declarative module-layer table: every src/ module with the exact
+// set of sibling modules it may depend on.  The per-file `layering` rule
+// checks direct #includes against it; `layering-reachability` (taint.h)
+// checks resolved call edges against its transitive closure.
+[[nodiscard]] const std::map<std::string, std::set<std::string>>&
+LayerTable();
 
 }  // namespace noisybeeps::lint
 

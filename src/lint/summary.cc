@@ -1,0 +1,388 @@
+#include "lint/summary.h"
+
+#include <algorithm>
+#include <set>
+#include <utility>
+
+namespace noisybeeps::lint {
+namespace {
+
+bool IsAssignOp(const std::string& text) {
+  static const std::set<std::string> kOps = {
+      "=",  "+=", "-=", "*=",  "/=",  "%=", "|=",
+      "&=", "^=", "<<=", ">>=", "++", "--"};
+  return kOps.count(text) > 0;
+}
+
+bool IsMutatorMethod(const std::string& name) {
+  static const std::set<std::string> kMutators = {
+      "push_back", "emplace_back", "pop_back", "insert", "erase",
+      "clear",     "emplace",      "assign",   "resize", "reset",
+      "store",     "push",         "pop"};
+  return kMutators.count(name) > 0;
+}
+
+bool IsLockType(const std::string& name) {
+  return name == "lock_guard" || name == "unique_lock" ||
+         name == "scoped_lock" || name == "shared_lock";
+}
+
+bool IsWallClockFree(const std::string& name) {
+  return name == "gettimeofday" || name == "clock_gettime" ||
+         name == "localtime" || name == "gmtime" || name == "mktime";
+}
+
+}  // namespace
+
+bool IsClockSeamPath(const std::string& path) {
+  return path == "src/resilience/clock.h" ||
+         path == "src/resilience/clock.cc";
+}
+
+std::string EffectName(unsigned effect) {
+  switch (effect) {
+    case kEffectDrawsRng: return "draws-rng";
+    case kEffectWallClock: return "wall-clock";
+    case kEffectReadsEnv: return "reads-env";
+    case kEffectUnorderedIter: return "unordered-iter";
+    case kEffectPtrToInt: return "ptr-to-int";
+    case kEffectWritesShared: return "writes-shared";
+    case kEffectTakesLock: return "takes-lock";
+    case kEffectSpawnsThread: return "spawns-thread";
+    case kEffectInjectedClock: return "injected-clock";
+    default: return "effect-" + std::to_string(effect);
+  }
+}
+
+DirectEffects ExtractEffects(const RepoModel& repo, const FileModel& file,
+                             const FunctionInfo& fn,
+                             const std::vector<RawCallSite>& calls) {
+  DirectEffects out;
+  const auto add = [&](unsigned effect, int line, std::string detail) {
+    out.mask |= effect;
+    out.origins.push_back(EffectOrigin{effect, line, std::move(detail)});
+  };
+
+  // --- effects visible in the call list ----------------------------------
+  for (const RawCallSite& call : calls) {
+    if (call.callee == "getenv" || call.callee == "secure_getenv") {
+      add(kEffectReadsEnv, call.line, "getenv");
+    }
+    if (call.callee == "now" &&
+        (call.qualifier.find("steady_clock") != std::string::npos ||
+         call.qualifier.find("system_clock") != std::string::npos ||
+         call.qualifier.find("high_resolution_clock") != std::string::npos)) {
+      add(kEffectWallClock, call.line, call.qualifier + "::now");
+    }
+    if (call.kind == CallKind::kFree && IsWallClockFree(call.callee)) {
+      add(kEffectWallClock, call.line, call.callee);
+    }
+    if (call.callee == "NowMillis") {
+      add(kEffectInjectedClock, call.line, "Clock::NowMillis");
+    }
+    if (call.receiver_type == "Rng" || call.qualifier == "Rng") {
+      add(kEffectDrawsRng, call.line, "Rng::" + call.callee);
+    }
+    if (call.callee == "lock" || call.callee == "unlock" ||
+        call.callee == "try_lock") {
+      add(kEffectTakesLock, call.line, "mutex " + call.callee);
+    }
+    if (call.qualifier == "std" && call.callee == "async") {
+      add(kEffectSpawnsThread, call.line, "std::async");
+    }
+    if ((call.callee == "begin" || call.callee == "cbegin") &&
+        call.receiver_type.starts_with("std::unordered")) {
+      add(kEffectUnorderedIter, call.line,
+          call.receiver_type + "::" + call.callee);
+    }
+  }
+
+  // --- effects that need the body token stream ---------------------------
+  if (!fn.is_definition || fn.body_begin == kNpos ||
+      fn.body_end <= fn.body_begin) {
+    return out;
+  }
+  std::vector<std::size_t> body;
+  for (const std::size_t raw : file.code()) {
+    if (raw > fn.body_begin && raw < fn.body_end) body.push_back(raw);
+  }
+  const auto tok = [&](std::size_t i) -> const Token& {
+    return file.tokens()[body[i]];
+  };
+
+  // The shared-state name set: namespace-scope mutables declared here or
+  // in the paired header/source.
+  std::set<std::string> globals = file.globals();
+  {
+    std::string paired = file.path();
+    if (paired.ends_with(".cc")) {
+      paired.replace(paired.size() - 3, 3, ".h");
+    } else if (paired.ends_with(".h")) {
+      paired.replace(paired.size() - 2, 2, ".cc");
+    } else {
+      paired.clear();
+    }
+    if (const FileModel* other =
+            paired.empty() ? nullptr : repo.FindFile(paired)) {
+      globals.insert(other->globals().begin(), other->globals().end());
+    }
+  }
+
+  // Function-local statics: mutable ones join the shared set (they outlive
+  // the call and are visible to every thread), but their own initializer
+  // must not read as a mutation -- a Meyers singleton that is only ever
+  // returned is clean.
+  std::set<std::size_t> initializer_positions;
+  for (std::size_t i = 0; i + 1 < body.size(); ++i) {
+    if (tok(i).text != "static") continue;
+    bool is_const = false;
+    std::string declared;
+    std::size_t name_pos = kNpos;
+    for (std::size_t j = i + 1; j < body.size(); ++j) {
+      const std::string& text = tok(j).text;
+      if (text == "const" || text == "constexpr" || text == "constinit") {
+        is_const = true;
+      }
+      if (text == "=" || text == ";" || text == "{" || text == "(") break;
+      if (tok(j).kind == TokenKind::kIdentifier) {
+        declared = text;
+        name_pos = j;
+      }
+    }
+    if (is_const || declared.empty()) continue;
+    globals.insert(declared);
+    initializer_positions.insert(name_pos);
+  }
+
+  for (std::size_t i = 0; i < body.size(); ++i) {
+    const Token& t = tok(i);
+
+    // reinterpret_cast to a non-pointer target is a pointer-to-integer
+    // cast: address values differ across runs (ASLR) and across workers.
+    if (t.text == "reinterpret_cast" && i + 1 < body.size() &&
+        tok(i + 1).text == "<") {
+      bool pointer_target = false;
+      std::size_t j = i + 2;
+      for (; j < body.size(); ++j) {
+        const std::string& text = tok(j).text;
+        if (text == ">" || text == ">>") break;
+        if (text == "*" || text == "&") pointer_target = true;
+      }
+      if (!pointer_target) {
+        add(kEffectPtrToInt, t.line, "reinterpret_cast to integer");
+      }
+      continue;
+    }
+
+    if (t.kind == TokenKind::kIdentifier && IsLockType(t.text)) {
+      add(kEffectTakesLock, t.line, "std::" + t.text);
+      continue;
+    }
+
+    if (t.kind == TokenKind::kIdentifier &&
+        (t.text == "thread" || t.text == "jthread") && i >= 2 &&
+        tok(i - 1).text == "::" && tok(i - 2).text == "std") {
+      add(kEffectSpawnsThread, t.line, "std::" + t.text);
+      continue;
+    }
+
+    // Range-for over an unordered container: iteration order is
+    // per-process, so anything derived from it is nondeterministic.
+    if (t.text == "for" && i + 1 < body.size() && tok(i + 1).text == "(") {
+      int depth = 0;
+      for (std::size_t j = i + 1; j < body.size(); ++j) {
+        const std::string& text = tok(j).text;
+        if (text == "(") ++depth;
+        if (text == ")" && --depth == 0) break;
+        if (text == ":" && depth == 1 && j + 1 < body.size()) {
+          std::size_t expr = j + 1;
+          while (expr < body.size() &&
+                 (tok(expr).text == "*" || tok(expr).text == "&")) {
+            ++expr;
+          }
+          if (expr < body.size() &&
+              tok(expr).kind == TokenKind::kIdentifier) {
+            const std::string type = repo.TypeOf(file, tok(expr).text);
+            if (type.starts_with("std::unordered")) {
+              add(kEffectUnorderedIter, tok(expr).line,
+                  "range-for over " + type + " " + tok(expr).text);
+            }
+          }
+          break;
+        }
+      }
+      continue;
+    }
+
+    // Writes to the shared-state name set.
+    if (t.kind == TokenKind::kIdentifier && globals.count(t.text) > 0 &&
+        initializer_positions.count(i) == 0) {
+      bool mutation = false;
+      std::string how;
+      if (i > 0 && (tok(i - 1).text == "++" || tok(i - 1).text == "--")) {
+        mutation = true;
+        how = tok(i - 1).text + t.text;
+      } else if (i + 1 < body.size()) {
+        const std::string& next = tok(i + 1).text;
+        if (IsAssignOp(next)) {
+          mutation = true;
+          how = t.text + " " + next;
+        } else if ((next == "." || next == "->") && i + 2 < body.size() &&
+                   IsMutatorMethod(tok(i + 2).text)) {
+          mutation = true;
+          how = t.text + next + tok(i + 2).text;
+        } else if (next == "[") {
+          // g[k] = v: find the matching ']' and look for an assignment.
+          int depth = 0;
+          for (std::size_t j = i + 1; j < body.size(); ++j) {
+            if (tok(j).text == "[") ++depth;
+            if (tok(j).text == "]" && --depth == 0) {
+              if (j + 1 < body.size() && IsAssignOp(tok(j + 1).text)) {
+                mutation = true;
+                how = t.text + "[...] " + tok(j + 1).text;
+              }
+              break;
+            }
+          }
+        }
+      }
+      if (mutation) add(kEffectWritesShared, t.line, how);
+    }
+  }
+  return out;
+}
+
+FileExtract ExtractFile(const RepoModel& repo, const FileModel& file) {
+  FileExtract out;
+  out.path = file.path();
+  out.module = file.module();
+  for (const FunctionInfo& fn : file.functions()) {
+    if (!fn.is_definition) continue;
+    FunctionExtract extract;
+    extract.name = fn.name;
+    extract.class_name = fn.class_name;
+    extract.line = fn.line;
+    extract.calls = ExtractCallSites(repo, file, fn);
+    DirectEffects effects = ExtractEffects(repo, file, fn, extract.calls);
+    extract.direct_effects = effects.mask;
+    extract.origins = std::move(effects.origins);
+    out.functions.push_back(std::move(extract));
+  }
+  return out;
+}
+
+ProgramAnalysis ProgramAnalysis::Build(const RepoModel& repo) {
+  std::vector<FileExtract> extracts;
+  extracts.reserve(repo.files().size());
+  for (const FileModel& file : repo.files()) {
+    extracts.push_back(ExtractFile(repo, file));
+  }
+  return Build(extracts);
+}
+
+ProgramAnalysis ProgramAnalysis::Build(
+    const std::vector<FileExtract>& extracts) {
+  constexpr std::size_t kBits = 16;
+  ProgramAnalysis analysis;
+
+  std::vector<NodeInput> inputs;
+  for (const FileExtract& file : extracts) {
+    for (const FunctionExtract& fn : file.functions) {
+      NodeInput input;
+      input.path = file.path;
+      input.module = file.module;
+      input.name = fn.name;
+      input.class_name = fn.class_name;
+      input.qualified_name =
+          fn.class_name.empty() ? fn.name : fn.class_name + "::" + fn.name;
+      input.line = fn.line;
+      input.calls = fn.calls;
+      inputs.push_back(std::move(input));
+    }
+  }
+  analysis.graph_ = CallGraph::Build(std::move(inputs));
+  const std::vector<CallNode>& nodes = analysis.graph_.nodes();
+
+  analysis.direct_.assign(nodes.size(), 0u);
+  analysis.effects_.assign(nodes.size(), 0u);
+  analysis.origins_.assign(nodes.size(), {});
+  analysis.provenance_.assign(nodes.size(),
+                              std::vector<Provenance>(kBits));
+  std::size_t n = 0;
+  for (const FileExtract& file : extracts) {
+    for (const FunctionExtract& fn : file.functions) {
+      analysis.direct_[n] = fn.direct_effects;
+      analysis.effects_[n] = fn.direct_effects;
+      analysis.origins_[n] = fn.origins;
+      for (const EffectOrigin& origin : fn.origins) {
+        for (std::size_t bit = 0; bit < kBits; ++bit) {
+          if ((origin.effect & (1u << bit)) == 0) continue;
+          Provenance& p = analysis.provenance_[n][bit];
+          if (p.direct || p.next != kNpos) continue;  // first origin wins
+          p.direct = true;
+          p.line = origin.line;
+          p.detail = origin.detail;
+        }
+      }
+      ++n;
+    }
+  }
+
+  // Fixed point: callers inherit callee effects.  Lock acquisition stays
+  // local; wall clock stops at the injectable seam.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::size_t caller = 0; caller < nodes.size(); ++caller) {
+      for (const CallEdge& edge : nodes[caller].edges) {
+        for (const std::size_t callee : edge.targets) {
+          unsigned inherit = analysis.effects_[callee] & ~kEffectTakesLock;
+          if (IsClockSeamPath(nodes[callee].path)) {
+            inherit &= ~kEffectWallClock;
+          }
+          const unsigned fresh = inherit & ~analysis.effects_[caller];
+          if (fresh == 0) continue;
+          analysis.effects_[caller] |= fresh;
+          changed = true;
+          for (std::size_t bit = 0; bit < kBits; ++bit) {
+            if ((fresh & (1u << bit)) == 0) continue;
+            Provenance& p = analysis.provenance_[caller][bit];
+            p.direct = false;
+            p.next = callee;
+            p.line = edge.site.line;
+          }
+        }
+      }
+    }
+  }
+  return analysis;
+}
+
+std::string ProgramAnalysis::WitnessPath(std::size_t n,
+                                         unsigned effect) const {
+  std::size_t bit = 0;
+  while (bit < 16 && (effect & (1u << bit)) == 0) ++bit;
+  if (bit >= 16 || n >= effects_.size() ||
+      (effects_[n] & (1u << bit)) == 0) {
+    return "";
+  }
+  std::string path;
+  std::size_t cur = n;
+  // Provenance is acyclic by construction (each hop points at a node that
+  // already held the effect), but cap hops defensively.
+  for (std::size_t hops = 0; hops <= graph_.nodes().size(); ++hops) {
+    const CallNode& node = graph_.nodes()[cur];
+    const Provenance& p = provenance_[cur][bit];
+    if (!path.empty()) path += " -> ";
+    path += node.qualified_name + " (" + node.path + ":" +
+            std::to_string(p.line) + ")";
+    if (p.direct || p.next == kNpos) {
+      path += " -> " + p.detail + " [" + EffectName(1u << bit) + "]";
+      break;
+    }
+    cur = p.next;
+  }
+  return path;
+}
+
+}  // namespace noisybeeps::lint

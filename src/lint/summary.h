@@ -1,0 +1,155 @@
+// Per-function effect summaries and their transitive propagation -- the
+// substrate under nblint's whole-program rules (taint.h).
+//
+// Each call-graph node gets a DIRECT effect mask from scanning its own
+// body (plus classifying calls to well-known externals: getenv,
+// steady_clock::now), then ProgramAnalysis closes the masks over the call
+// graph: a caller inherits what its callees do.  Two deliberate holes in
+// that closure encode the repo's sanctioned determinism boundaries:
+//
+//   * kEffectWallClock does NOT propagate out of src/resilience/clock.* --
+//     that file pair IS the injectable seam.  Callers of Clock::NowMillis
+//     get the distinct kEffectInjectedClock instead, so the analysis can
+//     separately prove "raw clocks stay confined" and "injected time
+//     never reaches a fingerprint".
+//   * kEffectTakesLock does not propagate at all: a helper that locks
+//     internally protects only its own writes, not its caller's.
+//
+// Every (node, effect) pair remembers WHY it holds -- a direct origin
+// (line + what was seen) or the call edge it arrived through -- so a rule
+// can render the full witness path in its diagnostic:
+//
+//   RunReport::Fingerprint (src/analysis/outcome.cc:41)
+//     -> StampTime (src/analysis/outcome.cc:12)
+//     -> std::chrono::steady_clock::now [wall-clock] (src/analysis/outcome.cc:13)
+//
+// FunctionExtract/FileExtract carry exactly the per-file inputs of this
+// pass (node identity + direct effects + raw call sites); cache.h
+// serializes them so warm runs skip the body scans.
+#ifndef NOISYBEEPS_LINT_SUMMARY_H_
+#define NOISYBEEPS_LINT_SUMMARY_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "lint/callgraph.h"
+#include "lint/model.h"
+
+namespace noisybeeps::lint {
+
+// Effect bits.  Additions go at the end; cache.cc stores raw masks and
+// bumps its format version when these change meaning.
+inline constexpr unsigned kEffectDrawsRng = 1u << 0;
+inline constexpr unsigned kEffectWallClock = 1u << 1;      // raw OS clocks
+inline constexpr unsigned kEffectReadsEnv = 1u << 2;       // getenv
+inline constexpr unsigned kEffectUnorderedIter = 1u << 3;  // range-for/begin
+inline constexpr unsigned kEffectPtrToInt = 1u << 4;  // reinterpret_cast
+inline constexpr unsigned kEffectWritesShared = 1u << 5;  // globals/statics
+inline constexpr unsigned kEffectTakesLock = 1u << 6;
+inline constexpr unsigned kEffectSpawnsThread = 1u << 7;
+inline constexpr unsigned kEffectInjectedClock = 1u << 8;  // Clock::NowMillis
+
+// "wall-clock", "writes-shared", ... for one bit (diagnostics).
+[[nodiscard]] std::string EffectName(unsigned effect);
+
+// True for src/resilience/clock.{h,cc} -- the injectable-clock seam, the
+// only place in src/ allowed to touch raw OS clocks.
+[[nodiscard]] bool IsClockSeamPath(const std::string& path);
+
+// Why a node holds an effect DIRECTLY.
+struct EffectOrigin {
+  unsigned effect = 0;  // single bit
+  int line = 0;
+  std::string detail;  // "std::chrono::steady_clock::now", "g_count ="
+
+  friend bool operator==(const EffectOrigin& a, const EffectOrigin& b) =
+      default;
+};
+
+struct DirectEffects {
+  unsigned mask = 0;
+  std::vector<EffectOrigin> origins;
+};
+
+// Scans one definition's body.  `calls` must be ExtractCallSites' output
+// for the same function (well-known external callees classify effects).
+[[nodiscard]] DirectEffects ExtractEffects(
+    const RepoModel& repo, const FileModel& file, const FunctionInfo& fn,
+    const std::vector<RawCallSite>& calls);
+
+// --- the per-file unit the incremental cache stores ----------------------
+
+struct FunctionExtract {
+  std::string name;
+  std::string class_name;
+  int line = 0;
+  unsigned direct_effects = 0;
+  std::vector<EffectOrigin> origins;
+  std::vector<RawCallSite> calls;
+};
+
+struct FileExtract {
+  std::string path;
+  std::string module;
+  // FNV-1a/64 hex of this file's content and of its paired header/source
+  // ("" when no pair exists).  Receiver typing consults the pair, so both
+  // hashes key cache validity.
+  std::string content_hash;
+  std::string paired_hash;
+  std::vector<FunctionExtract> functions;
+};
+
+// The fresh (cache-miss) path: extract every definition in `file`.
+[[nodiscard]] FileExtract ExtractFile(const RepoModel& repo,
+                                      const FileModel& file);
+
+// --- transitive closure ---------------------------------------------------
+
+class ProgramAnalysis {
+ public:
+  // Builds the graph from `extracts` and closes effects over it.
+  [[nodiscard]] static ProgramAnalysis Build(
+      const std::vector<FileExtract>& extracts);
+  // Convenience for tests: fresh-extract the whole repo first.
+  [[nodiscard]] static ProgramAnalysis Build(const RepoModel& repo);
+
+  [[nodiscard]] const CallGraph& graph() const { return graph_; }
+  // Direct + inherited effect mask / direct-only mask of node `n`.
+  [[nodiscard]] unsigned EffectsOf(std::size_t n) const {
+    return effects_[n];
+  }
+  [[nodiscard]] unsigned DirectEffectsOf(std::size_t n) const {
+    return direct_[n];
+  }
+  [[nodiscard]] const std::vector<EffectOrigin>& OriginsOf(
+      std::size_t n) const {
+    return origins_[n];
+  }
+
+  // Renders how `effect` (single bit) reaches node `n`:
+  //   "A (f.cc:3) -> B (g.cc:7) -> getenv [reads-env] (g.cc:9)".
+  // "" when the node does not hold the effect.
+  [[nodiscard]] std::string WitnessPath(std::size_t n, unsigned effect) const;
+
+ private:
+  // How (node, effect) came to hold: a direct origin, or the callee that
+  // supplied it plus the call-site line.
+  struct Provenance {
+    bool direct = false;
+    std::size_t next = kNpos;  // callee node when !direct
+    int line = 0;
+    std::string detail;  // origin detail when direct
+  };
+
+  CallGraph graph_;
+  std::vector<unsigned> effects_;
+  std::vector<unsigned> direct_;
+  std::vector<std::vector<EffectOrigin>> origins_;
+  // provenance_[n][bit-index] for bits set in effects_[n].
+  std::vector<std::vector<Provenance>> provenance_;
+};
+
+}  // namespace noisybeeps::lint
+
+#endif  // NOISYBEEPS_LINT_SUMMARY_H_

@@ -1,0 +1,169 @@
+#include "lint/taint.h"
+
+#include <map>
+#include <set>
+#include <string>
+
+namespace noisybeeps::lint {
+namespace {
+
+const char* const kSinkMarkers[] = {"Fingerprint", "Transcript", "Digest",
+                                    "Checkpoint", "Seed"};
+
+bool IsParallelEntry(const std::string& callee) {
+  return callee == "ParallelForEach" || callee == "ParallelTrials";
+}
+
+}  // namespace
+
+bool IsDeterminismSink(const CallNode& node) {
+  if (node.name == "SplitTrialRngs") return true;
+  for (const char* marker : kSinkMarkers) {
+    if (node.name.find(marker) != std::string::npos) return true;
+  }
+  return false;
+}
+
+void CheckDeterminismTaint(const ProgramAnalysis& analysis,
+                           std::vector<Finding>& out) {
+  const std::vector<CallNode>& nodes = analysis.graph().nodes();
+  for (std::size_t n = 0; n < nodes.size(); ++n) {
+    const CallNode& node = nodes[n];
+    if (!node.path.starts_with("src/")) continue;
+
+    // Raw OS clocks are confined to the injectable seam.
+    if (!IsClockSeamPath(node.path) &&
+        (analysis.DirectEffectsOf(n) & kEffectWallClock) != 0) {
+      for (const EffectOrigin& origin : analysis.OriginsOf(n)) {
+        if (origin.effect != kEffectWallClock) continue;
+        out.push_back(
+            {node.path, origin.line, "determinism-taint",
+             "raw wall-clock read (" + origin.detail + ") in " +
+                 node.qualified_name +
+                 "; src/ must go through the injectable Clock in "
+                 "src/resilience/clock.h so replay stays deterministic"});
+      }
+    }
+
+    if (!IsDeterminismSink(node)) continue;
+    const unsigned tainted = analysis.EffectsOf(n) & kDeterminismSources;
+    for (unsigned bit = 1; bit != 0; bit <<= 1) {
+      if ((tainted & bit) == 0) continue;
+      out.push_back(
+          {node.path, node.line, "determinism-taint",
+           "determinism-critical sink " + node.qualified_name +
+               " can reach a " + EffectName(bit) +
+               " nondeterminism source: " + analysis.WitnessPath(n, bit)});
+    }
+  }
+}
+
+void CheckSharedStateDiscipline(const ProgramAnalysis& analysis,
+                                std::vector<Finding>& out) {
+  const std::vector<CallNode>& nodes = analysis.graph().nodes();
+
+  // Roots: functions that issue a ParallelForEach / ParallelTrials call.
+  // Their worker lambdas are lexically inside them, so every function the
+  // workers call is a call-graph successor of the root.
+  std::vector<std::size_t> frontier;
+  std::map<std::size_t, std::size_t> reached_from;  // node -> root
+  for (std::size_t n = 0; n < nodes.size(); ++n) {
+    for (const CallEdge& edge : nodes[n].edges) {
+      if (IsParallelEntry(edge.site.callee)) {
+        frontier.push_back(n);
+        reached_from.emplace(n, n);
+        break;
+      }
+    }
+  }
+  std::set<std::size_t> roots(frontier.begin(), frontier.end());
+  while (!frontier.empty()) {
+    const std::size_t n = frontier.back();
+    frontier.pop_back();
+    for (const CallEdge& edge : nodes[n].edges) {
+      for (const std::size_t target : edge.targets) {
+        if (reached_from.emplace(target, reached_from.at(n)).second) {
+          frontier.push_back(target);
+        }
+      }
+    }
+  }
+
+  for (const auto& [n, root] : reached_from) {
+    const CallNode& node = nodes[n];
+    // The root's own direct writes may be sequential code around the
+    // parallel region; only its callees are judged.
+    if (roots.count(n) > 0) continue;
+    if (node.path.starts_with("tests/")) continue;
+    const unsigned direct = analysis.DirectEffectsOf(n);
+    if ((direct & kEffectWritesShared) == 0 ||
+        (direct & kEffectTakesLock) != 0) {
+      continue;
+    }
+    for (const EffectOrigin& origin : analysis.OriginsOf(n)) {
+      if (origin.effect != kEffectWritesShared) continue;
+      out.push_back(
+          {node.path, origin.line, "shared-state-discipline",
+           node.qualified_name + " writes shared state (" + origin.detail +
+               ") without a lock and is reachable from the parallel worker "
+               "body in " + nodes[root].qualified_name + " (" +
+               nodes[root].path +
+               "); use the per-worker accumulator + Merge pattern"});
+      break;  // one finding per node keeps the report readable
+    }
+  }
+}
+
+void CheckLayeringReachability(const ProgramAnalysis& analysis,
+                               std::vector<Finding>& out) {
+  // Transitive closure of the declarative layer table.
+  const auto& table = LayerTable();
+  std::map<std::string, std::set<std::string>> closure;
+  for (const auto& [module, deps] : table) {
+    std::set<std::string>& seen = closure[module];
+    std::vector<std::string> stack(deps.begin(), deps.end());
+    while (!stack.empty()) {
+      const std::string dep = stack.back();
+      stack.pop_back();
+      if (!seen.insert(dep).second) continue;
+      const auto it = table.find(dep);
+      if (it == table.end()) continue;
+      stack.insert(stack.end(), it->second.begin(), it->second.end());
+    }
+  }
+
+  const std::vector<CallNode>& nodes = analysis.graph().nodes();
+  std::set<std::string> reported;  // "from|to|path|line" dedup
+  for (const CallNode& node : nodes) {
+    if (node.module.empty() || table.count(node.module) == 0) continue;
+    for (const CallEdge& edge : node.edges) {
+      // A union edge is a guess about the receiver's class; guesses must
+      // not invent architecture violations.
+      if (edge.resolution != Resolution::kExact) continue;
+      for (const std::size_t t : edge.targets) {
+        const std::string& to = nodes[t].module;
+        if (to.empty() || to == node.module || table.count(to) == 0) {
+          continue;
+        }
+        if (closure.at(node.module).count(to) > 0) continue;
+        const std::string key = node.module + "|" + to + "|" + node.path +
+                                "|" + std::to_string(edge.site.line);
+        if (!reported.insert(key).second) continue;
+        std::string allowed;
+        for (const std::string& dep : closure.at(node.module)) {
+          if (!allowed.empty()) allowed += ", ";
+          allowed += dep + "/";
+        }
+        if (allowed.empty()) allowed = "no other module";
+        out.push_back(
+            {node.path, edge.site.line, "layering-reachability",
+             node.qualified_name + " calls " + nodes[t].qualified_name +
+                 " (" + nodes[t].path + "), a src/" + to +
+                 "/ dependency the layer table does not reach from src/" +
+                 node.module + "/ (transitively allowed: " + allowed + ")"});
+      }
+    }
+  }
+}
+
+}  // namespace noisybeeps::lint

@@ -1,0 +1,63 @@
+// The three whole-program rule families, implemented over ProgramAnalysis
+// (summary.h).  Registered in rules.cc as `determinism-taint`,
+// `shared-state-discipline`, and `layering-reachability`; the engine
+// (lint.h) invokes them once per run in whole-program mode.
+//
+// determinism-taint.  The repo's replay guarantees (bit-identical trials
+// across worker counts, bit-identical kill-and-resume) hold only if the
+// artifacts they compare -- checkpoint payloads, RunReport fingerprints,
+// golden transcripts, derived seeds -- are functions of the seeded Rng and
+// nothing else.  The rule reports every determinism-critical sink whose
+// transitive call closure reaches a nondeterminism source (raw wall
+// clock, getenv, unordered-container iteration, pointer-to-integer
+// casts), with the full witness call path in the message.  Rng draws and
+// the injectable Clock are NOT sources: they are the sanctioned
+// boundaries that make replay deterministic.  Separately, any raw clock
+// read in src/ outside src/resilience/clock.* is reported -- that pair is
+// the only place allowed to touch OS time.
+//
+// shared-state-discipline.  Worker bodies handed to ParallelForEach /
+// ParallelTrials must follow the per-worker-accumulator + Merge pattern.
+// The rule walks everything reachable from functions that issue those
+// calls and reports nodes that directly write namespace-scope or
+// function-static state without directly taking a lock.  (Deliberately
+// conservative: a helper a parallelizing function calls only outside the
+// parallel region is still reported, because lexical extent is not
+// tracked -- restructure or suppress with justification.)
+//
+// layering-reachability.  Per-file include rules check direct edges; this
+// checks every RESOLVED cross-module call edge against the transitive
+// closure of the layer table (rules.h), catching dependencies that flow
+// through a same-module header or a forward declaration with no
+// witnessing #include.  kMethodUnion edges are skipped -- guessing a
+// receiver's class must not invent architecture violations.
+#ifndef NOISYBEEPS_LINT_TAINT_H_
+#define NOISYBEEPS_LINT_TAINT_H_
+
+#include <vector>
+
+#include "lint/rules.h"
+#include "lint/summary.h"
+
+namespace noisybeeps::lint {
+
+// What determinism-taint treats as a nondeterminism source.
+inline constexpr unsigned kDeterminismSources =
+    kEffectWallClock | kEffectReadsEnv | kEffectUnorderedIter |
+    kEffectPtrToInt;
+
+// A determinism-critical sink: name mentions Fingerprint / Transcript /
+// Digest / Checkpoint / Seed, or is SplitTrialRngs itself.  Exposed for
+// tests.
+[[nodiscard]] bool IsDeterminismSink(const CallNode& node);
+
+void CheckDeterminismTaint(const ProgramAnalysis& analysis,
+                           std::vector<Finding>& out);
+void CheckSharedStateDiscipline(const ProgramAnalysis& analysis,
+                                std::vector<Finding>& out);
+void CheckLayeringReachability(const ProgramAnalysis& analysis,
+                               std::vector<Finding>& out);
+
+}  // namespace noisybeeps::lint
+
+#endif  // NOISYBEEPS_LINT_TAINT_H_

@@ -1,0 +1,621 @@
+// nblint's whole-program stage: call-site extraction and resolution
+// (callgraph.h), effect summaries and their transitive closure
+// (summary.h), the three taint.h rule families, the incremental cache
+// (cache.h), and the warn-finding baseline (lint.h).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "lint/cache.h"
+#include "lint/callgraph.h"
+#include "lint/lint.h"
+#include "lint/model.h"
+#include "lint/summary.h"
+#include "lint/taint.h"
+
+namespace noisybeeps::lint {
+namespace {
+
+SourceFile Src(std::string path, std::string body) {
+  return SourceFile{std::move(path), std::move(body)};
+}
+
+// Call sites of the definition named `name` in `path`.
+std::vector<RawCallSite> SitesOf(const RepoModel& repo,
+                                 const std::string& path,
+                                 const std::string& name) {
+  const FileModel* file = repo.FindFile(path);
+  EXPECT_NE(file, nullptr) << path;
+  if (file == nullptr) return {};
+  for (const FunctionInfo& fn : file->functions()) {
+    if (fn.name == name && fn.is_definition) {
+      return ExtractCallSites(repo, *file, fn);
+    }
+  }
+  ADD_FAILURE() << "no definition of " << name << " in " << path;
+  return {};
+}
+
+const RawCallSite* SiteNamed(const std::vector<RawCallSite>& sites,
+                             const std::string& callee) {
+  for (const RawCallSite& site : sites) {
+    if (site.callee == callee) return &site;
+  }
+  return nullptr;
+}
+
+const CallEdge* EdgeNamed(const CallNode& node, const std::string& callee) {
+  for (const CallEdge& edge : node.edges) {
+    if (edge.site.callee == callee) return &edge;
+  }
+  return nullptr;
+}
+
+std::size_t CountRule(const std::vector<Finding>& findings,
+                      const std::string& rule_id) {
+  return static_cast<std::size_t>(
+      std::count_if(findings.begin(), findings.end(), [&](const Finding& f) {
+        return f.rule_id == rule_id;
+      }));
+}
+
+// --- call-site extraction ---------------------------------------------------
+
+TEST(CallSites, ClassifiesFreeQualifiedAndMemberCalls) {
+  const RepoModel repo({Src("src/util/a.cc",
+                            "int Helper(int x) { return x; }\n"
+                            "int Use() {\n"
+                            "  Rng rng(7);\n"
+                            "  int a = Helper(1);\n"
+                            "  int b = Foo::Make(2);\n"
+                            "  double d = rng.NextDouble();\n"
+                            "  return a + b + static_cast<int>(d);\n"
+                            "}\n")});
+  const auto sites = SitesOf(repo, "src/util/a.cc", "Use");
+
+  const RawCallSite* helper = SiteNamed(sites, "Helper");
+  ASSERT_NE(helper, nullptr);
+  EXPECT_EQ(helper->kind, CallKind::kFree);
+  EXPECT_EQ(helper->qualifier, "");
+  EXPECT_EQ(helper->line, 4);
+
+  const RawCallSite* make = SiteNamed(sites, "Make");
+  ASSERT_NE(make, nullptr);
+  EXPECT_EQ(make->kind, CallKind::kQualified);
+  EXPECT_EQ(make->qualifier, "Foo");
+
+  const RawCallSite* next = SiteNamed(sites, "NextDouble");
+  ASSERT_NE(next, nullptr);
+  EXPECT_EQ(next->kind, CallKind::kMember);
+  EXPECT_EQ(next->receiver_type, "Rng") << "via the value-type map";
+}
+
+TEST(CallSites, DeclarationsAndControlFlowAreNotCalls) {
+  const RepoModel repo(
+      {Src("src/util/a.cc",
+           "void Use() {\n"
+           "  int value(3);\n"
+           "  std::vector<int> items(4);\n"
+           "  if (value) { while (value) { --value; } }\n"
+           "  for (int i = 0; i < 3; ++i) { items.resize(i); }\n"
+           "}\n")});
+  const auto sites = SitesOf(repo, "src/util/a.cc", "Use");
+  // `Type name(` declares, if/while/for are control flow; the only real
+  // call is the member mutator.
+  ASSERT_EQ(sites.size(), 1u);
+  EXPECT_EQ(sites[0].callee, "resize");
+  EXPECT_EQ(sites[0].kind, CallKind::kMember);
+}
+
+TEST(CallSites, ReturnedCallsAreNotVetoedAsDeclarations) {
+  // `return Frob();` has an identifier before `Frob(` -- the expression
+  // keyword must not read as a declaring type.
+  const RepoModel repo({Src("src/util/a.cc",
+                            "int Frob() { return 1; }\n"
+                            "int Use() { return Frob(); }\n")});
+  const auto sites = SitesOf(repo, "src/util/a.cc", "Use");
+  ASSERT_NE(SiteNamed(sites, "Frob"), nullptr);
+}
+
+TEST(CallSites, ThisReceiverUsesTheEnclosingClass) {
+  const RepoModel repo({Src("src/util/a.cc",
+                            "struct Counter {\n"
+                            "  int Get() { return 1; }\n"
+                            "  int Twice() { return this->Get() * 2; }\n"
+                            "};\n")});
+  const auto sites = SitesOf(repo, "src/util/a.cc", "Twice");
+  const RawCallSite* get = SiteNamed(sites, "Get");
+  ASSERT_NE(get, nullptr);
+  EXPECT_EQ(get->kind, CallKind::kMember);
+  EXPECT_EQ(get->receiver_type, "Counter");
+}
+
+// --- resolution -------------------------------------------------------------
+
+TEST(CallGraphResolution, OverloadSetsResolveToEveryMatchingDefinition) {
+  const CallGraph graph = CallGraph::Build(
+      RepoModel({Src("src/util/o.cc",
+                     "int Clamp(int v) { return v; }\n"
+                     "double Clamp(double v) { return v; }\n"
+                     "int Use() { return Clamp(3); }\n")}));
+  const std::size_t use = graph.FindNode("Use");
+  ASSERT_NE(use, kNpos);
+  const CallEdge* edge = EdgeNamed(graph.nodes()[use], "Clamp");
+  ASSERT_NE(edge, nullptr);
+  EXPECT_EQ(edge->resolution, Resolution::kExact);
+  EXPECT_EQ(edge->targets.size(), 2u) << "both overloads are targets";
+}
+
+TEST(CallGraphResolution, ExternalCallsKeepAnExplicitUnresolvedEdge) {
+  const CallGraph graph = CallGraph::Build(
+      RepoModel({Src("src/util/x.cc",
+                     "int Use(char* dst, const char* from) {\n"
+                     "  memcpy(dst, from, 4);\n"
+                     "  return std::atoi(from);\n"
+                     "}\n")}));
+  const std::size_t use = graph.FindNode("Use");
+  ASSERT_NE(use, kNpos);
+  const CallEdge* libc = EdgeNamed(graph.nodes()[use], "memcpy");
+  ASSERT_NE(libc, nullptr) << "the edge is kept, not dropped";
+  EXPECT_EQ(libc->resolution, Resolution::kUnresolved);
+  EXPECT_TRUE(libc->targets.empty());
+  const CallEdge* std_call = EdgeNamed(graph.nodes()[use], "atoi");
+  ASSERT_NE(std_call, nullptr);
+  EXPECT_EQ(std_call->resolution, Resolution::kUnresolved);
+}
+
+TEST(CallGraphResolution, TypedReceiverPinsTheMethod) {
+  const CallGraph graph = CallGraph::Build(
+      RepoModel({Src("src/util/r.cc",
+                     "struct Rng { double NextDouble() { return 0.5; } };\n"
+                     "double Use() {\n"
+                     "  Rng rng(7);\n"
+                     "  return rng.NextDouble();\n"
+                     "}\n")}));
+  const std::size_t use = graph.FindNode("Use");
+  ASSERT_NE(use, kNpos);
+  const CallEdge* edge = EdgeNamed(graph.nodes()[use], "NextDouble");
+  ASSERT_NE(edge, nullptr);
+  EXPECT_EQ(edge->resolution, Resolution::kExact);
+  ASSERT_EQ(edge->targets.size(), 1u);
+  EXPECT_EQ(graph.nodes()[edge->targets[0]].qualified_name,
+            "Rng::NextDouble");
+}
+
+TEST(CallGraphResolution, UntypedReceiverFallsBackToMethodUnion) {
+  const CallGraph graph = CallGraph::Build(
+      RepoModel({Src("src/util/u.cc",
+                     "struct A { void Frob() {} };\n"
+                     "struct B { void Frob() {} };\n"
+                     "void Use(Thing& t) { t.Frob(); }\n")}));
+  const std::size_t use = graph.FindNode("Use");
+  ASSERT_NE(use, kNpos);
+  const CallEdge* edge = EdgeNamed(graph.nodes()[use], "Frob");
+  ASSERT_NE(edge, nullptr);
+  EXPECT_EQ(edge->resolution, Resolution::kMethodUnion);
+  EXPECT_EQ(edge->targets.size(), 2u) << "every class with a Frob";
+}
+
+TEST(CallGraphResolution, FreeCallsPreferTheCallingFileOverOtherModules) {
+  // Two modules each define a static helper `Scale`; the call must not
+  // grow a phantom cross-module edge.
+  const CallGraph graph = CallGraph::Build(RepoModel({
+      Src("src/util/a.cc",
+          "int Scale(int v) { return v * 2; }\n"
+          "int Use() { return Scale(3); }\n"),
+      Src("src/channel/b.cc", "int Scale(int v) { return v * 10; }\n"),
+  }));
+  const std::size_t use = graph.FindNode("Use");
+  ASSERT_NE(use, kNpos);
+  const CallEdge* edge = EdgeNamed(graph.nodes()[use], "Scale");
+  ASSERT_NE(edge, nullptr);
+  ASSERT_EQ(edge->targets.size(), 1u);
+  EXPECT_EQ(graph.nodes()[edge->targets[0]].path, "src/util/a.cc");
+}
+
+// --- effect summaries and propagation ---------------------------------------
+
+TEST(EffectSummaries, RecursionAndCyclesTerminateAndPropagate) {
+  const RepoModel repo(
+      {Src("src/util/c.cc",
+           "#include <cstdlib>\n"
+           "int Pong(int n);\n"
+           "int Ping(int n) {\n"
+           "  if (n <= 0) { return ReadKnob(); }\n"
+           "  return Pong(n - 1);\n"
+           "}\n"
+           "int Pong(int n) { return Ping(n - 1); }\n"
+           "int ReadKnob() { return std::getenv(\"K\") != nullptr; }\n"
+           "int Self(int n) { return n <= 0 ? 0 : Self(n - 1); }\n")});
+  const ProgramAnalysis analysis = ProgramAnalysis::Build(repo);
+  const CallGraph& graph = analysis.graph();
+
+  const std::size_t knob = graph.FindNode("ReadKnob");
+  ASSERT_NE(knob, kNpos);
+  EXPECT_NE(analysis.DirectEffectsOf(knob) & kEffectReadsEnv, 0u);
+
+  // Ping <-> Pong is a cycle; both inherit the env read through it.
+  for (const char* name : {"Ping", "Pong"}) {
+    const std::size_t n = graph.FindNode(name);
+    ASSERT_NE(n, kNpos) << name;
+    EXPECT_EQ(analysis.DirectEffectsOf(n) & kEffectReadsEnv, 0u) << name;
+    EXPECT_NE(analysis.EffectsOf(n) & kEffectReadsEnv, 0u) << name;
+  }
+
+  const std::string witness =
+      analysis.WitnessPath(graph.FindNode("Pong"), kEffectReadsEnv);
+  EXPECT_NE(witness.find("Pong (src/util/c.cc:"), std::string::npos)
+      << witness;
+  EXPECT_NE(witness.find("ReadKnob"), std::string::npos) << witness;
+  EXPECT_NE(witness.find("[reads-env]"), std::string::npos) << witness;
+
+  // Self-recursion reaches the fixed point without the effect appearing.
+  const std::size_t self = graph.FindNode("Self");
+  ASSERT_NE(self, kNpos);
+  EXPECT_EQ(analysis.EffectsOf(self) & kEffectReadsEnv, 0u);
+}
+
+TEST(EffectSummaries, DirectEffectsAreExtractedWithOrigins) {
+  const RepoModel repo(
+      {Src("src/util/e.cc",
+           "#include <chrono>\n"
+           "#include <unordered_map>\n"
+           "long Stamp() {\n"
+           "  return std::chrono::steady_clock::now()\n"
+           "      .time_since_epoch().count();\n"
+           "}\n"
+           "int Sum() {\n"
+           "  std::unordered_map<int, int> m;\n"
+           "  int s = 0;\n"
+           "  for (const auto& kv : m) { s += kv.second; }\n"
+           "  return s;\n"
+           "}\n")});
+  const ProgramAnalysis analysis = ProgramAnalysis::Build(repo);
+  const CallGraph& graph = analysis.graph();
+
+  const std::size_t stamp = graph.FindNode("Stamp");
+  ASSERT_NE(stamp, kNpos);
+  EXPECT_NE(analysis.DirectEffectsOf(stamp) & kEffectWallClock, 0u);
+  bool found_origin = false;
+  for (const EffectOrigin& origin : analysis.OriginsOf(stamp)) {
+    if (origin.effect == kEffectWallClock) {
+      found_origin = true;
+      EXPECT_NE(origin.detail.find("steady_clock"), std::string::npos);
+      EXPECT_EQ(origin.line, 4);
+    }
+  }
+  EXPECT_TRUE(found_origin);
+
+  const std::size_t sum = graph.FindNode("Sum");
+  ASSERT_NE(sum, kNpos);
+  EXPECT_NE(analysis.DirectEffectsOf(sum) & kEffectUnorderedIter, 0u);
+}
+
+TEST(EffectSummaries, WallClockStaysConfinedToTheClockSeam) {
+  const RepoModel repo({
+      Src("src/resilience/clock.cc",
+          "#include <chrono>\n"
+          "long SteadyNow() {\n"
+          "  return std::chrono::steady_clock::now()\n"
+          "      .time_since_epoch().count();\n"
+          "}\n"),
+      Src("src/resilience/outcome.cc",
+          "long SteadyNow();\n"
+          "long ReportFingerprint() { return SteadyNow(); }\n"),
+  });
+  const ProgramAnalysis analysis = ProgramAnalysis::Build(repo);
+  const CallGraph& graph = analysis.graph();
+
+  const std::size_t seam = graph.FindNode("SteadyNow");
+  ASSERT_NE(seam, kNpos);
+  EXPECT_NE(analysis.DirectEffectsOf(seam) & kEffectWallClock, 0u);
+
+  // The seam absorbs the effect: its caller never sees wall-clock.
+  const std::size_t caller = graph.FindNode("ReportFingerprint");
+  ASSERT_NE(caller, kNpos);
+  EXPECT_EQ(analysis.EffectsOf(caller) & kEffectWallClock, 0u);
+
+  std::vector<Finding> findings;
+  CheckDeterminismTaint(analysis, findings);
+  EXPECT_TRUE(findings.empty()) << FormatText(findings);
+}
+
+// --- determinism-taint ------------------------------------------------------
+
+TEST(DeterminismTaint, FlagsWallClockReachingAFingerprintWithAWitnessPath) {
+  const RepoModel repo(
+      {Src("src/analysis/f.cc",
+           "#include <chrono>\n"
+           "long StampNow() {\n"
+           "  return std::chrono::steady_clock::now()\n"
+           "      .time_since_epoch().count();\n"
+           "}\n"
+           "long ReportFingerprint() { return StampNow(); }\n")});
+  std::vector<Finding> findings;
+  CheckDeterminismTaint(ProgramAnalysis::Build(repo), findings);
+
+  // Two findings: the raw clock outside the seam, and the tainted sink.
+  ASSERT_EQ(CountRule(findings, "determinism-taint"), 2u)
+      << FormatText(findings);
+  const auto sink =
+      std::find_if(findings.begin(), findings.end(), [](const Finding& f) {
+        return f.message.find("sink") != std::string::npos;
+      });
+  ASSERT_NE(sink, findings.end());
+  EXPECT_EQ(sink->file, "src/analysis/f.cc");
+  EXPECT_NE(sink->message.find("ReportFingerprint"), std::string::npos);
+  EXPECT_NE(sink->message.find("wall-clock"), std::string::npos);
+  // The witness path names every hop down to the origin.
+  EXPECT_NE(sink->message.find("-> StampNow (src/analysis/f.cc:"),
+            std::string::npos)
+      << sink->message;
+}
+
+TEST(DeterminismTaint, AcceptsTheInjectableClockPattern) {
+  // A checkpoint writer timestamping through Clock::NowMillis is the
+  // sanctioned design -- injected time is replayable, so no finding.
+  const RepoModel repo(
+      {Src("src/resilience/run.cc",
+           "struct Clock { virtual long NowMillis() = 0; };\n"
+           "long StampCheckpoint(Clock& clock) {\n"
+           "  return clock.NowMillis();\n"
+           "}\n")});
+  const ProgramAnalysis analysis = ProgramAnalysis::Build(repo);
+  const std::size_t sink = analysis.graph().FindNode("StampCheckpoint");
+  ASSERT_NE(sink, kNpos);
+  EXPECT_TRUE(IsDeterminismSink(analysis.graph().nodes()[sink]));
+  EXPECT_NE(analysis.EffectsOf(sink) & kEffectInjectedClock, 0u);
+
+  std::vector<Finding> findings;
+  CheckDeterminismTaint(analysis, findings);
+  EXPECT_TRUE(findings.empty()) << FormatText(findings);
+}
+
+// --- shared-state-discipline ------------------------------------------------
+
+TEST(SharedStateDiscipline, FlagsUnlockedWritesReachableFromWorkers) {
+  const RepoModel repo(
+      {Src("src/analysis/s.cc",
+           "#include <mutex>\n"
+           "int g_hits = 0;\n"
+           "std::mutex g_mu;\n"
+           "void Bump() { g_hits += 1; }\n"
+           "void Tally() {\n"
+           "  std::lock_guard<std::mutex> lock(g_mu);\n"
+           "  g_hits += 1;\n"
+           "}\n"
+           "void Sweep() {\n"
+           "  ParallelForEach(8, [](int i) { Bump(); Tally(); });\n"
+           "  g_hits = 0;\n"
+           "}\n")});
+  std::vector<Finding> findings;
+  CheckSharedStateDiscipline(ProgramAnalysis::Build(repo), findings);
+
+  // Bump is flagged; Tally holds a lock; Sweep is the root (its own
+  // writes may be sequential code around the parallel region).
+  ASSERT_EQ(findings.size(), 1u) << FormatText(findings);
+  EXPECT_EQ(findings[0].line, 4);
+  EXPECT_NE(findings[0].message.find("Bump"), std::string::npos);
+  EXPECT_NE(findings[0].message.find("Sweep"), std::string::npos)
+      << "the report names the parallel root";
+}
+
+// --- layering-reachability --------------------------------------------------
+
+TEST(LayeringReachability, CatchesTransitiveViolationsAndSkipsUnions) {
+  const RepoModel repo({
+      // util -> tasks: a forward declaration with no witnessing #include,
+      // invisible to the per-file layering rule.
+      Src("src/util/fixture.cc",
+          "int TaskCount();\n"
+          "int UtilThing() { return TaskCount(); }\n"),
+      Src("src/tasks/fixture.cc", "int TaskCount() { return 3; }\n"),
+      // tasks -> util is allowed by the layer table.
+      Src("src/util/w.cc", "int UtilHelper() { return 1; }\n"),
+      Src("src/tasks/t.cc", "int TaskThing() { return UtilHelper(); }\n"),
+      // A guessed receiver (kMethodUnion) crossing modules is skipped.
+      Src("src/tasks/frob.cc",
+          "struct Gadget { int Frob() { return 2; } };\n"),
+      Src("src/util/m.cc",
+          "int UseFrob(Widget& w) { return w.Frob(); }\n"),
+  });
+  std::vector<Finding> findings;
+  CheckLayeringReachability(ProgramAnalysis::Build(repo), findings);
+
+  ASSERT_EQ(findings.size(), 1u) << FormatText(findings);
+  EXPECT_EQ(findings[0].file, "src/util/fixture.cc");
+  EXPECT_EQ(findings[0].line, 2);
+  EXPECT_NE(findings[0].message.find("TaskCount"), std::string::npos);
+  EXPECT_NE(findings[0].message.find("src/tasks/"), std::string::npos);
+}
+
+// --- the incremental cache --------------------------------------------------
+
+TEST(LintCache, SerializationRoundTripsByteIdentically) {
+  const RepoModel repo({
+      Src("src/util/a.cc",
+          "int Helper() { return 1; }\n"
+          "int Use() { return Helper(); }\n"),
+      Src("src/analysis/b.cc",
+          "#include <cstdlib>\n"
+          "int ReadKnob() { return std::getenv(\"K\") != nullptr; }\n"),
+  });
+  std::size_t hits = 0;
+  const std::vector<FileExtract> fresh = ExtractWithCache(repo, {}, &hits);
+  EXPECT_EQ(hits, 0u);
+  ASSERT_EQ(fresh.size(), 2u);
+
+  const std::string text = SerializeCache(fresh);
+  EXPECT_EQ(text.substr(0, 14), "nblint-cache 1");
+  EXPECT_EQ(SerializeCache(ParseCache(text)), text);
+}
+
+TEST(LintCache, WarmRunReusesEveryUnchangedFile) {
+  const std::vector<SourceFile> sources = {
+      Src("src/util/a.cc",
+          "int Helper() { return 1; }\n"
+          "int Use() { return Helper(); }\n"),
+      Src("src/analysis/b.cc",
+          "#include <cstdlib>\n"
+          "int ReadKnob() { return std::getenv(\"K\") != nullptr; }\n"),
+  };
+  const RepoModel repo(sources);
+  const std::vector<FileExtract> fresh = ExtractWithCache(repo, {}, nullptr);
+  const std::vector<FileExtract> cached = ParseCache(SerializeCache(fresh));
+
+  std::size_t hits = 0;
+  const std::vector<FileExtract> warm =
+      ExtractWithCache(repo, cached, &hits);
+  EXPECT_EQ(hits, 2u);
+  EXPECT_EQ(SerializeCache(warm), SerializeCache(fresh));
+
+  // Editing one file invalidates exactly that file.
+  std::vector<SourceFile> edited = sources;
+  edited[1].content += "int ReadMore() { return ReadKnob(); }\n";
+  const RepoModel repo2(edited);
+  hits = 0;
+  const std::vector<FileExtract> partial =
+      ExtractWithCache(repo2, cached, &hits);
+  EXPECT_EQ(hits, 1u);
+  ASSERT_EQ(partial.size(), 2u);
+  EXPECT_EQ(partial[1].functions.size(), 2u);
+}
+
+TEST(LintCache, PairedHeaderEditsInvalidateTheSource) {
+  // Receiver typing consults the paired header, so the .cc extract must
+  // not be reused when only the .h changed.
+  const std::vector<SourceFile> sources = {
+      Src("src/util/a.h", "struct Rng { double NextDouble(); };\n"),
+      Src("src/util/a.cc",
+          "double Use() {\n"
+          "  Rng rng(7);\n"
+          "  return rng.NextDouble();\n"
+          "}\n"),
+  };
+  const RepoModel repo(sources);
+  const std::vector<FileExtract> cached =
+      ParseCache(SerializeCache(ExtractWithCache(repo, {}, nullptr)));
+
+  std::vector<SourceFile> edited = sources;
+  edited[0].content += "// grew a comment\n";
+  std::size_t hits = 0;
+  const std::vector<FileExtract> partial =
+      ExtractWithCache(RepoModel(edited), cached, &hits);
+  EXPECT_EQ(partial.size(), 2u);
+  EXPECT_EQ(hits, 0u) << "both the header and its pair must re-extract";
+}
+
+TEST(LintCache, MalformedInputFallsBackToAColdRun) {
+  EXPECT_TRUE(ParseCache("").empty());
+  EXPECT_TRUE(ParseCache("garbage\n").empty());
+  EXPECT_TRUE(ParseCache("nblint-cache 99\n").empty());
+  EXPECT_TRUE(
+      ParseCache("nblint-cache 1\nfn 3 0 orphan -\n").empty());
+  EXPECT_TRUE(
+      ParseCache("nblint-cache 1\nfile src/a.cc util deadbeef\n").empty());
+}
+
+// --- the finding baseline ---------------------------------------------------
+
+TEST(LintBaseline, RoundTripsWarnFindingsKeyedByRuleAndFile) {
+  const std::vector<Finding> findings = {
+      {"src/a.cc", 3, "determinism-taint", "first", Severity::kWarn},
+      {"src/a.cc", 9, "determinism-taint", "second", Severity::kWarn},
+      {"src/b.cc", 1, "banned-random", "errors never baseline",
+       Severity::kError},
+  };
+  const std::string json = FormatBaseline(findings);
+  const std::vector<BaselineEntry> baseline = ParseBaseline(json);
+  // The two warn findings share (rule, file) and collapse to one entry;
+  // the error finding is excluded.
+  ASSERT_EQ(baseline.size(), 1u) << json;
+  EXPECT_EQ(baseline[0].rule_id, "determinism-taint");
+  EXPECT_EQ(baseline[0].file, "src/a.cc");
+}
+
+TEST(LintBaseline, NewFindingsIgnoresBaselinedAndStaleEntries) {
+  const std::vector<Finding> findings = {
+      {"src/a.cc", 3, "determinism-taint", "msg", Severity::kWarn},
+      {"src/b.cc", 1, "banned-random", "err", Severity::kError},
+  };
+  // No baseline: every warn finding is new (errors fail on their own).
+  ASSERT_EQ(NewFindings(findings, {}).size(), 1u);
+  EXPECT_EQ(NewFindings(findings, {})[0].file, "src/a.cc");
+  // Covered plus a stale entry nothing matches: nothing is new.
+  const std::vector<BaselineEntry> baseline = {
+      {"determinism-taint", "src/a.cc"},
+      {"shared-state-discipline", "src/long_gone.cc"},
+  };
+  EXPECT_TRUE(NewFindings(findings, baseline).empty());
+}
+
+TEST(LintBaseline, MalformedJsonYieldsAnEmptyBaseline) {
+  EXPECT_TRUE(ParseBaseline("").empty());
+  EXPECT_TRUE(ParseBaseline("not json at all").empty());
+  EXPECT_TRUE(ParseBaseline("{\"version\": 1}").empty());
+}
+
+// --- the engine's whole-program mode ----------------------------------------
+
+TEST(WholeProgramEngine, SuppressionsSilenceProgramFindings) {
+  // The same raw-clock read, with and without a justified NBLINT comment
+  // targeting the finding's line.
+  const std::vector<SourceFile> bare_files = {
+      Src("src/analysis/f.cc",
+          "#include <chrono>\n"
+          "long StampNow() {\n"
+          "  return std::chrono::steady_clock::now()\n"
+          "      .time_since_epoch().count();\n"
+          "}\n")};
+  const std::vector<SourceFile> suppressed_files = {
+      Src("src/analysis/f.cc",
+          "#include <chrono>\n"
+          "long StampNow() {\n"
+          "  // NBLINT(determinism-taint): fixture clock is cosmetic\n"
+          "  return std::chrono::steady_clock::now()\n"
+          "      .time_since_epoch().count();\n"
+          "}\n")};
+  LintOptions options;
+  options.whole_program = true;
+  const auto bare = RunAllChecks(bare_files, options);
+  const auto quiet = RunAllChecks(suppressed_files, options);
+  EXPECT_EQ(CountRule(bare, "determinism-taint"), 1u) << FormatText(bare);
+  EXPECT_EQ(CountRule(quiet, "determinism-taint"), 0u) << FormatText(quiet);
+  EXPECT_EQ(CountRule(quiet, "suppression-justification"), 0u);
+}
+
+TEST(WholeProgramEngine, StatsAndCacheFlowThroughLintOptions) {
+  const std::vector<SourceFile> files = {
+      Src("src/util/a.cc",
+          "int Helper() { return 1; }\n"
+          "int Use() { return Helper(); }\n")};
+  LintStats stats;
+  std::string cache;
+  LintOptions options;
+  options.whole_program = true;
+  options.stats = &stats;
+  options.cache_out = &cache;
+  EXPECT_TRUE(RunAllChecks(files, options).empty());
+  EXPECT_EQ(stats.files, 1u);
+  EXPECT_EQ(stats.nodes, 2u);
+  EXPECT_EQ(stats.edges, 1u);
+  EXPECT_EQ(stats.resolved_edges, 1u);
+  EXPECT_EQ(stats.cache_hits, 0u);
+  EXPECT_FALSE(cache.empty());
+
+  LintStats warm_stats;
+  std::string warm_cache;
+  LintOptions warm;
+  warm.whole_program = true;
+  warm.stats = &warm_stats;
+  warm.cache_in = cache;
+  warm.cache_out = &warm_cache;
+  EXPECT_TRUE(RunAllChecks(files, warm).empty());
+  EXPECT_EQ(warm_stats.cache_hits, 1u);
+  EXPECT_EQ(warm_cache, cache) << "warm runs re-serialize identically";
+}
+
+}  // namespace
+}  // namespace noisybeeps::lint

@@ -158,20 +158,79 @@ TEST(LintEngine, StandaloneSuppressionSilencesTheNextLine) {
   EXPECT_EQ(CountRule(findings, "suppression-justification"), 0u);
 }
 
+// --- the structural model ---------------------------------------------------
+
+// Regression: an out-of-line template member definition
+// (`template <...> R Foo<T>::Bar(...)`) used to lose its class because the
+// qualifier back-walk stopped at the template-argument list.
+TEST(LintModel, OutOfLineTemplateMemberDefinitionKeepsItsClass) {
+  const FileModel file = FileModel::Build(
+      {"src/util/ring.h",
+       "#ifndef NOISYBEEPS_UTIL_RING_H_\n"
+       "#define NOISYBEEPS_UTIL_RING_H_\n"
+       "template <typename T>\n"
+       "class Ring {\n"
+       " public:\n"
+       "  int Size() const;\n"
+       "};\n"
+       "template <typename T>\n"
+       "int Ring<T>::Size() const {\n"
+       "  return 3;\n"
+       "}\n"
+       "#endif  // NOISYBEEPS_UTIL_RING_H_\n"});
+  const FunctionInfo* definition = nullptr;
+  for (const FunctionInfo& fn : file.functions()) {
+    if (fn.name == "Size" && fn.is_definition) definition = &fn;
+  }
+  ASSERT_NE(definition, nullptr);
+  EXPECT_EQ(definition->class_name, "Ring");
+  EXPECT_EQ(definition->qualified_name, "Ring::Size");
+  EXPECT_EQ(definition->line, 9);
+}
+
+// Multi-argument template-ids in the qualifier back-walk, including the
+// `>>` maximal-munch closer.
+TEST(LintModel, NestedTemplateArgumentsInQualifiersParse) {
+  const FileModel file = FileModel::Build(
+      {"src/util/table.cc",
+       "template <typename K, typename V>\n"
+       "int Table<K, std::vector<V>>::Count() const {\n"
+       "  return 0;\n"
+       "}\n"});
+  const FunctionInfo* definition = nullptr;
+  for (const FunctionInfo& fn : file.functions()) {
+    if (fn.name == "Count" && fn.is_definition) definition = &fn;
+  }
+  ASSERT_NE(definition, nullptr);
+  EXPECT_EQ(definition->class_name, "Table");
+}
+
 // --- registry and severities ------------------------------------------------
 
 TEST(LintRegistry, RulesAreRegisteredSortedAndUnique) {
   const std::vector<Rule>& rules = AllRules();
-  ASSERT_GE(rules.size(), 13u);
+  ASSERT_GE(rules.size(), 16u);
   for (std::size_t i = 1; i < rules.size(); ++i) {
     EXPECT_LT(rules[i - 1].id, rules[i].id) << "registry must stay sorted";
   }
   for (const Rule& rule : rules) {
     EXPECT_FALSE(rule.category.empty()) << rule.id;
     EXPECT_FALSE(rule.summary.empty()) << rule.id;
+    EXPECT_FALSE(rule.rationale.empty()) << rule.id << ": --explain needs it";
     EXPECT_EQ(FindRule(rule.id), &rule);
   }
   EXPECT_EQ(FindRule("does-not-exist"), nullptr);
+}
+
+TEST(LintRegistry, WholeProgramRulesAreRegisteredAsSuch) {
+  for (const char* id : {"determinism-taint", "shared-state-discipline",
+                         "layering-reachability"}) {
+    const Rule* rule = FindRule(id);
+    ASSERT_NE(rule, nullptr) << id;
+    EXPECT_EQ(rule->severity, Severity::kWarn) << id;
+    EXPECT_EQ(rule->run, nullptr) << id;
+    EXPECT_NE(rule->run_program, nullptr) << id;
+  }
 }
 
 TEST(LintRegistry, SeveritiesComeFromTheRegistry) {
@@ -188,11 +247,14 @@ TEST(LintRegistry, SeveritiesComeFromTheRegistry) {
 
 // The vacuity meta-test: a rule whose firing fixture produces no finding is
 // dead weight -- either the fixture rotted or the rule can never fire.
+// Whole-program mode so the call-graph rules get their ProgramAnalysis.
 TEST(LintRegistry, EveryRuleFiresOnItsOwnFixture) {
+  LintOptions options;
+  options.whole_program = true;
   for (const Rule& rule : AllRules()) {
     ASSERT_FALSE(rule.firing_fixture.empty())
         << "rule has no firing fixture: " << rule.id;
-    const auto findings = RunAllChecks(rule.firing_fixture);
+    const auto findings = RunAllChecks(rule.firing_fixture, options);
     EXPECT_GE(CountRule(findings, rule.id), 1u)
         << "rule never fires on its own fixture: " << rule.id;
   }

@@ -3,14 +3,24 @@
 // ctest so every build gates on the repo linting clean.
 //
 // Usage:
-//   nblint --root=/path/to/repo          text findings
-//   nblint --root=/path/to/repo --json   machine-readable findings
-//   nblint --root=/path/to/repo --sarif  SARIF 2.1.0 (CI code-scanning)
-//   nblint --list-rules                  the rule registry, one per line
+//   nblint --root=/path/to/repo            text findings (per-file rules)
+//   nblint --root=. --whole-program        + call-graph rules (taint.h)
+//   nblint --root=. --cache=build/nblint.cache
+//                                          whole-program, incremental
+//   nblint --root=. --json | --sarif       machine-readable findings
+//   nblint --root=. --baseline=tools/nblint_baseline.json
+//                                          fail on NEW warn findings only
+//   nblint --root=. --write-baseline=tools/nblint_baseline.json
+//                                          refresh the baseline
+//   nblint --list-rules                    the rule registry, one per line
+//   nblint --explain=<rule-id>             id, severity, category,
+//                                          rationale, suppression example
 //
 // Exit status: 0 when no error-severity findings remain (warnings do not
-// fail the build), 1 when at least one error fires, 2 on usage/IO errors.
+// fail the build) and, with --baseline, no unbaselined warn findings
+// appear; 1 otherwise; 2 on usage/IO errors.
 #include <algorithm>
+#include <chrono>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
@@ -25,6 +35,7 @@ namespace {
 
 namespace fs = std::filesystem;
 using noisybeeps::lint::Finding;
+using noisybeeps::lint::Rule;
 using noisybeeps::lint::Severity;
 using noisybeeps::lint::SourceFile;
 
@@ -61,6 +72,47 @@ std::vector<SourceFile> LoadTree(const fs::path& root) {
   return files;
 }
 
+std::string ReadFileOrEmpty(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return "";
+  std::ostringstream content;
+  content << in.rdbuf();
+  return content.str();
+}
+
+bool WriteFile(const fs::path& path, const std::string& content) {
+  if (path.has_parent_path()) {
+    std::error_code ec;
+    fs::create_directories(path.parent_path(), ec);
+  }
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return false;
+  out << content;
+  return static_cast<bool>(out);
+}
+
+int Explain(const std::string& rule_id) {
+  const Rule* rule = noisybeeps::lint::FindRule(rule_id);
+  if (rule == nullptr) {
+    std::cerr << "nblint: unknown rule '" << rule_id
+              << "' (try --list-rules)\n";
+    return 2;
+  }
+  std::cout << rule->id << "\n"
+            << "  severity: " << SeverityName(rule->severity) << "\n"
+            << "  category: " << rule->category << "\n"
+            << "  mode:     "
+            << (rule->run_program != nullptr ? "whole-program" : "per-file")
+            << "\n"
+            << "  summary:  " << rule->summary << "\n";
+  if (!rule->rationale.empty()) {
+    std::cout << "  rationale: " << rule->rationale << "\n";
+  }
+  std::cout << "  suppress: offending code;  // NBLINT(" << rule->id
+            << "): <why this one site is acceptable>\n";
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -70,6 +122,12 @@ int main(int argc, char** argv) {
     const bool json = flags.GetBool("json", false);
     const bool sarif = flags.GetBool("sarif", false);
     const bool list_rules = flags.GetBool("list-rules", false);
+    const std::string explain = flags.GetString("explain", "");
+    const std::string cache_path = flags.GetString("cache", "");
+    const bool whole_program =
+        flags.GetBool("whole-program", false) || !cache_path.empty();
+    const std::string baseline_path = flags.GetString("baseline", "");
+    const std::string write_baseline = flags.GetString("write-baseline", "");
     for (const std::string& unknown : flags.UnconsumedFlags()) {
       std::cerr << "nblint: unknown flag --" << unknown << "\n";
       return 2;
@@ -79,39 +137,87 @@ int main(int argc, char** argv) {
       return 2;
     }
     if (list_rules) {
-      for (const noisybeeps::lint::Rule& rule :
-           noisybeeps::lint::AllRules()) {
+      for (const Rule& rule : noisybeeps::lint::AllRules()) {
         std::cout << rule.id << " [" << SeverityName(rule.severity) << ", "
-                  << rule.category << "] " << rule.summary << "\n";
+                  << rule.category
+                  << (rule.run_program != nullptr ? ", whole-program" : "")
+                  << "] " << rule.summary << "\n";
       }
       return 0;
     }
+    if (!explain.empty()) return Explain(explain);
 
     const std::vector<SourceFile> files = LoadTree(fs::path(root));
     if (files.empty()) {
       std::cerr << "nblint: no sources found under " << root << "\n";
       return 2;
     }
+
+    noisybeeps::lint::LintOptions options;
+    options.whole_program = whole_program;
+    noisybeeps::lint::LintStats stats;
+    options.stats = &stats;
+    std::string cache_out;
+    if (!cache_path.empty()) {
+      options.cache_in = ReadFileOrEmpty(cache_path);
+      options.cache_out = &cache_out;
+    }
+
+    const auto started = std::chrono::steady_clock::now();
     const std::vector<Finding> findings =
-        noisybeeps::lint::RunAllChecks(files);
+        noisybeeps::lint::RunAllChecks(files, options);
+    const auto elapsed_ms =
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::steady_clock::now() - started)
+            .count();
+
+    if (!cache_path.empty() && !WriteFile(cache_path, cache_out)) {
+      std::cerr << "nblint: cannot write cache " << cache_path << "\n";
+      return 2;
+    }
+    if (!write_baseline.empty() &&
+        !WriteFile(write_baseline,
+                   noisybeeps::lint::FormatBaseline(findings))) {
+      std::cerr << "nblint: cannot write baseline " << write_baseline
+                << "\n";
+      return 2;
+    }
+
     std::size_t errors = 0;
     for (const Finding& f : findings) {
       if (f.severity == Severity::kError) ++errors;
     }
+    std::vector<Finding> fresh;
+    if (!baseline_path.empty()) {
+      fresh = NewFindings(findings,
+                          noisybeeps::lint::ParseBaseline(
+                              ReadFileOrEmpty(baseline_path)));
+    }
+
     if (json) {
       std::cout << noisybeeps::lint::FormatJson(findings);
     } else if (sarif) {
       std::cout << noisybeeps::lint::FormatSarif(findings);
-      std::cerr << "nblint: " << files.size() << " files, "
-                << findings.size() << " finding(s), " << errors
-                << " error(s)\n";
     } else {
       std::cout << noisybeeps::lint::FormatText(findings);
-      std::cout << "nblint: " << files.size() << " files, "
-                << findings.size() << " finding(s), " << errors
-                << " error(s)\n";
     }
-    return errors == 0 ? 0 : 1;
+    std::ostream& log = (json || sarif) ? std::cerr : std::cout;
+    log << "nblint: " << files.size() << " files, " << findings.size()
+        << " finding(s), " << errors << " error(s)";
+    if (whole_program) {
+      log << "; whole-program: " << stats.nodes << " nodes, " << stats.edges
+          << " edges (" << stats.resolved_edges << " resolved), cache "
+          << stats.cache_hits << "/" << stats.files << " hits, "
+          << elapsed_ms << " ms";
+    }
+    log << "\n";
+    if (!fresh.empty()) {
+      std::cerr << "nblint: " << fresh.size()
+                << " warn finding(s) not in baseline " << baseline_path
+                << " (fix them or refresh with --write-baseline):\n"
+                << noisybeeps::lint::FormatText(fresh);
+    }
+    return errors == 0 && fresh.empty() ? 0 : 1;
   } catch (const std::exception& e) {
     std::cerr << "nblint: " << e.what() << "\n";
     return 2;
