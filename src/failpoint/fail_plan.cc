@@ -1,0 +1,356 @@
+#include "failpoint/fail_plan.h"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/format.h"
+#include "util/require.h"
+
+namespace noisybeeps::failpoint {
+
+namespace {
+
+void RequireWindow(std::int64_t first, std::int64_t last) {
+  NB_REQUIRE(first >= 0, "failpoint window must start at a non-negative hit");
+  NB_REQUIRE(last >= first, "failpoint window must not end before it starts");
+}
+
+// Parses a non-negative integer occupying ALL of `text`.  Throws
+// std::invalid_argument otherwise (including on overflow).
+std::int64_t ParseHit(const std::string& text, const std::string& context) {
+  if (text.empty() ||
+      text.find_first_not_of("0123456789") != std::string::npos) {
+    throw std::invalid_argument("FailPlan: bad hit index '" + text + "' in " +
+                                context);
+  }
+  try {
+    return std::stoll(text);
+  } catch (const std::out_of_range&) {
+    throw std::invalid_argument("FailPlan: hit index overflows in " + context);
+  }
+}
+
+double ParseParam(const std::string& text, const std::string& context) {
+  std::size_t used = 0;
+  double p = 0;
+  try {
+    p = std::stod(text, &used);
+  } catch (const std::exception&) {
+    used = std::string::npos;  // force the error below
+  }
+  if (used != text.size() || !(p >= 0.0)) {
+    throw std::invalid_argument("FailPlan: bad parameter '" + text + "' in " +
+                                context);
+  }
+  return p;
+}
+
+bool KindTakesParam(FailKind kind) {
+  return kind != FailKind::kFail && kind != FailKind::kCrash;
+}
+
+}  // namespace
+
+std::string FailOpName(FailOp op) {
+  switch (op) {
+    case FailOp::kRead:
+      return "read";
+    case FailOp::kWrite:
+      return "write";
+    case FailOp::kSync:
+      return "sync";
+    case FailOp::kRename:
+      return "rename";
+    case FailOp::kRemove:
+      return "remove";
+  }
+  throw std::invalid_argument("FailOpName: unknown FailOp");
+}
+
+FailOp ParseFailOp(const std::string& name) {
+  if (name == "read") return FailOp::kRead;
+  if (name == "write") return FailOp::kWrite;
+  if (name == "sync") return FailOp::kSync;
+  if (name == "rename") return FailOp::kRename;
+  if (name == "remove") return FailOp::kRemove;
+  throw std::invalid_argument("FailPlan: unknown file operation '" + name +
+                              "' (expected read|write|sync|rename|remove)");
+}
+
+std::string FailKindName(FailKind kind) {
+  switch (kind) {
+    case FailKind::kFail:
+      return "fail";
+    case FailKind::kEnospc:
+      return "enospc";
+    case FailKind::kTorn:
+      return "torn";
+    case FailKind::kCrash:
+      return "crash";
+    case FailKind::kTruncate:
+      return "truncate";
+    case FailKind::kCorrupt:
+      return "corrupt";
+    case FailKind::kLatency:
+      return "latency";
+  }
+  throw std::invalid_argument("FailKindName: unknown FailKind");
+}
+
+FailKind ParseFailKind(const std::string& name) {
+  if (name == "fail") return FailKind::kFail;
+  if (name == "enospc") return FailKind::kEnospc;
+  if (name == "torn") return FailKind::kTorn;
+  if (name == "crash") return FailKind::kCrash;
+  if (name == "truncate") return FailKind::kTruncate;
+  if (name == "corrupt") return FailKind::kCorrupt;
+  if (name == "latency") return FailKind::kLatency;
+  throw std::invalid_argument(
+      "FailPlan: unknown fault kind '" + name +
+      "' (expected fail|enospc|torn|crash|truncate|corrupt|latency)");
+}
+
+FailPlan& FailPlan::Fail(FailOp op, std::int64_t first, std::int64_t last) {
+  RequireWindow(first, last);
+  specs_.push_back({FailKind::kFail, op, first, last, 0.0});
+  return *this;
+}
+
+FailPlan& FailPlan::Enospc(std::int64_t first, std::int64_t last,
+                           double fraction) {
+  RequireWindow(first, last);
+  NB_REQUIRE(fraction >= 0.0 && fraction <= 1.0,
+             "enospc surviving fraction must be in [0, 1]");
+  specs_.push_back({FailKind::kEnospc, FailOp::kWrite, first, last, fraction});
+  return *this;
+}
+
+FailPlan& FailPlan::Torn(std::int64_t first, std::int64_t last,
+                         double fraction) {
+  RequireWindow(first, last);
+  NB_REQUIRE(fraction >= 0.0 && fraction <= 1.0,
+             "torn-write surviving fraction must be in [0, 1]");
+  specs_.push_back({FailKind::kTorn, FailOp::kWrite, first, last, fraction});
+  return *this;
+}
+
+FailPlan& FailPlan::Crash(FailOp op, std::int64_t first, std::int64_t last) {
+  RequireWindow(first, last);
+  specs_.push_back({FailKind::kCrash, op, first, last, 0.0});
+  return *this;
+}
+
+FailPlan& FailPlan::Truncate(std::int64_t first, std::int64_t last,
+                             double fraction) {
+  RequireWindow(first, last);
+  NB_REQUIRE(fraction >= 0.0 && fraction <= 1.0,
+             "truncate surviving fraction must be in [0, 1]");
+  specs_.push_back({FailKind::kTruncate, FailOp::kRead, first, last, fraction});
+  return *this;
+}
+
+FailPlan& FailPlan::Corrupt(std::int64_t first, std::int64_t last, int flips) {
+  RequireWindow(first, last);
+  NB_REQUIRE(flips >= 1, "corrupt must flip at least one byte");
+  specs_.push_back({FailKind::kCorrupt, FailOp::kRead, first, last,
+                    static_cast<double>(flips)});
+  return *this;
+}
+
+FailPlan& FailPlan::Latency(FailOp op, std::int64_t first, std::int64_t last,
+                            std::int64_t millis) {
+  RequireWindow(first, last);
+  NB_REQUIRE(millis >= 0, "injected latency must be non-negative");
+  specs_.push_back(
+      {FailKind::kLatency, op, first, last, static_cast<double>(millis)});
+  return *this;
+}
+
+namespace {
+
+// Dispatches one parsed spec through the builder so every entry point
+// (grammar, CSV) funnels into the same precondition checks.
+void AddSpec(FailPlan& plan, FailKind kind, FailOp op, std::int64_t first,
+             std::int64_t last, bool have_param, double param,
+             const std::string& context) {
+  if (have_param != KindTakesParam(kind)) {
+    throw std::invalid_argument(
+        have_param
+            ? "FailPlan: " + FailKindName(kind) +
+                  " specs take no parameter, got " + context
+            : "FailPlan: " + FailKindName(kind) +
+                  " specs require a parameter (kind:op@first[-last]:param), "
+                  "got " + context);
+  }
+  switch (kind) {
+    case FailKind::kFail:
+      plan.Fail(op, first, last);
+      return;
+    case FailKind::kEnospc:
+    case FailKind::kTorn:
+    case FailKind::kTruncate: {
+      const FailOp required =
+          kind == FailKind::kTruncate ? FailOp::kRead : FailOp::kWrite;
+      if (op != required) {
+        throw std::invalid_argument("FailPlan: " + FailKindName(kind) +
+                                    " applies only to '" +
+                                    FailOpName(required) + "', got " + context);
+      }
+      if (!(param <= 1.0)) {
+        throw std::invalid_argument(
+            "FailPlan: surviving fraction must be in [0, 1] in " + context);
+      }
+      if (kind == FailKind::kEnospc) plan.Enospc(first, last, param);
+      if (kind == FailKind::kTorn) plan.Torn(first, last, param);
+      if (kind == FailKind::kTruncate) plan.Truncate(first, last, param);
+      return;
+    }
+    case FailKind::kCrash:
+      plan.Crash(op, first, last);
+      return;
+    case FailKind::kCorrupt: {
+      if (op != FailOp::kRead) {
+        throw std::invalid_argument(
+            "FailPlan: corrupt applies only to 'read', got " + context);
+      }
+      const int flips = static_cast<int>(param);
+      if (param != static_cast<double>(flips) || flips < 1) {
+        throw std::invalid_argument(
+            "FailPlan: corrupt parameter must be a flip count >= 1 in " +
+            context);
+      }
+      plan.Corrupt(first, last, flips);
+      return;
+    }
+    case FailKind::kLatency: {
+      const auto millis = static_cast<std::int64_t>(param);
+      if (param != static_cast<double>(millis)) {
+        throw std::invalid_argument(
+            "FailPlan: latency parameter must be whole milliseconds in " +
+            context);
+      }
+      plan.Latency(op, first, last, millis);
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+FailPlan FailPlan::Parse(const std::string& text, std::uint64_t seed) {
+  FailPlan plan(seed);
+  std::istringstream stream(text);
+  std::string entry;
+  while (std::getline(stream, entry, ';')) {
+    if (entry.empty()) continue;
+    const std::string context = "spec '" + entry + "'";
+    const std::size_t colon = entry.find(':');
+    const std::size_t at = entry.find('@');
+    if (colon == std::string::npos || at == std::string::npos || at < colon) {
+      throw std::invalid_argument(
+          "FailPlan: expected kind:op@first[-last][:param], got " + context);
+    }
+    const FailKind kind = ParseFailKind(entry.substr(0, colon));
+    const FailOp op = ParseFailOp(entry.substr(colon + 1, at - colon - 1));
+
+    std::string window = entry.substr(at + 1);
+    double param = 0;
+    bool have_param = false;
+    const std::size_t param_colon = window.find(':');
+    if (param_colon != std::string::npos) {
+      param = ParseParam(window.substr(param_colon + 1), context);
+      have_param = true;
+      window = window.substr(0, param_colon);
+    }
+    std::int64_t first = 0;
+    std::int64_t last = FailSpec::kNoLastHit;
+    const std::size_t dash = window.find('-');
+    if (dash == std::string::npos) {
+      first = ParseHit(window, context);
+      last = first;  // a bare hit index faults exactly that invocation
+    } else {
+      first = ParseHit(window.substr(0, dash), context);
+      const std::string last_str = window.substr(dash + 1);
+      if (!last_str.empty() && last_str != "*") {
+        last = ParseHit(last_str, context);
+      }
+    }
+    if (last < first) {
+      throw std::invalid_argument(
+          "FailPlan: window ends before it starts in " + context);
+    }
+    AddSpec(plan, kind, op, first, last, have_param, param, context);
+  }
+  return plan;
+}
+
+std::string FailPlan::ToString() const {
+  std::ostringstream os;
+  for (std::size_t k = 0; k < specs_.size(); ++k) {
+    const FailSpec& spec = specs_[k];
+    if (k > 0) os << ';';
+    os << FailKindName(spec.kind) << ':' << FailOpName(spec.op) << '@'
+       << spec.first_hit;
+    if (spec.last_hit != spec.first_hit) {
+      os << '-';
+      if (spec.last_hit == FailSpec::kNoLastHit) {
+        os << '*';
+      } else {
+        os << spec.last_hit;
+      }
+    }
+    if (KindTakesParam(spec.kind)) {
+      os << ':' << FormatDouble(spec.param);
+    }
+  }
+  return os.str();
+}
+
+void WriteFailPlanCsv(const FailPlan& plan, std::ostream& os) {
+  os << "kind,op,first_hit,last_hit,param\n";
+  for (const FailSpec& spec : plan.specs()) {
+    os << FailKindName(spec.kind) << ',' << FailOpName(spec.op) << ','
+       << spec.first_hit << ',';
+    if (spec.last_hit == FailSpec::kNoLastHit) {
+      os << '*';
+    } else {
+      os << spec.last_hit;
+    }
+    os << ',' << FormatDouble(spec.param) << '\n';
+  }
+}
+
+FailPlan ReadFailPlanCsv(std::istream& is, std::uint64_t seed) {
+  std::string line;
+  NB_REQUIRE(static_cast<bool>(std::getline(is, line)) &&
+                 line == "kind,op,first_hit,last_hit,param",
+             "missing or malformed fail-plan CSV header");
+  FailPlan plan(seed);
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    std::istringstream row(line);
+    std::string cells[5];
+    for (int c = 0; c < 5; ++c) {
+      NB_REQUIRE(static_cast<bool>(std::getline(row, cells[c], ',')),
+                 "fail-plan CSV row has too few cells: " + line);
+    }
+    std::string extra;
+    NB_REQUIRE(!std::getline(row, extra),
+               "fail-plan CSV row has too many cells: " + line);
+    const std::string context = "CSV row '" + line + "'";
+    const FailKind kind = ParseFailKind(cells[0]);
+    const FailOp op = ParseFailOp(cells[1]);
+    const std::int64_t first = ParseHit(cells[2], context);
+    const std::int64_t last = cells[3] == "*" ? FailSpec::kNoLastHit
+                                              : ParseHit(cells[3], context);
+    const bool takes_param = KindTakesParam(kind);
+    const double param =
+        takes_param ? ParseParam(cells[4], context) : 0.0;
+    AddSpec(plan, kind, op, first, last, takes_param, param, context);
+  }
+  return plan;
+}
+
+}  // namespace noisybeeps::failpoint

@@ -1,0 +1,157 @@
+// FailPlan: a deterministic, seed-driven description of I/O faults.
+//
+// The paper computes correctly over a substrate that fails on every beep;
+// the resilience layer (checkpoint/resume, docs/RESILIENCE.md) makes the
+// same promise about the filesystem -- and a promise about failure paths
+// that have never failed is worthless.  A FailPlan is a pure value
+// describing, per filesystem OPERATION and per invocation ("hit"), one of
+// seven behaviours injected by failpoint::FaultingFs (fs.h):
+//
+//   fail      the operation throws FsError without touching the file --
+//             a failed open, a rejected rename, EIO on read
+//   enospc    a write lands only a prefix (param fraction of the bytes)
+//             then throws FsError("no space left on device") -- the disk
+//             filled mid-write but the process lives on
+//   torn      a write lands only a prefix then throws InjectedCrash --
+//             power was lost mid-write (write only)
+//   crash     InjectedCrash is thrown BEFORE the operation executes --
+//             the in-process stand-in for SIGKILL at that exact boundary
+//   truncate  a read silently returns only a prefix (param fraction) --
+//             the file rotted short and nothing reported it (read only)
+//   corrupt   a read returns the true bytes with `param` byte flips at
+//             positions derived from (plan seed, spec index, hit) --
+//             deterministic bit rot (read only)
+//   latency   the operation succeeds after `param` injected milliseconds
+//             (recorded; FaultingFs sleeps only if given a sleeper)
+//
+// Hits are counted per operation, from 0, by each FaultingFs instance.
+// All checkpoint I/O happens on the engine's main thread between trial
+// batches, so hit indices are identical at every worker count -- the same
+// plan injects the same faults whether a sweep runs on 1 worker or 64.
+//
+// Determinism: a FailPlan is part of the experiment configuration.  The
+// corrupt byte positions derive from (plan seed, spec index, hit index)
+// only, so identical (workload, FailPlan, seed) tuples reproduce
+// bit-identical fault sequences -- the same contract fault/fault_plan.h
+// gives party faults.
+#ifndef NOISYBEEPS_FAILPOINT_FAIL_PLAN_H_
+#define NOISYBEEPS_FAILPOINT_FAIL_PLAN_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace noisybeeps::failpoint {
+
+// The faultable filesystem operations -- exactly the virtual methods of
+// failpoint::Fs (fs.h).
+enum class FailOp {
+  kRead,    // Fs::ReadFile
+  kWrite,   // Fs::WriteFile
+  kSync,    // Fs::SyncFile
+  kRename,  // Fs::RenameFile
+  kRemove,  // Fs::RemoveFile
+};
+inline constexpr int kNumFailOps = 5;
+
+// The canonical short name ("read", "write", "sync", "rename", "remove").
+[[nodiscard]] std::string FailOpName(FailOp op);
+// Inverse of FailOpName.  Throws std::invalid_argument on unknown names.
+[[nodiscard]] FailOp ParseFailOp(const std::string& name);
+
+enum class FailKind {
+  kFail,
+  kEnospc,
+  kTorn,
+  kCrash,
+  kTruncate,
+  kCorrupt,
+  kLatency,
+};
+
+// "fail", "enospc", "torn", "crash", "truncate", "corrupt", "latency".
+[[nodiscard]] std::string FailKindName(FailKind kind);
+// Inverse of FailKindName.  Throws std::invalid_argument on unknown names.
+[[nodiscard]] FailKind ParseFailKind(const std::string& name);
+
+// One fault: operation `op` misbehaves as `kind` on invocations
+// [first_hit, last_hit] (inclusive; kNoLastHit = forever).  `param` is
+// kind-specific: the surviving fraction for enospc/torn/truncate, the
+// flip count for corrupt, the milliseconds for latency, unused for
+// fail/crash.
+struct FailSpec {
+  static constexpr std::int64_t kNoLastHit =
+      std::numeric_limits<std::int64_t>::max();
+
+  FailKind kind = FailKind::kFail;
+  FailOp op = FailOp::kWrite;
+  std::int64_t first_hit = 0;
+  std::int64_t last_hit = kNoLastHit;
+  double param = 0;
+
+  [[nodiscard]] bool ActiveAt(std::int64_t hit) const {
+    return hit >= first_hit && hit <= last_hit;
+  }
+
+  friend bool operator==(const FailSpec& a, const FailSpec& b) = default;
+};
+
+class FailPlan {
+ public:
+  // An empty plan: a FaultingFs carrying it is a pure pass-through (plus
+  // hit counting; fs.h holds that to account).
+  FailPlan() = default;
+  // `seed` drives the corrupt-kind byte flips (unused by the other kinds).
+  explicit FailPlan(std::uint64_t seed) : seed_(seed) {}
+
+  // Builder API; all return *this for chaining.  Windows are inclusive
+  // hit indices, counted per op from 0.
+  // Preconditions: first >= 0, last >= first; fraction in [0, 1];
+  // flips >= 1; millis >= 0; Torn/Enospc only on kWrite, Truncate/Corrupt
+  // only on kRead.
+  FailPlan& Fail(FailOp op, std::int64_t first,
+                 std::int64_t last = FailSpec::kNoLastHit);
+  FailPlan& Enospc(std::int64_t first, std::int64_t last, double fraction);
+  FailPlan& Torn(std::int64_t first, std::int64_t last, double fraction);
+  FailPlan& Crash(FailOp op, std::int64_t first,
+                  std::int64_t last = FailSpec::kNoLastHit);
+  FailPlan& Truncate(std::int64_t first, std::int64_t last, double fraction);
+  FailPlan& Corrupt(std::int64_t first, std::int64_t last, int flips);
+  FailPlan& Latency(FailOp op, std::int64_t first, std::int64_t last,
+                    std::int64_t millis);
+
+  [[nodiscard]] bool empty() const { return specs_.empty(); }
+  [[nodiscard]] const std::vector<FailSpec>& specs() const { return specs_; }
+  [[nodiscard]] std::uint64_t seed() const { return seed_; }
+
+  // The compact flag grammar (round-trip inverse of ToString):
+  //   plan  := spec (';' spec)*     |  "" (empty plan)
+  //   spec  := kind ':' op '@' first ['-' last] [':' param]
+  //   kind  := fail | enospc | torn | crash | truncate | corrupt | latency
+  //   op    := read | write | sync | rename | remove
+  // e.g. "crash:write@2;torn:write@0-4:0.5;corrupt:read@0:3".  `last`
+  // omitted or '*' means forever.  fail/crash take no param; the others
+  // require one.  Throws std::invalid_argument on malformed input.
+  static FailPlan Parse(const std::string& text, std::uint64_t seed = 0);
+  [[nodiscard]] std::string ToString() const;
+
+  friend bool operator==(const FailPlan& a, const FailPlan& b) = default;
+
+ private:
+  std::uint64_t seed_ = 0;
+  std::vector<FailSpec> specs_;
+};
+
+// CSV serialization for tools: header "kind,op,first_hit,last_hit,param"
+// with last_hit = '*' for open-ended windows.  ReadFailPlanCsv throws
+// std::invalid_argument on malformed input (missing header, ragged rows,
+// unknown kinds or ops, non-numeric cells).
+void WriteFailPlanCsv(const FailPlan& plan, std::ostream& os);
+[[nodiscard]] FailPlan ReadFailPlanCsv(std::istream& is,
+                                       std::uint64_t seed = 0);
+
+}  // namespace noisybeeps::failpoint
+
+#endif  // NOISYBEEPS_FAILPOINT_FAIL_PLAN_H_

@@ -8,7 +8,8 @@
 namespace noisybeeps::lint {
 namespace {
 
-constexpr std::string_view kHeader = "nblint-cache 1";
+// v2: kEffectRawFileIo changed what extraction emits for unchanged files.
+constexpr std::string_view kHeader = "nblint-cache 2";
 
 // "" round-trips as "-" so every record keeps a fixed field count.
 std::string Opt(const std::string& value) {

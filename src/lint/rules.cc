@@ -250,7 +250,8 @@ const std::map<std::string, std::set<std::string>>& LayerTable() {
       {"fault", {"channel", "protocol", "util"}},
       {"coding", {"channel", "ecc", "fault", "protocol", "util"}},
       {"analysis", {"protocol", "tasks", "util"}},
-      {"resilience", {"util"}},
+      {"failpoint", {"util"}},
+      {"resilience", {"failpoint", "util"}},
   };
   return kTable;
 }
@@ -818,6 +819,25 @@ std::vector<Rule> BuildRegistry() {
       "A cycle between modules means neither can be understood, tested, "
       "or replaced alone.  Acyclicity is what makes the layer table "
       "meaningful."});
+  rules.push_back(Rule{
+      "io-seam-discipline", Severity::kWarn, "robustness",
+      "Whole-program: no raw filesystem access (fstream construction, "
+      "fopen/fsync/rename, std::filesystem calls) in src/ outside the "
+      "injectable failpoint::Fs seam in src/failpoint/fs.*.",
+      nullptr,
+      {F("src/analysis/fixture.cc",
+         "#include <fstream>\n"
+         "namespace noisybeeps {\n"
+         "void SaveStats() { std::ofstream out(\"stats.txt\"); }\n"
+         "}  // namespace noisybeeps\n")},
+      "The resilience layer's crash-consistency promises are only "
+      "testable because every byte it moves goes through the Fs seam, "
+      "where a deterministic FailPlan can make the disk fill, tear, or "
+      "rot on demand.  A raw fstream or rename elsewhere in src/ is I/O "
+      "the chaos layer can never fault -- an untested failure path by "
+      "construction.  The seam itself is the third sanctioned hole in "
+      "the effect closure, beside locks and wall-clock.",
+      CheckIoSeamDiscipline});
   rules.push_back(Rule{
       "layering", Severity::kError, "architecture",
       "Every src/ module's dependencies must match the declarative layer "

@@ -32,11 +32,25 @@ bool IsWallClockFree(const std::string& name) {
          name == "localtime" || name == "gmtime" || name == "mktime";
 }
 
+// Free functions that touch the filesystem directly.  Deliberately not
+// "remove": std::remove is also the <algorithm> erase helper, and the
+// seam's own call is inside the exempt fs.cc anyway.
+bool IsRawFileIoFree(const std::string& name) {
+  return name == "fopen" || name == "fclose" || name == "fread" ||
+         name == "fwrite" || name == "fsync" || name == "fdatasync" ||
+         name == "open" || name == "close" || name == "unlink" ||
+         name == "rename";
+}
+
 }  // namespace
 
 bool IsClockSeamPath(const std::string& path) {
   return path == "src/resilience/clock.h" ||
          path == "src/resilience/clock.cc";
+}
+
+bool IsFsSeamPath(const std::string& path) {
+  return path == "src/failpoint/fs.h" || path == "src/failpoint/fs.cc";
 }
 
 std::string EffectName(unsigned effect) {
@@ -50,6 +64,7 @@ std::string EffectName(unsigned effect) {
     case kEffectTakesLock: return "takes-lock";
     case kEffectSpawnsThread: return "spawns-thread";
     case kEffectInjectedClock: return "injected-clock";
+    case kEffectRawFileIo: return "raw-file-io";
     default: return "effect-" + std::to_string(effect);
   }
 }
@@ -94,6 +109,16 @@ DirectEffects ExtractEffects(const RepoModel& repo, const FileModel& file,
         call.receiver_type.starts_with("std::unordered")) {
       add(kEffectUnorderedIter, call.line,
           call.receiver_type + "::" + call.callee);
+    }
+    if (IsRawFileIoFree(call.callee) &&
+        ((call.kind == CallKind::kFree && call.qualifier.empty()) ||
+         (call.kind == CallKind::kQualified && call.qualifier == "std"))) {
+      add(kEffectRawFileIo, call.line,
+          call.qualifier.empty() ? call.callee : "std::" + call.callee);
+    }
+    // std::filesystem::exists / fs::remove / ... (namespace alias included).
+    if (call.qualifier.ends_with("filesystem") || call.qualifier == "fs") {
+      add(kEffectRawFileIo, call.line, call.qualifier + "::" + call.callee);
     }
   }
 
@@ -183,6 +208,16 @@ DirectEffects ExtractEffects(const RepoModel& repo, const FileModel& file,
         (t.text == "thread" || t.text == "jthread") && i >= 2 &&
         tok(i - 1).text == "::" && tok(i - 2).text == "std") {
       add(kEffectSpawnsThread, t.line, "std::" + t.text);
+      continue;
+    }
+
+    // File-stream construction is raw filesystem access even when no
+    // method call is visible (RAII open on construction).
+    if (t.kind == TokenKind::kIdentifier &&
+        (t.text == "ofstream" || t.text == "ifstream" ||
+         t.text == "fstream") &&
+        i >= 2 && tok(i - 1).text == "::" && tok(i - 2).text == "std") {
+      add(kEffectRawFileIo, t.line, "std::" + t.text);
       continue;
     }
 
@@ -329,7 +364,8 @@ ProgramAnalysis ProgramAnalysis::Build(
   }
 
   // Fixed point: callers inherit callee effects.  Lock acquisition stays
-  // local; wall clock stops at the injectable seam.
+  // local; wall clock stops at the injectable clock seam; raw file I/O
+  // stops at the injectable filesystem seam.
   bool changed = true;
   while (changed) {
     changed = false;
@@ -339,6 +375,9 @@ ProgramAnalysis ProgramAnalysis::Build(
           unsigned inherit = analysis.effects_[callee] & ~kEffectTakesLock;
           if (IsClockSeamPath(nodes[callee].path)) {
             inherit &= ~kEffectWallClock;
+          }
+          if (IsFsSeamPath(nodes[callee].path)) {
+            inherit &= ~kEffectRawFileIo;
           }
           const unsigned fresh = inherit & ~analysis.effects_[caller];
           if (fresh == 0) continue;

@@ -49,6 +49,7 @@ inline constexpr unsigned kEffectWritesShared = 1u << 5;  // globals/statics
 inline constexpr unsigned kEffectTakesLock = 1u << 6;
 inline constexpr unsigned kEffectSpawnsThread = 1u << 7;
 inline constexpr unsigned kEffectInjectedClock = 1u << 8;  // Clock::NowMillis
+inline constexpr unsigned kEffectRawFileIo = 1u << 9;      // fstream/fopen/...
 
 // "wall-clock", "writes-shared", ... for one bit (diagnostics).
 [[nodiscard]] std::string EffectName(unsigned effect);
@@ -56,6 +57,10 @@ inline constexpr unsigned kEffectInjectedClock = 1u << 8;  // Clock::NowMillis
 // True for src/resilience/clock.{h,cc} -- the injectable-clock seam, the
 // only place in src/ allowed to touch raw OS clocks.
 [[nodiscard]] bool IsClockSeamPath(const std::string& path);
+
+// True for src/failpoint/fs.{h,cc} -- the injectable-filesystem seam, the
+// only place in src/ allowed to touch the filesystem directly.
+[[nodiscard]] bool IsFsSeamPath(const std::string& path);
 
 // Why a node holds an effect DIRECTLY.
 struct EffectOrigin {

@@ -166,4 +166,24 @@ void CheckLayeringReachability(const ProgramAnalysis& analysis,
   }
 }
 
+void CheckIoSeamDiscipline(const ProgramAnalysis& analysis,
+                           std::vector<Finding>& out) {
+  const std::vector<CallNode>& nodes = analysis.graph().nodes();
+  for (std::size_t n = 0; n < nodes.size(); ++n) {
+    const CallNode& node = nodes[n];
+    if (!node.path.starts_with("src/")) continue;
+    if (IsFsSeamPath(node.path)) continue;
+    if ((analysis.DirectEffectsOf(n) & kEffectRawFileIo) == 0) continue;
+    for (const EffectOrigin& origin : analysis.OriginsOf(n)) {
+      if (origin.effect != kEffectRawFileIo) continue;
+      out.push_back(
+          {node.path, origin.line, "io-seam-discipline",
+           "raw filesystem access (" + origin.detail + ") in " +
+               node.qualified_name +
+               "; src/ must go through the injectable failpoint::Fs seam in "
+               "src/failpoint/fs.h so I/O faults stay injectable"});
+    }
+  }
+}
+
 }  // namespace noisybeeps::lint

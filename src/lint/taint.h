@@ -1,7 +1,8 @@
-// The three whole-program rule families, implemented over ProgramAnalysis
+// The whole-program rule families, implemented over ProgramAnalysis
 // (summary.h).  Registered in rules.cc as `determinism-taint`,
-// `shared-state-discipline`, and `layering-reachability`; the engine
-// (lint.h) invokes them once per run in whole-program mode.
+// `shared-state-discipline`, `layering-reachability`, and
+// `io-seam-discipline`; the engine (lint.h) invokes them once per run in
+// whole-program mode.
 //
 // determinism-taint.  The repo's replay guarantees (bit-identical trials
 // across worker counts, bit-identical kill-and-resume) hold only if the
@@ -31,6 +32,15 @@
 // through a same-module header or a forward declaration with no
 // witnessing #include.  kMethodUnion edges are skipped -- guessing a
 // receiver's class must not invent architecture violations.
+//
+// io-seam-discipline.  The resilience layer's crash-consistency promises
+// are only testable because ALL of its file I/O flows through the
+// injectable failpoint::Fs seam (src/failpoint/fs.h) -- the third
+// sanctioned hole beside locks and wall-clock.  The rule reports every
+// DIRECT raw filesystem access (fstream construction, fopen/fsync/rename,
+// std::filesystem calls) in src/ outside src/failpoint/fs.*; callers of
+// the seam are clean because the fixed point strips kEffectRawFileIo at
+// the seam boundary.
 #ifndef NOISYBEEPS_LINT_TAINT_H_
 #define NOISYBEEPS_LINT_TAINT_H_
 
@@ -57,6 +67,8 @@ void CheckSharedStateDiscipline(const ProgramAnalysis& analysis,
                                 std::vector<Finding>& out);
 void CheckLayeringReachability(const ProgramAnalysis& analysis,
                                std::vector<Finding>& out);
+void CheckIoSeamDiscipline(const ProgramAnalysis& analysis,
+                           std::vector<Finding>& out);
 
 }  // namespace noisybeeps::lint
 

@@ -1,11 +1,10 @@
 #include "resilience/checkpoint.h"
 
 #include <bit>
-#include <cstdio>
-#include <filesystem>
-#include <fstream>
 #include <sstream>
 #include <string_view>
+
+#include "failpoint/fs.h"
 
 namespace noisybeeps::resilience {
 namespace {
@@ -161,32 +160,56 @@ TrialCheckpoint TrialCheckpoint::Parse(std::string_view bytes) {
   return checkpoint;
 }
 
-void WriteCheckpointAtomic(const std::string& path,
+void WriteCheckpointAtomic(failpoint::Fs& fs, const std::string& path,
                            const TrialCheckpoint& checkpoint) {
   const std::string bytes = checkpoint.Serialize();
   const std::string tmp_path = path + ".tmp";
-  {
-    std::ofstream out(tmp_path, std::ios::binary | std::ios::trunc);
-    if (!out) Fail("cannot open " + tmp_path + " for writing");
-    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
-    out.flush();
-    if (!out) Fail("short write to " + tmp_path);
+  // The failed or partially-written temp file must never leak -- but only
+  // ordinary FsError triggers cleanup: an InjectedCrash is a simulated
+  // kill, and a dead process runs no unlink.
+  try {
+    fs.WriteFile(tmp_path, bytes);
+    // Sync before rename: rename(2) orders the directory entry, not the
+    // data blocks, so without this a post-rename crash could publish a
+    // checkpoint whose payload never reached stable storage.
+    fs.SyncFile(tmp_path);
+  } catch (const failpoint::FsError& e) {
+    try {
+      fs.RemoveFile(tmp_path);
+    } catch (const failpoint::FsError&) {  // NOLINT(bugprone-empty-catch)
+      // Best effort; the original fault is the one worth reporting.
+    }
+    Fail("cannot write " + tmp_path + ": " + e.what());
   }
   // rename(2) is atomic within a filesystem: a crash leaves either the old
   // checkpoint or the new one, never a torn file.
-  if (std::rename(tmp_path.c_str(), path.c_str()) != 0) {
-    Fail("cannot rename " + tmp_path + " onto " + path);
+  try {
+    fs.RenameFile(tmp_path, path);
+  } catch (const failpoint::FsError& e) {
+    try {
+      fs.RemoveFile(tmp_path);
+    } catch (const failpoint::FsError&) {  // NOLINT(bugprone-empty-catch)
+    }
+    Fail("cannot rename " + tmp_path + " onto " + path + ": " + e.what());
   }
 }
 
-std::optional<TrialCheckpoint> LoadCheckpoint(const std::string& path) {
-  if (!std::filesystem::exists(path)) return std::nullopt;
-  std::ifstream in(path, std::ios::binary);
-  if (!in) Fail("cannot read " + path);
-  std::ostringstream content;
-  content << in.rdbuf();
+void WriteCheckpointAtomic(const std::string& path,
+                           const TrialCheckpoint& checkpoint) {
+  WriteCheckpointAtomic(*failpoint::RealFs::Instance(), path, checkpoint);
+}
+
+std::optional<TrialCheckpoint> LoadCheckpoint(failpoint::Fs& fs,
+                                              const std::string& path) {
+  std::optional<std::string> content;
   try {
-    return TrialCheckpoint::Parse(content.str());
+    content = fs.ReadFile(path);
+  } catch (const failpoint::FsError& e) {
+    Fail("cannot read " + path + ": " + e.what());
+  }
+  if (!content.has_value()) return std::nullopt;
+  try {
+    return TrialCheckpoint::Parse(*content);
   } catch (const std::exception& e) {
     // Re-wrap with the file path so the operator knows which file rotted.
     // CheckpointError's own "checkpoint: " prefix is stripped (when
@@ -198,6 +221,10 @@ std::optional<TrialCheckpoint> LoadCheckpoint(const std::string& path) {
     }
     Fail(std::string(what) + " in " + path);
   }
+}
+
+std::optional<TrialCheckpoint> LoadCheckpoint(const std::string& path) {
+  return LoadCheckpoint(*failpoint::RealFs::Instance(), path);
 }
 
 }  // namespace noisybeeps::resilience

@@ -16,11 +16,17 @@
 //   (failure, backoff_millis) per attempt | payload_size | payload bytes
 //
 // Durability: WriteCheckpointAtomic is the ONLY sanctioned writer (nblint
-// rule checkpoint-atomicity): it writes "<path>.tmp" then renames, so a
-// SIGKILL at any instant leaves either the previous checkpoint or the new
-// one, never a torn file.  Loading is loud: a truncated, corrupt,
-// mismatched, or future-versioned file throws CheckpointError rather than
-// silently restarting the sweep.
+// rule checkpoint-atomicity): it writes "<path>.tmp", syncs it to stable
+// storage, then renames, so a SIGKILL at any instant leaves either the
+// previous checkpoint or the new one, never a torn file -- and a fault at
+// any step unlinks the temp file before reporting.  Loading is loud: a
+// truncated, corrupt, mismatched, or future-versioned file throws
+// CheckpointError rather than silently restarting the sweep.
+//
+// All I/O goes through the failpoint::Fs seam (failpoint/fs.h, enforced
+// by the whole-program nblint rule io-seam-discipline), so every one of
+// these promises is testable under injected faults; the Fs-less
+// overloads below delegate to RealFs.
 #ifndef NOISYBEEPS_RESILIENCE_CHECKPOINT_H_
 #define NOISYBEEPS_RESILIENCE_CHECKPOINT_H_
 
@@ -32,6 +38,7 @@
 #include <string_view>
 #include <vector>
 
+#include "failpoint/fs.h"
 #include "resilience/outcome.h"
 
 namespace noisybeeps::resilience {
@@ -103,13 +110,22 @@ struct TrialCheckpoint {
                          const TrialCheckpoint&) = default;
 };
 
-// Writes serialized bytes to "<path>.tmp", then renames onto `path`
-// (atomic on POSIX).  Throws CheckpointError on any IO failure.
+// Writes serialized bytes to "<path>.tmp", syncs them to stable storage,
+// then renames onto `path` (atomic on POSIX).  On an I/O fault at any
+// step the temp file is unlinked (best effort) before a CheckpointError
+// is thrown; an InjectedCrash (simulated kill) always propagates
+// untouched.
+void WriteCheckpointAtomic(failpoint::Fs& fs, const std::string& path,
+                           const TrialCheckpoint& checkpoint);
+// Same, against the real filesystem.
 void WriteCheckpointAtomic(const std::string& path,
                            const TrialCheckpoint& checkpoint);
 
 // Loads and parses `path`.  A missing file returns nullopt (fresh start);
 // an unreadable or corrupt file throws CheckpointError.
+[[nodiscard]] std::optional<TrialCheckpoint> LoadCheckpoint(
+    failpoint::Fs& fs, const std::string& path);
+// Same, against the real filesystem.
 [[nodiscard]] std::optional<TrialCheckpoint> LoadCheckpoint(
     const std::string& path);
 

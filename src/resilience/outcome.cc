@@ -84,7 +84,9 @@ std::string FormatRunReport(const RunReport& report) {
      << report.timeouts << " exception=" << report.exceptions
      << " degraded_verdict=" << report.degraded_verdicts << "]"
      << " resumed=" << report.resumed_trials
-     << " checkpoints=" << report.checkpoints_written;
+     << " checkpoints=" << report.checkpoints_written
+     << " io[quarantined=" << report.checkpoints_quarantined
+     << " write_failures=" << report.checkpoint_write_failures << "]";
   return os.str();
 }
 

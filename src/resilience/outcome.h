@@ -100,7 +100,13 @@ struct RunReport {
   // -- execution metadata (NOT covered by Fingerprint: legitimately differs
   //    between an uninterrupted run and an interrupted-then-resumed one) --
   std::int64_t resumed_trials = 0;
-  std::int64_t checkpoints_written = 0;
+  std::int64_t checkpoints_written = 0;  // successful writes only
+  // I/O-fault taxonomy (failpoint layer / real-world bit rot): checkpoints
+  // quarantined as "<path>.corrupt" and recomputed, and checkpoint writes
+  // that failed without stopping the run.  Metadata, not fingerprinted: a
+  // degraded run must still PROVE bit-identical results via Fingerprint().
+  std::int64_t checkpoints_quarantined = 0;
+  std::int64_t checkpoint_write_failures = 0;
 
   // FNV-1a over the deterministic fields only: byte-identical between a
   // clean run and any interrupt/resume schedule at any worker count.
@@ -114,7 +120,8 @@ struct RunReport {
     const std::vector<TrialLedger>& ledgers);
 
 // "completed=9/10 retried=2 abandoned=1 attempts=13 failures[timeout=1
-// exception=0 degraded_verdict=3] resumed=4 checkpoints=2"
+// exception=0 degraded_verdict=3] resumed=4 checkpoints=2
+// io[quarantined=0 write_failures=0]"
 [[nodiscard]] std::string FormatRunReport(const RunReport& report);
 
 }  // namespace noisybeeps::resilience

@@ -18,6 +18,16 @@
 // TrialFailure::kException and the trial retried with a perturbed seed; if
 // the FINAL attempt still throws, the exception propagates (a persistent
 // failure must stop the run loudly, not fabricate data).
+//
+// Checkpoint I/O degrades gracefully instead of failing the run: an
+// unreadable or corrupt checkpoint is quarantined (renamed "<path>.corrupt")
+// and the trials recomputed; a failed checkpoint WRITE is counted and the
+// run continues with reduced durability.  Both show up in the RunReport's
+// I/O-fault taxonomy.  Only checkpoints from a DIFFERENT sweep (config
+// hash / parent seed / trial count mismatch) still throw CheckpointError --
+// that is operator error, not bit rot.  All I/O flows through the
+// injectable failpoint::Fs seam (ResilienceOptions.fs), so every one of
+// these paths is exercised under deterministic fault plans.
 #ifndef NOISYBEEPS_RESILIENCE_RESILIENT_TRIALS_H_
 #define NOISYBEEPS_RESILIENCE_RESILIENT_TRIALS_H_
 
@@ -32,6 +42,7 @@
 #include <utility>
 #include <vector>
 
+#include "failpoint/fs.h"
 #include "resilience/checkpoint.h"
 #include "resilience/clock.h"
 #include "resilience/outcome.h"
@@ -68,6 +79,9 @@ struct ResilienceOptions {
   // Injectable clock for wall budgets and backoff sleeps; null = the
   // shared SteadyClock.
   const Clock* clock = nullptr;
+  // Injectable filesystem for ALL checkpoint I/O; null = the shared
+  // RealFs.  Point it at a failpoint::FaultingFs to chaos-test a run.
+  failpoint::Fs* fs = nullptr;
   // Testing/soak hook: throw RunInterrupted after this many checkpoint
   // writes if trials remain (0 = never).  Simulates preemption at a
   // deterministic point.
@@ -102,6 +116,7 @@ RunOutput<Result> ResilientTrials(int num_trials, Rng& rng, Body&& body,
   NB_REQUIRE(opts.halt_after_checkpoints >= 0,
              "halt_after_checkpoints must be >= 0 (0 = never halt)");
   const Clock* clock = opts.clock ? opts.clock : SteadyClock::Instance();
+  failpoint::Fs* fs = opts.fs ? opts.fs : failpoint::RealFs::Instance();
   const std::array<std::uint64_t, 4> entry_state = rng.SaveState();
   const std::vector<Rng> trial_rngs = SplitTrialRngs(num_trials, rng);
 
@@ -111,12 +126,23 @@ RunOutput<Result> ResilientTrials(int num_trials, Rng& rng, Body&& body,
 
   // Resume: decode completed trials from an existing checkpoint after
   // verifying it belongs to THIS sweep (same config, same parent state,
-  // same trial count).
+  // same trial count).  Bit rot -- an unreadable file, a bad checksum, a
+  // payload that will not decode -- is quarantined and the run falls back
+  // to recomputing; only a checkpoint from a DIFFERENT sweep throws,
+  // because silently discarding an operator's mistake would be worse than
+  // stopping.  InjectedCrash (simulated kill) always propagates.
   std::int64_t resumed = 0;
+  std::int64_t checkpoints_quarantined = 0;
   const bool checkpointing = !opts.checkpoint_path.empty();
   if (checkpointing) {
-    if (std::optional<TrialCheckpoint> loaded =
-            LoadCheckpoint(opts.checkpoint_path)) {
+    std::optional<TrialCheckpoint> loaded;
+    bool quarantine = false;
+    try {
+      loaded = LoadCheckpoint(*fs, opts.checkpoint_path);
+    } catch (const CheckpointError&) {
+      quarantine = true;
+    }
+    if (loaded.has_value()) {
       if (loaded->config_hash != opts.config_hash) {
         throw CheckpointError(
             "config hash mismatch: " + opts.checkpoint_path +
@@ -133,11 +159,29 @@ RunOutput<Result> ResilientTrials(int num_trials, Rng& rng, Body&& body,
             std::to_string(loaded->num_trials) + " trials, run wants " +
             std::to_string(num_trials));
       }
-      for (const TrialRecord& record : loaded->records) {
-        const auto index = static_cast<std::size_t>(record.trial_index);
-        slots[index].emplace(adapter.Decode(record.payload));
-        ledgers[index] = record.ledger;
-        ++resumed;
+      try {
+        for (const TrialRecord& record : loaded->records) {
+          const auto index = static_cast<std::size_t>(record.trial_index);
+          slots[index].emplace(adapter.Decode(record.payload));
+          ledgers[index] = record.ledger;
+          ++resumed;
+        }
+      } catch (const CheckpointError&) {
+        quarantine = true;
+      }
+    }
+    if (quarantine) {
+      // Discard any partially-decoded resume state: the run recomputes
+      // from scratch, which is slower but provably identical.
+      for (std::optional<Result>& slot : slots) slot.reset();
+      ledgers.assign(static_cast<std::size_t>(num_trials), TrialLedger{});
+      resumed = 0;
+      ++checkpoints_quarantined;
+      // Keep the rotten file for forensics, out of the resume path.
+      try {
+        fs->RenameFile(opts.checkpoint_path, opts.checkpoint_path + ".corrupt");
+      } catch (const failpoint::FsError&) {  // NOLINT(bugprone-empty-catch)
+        // Best effort; a fresh write will replace it anyway.
       }
     }
   }
@@ -201,7 +245,7 @@ RunOutput<Result> ResilientTrials(int num_trials, Rng& rng, Body&& body,
       checkpoint.records.push_back(TrialRecord{
           t, ledgers[index], adapter.Encode(*slots[index])});
     }
-    WriteCheckpointAtomic(opts.checkpoint_path, checkpoint);
+    WriteCheckpointAtomic(*fs, opts.checkpoint_path, checkpoint);
   };
 
   const int batch_size =
@@ -209,6 +253,7 @@ RunOutput<Result> ResilientTrials(int num_trials, Rng& rng, Body&& body,
           ? opts.checkpoint_every
           : (pending.empty() ? 1 : static_cast<int>(pending.size()));
   std::int64_t checkpoints_written = 0;
+  std::int64_t checkpoint_write_failures = 0;
   for (std::size_t begin = 0; begin < pending.size();
        begin += static_cast<std::size_t>(batch_size)) {
     const std::size_t end =
@@ -226,8 +271,16 @@ RunOutput<Result> ResilientTrials(int num_trials, Rng& rng, Body&& body,
       ledgers[index] = std::move(batch[i].second);
     }
     if (checkpointing) {
-      write_checkpoint();
-      ++checkpoints_written;
+      // A failed write costs durability, never results: count it and keep
+      // computing.  halt_after_checkpoints counts SUCCESSFUL writes (the
+      // soak contract: after a halt, a resumable checkpoint exists).
+      // InjectedCrash is not a CheckpointError and kills the run here.
+      try {
+        write_checkpoint();
+        ++checkpoints_written;
+      } catch (const CheckpointError&) {
+        ++checkpoint_write_failures;
+      }
       if (opts.halt_after_checkpoints > 0 &&
           checkpoints_written >= opts.halt_after_checkpoints &&
           end < pending.size()) {
@@ -243,6 +296,8 @@ RunOutput<Result> ResilientTrials(int num_trials, Rng& rng, Body&& body,
   out.report = ReportFromLedgers(ledgers);
   out.report.resumed_trials = resumed;
   out.report.checkpoints_written = checkpoints_written;
+  out.report.checkpoints_quarantined = checkpoints_quarantined;
+  out.report.checkpoint_write_failures = checkpoint_write_failures;
   out.results.reserve(static_cast<std::size_t>(num_trials));
   for (std::optional<Result>& slot : slots) {
     out.results.push_back(std::move(*slot));

@@ -17,10 +17,16 @@
 
 #include <cstdint>
 #include <cstring>
+#include <filesystem>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "channel/correlated.h"
+#include "failpoint/fail_plan.h"
+#include "failpoint/fs.h"
+#include "resilience/checkpoint.h"
+#include "resilience/resilient_trials.h"
 #include "coding/beep_code.h"
 #include "coding/chunk_sim.h"
 #include "coding/hierarchical_sim.h"
@@ -270,6 +276,77 @@ TEST(DeterminismAudit, InputSetProgressMeasure) {
     fp.Mix(zeta.event_good ? 1 : 0);
     return fp.value();
   });
+}
+
+// Chaos extension of the audit: a checkpointed sweep under a FaultingFs
+// fail plan.  All checkpoint I/O happens on the engine's main thread
+// between batches, so fault hit indices -- and therefore the injected
+// fault SEQUENCE, not just the maths -- must be bit-identical at every
+// worker count.  Same seed + same plan ==> same results, same report
+// fingerprint, same per-spec fire counts.
+TEST(DeterminismAudit, FaultingFsChaosWorkload) {
+  namespace stdfs = std::filesystem;
+  using resilience::ResilienceOptions;
+  using resilience::ResilientTrials;
+  using resilience::RunOutput;
+
+  struct U64Adapter {
+    [[nodiscard]] std::string Encode(const std::uint64_t& v) const {
+      std::string out;
+      resilience::AppendU64(out, v);
+      return out;
+    }
+    [[nodiscard]] std::uint64_t Decode(std::string_view bytes) const {
+      resilience::ByteReader reader(bytes);
+      return reader.U64();
+    }
+    [[nodiscard]] resilience::TrialAssessment Assess(
+        const std::uint64_t&) const {
+      return {};
+    }
+  };
+  const auto body = [](int t, Rng& rng) {
+    return rng.NextU64() ^ static_cast<std::uint64_t>(t);
+  };
+  // Every degrade kind at once: a short write, a rejected rename, a
+  // refused write, and latency on every sync.
+  const failpoint::FailPlan plan = failpoint::FailPlan::Parse(
+      "enospc:write@1:0.5;fail:rename@2;fail:write@4;latency:sync@0-*:3",
+      909);
+
+  std::vector<std::uint64_t> first_results;
+  std::uint64_t first_fingerprint = 0;
+  std::vector<std::int64_t> first_fires;
+  for (int workers : {1, 2, 4}) {
+    const std::string path =
+        (stdfs::path(::testing::TempDir()) /
+         ("chaos_audit_" + std::to_string(workers) + ".nbckpt"))
+            .string();
+    stdfs::remove(path);
+    failpoint::FaultingFs fault_fs(failpoint::RealFs::Instance(), plan);
+    ResilienceOptions opts;
+    opts.checkpoint_path = path;
+    opts.checkpoint_every = 2;
+    opts.config_hash = resilience::Fnv1a64("chaos-audit");
+    opts.num_workers = workers;
+    opts.fs = &fault_fs;
+    Rng rng(808);
+    const RunOutput<std::uint64_t> run =
+        ResilientTrials(10, rng, body, U64Adapter{}, opts);
+    EXPECT_GT(fault_fs.TotalInjected(), 0) << workers;  // not vacuous
+    if (workers == 1) {
+      first_results = run.results;
+      first_fingerprint = run.report.Fingerprint();
+      first_fires = fault_fs.SpecFires();
+      continue;
+    }
+    EXPECT_EQ(run.results, first_results)
+        << workers << " workers: chaos perturbed the results";
+    EXPECT_EQ(run.report.Fingerprint(), first_fingerprint) << workers;
+    EXPECT_EQ(fault_fs.SpecFires(), first_fires)
+        << workers << " workers: the injected fault sequence diverged";
+    stdfs::remove(path);
+  }
 }
 
 // The audit's own sanity check: a body that (wrongly) reads shared mutable

@@ -1,0 +1,273 @@
+// The Fs seam: RealFs against the actual filesystem, and FaultingFs's
+// injection semantics -- per-kind behaviour, first-match resolution, hit
+// counting, fire accounting, and the determinism of corrupt byte flips.
+#include "failpoint/fs.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "failpoint/fail_plan.h"
+
+namespace noisybeeps::failpoint {
+namespace {
+
+namespace stdfs = std::filesystem;
+
+std::string TempPath(const std::string& name) {
+  return (stdfs::path(::testing::TempDir()) / name).string();
+}
+
+// An in-memory Fs: deterministic, no disk, and easy to inspect.  The
+// FaultingFs tests wrap this so they exercise injection logic only.
+class MemFs final : public Fs {
+ public:
+  [[nodiscard]] std::optional<std::string> ReadFile(
+      const std::string& path) override {
+    const auto it = files_.find(path);
+    if (it == files_.end()) return std::nullopt;
+    return it->second;
+  }
+  void WriteFile(const std::string& path, std::string_view contents) override {
+    files_[path] = std::string(contents);
+  }
+  void SyncFile(const std::string& path) override {
+    if (files_.count(path) == 0) throw FsError("cannot open " + path);
+    ++syncs_;
+  }
+  void RenameFile(const std::string& from, const std::string& to) override {
+    const auto it = files_.find(from);
+    if (it == files_.end()) throw FsError("cannot rename " + from);
+    files_[to] = it->second;
+    files_.erase(it);
+  }
+  void RemoveFile(const std::string& path) override { files_.erase(path); }
+
+  std::map<std::string, std::string> files_;
+  int syncs_ = 0;
+};
+
+TEST(RealFs, ReadOfMissingFileIsNullopt) {
+  EXPECT_FALSE(
+      RealFs::Instance()->ReadFile(TempPath("no_such_file")).has_value());
+}
+
+TEST(RealFs, WriteReadSyncRoundTrip) {
+  RealFs* fs = RealFs::Instance();
+  const std::string path = TempPath("realfs_roundtrip");
+  const std::string payload("binary\0payload\xff\n", 16);
+  fs->WriteFile(path, payload);
+  fs->SyncFile(path);
+  const auto back = fs->ReadFile(path);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, payload);
+  fs->RemoveFile(path);
+  EXPECT_FALSE(fs->ReadFile(path).has_value());
+}
+
+TEST(RealFs, RenameReplacesTarget) {
+  RealFs* fs = RealFs::Instance();
+  const std::string from = TempPath("realfs_from");
+  const std::string to = TempPath("realfs_to");
+  fs->WriteFile(from, "new");
+  fs->WriteFile(to, "old");
+  fs->RenameFile(from, to);
+  EXPECT_FALSE(fs->ReadFile(from).has_value());
+  EXPECT_EQ(fs->ReadFile(to).value_or(""), "new");
+  fs->RemoveFile(to);
+}
+
+TEST(RealFs, RemoveOfMissingFileIsNoOp) {
+  EXPECT_NO_THROW(RealFs::Instance()->RemoveFile(TempPath("no_such_file")));
+}
+
+TEST(RealFs, ErrorsNameThePath) {
+  try {
+    RealFs::Instance()->SyncFile(TempPath("no_such_file"));
+    FAIL() << "sync of a missing file must throw";
+  } catch (const FsError& e) {
+    EXPECT_NE(std::string(e.what()).find("no_such_file"), std::string::npos)
+        << e.what();
+  }
+  EXPECT_THROW(RealFs::Instance()->RenameFile(TempPath("no_such_file"),
+                                              TempPath("elsewhere")),
+               FsError);
+}
+
+TEST(FaultingFs, EmptyPlanIsCountingPassThrough) {
+  MemFs mem;
+  FaultingFs fs(&mem);
+  fs.WriteFile("a", "one");
+  fs.WriteFile("b", "two");
+  fs.SyncFile("a");
+  fs.RenameFile("a", "c");
+  EXPECT_EQ(fs.ReadFile("c").value_or(""), "one");
+  fs.RemoveFile("b");
+  EXPECT_EQ(fs.HitCount(FailOp::kWrite), 2);
+  EXPECT_EQ(fs.HitCount(FailOp::kSync), 1);
+  EXPECT_EQ(fs.HitCount(FailOp::kRename), 1);
+  EXPECT_EQ(fs.HitCount(FailOp::kRead), 1);
+  EXPECT_EQ(fs.HitCount(FailOp::kRemove), 1);
+  EXPECT_EQ(fs.TotalInjected(), 0);
+}
+
+TEST(FaultingFs, FailThrowsWithoutTouchingTheFile) {
+  MemFs mem;
+  mem.files_["f"] = "intact";
+  FaultingFs fs(&mem, FailPlan().Fail(FailOp::kWrite, 0, 0));
+  EXPECT_THROW(fs.WriteFile("f", "clobbered"), FsError);
+  EXPECT_EQ(mem.files_.at("f"), "intact");
+  // The window closed at hit 0; hit 1 goes through.
+  fs.WriteFile("f", "updated");
+  EXPECT_EQ(mem.files_.at("f"), "updated");
+  EXPECT_EQ(fs.SpecFires().at(0), 1);
+  EXPECT_EQ(fs.TotalInjected(), 1);
+}
+
+TEST(FaultingFs, EnospcLandsPrefixThenThrows) {
+  MemFs mem;
+  FaultingFs fs(&mem, FailPlan().Enospc(0, 0, 0.5));
+  try {
+    fs.WriteFile("f", "12345678");
+    FAIL() << "enospc must throw";
+  } catch (const FsError& e) {
+    EXPECT_NE(std::string(e.what()).find("no space left"), std::string::npos)
+        << e.what();
+  }
+  EXPECT_EQ(mem.files_.at("f"), "1234");  // half the bytes landed
+}
+
+TEST(FaultingFs, TornWriteLandsPrefixThenCrashes) {
+  MemFs mem;
+  FaultingFs fs(&mem, FailPlan().Torn(0, 0, 0.25));
+  EXPECT_THROW(fs.WriteFile("f", "12345678"), InjectedCrash);
+  EXPECT_EQ(mem.files_.at("f"), "12");
+}
+
+TEST(FaultingFs, CrashFiresBeforeTheOperation) {
+  MemFs mem;
+  mem.files_["f"] = "intact";
+  FaultingFs fs(&mem, FailPlan().Crash(FailOp::kRemove, 0));
+  EXPECT_THROW(fs.RemoveFile("f"), InjectedCrash);
+  EXPECT_EQ(mem.files_.count("f"), 1u) << "crash precedes the remove";
+}
+
+TEST(FaultingFs, InjectedCrashIsNotAnFsError) {
+  MemFs mem;
+  FaultingFs fs(&mem, FailPlan().Crash(FailOp::kSync, 0));
+  mem.files_["f"] = "x";
+  // Recovery code catching FsError must NOT swallow a simulated kill.
+  try {
+    fs.SyncFile("f");
+    FAIL() << "crash must throw";
+  } catch (const FsError&) {
+    FAIL() << "InjectedCrash must not be catchable as FsError";
+  } catch (const InjectedCrash&) {
+    // the only acceptable exit
+  }
+}
+
+TEST(FaultingFs, TruncateReturnsSilentPrefix) {
+  MemFs mem;
+  mem.files_["f"] = "12345678";
+  FaultingFs fs(&mem, FailPlan().Truncate(0, 0, 0.5));
+  EXPECT_EQ(fs.ReadFile("f").value_or(""), "1234");
+  // Next read is past the window and sees the whole file.
+  EXPECT_EQ(fs.ReadFile("f").value_or(""), "12345678");
+}
+
+TEST(FaultingFs, TruncateOfMissingFileDoesNotFire) {
+  MemFs mem;
+  FaultingFs fs(&mem, FailPlan().Truncate(0, FailSpec::kNoLastHit, 0.5));
+  EXPECT_FALSE(fs.ReadFile("ghost").has_value());
+  EXPECT_EQ(fs.SpecFires().at(0), 0) << "nothing to damage, nothing fired";
+  EXPECT_EQ(fs.TotalInjected(), 0);
+  EXPECT_EQ(fs.HitCount(FailOp::kRead), 1) << "the hit still counts";
+}
+
+TEST(FaultingFs, CorruptFlipsDeterministically) {
+  const std::string original(64, 'A');
+  const auto read_corrupted = [&](std::uint64_t seed) {
+    MemFs mem;
+    mem.files_["f"] = original;
+    FaultingFs fs(&mem, FailPlan(seed).Corrupt(0, 0, 4));
+    return fs.ReadFile("f").value_or("");
+  };
+  const std::string once = read_corrupted(7);
+  EXPECT_NE(once, original);
+  EXPECT_EQ(once.size(), original.size());
+  int diffs = 0;
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    diffs += (once[i] != original[i]) ? 1 : 0;
+  }
+  EXPECT_GE(diffs, 1);
+  EXPECT_LE(diffs, 4);  // flips can collide on a position
+  // Same plan seed, same damage; a different seed rots differently.
+  EXPECT_EQ(read_corrupted(7), once);
+  EXPECT_NE(read_corrupted(8), once);
+}
+
+TEST(FaultingFs, CorruptOfEmptyFileDoesNotFire) {
+  MemFs mem;
+  mem.files_["f"] = "";
+  FaultingFs fs(&mem, FailPlan().Corrupt(0, 0, 2));
+  EXPECT_EQ(fs.ReadFile("f").value_or("x"), "");
+  EXPECT_EQ(fs.SpecFires().at(0), 0);
+}
+
+TEST(FaultingFs, LatencyRecordsAndCallsSleeper) {
+  MemFs mem;
+  FaultingFs fs(&mem, FailPlan().Latency(FailOp::kWrite, 0, 2, 20));
+  std::vector<std::int64_t> slept;
+  fs.SetSleeper([&](std::int64_t ms) { slept.push_back(ms); });
+  fs.WriteFile("f", "a");
+  fs.WriteFile("f", "b");
+  EXPECT_EQ(mem.files_.at("f"), "b") << "latency must not lose the write";
+  EXPECT_EQ(fs.InjectedLatencyMillis(), 40);
+  EXPECT_EQ(slept, (std::vector<std::int64_t>{20, 20}));
+  EXPECT_EQ(fs.SpecFires().at(0), 2);
+}
+
+TEST(FaultingFs, FirstMatchingSpecWins) {
+  MemFs mem;
+  mem.files_["f"] = "intact";
+  FailPlan plan;
+  plan.Latency(FailOp::kWrite, 0, FailSpec::kNoLastHit, 5)
+      .Fail(FailOp::kWrite, 0, FailSpec::kNoLastHit);
+  FaultingFs fs(&mem, plan);
+  fs.WriteFile("f", "updated");  // latency, not failure
+  EXPECT_EQ(mem.files_.at("f"), "updated");
+  EXPECT_EQ(fs.SpecFires().at(0), 1);
+  EXPECT_EQ(fs.SpecFires().at(1), 0);
+}
+
+TEST(FaultingFs, HitWindowsSelectSpecificInvocations) {
+  MemFs mem;
+  FaultingFs fs(&mem, FailPlan().Fail(FailOp::kWrite, 1, 2));
+  fs.WriteFile("f", "hit0");
+  EXPECT_THROW(fs.WriteFile("f", "hit1"), FsError);
+  EXPECT_THROW(fs.WriteFile("f", "hit2"), FsError);
+  fs.WriteFile("f", "hit3");
+  EXPECT_EQ(mem.files_.at("f"), "hit3");
+  EXPECT_EQ(fs.HitCount(FailOp::kWrite), 4);
+  EXPECT_EQ(fs.SpecFires().at(0), 2);
+}
+
+TEST(FaultingFs, OpsCountIndependently) {
+  MemFs mem;
+  // A read-targeting plan must not perturb write hit numbering.
+  FaultingFs fs(&mem, FailPlan().Fail(FailOp::kRead, 0, 0));
+  fs.WriteFile("f", "x");
+  EXPECT_THROW((void)fs.ReadFile("f"), FsError);
+  EXPECT_EQ(fs.ReadFile("f").value_or(""), "x");
+  EXPECT_EQ(fs.HitCount(FailOp::kWrite), 1);
+  EXPECT_EQ(fs.HitCount(FailOp::kRead), 2);
+}
+
+}  // namespace
+}  // namespace noisybeeps::failpoint

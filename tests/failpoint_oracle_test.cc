@@ -1,0 +1,301 @@
+// The crash-consistency oracle -- the acceptance criterion of the
+// failpoint layer.  A counting FaultingFs first ENUMERATES every
+// filesystem operation a checkpointed sweep performs; the oracle then
+// simulates a crash at each one (InjectedCrash at that exact boundary)
+// and requires a faultless rerun against the surviving files to land
+// bit-identically on the uninterrupted baseline.  A companion sweep
+// injects ordinary failures (FsError) at every boundary and requires the
+// SAME run to complete gracefully with baseline results -- no wrong
+// answer, no abort.  If any failpoint can produce a silently different
+// result, these tests name it.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "failpoint/fail_plan.h"
+#include "failpoint/fs.h"
+#include "resilience/checkpoint.h"
+#include "resilience/resilient_trials.h"
+#include "util/rng.h"
+
+namespace noisybeeps::failpoint {
+namespace {
+
+namespace stdfs = std::filesystem;
+
+using resilience::ByteReader;
+using resilience::ResilienceOptions;
+using resilience::ResilientTrials;
+using resilience::RunOutput;
+using resilience::TrialAssessment;
+
+std::string TempPath(const std::string& name) {
+  return (stdfs::path(::testing::TempDir()) / name).string();
+}
+
+// A cheap stochastic trial: pure function of (trial rng, index), so any
+// resume-path divergence shows up as a changed value.
+struct Point {
+  std::uint64_t value = 0;
+  friend bool operator==(const Point&, const Point&) = default;
+};
+
+struct PointAdapter {
+  [[nodiscard]] std::string Encode(const Point& p) const {
+    std::string out;
+    resilience::AppendU64(out, p.value);
+    return out;
+  }
+  [[nodiscard]] Point Decode(std::string_view bytes) const {
+    ByteReader reader(bytes);
+    return Point{reader.U64()};
+  }
+  [[nodiscard]] TrialAssessment Assess(const Point&) const { return {}; }
+};
+
+Point Body(int t, Rng& rng) {
+  return Point{rng.NextU64() ^ static_cast<std::uint64_t>(t)};
+}
+
+constexpr int kTrials = 9;
+constexpr std::uint64_t kSeed = 321;
+
+ResilienceOptions CheckpointedOpts(const std::string& path, Fs* fs) {
+  ResilienceOptions opts;
+  opts.checkpoint_path = path;
+  opts.checkpoint_every = 2;
+  opts.config_hash = resilience::Fnv1a64("failpoint-oracle");
+  opts.num_workers = 2;
+  opts.fs = fs;
+  return opts;
+}
+
+RunOutput<Point> Baseline() {
+  ResilienceOptions opts;
+  opts.num_workers = 1;
+  Rng rng(kSeed);
+  return ResilientTrials(kTrials, rng, Body, PointAdapter{}, opts);
+}
+
+void CleanUp(const std::string& path) {
+  stdfs::remove(path);
+  stdfs::remove(path + ".tmp");
+  stdfs::remove(path + ".corrupt");
+}
+
+// Counting pass: the registered failpoints of this workload, per op.
+std::vector<std::pair<FailOp, std::int64_t>> EnumerateFailpoints() {
+  const std::string path = TempPath("oracle_enumerate.nbckpt");
+  CleanUp(path);
+  FaultingFs counter(RealFs::Instance());
+  Rng rng(kSeed);
+  (void)ResilientTrials(kTrials, rng, Body, PointAdapter{},
+                        CheckpointedOpts(path, &counter));
+  CleanUp(path);
+  std::vector<std::pair<FailOp, std::int64_t>> points;
+  for (FailOp op : {FailOp::kRead, FailOp::kWrite, FailOp::kSync,
+                    FailOp::kRename, FailOp::kRemove}) {
+    for (std::int64_t hit = 0; hit < counter.HitCount(op); ++hit) {
+      points.emplace_back(op, hit);
+    }
+  }
+  return points;
+}
+
+TEST(CrashConsistencyOracle, WorkloadRegistersEnoughFailpoints) {
+  // 9 trials at checkpoint_every=2 -> 5 checkpoints, each a
+  // write+sync+rename, plus the initial load probe.  A shrunken
+  // enumeration means the oracle below stopped proving anything.
+  const auto points = EnumerateFailpoints();
+  EXPECT_EQ(points.size(), 16u);
+}
+
+TEST(CrashConsistencyOracle, ResumeIsBitIdenticalAfterCrashAtEveryFailpoint) {
+  const RunOutput<Point> baseline = Baseline();
+  const std::string path = TempPath("oracle_crash.nbckpt");
+  for (const auto& [op, hit] : EnumerateFailpoints()) {
+    const std::string label = FailOpName(op) + "@" + std::to_string(hit);
+    CleanUp(path);
+
+    // Run 1: die exactly at this failpoint.
+    FailPlan plan;
+    plan.Crash(op, hit, hit);
+    FaultingFs fault_fs(RealFs::Instance(), plan);
+    {
+      Rng rng(kSeed);
+      EXPECT_THROW((void)ResilientTrials(kTrials, rng, Body, PointAdapter{},
+                                         CheckpointedOpts(path, &fault_fs)),
+                   InjectedCrash)
+          << label;
+    }
+    EXPECT_EQ(fault_fs.SpecFires().at(0), 1) << label;
+
+    // Run 2: "reboot" -- faultless, different worker count, resuming from
+    // whatever files the crash left behind.
+    ResilienceOptions resume_opts =
+        CheckpointedOpts(path, RealFs::Instance());
+    resume_opts.num_workers = 4;
+    Rng rng(kSeed);
+    const RunOutput<Point> resumed =
+        ResilientTrials(kTrials, rng, Body, PointAdapter{}, resume_opts);
+    EXPECT_EQ(resumed.results, baseline.results)
+        << label << ": crash-and-reboot changed per-trial results";
+    EXPECT_EQ(resumed.report.Fingerprint(), baseline.report.Fingerprint())
+        << label;
+    EXPECT_FALSE(stdfs::exists(path + ".tmp"))
+        << label << ": reboot left a torn temp file";
+  }
+  CleanUp(path);
+}
+
+TEST(CrashConsistencyOracle, RunDegradesGracefullyUnderFailureAtEveryFailpoint) {
+  const RunOutput<Point> baseline = Baseline();
+  const std::string path = TempPath("oracle_fail.nbckpt");
+  for (const auto& [op, hit] : EnumerateFailpoints()) {
+    const std::string label = FailOpName(op) + "@" + std::to_string(hit);
+    CleanUp(path);
+    FailPlan plan;
+    plan.Fail(op, hit, hit);
+    FaultingFs fault_fs(RealFs::Instance(), plan);
+    Rng rng(kSeed);
+    RunOutput<Point> run;
+    // No throw: an I/O failure must degrade the run, never kill it.
+    EXPECT_NO_THROW(run = ResilientTrials(kTrials, rng, Body, PointAdapter{},
+                                          CheckpointedOpts(path, &fault_fs)))
+        << label;
+    EXPECT_EQ(fault_fs.SpecFires().at(0), 1) << label;
+    EXPECT_EQ(run.results, baseline.results)
+        << label << ": a handled I/O failure changed per-trial results";
+    EXPECT_EQ(run.report.Fingerprint(), baseline.report.Fingerprint())
+        << label;
+    if (op == FailOp::kWrite || op == FailOp::kSync || op == FailOp::kRename) {
+      EXPECT_EQ(run.report.checkpoint_write_failures, 1) << label;
+      EXPECT_FALSE(stdfs::exists(path + ".tmp"))
+          << label << ": failed checkpoint write leaked its temp file";
+    }
+  }
+  CleanUp(path);
+}
+
+TEST(CrashConsistencyOracle, TornWritesAtEveryCheckpointAreRecoverable) {
+  // The torn kind is the classic power-loss scenario: a prefix of the new
+  // checkpoint is on disk under the .tmp name when the machine dies.  The
+  // rename never happened, so the PREVIOUS checkpoint must still resume.
+  const RunOutput<Point> baseline = Baseline();
+  const std::string path = TempPath("oracle_torn.nbckpt");
+  for (std::int64_t hit = 0; hit < 5; ++hit) {
+    for (double fraction : {0.0, 0.3, 0.9}) {
+      const std::string label =
+          "torn@" + std::to_string(hit) + ":" + std::to_string(fraction);
+      CleanUp(path);
+      FailPlan plan;
+      plan.Torn(hit, hit, fraction);
+      FaultingFs fault_fs(RealFs::Instance(), plan);
+      {
+        Rng rng(kSeed);
+        EXPECT_THROW((void)ResilientTrials(kTrials, rng, Body, PointAdapter{},
+                                           CheckpointedOpts(path, &fault_fs)),
+                     InjectedCrash)
+            << label;
+      }
+      ResilienceOptions resume_opts =
+          CheckpointedOpts(path, RealFs::Instance());
+      resume_opts.num_workers = 3;
+      Rng rng(kSeed);
+      const RunOutput<Point> resumed =
+          ResilientTrials(kTrials, rng, Body, PointAdapter{}, resume_opts);
+      EXPECT_EQ(resumed.results, baseline.results) << label;
+      EXPECT_EQ(resumed.report.Fingerprint(), baseline.report.Fingerprint())
+          << label;
+    }
+  }
+  CleanUp(path);
+}
+
+TEST(GracefulDegradation, CorruptCheckpointIsQuarantinedAndRecomputed) {
+  const RunOutput<Point> baseline = Baseline();
+  const std::string path = TempPath("oracle_quarantine.nbckpt");
+  const struct {
+    const char* label;
+    FailPlan plan;
+  } kRots[] = {
+      {"corrupt", FailPlan(11).Corrupt(0, 0, 4)},
+      {"truncate", FailPlan().Truncate(0, 0, 0.5)},
+      {"unreadable", FailPlan().Fail(FailOp::kRead, 0, 0)},
+  };
+  for (const auto& rot : kRots) {
+    CleanUp(path);
+    // Stage 1: a faultless interrupted run leaves a real checkpoint.
+    {
+      ResilienceOptions opts = CheckpointedOpts(path, RealFs::Instance());
+      opts.halt_after_checkpoints = 2;
+      Rng rng(kSeed);
+      EXPECT_THROW((void)ResilientTrials(kTrials, rng, Body, PointAdapter{},
+                                         opts),
+                   resilience::RunInterrupted)
+          << rot.label;
+    }
+    ASSERT_TRUE(stdfs::exists(path)) << rot.label;
+
+    // Stage 2: the resume read rots.  The run must quarantine the file,
+    // recompute from scratch, and still land on the baseline bits.
+    FaultingFs fault_fs(RealFs::Instance(), rot.plan);
+    ResilienceOptions opts = CheckpointedOpts(path, &fault_fs);
+    opts.num_workers = 4;
+    Rng rng(kSeed);
+    const RunOutput<Point> run =
+        ResilientTrials(kTrials, rng, Body, PointAdapter{}, opts);
+    EXPECT_EQ(fault_fs.SpecFires().at(0), 1) << rot.label;
+    EXPECT_EQ(run.results, baseline.results) << rot.label;
+    EXPECT_EQ(run.report.Fingerprint(), baseline.report.Fingerprint())
+        << rot.label;
+    EXPECT_EQ(run.report.checkpoints_quarantined, 1) << rot.label;
+    EXPECT_EQ(run.report.resumed_trials, 0)
+        << rot.label << ": a quarantined checkpoint must not resume trials";
+    EXPECT_TRUE(stdfs::exists(path + ".corrupt"))
+        << rot.label << ": the rotten file must be kept for post-mortem";
+  }
+  CleanUp(path);
+}
+
+TEST(GracefulDegradation, WriteFailuresNeverLoseTheSweep) {
+  // Every checkpoint write fails, forever: the sweep still completes with
+  // baseline results and honest accounting.
+  const RunOutput<Point> baseline = Baseline();
+  const std::string path = TempPath("oracle_all_writes_fail.nbckpt");
+  CleanUp(path);
+  FaultingFs fault_fs(RealFs::Instance(),
+                      FailPlan().Fail(FailOp::kWrite, 0));
+  Rng rng(kSeed);
+  const RunOutput<Point> run = ResilientTrials(
+      kTrials, rng, Body, PointAdapter{}, CheckpointedOpts(path, &fault_fs));
+  EXPECT_EQ(run.results, baseline.results);
+  EXPECT_EQ(run.report.Fingerprint(), baseline.report.Fingerprint());
+  EXPECT_EQ(run.report.checkpoint_write_failures, 5);
+  EXPECT_EQ(run.report.checkpoints_written, 0);
+  EXPECT_FALSE(stdfs::exists(path));
+  EXPECT_FALSE(stdfs::exists(path + ".tmp"));
+  CleanUp(path);
+}
+
+TEST(GracefulDegradation, LatencyFaultsAreAccountedButHarmless) {
+  const RunOutput<Point> baseline = Baseline();
+  const std::string path = TempPath("oracle_latency.nbckpt");
+  CleanUp(path);
+  FaultingFs fault_fs(RealFs::Instance(),
+                      FailPlan().Latency(FailOp::kWrite, 0,
+                                         FailSpec::kNoLastHit, 7));
+  Rng rng(kSeed);
+  const RunOutput<Point> run = ResilientTrials(
+      kTrials, rng, Body, PointAdapter{}, CheckpointedOpts(path, &fault_fs));
+  EXPECT_EQ(run.results, baseline.results);
+  EXPECT_EQ(fault_fs.InjectedLatencyMillis(), 5 * 7);
+  EXPECT_EQ(run.report.checkpoint_write_failures, 0);
+  CleanUp(path);
+}
+
+}  // namespace
+}  // namespace noisybeeps::failpoint

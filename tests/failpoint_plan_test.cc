@@ -1,0 +1,203 @@
+#include "failpoint/fail_plan.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+
+namespace noisybeeps::failpoint {
+namespace {
+
+TEST(FailPlan, DefaultIsEmpty) {
+  const FailPlan plan;
+  EXPECT_TRUE(plan.empty());
+  EXPECT_EQ(plan.seed(), 0u);
+  EXPECT_EQ(plan.ToString(), "");
+}
+
+TEST(FailPlan, BuilderChainsAndRecordsSpecs) {
+  FailPlan plan(7);
+  plan.Fail(FailOp::kRename, 0)
+      .Enospc(1, 3, 0.5)
+      .Torn(2, 2, 0.25)
+      .Crash(FailOp::kSync, 4)
+      .Truncate(0, 0, 0.75)
+      .Corrupt(0, 0, 3)
+      .Latency(FailOp::kWrite, 0, 9, 20);
+  ASSERT_EQ(plan.specs().size(), 7u);
+  EXPECT_EQ(plan.seed(), 7u);
+
+  const FailSpec& fail = plan.specs()[0];
+  EXPECT_EQ(fail.kind, FailKind::kFail);
+  EXPECT_EQ(fail.op, FailOp::kRename);
+  EXPECT_EQ(fail.first_hit, 0);
+  EXPECT_EQ(fail.last_hit, FailSpec::kNoLastHit);
+  EXPECT_TRUE(fail.ActiveAt(0));
+  EXPECT_TRUE(fail.ActiveAt(1'000'000'000));
+
+  const FailSpec& enospc = plan.specs()[1];
+  EXPECT_EQ(enospc.kind, FailKind::kEnospc);
+  EXPECT_EQ(enospc.op, FailOp::kWrite);  // implied by the kind
+  EXPECT_DOUBLE_EQ(enospc.param, 0.5);
+  EXPECT_TRUE(enospc.ActiveAt(3));
+  EXPECT_FALSE(enospc.ActiveAt(4));
+  EXPECT_FALSE(enospc.ActiveAt(0));
+
+  EXPECT_EQ(plan.specs()[4].op, FailOp::kRead);  // truncate implies read
+  EXPECT_EQ(plan.specs()[5].op, FailOp::kRead);  // corrupt implies read
+  EXPECT_DOUBLE_EQ(plan.specs()[5].param, 3.0);
+  EXPECT_DOUBLE_EQ(plan.specs()[6].param, 20.0);
+}
+
+TEST(FailPlan, OpAndKindNamesRoundTrip) {
+  for (FailOp op : {FailOp::kRead, FailOp::kWrite, FailOp::kSync,
+                    FailOp::kRename, FailOp::kRemove}) {
+    EXPECT_EQ(ParseFailOp(FailOpName(op)), op);
+  }
+  for (FailKind kind :
+       {FailKind::kFail, FailKind::kEnospc, FailKind::kTorn, FailKind::kCrash,
+        FailKind::kTruncate, FailKind::kCorrupt, FailKind::kLatency}) {
+    EXPECT_EQ(ParseFailKind(FailKindName(kind)), kind);
+  }
+  EXPECT_THROW((void)ParseFailOp("mmap"), std::invalid_argument);
+  EXPECT_THROW((void)ParseFailKind("bitrot"), std::invalid_argument);
+}
+
+TEST(FailPlan, BuilderRejectsBadArguments) {
+  FailPlan plan;
+  EXPECT_THROW(plan.Fail(FailOp::kRead, -1), std::invalid_argument);
+  EXPECT_THROW(plan.Fail(FailOp::kRead, 10, 9), std::invalid_argument);
+  EXPECT_THROW(plan.Enospc(0, 0, 1.5), std::invalid_argument);
+  EXPECT_THROW(plan.Torn(0, 0, -0.1), std::invalid_argument);
+  EXPECT_THROW(plan.Corrupt(0, 0, 0), std::invalid_argument);
+  EXPECT_THROW(plan.Latency(FailOp::kSync, 0, 0, -1), std::invalid_argument);
+  EXPECT_TRUE(plan.empty());  // failed builder calls add nothing
+}
+
+TEST(FailPlan, ParseToStringRoundTrips) {
+  const char* kPlans[] = {
+      "",
+      "fail:rename@0",
+      "fail:write@0-*",
+      "enospc:write@1-3:0.5",
+      "torn:write@2:0.25",
+      "crash:sync@4",
+      "truncate:read@0:0.75",
+      "corrupt:read@0:3",
+      "latency:write@0-9:20",
+      "crash:write@2;torn:write@0-4:0.5;corrupt:read@0:3",
+  };
+  for (const char* text : kPlans) {
+    const FailPlan plan = FailPlan::Parse(text, 42);
+    EXPECT_EQ(FailPlan::Parse(plan.ToString(), 42), plan) << text;
+  }
+}
+
+TEST(FailPlan, ParseAcceptsGrammarVariants) {
+  // A bare hit is that one hit -- unlike fault_plan.h's rounds, a single
+  // strike is the common case for I/O faults.
+  const FailPlan one = FailPlan::Parse("fail:read@2");
+  EXPECT_EQ(one.specs()[0].first_hit, 2);
+  EXPECT_EQ(one.specs()[0].last_hit, 2);
+  // Forever is spelled explicitly: '-*' or a trailing '-'.
+  EXPECT_EQ(FailPlan::Parse("fail:read@2-*").specs()[0].last_hit,
+            FailSpec::kNoLastHit);
+  EXPECT_EQ(FailPlan::Parse("fail:read@2-").specs()[0],
+            FailPlan::Parse("fail:read@2-*").specs()[0]);
+  // Empty specs between separators are skipped.
+  EXPECT_EQ(FailPlan::Parse("fail:read@0;;crash:sync@1").specs().size(), 2u);
+  // The seed rides along.
+  EXPECT_EQ(FailPlan::Parse("corrupt:read@0:2", 99).seed(), 99u);
+}
+
+// Table-driven malformed-grammar coverage.
+TEST(FailPlan, ParseRejectsMalformedInput) {
+  const struct {
+    const char* label;
+    const char* text;
+  } kCases[] = {
+      {"unknown kind", "bitrot:read@0"},
+      {"unknown op", "fail:mmap@0"},
+      {"missing op", "fail:@0"},
+      {"missing window", "fail:read"},
+      {"at before colon", "fail@0:read"},
+      {"non-numeric hit", "fail:read@x"},
+      {"negative-looking hit", "fail:read@-1"},
+      {"overflowing hit", "fail:read@99999999999999999999"},
+      {"window ends before start", "fail:read@10-9"},
+      {"param on fail", "fail:read@0:0.5"},
+      {"param on crash", "crash:write@0:0.5"},
+      {"enospc without param", "enospc:write@0"},
+      {"truncate without param", "truncate:read@0"},
+      {"enospc on a read", "enospc:read@0:0.5"},
+      {"torn on a rename", "torn:rename@0:0.5"},
+      {"truncate on a write", "truncate:write@0:0.5"},
+      {"corrupt on a sync", "corrupt:sync@0:2"},
+      {"fraction above one", "enospc:write@0:1.5"},
+      {"fraction not a number", "torn:write@0:x"},
+      {"fractional flip count", "corrupt:read@0:2.5"},
+      {"zero flips", "corrupt:read@0:0"},
+      {"fractional millis", "latency:write@0:1.5"},
+  };
+  for (const auto& c : kCases) {
+    EXPECT_THROW((void)FailPlan::Parse(c.text), std::invalid_argument)
+        << c.label;
+  }
+}
+
+TEST(FailPlan, CsvRoundTrips) {
+  FailPlan plan(9);
+  plan.Crash(FailOp::kWrite, 2)
+      .Torn(0, 4, 0.5)
+      .Corrupt(0, 0, 3)
+      .Latency(FailOp::kRemove, 1, 1, 5);
+  std::ostringstream os;
+  WriteFailPlanCsv(plan, os);
+  std::istringstream is(os.str());
+  EXPECT_EQ(ReadFailPlanCsv(is, 9), plan);
+}
+
+TEST(FailPlan, CsvFormat) {
+  FailPlan plan;
+  plan.Fail(FailOp::kRename, 0, 0).Enospc(1, FailSpec::kNoLastHit, 0.5);
+  std::ostringstream os;
+  WriteFailPlanCsv(plan, os);
+  EXPECT_EQ(os.str(),
+            "kind,op,first_hit,last_hit,param\n"
+            "fail,rename,0,0,0\n"
+            "enospc,write,1,*,0.5\n");
+}
+
+TEST(FailPlan, CsvRejectsMalformedInput) {
+  const struct {
+    const char* label;
+    const char* csv;
+  } kCases[] = {
+      {"empty input", ""},
+      {"wrong header", "kind,op,first,last,param\n"},
+      {"too few cells", "kind,op,first_hit,last_hit,param\n"
+                        "fail,read,0,*\n"},
+      {"too many cells", "kind,op,first_hit,last_hit,param\n"
+                         "fail,read,0,*,0,extra\n"},
+      {"unknown kind", "kind,op,first_hit,last_hit,param\n"
+                       "bitrot,read,0,*,0\n"},
+      {"unknown op", "kind,op,first_hit,last_hit,param\n"
+                     "fail,mmap,0,*,0\n"},
+      {"non-numeric hit", "kind,op,first_hit,last_hit,param\n"
+                          "fail,read,x,*,0\n"},
+      {"window ends before start", "kind,op,first_hit,last_hit,param\n"
+                                   "fail,read,10,9,0\n"},
+      {"kind/op mismatch", "kind,op,first_hit,last_hit,param\n"
+                           "truncate,write,0,*,0.5\n"},
+      {"bad fraction", "kind,op,first_hit,last_hit,param\n"
+                       "enospc,write,0,*,2.0\n"},
+  };
+  for (const auto& c : kCases) {
+    std::istringstream is(c.csv);
+    EXPECT_THROW((void)ReadFailPlanCsv(is), std::invalid_argument)
+        << c.label;
+  }
+}
+
+}  // namespace
+}  // namespace noisybeeps::failpoint

@@ -1,6 +1,6 @@
 // nblint's whole-program stage: call-site extraction and resolution
 // (callgraph.h), effect summaries and their transitive closure
-// (summary.h), the three taint.h rule families, the incremental cache
+// (summary.h), the four taint.h rule families, the incremental cache
 // (cache.h), and the warn-finding baseline (lint.h).
 #include <gtest/gtest.h>
 
@@ -322,6 +322,72 @@ TEST(EffectSummaries, WallClockStaysConfinedToTheClockSeam) {
   EXPECT_TRUE(findings.empty()) << FormatText(findings);
 }
 
+// --- io-seam-discipline -----------------------------------------------------
+
+TEST(IoSeamDiscipline, FlagsRawFileIoOutsideTheSeam) {
+  const RepoModel repo(
+      {Src("src/analysis/save.cc",
+           "#include <cstdio>\n"
+           "#include <fstream>\n"
+           "void SaveStats() {\n"
+           "  std::ofstream out(\"stats.txt\");\n"
+           "}\n"
+           "void TouchMarker() { std::fopen(\"marker\", \"w\"); }\n")});
+  const ProgramAnalysis analysis = ProgramAnalysis::Build(repo);
+  const std::size_t save = analysis.graph().FindNode("SaveStats");
+  ASSERT_NE(save, kNpos);
+  EXPECT_NE(analysis.DirectEffectsOf(save) & kEffectRawFileIo, 0u);
+
+  std::vector<Finding> findings;
+  CheckIoSeamDiscipline(analysis, findings);
+  ASSERT_EQ(CountRule(findings, "io-seam-discipline"), 2u)
+      << FormatText(findings);
+  EXPECT_EQ(findings[0].file, "src/analysis/save.cc");
+  EXPECT_NE(findings[0].message.find("failpoint::Fs"), std::string::npos)
+      << findings[0].message;
+}
+
+TEST(IoSeamDiscipline, TheSeamAbsorbsTheEffectForItsCallers) {
+  const RepoModel repo({
+      Src("src/failpoint/fs.cc",
+          "#include <fstream>\n"
+          "void WriteWhole() { std::ofstream out(\"f\"); }\n"),
+      Src("src/resilience/checkpoint.cc",
+          "void WriteWhole();\n"
+          "void WriteCheckpointAtomic() { WriteWhole(); }\n"),
+  });
+  const ProgramAnalysis analysis = ProgramAnalysis::Build(repo);
+  // The seam has the raw effect itself...
+  const std::size_t seam = analysis.graph().FindNode("WriteWhole");
+  ASSERT_NE(seam, kNpos);
+  EXPECT_NE(analysis.DirectEffectsOf(seam) & kEffectRawFileIo, 0u);
+  // ...but absorbs it: a caller routing through the seam stays clean,
+  // exactly like resilience/clock.h absorbs wall-clock.
+  const std::size_t caller = analysis.graph().FindNode("WriteCheckpointAtomic");
+  ASSERT_NE(caller, kNpos);
+  EXPECT_EQ(analysis.EffectsOf(caller) & kEffectRawFileIo, 0u);
+
+  std::vector<Finding> findings;
+  CheckIoSeamDiscipline(analysis, findings);
+  EXPECT_TRUE(findings.empty()) << FormatText(findings);
+}
+
+TEST(IoSeamDiscipline, OnlySrcIsInScope) {
+  // Tests and tools read and write files legitimately (fixtures, CSV
+  // plans); the seam rule polices the library only.
+  const RepoModel repo({
+      Src("tests/some_test.cc",
+          "#include <fstream>\n"
+          "void WriteFixture() { std::ofstream out(\"fixture\"); }\n"),
+      Src("tools/nbtool.cc",
+          "#include <fstream>\n"
+          "void LoadPlan() { std::ifstream in(\"plan.csv\"); }\n"),
+  });
+  std::vector<Finding> findings;
+  CheckIoSeamDiscipline(ProgramAnalysis::Build(repo), findings);
+  EXPECT_TRUE(findings.empty()) << FormatText(findings);
+}
+
 // --- determinism-taint ------------------------------------------------------
 
 TEST(DeterminismTaint, FlagsWallClockReachingAFingerprintWithAWitnessPath) {
@@ -448,7 +514,7 @@ TEST(LintCache, SerializationRoundTripsByteIdentically) {
   ASSERT_EQ(fresh.size(), 2u);
 
   const std::string text = SerializeCache(fresh);
-  EXPECT_EQ(text.substr(0, 14), "nblint-cache 1");
+  EXPECT_EQ(text.substr(0, 14), "nblint-cache 2");
   EXPECT_EQ(SerializeCache(ParseCache(text)), text);
 }
 
@@ -511,10 +577,12 @@ TEST(LintCache, MalformedInputFallsBackToAColdRun) {
   EXPECT_TRUE(ParseCache("").empty());
   EXPECT_TRUE(ParseCache("garbage\n").empty());
   EXPECT_TRUE(ParseCache("nblint-cache 99\n").empty());
+  // A stale pre-raw-file-io cache must be discarded wholesale.
+  EXPECT_TRUE(ParseCache("nblint-cache 1\n").empty());
   EXPECT_TRUE(
-      ParseCache("nblint-cache 1\nfn 3 0 orphan -\n").empty());
+      ParseCache("nblint-cache 2\nfn 3 0 orphan -\n").empty());
   EXPECT_TRUE(
-      ParseCache("nblint-cache 1\nfile src/a.cc util deadbeef\n").empty());
+      ParseCache("nblint-cache 2\nfile src/a.cc util deadbeef\n").empty());
 }
 
 // --- the finding baseline ---------------------------------------------------

@@ -224,7 +224,7 @@ TEST(LintRegistry, RulesAreRegisteredSortedAndUnique) {
 
 TEST(LintRegistry, WholeProgramRulesAreRegisteredAsSuch) {
   for (const char* id : {"determinism-taint", "shared-state-discipline",
-                         "layering-reachability"}) {
+                         "layering-reachability", "io-seam-discipline"}) {
     const Rule* rule = FindRule(id);
     ASSERT_NE(rule, nullptr) << id;
     EXPECT_EQ(rule->severity, Severity::kWarn) << id;

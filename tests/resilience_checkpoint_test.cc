@@ -11,8 +11,12 @@
 #include <filesystem>
 #include <fstream>
 #include <limits>
+#include <map>
+#include <optional>
 #include <string>
+#include <vector>
 
+#include "failpoint/fs.h"
 #include "resilience/resilient_trials.h"
 #include "util/rng.h"
 
@@ -248,6 +252,115 @@ TEST(ByteReader, ThrowsOnShortReads) {
   AppendBytes(with_bytes, "hello");
   ByteReader reader2(std::string_view(with_bytes).substr(0, 10));
   EXPECT_THROW((void)reader2.Bytes(), CheckpointError);
+}
+
+// An in-memory Fs that logs every call: proves the atomic-write protocol
+// and its cleanup discipline without touching a real disk.
+class RecordingFs final : public failpoint::Fs {
+ public:
+  [[nodiscard]] std::optional<std::string> ReadFile(
+      const std::string& path) override {
+    log_.push_back("read " + path);
+    const auto it = files_.find(path);
+    if (it == files_.end()) return std::nullopt;
+    return it->second;
+  }
+  void WriteFile(const std::string& path, std::string_view contents) override {
+    log_.push_back("write " + path);
+    files_[path] = std::string(contents);
+  }
+  void SyncFile(const std::string& path) override {
+    log_.push_back("sync " + path);
+    if (fail_sync_) throw failpoint::FsError("injected sync failure");
+  }
+  void RenameFile(const std::string& from, const std::string& to) override {
+    log_.push_back("rename " + from + " -> " + to);
+    if (fail_rename_) throw failpoint::FsError("injected rename failure");
+    files_[to] = files_.at(from);
+    files_.erase(from);
+  }
+  void RemoveFile(const std::string& path) override {
+    log_.push_back("remove " + path);
+    files_.erase(path);
+  }
+
+  std::map<std::string, std::string> files_;
+  std::vector<std::string> log_;
+  bool fail_sync_ = false;
+  bool fail_rename_ = false;
+};
+
+TEST(TrialCheckpoint, AtomicWriteIsWriteSyncRename) {
+  RecordingFs fs;
+  const TrialCheckpoint checkpoint = SampleCheckpoint();
+  WriteCheckpointAtomic(fs, "ckpt", checkpoint);
+  // Durability demands the data be on stable storage BEFORE the rename
+  // publishes it; rename-then-sync can publish a hole.
+  const std::vector<std::string> expected = {"write ckpt.tmp", "sync ckpt.tmp",
+                                             "rename ckpt.tmp -> ckpt"};
+  EXPECT_EQ(fs.log_, expected);
+  EXPECT_EQ(fs.files_.count("ckpt.tmp"), 0u);
+  EXPECT_EQ(fs.files_.at("ckpt"), checkpoint.Serialize());
+  const auto loaded = LoadCheckpoint(fs, "ckpt");
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(*loaded, checkpoint);
+}
+
+TEST(TrialCheckpoint, SyncFailureUnlinksTheTempFile) {
+  RecordingFs fs;
+  fs.fail_sync_ = true;
+  EXPECT_THROW(WriteCheckpointAtomic(fs, "ckpt", SampleCheckpoint()),
+               CheckpointError);
+  EXPECT_EQ(fs.files_.count("ckpt.tmp"), 0u)
+      << "a failed checkpoint write must not leak its temp file";
+  EXPECT_EQ(fs.files_.count("ckpt"), 0u);
+}
+
+TEST(TrialCheckpoint, RenameFailureUnlinksTheTempFile) {
+  RecordingFs fs;
+  fs.fail_rename_ = true;
+  try {
+    WriteCheckpointAtomic(fs, "ckpt", SampleCheckpoint());
+    FAIL() << "rename failure must throw";
+  } catch (const CheckpointError& e) {
+    EXPECT_NE(std::string(e.what()).find("ckpt"), std::string::npos)
+        << e.what();
+  }
+  EXPECT_EQ(fs.files_.count("ckpt.tmp"), 0u)
+      << "a failed rename must not leak its temp file";
+}
+
+// The corruption matrix: damage the serialized checkpoint at every
+// 8-byte field boundary -- one flipped byte, or truncation to the
+// boundary -- and require a LOUD CheckpointError naming the file from
+// the Fs-seam load path.  Whether a run then recovers is the oracle's
+// job (failpoint_oracle_test.cc); this proves no damaged field can be
+// quietly resumed as a wrong result.
+TEST(TrialCheckpoint, CorruptionMatrixAtEveryFieldBoundary) {
+  const std::string bytes = SampleCheckpoint().Serialize();
+  for (std::size_t boundary = 0; boundary < bytes.size(); boundary += 8) {
+    {  // flip the field's first byte
+      RecordingFs fs;
+      std::string rot = bytes;
+      rot[boundary] = static_cast<char>(rot[boundary] ^ 0x01);
+      fs.files_["boundary.nbckpt"] = rot;
+      try {
+        (void)LoadCheckpoint(fs, "boundary.nbckpt");
+        FAIL() << "flip at field boundary " << boundary << " went undetected";
+      } catch (const CheckpointError& e) {
+        EXPECT_NE(std::string(e.what()).find("boundary.nbckpt"),
+                  std::string::npos)
+            << e.what();
+      }
+    }
+    {  // truncate TO the boundary
+      RecordingFs fs;
+      fs.files_["boundary.nbckpt"] = bytes.substr(0, boundary);
+      EXPECT_THROW((void)LoadCheckpoint(fs, "boundary.nbckpt"),
+                   CheckpointError)
+          << "truncation at field boundary " << boundary;
+    }
+  }
 }
 
 // Resume-compatibility checks live in ResilientTrials: a checkpoint from a

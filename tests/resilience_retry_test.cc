@@ -386,6 +386,8 @@ TEST(RunReport, FingerprintIgnoresExecutionMetadata) {
   RunReport b = a;
   b.resumed_trials = 7;        // differs between clean and resumed runs
   b.checkpoints_written = 4;   // -- must not perturb the fingerprint
+  b.checkpoints_quarantined = 1;      // I/O weather, same maths: a chaos
+  b.checkpoint_write_failures = 3;    // run stays comparable to a clean one
   EXPECT_EQ(a.Fingerprint(), b.Fingerprint());
   RunReport c = a;
   c.completed = 8;
@@ -403,10 +405,12 @@ TEST(RunReport, FormatIsOperatorReadable) {
   report.degraded_verdicts = 3;
   report.resumed_trials = 4;
   report.checkpoints_written = 2;
+  report.checkpoints_quarantined = 1;
+  report.checkpoint_write_failures = 5;
   EXPECT_EQ(FormatRunReport(report),
             "completed=9/10 retried=2 abandoned=1 attempts=13 "
             "failures[timeout=1 exception=0 degraded_verdict=3] "
-            "resumed=4 checkpoints=2");
+            "resumed=4 checkpoints=2 io[quarantined=1 write_failures=5]");
 }
 
 TEST(ReportFromLedgers, CountsTaxonomy) {

@@ -13,11 +13,20 @@
 #              resume from the checkpoint at a DIFFERENT worker count.
 #              The resumed run must report the exact fingerprint of the
 #              uninterrupted one; any divergence fails loudly.
+#   chaos   -- checkpoint-I/O fault injection through the failpoint::Fs
+#              seam (--fail-plan, docs/RESILIENCE.md).  Degrade plans
+#              (failed/short writes, failed renames, truncated/corrupt/
+#              unreadable reads, latency) must complete gracefully with
+#              the clean run's exact fingerprint; crash plans (injected
+#              kill mid-protocol, exit 4) must leave a state a faultless
+#              rerun resumes to the clean fingerprint.  Every run's
+#              "failpoints ... specs_fired=X/Y" line is checked for
+#              X == Y, so a plan that never bites cannot pass as tested.
 #
-# Usage: tools/fault_soak.sh <path-to-nbsim> [faults|resume|all]
+# Usage: tools/fault_soak.sh <path-to-nbsim> [faults|resume|chaos|all]
 set -u
 
-nbsim="${1:?usage: fault_soak.sh <path-to-nbsim> [faults|resume|all]}"
+nbsim="${1:?usage: fault_soak.sh <path-to-nbsim> [faults|resume|chaos|all]}"
 mode="${2:-all}"
 timeout_s=120
 failures=0
@@ -97,6 +106,137 @@ check_resume() {
   rm -f "$ckpt" "$ckpt.tmp"
 }
 
+# Prints "X Y" from a run's "failpoints ... specs_fired=X/Y" line.
+specs_fired_of() {
+  awk '/^  failpoints / {
+    for (i = 1; i <= NF; i++) {
+      if ($i ~ /^specs_fired=/) {
+        split(substr($i, 13), parts, "/");
+        print parts[1], parts[2];
+      }
+    }
+  }'
+}
+
+# The fixed chaos workload; chaos_clean is its uninterrupted fingerprint.
+chaos_base=(--task=input_set --channel=correlated --eps=0.05
+            --sim=repetition --n=8 --trials=9 --seed=21)
+chaos_clean=""
+
+# Asserts every spec of the plan fired.  Arguments: label, run output.
+check_chaos_coverage() {
+  local label="$1" out="$2" fired total
+  read -r fired total <<< "$(printf '%s\n' "$out" | specs_fired_of)"
+  if [ -z "${fired:-}" ] || [ "$fired" != "$total" ]; then
+    echo "CHAOS-SOAK FAILURE ($label): failpoint coverage" \
+         "${fired:-?}/${total:-?} -- some specs never fired (vacuous plan)"
+    failures=$((failures + 1)); return 1
+  fi
+  return 0
+}
+
+# Degrade plan: stage 1 leaves a real checkpoint (faultless halt, exit 3)
+# so read faults have bytes to bite; stage 2 resumes under the plan and
+# must COMPLETE gracefully with the clean fingerprint -- quarantine and
+# recompute, never a wrong result or an abort.
+check_chaos_degrade() {
+  local label="$1" plan="$2"
+  local ckpt out resumed rc
+  ckpt="$(mktemp -t nbchaos.XXXXXX.nbckpt)"
+  rm -f "$ckpt"
+
+  timeout "$timeout_s" "$nbsim" "${chaos_base[@]}" --workers=2 \
+      --checkpoint="$ckpt" --checkpoint-every=3 --halt-after=1 > /dev/null
+  rc=$?
+  if [ "$rc" -ne 3 ]; then
+    echo "CHAOS-SOAK FAILURE ($label): staging halt expected exit 3, got $rc"
+    failures=$((failures + 1)); rm -f "$ckpt" "$ckpt.tmp"; return
+  fi
+
+  out="$(timeout "$timeout_s" "$nbsim" "${chaos_base[@]}" --workers=4 \
+           --checkpoint="$ckpt" --checkpoint-every=3 \
+           --fail-plan="$plan" --fail-seed=7)"
+  rc=$?
+  if [ "$rc" -gt 1 ]; then
+    echo "CHAOS-SOAK FAILURE ($label): expected graceful completion," \
+         "got exit $rc"
+    failures=$((failures + 1))
+    rm -f "$ckpt" "$ckpt.tmp" "$ckpt.corrupt"; return
+  fi
+  resumed="$(printf '%s\n' "$out" | fingerprint_of)"
+  if [ "$resumed" != "$chaos_clean" ]; then
+    echo "CHAOS-SOAK FAILURE ($label): degraded fingerprint $resumed" \
+         "diverges from clean $chaos_clean"
+    failures=$((failures + 1))
+    rm -f "$ckpt" "$ckpt.tmp" "$ckpt.corrupt"; return
+  fi
+  check_chaos_coverage "$label" "$out" || {
+    rm -f "$ckpt" "$ckpt.tmp" "$ckpt.corrupt"; return;
+  }
+  echo "chaos soak: $label degraded gracefully, fingerprint reproduced"
+  rm -f "$ckpt" "$ckpt.tmp" "$ckpt.corrupt"
+}
+
+# Crash plan: the chaotic checkpointed run must die with the injected-kill
+# exit code 4 (after at least one good checkpoint), and a faultless rerun
+# must resume to the clean fingerprint with no torn temp file left.
+check_chaos_crash() {
+  local label="$1" plan="$2"
+  local ckpt out resumed rc
+  ckpt="$(mktemp -t nbchaos.XXXXXX.nbckpt)"
+  rm -f "$ckpt"
+
+  out="$(timeout "$timeout_s" "$nbsim" "${chaos_base[@]}" --workers=2 \
+           --checkpoint="$ckpt" --checkpoint-every=3 \
+           --fail-plan="$plan" --fail-seed=7)"
+  rc=$?
+  if [ "$rc" -ne 4 ]; then
+    echo "CHAOS-SOAK FAILURE ($label): expected injected-crash exit 4," \
+         "got $rc"
+    failures=$((failures + 1)); rm -f "$ckpt" "$ckpt.tmp"; return
+  fi
+  check_chaos_coverage "$label" "$out" || {
+    rm -f "$ckpt" "$ckpt.tmp"; return;
+  }
+
+  resumed="$(timeout "$timeout_s" "$nbsim" "${chaos_base[@]}" --workers=4 \
+               --checkpoint="$ckpt" --checkpoint-every=3 | fingerprint_of)"
+  if [ "$resumed" != "$chaos_clean" ]; then
+    echo "CHAOS-SOAK FAILURE ($label): post-crash resume fingerprint" \
+         "$resumed diverges from clean $chaos_clean"
+    failures=$((failures + 1)); rm -f "$ckpt" "$ckpt.tmp"; return
+  fi
+  if [ -e "$ckpt.tmp" ]; then
+    echo "CHAOS-SOAK FAILURE ($label): torn temp file left after resume"
+    failures=$((failures + 1)); rm -f "$ckpt" "$ckpt.tmp"; return
+  fi
+  echo "chaos soak: $label crashed as injected, resume reproduced" \
+       "fingerprint"
+  rm -f "$ckpt" "$ckpt.tmp"
+}
+
+run_chaos() {
+  chaos_clean="$(timeout "$timeout_s" "$nbsim" "${chaos_base[@]}" \
+                   --workers=1 | fingerprint_of)"
+  if [ -z "$chaos_clean" ]; then
+    echo "CHAOS-SOAK FAILURE: clean run produced no fingerprint"
+    failures=$((failures + 1)); return
+  fi
+
+  check_chaos_degrade "fail-all-writes" 'fail:write@0-*'
+  check_chaos_degrade "enospc-short-write" 'enospc:write@1:0.5'
+  check_chaos_degrade "rename-rejected" 'fail:rename@0'
+  check_chaos_degrade "read-truncated" 'truncate:read@0:0.5'
+  check_chaos_degrade "read-corrupted" 'corrupt:read@0:4'
+  check_chaos_degrade "read-unreadable" 'fail:read@0'
+  check_chaos_degrade "write-latency" 'latency:write@0-*:2'
+
+  check_chaos_crash "crash-at-write" 'crash:write@1'
+  check_chaos_crash "torn-write" 'torn:write@1:0.5'
+  check_chaos_crash "crash-at-rename" 'crash:rename@1'
+  check_chaos_crash "crash-at-sync" 'crash:sync@1'
+}
+
 run_resume() {
   check_resume "repetition/correlated" \
       --task=input_set --channel=correlated --eps=0.05 --sim=repetition \
@@ -113,8 +253,9 @@ run_resume() {
 case "$mode" in
   faults) run_faults ;;
   resume) run_resume ;;
-  all) run_faults; run_resume ;;
-  *) echo "unknown mode '$mode' (want faults|resume|all)"; exit 2 ;;
+  chaos|--chaos) run_chaos ;;
+  all) run_faults; run_resume; run_chaos ;;
+  *) echo "unknown mode '$mode' (want faults|resume|chaos|all)"; exit 2 ;;
 esac
 
 if [ "$failures" -gt 0 ]; then

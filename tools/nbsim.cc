@@ -26,15 +26,26 @@
 // RunReport line and a results fingerprint (identical across any
 // interrupt/resume schedule).  Exit 3 = interrupted via --halt-after (the
 // deterministic kill used by tools/fault_soak.sh).
+//
+// I/O chaos (docs/RESILIENCE.md): --fail-plan injects deterministic
+// checkpoint-I/O faults through the failpoint::Fs seam, using the grammar
+// in src/failpoint/fail_plan.h ("crash:write@1;corrupt:read@0:4") or
+// @path/to/plan.csv; --fail-seed drives corrupt-fault byte flips.  Runs
+// with a plan end with a "failpoints" coverage line (emitted even when an
+// injected crash kills the run).  Exit 4 = killed by an injected crash;
+// rerun without the plan to resume from the surviving checkpoint.
 #include <cstdio>
 #include <fstream>
 #include <functional>
 #include <iostream>
 #include <map>
 #include <memory>
+#include <optional>
 #include <sstream>
 #include <string_view>
 
+#include "failpoint/fail_plan.h"
+#include "failpoint/fs.h"
 #include "fault/fault_plan.h"
 #include "resilience/resilient_trials.h"
 
@@ -262,6 +273,38 @@ FaultPlan MakeFaultPlan(const std::string& text, std::uint64_t fault_seed) {
   return FaultPlan::Parse(text, fault_seed);
 }
 
+failpoint::FailPlan MakeFailPlan(const std::string& text,
+                                 std::uint64_t fail_seed) {
+  if (text.empty()) return failpoint::FailPlan();
+  if (text.front() == '@') {
+    std::ifstream file(text.substr(1));
+    if (!file) {
+      throw std::invalid_argument("--fail-plan: cannot open " +
+                                  text.substr(1));
+    }
+    return failpoint::ReadFailPlanCsv(file, fail_seed);
+  }
+  return failpoint::FailPlan::Parse(text, fail_seed);
+}
+
+// The chaos-soak coverage line: which fail-plan specs actually injected.
+// tools/fault_soak.sh asserts specs_fired=X/Y has X == Y, so a plan that
+// never bites cannot pass as "tested".
+void PrintFailpoints(const failpoint::FaultingFs& fs) {
+  if (fs.plan().empty()) return;
+  std::int64_t fired = 0;
+  for (const std::int64_t f : fs.SpecFires()) {
+    if (f > 0) ++fired;
+  }
+  std::printf("  failpoints plan=%s seed=%llu specs_fired=%lld/%zu "
+              "injected=%lld latency_ms=%lld\n",
+              fs.plan().ToString().c_str(),
+              static_cast<unsigned long long>(fs.plan().seed()),
+              static_cast<long long>(fired), fs.plan().specs().size(),
+              static_cast<long long>(fs.TotalInjected()),
+              static_cast<long long>(fs.InjectedLatencyMillis()));
+}
+
 int Run(int argc, char** argv) {
   Flags flags(argc, argv);
   if (flags.Has("help")) {
@@ -269,6 +312,7 @@ int Run(int argc, char** argv) {
         "nbsim --task=<task> --channel=<channel> --sim=<sim> [--n N]\n"
         "      [--eps E] [--trials K] [--seed S] [--csv]\n"
         "      [--fault-plan=PLAN|@file.csv] [--fault-seed S]\n"
+        "      [--fail-plan=PLAN|@file.csv] [--fail-seed S]\n"
         "      [--checkpoint=PATH] [--checkpoint-every K] [--halt-after N]\n"
         "      [--workers W] [--max-attempts A] [--retry-backoff-ms B]\n"
         "      [--trial-round-budget R] [--trial-timeout-ms T]\n"
@@ -279,6 +323,10 @@ int Run(int argc, char** argv) {
         "hierarchical_down scheduled (bit_exchange only)\n"
         "fault plan grammar: kind:party@first[-last][:prob] joined by ';'\n"
         "  kinds: crash sleepy stuck babble deaf (see docs/FAULTS.md)\n"
+        "fail plan grammar: kind:op@first[-last][:param] joined by ';'\n"
+        "  kinds: fail enospc torn crash truncate corrupt latency; ops:\n"
+        "  read write sync rename remove (checkpoint I/O faults, see\n"
+        "  docs/RESILIENCE.md); exit 4 = killed by an injected crash\n"
         "resilience: a killed checkpointed run resumes bit-identically at\n"
         "  any --workers count (docs/RESILIENCE.md); exit 3 = halted at a\n"
         "  checkpoint via --halt-after");
@@ -296,6 +344,9 @@ int Run(int argc, char** argv) {
   const std::string fault_plan_text = flags.GetString("fault-plan", "");
   const std::uint64_t fault_seed =
       static_cast<std::uint64_t>(flags.GetInt("fault-seed", 0));
+  const std::string fail_plan_text = flags.GetString("fail-plan", "");
+  const std::uint64_t fail_seed =
+      static_cast<std::uint64_t>(flags.GetInt("fail-seed", 0));
   const std::string checkpoint_path = flags.GetString("checkpoint", "");
   const int checkpoint_every =
       static_cast<int>(flags.GetInt("checkpoint-every", 5));
@@ -333,7 +384,16 @@ int Run(int argc, char** argv) {
          << "|timeout_ms=" << trial_timeout_ms
          << "|backoff_ms=" << retry_backoff_ms;
 
+  // Checkpoint I/O chaos: every run goes through a FaultingFs (an empty
+  // plan is a pure pass-through).  The fail plan is deliberately NOT part
+  // of the config hash -- a run killed by an injected crash must be
+  // resumable WITHOUT the plan, and its fingerprint comparable to a clean
+  // run's.
+  failpoint::FaultingFs fault_fs(failpoint::RealFs::Instance(),
+                                 MakeFailPlan(fail_plan_text, fail_seed));
+
   resilience::ResilienceOptions opts;
+  opts.fs = &fault_fs;
   opts.checkpoint_path = checkpoint_path;
   opts.checkpoint_every = checkpoint_every;
   opts.config_hash = resilience::Fnv1a64(config.str());
@@ -361,8 +421,19 @@ int Run(int argc, char** argv) {
     return point;
   };
   const TrialPointAdapter adapter;
-  const resilience::RunOutput<TrialPoint> run =
-      resilience::ResilientTrials(trials, rng, body, adapter, opts);
+  std::optional<resilience::RunOutput<TrialPoint>> completed;
+  try {
+    completed.emplace(
+        resilience::ResilientTrials(trials, rng, body, adapter, opts));
+  } catch (const failpoint::InjectedCrash& e) {
+    // The simulated SIGKILL: report which failpoints fired (the chaos
+    // soak's coverage assertion reads this line even for killed runs),
+    // then die with the dedicated exit code.
+    PrintFailpoints(fault_fs);
+    std::cerr << "nbsim: killed by failpoint: " << e.what() << "\n";
+    return 4;
+  }
+  const resilience::RunOutput<TrialPoint>& run = *completed;
 
   SuccessCounter counter;
   RunningStat rounds;
@@ -389,10 +460,11 @@ int Run(int argc, char** argv) {
         "task,channel,sim,n,eps,trials,success_rate,ci_low,ci_high,"
         "mean_rounds,mean_blowup,fault_plan,ok,degraded,failed,"
         "completed,retried,abandoned,attempts,timeouts,exceptions,"
-        "degraded_verdicts,resumed,checkpoints,fingerprint\n");
+        "degraded_verdicts,resumed,checkpoints,quarantined,write_failures,"
+        "fingerprint\n");
     std::printf(
         "%s,%s,%s,%d,%g,%d,%.4f,%.4f,%.4f,%.1f,%.2f,%s,%d,%d,%d,"
-        "%lld,%lld,%lld,%lld,%lld,%lld,%lld,%lld,%lld,%016llx\n",
+        "%lld,%lld,%lld,%lld,%lld,%lld,%lld,%lld,%lld,%lld,%lld,%016llx\n",
         task.c_str(), channel_name.c_str(), sim_name.c_str(), n, eps,
         trials, counter.rate(), ci.low, ci.high, rounds.mean(),
         blowup.mean(), faults.ToString().c_str(), verdicts[0], verdicts[1],
@@ -405,6 +477,8 @@ int Run(int argc, char** argv) {
         static_cast<long long>(run.report.degraded_verdicts),
         static_cast<long long>(run.report.resumed_trials),
         static_cast<long long>(run.report.checkpoints_written),
+        static_cast<long long>(run.report.checkpoints_quarantined),
+        static_cast<long long>(run.report.checkpoint_write_failures),
         static_cast<unsigned long long>(results_fingerprint));
   } else {
     std::printf("task=%s channel=%s sim=%s n=%d eps=%g trials=%d\n",
@@ -432,6 +506,7 @@ int Run(int argc, char** argv) {
     }
     std::printf("  resilience %s\n",
                 resilience::FormatRunReport(run.report).c_str());
+    PrintFailpoints(fault_fs);
     std::printf("  fingerprint %016llx\n",
                 static_cast<unsigned long long>(results_fingerprint));
   }
@@ -448,6 +523,11 @@ int main(int argc, char** argv) {
     // complete; rerunning with the same --checkpoint resumes the sweep.
     std::cerr << "nbsim: interrupted: " << e.what() << "\n";
     return 3;
+  } catch (const noisybeeps::failpoint::InjectedCrash& e) {
+    // Backstop for injected crashes outside the trial loop (Run() already
+    // handles the common path and prints failpoint coverage first).
+    std::cerr << "nbsim: killed by failpoint: " << e.what() << "\n";
+    return 4;
   } catch (const std::exception& e) {
     std::cerr << "nbsim: " << e.what() << "\n";
     return 2;
