@@ -113,6 +113,8 @@ struct BenchRun {
     report.degraded_verdicts += other.report.degraded_verdicts;
     report.resumed_trials += other.report.resumed_trials;
     report.checkpoints_written += other.report.checkpoints_written;
+    report.checkpoints_quarantined += other.report.checkpoints_quarantined;
+    report.checkpoint_write_failures += other.report.checkpoint_write_failures;
   }
 };
 
@@ -167,6 +169,14 @@ inline void SurfaceReport(benchmark::State& state,
   state.counters["trial_exceptions"] = static_cast<double>(report.exceptions);
   state.counters["degraded_verdicts"] =
       static_cast<double>(report.degraded_verdicts);
+  // The checkpoint-I/O health of the run, mirroring the io[quarantined=
+  // write_failures=] block of FormatRunReport: nonzero on a bench host
+  // means the sweep survived real storage trouble, which is worth seeing
+  // next to the timings it may have skewed.
+  state.counters["io_quarantined"] =
+      static_cast<double>(report.checkpoints_quarantined);
+  state.counters["io_write_failures"] =
+      static_cast<double>(report.checkpoint_write_failures);
 }
 
 }  // namespace noisybeeps::bench

@@ -9,7 +9,9 @@ namespace noisybeeps::lint {
 namespace {
 
 // v2: kEffectRawFileIo changed what extraction emits for unchanged files.
-constexpr std::string_view kHeader = "nblint-cache 2";
+// v3: effect masks gained kEffectRawSocket (bit 10); cached masks from v2
+// would silently lack it, so the bump invalidates them.
+constexpr std::string_view kHeader = "nblint-cache 3";
 
 // "" round-trips as "-" so every record keeps a fixed field count.
 std::string Opt(const std::string& value) {

@@ -33,7 +33,7 @@ namespace noisybeeps::lint {
 // the repo's other FNV lives.)
 [[nodiscard]] std::string HashContent(std::string_view content);
 
-// Serializes extracts (with their hashes) to the "nblint-cache 2" format.
+// Serializes extracts (with their hashes) to the "nblint-cache 3" format.
 [[nodiscard]] std::string SerializeCache(
     const std::vector<FileExtract>& extracts);
 

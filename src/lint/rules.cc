@@ -252,6 +252,9 @@ const std::map<std::string, std::set<std::string>>& LayerTable() {
       {"analysis", {"protocol", "tasks", "util"}},
       {"failpoint", {"util"}},
       {"resilience", {"failpoint", "util"}},
+      {"service",
+       {"channel", "coding", "failpoint", "fault", "protocol", "resilience",
+        "tasks", "util"}},
   };
   return kTable;
 }
@@ -927,6 +930,27 @@ std::vector<Rule> BuildRegistry() {
       "draw identical values that should have been independent, and the "
       "determinism audit cannot see it.  Split() is the one sanctioned "
       "way to fork."});
+  rules.push_back(Rule{
+      "service-layering", Severity::kWarn, "robustness",
+      "Whole-program: no raw BSD socket calls (socket/bind/listen/accept/"
+      "connect/...) in src/; transport lives only in the nbserved "
+      "front-end under tools/, behind the transport-agnostic service "
+      "core API in src/service/.",
+      nullptr,
+      {F("src/analysis/fixture.cc",
+         "#include <sys/socket.h>\n"
+         "namespace noisybeeps {\n"
+         "int OpenControl() { return socket(AF_UNIX, SOCK_STREAM, 0); }\n"
+         "}  // namespace noisybeeps\n")},
+      "The service core's robustness behaviours -- admission, shedding, "
+      "deadlines, caching, drain -- are provable only because they run "
+      "in-process under deterministic tests and the crash oracle.  A "
+      "socket call inside src/ couples that logic to a transport the "
+      "harness cannot drive, so every overload and crash path behind it "
+      "goes untested.  Unlike the Fs and Clock seams there is no "
+      "sanctioned socket seam: bytes-on-the-wire belong exclusively to "
+      "tools/nbserved.cc.",
+      CheckServiceLayering});
   rules.push_back(Rule{
       "shared-state-discipline", Severity::kWarn, "concurrency",
       "Whole-program: functions reachable from ParallelForEach / "

@@ -42,6 +42,18 @@ bool IsRawFileIoFree(const std::string& name) {
          name == "rename";
 }
 
+// The BSD socket surface.  Only UNQUALIFIED free calls classify (below):
+// std::bind and a connect() method on some class must not read as
+// transport code.
+bool IsRawSocketFree(const std::string& name) {
+  return name == "socket" || name == "bind" || name == "listen" ||
+         name == "accept" || name == "accept4" || name == "connect" ||
+         name == "recv" || name == "send" || name == "recvfrom" ||
+         name == "sendto" || name == "recvmsg" || name == "sendmsg" ||
+         name == "setsockopt" || name == "getsockopt" ||
+         name == "shutdown" || name == "socketpair";
+}
+
 }  // namespace
 
 bool IsClockSeamPath(const std::string& path) {
@@ -65,6 +77,7 @@ std::string EffectName(unsigned effect) {
     case kEffectSpawnsThread: return "spawns-thread";
     case kEffectInjectedClock: return "injected-clock";
     case kEffectRawFileIo: return "raw-file-io";
+    case kEffectRawSocket: return "raw-socket";
     default: return "effect-" + std::to_string(effect);
   }
 }
@@ -119,6 +132,12 @@ DirectEffects ExtractEffects(const RepoModel& repo, const FileModel& file,
     // std::filesystem::exists / fs::remove / ... (namespace alias included).
     if (call.qualifier.ends_with("filesystem") || call.qualifier == "fs") {
       add(kEffectRawFileIo, call.line, call.qualifier + "::" + call.callee);
+    }
+    // BSD socket calls; unqualified free calls only (std::bind and class
+    // methods named connect/send must not classify).
+    if (IsRawSocketFree(call.callee) && call.kind == CallKind::kFree &&
+        call.qualifier.empty()) {
+      add(kEffectRawSocket, call.line, call.callee);
     }
   }
 

@@ -50,6 +50,7 @@ inline constexpr unsigned kEffectTakesLock = 1u << 6;
 inline constexpr unsigned kEffectSpawnsThread = 1u << 7;
 inline constexpr unsigned kEffectInjectedClock = 1u << 8;  // Clock::NowMillis
 inline constexpr unsigned kEffectRawFileIo = 1u << 9;      // fstream/fopen/...
+inline constexpr unsigned kEffectRawSocket = 1u << 10;     // socket/bind/...
 
 // "wall-clock", "writes-shared", ... for one bit (diagnostics).
 [[nodiscard]] std::string EffectName(unsigned effect);

@@ -186,4 +186,27 @@ void CheckIoSeamDiscipline(const ProgramAnalysis& analysis,
   }
 }
 
+void CheckServiceLayering(const ProgramAnalysis& analysis,
+                          std::vector<Finding>& out) {
+  // Unlike io-seam-discipline there is NO exempt seam path: no file in
+  // src/ is allowed to speak a transport.  The one sanctioned home for
+  // socket calls is the nbserved front-end under tools/.
+  const std::vector<CallNode>& nodes = analysis.graph().nodes();
+  for (std::size_t n = 0; n < nodes.size(); ++n) {
+    const CallNode& node = nodes[n];
+    if (!node.path.starts_with("src/")) continue;
+    if ((analysis.DirectEffectsOf(n) & kEffectRawSocket) == 0) continue;
+    for (const EffectOrigin& origin : analysis.OriginsOf(n)) {
+      if (origin.effect != kEffectRawSocket) continue;
+      out.push_back(
+          {node.path, origin.line, "service-layering",
+           "raw socket call (" + origin.detail + ") in " +
+               node.qualified_name +
+               "; transport lives only in the nbserved front-end "
+               "(tools/nbserved.cc) -- src/ must stay behind the "
+               "transport-agnostic service core API (src/service/)"});
+    }
+  }
+}
+
 }  // namespace noisybeeps::lint

@@ -41,6 +41,15 @@
 // std::filesystem calls) in src/ outside src/failpoint/fs.*; callers of
 // the seam are clean because the fixed point strips kEffectRawFileIo at
 // the seam boundary.
+//
+// service-layering.  The trial-service core (src/service/) is transport-
+// agnostic by contract: every robustness behaviour -- admission, shedding,
+// deadlines, caching, drain -- is exercised by in-process deterministic
+// tests, which is only possible because no byte of transport lives in
+// src/.  Raw BSD socket calls (socket/bind/listen/accept/connect/...) are
+// confined to the nbserved front-end under tools/; the rule reports every
+// DIRECT socket call in src/, with no seam exemption -- there is no
+// sanctioned socket seam inside the library.
 #ifndef NOISYBEEPS_LINT_TAINT_H_
 #define NOISYBEEPS_LINT_TAINT_H_
 
@@ -69,6 +78,8 @@ void CheckLayeringReachability(const ProgramAnalysis& analysis,
                                std::vector<Finding>& out);
 void CheckIoSeamDiscipline(const ProgramAnalysis& analysis,
                            std::vector<Finding>& out);
+void CheckServiceLayering(const ProgramAnalysis& analysis,
+                          std::vector<Finding>& out);
 
 }  // namespace noisybeeps::lint
 

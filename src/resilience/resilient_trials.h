@@ -28,11 +28,20 @@
 // that is operator error, not bit rot.  All I/O flows through the
 // injectable failpoint::Fs seam (ResilienceOptions.fs), so every one of
 // these paths is exercised under deterministic fault plans.
+//
+// Cooperative cancellation (ResilienceOptions.cancel) and an absolute
+// deadline on the injectable clock (deadline_at_millis) are observed
+// between batches AFTER the checkpoint write: an aborted run throws
+// RunCancelled / RunDeadlineExceeded but always leaves a resumable
+// checkpoint covering the finished batches.  The service layer
+// (src/service/) uses both to implement per-job watchdogs and graceful
+// drain.
 #ifndef NOISYBEEPS_RESILIENCE_RESILIENT_TRIALS_H_
 #define NOISYBEEPS_RESILIENCE_RESILIENT_TRIALS_H_
 
 #include <algorithm>
 #include <array>
+#include <atomic>
 #include <cstdint>
 #include <exception>
 #include <optional>
@@ -62,6 +71,26 @@ class RunInterrupted : public std::runtime_error {
       : std::runtime_error(what) {}
 };
 
+// Thrown when a cooperative cancel (ResilienceOptions.cancel) is observed.
+// Checked between batches AFTER the checkpoint write, so a cancelled run
+// always leaves a resumable checkpoint covering the finished batches --
+// cancellation costs progress, never results.
+class RunCancelled : public std::runtime_error {
+ public:
+  explicit RunCancelled(const std::string& what) : std::runtime_error(what) {}
+};
+
+// Thrown when the absolute deadline (ResilienceOptions.deadline_at_millis,
+// on the injectable clock) has passed and trials remain.  Checked at entry
+// and between batches after the checkpoint write -- same durability
+// guarantee as RunCancelled.  A run whose FINAL batch finishes late still
+// returns results: the deadline bounds time-to-abandon, not time-to-win.
+class RunDeadlineExceeded : public std::runtime_error {
+ public:
+  explicit RunDeadlineExceeded(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
 struct ResilienceOptions {
   // Empty = no checkpointing.  The file is written atomically (temp +
   // rename) after every batch of checkpoint_every trials; an existing
@@ -86,6 +115,15 @@ struct ResilienceOptions {
   // writes if trials remain (0 = never).  Simulates preemption at a
   // deterministic point.
   int halt_after_checkpoints = 0;
+  // Cooperative cancellation seam (null = never cancelled).  Settable from
+  // a signal handler or another thread; observed between batches after the
+  // checkpoint write, at which point RunCancelled is thrown.
+  const std::atomic<bool>* cancel = nullptr;
+  // Absolute deadline in injectable-clock milliseconds (0 = none).  When
+  // NowMillis() >= deadline_at_millis and trials remain, the run throws
+  // RunDeadlineExceeded at the next batch boundary (or immediately at
+  // entry).  Deterministic under a FakeClock.
+  std::int64_t deadline_at_millis = 0;
 };
 
 template <typename Result>
@@ -191,6 +229,32 @@ RunOutput<Result> ResilientTrials(int num_trials, Rng& rng, Body&& body,
     if (!slots[static_cast<std::size_t>(t)].has_value()) pending.push_back(t);
   }
 
+  // Cancellation/deadline seams.  Both are observed only when work
+  // REMAINS: a run whose trials are all resumed (or whose final batch just
+  // finished) returns its results even if the clock has run out -- the
+  // deadline bounds time-to-abandon, never time-to-win.
+  const auto check_stop = [&](std::size_t trials_left) {
+    if (trials_left == 0) return;
+    if (opts.cancel != nullptr &&
+        opts.cancel->load(std::memory_order_acquire)) {
+      throw RunCancelled("cancelled with " + std::to_string(trials_left) +
+                         " trial(s) left" +
+                         (checkpointing
+                              ? " (resume from " + opts.checkpoint_path + ")"
+                              : ""));
+    }
+    if (opts.deadline_at_millis > 0 &&
+        clock->NowMillis() >= opts.deadline_at_millis) {
+      throw RunDeadlineExceeded(
+          "deadline " + std::to_string(opts.deadline_at_millis) +
+          "ms passed with " + std::to_string(trials_left) + " trial(s) left" +
+          (checkpointing
+               ? " (resume from " + opts.checkpoint_path + ")"
+               : ""));
+    }
+  };
+  check_stop(pending.size());
+
   // One trial, start to final verdict: watchdog-classified attempts under
   // the retry policy.  Pure per trial -- safe to run from worker threads.
   auto run_one = [&](int t) -> std::pair<Result, TrialLedger> {
@@ -290,6 +354,9 @@ RunOutput<Result> ResilientTrials(int num_trials, Rng& rng, Body&& body,
             " trial(s) left (resume from " + opts.checkpoint_path + ")");
       }
     }
+    // After the checkpoint write, so an aborted run keeps every finished
+    // batch.
+    check_stop(pending.size() - end);
   }
 
   RunOutput<Result> out;

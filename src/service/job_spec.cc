@@ -1,0 +1,51 @@
+#include "service/job_spec.h"
+
+#include <sstream>
+
+#include "resilience/checkpoint.h"
+#include "util/format.h"
+
+namespace noisybeeps::service {
+
+FaultPlan JobSpec::ParsedFaultPlan() const {
+  if (fault_plan.empty()) return FaultPlan();
+  return FaultPlan::Parse(fault_plan, fault_seed);
+}
+
+failpoint::FailPlan JobSpec::ParsedFailPlan() const {
+  if (fail_plan.empty()) return failpoint::FailPlan();
+  return failpoint::FailPlan::Parse(fail_plan, fail_seed);
+}
+
+std::string JobSpec::CanonicalConfigString() const {
+  // Field order is nbsim's historical checkpoint-guard string (PR 3)
+  // extended with the fail-plan fields (PR 8, satellite: a chaos run must
+  // not resume a clean run's checkpoint).  Plans are normalized through
+  // Parse()->ToString() so "@file" expansions and spelling variants hash
+  // identically.
+  std::ostringstream config;
+  config << "task=" << task << "|channel=" << channel << "|sim=" << sim
+         << "|n=" << n << "|eps=" << FormatDouble(eps)
+         << "|faults=" << ParsedFaultPlan().ToString()
+         << "|fault_seed=" << fault_seed
+         << "|max_attempts=" << max_attempts
+         << "|round_budget=" << trial_round_budget
+         << "|timeout_ms=" << trial_timeout_millis
+         << "|backoff_ms=" << retry_backoff_millis
+         << "|fail=" << ParsedFailPlan().ToString()
+         << "|fail_seed=" << fail_seed;
+  return config.str();
+}
+
+std::uint64_t JobSpec::ConfigHash() const {
+  return resilience::Fnv1a64(CanonicalConfigString());
+}
+
+std::uint64_t JobSpec::CacheKey() const {
+  std::ostringstream keyed;
+  keyed << CanonicalConfigString() << "|trials=" << trials
+        << "|seed=" << seed;
+  return resilience::Fnv1a64(keyed.str());
+}
+
+}  // namespace noisybeeps::service

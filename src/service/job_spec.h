@@ -1,0 +1,77 @@
+// JobSpec: the canonical description of one trial-service job.
+//
+// A JobSpec reuses the nbsim flag grammars verbatim -- task/channel/sim
+// names, the fault-plan grammar (src/fault/fault_plan.h), and the
+// fail-plan grammar (src/failpoint/fail_plan.h) -- so a request to the
+// service describes exactly what a CLI invocation would.  Two hashes are
+// derived from it:
+//
+//   ConfigHash()  guards checkpoint RESUMES: everything that changes the
+//                 computation EXCEPT trials/seed (those are checked
+//                 separately from the checkpoint's parent Rng state and
+//                 trial count, exactly as nbsim has always done).  Since
+//                 PR 8 this INCLUDES the fail plan and fail seed: a chaos
+//                 run must not silently resume from an incompatible
+//                 clean-run checkpoint (see docs/SERVICE.md).
+//   CacheKey()    content-addresses the RESULT cache: the full canonical
+//                 config plus trials and seed, so identical requests are
+//                 served from cache and near-identical ones never collide.
+//
+// deadline_millis is quality-of-service only and is part of NEITHER hash:
+// identical work under different deadlines shares cache entries.
+#ifndef NOISYBEEPS_SERVICE_JOB_SPEC_H_
+#define NOISYBEEPS_SERVICE_JOB_SPEC_H_
+
+#include <cstdint>
+#include <string>
+
+#include "failpoint/fail_plan.h"
+#include "fault/fault_plan.h"
+
+namespace noisybeeps::service {
+
+struct JobSpec {
+  std::string task = "input_set";
+  std::string channel = "correlated";
+  std::string sim = "rewind";
+  int n = 16;
+  double eps = 0.05;
+  int trials = 10;
+  std::uint64_t seed = 1;
+  // Compact plan grammars only (no @file indirection -- front-ends expand
+  // files before building a spec, so the service core never opens one).
+  std::string fault_plan;
+  std::uint64_t fault_seed = 0;
+  std::string fail_plan;
+  std::uint64_t fail_seed = 0;
+  int max_attempts = 1;
+  std::int64_t retry_backoff_millis = 0;
+  std::int64_t trial_round_budget = 0;
+  std::int64_t trial_timeout_millis = 0;
+  // Relative QoS deadline granted at admission (0 = none).  Deliberately
+  // part of NEITHER hash.
+  std::int64_t deadline_millis = 0;
+
+  // Parses the plan texts (throws std::invalid_argument on bad grammar).
+  [[nodiscard]] FaultPlan ParsedFaultPlan() const;
+  [[nodiscard]] failpoint::FailPlan ParsedFailPlan() const;
+
+  // The canonical config string, extending nbsim's historical field order
+  // with the fail-plan fields:
+  //   task=|channel=|sim=|n=|eps=|faults=|fault_seed=|max_attempts=|
+  //   round_budget=|timeout_ms=|backoff_ms=|fail=|fail_seed=
+  // Plans appear in their Parse()->ToString() normalized spelling.
+  [[nodiscard]] std::string CanonicalConfigString() const;
+
+  // FNV-1a of CanonicalConfigString(): the checkpoint resume guard.
+  [[nodiscard]] std::uint64_t ConfigHash() const;
+  // FNV-1a of CanonicalConfigString() + "|trials=|seed=": the result-cache
+  // content address.
+  [[nodiscard]] std::uint64_t CacheKey() const;
+
+  friend bool operator==(const JobSpec&, const JobSpec&) = default;
+};
+
+}  // namespace noisybeeps::service
+
+#endif  // NOISYBEEPS_SERVICE_JOB_SPEC_H_

@@ -1,0 +1,283 @@
+#include "service/protocol.h"
+
+#include <charconv>
+#include <cstdint>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "util/flags.h"
+#include "util/format.h"
+
+namespace noisybeeps::service {
+namespace {
+
+std::vector<std::string> SplitTokens(std::string_view line) {
+  std::vector<std::string> tokens;
+  std::size_t start = 0;
+  while (start < line.size()) {
+    const std::size_t space = line.find(' ', start);
+    const std::size_t end = space == std::string_view::npos ? line.size()
+                                                            : space;
+    if (end > start) {
+      tokens.emplace_back(line.substr(start, end - start));
+    }
+    start = end + 1;
+  }
+  return tokens;
+}
+
+struct KeyValue {
+  std::string key;
+  std::string value;
+};
+
+KeyValue SplitKeyValue(const std::string& token) {
+  const std::size_t eq = token.find('=');
+  if (eq == std::string::npos || eq == 0) {
+    throw std::invalid_argument("malformed token (want key=value): " + token);
+  }
+  return KeyValue{token.substr(0, eq), token.substr(eq + 1)};
+}
+
+std::int64_t RequireInt64(const KeyValue& kv) {
+  std::int64_t out = 0;
+  if (!TryParseInt64(kv.value, out)) {
+    throw std::invalid_argument("bad integer for " + kv.key + ": " + kv.value);
+  }
+  return out;
+}
+
+int RequireInt(const KeyValue& kv) {
+  const std::int64_t wide = RequireInt64(kv);
+  const int narrow = static_cast<int>(wide);
+  if (static_cast<std::int64_t>(narrow) != wide) {
+    throw std::invalid_argument("integer out of range for " + kv.key + ": " +
+                                kv.value);
+  }
+  return narrow;
+}
+
+std::uint64_t RequireUint64(const KeyValue& kv) {
+  std::uint64_t out = 0;
+  const char* const first = kv.value.data();
+  const char* const last = first + kv.value.size();
+  const std::from_chars_result result = std::from_chars(first, last, out);
+  if (result.ec != std::errc() || result.ptr != last) {
+    throw std::invalid_argument("bad unsigned integer for " + kv.key + ": " +
+                                kv.value);
+  }
+  return out;
+}
+
+std::uint64_t RequireHex64(const KeyValue& kv) {
+  std::uint64_t out = 0;
+  const char* const first = kv.value.data();
+  const char* const last = first + kv.value.size();
+  const std::from_chars_result result = std::from_chars(first, last, out, 16);
+  if (result.ec != std::errc() || result.ptr != last || kv.value.empty()) {
+    throw std::invalid_argument("bad hex value for " + kv.key + ": " +
+                                kv.value);
+  }
+  return out;
+}
+
+double RequireDouble(const KeyValue& kv) {
+  double out = 0.0;
+  if (!TryParseDouble(kv.value, out)) {
+    throw std::invalid_argument("bad number for " + kv.key + ": " + kv.value);
+  }
+  return out;
+}
+
+ReplyStatus StatusFromName(const std::string& name) {
+  if (name == "ok") return ReplyStatus::kOk;
+  if (name == "shed") return ReplyStatus::kShed;
+  if (name == "timeout") return ReplyStatus::kTimeout;
+  if (name == "cancelled") return ReplyStatus::kCancelled;
+  if (name == "error") return ReplyStatus::kError;
+  throw std::invalid_argument("unknown reply status: " + name);
+}
+
+ShedReason ReasonFromName(const std::string& name) {
+  if (name == "none") return ShedReason::kNone;
+  if (name == "queue_full") return ShedReason::kQueueFull;
+  if (name == "deadline") return ShedReason::kDeadline;
+  if (name == "draining") return ShedReason::kDraining;
+  throw std::invalid_argument("unknown shed reason: " + name);
+}
+
+// "s/t" from the ok reply's success= field.
+void ParseSuccessRatio(const KeyValue& kv, JobResult& result) {
+  const std::size_t slash = kv.value.find('/');
+  if (slash == std::string::npos) {
+    throw std::invalid_argument("bad success ratio: " + kv.value);
+  }
+  result.successes =
+      RequireInt64(KeyValue{kv.key, kv.value.substr(0, slash)});
+  result.trials = RequireInt64(KeyValue{kv.key, kv.value.substr(slash + 1)});
+}
+
+}  // namespace
+
+Request ParseRequestLine(std::string_view line) {
+  Request request;
+  bool saw_id = false;
+  for (const std::string& token : SplitTokens(line)) {
+    const KeyValue kv = SplitKeyValue(token);
+    if (kv.key == "id") {
+      request.id = kv.value;
+      saw_id = true;
+    } else if (kv.key == "task") {
+      request.spec.task = kv.value;
+    } else if (kv.key == "channel") {
+      request.spec.channel = kv.value;
+    } else if (kv.key == "sim") {
+      request.spec.sim = kv.value;
+    } else if (kv.key == "n") {
+      request.spec.n = RequireInt(kv);
+    } else if (kv.key == "eps") {
+      request.spec.eps = RequireDouble(kv);
+    } else if (kv.key == "trials") {
+      request.spec.trials = RequireInt(kv);
+    } else if (kv.key == "seed") {
+      request.spec.seed = RequireUint64(kv);
+    } else if (kv.key == "fault-plan") {
+      request.spec.fault_plan = kv.value;
+    } else if (kv.key == "fault-seed") {
+      request.spec.fault_seed = RequireUint64(kv);
+    } else if (kv.key == "fail-plan") {
+      request.spec.fail_plan = kv.value;
+    } else if (kv.key == "fail-seed") {
+      request.spec.fail_seed = RequireUint64(kv);
+    } else if (kv.key == "max-attempts") {
+      request.spec.max_attempts = RequireInt(kv);
+    } else if (kv.key == "retry-backoff-ms") {
+      request.spec.retry_backoff_millis = RequireInt64(kv);
+    } else if (kv.key == "trial-round-budget") {
+      request.spec.trial_round_budget = RequireInt64(kv);
+    } else if (kv.key == "trial-timeout-ms") {
+      request.spec.trial_timeout_millis = RequireInt64(kv);
+    } else if (kv.key == "deadline-ms") {
+      request.spec.deadline_millis = RequireInt64(kv);
+    } else {
+      throw std::invalid_argument("unknown request key: " + kv.key);
+    }
+  }
+  if (!saw_id || request.id.empty()) {
+    throw std::invalid_argument("request line needs id=<name>");
+  }
+  return request;
+}
+
+std::string FormatRequestLine(const Request& request) {
+  const JobSpec& spec = request.spec;
+  std::ostringstream out;
+  out << "id=" << request.id << " task=" << spec.task
+      << " channel=" << spec.channel << " sim=" << spec.sim << " n=" << spec.n
+      << " eps=" << FormatDouble(spec.eps) << " trials=" << spec.trials
+      << " seed=" << spec.seed;
+  if (!spec.fault_plan.empty()) out << " fault-plan=" << spec.fault_plan;
+  if (spec.fault_seed != 0) out << " fault-seed=" << spec.fault_seed;
+  if (!spec.fail_plan.empty()) out << " fail-plan=" << spec.fail_plan;
+  if (spec.fail_seed != 0) out << " fail-seed=" << spec.fail_seed;
+  if (spec.max_attempts != 1) out << " max-attempts=" << spec.max_attempts;
+  if (spec.retry_backoff_millis != 0) {
+    out << " retry-backoff-ms=" << spec.retry_backoff_millis;
+  }
+  if (spec.trial_round_budget != 0) {
+    out << " trial-round-budget=" << spec.trial_round_budget;
+  }
+  if (spec.trial_timeout_millis != 0) {
+    out << " trial-timeout-ms=" << spec.trial_timeout_millis;
+  }
+  if (spec.deadline_millis != 0) out << " deadline-ms=" << spec.deadline_millis;
+  return out.str();
+}
+
+std::string FormatReplyLine(const Reply& reply) {
+  std::ostringstream out;
+  out << "id=" << reply.id << " status=" << ReplyStatusName(reply.status);
+  switch (reply.status) {
+    case ReplyStatus::kShed:
+      out << " reason=" << ShedReasonName(reply.shed_reason)
+          << " retry_after_ms=" << reply.retry_after_millis;
+      break;
+    case ReplyStatus::kOk: {
+      const JobResult& result = reply.result;
+      out << " cached=" << (reply.cached ? 1 : 0)
+          << " fingerprint=" << FormatHex64(result.results_fingerprint)
+          << " success=" << result.successes << "/" << result.trials
+          << " ok=" << result.verdicts[0] << " degraded=" << result.verdicts[1]
+          << " failed=" << result.verdicts[2]
+          << " mean_rounds=" << FormatDouble(result.mean_rounds)
+          << " mean_blowup=" << FormatDouble(result.mean_blowup)
+          << " retried=" << result.report.retried
+          << " abandoned=" << result.report.abandoned;
+      break;
+    }
+    case ReplyStatus::kTimeout:
+    case ReplyStatus::kCancelled:
+      break;
+    case ReplyStatus::kError:
+      // Last field by design: the message may contain spaces.
+      out << " error=" << reply.error;
+      break;
+  }
+  return out.str();
+}
+
+Reply ParseReplyLine(std::string_view line) {
+  Reply reply;
+  bool saw_id = false;
+  bool saw_status = false;
+  const std::vector<std::string> tokens = SplitTokens(line);
+  for (std::size_t i = 0; i < tokens.size(); ++i) {
+    const KeyValue kv = SplitKeyValue(tokens[i]);
+    if (kv.key == "id") {
+      reply.id = kv.value;
+      saw_id = true;
+    } else if (kv.key == "status") {
+      reply.status = StatusFromName(kv.value);
+      saw_status = true;
+    } else if (kv.key == "reason") {
+      reply.shed_reason = ReasonFromName(kv.value);
+    } else if (kv.key == "retry_after_ms") {
+      reply.retry_after_millis = RequireInt64(kv);
+    } else if (kv.key == "cached") {
+      reply.cached = RequireInt64(kv) != 0;
+    } else if (kv.key == "fingerprint") {
+      reply.result.results_fingerprint = RequireHex64(kv);
+    } else if (kv.key == "success") {
+      ParseSuccessRatio(kv, reply.result);
+    } else if (kv.key == "ok") {
+      reply.result.verdicts[0] = RequireInt64(kv);
+    } else if (kv.key == "degraded") {
+      reply.result.verdicts[1] = RequireInt64(kv);
+    } else if (kv.key == "failed") {
+      reply.result.verdicts[2] = RequireInt64(kv);
+    } else if (kv.key == "mean_rounds") {
+      reply.result.mean_rounds = RequireDouble(kv);
+    } else if (kv.key == "mean_blowup") {
+      reply.result.mean_blowup = RequireDouble(kv);
+    } else if (kv.key == "retried") {
+      reply.result.report.retried = RequireInt64(kv);
+    } else if (kv.key == "abandoned") {
+      reply.result.report.abandoned = RequireInt64(kv);
+    } else if (kv.key == "error") {
+      // error= swallows the rest of the line, spaces included.
+      const std::size_t at = line.find("error=");
+      reply.error = std::string(line.substr(at + 6));
+      break;
+    } else {
+      throw std::invalid_argument("unknown reply key: " + kv.key);
+    }
+  }
+  if (!saw_id || !saw_status) {
+    throw std::invalid_argument("reply line needs id= and status=");
+  }
+  return reply;
+}
+
+}  // namespace noisybeeps::service

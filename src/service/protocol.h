@@ -1,0 +1,49 @@
+// The nbserved line protocol: one request per line, one reply per line,
+// space-separated key=value tokens.
+//
+// Request line (id is required; everything else defaults like nbsim):
+//   id=job1 task=input_set channel=correlated sim=rewind n=16 eps=0.05
+//   trials=10 seed=1 fault-plan=crash:3@2 fault-seed=7 fail-plan=...
+//   fail-seed=0 max-attempts=2 retry-backoff-ms=5 trial-round-budget=0
+//   trial-timeout-ms=0 deadline-ms=500
+//
+// Reply lines always start "id=<id> status=<name>" and then:
+//   shed       reason=<queue_full|deadline|draining> retry_after_ms=<n>
+//   ok         cached=<0|1> fingerprint=<16-hex> success=<s>/<t> ok=<n>
+//              degraded=<n> failed=<n> mean_rounds=<d> mean_blowup=<d>
+//              retried=<n> abandoned=<n>
+//   timeout    (nothing further)
+//   cancelled  (nothing further)
+//   error      error=<message, runs to end of line>
+//
+// Parsing is strict: an unknown key, an unparseable value, or a missing
+// id throws std::invalid_argument.  The protocol is deliberately dumb --
+// every robustness decision lives in TrialService; this file only moves
+// bytes -- and text-stable: replies round-trip through Parse/Format so
+// the soak scripts can diff them.
+#ifndef NOISYBEEPS_SERVICE_PROTOCOL_H_
+#define NOISYBEEPS_SERVICE_PROTOCOL_H_
+
+#include <string>
+#include <string_view>
+
+#include "service/service.h"
+
+namespace noisybeeps::service {
+
+// Throws std::invalid_argument on unknown keys, bad values, missing id.
+[[nodiscard]] Request ParseRequestLine(std::string_view line);
+
+// The canonical one-line spelling of a request (every field explicit).
+[[nodiscard]] std::string FormatRequestLine(const Request& request);
+
+[[nodiscard]] std::string FormatReplyLine(const Reply& reply);
+
+// Inverse of FormatReplyLine for the summary fields (the full JobResult
+// payload does not travel over the wire; decoded ok-replies carry the
+// fingerprint and summary counters only).
+[[nodiscard]] Reply ParseReplyLine(std::string_view line);
+
+}  // namespace noisybeeps::service
+
+#endif  // NOISYBEEPS_SERVICE_PROTOCOL_H_

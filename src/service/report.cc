@@ -1,0 +1,59 @@
+#include "service/report.h"
+
+#include <sstream>
+
+#include "resilience/checkpoint.h"
+
+namespace noisybeeps::service {
+
+void ServiceReport::MixReply(std::uint64_t results_fingerprint) {
+  for (int byte = 0; byte < 8; ++byte) {
+    replies_fingerprint =
+        (replies_fingerprint ^ ((results_fingerprint >> (8 * byte)) & 0xff)) *
+        0x100000001b3ULL;
+  }
+}
+
+std::uint64_t ServiceReport::Fingerprint() const {
+  std::string bytes;
+  resilience::AppendU64(bytes, static_cast<std::uint64_t>(submitted));
+  resilience::AppendU64(bytes, static_cast<std::uint64_t>(rejected));
+  resilience::AppendU64(bytes, static_cast<std::uint64_t>(admitted));
+  resilience::AppendU64(bytes, static_cast<std::uint64_t>(shed_queue_full));
+  resilience::AppendU64(bytes, static_cast<std::uint64_t>(shed_deadline));
+  resilience::AppendU64(bytes, static_cast<std::uint64_t>(shed_draining));
+  resilience::AppendU64(bytes, static_cast<std::uint64_t>(completed));
+  resilience::AppendU64(bytes, static_cast<std::uint64_t>(cache_hits));
+  resilience::AppendU64(bytes, static_cast<std::uint64_t>(recomputed));
+  resilience::AppendU64(bytes, static_cast<std::uint64_t>(timed_out));
+  resilience::AppendU64(bytes, static_cast<std::uint64_t>(cancelled));
+  resilience::AppendU64(bytes, static_cast<std::uint64_t>(trial_retried));
+  resilience::AppendU64(bytes, static_cast<std::uint64_t>(trial_abandoned));
+  resilience::AppendU64(bytes, replies_fingerprint);
+  return resilience::Fnv1a64(bytes);
+}
+
+std::string FormatServiceReport(const ServiceReport& report) {
+  std::ostringstream out;
+  out << "submitted=" << report.submitted << " rejected=" << report.rejected
+      << " admitted=" << report.admitted
+      << " shed[queue_full=" << report.shed_queue_full
+      << " deadline=" << report.shed_deadline
+      << " draining=" << report.shed_draining << "]"
+      << " completed=" << report.completed
+      << " cache[hits=" << report.cache_hits
+      << " recomputed=" << report.recomputed
+      << " quarantined=" << report.cache_quarantined
+      << " write_failures=" << report.cache_write_failures << "]"
+      << " timed_out=" << report.timed_out
+      << " cancelled=" << report.cancelled
+      << " trials[retried=" << report.trial_retried
+      << " abandoned=" << report.trial_abandoned
+      << " resumed=" << report.resumed_trials
+      << " checkpoints=" << report.checkpoints_written
+      << " quarantined=" << report.checkpoint_quarantined
+      << " write_failures=" << report.checkpoint_write_failures << "]";
+  return out.str();
+}
+
+}  // namespace noisybeeps::service

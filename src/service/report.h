@@ -1,0 +1,65 @@
+// ServiceReport: end-of-run accounting for the trial service, mirroring
+// resilience::RunReport.
+//
+// The same split applies: fields that are a pure function of the request
+// sequence (admission verdicts, completion taxonomy, the accumulated
+// reply fingerprint) are covered by Fingerprint() and must be
+// bit-identical across worker counts and kill/restart schedules; I/O and
+// resume metadata (cache quarantines, write failures, resumed trials)
+// legitimately differs between a clean run and a battered one and is
+// excluded.  The determinism audit holds the deterministic half to
+// account (tests/determinism_audit_test.cc).
+#ifndef NOISYBEEPS_SERVICE_REPORT_H_
+#define NOISYBEEPS_SERVICE_REPORT_H_
+
+#include <cstdint>
+#include <string>
+
+namespace noisybeeps::service {
+
+struct ServiceReport {
+  // -- deterministic fields (covered by Fingerprint) -----------------------
+  std::int64_t submitted = 0;  // every request seen, no silent drops
+  std::int64_t rejected = 0;   // malformed specs (error replies)
+  std::int64_t admitted = 0;
+  // Load-shedding taxonomy: every shed is an explicit verdict.
+  std::int64_t shed_queue_full = 0;
+  std::int64_t shed_deadline = 0;
+  std::int64_t shed_draining = 0;
+  std::int64_t completed = 0;   // ok replies: cache_hits + recomputed
+  std::int64_t cache_hits = 0;
+  std::int64_t recomputed = 0;
+  std::int64_t timed_out = 0;   // deadline passed (before or during work)
+  std::int64_t cancelled = 0;   // cooperative cancel observed
+  // Summed from each executed job's RunReport:
+  std::int64_t trial_retried = 0;
+  std::int64_t trial_abandoned = 0;
+  // FNV-1a accumulated over each ok reply's results fingerprint, in
+  // completion order: one word that pins every byte of every answer.
+  std::uint64_t replies_fingerprint = 1469598103934665603ULL;
+  // -- execution metadata (NOT covered by Fingerprint) ---------------------
+  std::int64_t resumed_trials = 0;
+  std::int64_t checkpoints_written = 0;
+  std::int64_t checkpoint_quarantined = 0;
+  std::int64_t checkpoint_write_failures = 0;
+  std::int64_t cache_quarantined = 0;
+  std::int64_t cache_write_failures = 0;
+
+  // Folds one ok reply's results fingerprint into replies_fingerprint.
+  void MixReply(std::uint64_t results_fingerprint);
+
+  // FNV-1a over the deterministic fields only.
+  [[nodiscard]] std::uint64_t Fingerprint() const;
+
+  friend bool operator==(const ServiceReport&, const ServiceReport&) = default;
+};
+
+// "submitted=12 rejected=1 admitted=8 shed[queue_full=2 deadline=1
+//  draining=0] completed=7 cache[hits=3 recomputed=4 quarantined=0
+//  write_failures=0] timed_out=1 cancelled=0 trials[retried=0 abandoned=0
+//  resumed=0 checkpoints=2 quarantined=0 write_failures=0]"
+[[nodiscard]] std::string FormatServiceReport(const ServiceReport& report);
+
+}  // namespace noisybeeps::service
+
+#endif  // NOISYBEEPS_SERVICE_REPORT_H_

@@ -1,0 +1,113 @@
+#include "service/result_cache.h"
+
+#include <utility>
+
+#include "resilience/checkpoint.h"
+#include "util/format.h"
+#include "util/require.h"
+
+namespace noisybeeps::service {
+
+ResultCache::ResultCache(failpoint::Fs* fs, std::string dir)
+    : fs_(fs), dir_(std::move(dir)) {
+  NB_REQUIRE(fs_ != nullptr, "ResultCache needs an Fs");
+  NB_REQUIRE(!dir_.empty(), "ResultCache needs a directory");
+}
+
+std::string ResultCache::EntryPath(std::uint64_t key) const {
+  return dir_ + "/" + FormatHex64(key) + ".nbres";
+}
+
+std::string ResultCache::CheckpointPath(std::uint64_t key) const {
+  return dir_ + "/" + FormatHex64(key) + ".nbckpt";
+}
+
+std::optional<std::string> ResultCache::Lookup(std::uint64_t key) {
+  const std::string path = EntryPath(key);
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::optional<resilience::TrialCheckpoint> loaded;
+  bool rotten = false;
+  try {
+    loaded = resilience::LoadCheckpoint(*fs_, path);
+  } catch (const resilience::CheckpointError&) {
+    rotten = true;
+  } catch (const failpoint::FsError&) {
+    // An entry that cannot be read serves nobody: out of the lookup path.
+    rotten = true;
+  }
+  if (!rotten && loaded.has_value()) {
+    // Our own naming scheme guarantees config_hash == key and exactly one
+    // record; anything else is rot (or tampering) the checksum happened to
+    // miss, and quarantines like rot.
+    if (loaded->config_hash != key || loaded->num_trials != 1 ||
+        loaded->records.size() != 1 || loaded->records[0].trial_index != 0) {
+      rotten = true;
+    }
+  }
+  if (rotten) {
+    ++counters_.quarantined;
+    try {
+      fs_->RenameFile(path, path + ".corrupt");
+    } catch (const failpoint::FsError&) {  // NOLINT(bugprone-empty-catch)
+      // Best effort; the recompute's insert will replace it anyway.
+    }
+    ++counters_.misses;
+    return std::nullopt;
+  }
+  if (!loaded.has_value()) {
+    ++counters_.misses;
+    return std::nullopt;
+  }
+  ++counters_.hits;
+  return std::string(loaded->records[0].payload);
+}
+
+bool ResultCache::Insert(std::uint64_t key, std::string_view payload) {
+  resilience::TrialCheckpoint entry;
+  entry.config_hash = key;
+  entry.num_trials = 1;
+  // The checkpoint format requires at least one attempt per record; a
+  // cache entry is by definition one clean "attempt".
+  resilience::TrialRecord record;
+  record.ledger.attempts.push_back(resilience::AttemptRecord{});
+  record.payload = std::string(payload);
+  entry.records.push_back(std::move(record));
+  const std::lock_guard<std::mutex> lock(mu_);
+  try {
+    resilience::WriteCheckpointAtomic(*fs_, EntryPath(key), entry);
+  } catch (const resilience::CheckpointError&) {
+    ++counters_.write_failures;
+    return false;
+  }
+  ++counters_.inserts;
+  return true;
+}
+
+void ResultCache::Quarantine(std::uint64_t key) {
+  const std::string path = EntryPath(key);
+  const std::lock_guard<std::mutex> lock(mu_);
+  ++counters_.quarantined;
+  try {
+    fs_->RenameFile(path, path + ".corrupt");
+  } catch (const failpoint::FsError&) {  // NOLINT(bugprone-empty-catch)
+    // Best effort, same as the Lookup path.
+  }
+}
+
+void ResultCache::RemoveCheckpoint(std::uint64_t key) {
+  const std::string path = CheckpointPath(key);
+  const std::lock_guard<std::mutex> lock(mu_);
+  try {
+    fs_->RemoveFile(path);
+  } catch (const failpoint::FsError&) {  // NOLINT(bugprone-empty-catch)
+    // Best effort: a leftover trial checkpoint only costs disk, never
+    // correctness (its config hash guards any future resume).
+  }
+}
+
+ResultCache::Counters ResultCache::counters() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return counters_;
+}
+
+}  // namespace noisybeeps::service

@@ -1,0 +1,87 @@
+// ResultCache: a crash-safe, content-addressed store for job results.
+//
+// Entries are keyed on JobSpec::CacheKey() and written with the
+// checksummed atomic checkpoint writer (resilience/checkpoint.h) through
+// the failpoint::Fs seam -- so every durability promise the checkpoint
+// layer makes (kill -9 at any instant leaves the old entry or the new
+// one, never a torn file; bit rot is detected by checksum) holds for the
+// cache too, and every failure mode is injectable via a FailPlan.
+//
+// On-disk layout under `dir` (which must already exist -- directory
+// creation is a front-end concern, outside the Fs seam):
+//   <hex key>.nbres    a completed entry: a TrialCheckpoint whose
+//                      config_hash IS the cache key, holding exactly one
+//                      record with the encoded JobResult payload
+//   <hex key>.nbckpt   the in-flight trial checkpoint of a job being
+//                      (re)computed -- crash-safe partial work, resumed
+//                      when the job is re-submitted after a kill
+//   *.corrupt          quarantined rot, kept for forensics
+//
+// Graceful degradation: a missing entry is a miss; an unreadable, torn,
+// corrupt, or mis-keyed entry is quarantined ("<path>.corrupt", best
+// effort) and reported as a miss so the caller recomputes; a failed
+// insert is counted and the caller's result is simply not cached.
+// InjectedCrash always propagates (simulated kill).  All methods are
+// thread-safe: one internal mutex serializes every Fs touch, which both
+// keeps FaultingFs hit indices deterministic and makes the cache safe to
+// hammer from ParallelForEach workers (tests/service_cache_test.cc).
+#ifndef NOISYBEEPS_SERVICE_RESULT_CACHE_H_
+#define NOISYBEEPS_SERVICE_RESULT_CACHE_H_
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "failpoint/fs.h"
+
+namespace noisybeeps::service {
+
+class ResultCache {
+ public:
+  struct Counters {
+    std::int64_t hits = 0;
+    std::int64_t misses = 0;
+    std::int64_t inserts = 0;
+    std::int64_t quarantined = 0;
+    std::int64_t write_failures = 0;
+
+    friend bool operator==(const Counters&, const Counters&) = default;
+  };
+
+  // `fs` must outlive the cache; `dir` must exist.
+  ResultCache(failpoint::Fs* fs, std::string dir);
+
+  [[nodiscard]] std::string EntryPath(std::uint64_t key) const;
+  [[nodiscard]] std::string CheckpointPath(std::uint64_t key) const;
+
+  // The entry's payload, or nullopt on miss (absent, rotten -- rot is
+  // quarantined first -- or mis-keyed).
+  [[nodiscard]] std::optional<std::string> Lookup(std::uint64_t key);
+
+  // Atomically writes the entry.  False (and a counted write failure)
+  // when the write failed; the cache is then simply one entry colder.
+  bool Insert(std::uint64_t key, std::string_view payload);
+
+  // Quarantines the entry explicitly (rename to ".corrupt", best effort)
+  // -- for callers that discover rot the checksum missed, e.g. a payload
+  // that fails to decode.
+  void Quarantine(std::uint64_t key);
+
+  // Best-effort removal of the in-flight trial checkpoint, called after
+  // its job's entry has landed.
+  void RemoveCheckpoint(std::uint64_t key);
+
+  [[nodiscard]] Counters counters() const;
+
+ private:
+  failpoint::Fs* fs_;
+  std::string dir_;
+  mutable std::mutex mu_;
+  Counters counters_;
+};
+
+}  // namespace noisybeeps::service
+
+#endif  // NOISYBEEPS_SERVICE_RESULT_CACHE_H_

@@ -1,0 +1,233 @@
+#include "service/service.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+#include "resilience/checkpoint.h"
+#include "resilience/resilient_trials.h"
+#include "util/require.h"
+
+namespace noisybeeps::service {
+
+const char* ReplyStatusName(ReplyStatus status) {
+  switch (status) {
+    case ReplyStatus::kOk:
+      return "ok";
+    case ReplyStatus::kShed:
+      return "shed";
+    case ReplyStatus::kTimeout:
+      return "timeout";
+    case ReplyStatus::kCancelled:
+      return "cancelled";
+    case ReplyStatus::kError:
+      return "error";
+  }
+  return "unknown";
+}
+
+const char* ShedReasonName(ShedReason reason) {
+  switch (reason) {
+    case ShedReason::kNone:
+      return "none";
+    case ShedReason::kQueueFull:
+      return "queue_full";
+    case ShedReason::kDeadline:
+      return "deadline";
+    case ShedReason::kDraining:
+      return "draining";
+  }
+  return "unknown";
+}
+
+TrialService::TrialService(const ServiceOptions& options)
+    : options_(options),
+      fs_(options.fs != nullptr ? options.fs : failpoint::RealFs::Instance()),
+      clock_(options.clock != nullptr ? options.clock
+                                      : resilience::SteadyClock::Instance()),
+      cache_(fs_, options.cache_dir) {
+  NB_REQUIRE(options_.max_queue >= 1, "max_queue must be at least 1");
+}
+
+std::int64_t TrialService::RetryAfterMillis() const {
+  // A deterministic function of queue depth: deeper queue, later retry.
+  // Never below the base so clients cannot hot-loop on an empty hint.
+  const auto depth = static_cast<std::int64_t>(queue_.size());
+  return std::max(options_.retry_after_base_millis,
+                  options_.job_cost_hint_millis * depth);
+}
+
+std::optional<Reply> TrialService::Submit(const Request& request) {
+  ++report_.submitted;
+  Reply reply;
+  reply.id = request.id;
+  try {
+    ValidateJobSpec(request.spec);
+  } catch (const std::invalid_argument& error) {
+    ++report_.rejected;
+    reply.status = ReplyStatus::kError;
+    reply.error = error.what();
+    return reply;
+  }
+  if (draining_) {
+    ++report_.shed_draining;
+    reply.status = ReplyStatus::kShed;
+    reply.shed_reason = ShedReason::kDraining;
+    reply.retry_after_millis = 0;  // retrying here will not help
+    return reply;
+  }
+  if (queue_.size() >= static_cast<std::size_t>(options_.max_queue)) {
+    ++report_.shed_queue_full;
+    reply.status = ReplyStatus::kShed;
+    reply.shed_reason = ShedReason::kQueueFull;
+    reply.retry_after_millis = RetryAfterMillis();
+    return reply;
+  }
+  if (request.spec.deadline_millis > 0 && options_.job_cost_hint_millis > 0) {
+    // Admission control: everything already queued runs first, so this
+    // job's expected start is depth * cost_hint from now.  A deadline
+    // that cannot cover queue wait plus one job is shed immediately --
+    // better an honest "no" now than a timeout reply after the wait.
+    const auto depth = static_cast<std::int64_t>(queue_.size());
+    const std::int64_t needed = (depth + 1) * options_.job_cost_hint_millis;
+    if (request.spec.deadline_millis < needed) {
+      ++report_.shed_deadline;
+      reply.status = ReplyStatus::kShed;
+      reply.shed_reason = ShedReason::kDeadline;
+      // A deadline too short for even an unqueued job can never be met:
+      // retry_after 0 = "don't bother until you relax the deadline".
+      reply.retry_after_millis =
+          request.spec.deadline_millis <= options_.job_cost_hint_millis
+              ? 0
+              : RetryAfterMillis();
+      return reply;
+    }
+  }
+  ++report_.admitted;
+  QueuedJob job;
+  job.id = request.id;
+  job.spec = request.spec;
+  job.deadline_at_millis =
+      request.spec.deadline_millis > 0
+          ? clock_->NowMillis() + request.spec.deadline_millis
+          : 0;
+  queue_.push_back(std::move(job));
+  return std::nullopt;
+}
+
+std::optional<Reply> TrialService::RunNext() {
+  if (queue_.empty()) {
+    return std::nullopt;
+  }
+  QueuedJob job = std::move(queue_.front());
+  queue_.pop_front();
+
+  Reply reply;
+  reply.id = job.id;
+
+  // Deadline first: a job whose deadline passed while it queued is
+  // reported timed-out without touching the cache -- not even a lookup.
+  // A late answer is not an answer, and skipping the lookup keeps the
+  // FaultingFs hit sequence identical whether or not the entry exists.
+  if (job.deadline_at_millis > 0 &&
+      clock_->NowMillis() >= job.deadline_at_millis) {
+    ++report_.timed_out;
+    reply.status = ReplyStatus::kTimeout;
+    return reply;
+  }
+
+  const std::uint64_t key = job.spec.CacheKey();
+  if (std::optional<std::string> payload = cache_.Lookup(key)) {
+    try {
+      reply.result = JobResult::DecodePayload(*payload);
+      ++report_.cache_hits;
+      ++report_.completed;
+      report_.MixReply(reply.result.results_fingerprint);
+      reply.status = ReplyStatus::kOk;
+      reply.cached = true;
+      return reply;
+    } catch (const resilience::CheckpointError&) {
+      // The checksum passed but the payload does not decode: rot the
+      // checkpoint layer cannot see.  Quarantine and recompute.
+      cache_.Quarantine(key);
+    }
+  }
+
+  // Recompute.  The job's own fail plan is layered over the service Fs,
+  // so a request can carry its private storm while the cache stays on
+  // whatever seam the service was built with.  Latency faults sleep on
+  // the SERVICE clock, which lets tests drive mid-run deadline expiry
+  // deterministically through a FakeClock.
+  failpoint::FaultingFs job_fs(fs_, job.spec.ParsedFailPlan());
+  const resilience::Clock* clock = clock_;
+  job_fs.SetSleeper([clock](std::int64_t millis) { clock->Sleep(millis); });
+
+  JobExecution exec;
+  exec.checkpoint_path = cache_.CheckpointPath(key);
+  exec.checkpoint_every = options_.checkpoint_every;
+  exec.num_workers = options_.num_workers;
+  exec.fs = &job_fs;
+  exec.clock = clock_;
+  exec.cancel = &cancel_;
+  exec.deadline_at_millis = job.deadline_at_millis;
+
+  JobResult result;
+  try {
+    result = RunJob(job.spec, exec);
+  } catch (const resilience::RunDeadlineExceeded&) {
+    // Partial work is checkpointed; a retry of the same spec resumes it.
+    ++report_.timed_out;
+    reply.status = ReplyStatus::kTimeout;
+    return reply;
+  } catch (const resilience::RunCancelled&) {
+    ++report_.cancelled;
+    reply.status = ReplyStatus::kCancelled;
+    return reply;
+  } catch (const resilience::CheckpointError& error) {
+    // A poisoned trial checkpoint (hash mismatch, version skew).  The
+    // resilience layer refuses to guess; surface it as an error reply.
+    reply.status = ReplyStatus::kError;
+    reply.error = error.what();
+    return reply;
+  }
+  // InjectedCrash deliberately propagates: the process is "dead", and
+  // recovery happens by restarting the service over the same cache dir.
+
+  ++report_.recomputed;
+  ++report_.completed;
+  report_.MixReply(result.results_fingerprint);
+  report_.trial_retried += result.report.retried;
+  report_.trial_abandoned += result.report.abandoned;
+  report_.resumed_trials += result.report.resumed_trials;
+  report_.checkpoints_written += result.report.checkpoints_written;
+  report_.checkpoint_quarantined += result.report.checkpoints_quarantined;
+  report_.checkpoint_write_failures += result.report.checkpoint_write_failures;
+
+  cache_.Insert(key, result.EncodePayload());
+  cache_.RemoveCheckpoint(key);
+
+  reply.status = ReplyStatus::kOk;
+  reply.cached = false;
+  reply.result = std::move(result);
+  return reply;
+}
+
+std::vector<Reply> TrialService::RunQueued() {
+  std::vector<Reply> replies;
+  while (std::optional<Reply> reply = RunNext()) {
+    replies.push_back(std::move(*reply));
+  }
+  return replies;
+}
+
+void TrialService::BeginDrain() { draining_ = true; }
+
+ServiceReport TrialService::report() const {
+  ServiceReport snapshot = report_;
+  const ResultCache::Counters cache = cache_.counters();
+  snapshot.cache_quarantined = cache.quarantined;
+  snapshot.cache_write_failures = cache.write_failures;
+  return snapshot;
+}
+
+}  // namespace noisybeeps::service

@@ -1,0 +1,170 @@
+// TrialService: the transport-agnostic, overload-robust service core.
+//
+// A request enters a BOUNDED admission-controlled queue.  Admission is an
+// explicit verdict, never a silent drop: a full queue or an unmeetable
+// deadline sheds the request with a deterministic retry-after hint, and a
+// draining service sheds with reason=draining.  Admitted jobs execute
+// IN ADMISSION ORDER, one at a time -- parallelism lives INSIDE a job
+// (ResilientTrials workers), which is exactly what keeps the service
+// deterministic: same request sequence => same replies, same
+// ServiceReport fingerprint, at every worker count (the determinism
+// audit proves it).
+//
+// Execution of one job:
+//   1. deadline check (a job past its admission deadline is reported
+//      timed-out without touching the cache -- late answers are not
+//      answers),
+//   2. ResultCache lookup on JobSpec::CacheKey() (hit => reply from
+//      cache; rot quarantines and falls through),
+//   3. recompute through RunJob with a per-job FaultingFs (the spec's
+//      fail plan applied over the service Fs), checkpointing into
+//      ResultCache::CheckpointPath(key) so a killed job resumes on
+//      re-submission, with the deadline and the service cancel flag
+//      propagated to the batch boundaries,
+//   4. insert into the cache (failure = counted, non-fatal) and drop the
+//      trial checkpoint.
+//
+// InjectedCrash always propagates -- the process is "dead", and the
+// crash-consistency oracle (tests/service_oracle_test.cc) proves a
+// restart into the same cache directory yields bit-identical replies.
+//
+// Threading: the service itself is single-threaded by design (call it
+// from one thread); the cancel flag may be set from anywhere (signal
+// handler, other thread), and the ResultCache is independently
+// thread-safe.
+#ifndef NOISYBEEPS_SERVICE_SERVICE_H_
+#define NOISYBEEPS_SERVICE_SERVICE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "failpoint/fs.h"
+#include "resilience/clock.h"
+#include "service/job_spec.h"
+#include "service/report.h"
+#include "service/result_cache.h"
+#include "service/workload.h"
+
+namespace noisybeeps::service {
+
+enum class ReplyStatus : std::uint8_t {
+  kOk = 0,
+  kShed = 1,
+  kTimeout = 2,
+  kCancelled = 3,
+  kError = 4,
+};
+
+enum class ShedReason : std::uint8_t {
+  kNone = 0,
+  kQueueFull = 1,
+  kDeadline = 2,
+  kDraining = 3,
+};
+
+[[nodiscard]] const char* ReplyStatusName(ReplyStatus status);
+[[nodiscard]] const char* ShedReasonName(ShedReason reason);
+
+// One request: a correlation id (echoed in the reply) plus the job.
+struct Request {
+  std::string id;
+  JobSpec spec;
+
+  friend bool operator==(const Request&, const Request&) = default;
+};
+
+struct Reply {
+  std::string id;
+  ReplyStatus status = ReplyStatus::kError;
+  ShedReason shed_reason = ShedReason::kNone;
+  // For shed replies: when to try again (0 = retrying will not help
+  // until conditions change -- a draining service or a never-meetable
+  // deadline).
+  std::int64_t retry_after_millis = 0;
+  bool cached = false;      // ok replies: served from the ResultCache
+  JobResult result;         // meaningful when status == kOk
+  std::string error;        // meaningful when status == kError
+
+  friend bool operator==(const Reply&, const Reply&) = default;
+};
+
+struct ServiceOptions {
+  // Required; the directory must exist.
+  std::string cache_dir;
+  // The service I/O seam (cache entries AND job checkpoints flow through
+  // it); null = RealFs.  Wrap in a FaultingFs to batter the cache.
+  failpoint::Fs* fs = nullptr;
+  const resilience::Clock* clock = nullptr;  // null = SteadyClock
+  // Bounded admission queue depth; a request arriving at a full queue is
+  // shed, never dropped.
+  int max_queue = 8;
+  // Floor for shed retry-after hints.
+  std::int64_t retry_after_base_millis = 25;
+  // Deterministic per-job cost estimate used for deadline admission and
+  // retry-after hints (0 disables deadline admission control).
+  std::int64_t job_cost_hint_millis = 200;
+  // Workers INSIDE each job (0 = hardware concurrency).  Never changes
+  // results, per the ResilientTrials contract.
+  int num_workers = 1;
+  int checkpoint_every = 4;
+};
+
+class TrialService {
+ public:
+  explicit TrialService(const ServiceOptions& options);
+
+  // Admission.  Returns a reply NOW for rejected (malformed) and shed
+  // requests; nullopt means the job is queued and its reply will come
+  // from RunNext()/RunQueued() in admission order.
+  [[nodiscard]] std::optional<Reply> Submit(const Request& request);
+
+  // Executes the job at the front of the queue (nullopt = queue empty).
+  [[nodiscard]] std::optional<Reply> RunNext();
+
+  // Executes everything queued, in admission order.
+  [[nodiscard]] std::vector<Reply> RunQueued();
+
+  // Graceful drain: stop admitting (subsequent Submits shed with
+  // reason=draining); already-admitted jobs still run to completion.
+  void BeginDrain();
+  [[nodiscard]] bool draining() const { return draining_; }
+
+  // The cooperative cancel seam, observed by the in-flight job at its
+  // next batch boundary (after the checkpoint write).  Safe to set from a
+  // signal handler or another thread.
+  [[nodiscard]] std::atomic<bool>& cancel_flag() { return cancel_; }
+
+  [[nodiscard]] std::size_t QueueDepth() const { return queue_.size(); }
+
+  // A snapshot with the cache counters folded into the metadata fields.
+  [[nodiscard]] ServiceReport report() const;
+
+  [[nodiscard]] ResultCache& cache() { return cache_; }
+
+ private:
+  struct QueuedJob {
+    std::string id;
+    JobSpec spec;
+    // Absolute (injectable-clock) deadline fixed at admission; 0 = none.
+    std::int64_t deadline_at_millis = 0;
+  };
+
+  [[nodiscard]] std::int64_t RetryAfterMillis() const;
+
+  ServiceOptions options_;
+  failpoint::Fs* fs_;
+  const resilience::Clock* clock_;
+  ResultCache cache_;
+  std::deque<QueuedJob> queue_;
+  std::atomic<bool> cancel_{false};
+  bool draining_ = false;
+  ServiceReport report_;
+};
+
+}  // namespace noisybeeps::service
+
+#endif  // NOISYBEEPS_SERVICE_SERVICE_H_

@@ -1,0 +1,170 @@
+// The service workload layer: JobSpec -> deterministic trial execution.
+//
+// This is the library home of what used to live inside tools/nbsim.cc:
+// the task/channel/simulator factories, the TrialPoint checkpoint codec,
+// and the resilient trial loop.  nbsim is now a thin front-end over
+// RunJob, and the trial service (service/service.h) executes every job
+// through the same path -- one implementation, two transports.
+//
+// Determinism contract: RunJob is a pure function of (JobSpec, resumable
+// checkpoint state).  Same spec => bit-identical JobResult (including
+// results_fingerprint) at any worker count and any interrupt/resume
+// schedule, because everything flows through ResilientTrials
+// (src/resilience/resilient_trials.h).
+#ifndef NOISYBEEPS_SERVICE_WORKLOAD_H_
+#define NOISYBEEPS_SERVICE_WORKLOAD_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "channel/channel.h"
+#include "coding/simulator.h"
+#include "failpoint/fs.h"
+#include "protocol/protocol.h"
+#include "resilience/checkpoint.h"
+#include "resilience/clock.h"
+#include "resilience/outcome.h"
+#include "service/job_spec.h"
+#include "util/rng.h"
+
+namespace noisybeeps::service {
+
+// A sampled task instance plus its correctness judge.
+struct Workload {
+  std::unique_ptr<Protocol> protocol;
+  std::function<bool(const SimulationResult&)> judge;
+};
+
+// Factories over the built-in names (the nbsim flag vocabulary).  All
+// throw std::invalid_argument on an unknown name; MakeSimulator also
+// rejects sim="scheduled" for any task other than bit_exchange.
+[[nodiscard]] Workload MakeWorkload(const std::string& task, int n, Rng& rng);
+[[nodiscard]] std::unique_ptr<Channel> MakeChannel(const std::string& channel,
+                                                   double eps);
+[[nodiscard]] std::unique_ptr<Simulator> MakeSimulator(const std::string& sim,
+                                                       const std::string& task,
+                                                       int n);
+
+[[nodiscard]] bool IsKnownTask(const std::string& task);
+[[nodiscard]] bool IsKnownChannel(const std::string& channel);
+[[nodiscard]] bool IsKnownSim(const std::string& sim);
+
+// Validates a spec without running it: known names, sane numeric ranges,
+// well-formed plan grammars, fault-plan parties within n.  Throws
+// std::invalid_argument with an operator-readable message.
+void ValidateJobSpec(const JobSpec& spec);
+
+// One trial's distilled outcome: everything the end-of-run aggregation
+// needs, in a form the checkpoint codec can round-trip byte-exactly.
+struct TrialPoint {
+  bool success = false;
+  std::uint8_t status = 0;  // SimulationStatus as a wire byte
+  std::int64_t rounds = 0;
+  double blowup = 0;
+  std::map<std::string, std::int64_t> phases;
+};
+
+struct TrialPointAdapter {
+  [[nodiscard]] std::string Encode(const TrialPoint& p) const {
+    std::string out;
+    resilience::AppendU64(out, p.success ? 1 : 0);
+    resilience::AppendU64(out, p.status);
+    resilience::AppendU64(out, static_cast<std::uint64_t>(p.rounds));
+    resilience::AppendF64(out, p.blowup);
+    resilience::AppendU64(out, p.phases.size());
+    for (const auto& [phase, count] : p.phases) {
+      resilience::AppendBytes(out, phase);
+      resilience::AppendU64(out, static_cast<std::uint64_t>(count));
+    }
+    return out;
+  }
+  [[nodiscard]] TrialPoint Decode(std::string_view bytes) const {
+    resilience::ByteReader reader(bytes);
+    TrialPoint p;
+    p.success = reader.U64() != 0;
+    p.status = static_cast<std::uint8_t>(reader.U64());
+    p.rounds = static_cast<std::int64_t>(reader.U64());
+    p.blowup = reader.F64();
+    const std::uint64_t num_phases = reader.U64();
+    for (std::uint64_t i = 0; i < num_phases; ++i) {
+      const std::string phase(reader.Bytes());
+      p.phases[phase] = static_cast<std::int64_t>(reader.U64());
+    }
+    if (!reader.AtEnd()) {
+      throw resilience::CheckpointError("trailing bytes in trial payload");
+    }
+    return p;
+  }
+  [[nodiscard]] resilience::TrialAssessment Assess(const TrialPoint& p) const {
+    resilience::TrialAssessment assessment;
+    // The graceful-degradation ladder maps directly: a kFailed simulation
+    // verdict is retried (with max_attempts > 1), kDegraded is kept as
+    // a reportable outcome.  The task-level judge does NOT drive retries:
+    // an unlucky-noise failure is a legitimate sample, not a transient.
+    if (p.status == 2) assessment.verdict = resilience::TrialVerdict::kFailed;
+    assessment.rounds_used = p.rounds;
+    return assessment;
+  }
+};
+
+// The aggregated outcome of one job, and the payload the ResultCache
+// stores.  When a job is served from cache, `report` is the ORIGINAL
+// run's report (its metadata describes the run that produced the bits).
+struct JobResult {
+  std::int64_t trials = 0;
+  std::int64_t successes = 0;
+  // SimulationStatus histogram: ok / degraded / failed.
+  std::array<std::int64_t, 3> verdicts{};
+  double mean_rounds = 0;
+  double mean_blowup = 0;
+  std::map<std::string, std::int64_t> phases;
+  // FNV-1a over the adapter-encoded per-trial results, in index order:
+  // bit-stable across every worker count and interrupt/resume schedule.
+  std::uint64_t results_fingerprint = 0;
+  resilience::RunReport report;
+
+  // Cache codec (byte-exact round trip; Decode throws CheckpointError on
+  // malformed bytes, which the service treats as bit rot).
+  [[nodiscard]] std::string EncodePayload() const;
+  [[nodiscard]] static JobResult DecodePayload(std::string_view bytes);
+
+  friend bool operator==(const JobResult&, const JobResult&) = default;
+};
+
+// Execution environment for one job -- everything that is NOT part of the
+// job's identity (none of these fields may change the results).
+struct JobExecution {
+  // Empty = no checkpointing.  The service points this at
+  // ResultCache::CheckpointPath(CacheKey) so a killed job resumes.
+  std::string checkpoint_path;
+  int checkpoint_every = 0;
+  int num_workers = 0;
+  // Soak/test hook, forwarded to ResilienceOptions.
+  int halt_after_checkpoints = 0;
+  // The job's I/O seam (null = RealFs).  Callers that want the spec's
+  // fail plan applied wrap their Fs in a FaultingFs first (nbsim and the
+  // service both do).
+  failpoint::Fs* fs = nullptr;
+  const resilience::Clock* clock = nullptr;
+  // Cooperative cancellation + absolute deadline, forwarded to
+  // ResilienceOptions (see resilient_trials.h for the batch-boundary
+  // semantics).
+  const std::atomic<bool>* cancel = nullptr;
+  std::int64_t deadline_at_millis = 0;
+};
+
+// Runs the spec's trials through ResilientTrials and aggregates.
+// Validates the spec first.  Propagates RunInterrupted (halt_after),
+// RunCancelled, RunDeadlineExceeded, CheckpointError (foreign
+// checkpoint), and InjectedCrash (simulated kill).
+[[nodiscard]] JobResult RunJob(const JobSpec& spec, const JobExecution& exec);
+
+}  // namespace noisybeeps::service
+
+#endif  // NOISYBEEPS_SERVICE_WORKLOAD_H_

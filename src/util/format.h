@@ -11,6 +11,7 @@
 #define NOISYBEEPS_UTIL_FORMAT_H_
 
 #include <charconv>
+#include <cstdint>
 #include <string>
 
 namespace noisybeeps {
@@ -22,6 +23,17 @@ namespace noisybeeps {
   const std::to_chars_result result =
       std::to_chars(buffer, buffer + sizeof buffer, value);
   return std::string(buffer, result.ptr);
+}
+
+// Fixed-width lowercase hex rendering of a 64-bit value ("00000000000004d2"),
+// locale-independent.  Used for result-cache file names and protocol
+// fingerprint fields, where a stable 16-character spelling matters.
+[[nodiscard]] inline std::string FormatHex64(std::uint64_t value) {
+  char buffer[16];
+  const std::to_chars_result result =
+      std::to_chars(buffer, buffer + sizeof buffer, value, 16);
+  const std::string digits(buffer, result.ptr);
+  return std::string(16 - digits.size(), '0') + digits;
 }
 
 }  // namespace noisybeeps

@@ -87,8 +87,13 @@ void CleanUp(const std::string& path) {
 }
 
 // Counting pass: the registered failpoints of this workload, per op.
-std::vector<std::pair<FailOp, std::int64_t>> EnumerateFailpoints() {
-  const std::string path = TempPath("oracle_enumerate.nbckpt");
+// The tag keeps the scratch checkpoint unique per TEST:
+// gtest_discover_tests runs each TEST as its own ctest process, and a
+// neighbour's leftover checkpoint would turn this into a resume run
+// with a different op count.
+std::vector<std::pair<FailOp, std::int64_t>> EnumerateFailpoints(
+    const std::string& tag) {
+  const std::string path = TempPath("oracle_enumerate_" + tag + ".nbckpt");
   CleanUp(path);
   FaultingFs counter(RealFs::Instance());
   Rng rng(kSeed);
@@ -109,14 +114,14 @@ TEST(CrashConsistencyOracle, WorkloadRegistersEnoughFailpoints) {
   // 9 trials at checkpoint_every=2 -> 5 checkpoints, each a
   // write+sync+rename, plus the initial load probe.  A shrunken
   // enumeration means the oracle below stopped proving anything.
-  const auto points = EnumerateFailpoints();
+  const auto points = EnumerateFailpoints("count");
   EXPECT_EQ(points.size(), 16u);
 }
 
 TEST(CrashConsistencyOracle, ResumeIsBitIdenticalAfterCrashAtEveryFailpoint) {
   const RunOutput<Point> baseline = Baseline();
   const std::string path = TempPath("oracle_crash.nbckpt");
-  for (const auto& [op, hit] : EnumerateFailpoints()) {
+  for (const auto& [op, hit] : EnumerateFailpoints("crash")) {
     const std::string label = FailOpName(op) + "@" + std::to_string(hit);
     CleanUp(path);
 
@@ -154,7 +159,7 @@ TEST(CrashConsistencyOracle, ResumeIsBitIdenticalAfterCrashAtEveryFailpoint) {
 TEST(CrashConsistencyOracle, RunDegradesGracefullyUnderFailureAtEveryFailpoint) {
   const RunOutput<Point> baseline = Baseline();
   const std::string path = TempPath("oracle_fail.nbckpt");
-  for (const auto& [op, hit] : EnumerateFailpoints()) {
+  for (const auto& [op, hit] : EnumerateFailpoints("fail")) {
     const std::string label = FailOpName(op) + "@" + std::to_string(hit);
     CleanUp(path);
     FailPlan plan;

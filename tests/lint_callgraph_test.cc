@@ -514,7 +514,7 @@ TEST(LintCache, SerializationRoundTripsByteIdentically) {
   ASSERT_EQ(fresh.size(), 2u);
 
   const std::string text = SerializeCache(fresh);
-  EXPECT_EQ(text.substr(0, 14), "nblint-cache 2");
+  EXPECT_EQ(text.substr(0, 14), "nblint-cache 3");
   EXPECT_EQ(SerializeCache(ParseCache(text)), text);
 }
 
@@ -577,12 +577,14 @@ TEST(LintCache, MalformedInputFallsBackToAColdRun) {
   EXPECT_TRUE(ParseCache("").empty());
   EXPECT_TRUE(ParseCache("garbage\n").empty());
   EXPECT_TRUE(ParseCache("nblint-cache 99\n").empty());
-  // A stale pre-raw-file-io cache must be discarded wholesale.
+  // Stale pre-raw-file-io / pre-raw-socket caches must be discarded
+  // wholesale: their effect masks lack the newer bits.
   EXPECT_TRUE(ParseCache("nblint-cache 1\n").empty());
+  EXPECT_TRUE(ParseCache("nblint-cache 2\n").empty());
   EXPECT_TRUE(
-      ParseCache("nblint-cache 2\nfn 3 0 orphan -\n").empty());
+      ParseCache("nblint-cache 3\nfn 3 0 orphan -\n").empty());
   EXPECT_TRUE(
-      ParseCache("nblint-cache 2\nfile src/a.cc util deadbeef\n").empty());
+      ParseCache("nblint-cache 3\nfile src/a.cc util deadbeef\n").empty());
 }
 
 // --- the finding baseline ---------------------------------------------------

@@ -10,12 +10,14 @@
 // schedule may perturb a single bit.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdint>
 #include <filesystem>
 #include <string>
 #include <vector>
 
 #include "analysis/progress_measure.h"
+#include "resilience/clock.h"
 #include "channel/correlated.h"
 #include "coding/hierarchical_sim.h"
 #include "coding/repetition_sim.h"
@@ -344,6 +346,140 @@ TEST(KillAndResumeAudit, CompletedCheckpointShortCircuits) {
   EXPECT_EQ(second.report.resumed_trials, 10);
   EXPECT_EQ(second.report.Fingerprint(), first.report.Fingerprint());
   fs::remove(path);
+}
+
+// --- cooperative cancel and deadline (PR 8) -------------------------------
+//
+// Both seams stop the run at a BATCH BOUNDARY, after the checkpoint
+// write: stopping costs progress, never results.  The audits below prove
+// the other half of that promise -- a cancelled or expired run resumes
+// bit-identically onto the baseline.
+
+TEST(CancelAndDeadlineAudit, CancelSetAtEntryStopsBeforeAnyTrial) {
+  const SimPointAdapter adapter;
+  std::atomic<bool> cancel{true};
+  ResilienceOptions opts;
+  opts.cancel = &cancel;
+  Rng rng(111);
+  EXPECT_THROW(
+      (void)ResilientTrials(kTrials, rng, RepetitionBody, adapter, opts),
+      RunCancelled);
+}
+
+TEST(CancelAndDeadlineAudit, MidRunCancelCheckpointsThenResumesIdentically) {
+  const SimPointAdapter adapter;
+  ResilienceOptions baseline_opts;
+  baseline_opts.num_workers = 1;
+  Rng baseline_rng(222);
+  const RunOutput<SimPoint> baseline = ResilientTrials(
+      kTrials, baseline_rng, RepetitionBody, adapter, baseline_opts);
+
+  const std::string path = TempPath("cancel_audit.nbckpt");
+  fs::remove(path);
+  std::atomic<bool> cancel{false};
+  // The body pulls the flag mid-sweep, as a signal handler would: the
+  // engine must finish the current batch, write its checkpoint, and only
+  // THEN throw.
+  const auto cancelling_body = [&](int t, Rng& rng) {
+    if (t == 5) cancel.store(true, std::memory_order_release);
+    return RepetitionBody(t, rng);
+  };
+  ResilienceOptions cancelled_opts;
+  cancelled_opts.checkpoint_path = path;
+  cancelled_opts.checkpoint_every = 3;
+  cancelled_opts.config_hash = Fnv1a64("cancel-audit");
+  cancelled_opts.num_workers = 2;
+  cancelled_opts.cancel = &cancel;
+  {
+    Rng rng(222);
+    EXPECT_THROW((void)ResilientTrials(kTrials, rng, cancelling_body, adapter,
+                                       cancelled_opts),
+                 RunCancelled);
+  }
+  ASSERT_TRUE(fs::exists(path)) << "cancel must leave a resumable checkpoint";
+  EXPECT_FALSE(fs::exists(path + ".tmp"));
+
+  // Clear the flag and resume at a different worker count.
+  cancel.store(false);
+  ResilienceOptions resume_opts = cancelled_opts;
+  resume_opts.num_workers = 4;
+  Rng resume_rng(222);
+  const RunOutput<SimPoint> resumed = ResilientTrials(
+      kTrials, resume_rng, RepetitionBody, adapter, resume_opts);
+  EXPECT_EQ(resumed.results, baseline.results)
+      << "cancel-and-resume changed per-trial results";
+  EXPECT_EQ(resumed.report.Fingerprint(), baseline.report.Fingerprint());
+  EXPECT_GT(resumed.report.resumed_trials, 0) << "the audit is vacuous";
+  fs::remove(path);
+}
+
+TEST(CancelAndDeadlineAudit, DeadlineStopsAtBatchBoundaryThenResumes) {
+  const SimPointAdapter adapter;
+  ResilienceOptions baseline_opts;
+  baseline_opts.num_workers = 1;
+  Rng baseline_rng(333);
+  const RunOutput<SimPoint> baseline = ResilientTrials(
+      kTrials, baseline_rng, RepetitionBody, adapter, baseline_opts);
+
+  const std::string path = TempPath("deadline_audit.nbckpt");
+  fs::remove(path);
+  // Virtual time: each trial "takes" 10ms, so the 40ms deadline expires
+  // mid-sweep and the engine stops at the next batch boundary.
+  FakeClock clock;
+  const auto slow_body = [&](int t, Rng& rng) {
+    clock.Advance(10);
+    return RepetitionBody(t, rng);
+  };
+  ResilienceOptions expired_opts;
+  expired_opts.checkpoint_path = path;
+  expired_opts.checkpoint_every = 3;
+  expired_opts.config_hash = Fnv1a64("deadline-audit");
+  expired_opts.num_workers = 1;
+  expired_opts.clock = &clock;
+  expired_opts.deadline_at_millis = 40;
+  {
+    Rng rng(333);
+    EXPECT_THROW(
+        (void)ResilientTrials(kTrials, rng, slow_body, adapter, expired_opts),
+        RunDeadlineExceeded);
+  }
+  ASSERT_TRUE(fs::exists(path))
+      << "deadline expiry must leave a resumable checkpoint";
+
+  // A fresh run with a roomy deadline resumes onto the baseline.
+  ResilienceOptions resume_opts = expired_opts;
+  resume_opts.deadline_at_millis = 0;
+  resume_opts.num_workers = 4;
+  Rng resume_rng(333);
+  const RunOutput<SimPoint> resumed = ResilientTrials(
+      kTrials, resume_rng, RepetitionBody, adapter, resume_opts);
+  EXPECT_EQ(resumed.results, baseline.results)
+      << "deadline-and-resume changed per-trial results";
+  EXPECT_EQ(resumed.report.Fingerprint(), baseline.report.Fingerprint());
+  EXPECT_GT(resumed.report.resumed_trials, 0) << "the audit is vacuous";
+  fs::remove(path);
+}
+
+TEST(CancelAndDeadlineAudit, FinishedFinalBatchBeatsTheDeadline) {
+  // The deadline bounds time-to-abandon, never time-to-win: a run whose
+  // last trial completes after the deadline still returns its results.
+  const SimPointAdapter adapter;
+  FakeClock clock;
+  const auto slow_body = [&](int t, Rng& rng) {
+    clock.Advance(1000);  // every trial blows way past the deadline
+    return RepetitionBody(t, rng);
+  };
+  ResilienceOptions opts;
+  opts.num_workers = 1;
+  opts.clock = &clock;
+  opts.deadline_at_millis = 500;
+  // No checkpointing: one batch covers the whole sweep, so the only
+  // check_stop with work remaining is at entry (clock still at 0).
+  Rng rng(444);
+  RunOutput<SimPoint> run;
+  EXPECT_NO_THROW(
+      run = ResilientTrials(kTrials, rng, slow_body, adapter, opts));
+  EXPECT_EQ(static_cast<int>(run.results.size()), kTrials);
 }
 
 }  // namespace

@@ -1,0 +1,182 @@
+// ResultCache: crash-safe content-addressed storage for job results.
+// Covers the graceful-degradation ladder (miss, rot-quarantine, mis-keyed
+// quarantine, counted write failure) and -- the PR 8 concurrency
+// acceptance -- parallel identical and near-identical keys racing
+// insert/lookup/quarantine from ParallelForEach workers, which must be
+// TSan-clean and end in a consistent on-disk state.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "failpoint/fail_plan.h"
+#include "failpoint/fs.h"
+#include "service/result_cache.h"
+#include "util/parallel.h"
+
+namespace noisybeeps::service {
+namespace {
+
+namespace stdfs = std::filesystem;
+
+// A fresh per-test directory: concurrency tests hammer the same keys, so
+// leftovers from a previous test must not masquerade as hits.
+std::string FreshDir(const std::string& name) {
+  const stdfs::path dir = stdfs::path(::testing::TempDir()) / name;
+  stdfs::remove_all(dir);
+  stdfs::create_directories(dir);
+  return dir.string();
+}
+
+TEST(ResultCache, MissThenInsertThenHit) {
+  ResultCache cache(failpoint::RealFs::Instance(), FreshDir("cache_basic"));
+  EXPECT_EQ(cache.Lookup(42), std::nullopt);
+  EXPECT_TRUE(cache.Insert(42, "payload-bytes"));
+  EXPECT_EQ(cache.Lookup(42), "payload-bytes");
+  EXPECT_EQ(cache.Lookup(43), std::nullopt);  // near-identical key: miss
+  const ResultCache::Counters counters = cache.counters();
+  EXPECT_EQ(counters.hits, 1);
+  EXPECT_EQ(counters.misses, 2);
+  EXPECT_EQ(counters.inserts, 1);
+  EXPECT_EQ(counters.quarantined, 0);
+}
+
+TEST(ResultCache, BitRotQuarantinesAndReportsAMiss) {
+  const std::string dir = FreshDir("cache_rot");
+  ResultCache cache(failpoint::RealFs::Instance(), dir);
+  ASSERT_TRUE(cache.Insert(7, "original"));
+  {
+    std::ofstream rot(cache.EntryPath(7), std::ios::binary);
+    rot << "not a checkpoint at all";
+  }
+  EXPECT_EQ(cache.Lookup(7), std::nullopt);
+  EXPECT_TRUE(stdfs::exists(cache.EntryPath(7) + ".corrupt"))
+      << "rot must be quarantined for forensics, not deleted";
+  EXPECT_FALSE(stdfs::exists(cache.EntryPath(7)));
+  EXPECT_EQ(cache.counters().quarantined, 1);
+  // The caller recomputes and reinserts; the cache is whole again.
+  EXPECT_TRUE(cache.Insert(7, "recomputed"));
+  EXPECT_EQ(cache.Lookup(7), "recomputed");
+}
+
+TEST(ResultCache, MisKeyedEntryQuarantinesEvenWithAValidChecksum) {
+  const std::string dir = FreshDir("cache_miskey");
+  ResultCache cache(failpoint::RealFs::Instance(), dir);
+  ASSERT_TRUE(cache.Insert(1, "belongs-to-key-1"));
+  // A byte-valid checkpoint under the wrong name: its internal
+  // config_hash (1) contradicts the key the path claims (2).
+  stdfs::rename(cache.EntryPath(1), cache.EntryPath(2));
+  EXPECT_EQ(cache.Lookup(2), std::nullopt);
+  EXPECT_TRUE(stdfs::exists(cache.EntryPath(2) + ".corrupt"));
+  EXPECT_EQ(cache.counters().quarantined, 1);
+}
+
+TEST(ResultCache, ExplicitQuarantineEvictsTheEntry) {
+  ResultCache cache(failpoint::RealFs::Instance(), FreshDir("cache_evict"));
+  ASSERT_TRUE(cache.Insert(5, "decodes-to-garbage"));
+  cache.Quarantine(5);
+  EXPECT_EQ(cache.Lookup(5), std::nullopt);
+  EXPECT_EQ(cache.counters().quarantined, 1);
+}
+
+TEST(ResultCache, FailedInsertIsCountedNotFatal) {
+  failpoint::FailPlan plan;
+  plan.Fail(failpoint::FailOp::kWrite, 0, 0);
+  failpoint::FaultingFs fs(failpoint::RealFs::Instance(), plan);
+  ResultCache cache(&fs, FreshDir("cache_failwrite"));
+  EXPECT_FALSE(cache.Insert(9, "never lands"));
+  EXPECT_EQ(cache.counters().write_failures, 1);
+  EXPECT_EQ(cache.Lookup(9), std::nullopt);  // one entry colder, no more
+  // The writer cleaned up after itself.
+  EXPECT_FALSE(stdfs::exists(cache.EntryPath(9) + ".tmp"));
+  // The next insert (hit window passed) succeeds.
+  EXPECT_TRUE(cache.Insert(9, "lands now"));
+  EXPECT_EQ(cache.Lookup(9), "lands now");
+}
+
+TEST(ResultCache, RemoveCheckpointIsBestEffort) {
+  ResultCache cache(failpoint::RealFs::Instance(), FreshDir("cache_rmckpt"));
+  // Removing a checkpoint that never existed must not throw.
+  EXPECT_NO_THROW(cache.RemoveCheckpoint(3));
+  {
+    std::ofstream ckpt(cache.CheckpointPath(3), std::ios::binary);
+    ckpt << "in-flight bytes";
+  }
+  cache.RemoveCheckpoint(3);
+  EXPECT_FALSE(stdfs::exists(cache.CheckpointPath(3)));
+}
+
+// --- concurrency ----------------------------------------------------------
+
+std::string PayloadFor(std::uint64_t key) {
+  return "payload-" + std::to_string(key);
+}
+
+TEST(ResultCacheConcurrency, ParallelIdenticalAndNearIdenticalKeys) {
+  ResultCache cache(failpoint::RealFs::Instance(), FreshDir("cache_race"));
+  // 64 workers hammer 4 keys: per key, racing inserts of the SAME payload
+  // (identical JobSpecs) while other workers race lookups (near-identical
+  // JobSpecs map to the sibling keys).  Every hit must return the one
+  // true payload -- a torn or spliced read would surface here (and under
+  // TSan as a race).
+  constexpr int kOps = 64;
+  constexpr std::uint64_t kKeys = 4;
+  std::atomic<int> wrong_payloads{0};
+  (void)ParallelForEach(
+      kOps,
+      [&](int i) {
+        const std::uint64_t key = static_cast<std::uint64_t>(i) % kKeys;
+        if (i % 2 == 0) {
+          (void)cache.Insert(key, PayloadFor(key));
+        } else if (std::optional<std::string> hit = cache.Lookup(key)) {
+          if (*hit != PayloadFor(key)) wrong_payloads.fetch_add(1);
+        }
+        return 0;
+      },
+      8);
+  EXPECT_EQ(wrong_payloads.load(), 0);
+  // Quiescent state: every key resolves to its payload, no stray debris.
+  for (std::uint64_t key = 0; key < kKeys; ++key) {
+    (void)cache.Insert(key, PayloadFor(key));
+    EXPECT_EQ(cache.Lookup(key), PayloadFor(key)) << key;
+    EXPECT_FALSE(stdfs::exists(cache.EntryPath(key) + ".tmp")) << key;
+  }
+  const ResultCache::Counters counters = cache.counters();
+  EXPECT_EQ(counters.quarantined, 0);
+  EXPECT_EQ(counters.write_failures, 0);
+  EXPECT_EQ(counters.hits + counters.misses, kOps / 2 + kKeys);
+}
+
+TEST(ResultCacheConcurrency, QuarantineRacingLookupStaysConsistent) {
+  ResultCache cache(failpoint::RealFs::Instance(), FreshDir("cache_qrace"));
+  constexpr std::uint64_t kKey = 11;
+  ASSERT_TRUE(cache.Insert(kKey, PayloadFor(kKey)));
+  // Lookups race an explicit quarantine and reinserts.  Any individual
+  // lookup may hit or miss; what must NEVER happen is a wrong payload or
+  // an FsError escaping.
+  std::atomic<int> wrong_payloads{0};
+  (void)ParallelForEach(
+      32,
+      [&](int i) {
+        if (i == 16) {
+          cache.Quarantine(kKey);
+        } else if (i % 4 == 0) {
+          (void)cache.Insert(kKey, PayloadFor(kKey));
+        } else if (std::optional<std::string> hit = cache.Lookup(kKey)) {
+          if (*hit != PayloadFor(kKey)) wrong_payloads.fetch_add(1);
+        }
+        return 0;
+      },
+      8);
+  EXPECT_EQ(wrong_payloads.load(), 0);
+  (void)cache.Insert(kKey, PayloadFor(kKey));
+  EXPECT_EQ(cache.Lookup(kKey), PayloadFor(kKey));
+}
+
+}  // namespace
+}  // namespace noisybeeps::service

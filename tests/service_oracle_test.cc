@@ -1,0 +1,236 @@
+// The service crash-consistency oracle -- PR 8's acceptance criterion,
+// extending the failpoint oracle (failpoint_oracle_test.cc) from one
+// checkpoint file to the whole service: cache lookups, job checkpoints,
+// entry inserts, checkpoint removal.  A counting FaultingFs enumerates
+// every Fs operation a three-request workload performs; the oracle then
+//   * kill -9s the service at EACH operation (InjectedCrash) and reboots
+//     a fresh service over the surviving cache directory -- the rerun
+//     must answer every request with baseline-identical results (only
+//     the cached= flag may differ: a reboot legitimately serves from
+//     whatever the crash left behind) and leave no torn temp files;
+//   * injects an ordinary failure at each operation -- the run must
+//     degrade gracefully (no throw, no wrong answer);
+//   * corrupts / truncates every read -- rot must quarantine and
+//     recompute, never serve damaged bytes.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "failpoint/fail_plan.h"
+#include "failpoint/fs.h"
+#include "resilience/clock.h"
+#include "service/protocol.h"
+#include "service/service.h"
+
+namespace noisybeeps::service {
+namespace {
+
+namespace stdfs = std::filesystem;
+
+using failpoint::FailOp;
+using failpoint::FailOpName;
+using failpoint::FailPlan;
+using failpoint::FaultingFs;
+using failpoint::InjectedCrash;
+using failpoint::RealFs;
+
+std::string FreshDir(const std::string& name) {
+  const stdfs::path dir = stdfs::path(::testing::TempDir()) / name;
+  stdfs::remove_all(dir);
+  stdfs::create_directories(dir);
+  return dir.string();
+}
+
+JobSpec FastSpec(std::uint64_t seed) {
+  JobSpec spec;
+  spec.task = "input_set";
+  spec.channel = "correlated";
+  spec.sim = "repetition";
+  spec.n = 8;
+  spec.eps = 0.05;
+  spec.trials = 9;
+  spec.seed = seed;
+  return spec;
+}
+
+// The workload: two recomputes with a cache hit between them, so every
+// kind of service I/O (miss lookup, job checkpointing, insert, hit
+// lookup, checkpoint removal) registers failpoints.
+std::vector<Request> Workload() {
+  return {{"a1", FastSpec(21)}, {"a2", FastSpec(21)}, {"b1", FastSpec(99)}};
+}
+
+ServiceOptions Options(const std::string& dir, failpoint::Fs* fs,
+                       const resilience::Clock* clock) {
+  ServiceOptions options;
+  options.cache_dir = dir;
+  options.fs = fs;
+  options.clock = clock;
+  options.checkpoint_every = 4;
+  return options;
+}
+
+// One reply's comparable spelling: the wire line with the cached= flag
+// normalized away.  EVERY other byte -- status, fingerprint, success
+// ratio, verdicts, means -- must be crash-schedule-invariant.
+std::string NormalizedLine(Reply reply) {
+  reply.cached = false;
+  return FormatReplyLine(reply);
+}
+
+// Runs the full workload on one service, Submit + RunNext per request
+// (InjectedCrash propagates to the caller).
+std::vector<Reply> RunWorkload(TrialService& service) {
+  std::vector<Reply> replies;
+  for (const Request& request : Workload()) {
+    std::optional<Reply> immediate = service.Submit(request);
+    if (!immediate.has_value()) immediate = service.RunNext();
+    replies.push_back(std::move(*immediate));
+  }
+  return replies;
+}
+
+// Helper dirs take a per-TEST tag: gtest_discover_tests runs each TEST
+// as its own ctest process, so parallel ctest would otherwise have two
+// tests remove_all-ing the same directory out from under each other.
+std::vector<std::string> BaselineLines(const std::string& tag) {
+  resilience::FakeClock clock;
+  TrialService service(Options(FreshDir("svc_oracle_baseline_" + tag),
+                               RealFs::Instance(), &clock));
+  std::vector<std::string> lines;
+  for (const Reply& reply : RunWorkload(service)) {
+    EXPECT_EQ(reply.status, ReplyStatus::kOk);
+    lines.push_back(NormalizedLine(reply));
+  }
+  return lines;
+}
+
+// Counting pass: the registered failpoints of the service workload.
+std::vector<std::pair<FailOp, std::int64_t>> EnumerateFailpoints(
+    const std::string& tag) {
+  resilience::FakeClock clock;
+  FaultingFs counter(RealFs::Instance());
+  TrialService service(
+      Options(FreshDir("svc_oracle_enumerate_" + tag), &counter, &clock));
+  (void)RunWorkload(service);
+  std::vector<std::pair<FailOp, std::int64_t>> points;
+  for (FailOp op : {FailOp::kRead, FailOp::kWrite, FailOp::kSync,
+                    FailOp::kRename, FailOp::kRemove}) {
+    for (std::int64_t hit = 0; hit < counter.HitCount(op); ++hit) {
+      points.emplace_back(op, hit);
+    }
+  }
+  return points;
+}
+
+void ExpectNoTornFiles(const std::string& dir, const std::string& label) {
+  for (const auto& entry : stdfs::directory_iterator(dir)) {
+    EXPECT_NE(entry.path().extension(), ".tmp")
+        << label << ": torn temp file " << entry.path();
+  }
+}
+
+TEST(ServiceOracle, WorkloadRegistersEnoughFailpoints) {
+  // Two recomputes (each: miss lookup, checkpoint probe, ~3 checkpoints
+  // of write+sync+rename, entry insert, checkpoint remove) plus one hit
+  // lookup.  A shrunken enumeration means the sweeps below lost coverage.
+  EXPECT_GE(EnumerateFailpoints("count").size(), 25u);
+}
+
+TEST(ServiceOracle, RebootAfterCrashAtEveryFailpointAnswersIdentically) {
+  const std::vector<std::string> baseline = BaselineLines("crash");
+  for (const auto& [op, hit] : EnumerateFailpoints("crash")) {
+    const std::string label = FailOpName(op) + "@" + std::to_string(hit);
+    const std::string dir = FreshDir("svc_oracle_crash");
+
+    // Incarnation 1: die exactly at this failpoint.
+    FailPlan plan;
+    plan.Crash(op, hit, hit);
+    FaultingFs fault_fs(RealFs::Instance(), plan);
+    {
+      resilience::FakeClock clock;
+      TrialService service(Options(dir, &fault_fs, &clock));
+      EXPECT_THROW((void)RunWorkload(service), InjectedCrash) << label;
+    }
+    EXPECT_EQ(fault_fs.SpecFires().at(0), 1) << label;
+
+    // Incarnation 2: reboot faultless over the surviving cache dir and
+    // replay the whole workload.
+    resilience::FakeClock clock;
+    TrialService service(Options(dir, RealFs::Instance(), &clock));
+    const std::vector<Reply> replies = RunWorkload(service);
+    ASSERT_EQ(replies.size(), baseline.size()) << label;
+    for (std::size_t i = 0; i < replies.size(); ++i) {
+      EXPECT_EQ(replies[i].status, ReplyStatus::kOk) << label;
+      EXPECT_EQ(NormalizedLine(replies[i]), baseline[i])
+          << label << ": crash-and-reboot changed request " << i;
+    }
+    ExpectNoTornFiles(dir, label);
+  }
+}
+
+TEST(ServiceOracle, FailureAtEveryFailpointDegradesGracefully) {
+  const std::vector<std::string> baseline = BaselineLines("fail");
+  for (const auto& [op, hit] : EnumerateFailpoints("fail")) {
+    const std::string label = FailOpName(op) + "@" + std::to_string(hit);
+    const std::string dir = FreshDir("svc_oracle_fail");
+    FailPlan plan;
+    plan.Fail(op, hit, hit);
+    FaultingFs fault_fs(RealFs::Instance(), plan);
+    resilience::FakeClock clock;
+    TrialService service(Options(dir, &fault_fs, &clock));
+    std::vector<Reply> replies;
+    // An ordinary I/O failure must never escape as an exception.
+    EXPECT_NO_THROW(replies = RunWorkload(service)) << label;
+    ASSERT_EQ(replies.size(), baseline.size()) << label;
+    for (std::size_t i = 0; i < replies.size(); ++i) {
+      EXPECT_EQ(replies[i].status, ReplyStatus::kOk) << label;
+      EXPECT_EQ(NormalizedLine(replies[i]), baseline[i])
+          << label << ": a handled I/O failure changed request " << i;
+    }
+    ExpectNoTornFiles(dir, label);
+  }
+}
+
+TEST(ServiceOracle, RotAtEveryReadQuarantinesAndRecomputes) {
+  const std::vector<std::string> baseline = BaselineLines("rot");
+  resilience::FakeClock enumerate_clock;
+  FaultingFs counter(RealFs::Instance());
+  {
+    TrialService service(
+        Options(FreshDir("svc_oracle_rot_count"), &counter, &enumerate_clock));
+    (void)RunWorkload(service);
+  }
+  for (const bool truncate : {false, true}) {
+    for (std::int64_t hit = 0; hit < counter.HitCount(FailOp::kRead); ++hit) {
+      const std::string label =
+          (truncate ? "truncate@" : "corrupt@") + std::to_string(hit);
+      const std::string dir = FreshDir("svc_oracle_rot");
+      FailPlan plan(/*seed=*/7);
+      if (truncate) {
+        plan.Truncate(hit, hit, 0.5);
+      } else {
+        plan.Corrupt(hit, hit, 3);
+      }
+      FaultingFs fault_fs(RealFs::Instance(), plan);
+      resilience::FakeClock clock;
+      TrialService service(Options(dir, &fault_fs, &clock));
+      std::vector<Reply> replies;
+      EXPECT_NO_THROW(replies = RunWorkload(service)) << label;
+      ASSERT_EQ(replies.size(), baseline.size()) << label;
+      for (std::size_t i = 0; i < replies.size(); ++i) {
+        EXPECT_EQ(replies[i].status, ReplyStatus::kOk) << label;
+        EXPECT_EQ(NormalizedLine(replies[i]), baseline[i])
+            << label << ": damaged bytes reached the reply for request " << i;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace noisybeeps::service

@@ -1,0 +1,359 @@
+// TrialService: the admission / shedding / deadline / cancel / drain
+// state machine, and the nbserved line protocol over it.  Everything runs
+// in-process on a FakeClock -- the robustness behaviours the daemon shows
+// under real overload are all provable here without a socket, which is
+// the point of the transport-agnostic core.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "resilience/clock.h"
+#include "service/protocol.h"
+#include "service/service.h"
+
+namespace noisybeeps::service {
+namespace {
+
+namespace stdfs = std::filesystem;
+
+std::string FreshDir(const std::string& name) {
+  const stdfs::path dir = stdfs::path(::testing::TempDir()) / name;
+  stdfs::remove_all(dir);
+  stdfs::create_directories(dir);
+  return dir.string();
+}
+
+JobSpec FastSpec(std::uint64_t seed = 21) {
+  JobSpec spec;
+  spec.task = "input_set";
+  spec.channel = "correlated";
+  spec.sim = "repetition";
+  spec.n = 8;
+  spec.eps = 0.05;
+  spec.trials = 9;
+  spec.seed = seed;
+  return spec;
+}
+
+ServiceOptions SmallOptions(const std::string& dir,
+                            const resilience::Clock* clock) {
+  ServiceOptions options;
+  options.cache_dir = dir;
+  options.clock = clock;
+  options.max_queue = 2;
+  options.retry_after_base_millis = 25;
+  options.job_cost_hint_millis = 200;
+  options.checkpoint_every = 4;
+  return options;
+}
+
+TEST(TrialService, RunsAQueuedJobAndCachesTheRerun) {
+  resilience::FakeClock clock;
+  TrialService service(SmallOptions(FreshDir("svc_basic"), &clock));
+
+  ASSERT_EQ(service.Submit({"job1", FastSpec()}), std::nullopt);
+  EXPECT_EQ(service.QueueDepth(), 1u);
+  const std::optional<Reply> first = service.RunNext();
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(first->status, ReplyStatus::kOk);
+  EXPECT_FALSE(first->cached);
+  EXPECT_EQ(first->result.trials, 9);
+
+  // The identical request is served from cache, bit-for-bit.
+  ASSERT_EQ(service.Submit({"job2", FastSpec()}), std::nullopt);
+  const std::optional<Reply> second = service.RunNext();
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(second->status, ReplyStatus::kOk);
+  EXPECT_TRUE(second->cached);
+  EXPECT_EQ(second->result, first->result);
+
+  // A near-identical request (different trial count -> different cache
+  // key) recomputes instead of colliding with the cached entry.
+  JobSpec shorter = FastSpec();
+  shorter.trials = 5;
+  ASSERT_EQ(service.Submit({"job3", shorter}), std::nullopt);
+  const std::optional<Reply> third = service.RunNext();
+  ASSERT_TRUE(third.has_value());
+  EXPECT_FALSE(third->cached);
+  EXPECT_EQ(third->result.trials, 5);
+  EXPECT_NE(third->result.results_fingerprint,
+            first->result.results_fingerprint);
+
+  const ServiceReport report = service.report();
+  EXPECT_EQ(report.submitted, 3);
+  EXPECT_EQ(report.admitted, 3);
+  EXPECT_EQ(report.completed, 3);
+  EXPECT_EQ(report.cache_hits, 1);
+  EXPECT_EQ(report.recomputed, 2);
+  // The finished jobs' trial checkpoints were cleaned up.
+  EXPECT_FALSE(
+      stdfs::exists(service.cache().CheckpointPath(FastSpec().CacheKey())));
+}
+
+TEST(TrialService, MalformedSpecIsRejectedImmediately) {
+  resilience::FakeClock clock;
+  TrialService service(SmallOptions(FreshDir("svc_reject"), &clock));
+  JobSpec bad = FastSpec();
+  bad.task = "telepathy";
+  const std::optional<Reply> reply = service.Submit({"bad1", bad});
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_EQ(reply->status, ReplyStatus::kError);
+  EXPECT_NE(reply->error.find("unknown task"), std::string::npos);
+  EXPECT_EQ(service.QueueDepth(), 0u);
+  EXPECT_EQ(service.report().rejected, 1);
+}
+
+TEST(TrialService, FullQueueShedsWithDepthScaledRetryAfter) {
+  resilience::FakeClock clock;
+  TrialService service(SmallOptions(FreshDir("svc_full"), &clock));
+  ASSERT_EQ(service.Submit({"a", FastSpec(1)}), std::nullopt);
+  ASSERT_EQ(service.Submit({"b", FastSpec(2)}), std::nullopt);
+  const std::optional<Reply> shed = service.Submit({"c", FastSpec(3)});
+  ASSERT_TRUE(shed.has_value());
+  EXPECT_EQ(shed->status, ReplyStatus::kShed);
+  EXPECT_EQ(shed->shed_reason, ShedReason::kQueueFull);
+  // Deterministic hint: cost_hint (200) x queue depth (2).
+  EXPECT_EQ(shed->retry_after_millis, 400);
+  // The shed is explicit, never a silent drop: submitted counts it.
+  const ServiceReport report = service.report();
+  EXPECT_EQ(report.submitted, 3);
+  EXPECT_EQ(report.shed_queue_full, 1);
+  // Draining the queue reopens admission.
+  EXPECT_EQ(service.RunQueued().size(), 2u);
+  EXPECT_EQ(service.Submit({"c2", FastSpec(3)}), std::nullopt);
+}
+
+TEST(TrialService, UnmeetableDeadlineIsShedAtAdmission) {
+  resilience::FakeClock clock;
+  TrialService service(SmallOptions(FreshDir("svc_deadline"), &clock));
+
+  // Shorter than one job's cost hint: can NEVER be met -> retry_after 0.
+  JobSpec hopeless = FastSpec();
+  hopeless.deadline_millis = 100;  // < cost hint 200
+  std::optional<Reply> shed = service.Submit({"h", hopeless});
+  ASSERT_TRUE(shed.has_value());
+  EXPECT_EQ(shed->status, ReplyStatus::kShed);
+  EXPECT_EQ(shed->shed_reason, ShedReason::kDeadline);
+  EXPECT_EQ(shed->retry_after_millis, 0);
+
+  // Meetable when idle but not behind a queued job: positive retry-after.
+  ASSERT_EQ(service.Submit({"a", FastSpec(1)}), std::nullopt);
+  JobSpec squeezed = FastSpec(2);
+  squeezed.deadline_millis = 300;  // >= 200, < 2 x 200
+  shed = service.Submit({"s", squeezed});
+  ASSERT_TRUE(shed.has_value());
+  EXPECT_EQ(shed->shed_reason, ShedReason::kDeadline);
+  EXPECT_GT(shed->retry_after_millis, 0);
+
+  // With room to spare it is admitted.
+  JobSpec comfy = FastSpec(3);
+  comfy.deadline_millis = 1000;
+  EXPECT_EQ(service.Submit({"c", comfy}), std::nullopt);
+  EXPECT_EQ(service.report().shed_deadline, 2);
+}
+
+TEST(TrialService, DeadlinePassedInQueueTimesOutWithoutRunning) {
+  resilience::FakeClock clock;
+  TrialService service(SmallOptions(FreshDir("svc_queue_to"), &clock));
+  JobSpec spec = FastSpec();
+  spec.deadline_millis = 500;
+  ASSERT_EQ(service.Submit({"late", spec}), std::nullopt);
+  clock.Advance(500);  // the deadline passes while the job queues
+  const std::optional<Reply> reply = service.RunNext();
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_EQ(reply->status, ReplyStatus::kTimeout);
+  const ServiceReport report = service.report();
+  EXPECT_EQ(report.timed_out, 1);
+  EXPECT_EQ(report.completed, 0);
+  // Late answers are not answers: nothing was computed or cached.
+  EXPECT_EQ(service.cache().counters().misses, 0);
+  EXPECT_FALSE(stdfs::exists(service.cache().EntryPath(spec.CacheKey())));
+}
+
+TEST(TrialService, DeadlineExpiryMidJobTimesOutAtABatchBoundary) {
+  resilience::FakeClock clock;
+  ServiceOptions options = SmallOptions(FreshDir("svc_midrun_to"), &clock);
+  options.checkpoint_every = 2;
+  TrialService service(options);
+
+  // Every checkpoint sync stalls 400 virtual ms (the latency fault sleeps
+  // on the service clock), so the 500 ms deadline expires mid-run: the
+  // engine must stop at the next batch boundary with a timeout verdict.
+  JobSpec spec = FastSpec();
+  spec.fail_plan = "latency:sync@0-*:400";
+  spec.deadline_millis = 500;
+  ASSERT_EQ(service.Submit({"slow", spec}), std::nullopt);
+  const std::optional<Reply> reply = service.RunNext();
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_EQ(reply->status, ReplyStatus::kTimeout);
+  EXPECT_EQ(service.report().timed_out, 1);
+  // Partial work IS checkpointed: a retry of the same spec resumes, not
+  // restarts (the checkpoint survives under the job's cache key).
+  EXPECT_TRUE(
+      stdfs::exists(service.cache().CheckpointPath(spec.CacheKey())));
+}
+
+TEST(TrialService, CancelFlagCancelsTheInFlightJob) {
+  resilience::FakeClock clock;
+  TrialService service(SmallOptions(FreshDir("svc_cancel"), &clock));
+  ASSERT_EQ(service.Submit({"j1", FastSpec()}), std::nullopt);
+  service.cancel_flag().store(true);
+  const std::optional<Reply> cancelled = service.RunNext();
+  ASSERT_TRUE(cancelled.has_value());
+  EXPECT_EQ(cancelled->status, ReplyStatus::kCancelled);
+  EXPECT_EQ(service.report().cancelled, 1);
+
+  // Clearing the flag restores service; the job completes normally.
+  service.cancel_flag().store(false);
+  ASSERT_EQ(service.Submit({"j2", FastSpec()}), std::nullopt);
+  const std::optional<Reply> ok = service.RunNext();
+  ASSERT_TRUE(ok.has_value());
+  EXPECT_EQ(ok->status, ReplyStatus::kOk);
+}
+
+TEST(TrialService, DrainShedsNewWorkButFinishesAdmittedWork) {
+  resilience::FakeClock clock;
+  TrialService service(SmallOptions(FreshDir("svc_drain"), &clock));
+  ASSERT_EQ(service.Submit({"keep", FastSpec()}), std::nullopt);
+  service.BeginDrain();
+  EXPECT_TRUE(service.draining());
+
+  const std::optional<Reply> shed = service.Submit({"late", FastSpec(2)});
+  ASSERT_TRUE(shed.has_value());
+  EXPECT_EQ(shed->status, ReplyStatus::kShed);
+  EXPECT_EQ(shed->shed_reason, ShedReason::kDraining);
+  EXPECT_EQ(shed->retry_after_millis, 0);  // retrying here will not help
+
+  const std::vector<Reply> replies = service.RunQueued();
+  ASSERT_EQ(replies.size(), 1u);
+  EXPECT_EQ(replies[0].id, "keep");
+  EXPECT_EQ(replies[0].status, ReplyStatus::kOk);
+  const ServiceReport report = service.report();
+  EXPECT_EQ(report.shed_draining, 1);
+  EXPECT_EQ(report.completed, 1);
+}
+
+TEST(TrialService, RunNextOnEmptyQueueIsNullopt) {
+  resilience::FakeClock clock;
+  TrialService service(SmallOptions(FreshDir("svc_empty"), &clock));
+  EXPECT_EQ(service.RunNext(), std::nullopt);
+  EXPECT_TRUE(service.RunQueued().empty());
+}
+
+TEST(ServiceReportFormat, SpellsTheFullTaxonomy) {
+  ServiceReport report;
+  report.submitted = 12;
+  report.rejected = 1;
+  report.admitted = 8;
+  report.shed_queue_full = 2;
+  report.shed_deadline = 1;
+  report.completed = 7;
+  report.cache_hits = 3;
+  report.recomputed = 4;
+  report.timed_out = 1;
+  const std::string text = FormatServiceReport(report);
+  EXPECT_NE(text.find("submitted=12"), std::string::npos) << text;
+  EXPECT_NE(text.find("shed[queue_full=2 deadline=1 draining=0]"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("cache[hits=3"), std::string::npos) << text;
+}
+
+// --- the line protocol ----------------------------------------------------
+
+TEST(ServiceProtocol, RequestLineRoundTripsEveryField) {
+  Request request;
+  request.id = "job-7";
+  request.spec = FastSpec();
+  request.spec.fault_plan = "crash:3@2";
+  request.spec.fault_seed = 7;
+  request.spec.fail_plan = "fail:write@0";
+  request.spec.fail_seed = 11;
+  request.spec.max_attempts = 2;
+  request.spec.retry_backoff_millis = 5;
+  request.spec.deadline_millis = 500;
+  EXPECT_EQ(ParseRequestLine(FormatRequestLine(request)), request);
+
+  // Defaulted fields are elided but parse back to the same spec.
+  const Request plain{"p", FastSpec()};
+  EXPECT_EQ(ParseRequestLine(FormatRequestLine(plain)), plain);
+}
+
+TEST(ServiceProtocol, RequestParsingIsStrict) {
+  EXPECT_THROW((void)ParseRequestLine("task=input_set"),  // no id
+               std::invalid_argument);
+  EXPECT_THROW((void)ParseRequestLine("id=x blorp=1"),  // unknown key
+               std::invalid_argument);
+  EXPECT_THROW((void)ParseRequestLine("id=x n=many"),  // bad value
+               std::invalid_argument);
+  EXPECT_THROW((void)ParseRequestLine("id=x seed=-1"),  // negative unsigned
+               std::invalid_argument);
+}
+
+TEST(ServiceProtocol, ReplyLinesRoundTripTextStable) {
+  Reply shed;
+  shed.id = "s1";
+  shed.status = ReplyStatus::kShed;
+  shed.shed_reason = ShedReason::kQueueFull;
+  shed.retry_after_millis = 400;
+  EXPECT_EQ(ParseReplyLine(FormatReplyLine(shed)), shed);
+
+  Reply timeout;
+  timeout.id = "t1";
+  timeout.status = ReplyStatus::kTimeout;
+  EXPECT_EQ(ParseReplyLine(FormatReplyLine(timeout)), timeout);
+
+  Reply error;
+  error.id = "e1";
+  error.status = ReplyStatus::kError;
+  error.error = "unknown task: telepathy (spaces survive)";
+  EXPECT_EQ(ParseReplyLine(FormatReplyLine(error)), error);
+}
+
+TEST(ServiceProtocol, OkReplyRoundTripsItsSummaryFields) {
+  // The full JobResult does not travel over the wire; the documented
+  // contract is TEXT stability: format -> parse -> format is identity.
+  Reply ok;
+  ok.id = "ok1";
+  ok.status = ReplyStatus::kOk;
+  ok.cached = true;
+  ok.result.trials = 9;
+  ok.result.successes = 8;
+  ok.result.verdicts = {7, 1, 1};
+  ok.result.mean_rounds = 123.5;
+  ok.result.mean_blowup = 3.25;
+  ok.result.results_fingerprint = 0xb545f62148438a44ULL;
+  ok.result.report.retried = 2;
+  ok.result.report.abandoned = 1;
+  const std::string line = FormatReplyLine(ok);
+  const Reply parsed = ParseReplyLine(line);
+  EXPECT_EQ(FormatReplyLine(parsed), line);
+  EXPECT_EQ(parsed.result.results_fingerprint, ok.result.results_fingerprint);
+  EXPECT_EQ(parsed.result.successes, 8);
+  EXPECT_EQ(parsed.result.trials, 9);
+  EXPECT_TRUE(parsed.cached);
+}
+
+TEST(ServiceProtocol, EndToEndThroughTheService) {
+  resilience::FakeClock clock;
+  TrialService service(SmallOptions(FreshDir("svc_proto"), &clock));
+  const Request request = ParseRequestLine(
+      "id=wire1 task=input_set channel=correlated sim=repetition n=8 "
+      "eps=0.05 trials=9 seed=21");
+  ASSERT_EQ(service.Submit(request), std::nullopt);
+  const std::optional<Reply> reply = service.RunNext();
+  ASSERT_TRUE(reply.has_value());
+  const std::string line = FormatReplyLine(*reply);
+  EXPECT_EQ(line.find("id=wire1 status=ok cached=0 fingerprint="), 0u) << line;
+  // The wire line round-trips and carries the fingerprint faithfully.
+  EXPECT_EQ(ParseReplyLine(line).result.results_fingerprint,
+            reply->result.results_fingerprint);
+}
+
+}  // namespace
+}  // namespace noisybeeps::service

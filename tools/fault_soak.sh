@@ -14,14 +14,21 @@
 #              The resumed run must report the exact fingerprint of the
 #              uninterrupted one; any divergence fails loudly.
 #   chaos   -- checkpoint-I/O fault injection through the failpoint::Fs
-#              seam (--fail-plan, docs/RESILIENCE.md).  Degrade plans
-#              (failed/short writes, failed renames, truncated/corrupt/
-#              unreadable reads, latency) must complete gracefully with
-#              the clean run's exact fingerprint; crash plans (injected
-#              kill mid-protocol, exit 4) must leave a state a faultless
-#              rerun resumes to the clean fingerprint.  Every run's
-#              "failpoints ... specs_fired=X/Y" line is checked for
-#              X == Y, so a plan that never bites cannot pass as tested.
+#              seam (--fail-plan, docs/RESILIENCE.md).  The fail plan is
+#              part of the checkpoint's config hash, so every stage of a
+#              chaos round trip runs under the SAME plan and seed.
+#              Degrade plans (failed/short writes, failed renames,
+#              truncated/corrupt/unreadable reads, latency) must halt or
+#              complete and then resume to the clean run's exact
+#              fingerprint; crash plans (injected kill mid-protocol,
+#              exit 4) are resumed under the same plan again and again
+#              until the run outlives its own crash windows -- the final
+#              fingerprint must match the clean run, with no torn temp
+#              file at any point.  A plan/no-plan mismatch across a
+#              checkpoint must be REFUSED (exit 2) in both directions.
+#              Every chaotic run's "failpoints ... specs_fired=X/Y" line
+#              is checked for X == Y, so a plan that never bites cannot
+#              pass as tested.
 #
 # Usage: tools/fault_soak.sh <path-to-nbsim> [faults|resume|chaos|all]
 set -u
@@ -135,37 +142,38 @@ check_chaos_coverage() {
   return 0
 }
 
-# Degrade plan: stage 1 leaves a real checkpoint (faultless halt, exit 3)
-# so read faults have bytes to bite; stage 2 resumes under the plan and
-# must COMPLETE gracefully with the clean fingerprint -- quarantine and
-# recompute, never a wrong result or an abort.
+# Degrade plan: stage 1 runs UNDER the plan with a halt-after so a
+# checkpoint (stamped with the plan's config hash) may land mid-sweep.
+# Plans that starve checkpointing simply complete in stage 1; otherwise
+# stage 2 resumes under the IDENTICAL plan.  Either way the workload must
+# end gracefully with the clean fingerprint -- quarantine and recompute,
+# never a wrong result or an abort -- and full failpoint coverage.
 check_chaos_degrade() {
   local label="$1" plan="$2"
-  local ckpt out resumed rc
+  local ckpt out fp rc
   ckpt="$(mktemp -t nbchaos.XXXXXX.nbckpt)"
   rm -f "$ckpt"
 
-  timeout "$timeout_s" "$nbsim" "${chaos_base[@]}" --workers=2 \
-      --checkpoint="$ckpt" --checkpoint-every=3 --halt-after=1 > /dev/null
-  rc=$?
-  if [ "$rc" -ne 3 ]; then
-    echo "CHAOS-SOAK FAILURE ($label): staging halt expected exit 3, got $rc"
-    failures=$((failures + 1)); rm -f "$ckpt" "$ckpt.tmp"; return
-  fi
-
-  out="$(timeout "$timeout_s" "$nbsim" "${chaos_base[@]}" --workers=4 \
-           --checkpoint="$ckpt" --checkpoint-every=3 \
+  out="$(timeout "$timeout_s" "$nbsim" "${chaos_base[@]}" --workers=2 \
+           --checkpoint="$ckpt" --checkpoint-every=3 --halt-after=1 \
            --fail-plan="$plan" --fail-seed=7)"
   rc=$?
+  if [ "$rc" -eq 3 ]; then
+    # Halted at a plan-stamped checkpoint; resume under the same plan.
+    out="$(timeout "$timeout_s" "$nbsim" "${chaos_base[@]}" --workers=4 \
+             --checkpoint="$ckpt" --checkpoint-every=3 \
+             --fail-plan="$plan" --fail-seed=7)"
+    rc=$?
+  fi
   if [ "$rc" -gt 1 ]; then
     echo "CHAOS-SOAK FAILURE ($label): expected graceful completion," \
          "got exit $rc"
     failures=$((failures + 1))
     rm -f "$ckpt" "$ckpt.tmp" "$ckpt.corrupt"; return
   fi
-  resumed="$(printf '%s\n' "$out" | fingerprint_of)"
-  if [ "$resumed" != "$chaos_clean" ]; then
-    echo "CHAOS-SOAK FAILURE ($label): degraded fingerprint $resumed" \
+  fp="$(printf '%s\n' "$out" | fingerprint_of)"
+  if [ "$fp" != "$chaos_clean" ]; then
+    echo "CHAOS-SOAK FAILURE ($label): degraded fingerprint $fp" \
          "diverges from clean $chaos_clean"
     failures=$((failures + 1))
     rm -f "$ckpt" "$ckpt.tmp" "$ckpt.corrupt"; return
@@ -173,45 +181,110 @@ check_chaos_degrade() {
   check_chaos_coverage "$label" "$out" || {
     rm -f "$ckpt" "$ckpt.tmp" "$ckpt.corrupt"; return;
   }
+  if [ -e "$ckpt.tmp" ]; then
+    echo "CHAOS-SOAK FAILURE ($label): torn temp file left behind"
+    failures=$((failures + 1)); rm -f "$ckpt" "$ckpt.tmp" "$ckpt.corrupt"
+    return
+  fi
   echo "chaos soak: $label degraded gracefully, fingerprint reproduced"
   rm -f "$ckpt" "$ckpt.tmp" "$ckpt.corrupt"
 }
 
 # Crash plan: the chaotic checkpointed run must die with the injected-kill
-# exit code 4 (after at least one good checkpoint), and a faultless rerun
-# must resume to the clean fingerprint with no torn temp file left.
+# exit code 4 (firing every spec), and because the plan is part of the
+# job's identity, the RESUME runs under the same plan -- crashing again at
+# the same windows until the shrinking remainder of the sweep outlives
+# them.  The final incarnation must complete with the clean fingerprint
+# and no torn temp file.
 check_chaos_crash() {
   local label="$1" plan="$2"
-  local ckpt out resumed rc
+  local ckpt out fp rc tries
   ckpt="$(mktemp -t nbchaos.XXXXXX.nbckpt)"
   rm -f "$ckpt"
 
-  out="$(timeout "$timeout_s" "$nbsim" "${chaos_base[@]}" --workers=2 \
-           --checkpoint="$ckpt" --checkpoint-every=3 \
-           --fail-plan="$plan" --fail-seed=7)"
-  rc=$?
-  if [ "$rc" -ne 4 ]; then
-    echo "CHAOS-SOAK FAILURE ($label): expected injected-crash exit 4," \
-         "got $rc"
+  tries=0
+  for tries in $(seq 1 12); do
+    out="$(timeout "$timeout_s" "$nbsim" "${chaos_base[@]}" --workers=2 \
+             --checkpoint="$ckpt" --checkpoint-every=3 \
+             --fail-plan="$plan" --fail-seed=7)"
+    rc=$?
+    if [ "$rc" -ne 4 ]; then break; fi
+    # Every crashing incarnation must have actually fired its specs.
+    check_chaos_coverage "$label/incarnation$tries" "$out" || {
+      rm -f "$ckpt" "$ckpt.tmp"; return;
+    }
+  done
+  if [ "$tries" -eq 1 ]; then
+    echo "CHAOS-SOAK FAILURE ($label): expected injected-crash exit 4" \
+         "on the first incarnation, got $rc"
     failures=$((failures + 1)); rm -f "$ckpt" "$ckpt.tmp"; return
   fi
-  check_chaos_coverage "$label" "$out" || {
-    rm -f "$ckpt" "$ckpt.tmp"; return;
-  }
-
-  resumed="$(timeout "$timeout_s" "$nbsim" "${chaos_base[@]}" --workers=4 \
-               --checkpoint="$ckpt" --checkpoint-every=3 | fingerprint_of)"
-  if [ "$resumed" != "$chaos_clean" ]; then
-    echo "CHAOS-SOAK FAILURE ($label): post-crash resume fingerprint" \
-         "$resumed diverges from clean $chaos_clean"
+  if [ "$rc" -gt 1 ]; then
+    echo "CHAOS-SOAK FAILURE ($label): incarnation $tries expected" \
+         "completion or another crash, got exit $rc"
+    failures=$((failures + 1)); rm -f "$ckpt" "$ckpt.tmp"; return
+  fi
+  fp="$(printf '%s\n' "$out" | fingerprint_of)"
+  if [ "$fp" != "$chaos_clean" ]; then
+    echo "CHAOS-SOAK FAILURE ($label): post-crash fingerprint $fp" \
+         "diverges from clean $chaos_clean after $tries incarnation(s)"
     failures=$((failures + 1)); rm -f "$ckpt" "$ckpt.tmp"; return
   fi
   if [ -e "$ckpt.tmp" ]; then
     echo "CHAOS-SOAK FAILURE ($label): torn temp file left after resume"
     failures=$((failures + 1)); rm -f "$ckpt" "$ckpt.tmp"; return
   fi
-  echo "chaos soak: $label crashed as injected, resume reproduced" \
-       "fingerprint"
+  echo "chaos soak: $label survived $tries incarnation(s), fingerprint" \
+       "reproduced"
+  rm -f "$ckpt" "$ckpt.tmp"
+}
+
+# The fail plan is config: a checkpoint written under one plan must be
+# refused (exit 2, config hash mismatch) by a run under another -- in
+# BOTH directions.  Silently resuming across a plan change would splice
+# two different computations into one result file.
+check_chaos_mismatch() {
+  local ckpt rc
+  ckpt="$(mktemp -t nbchaos.XXXXXX.nbckpt)"
+  rm -f "$ckpt"
+
+  # Clean halt, then a chaotic run tries to steal the checkpoint.
+  timeout "$timeout_s" "$nbsim" "${chaos_base[@]}" --workers=2 \
+      --checkpoint="$ckpt" --checkpoint-every=3 --halt-after=1 > /dev/null
+  rc=$?
+  if [ "$rc" -ne 3 ]; then
+    echo "CHAOS-SOAK FAILURE (mismatch): staging halt expected 3, got $rc"
+    failures=$((failures + 1)); rm -f "$ckpt" "$ckpt.tmp"; return
+  fi
+  timeout "$timeout_s" "$nbsim" "${chaos_base[@]}" --workers=4 \
+      --checkpoint="$ckpt" --checkpoint-every=3 \
+      --fail-plan='latency:write@0-*:1' --fail-seed=7 > /dev/null 2>&1
+  rc=$?
+  if [ "$rc" -ne 2 ]; then
+    echo "CHAOS-SOAK FAILURE (mismatch): chaotic resume of a clean" \
+         "checkpoint expected refusal exit 2, got $rc"
+    failures=$((failures + 1)); rm -f "$ckpt" "$ckpt.tmp"; return
+  fi
+  rm -f "$ckpt" "$ckpt.tmp"
+
+  # Chaotic halt, then a clean run tries to steal the checkpoint.
+  timeout "$timeout_s" "$nbsim" "${chaos_base[@]}" --workers=2 \
+      --checkpoint="$ckpt" --checkpoint-every=3 --halt-after=1 \
+      --fail-plan='latency:write@0-*:1' --fail-seed=7 > /dev/null
+  rc=$?
+  if [ "$rc" -ne 3 ]; then
+    echo "CHAOS-SOAK FAILURE (mismatch): chaotic halt expected 3, got $rc"
+    failures=$((failures + 1)); rm -f "$ckpt" "$ckpt.tmp"; return
+  fi
+  timeout "$timeout_s" "$nbsim" "${chaos_base[@]}" --workers=4 \
+      --checkpoint="$ckpt" --checkpoint-every=3 > /dev/null 2>&1
+  rc=$?
+  if [ "$rc" -ne 2 ]; then
+    echo "CHAOS-SOAK FAILURE (mismatch): clean resume of a chaotic" \
+         "checkpoint expected refusal exit 2, got $rc"
+    failures=$((failures + 1)); rm -f "$ckpt" "$ckpt.tmp"; return
+  fi
+  echo "chaos soak: plan/no-plan checkpoint mismatch refused both ways"
   rm -f "$ckpt" "$ckpt.tmp"
 }
 
@@ -235,6 +308,8 @@ run_chaos() {
   check_chaos_crash "torn-write" 'torn:write@1:0.5'
   check_chaos_crash "crash-at-rename" 'crash:rename@1'
   check_chaos_crash "crash-at-sync" 'crash:sync@1'
+
+  check_chaos_mismatch
 }
 
 run_resume() {

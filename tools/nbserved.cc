@@ -1,0 +1,299 @@
+// nbserved: a thin Unix-socket front-end over the trial service core.
+//
+// Server:
+//   nbserved --socket=/tmp/nb.sock --cache-dir=/tmp/nbcache
+//            [--max-queue N] [--workers W] [--checkpoint-every K]
+//            [--cost-hint-ms C] [--retry-after-ms R] [--max-connections M]
+//
+// Client (reads request lines from stdin, prints reply lines):
+//   nbserved --connect=/tmp/nb.sock < requests.txt
+//
+// The protocol is line-delimited key=value text (src/service/protocol.h);
+// one connection carries a BATCH: the client writes its request lines,
+// shuts down the write side, and reads one reply line per request, in
+// request order.  Every robustness decision -- admission, shedding,
+// deadlines, caching, quarantine, cancellation -- lives in
+// service::TrialService; this file only moves bytes and signals, and it
+// is the ONLY place in the tree allowed to touch raw socket calls (the
+// nblint `service-layering` rule holds src/ to that).
+//
+// Overload behaves like the core: requests beyond --max-queue are shed
+// with an explicit retry_after_ms verdict, never silently dropped.
+//
+// Shutdown: SIGTERM/SIGINT begin a graceful drain -- stop accepting,
+// finish and checkpoint in-flight work, print the ServiceReport to
+// stderr, exit 0.  kill -9 is the crash-consistency case: the result
+// cache is atomic + checksummed, so a restarted nbserved over the same
+// --cache-dir serves bit-identical replies (tools/service_soak.sh proves
+// it).  An injected crash from a request's fail plan exits 4, like nbsim.
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <iostream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "failpoint/fs.h"
+#include "service/protocol.h"
+#include "service/service.h"
+#include "util/flags.h"
+
+namespace {
+
+using namespace noisybeeps;
+
+volatile std::sig_atomic_t g_drain = 0;
+
+void OnDrainSignal(int) { g_drain = 1; }
+
+// Installed WITHOUT SA_RESTART so a signal interrupts accept() with EINTR
+// and the loop notices g_drain.
+void InstallDrainHandlers() {
+  struct sigaction action {};
+  action.sa_handler = OnDrainSignal;
+  sigemptyset(&action.sa_mask);
+  action.sa_flags = 0;
+  sigaction(SIGTERM, &action, nullptr);
+  sigaction(SIGINT, &action, nullptr);
+}
+
+int Fail(const std::string& message) {
+  std::cerr << "nbserved: " << message << "\n";
+  return 2;
+}
+
+// Reads until EOF (the client shut down its write side), splitting lines.
+std::vector<std::string> ReadLines(int fd) {
+  std::string buffer;
+  char chunk[4096];
+  for (;;) {
+    const ssize_t got = read(fd, chunk, sizeof chunk);
+    if (got > 0) {
+      buffer.append(chunk, static_cast<std::size_t>(got));
+      continue;
+    }
+    if (got < 0 && errno == EINTR) continue;
+    break;
+  }
+  std::vector<std::string> lines;
+  std::size_t start = 0;
+  while (start < buffer.size()) {
+    std::size_t end = buffer.find('\n', start);
+    if (end == std::string::npos) end = buffer.size();
+    if (end > start) lines.push_back(buffer.substr(start, end - start));
+    start = end + 1;
+  }
+  return lines;
+}
+
+bool WriteAll(int fd, const std::string& bytes) {
+  std::size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t wrote = write(fd, bytes.data() + sent, bytes.size() - sent);
+    if (wrote < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<std::size_t>(wrote);
+  }
+  return true;
+}
+
+// One connection = one batch: parse every line, Submit each (shed and
+// error verdicts reply immediately), run the admitted jobs in admission
+// order, then write the replies back in REQUEST order.
+void ServeConnection(int fd, service::TrialService& svc) {
+  const std::vector<std::string> lines = ReadLines(fd);
+  std::vector<std::optional<service::Reply>> replies(lines.size());
+  std::vector<std::size_t> queued;
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    try {
+      const service::Request request = service::ParseRequestLine(lines[i]);
+      replies[i] = svc.Submit(request);
+      if (!replies[i].has_value()) queued.push_back(i);
+    } catch (const std::invalid_argument& error) {
+      service::Reply reply;
+      reply.id = "unknown";
+      reply.status = service::ReplyStatus::kError;
+      reply.error = error.what();
+      replies[i] = reply;
+    }
+  }
+  const std::vector<service::Reply> ran = svc.RunQueued();
+  for (std::size_t i = 0; i < ran.size() && i < queued.size(); ++i) {
+    replies[queued[i]] = ran[i];
+  }
+  std::string out;
+  for (const std::optional<service::Reply>& reply : replies) {
+    if (reply.has_value()) {
+      out += service::FormatReplyLine(*reply);
+      out += "\n";
+    }
+  }
+  (void)WriteAll(fd, out);
+}
+
+int RunServer(Flags& flags) {
+  const std::string socket_path = flags.GetString("socket", "");
+  const std::string cache_dir = flags.GetString("cache-dir", "");
+
+  service::ServiceOptions options;
+  options.cache_dir = cache_dir;
+  options.max_queue = static_cast<int>(flags.GetInt("max-queue", 8));
+  options.num_workers = static_cast<int>(flags.GetInt("workers", 1));
+  options.checkpoint_every =
+      static_cast<int>(flags.GetInt("checkpoint-every", 4));
+  options.job_cost_hint_millis = flags.GetInt("cost-hint-ms", 200);
+  options.retry_after_base_millis = flags.GetInt("retry-after-ms", 25);
+  // 0 = serve until signalled.
+  const std::int64_t max_connections = flags.GetInt("max-connections", 0);
+  for (const std::string& unknown : flags.UnconsumedFlags()) {
+    return Fail("unknown flag: --" + unknown + " (try --help)");
+  }
+  if (socket_path.empty()) return Fail("--socket is required");
+  if (cache_dir.empty()) return Fail("--cache-dir is required");
+
+  // Directory creation is a front-end concern, outside the Fs seam.
+  std::error_code ec;
+  std::filesystem::create_directories(cache_dir, ec);
+  if (ec) return Fail("cannot create --cache-dir: " + ec.message());
+
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (socket_path.size() >= sizeof addr.sun_path) {
+    return Fail("--socket path too long for AF_UNIX");
+  }
+  std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
+
+  const int listener = socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listener < 0) return Fail("socket(): " + std::string(strerror(errno)));
+  unlink(socket_path.c_str());  // stale socket from a previous kill -9
+  if (bind(listener, reinterpret_cast<const sockaddr*>(&addr),
+           sizeof addr) != 0) {
+    close(listener);
+    return Fail("bind(" + socket_path + "): " + std::string(strerror(errno)));
+  }
+  if (listen(listener, 16) != 0) {
+    close(listener);
+    return Fail("listen(): " + std::string(strerror(errno)));
+  }
+
+  InstallDrainHandlers();
+  service::TrialService svc(options);
+  std::cerr << "nbserved: listening on " << socket_path << "\n";
+
+  std::int64_t served = 0;
+  int exit_code = 0;
+  try {
+    while (g_drain == 0 &&
+           (max_connections == 0 || served < max_connections)) {
+      const int fd = accept(listener, nullptr, nullptr);
+      if (fd < 0) {
+        if (errno == EINTR) continue;  // loop re-checks g_drain
+        exit_code = 1;
+        std::cerr << "nbserved: accept(): " << strerror(errno) << "\n";
+        break;
+      }
+      ServeConnection(fd, svc);
+      close(fd);
+      ++served;
+    }
+  } catch (const failpoint::InjectedCrash& e) {
+    // A request's fail plan killed the "machine".  Die like nbsim does;
+    // the cache directory is crash-consistent by construction.
+    close(listener);
+    std::cerr << "nbserved: killed by failpoint: " << e.what() << "\n";
+    return 4;
+  }
+
+  // Graceful drain: no new admissions, in-flight work already finished
+  // (a batch connection runs its queue before the next accept).
+  svc.BeginDrain();
+  close(listener);
+  unlink(socket_path.c_str());
+  std::cerr << "nbserved: drained: " << FormatServiceReport(svc.report())
+            << "\n";
+  return exit_code;
+}
+
+int RunClient(const std::string& socket_path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (socket_path.size() >= sizeof addr.sun_path) {
+    return Fail("--connect path too long for AF_UNIX");
+  }
+  std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
+
+  const int fd = socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return Fail("socket(): " + std::string(strerror(errno)));
+  if (connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) !=
+      0) {
+    close(fd);
+    return Fail("connect(" + socket_path +
+                "): " + std::string(strerror(errno)));
+  }
+
+  std::string request_bytes;
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    if (line.empty()) continue;
+    request_bytes += line;
+    request_bytes += "\n";
+  }
+  if (!WriteAll(fd, request_bytes)) {
+    close(fd);
+    return Fail("write(): " + std::string(strerror(errno)));
+  }
+  shutdown(fd, SHUT_WR);  // EOF marks the end of the batch
+
+  for (const std::string& reply : ReadLines(fd)) {
+    std::cout << reply << "\n";
+  }
+  close(fd);
+  return 0;
+}
+
+int Run(int argc, char** argv) {
+  Flags flags(argc, argv);
+  if (flags.Has("help")) {
+    std::puts(
+        "nbserved --socket=PATH --cache-dir=DIR [--max-queue N]\n"
+        "         [--workers W] [--checkpoint-every K] [--cost-hint-ms C]\n"
+        "         [--retry-after-ms R] [--max-connections M]\n"
+        "nbserved --connect=PATH   (client: request lines on stdin)\n"
+        "protocol: one 'key=value ...' request per line (id= required);\n"
+        "  fields mirror nbsim flags (task= channel= sim= n= eps= trials=\n"
+        "  seed= fault-plan= fault-seed= fail-plan= fail-seed=\n"
+        "  max-attempts= retry-backoff-ms= trial-round-budget=\n"
+        "  trial-timeout-ms= deadline-ms=); see docs/SERVICE.md.\n"
+        "SIGTERM drains gracefully (exit 0); kill -9 at any point leaves a\n"
+        "consistent cache a restart serves bit-identically; exit 4 = an\n"
+        "injected crash from a request's fail plan");
+    return 0;
+  }
+  const std::string connect_path = flags.GetString("connect", "");
+  if (!connect_path.empty()) {
+    for (const std::string& unknown : flags.UnconsumedFlags()) {
+      return Fail("unknown flag: --" + unknown + " (try --help)");
+    }
+    return RunClient(connect_path);
+  }
+  return RunServer(flags);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return Run(argc, argv);
+  } catch (const std::exception& e) {
+    std::cerr << "nbserved: " << e.what() << "\n";
+    return 2;
+  }
+}

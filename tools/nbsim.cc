@@ -13,6 +13,12 @@
 // Sims:     raw | repetition | rewind | rewind_down | hierarchical |
 //           hierarchical_down
 //
+// Since PR 8 nbsim is a thin front-end over the service workload layer
+// (src/service/workload.h): flags build a service::JobSpec, the trial
+// loop is service::RunJob, and the exact same execution path serves
+// nbserved requests.  This file only parses flags, expands @file plans,
+// and formats output.
+//
 // Party faults (docs/FAULTS.md): --fault-plan takes the compact grammar
 // ("crash:3@100;babble:2@0-50:0.7") or @path/to/plan.csv; --fault-seed
 // drives the babbler streams.  Faulted runs additionally report the
@@ -33,258 +39,47 @@
 // @path/to/plan.csv; --fail-seed drives corrupt-fault byte flips.  Runs
 // with a plan end with a "failpoints" coverage line (emitted even when an
 // injected crash kills the run).  Exit 4 = killed by an injected crash;
-// rerun without the plan to resume from the surviving checkpoint.
+// rerun with the SAME plan and seed to resume from the surviving
+// checkpoint -- the fail plan is part of the checkpoint's config hash, so
+// a chaos run and a clean run never silently share checkpoints.
 #include <cstdio>
 #include <fstream>
-#include <functional>
 #include <iostream>
-#include <map>
-#include <memory>
 #include <optional>
-#include <sstream>
-#include <string_view>
+#include <string>
 
 #include "failpoint/fail_plan.h"
 #include "failpoint/fs.h"
 #include "fault/fault_plan.h"
 #include "resilience/resilient_trials.h"
-
-#include "channel/burst.h"
-#include "channel/collision.h"
-#include "channel/correlated.h"
-#include "channel/independent.h"
-#include "channel/noiseless.h"
-#include "channel/one_sided.h"
-#include "coding/hierarchical_sim.h"
-#include "coding/repetition_sim.h"
-#include "coding/rewind_sim.h"
-#include "tasks/adaptive_find.h"
-#include "tasks/bit_exchange.h"
-#include "tasks/counting.h"
-#include "tasks/input_set.h"
-#include "tasks/leader_election.h"
-#include "tasks/or_vector.h"
-#include "tasks/random_protocol.h"
+#include "service/job_spec.h"
+#include "service/workload.h"
 #include "util/flags.h"
-#include "util/format.h"
-#include "util/rng.h"
 #include "util/stats.h"
 
 namespace {
 
 using namespace noisybeeps;
 
-struct Workload {
-  std::unique_ptr<Protocol> protocol;
-  std::function<bool(const SimulationResult&)> judge;
-};
-
-Workload MakeWorkload(const std::string& task, int n, Rng& rng) {
-  if (task == "input_set") {
-    auto instance = std::make_shared<InputSetInstance>(SampleInputSet(n, rng));
-    Workload w;
-    w.protocol = MakeInputSetProtocol(*instance);
-    w.judge = [instance](const SimulationResult& r) {
-      return InputSetAllCorrect(*instance, r.outputs);
-    };
-    return w;
+// Expands "@path/to/plan.csv" to the compact fault-plan grammar (the
+// JobSpec carries plan TEXT, so file indirection is resolved here, in the
+// front-end, before the spec is built).
+std::string ExpandFaultPlan(const std::string& text, std::uint64_t seed) {
+  if (text.empty() || text.front() != '@') return text;
+  std::ifstream file(text.substr(1));
+  if (!file) {
+    throw std::invalid_argument("--fault-plan: cannot open " + text.substr(1));
   }
-  if (task == "bit_exchange") {
-    auto instance =
-        std::make_shared<BitExchangeInstance>(SampleBitExchange(n, 8, rng));
-    Workload w;
-    w.protocol = MakeBitExchangeProtocol(*instance);
-    w.judge = [instance](const SimulationResult& r) {
-      return BitExchangeAllCorrect(*instance, r.outputs);
-    };
-    return w;
-  }
-  if (task == "leader") {
-    auto instance = std::make_shared<LeaderElectionInstance>(
-        SampleLeaderElection(n, 12, rng));
-    Workload w;
-    w.protocol = MakeLeaderElectionProtocol(*instance);
-    w.judge = [instance](const SimulationResult& r) {
-      return LeaderElectionAllCorrect(*instance, r.outputs);
-    };
-    return w;
-  }
-  if (task == "counting") {
-    auto instance =
-        std::make_shared<CountingInstance>(SampleCounting(n, 8, 9, rng));
-    Workload w;
-    w.protocol = MakeCountingProtocol(*instance);
-    w.judge = [instance](const SimulationResult& r) {
-      return CountingAllWithinFactor(*instance, r.outputs, 8.0);
-    };
-    return w;
-  }
-  if (task == "adaptive") {
-    auto instance = std::make_shared<AdaptiveFindInstance>(
-        SampleAdaptiveFind(n, 0.2, rng));
-    Workload w;
-    w.protocol = MakeAdaptiveFindProtocol(*instance);
-    w.judge = [instance](const SimulationResult& r) {
-      return AdaptiveFindAllCorrect(*instance, r.outputs);
-    };
-    return w;
-  }
-  if (task == "or_vector") {
-    auto instance =
-        std::make_shared<OrVectorInstance>(SampleOrVector(n, 2 * n, 0.1, rng));
-    Workload w;
-    w.protocol = MakeOrVectorProtocol(*instance);
-    w.judge = [instance](const SimulationResult& r) {
-      return OrVectorAllCorrect(*instance, r.outputs);
-    };
-    return w;
-  }
-  if (task == "random") {
-    auto spec = std::make_shared<RandomProtocolSpec>(
-        SampleRandomProtocol(n, 4 * n, 0.1, /*adaptive=*/true, rng));
-    Workload w;
-    w.protocol = MakeRandomProtocol(*spec);
-    const std::uint64_t expected =
-        TranscriptDigest(ReferenceTranscript(*w.protocol));
-    w.judge = [expected](const SimulationResult& r) {
-      for (const PartyOutput& out : r.outputs) {
-        if (out.size() != 1 || out[0] != expected) return false;
-      }
-      return true;
-    };
-    return w;
-  }
-  throw std::invalid_argument("unknown --task: " + task);
+  return ReadFaultPlanCsv(file, seed).ToString();
 }
 
-std::unique_ptr<Channel> MakeChannel(const std::string& channel, double eps) {
-  if (channel == "noiseless") return std::make_unique<NoiselessChannel>();
-  if (channel == "correlated") {
-    return std::make_unique<CorrelatedNoisyChannel>(eps);
+std::string ExpandFailPlan(const std::string& text, std::uint64_t seed) {
+  if (text.empty() || text.front() != '@') return text;
+  std::ifstream file(text.substr(1));
+  if (!file) {
+    throw std::invalid_argument("--fail-plan: cannot open " + text.substr(1));
   }
-  if (channel == "up") return std::make_unique<OneSidedUpChannel>(eps);
-  if (channel == "down") return std::make_unique<OneSidedDownChannel>(eps);
-  if (channel == "independent") {
-    return std::make_unique<IndependentNoisyChannel>(eps);
-  }
-  if (channel == "burst") {
-    // A quiet floor (eps/10) punctuated by 0.4-rate bursts of mean length
-    // ~7 rounds entered at rate eps/10: stationary noise stays near eps/3
-    // but arrives clustered.
-    return std::make_unique<BurstNoisyChannel>(eps / 10, 0.4, eps / 10, 0.15);
-  }
-  if (channel == "collision") {
-    return std::make_unique<CollisionAsSilenceChannel>(eps);
-  }
-  throw std::invalid_argument("unknown --channel: " + channel);
-}
-
-std::unique_ptr<Simulator> MakeSimulator(const std::string& sim,
-                                         const std::string& task, int n) {
-  if (sim == "scheduled") {
-    if (task != "bit_exchange") {
-      throw std::invalid_argument(
-          "--sim=scheduled requires --task=bit_exchange (the built-in "
-          "schedule-owned workload)");
-    }
-    return std::make_unique<RewindSimulator>(
-        RewindSimOptions::Scheduled(BitExchangeSchedule(n, 8)));
-  }
-  if (sim == "raw") {
-    return std::make_unique<RepetitionSimulator>(
-        RepetitionSimOptions{.rep_factor = 1});
-  }
-  if (sim == "repetition") return std::make_unique<RepetitionSimulator>();
-  if (sim == "rewind") return std::make_unique<RewindSimulator>();
-  if (sim == "rewind_down") {
-    return std::make_unique<RewindSimulator>(RewindSimOptions::DownOnly());
-  }
-  if (sim == "hierarchical") return std::make_unique<HierarchicalSimulator>();
-  if (sim == "hierarchical_down") {
-    return std::make_unique<HierarchicalSimulator>(
-        HierarchicalSimOptions::DownOnly());
-  }
-  throw std::invalid_argument("unknown --sim: " + sim);
-}
-
-// One trial's distilled outcome: everything the end-of-run aggregation
-// needs, in a form the checkpoint codec can round-trip byte-exactly.
-struct TrialPoint {
-  bool success = false;
-  std::uint8_t status = 0;  // SimulationStatus as a wire byte
-  std::int64_t rounds = 0;
-  double blowup = 0;
-  std::map<std::string, std::int64_t> phases;
-};
-
-struct TrialPointAdapter {
-  [[nodiscard]] std::string Encode(const TrialPoint& p) const {
-    std::string out;
-    resilience::AppendU64(out, p.success ? 1 : 0);
-    resilience::AppendU64(out, p.status);
-    resilience::AppendU64(out, static_cast<std::uint64_t>(p.rounds));
-    resilience::AppendF64(out, p.blowup);
-    resilience::AppendU64(out, p.phases.size());
-    for (const auto& [phase, count] : p.phases) {
-      resilience::AppendBytes(out, phase);
-      resilience::AppendU64(out, static_cast<std::uint64_t>(count));
-    }
-    return out;
-  }
-  [[nodiscard]] TrialPoint Decode(std::string_view bytes) const {
-    resilience::ByteReader reader(bytes);
-    TrialPoint p;
-    p.success = reader.U64() != 0;
-    p.status = static_cast<std::uint8_t>(reader.U64());
-    p.rounds = static_cast<std::int64_t>(reader.U64());
-    p.blowup = reader.F64();
-    const std::uint64_t num_phases = reader.U64();
-    for (std::uint64_t i = 0; i < num_phases; ++i) {
-      const std::string phase(reader.Bytes());
-      p.phases[phase] = static_cast<std::int64_t>(reader.U64());
-    }
-    if (!reader.AtEnd()) {
-      throw resilience::CheckpointError("trailing bytes in trial payload");
-    }
-    return p;
-  }
-  [[nodiscard]] resilience::TrialAssessment Assess(const TrialPoint& p) const {
-    resilience::TrialAssessment assessment;
-    // The graceful-degradation ladder maps directly: a kFailed simulation
-    // verdict is retried (with --max-attempts > 1), kDegraded is kept as
-    // a reportable outcome.  The task-level judge does NOT drive retries:
-    // an unlucky-noise failure is a legitimate sample, not a transient.
-    if (p.status == 2) assessment.verdict = resilience::TrialVerdict::kFailed;
-    assessment.rounds_used = p.rounds;
-    return assessment;
-  }
-};
-
-FaultPlan MakeFaultPlan(const std::string& text, std::uint64_t fault_seed) {
-  if (text.empty()) return FaultPlan();
-  if (text.front() == '@') {
-    std::ifstream file(text.substr(1));
-    if (!file) {
-      throw std::invalid_argument("--fault-plan: cannot open " +
-                                  text.substr(1));
-    }
-    return ReadFaultPlanCsv(file, fault_seed);
-  }
-  return FaultPlan::Parse(text, fault_seed);
-}
-
-failpoint::FailPlan MakeFailPlan(const std::string& text,
-                                 std::uint64_t fail_seed) {
-  if (text.empty()) return failpoint::FailPlan();
-  if (text.front() == '@') {
-    std::ifstream file(text.substr(1));
-    if (!file) {
-      throw std::invalid_argument("--fail-plan: cannot open " +
-                                  text.substr(1));
-    }
-    return failpoint::ReadFailPlanCsv(file, fail_seed);
-  }
-  return failpoint::FailPlan::Parse(text, fail_seed);
+  return failpoint::ReadFailPlanCsv(file, seed).ToString();
 }
 
 // The chaos-soak coverage line: which fail-plan specs actually injected.
@@ -329,102 +124,51 @@ int Run(int argc, char** argv) {
         "  docs/RESILIENCE.md); exit 4 = killed by an injected crash\n"
         "resilience: a killed checkpointed run resumes bit-identically at\n"
         "  any --workers count (docs/RESILIENCE.md); exit 3 = halted at a\n"
-        "  checkpoint via --halt-after");
+        "  checkpoint via --halt-after.  The fail plan is part of the\n"
+        "  checkpoint config hash: resume a chaos run with the same plan");
     return 0;
   }
-  const std::string task = flags.GetString("task", "input_set");
-  const std::string channel_name = flags.GetString("channel", "correlated");
-  const std::string sim_name = flags.GetString("sim", "rewind");
-  const int n = static_cast<int>(flags.GetInt("n", 16));
-  const double eps = flags.GetDouble("eps", 0.05);
-  const int trials = static_cast<int>(flags.GetInt("trials", 10));
-  const std::uint64_t seed =
-      static_cast<std::uint64_t>(flags.GetInt("seed", 1));
+  service::JobSpec spec;
+  spec.task = flags.GetString("task", "input_set");
+  spec.channel = flags.GetString("channel", "correlated");
+  spec.sim = flags.GetString("sim", "rewind");
+  spec.n = static_cast<int>(flags.GetInt("n", 16));
+  spec.eps = flags.GetDouble("eps", 0.05);
+  spec.trials = static_cast<int>(flags.GetInt("trials", 10));
+  spec.seed = static_cast<std::uint64_t>(flags.GetInt("seed", 1));
   const bool csv = flags.GetBool("csv", false);
-  const std::string fault_plan_text = flags.GetString("fault-plan", "");
-  const std::uint64_t fault_seed =
-      static_cast<std::uint64_t>(flags.GetInt("fault-seed", 0));
-  const std::string fail_plan_text = flags.GetString("fail-plan", "");
-  const std::uint64_t fail_seed =
-      static_cast<std::uint64_t>(flags.GetInt("fail-seed", 0));
-  const std::string checkpoint_path = flags.GetString("checkpoint", "");
-  const int checkpoint_every =
-      static_cast<int>(flags.GetInt("checkpoint-every", 5));
-  const int halt_after = static_cast<int>(flags.GetInt("halt-after", 0));
-  const int workers = static_cast<int>(flags.GetInt("workers", 0));
-  const int max_attempts = static_cast<int>(flags.GetInt("max-attempts", 1));
-  const std::int64_t retry_backoff_ms = flags.GetInt("retry-backoff-ms", 0);
-  const std::int64_t trial_round_budget =
-      flags.GetInt("trial-round-budget", 0);
-  const std::int64_t trial_timeout_ms = flags.GetInt("trial-timeout-ms", 0);
+  spec.fault_seed = static_cast<std::uint64_t>(flags.GetInt("fault-seed", 0));
+  spec.fault_plan =
+      ExpandFaultPlan(flags.GetString("fault-plan", ""), spec.fault_seed);
+  spec.fail_seed = static_cast<std::uint64_t>(flags.GetInt("fail-seed", 0));
+  spec.fail_plan =
+      ExpandFailPlan(flags.GetString("fail-plan", ""), spec.fail_seed);
+  spec.max_attempts = static_cast<int>(flags.GetInt("max-attempts", 1));
+  spec.retry_backoff_millis = flags.GetInt("retry-backoff-ms", 0);
+  spec.trial_round_budget = flags.GetInt("trial-round-budget", 0);
+  spec.trial_timeout_millis = flags.GetInt("trial-timeout-ms", 0);
+
+  service::JobExecution exec;
+  exec.checkpoint_path = flags.GetString("checkpoint", "");
+  exec.checkpoint_every = static_cast<int>(flags.GetInt("checkpoint-every", 5));
+  exec.halt_after_checkpoints = static_cast<int>(flags.GetInt("halt-after", 0));
+  exec.num_workers = static_cast<int>(flags.GetInt("workers", 0));
   for (const std::string& unknown : flags.UnconsumedFlags()) {
     std::cerr << "unknown flag: --" << unknown << " (try --help)\n";
     return 2;
   }
 
-  const FaultPlan faults = MakeFaultPlan(fault_plan_text, fault_seed);
-  if (faults.MaxParty() >= n) {
-    std::cerr << "nbsim: --fault-plan names party " << faults.MaxParty()
-              << " but --n=" << n << "\n";
-    return 2;
-  }
-  const std::unique_ptr<Channel> channel = MakeChannel(channel_name, eps);
-  const std::unique_ptr<Simulator> sim = MakeSimulator(sim_name, task, n);
-
-  // The configuration hash guards --checkpoint resumes: a checkpoint is
-  // only resumed under the exact workload that wrote it (seed and trial
-  // count are checked separately, from the parent Rng state).
-  std::ostringstream config;
-  config << "task=" << task << "|channel=" << channel_name
-         << "|sim=" << sim_name << "|n=" << n << "|eps="
-         << noisybeeps::FormatDouble(eps)
-         << "|faults=" << faults.ToString() << "|fault_seed=" << fault_seed
-         << "|max_attempts=" << max_attempts
-         << "|round_budget=" << trial_round_budget
-         << "|timeout_ms=" << trial_timeout_ms
-         << "|backoff_ms=" << retry_backoff_ms;
-
   // Checkpoint I/O chaos: every run goes through a FaultingFs (an empty
-  // plan is a pure pass-through).  The fail plan is deliberately NOT part
-  // of the config hash -- a run killed by an injected crash must be
-  // resumable WITHOUT the plan, and its fingerprint comparable to a clean
-  // run's.
+  // plan is a pure pass-through).  The plan is part of the config hash
+  // (via JobSpec::ConfigHash), so a killed chaos run resumes only under
+  // the same plan -- and can never poison a clean run's checkpoint.
   failpoint::FaultingFs fault_fs(failpoint::RealFs::Instance(),
-                                 MakeFailPlan(fail_plan_text, fail_seed));
+                                 spec.ParsedFailPlan());
+  exec.fs = &fault_fs;
 
-  resilience::ResilienceOptions opts;
-  opts.fs = &fault_fs;
-  opts.checkpoint_path = checkpoint_path;
-  opts.checkpoint_every = checkpoint_every;
-  opts.config_hash = resilience::Fnv1a64(config.str());
-  opts.retry.max_attempts = max_attempts;
-  opts.retry.base_backoff_millis = retry_backoff_ms;
-  opts.budget.max_rounds = trial_round_budget;
-  opts.budget.max_wall_millis = trial_timeout_ms;
-  opts.num_workers = workers;
-  opts.halt_after_checkpoints = halt_after;
-
-  Rng rng(seed);
-  const auto body = [&](int, Rng& trial_rng) {
-    const Workload workload = MakeWorkload(task, n, trial_rng);
-    const SimulationResult result =
-        sim->Simulate(*workload.protocol, *channel, faults, trial_rng);
-    TrialPoint point;
-    point.success = !result.budget_exhausted() && workload.judge(result);
-    point.status = static_cast<std::uint8_t>(result.verdict.status);
-    point.rounds = result.noisy_rounds_used;
-    point.blowup = static_cast<double>(result.noisy_rounds_used) /
-                   std::max(1, workload.protocol->length());
-    for (const auto& [phase, count] : result.phase_rounds) {
-      point.phases[phase] += count;
-    }
-    return point;
-  };
-  const TrialPointAdapter adapter;
-  std::optional<resilience::RunOutput<TrialPoint>> completed;
+  std::optional<service::JobResult> completed;
   try {
-    completed.emplace(
-        resilience::ResilientTrials(trials, rng, body, adapter, opts));
+    completed.emplace(service::RunJob(spec, exec));
   } catch (const failpoint::InjectedCrash& e) {
     // The simulated SIGKILL: report which failpoints fired (the chaos
     // soak's coverage assertion reads this line even for killed runs),
@@ -433,28 +177,20 @@ int Run(int argc, char** argv) {
     std::cerr << "nbsim: killed by failpoint: " << e.what() << "\n";
     return 4;
   }
-  const resilience::RunOutput<TrialPoint>& run = *completed;
+  const service::JobResult& result = *completed;
 
-  SuccessCounter counter;
-  RunningStat rounds;
-  RunningStat blowup;
-  std::map<std::string, std::int64_t> phases;
-  int verdicts[3] = {0, 0, 0};  // kOk, kDegraded, kFailed
-  std::string encoded_results;
-  for (const TrialPoint& point : run.results) {
-    counter.Record(point.success);
-    ++verdicts[point.status < 3 ? point.status : 2];
-    rounds.Add(static_cast<double>(point.rounds));
-    blowup.Add(point.blowup);
-    for (const auto& [phase, count] : point.phases) phases[phase] += count;
-    encoded_results += adapter.Encode(point);
-  }
-  // Bit-stable across every interrupt/resume schedule and worker count;
-  // tools/fault_soak.sh compares this between clean and resumed runs.
-  const std::uint64_t results_fingerprint =
-      resilience::Fnv1a64(encoded_results);
-
-  const WilsonInterval ci = counter.interval();
+  const double rate =
+      result.trials > 0
+          ? static_cast<double>(result.successes) /
+                static_cast<double>(result.trials)
+          : 0.0;
+  // Zero trials carry no data: the vacuous [0, 1], as SuccessCounter does.
+  const WilsonInterval ci =
+      result.trials > 0
+          ? WilsonScoreInterval(static_cast<std::size_t>(result.successes),
+                                static_cast<std::size_t>(result.trials))
+          : WilsonInterval{0.0, 1.0};
+  const FaultPlan faults = spec.ParsedFaultPlan();
   if (csv) {
     std::printf(
         "task,channel,sim,n,eps,trials,success_rate,ci_low,ci_high,"
@@ -463,54 +199,61 @@ int Run(int argc, char** argv) {
         "degraded_verdicts,resumed,checkpoints,quarantined,write_failures,"
         "fingerprint\n");
     std::printf(
-        "%s,%s,%s,%d,%g,%d,%.4f,%.4f,%.4f,%.1f,%.2f,%s,%d,%d,%d,"
+        "%s,%s,%s,%d,%g,%d,%.4f,%.4f,%.4f,%.1f,%.2f,%s,%lld,%lld,%lld,"
         "%lld,%lld,%lld,%lld,%lld,%lld,%lld,%lld,%lld,%lld,%lld,%016llx\n",
-        task.c_str(), channel_name.c_str(), sim_name.c_str(), n, eps,
-        trials, counter.rate(), ci.low, ci.high, rounds.mean(),
-        blowup.mean(), faults.ToString().c_str(), verdicts[0], verdicts[1],
-        verdicts[2], static_cast<long long>(run.report.completed),
-        static_cast<long long>(run.report.retried),
-        static_cast<long long>(run.report.abandoned),
-        static_cast<long long>(run.report.attempts),
-        static_cast<long long>(run.report.timeouts),
-        static_cast<long long>(run.report.exceptions),
-        static_cast<long long>(run.report.degraded_verdicts),
-        static_cast<long long>(run.report.resumed_trials),
-        static_cast<long long>(run.report.checkpoints_written),
-        static_cast<long long>(run.report.checkpoints_quarantined),
-        static_cast<long long>(run.report.checkpoint_write_failures),
-        static_cast<unsigned long long>(results_fingerprint));
+        spec.task.c_str(), spec.channel.c_str(), spec.sim.c_str(), spec.n,
+        spec.eps, spec.trials, rate, ci.low, ci.high, result.mean_rounds,
+        result.mean_blowup, faults.ToString().c_str(),
+        static_cast<long long>(result.verdicts[0]),
+        static_cast<long long>(result.verdicts[1]),
+        static_cast<long long>(result.verdicts[2]),
+        static_cast<long long>(result.report.completed),
+        static_cast<long long>(result.report.retried),
+        static_cast<long long>(result.report.abandoned),
+        static_cast<long long>(result.report.attempts),
+        static_cast<long long>(result.report.timeouts),
+        static_cast<long long>(result.report.exceptions),
+        static_cast<long long>(result.report.degraded_verdicts),
+        static_cast<long long>(result.report.resumed_trials),
+        static_cast<long long>(result.report.checkpoints_written),
+        static_cast<long long>(result.report.checkpoints_quarantined),
+        static_cast<long long>(result.report.checkpoint_write_failures),
+        static_cast<unsigned long long>(result.results_fingerprint));
   } else {
     std::printf("task=%s channel=%s sim=%s n=%d eps=%g trials=%d\n",
-                task.c_str(), channel->name().c_str(), sim->name().c_str(),
-                n, eps, trials);
+                spec.task.c_str(), spec.channel.c_str(), spec.sim.c_str(),
+                spec.n, spec.eps, spec.trials);
     if (!faults.empty()) {
       std::printf("  faults   %s (seed %llu)\n", faults.ToString().c_str(),
                   static_cast<unsigned long long>(faults.seed()));
     }
     std::printf("  success  %5.1f%%  (95%% CI [%.1f%%, %.1f%%])\n",
-                100 * counter.rate(), 100 * ci.low, 100 * ci.high);
-    std::printf("  verdicts ok=%d degraded=%d failed=%d\n", verdicts[0],
-                verdicts[1], verdicts[2]);
-    std::printf("  rounds   %.1f mean  (blowup %.2fx)\n", rounds.mean(),
-                blowup.mean());
-    if (!phases.empty()) {
+                100 * rate, 100 * ci.low, 100 * ci.high);
+    std::printf("  verdicts ok=%lld degraded=%lld failed=%lld\n",
+                static_cast<long long>(result.verdicts[0]),
+                static_cast<long long>(result.verdicts[1]),
+                static_cast<long long>(result.verdicts[2]));
+    std::printf("  rounds   %.1f mean  (blowup %.2fx)\n", result.mean_rounds,
+                result.mean_blowup);
+    if (!result.phases.empty()) {
       std::printf("  phases  ");
       double total = 0;
-      for (const auto& [phase, count] : phases) total += count;
-      for (const auto& [phase, count] : phases) {
+      for (const auto& [phase, count] : result.phases) {
+        total += static_cast<double>(count);
+      }
+      for (const auto& [phase, count] : result.phases) {
         std::printf(" %s=%.0f%%", phase.empty() ? "other" : phase.c_str(),
-                    100.0 * count / total);
+                    100.0 * static_cast<double>(count) / total);
       }
       std::printf("\n");
     }
     std::printf("  resilience %s\n",
-                resilience::FormatRunReport(run.report).c_str());
+                resilience::FormatRunReport(result.report).c_str());
     PrintFailpoints(fault_fs);
     std::printf("  fingerprint %016llx\n",
-                static_cast<unsigned long long>(results_fingerprint));
+                static_cast<unsigned long long>(result.results_fingerprint));
   }
-  return counter.rate() > 0.5 ? 0 : 1;
+  return rate > 0.5 ? 0 : 1;
 }
 
 }  // namespace

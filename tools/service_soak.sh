@@ -1,0 +1,248 @@
+#!/usr/bin/env bash
+# End-to-end soak for nbserved, the Unix-socket trial service -- the
+# through-the-real-binary counterpart of tests/service_test.cc and
+# tests/service_oracle_test.cc.  Five phases:
+#
+#   overload -- flood one batch past --max-queue: the excess must be SHED
+#               with an explicit queue_full verdict and a positive
+#               retry_after_ms, never silently dropped or blocked on.
+#   retry    -- resend the shed work plus one duplicate: everything
+#               completes, and the duplicate is served from the result
+#               cache (cached=1) with the original's exact fingerprint.
+#   crash    -- a request carrying a crash fail-plan kills the server
+#               mid-job (exit 4) with a plan-stamped checkpoint on disk;
+#               restarting over the same --cache-dir and resending the
+#               SAME request resumes it, crashing again until the
+#               shrinking remainder outlives the plan's windows.  The
+#               final fingerprint must equal the same spec's clean
+#               fingerprint: I/O chaos may delay an answer, never change
+#               one.  No *.tmp may survive anywhere in the cache dir.
+#   reboot   -- a fresh server over the surviving cache dir answers the
+#               whole original workload bit-identically, all from cache.
+#   drain    -- SIGTERM: the server stops accepting, prints its
+#               ServiceReport, removes its socket, and exits 0.
+#
+# Usage: tools/service_soak.sh <path-to-nbserved>
+set -u
+
+nbserved="${1:?usage: service_soak.sh <path-to-nbserved>}"
+timeout_s=120
+failures=0
+
+workdir="$(mktemp -d -t nbsvcsoak.XXXXXX)"
+sock="$workdir/nb.sock"
+cache="$workdir/cache"
+server_log="$workdir/server.log"
+server_pid=""
+
+cleanup() {
+  if [ -n "$server_pid" ] && kill -0 "$server_pid" 2> /dev/null; then
+    kill -9 "$server_pid" 2> /dev/null
+    wait "$server_pid" 2> /dev/null
+  fi
+  rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+fail() {
+  echo "SERVICE-SOAK FAILURE ($1): $2"
+  failures=$((failures + 1))
+}
+
+start_server() {
+  "$nbserved" --socket="$sock" --cache-dir="$cache" --max-queue=2 \
+      --checkpoint-every=4 >> "$server_log" 2>&1 &
+  server_pid=$!
+  local i
+  for i in $(seq 1 100); do
+    [ -S "$sock" ] && return 0
+    if ! kill -0 "$server_pid" 2> /dev/null; then break; fi
+    sleep 0.05
+  done
+  fail "startup" "server never bound $sock (see $server_log)"
+  return 1
+}
+
+# Waits for the server to exit; the code lands in $server_rc.  Must run
+# in the main shell (NOT a command substitution): only the shell that
+# spawned the server can wait on it.
+server_rc=0
+wait_server() {
+  wait "$server_pid"
+  server_rc=$?
+  server_pid=""
+}
+
+# Sends stdin as one batch and prints the reply lines.
+send_batch() {
+  timeout "$timeout_s" "$nbserved" --connect="$sock"
+}
+
+# Prints the value of key= in the reply line for the given id, if any.
+field_of() {
+  local id="$1" key="$2"
+  awk -v id="id=$id" -v key="$2" '
+    $1 == id {
+      for (i = 2; i <= NF; i++) {
+        if (index($i, key "=") == 1) print substr($i, length(key) + 2);
+      }
+    }'
+}
+
+spec="task=input_set channel=correlated sim=repetition n=8 eps=0.05 trials=9"
+
+run_overload_and_retry() {
+  start_server || return
+
+  # Four distinct jobs into a queue of two: the last two must shed.
+  local out
+  out="$(send_batch <<EOF
+id=j1 $spec seed=1
+id=j2 $spec seed=2
+id=j3 $spec seed=3
+id=j4 $spec seed=4
+EOF
+)"
+  local id status retry
+  for id in j1 j2; do
+    status="$(printf '%s\n' "$out" | field_of "$id" status)"
+    [ "$status" = "ok" ] || fail "overload" "$id expected ok, got '$status'"
+  done
+  for id in j3 j4; do
+    status="$(printf '%s\n' "$out" | field_of "$id" status)"
+    if [ "$status" != "shed" ]; then
+      fail "overload" "$id expected an explicit shed, got '$status'"
+      continue
+    fi
+    retry="$(printf '%s\n' "$out" | field_of "$id" retry_after_ms)"
+    if [ -z "$retry" ] || [ "$retry" -le 0 ]; then
+      fail "overload" "$id shed without a positive retry_after_ms"
+    fi
+  done
+  fp_j1="$(printf '%s\n' "$out" | field_of j1 fingerprint)"
+  fp_j2="$(printf '%s\n' "$out" | field_of j2 fingerprint)"
+  [ -n "$fp_j1" ] || fail "overload" "j1 reply carried no fingerprint"
+  echo "service soak: overload shed the excess with retry-after verdicts"
+
+  # The shed work retries clean (a full batch: admission is per-batch, so
+  # the duplicate goes in its own connection); the duplicate of j1 is a
+  # cache hit with the original's exact fingerprint.
+  out="$(send_batch <<EOF
+id=j3 $spec seed=3
+id=j4 $spec seed=4
+EOF
+)"
+  out="$out
+$(printf 'id=j1r %s seed=1\n' "$spec" | send_batch)"
+  for id in j3 j4 j1r; do
+    status="$(printf '%s\n' "$out" | field_of "$id" status)"
+    [ "$status" = "ok" ] || fail "retry" "$id expected ok, got '$status'"
+  done
+  fp_j3="$(printf '%s\n' "$out" | field_of j3 fingerprint)"
+  fp_j4="$(printf '%s\n' "$out" | field_of j4 fingerprint)"
+  local cached fp
+  cached="$(printf '%s\n' "$out" | field_of j1r cached)"
+  fp="$(printf '%s\n' "$out" | field_of j1r fingerprint)"
+  [ "$cached" = "1" ] || fail "retry" "duplicate of j1 was not served cached"
+  if [ "$fp" != "$fp_j1" ]; then
+    fail "retry" "cached fingerprint $fp diverges from original $fp_j1"
+  fi
+  echo "service soak: shed work retried clean, duplicate served from cache"
+}
+
+run_crash() {
+  # Same simulation as j2, plus an I/O crash plan: the results may not
+  # change, only the server's lifetime.  The plan is part of the job's
+  # config hash, so every resume below runs under the same plan.
+  local request="id=jc $spec seed=2 fail-plan=crash:write@1 fail-seed=7"
+  local out rc crashes=0 tries
+  for tries in $(seq 1 12); do
+    out="$(printf '%s\n' "$request" | send_batch)"
+    if [ -n "$(printf '%s\n' "$out" | field_of jc status)" ]; then
+      break
+    fi
+    # No reply: the injected crash killed the server mid-job (exit 4).
+    wait_server
+    if [ "$server_rc" -ne 4 ]; then
+      fail "crash" "server died with exit $server_rc, want injected-crash 4"
+      return
+    fi
+    crashes=$((crashes + 1))
+    start_server || return
+  done
+  if [ "$crashes" -eq 0 ]; then
+    fail "crash" "the crash plan never fired -- vacuous chaos"
+    return
+  fi
+  local status fp
+  status="$(printf '%s\n' "$out" | field_of jc status)"
+  [ "$status" = "ok" ] || {
+    fail "crash" "after $crashes crash(es) expected ok, got '$status'"
+    return
+  }
+  fp="$(printf '%s\n' "$out" | field_of jc fingerprint)"
+  if [ "$fp" != "$fp_j2" ]; then
+    fail "crash" "post-crash fingerprint $fp diverges from clean $fp_j2"
+    return
+  fi
+  if find "$cache" -name '*.tmp' | grep -q .; then
+    fail "crash" "torn temp file(s) left in the cache dir"
+    return
+  fi
+  echo "service soak: survived $crashes injected crash(es)," \
+       "fingerprint reproduced, no torn files"
+}
+
+run_reboot() {
+  # kill -9 (the real one), then a fresh server over the surviving cache
+  # must answer the ENTIRE original workload from cache, bit-identically.
+  kill -9 "$server_pid" 2> /dev/null
+  wait "$server_pid" 2> /dev/null
+  server_pid=""
+  start_server || return
+
+  local out id fp cached
+  out="$(send_batch <<EOF
+id=j1 $spec seed=1
+id=j2 $spec seed=2
+EOF
+)"
+  out="$out
+$(send_batch <<EOF
+id=j3 $spec seed=3
+id=j4 $spec seed=4
+EOF
+)"
+  for id in j1 j2 j3 j4; do
+    eval "local want=\$fp_$id"
+    fp="$(printf '%s\n' "$out" | field_of "$id" fingerprint)"
+    cached="$(printf '%s\n' "$out" | field_of "$id" cached)"
+    if [ "$fp" != "$want" ]; then
+      fail "reboot" "$id fingerprint $fp diverges from original $want"
+    fi
+    [ "$cached" = "1" ] || fail "reboot" "$id was recomputed, not cached"
+  done
+  echo "service soak: rebooted server answered the workload from cache"
+}
+
+run_drain() {
+  kill -TERM "$server_pid"
+  wait_server
+  [ "$server_rc" -eq 0 ] || fail "drain" "SIGTERM drain exited $server_rc, want 0"
+  [ ! -e "$sock" ] || fail "drain" "drained server left its socket behind"
+  grep -q "drained:" "$server_log" ||
+      fail "drain" "no ServiceReport printed on drain"
+  echo "service soak: SIGTERM drained cleanly with a final report"
+}
+
+run_overload_and_retry
+if [ "$failures" -eq 0 ]; then run_crash; fi
+if [ "$failures" -eq 0 ]; then run_reboot; fi
+if [ "$failures" -eq 0 ]; then run_drain; fi
+
+if [ "$failures" -gt 0 ]; then
+  echo "service soak: $failures failing phase(s)"
+  sed -e 's/^/  server log: /' "$server_log"
+  exit 1
+fi
+echo "service soak: all phases clean"
