@@ -59,6 +59,59 @@ void BM_RoundSharedRandomness(benchmark::State& state) {
 }
 BENCHMARK(BM_RoundSharedRandomness)->Arg(8)->Arg(64)->Arg(512);
 
+// The packed word path (this PR): one RoundWords call per iteration, 64
+// parties per u64.  Stream-compat still draws per listener (same stream
+// as the scalar path, amortized loop overhead); fast mode batches the
+// sampling and is the mega-n configuration -- its Args extend to 2^20
+// parties, which the scalar path cannot reach in benchmark time.
+template <typename ChannelT>
+void RoundWordsLoop(benchmark::State& state, const ChannelT& channel,
+                    WordMode mode) {
+  const std::int64_t n = state.range(0);
+  Rng rng(1);
+  RoundEngine engine(channel, rng, n);
+  engine.SetWordMode(mode);
+  std::vector<std::uint64_t> beeps(WordsForParties(n), 0);
+  beeps[beeps.size() / 2] = 1;  // one beeper, like the scalar loop
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.RoundWords(beeps));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+
+void BM_RoundWordsIndependentCompat(benchmark::State& state) {
+  RoundWordsLoop(state, IndependentNoisyChannel(0.1),
+                 WordMode::kStreamCompat);
+}
+BENCHMARK(BM_RoundWordsIndependentCompat)->Arg(512)->Arg(4096)->Arg(65536);
+
+void BM_RoundWordsIndependentFast(benchmark::State& state) {
+  RoundWordsLoop(state, IndependentNoisyChannel(0.1), WordMode::kFast);
+}
+BENCHMARK(BM_RoundWordsIndependentFast)
+    ->Arg(512)
+    ->Arg(4096)
+    ->Arg(65536)
+    ->Arg(262144)
+    ->Arg(1048576);
+
+void BM_RoundWordsIndependentFastSparse(benchmark::State& state) {
+  // eps * 64 < 1: the geometric skip walk, the regime where round cost is
+  // dominated by the O(eps * n) flips rather than the O(n / 64) words.
+  RoundWordsLoop(state, IndependentNoisyChannel(0.001), WordMode::kFast);
+}
+BENCHMARK(BM_RoundWordsIndependentFastSparse)
+    ->Arg(65536)
+    ->Arg(262144)
+    ->Arg(1048576);
+
+void BM_RoundWordsCorrelatedFast(benchmark::State& state) {
+  // Shared-draw word delivery: one draw then a word fill, so cost is pure
+  // memory bandwidth at any n.
+  RoundWordsLoop(state, CorrelatedNoisyChannel(0.1), WordMode::kFast);
+}
+BENCHMARK(BM_RoundWordsCorrelatedFast)->Arg(4096)->Arg(1048576);
+
 // Full protocol execution end to end (round loop + party beep functions +
 // transcript bookkeeping): rounds/second for the trivial InputSet run,
 // with each trial sampling a fresh instance through the resilient engine.

@@ -14,7 +14,7 @@ namespace {
 // every input vector, so the inner loop works on 64 rounds at a time.
 using WordMask = std::vector<std::uint64_t>;
 
-WordMask PackBits(const BitString& bits) {
+WordMask PackRoundWords(const BitString& bits) {
   WordMask words((bits.size() + 63) / 64, 0);
   for (std::size_t m = 0; m < bits.size(); ++m) {
     if (bits[m]) words[m / 64] |= std::uint64_t{1} << (m % 64);
@@ -49,11 +49,11 @@ PosteriorResult ExactPosterior(const ProtocolFamily& family,
         beeps.PushBack(party->ChooseBeep(prefix));
         prefix.PushBack(pi[m]);
       }
-      pattern[i].push_back(PackBits(beeps));
+      pattern[i].push_back(PackRoundWords(beeps));
     }
   }
 
-  const WordMask ones_mask = PackBits(pi);
+  const WordMask ones_mask = PackRoundWords(pi);
   const std::size_t num_words = ones_mask.size();
   std::size_t num_zeros = 0;
   for (std::size_t m = 0; m < pi.size(); ++m) num_zeros += pi[m] ? 0 : 1;

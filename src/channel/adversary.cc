@@ -12,9 +12,8 @@ AdversarialCorrectionChannel::AdversarialCorrectionChannel(
              "noise rate must lie in [0, 1/2)");
 }
 
-void AdversarialCorrectionChannel::Deliver(int num_beepers,
-                                           std::span<std::uint8_t> received,
-                                           Rng& rng) const {
+bool AdversarialCorrectionChannel::SharedOutcome(std::int64_t num_beepers,
+                                                 Rng& rng) const {
   const bool or_bit = num_beepers > 0;
   // The underlying two-sided channel decides on a flip...
   bool out = or_bit != noise_.Sample(rng);
@@ -27,7 +26,21 @@ void AdversarialCorrectionChannel::Deliver(int num_beepers,
         (policy_ == CorrectionPolicy::kCorrectSpurious && !is_drop);
     if (revert) out = or_bit;
   }
-  FillShared(received, out);
+  return out;
+}
+
+void AdversarialCorrectionChannel::Deliver(std::int64_t num_beepers,
+                                           std::span<std::uint8_t> received,
+                                           Rng& rng) const {
+  FillShared(received, SharedOutcome(num_beepers, rng));
+}
+
+void AdversarialCorrectionChannel::DeliverWords(
+    std::int64_t num_beepers, std::span<std::uint64_t> received,
+    std::int64_t num_parties, WordMode mode, Rng& rng) const {
+  CheckWordDelivery(num_beepers, received, num_parties);
+  (void)mode;  // one draw per round either way: the modes coincide
+  FillSharedWords(received, num_parties, SharedOutcome(num_beepers, rng));
 }
 
 std::string AdversarialCorrectionChannel::name() const {

@@ -24,9 +24,8 @@ BurstNoisyChannel::BurstNoisyChannel(double eps_good, double eps_bad,
              "bad->good probability out of range");
 }
 
-void BurstNoisyChannel::Deliver(int num_beepers,
-                                std::span<std::uint8_t> received,
-                                Rng& rng) const {
+bool BurstNoisyChannel::SharedOutcome(std::int64_t num_beepers,
+                                      Rng& rng) const {
   // State transition first, then emission: dwell times are geometric.
   if (in_bad_state_) {
     if (trans_bg_.Sample(rng)) in_bad_state_ = false;
@@ -34,8 +33,22 @@ void BurstNoisyChannel::Deliver(int num_beepers,
     if (trans_gb_.Sample(rng)) in_bad_state_ = true;
   }
   const BernoulliSampler& noise = in_bad_state_ ? noise_bad_ : noise_good_;
-  const bool out = (num_beepers > 0) != noise.Sample(rng);
-  FillShared(received, out);
+  return (num_beepers > 0) != noise.Sample(rng);
+}
+
+void BurstNoisyChannel::Deliver(std::int64_t num_beepers,
+                                std::span<std::uint8_t> received,
+                                Rng& rng) const {
+  FillShared(received, SharedOutcome(num_beepers, rng));
+}
+
+void BurstNoisyChannel::DeliverWords(std::int64_t num_beepers,
+                                     std::span<std::uint64_t> received,
+                                     std::int64_t num_parties, WordMode mode,
+                                     Rng& rng) const {
+  CheckWordDelivery(num_beepers, received, num_parties);
+  (void)mode;  // two draws per round either way: the modes coincide
+  FillSharedWords(received, num_parties, SharedOutcome(num_beepers, rng));
 }
 
 std::string BurstNoisyChannel::name() const {

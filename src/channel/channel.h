@@ -10,6 +10,14 @@
 // channels deliver the same bit to everyone (all parties share one
 // transcript); the independent-noise channel delivers a per-party noisy
 // copy (Section 1.2 of the paper).
+//
+// Two delivery representations coexist (docs/PERFORMANCE.md):
+//   Deliver       one byte per listener -- the historical scalar path.
+//   DeliverWords  64 listeners packed per u64 word -- the word-parallel
+//                 path the mega-n round engine runs on.
+// Party and beeper counts are std::int64_t throughout: the packed path
+// simulates n in the millions and beyond, where `int` silently caps the
+// count and invites overflow UB.
 #ifndef NOISYBEEPS_CHANNEL_CHANNEL_H_
 #define NOISYBEEPS_CHANNEL_CHANNEL_H_
 
@@ -22,6 +30,35 @@
 
 namespace noisybeeps {
 
+// How the word-level delivery path treats the random stream:
+//   kStreamCompat  draw-for-draw identical to the scalar Deliver path:
+//                  same seed => same bits AND the same number of NextU64
+//                  calls, so every pre-word golden (channel stream tests,
+//                  EXPERIMENTS.md numbers) stays valid.
+//   kFast          batched noise sampling -- geometric skip-sampling for
+//                  sparse noise, bit-sliced word draws otherwise -- with
+//                  its own goldens, gated by perfguard baselines.
+// Shared-draw channels consume one draw per round either way, so for them
+// the modes coincide by construction; only per-listener noise (the
+// independent channel) distinguishes them.
+enum class WordMode : std::uint8_t { kStreamCompat, kFast };
+
+// Bits per packed word; words needed for n parties; the valid-bit mask of
+// the LAST word (all-ones when n is a multiple of 64).  These mirror
+// BitString's packing so a BitString::words() span is directly usable as
+// a beep-word span.
+inline constexpr std::int64_t kWordBits = 64;
+
+[[nodiscard]] constexpr std::size_t WordsForParties(std::int64_t n) {
+  return static_cast<std::size_t>((n + kWordBits - 1) / kWordBits);
+}
+
+[[nodiscard]] constexpr std::uint64_t TailWordMask(std::int64_t n) {
+  return n % kWordBits == 0
+             ? ~std::uint64_t{0}
+             : (std::uint64_t{1} << (n % kWordBits)) - 1;
+}
+
 // Fills every listener slot with the same received bit.  Shared-draw
 // channels (everything except the independent-noise channel) hand one
 // transcript to all parties; a memset is word-wide where the obvious
@@ -32,6 +69,18 @@ inline void FillShared(std::span<std::uint8_t> received, bool bit) {
   }
 }
 
+// Word-level counterpart of FillShared: all-ones (masked to the valid
+// tail bits) or all-zeros.  Precondition: words.size() == WordsForParties(n).
+void FillSharedWords(std::span<std::uint64_t> words, std::int64_t n,
+                     bool bit);
+
+// Packs one byte per listener into words (tail bits zeroed) and back.
+// Preconditions: words.size() == WordsForParties(bytes.size()).
+void PackBits(std::span<const std::uint8_t> bytes,
+              std::span<std::uint64_t> words);
+void UnpackBits(std::span<const std::uint64_t> words,
+                std::span<std::uint8_t> bytes);
+
 class Channel {
  public:
   virtual ~Channel() = default;
@@ -40,8 +89,21 @@ class Channel {
   // this round (passing a bool works too: the OR converts to 0/1);
   // `received` has one slot per party and is filled with the bit each
   // party hears (0/1).  The rng drives the channel noise for this round.
-  virtual void Deliver(int num_beepers, std::span<std::uint8_t> received,
-                       Rng& rng) const = 0;
+  virtual void Deliver(std::int64_t num_beepers,
+                       std::span<std::uint8_t> received, Rng& rng) const = 0;
+
+  // Word-level delivery: `received` holds WordsForParties(num_parties)
+  // words, bit i of word w is what party w*64+i hears, and the unused
+  // tail bits of the last word come back zero (so callers can OR and
+  // popcount the result without masking).  The default implementation
+  // round-trips through the scalar Deliver -- bit-identical by
+  // construction, not fast; every built-in channel overrides it.
+  // Preconditions: num_parties >= 1, 0 <= num_beepers <= num_parties,
+  // received.size() == WordsForParties(num_parties).
+  virtual void DeliverWords(std::int64_t num_beepers,
+                            std::span<std::uint64_t> received,
+                            std::int64_t num_parties, WordMode mode,
+                            Rng& rng) const;
 
   // True when every party is guaranteed to receive the same bit, i.e. the
   // parties share a single transcript.
@@ -51,7 +113,13 @@ class Channel {
 
   // Convenience for correlated channels: the single shared received bit.
   // Precondition: is_correlated().
-  [[nodiscard]] bool DeliverShared(int num_beepers, Rng& rng) const;
+  [[nodiscard]] bool DeliverShared(std::int64_t num_beepers, Rng& rng) const;
+
+ protected:
+  // Shared precondition checks for DeliverWords implementations.
+  static void CheckWordDelivery(std::int64_t num_beepers,
+                                std::span<const std::uint64_t> received,
+                                std::int64_t num_parties);
 };
 
 }  // namespace noisybeeps

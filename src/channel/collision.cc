@@ -11,15 +11,28 @@ CollisionAsSilenceChannel::CollisionAsSilenceChannel(double epsilon)
              "noise rate must lie in [0, 1/2)");
 }
 
-void CollisionAsSilenceChannel::Deliver(int num_beepers,
-                                        std::span<std::uint8_t> received,
-                                        Rng& rng) const {
+bool CollisionAsSilenceChannel::SharedOutcome(std::int64_t num_beepers,
+                                              Rng& rng) const {
   // A round is a 1 only for a lone transmitter; collisions (>= 2) and
   // silence (0) both deliver 0, before noise.  The eps == 0 case consumes
   // no randomness (the historical stream contract).
   const bool clean = num_beepers == 1;
-  const bool out = epsilon_ > 0.0 ? clean != noise_.Sample(rng) : clean;
-  FillShared(received, out);
+  return epsilon_ > 0.0 ? clean != noise_.Sample(rng) : clean;
+}
+
+void CollisionAsSilenceChannel::Deliver(std::int64_t num_beepers,
+                                        std::span<std::uint8_t> received,
+                                        Rng& rng) const {
+  FillShared(received, SharedOutcome(num_beepers, rng));
+}
+
+void CollisionAsSilenceChannel::DeliverWords(std::int64_t num_beepers,
+                                             std::span<std::uint64_t> received,
+                                             std::int64_t num_parties,
+                                             WordMode mode, Rng& rng) const {
+  CheckWordDelivery(num_beepers, received, num_parties);
+  (void)mode;  // at most one draw per round either way: the modes coincide
+  FillSharedWords(received, num_parties, SharedOutcome(num_beepers, rng));
 }
 
 std::string CollisionAsSilenceChannel::name() const {

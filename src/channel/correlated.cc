@@ -11,11 +11,24 @@ CorrelatedNoisyChannel::CorrelatedNoisyChannel(double epsilon)
              "noise rate must lie in [0, 1/2)");
 }
 
-void CorrelatedNoisyChannel::Deliver(int num_beepers,
+bool CorrelatedNoisyChannel::SharedOutcome(std::int64_t num_beepers,
+                                           Rng& rng) const {
+  return (num_beepers > 0) != noise_.Sample(rng);
+}
+
+void CorrelatedNoisyChannel::Deliver(std::int64_t num_beepers,
                                      std::span<std::uint8_t> received,
                                      Rng& rng) const {
-  const bool flipped = (num_beepers > 0) != noise_.Sample(rng);
-  FillShared(received, flipped);
+  FillShared(received, SharedOutcome(num_beepers, rng));
+}
+
+void CorrelatedNoisyChannel::DeliverWords(std::int64_t num_beepers,
+                                          std::span<std::uint64_t> received,
+                                          std::int64_t num_parties,
+                                          WordMode mode, Rng& rng) const {
+  CheckWordDelivery(num_beepers, received, num_parties);
+  (void)mode;  // one draw per round either way: the modes coincide
+  FillSharedWords(received, num_parties, SharedOutcome(num_beepers, rng));
 }
 
 std::string CorrelatedNoisyChannel::name() const {

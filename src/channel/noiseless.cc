@@ -2,11 +2,21 @@
 
 namespace noisybeeps {
 
-void NoiselessChannel::Deliver(int num_beepers,
+void NoiselessChannel::Deliver(std::int64_t num_beepers,
                                std::span<std::uint8_t> received,
                                Rng& rng) const {
   (void)rng;
   FillShared(received, num_beepers > 0);
+}
+
+void NoiselessChannel::DeliverWords(std::int64_t num_beepers,
+                                    std::span<std::uint64_t> received,
+                                    std::int64_t num_parties, WordMode mode,
+                                    Rng& rng) const {
+  CheckWordDelivery(num_beepers, received, num_parties);
+  (void)rng;   // deterministic: no draws on any path
+  (void)mode;  // the modes coincide
+  FillSharedWords(received, num_parties, num_beepers > 0);
 }
 
 }  // namespace noisybeeps

@@ -8,8 +8,12 @@ namespace noisybeeps {
 
 class NoiselessChannel final : public Channel {
  public:
-  void Deliver(int num_beepers, std::span<std::uint8_t> received,
+  void Deliver(std::int64_t num_beepers, std::span<std::uint8_t> received,
                Rng& rng) const override;
+  void DeliverWords(std::int64_t num_beepers,
+                    std::span<std::uint64_t> received,
+                    std::int64_t num_parties, WordMode mode,
+                    Rng& rng) const override;
   [[nodiscard]] bool is_correlated() const override { return true; }
   [[nodiscard]] std::string name() const override { return "noiseless"; }
 };

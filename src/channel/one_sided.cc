@@ -10,11 +10,26 @@ OneSidedUpChannel::OneSidedUpChannel(double epsilon)
   NB_REQUIRE(epsilon >= 0.0 && epsilon < 1.0, "noise rate must lie in [0, 1)");
 }
 
-void OneSidedUpChannel::Deliver(int num_beepers,
+bool OneSidedUpChannel::SharedOutcome(std::int64_t num_beepers,
+                                      Rng& rng) const {
+  // Short-circuit is part of the stream contract: no draw when someone
+  // beeped.
+  return num_beepers > 0 || noise_.Sample(rng);
+}
+
+void OneSidedUpChannel::Deliver(std::int64_t num_beepers,
                                 std::span<std::uint8_t> received,
                                 Rng& rng) const {
-  const bool out = num_beepers > 0 || noise_.Sample(rng);
-  FillShared(received, out);
+  FillShared(received, SharedOutcome(num_beepers, rng));
+}
+
+void OneSidedUpChannel::DeliverWords(std::int64_t num_beepers,
+                                     std::span<std::uint64_t> received,
+                                     std::int64_t num_parties, WordMode mode,
+                                     Rng& rng) const {
+  CheckWordDelivery(num_beepers, received, num_parties);
+  (void)mode;  // one draw per round either way: the modes coincide
+  FillSharedWords(received, num_parties, SharedOutcome(num_beepers, rng));
 }
 
 std::string OneSidedUpChannel::name() const {
@@ -26,11 +41,25 @@ OneSidedDownChannel::OneSidedDownChannel(double epsilon)
   NB_REQUIRE(epsilon >= 0.0 && epsilon < 1.0, "noise rate must lie in [0, 1)");
 }
 
-void OneSidedDownChannel::Deliver(int num_beepers,
+bool OneSidedDownChannel::SharedOutcome(std::int64_t num_beepers,
+                                        Rng& rng) const {
+  // Short-circuit on silence is part of the stream contract.
+  return num_beepers > 0 && !noise_.Sample(rng);
+}
+
+void OneSidedDownChannel::Deliver(std::int64_t num_beepers,
                                   std::span<std::uint8_t> received,
                                   Rng& rng) const {
-  const bool out = num_beepers > 0 && !noise_.Sample(rng);
-  FillShared(received, out);
+  FillShared(received, SharedOutcome(num_beepers, rng));
+}
+
+void OneSidedDownChannel::DeliverWords(std::int64_t num_beepers,
+                                       std::span<std::uint64_t> received,
+                                       std::int64_t num_parties,
+                                       WordMode mode, Rng& rng) const {
+  CheckWordDelivery(num_beepers, received, num_parties);
+  (void)mode;  // one draw per round either way: the modes coincide
+  FillSharedWords(received, num_parties, SharedOutcome(num_beepers, rng));
 }
 
 std::string OneSidedDownChannel::name() const {

@@ -21,13 +21,21 @@ class OneSidedUpChannel final : public Channel {
   // Precondition: 0 <= epsilon < 1.
   explicit OneSidedUpChannel(double epsilon);
 
-  void Deliver(int num_beepers, std::span<std::uint8_t> received,
+  void Deliver(std::int64_t num_beepers, std::span<std::uint8_t> received,
                Rng& rng) const override;
+  void DeliverWords(std::int64_t num_beepers,
+                    std::span<std::uint64_t> received,
+                    std::int64_t num_parties, WordMode mode,
+                    Rng& rng) const override;
   [[nodiscard]] bool is_correlated() const override { return true; }
   [[nodiscard]] std::string name() const override;
   [[nodiscard]] double epsilon() const { return epsilon_; }
 
  private:
+  // One draw at most per round (short-circuited on a beep), shared by
+  // both delivery paths: the modes coincide.
+  [[nodiscard]] bool SharedOutcome(std::int64_t num_beepers, Rng& rng) const;
+
   double epsilon_;
   BernoulliSampler noise_;
 };
@@ -37,13 +45,21 @@ class OneSidedDownChannel final : public Channel {
   // Precondition: 0 <= epsilon < 1.
   explicit OneSidedDownChannel(double epsilon);
 
-  void Deliver(int num_beepers, std::span<std::uint8_t> received,
+  void Deliver(std::int64_t num_beepers, std::span<std::uint8_t> received,
                Rng& rng) const override;
+  void DeliverWords(std::int64_t num_beepers,
+                    std::span<std::uint64_t> received,
+                    std::int64_t num_parties, WordMode mode,
+                    Rng& rng) const override;
   [[nodiscard]] bool is_correlated() const override { return true; }
   [[nodiscard]] std::string name() const override;
   [[nodiscard]] double epsilon() const { return epsilon_; }
 
  private:
+  // One draw at most per round (short-circuited on silence), shared by
+  // both delivery paths: the modes coincide.
+  [[nodiscard]] bool SharedOutcome(std::int64_t num_beepers, Rng& rng) const;
+
   double epsilon_;
   BernoulliSampler noise_;
 };

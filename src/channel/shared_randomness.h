@@ -30,8 +30,12 @@ class SharedRandomnessOneSidedAdapter final : public Channel {
     return SharedRandomnessOneSidedAdapter(1.0 / 3.0, 0.25);
   }
 
-  void Deliver(int num_beepers, std::span<std::uint8_t> received,
+  void Deliver(std::int64_t num_beepers, std::span<std::uint8_t> received,
                Rng& rng) const override;
+  void DeliverWords(std::int64_t num_beepers,
+                    std::span<std::uint64_t> received,
+                    std::int64_t num_parties, WordMode mode,
+                    Rng& rng) const override;
   [[nodiscard]] bool is_correlated() const override { return true; }
   [[nodiscard]] std::string name() const override;
 
@@ -42,6 +46,10 @@ class SharedRandomnessOneSidedAdapter final : public Channel {
   }
 
  private:
+  // Inner one-sided draw then conditional shared flip (short-circuited on
+  // a received 0), shared by both delivery paths: the modes coincide.
+  [[nodiscard]] bool SharedOutcome(std::int64_t num_beepers, Rng& rng) const;
+
   OneSidedUpChannel inner_;
   double flip_prob_;
   BernoulliSampler flip_;

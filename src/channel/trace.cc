@@ -77,13 +77,25 @@ std::size_t CountNoisyRounds(const Trace& trace) {
 
 RecordingChannel::RecordingChannel(const Channel& inner) : inner_(&inner) {}
 
-void RecordingChannel::Deliver(int num_beepers,
+void RecordingChannel::Deliver(std::int64_t num_beepers,
                                std::span<std::uint8_t> received,
                                Rng& rng) const {
   inner_->Deliver(num_beepers, received, rng);
   TraceRound round;
   round.or_bit = num_beepers > 0;
   round.delivered.assign(received.begin(), received.end());
+  trace_.push_back(std::move(round));
+}
+
+void RecordingChannel::DeliverWords(std::int64_t num_beepers,
+                                    std::span<std::uint64_t> received,
+                                    std::int64_t num_parties, WordMode mode,
+                                    Rng& rng) const {
+  inner_->DeliverWords(num_beepers, received, num_parties, mode, rng);
+  TraceRound round;
+  round.or_bit = num_beepers > 0;
+  round.delivered.resize(static_cast<std::size_t>(num_parties));
+  UnpackBits(received, round.delivered);
   trace_.push_back(std::move(round));
 }
 
@@ -103,7 +115,7 @@ ReplayChannel::ReplayChannel(Trace trace, bool correlated)
   }
 }
 
-void ReplayChannel::Deliver(int num_beepers,
+void ReplayChannel::Deliver(std::int64_t num_beepers,
                             std::span<std::uint8_t> received,
                             Rng& rng) const {
   (void)num_beepers;  // the recording dictates the outcome
@@ -117,6 +129,25 @@ void ReplayChannel::Deliver(int num_beepers,
   NB_REQUIRE(round.delivered.size() == received.size(),
              "replaying a trace recorded with a different party count");
   std::copy(round.delivered.begin(), round.delivered.end(), received.begin());
+}
+
+void ReplayChannel::DeliverWords(std::int64_t num_beepers,
+                                 std::span<std::uint64_t> received,
+                                 std::int64_t num_parties, WordMode mode,
+                                 Rng& rng) const {
+  CheckWordDelivery(num_beepers, received, num_parties);
+  (void)mode;  // the recording dictates the outcome
+  (void)rng;
+  NB_REQUIRE(next_ < trace_.size(),
+             "ReplayChannel: trace exhausted after " +
+                 std::to_string(trace_.size()) +
+                 " rounds -- the replayed execution asked for more rounds "
+                 "than were recorded");
+  const TraceRound& round = trace_[next_++];
+  NB_REQUIRE(round.delivered.size() ==
+                 static_cast<std::size_t>(num_parties),
+             "replaying a trace recorded with a different party count");
+  PackBits(round.delivered, received);
 }
 
 std::string ReplayChannel::name() const {

@@ -44,8 +44,14 @@ class RecordingChannel final : public Channel {
   // Borrows `inner`; it must outlive this object.
   explicit RecordingChannel(const Channel& inner);
 
-  void Deliver(int num_beepers, std::span<std::uint8_t> received,
+  void Deliver(std::int64_t num_beepers, std::span<std::uint8_t> received,
                Rng& rng) const override;
+  // Forwards to the inner channel's word path, then unpacks the result
+  // into the trace (the trace format is byte-per-party either way).
+  void DeliverWords(std::int64_t num_beepers,
+                    std::span<std::uint64_t> received,
+                    std::int64_t num_parties, WordMode mode,
+                    Rng& rng) const override;
   [[nodiscard]] bool is_correlated() const override {
     return inner_->is_correlated();
   }
@@ -71,8 +77,14 @@ class ReplayChannel final : public Channel {
   // silently absorbed.
   ReplayChannel(Trace trace, bool correlated);
 
-  void Deliver(int num_beepers, std::span<std::uint8_t> received,
+  void Deliver(std::int64_t num_beepers, std::span<std::uint8_t> received,
                Rng& rng) const override;
+  // Packs the next recorded round into words; ignores mode and rng like
+  // the scalar replay.
+  void DeliverWords(std::int64_t num_beepers,
+                    std::span<std::uint64_t> received,
+                    std::int64_t num_parties, WordMode mode,
+                    Rng& rng) const override;
   [[nodiscard]] bool is_correlated() const override { return correlated_; }
   [[nodiscard]] std::string name() const override;
 

@@ -32,7 +32,7 @@ std::uint64_t NextMessage(int party, const LocalState& state,
 OwnerFindingResult FindOwners(RoundEngine& engine, const BeepCode& code,
                               const std::vector<BitString>& pi_view,
                               const std::vector<BitString>& beeped) {
-  const int n = engine.num_parties();
+  const auto n = static_cast<int>(engine.num_parties());
   NB_REQUIRE(static_cast<int>(pi_view.size()) == n &&
                  static_cast<int>(beeped.size()) == n,
              "need one chunk view per party");

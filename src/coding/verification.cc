@@ -37,7 +37,7 @@ std::size_t FirstViolation(const Protocol& protocol, int party_index,
 std::vector<std::uint8_t> CommunicateFlags(RoundEngine& engine,
                                            const std::vector<std::uint8_t>& flags,
                                            int reps, FlagRule rule) {
-  const int n = engine.num_parties();
+  const auto n = static_cast<int>(engine.num_parties());
   NB_REQUIRE(static_cast<int>(flags.size()) == n, "one flag per party");
   NB_REQUIRE(reps >= 1, "flag repetitions must be positive");
   std::vector<std::size_t> ones(n, 0);
@@ -58,7 +58,7 @@ std::vector<std::uint8_t> CommunicateFlags(RoundEngine& engine,
 std::vector<std::size_t> BinarySearchVerifiedPrefix(
     RoundEngine& engine, const std::vector<std::size_t>& first_violation,
     std::size_t total_len, int reps, FlagRule rule) {
-  const int n = engine.num_parties();
+  const auto n = static_cast<int>(engine.num_parties());
   NB_REQUIRE(static_cast<int>(first_violation.size()) == n,
              "one local violation index per party");
 

@@ -13,7 +13,8 @@ namespace noisybeeps {
 
 namespace {
 
-void RequireWindow(int party, std::int64_t first, std::int64_t last) {
+void RequireWindow(std::int64_t party, std::int64_t first,
+                   std::int64_t last) {
   NB_REQUIRE(party >= 0, "fault party index must be non-negative");
   NB_REQUIRE(first >= 0, "fault window must start at a non-negative round");
   NB_REQUIRE(last >= first, "fault window must not end before it starts");
@@ -77,28 +78,30 @@ FaultKind ParseFaultKind(const std::string& name) {
                               "' (expected crash|sleepy|stuck|babble|deaf)");
 }
 
-FaultPlan& FaultPlan::CrashStop(int party, std::int64_t from_round) {
+FaultPlan& FaultPlan::CrashStop(std::int64_t party,
+                                std::int64_t from_round) {
   RequireWindow(party, from_round, FaultSpec::kNoLastRound);
   specs_.push_back({FaultKind::kCrashStop, party, from_round,
                     FaultSpec::kNoLastRound, 0.0});
   return *this;
 }
 
-FaultPlan& FaultPlan::Sleepy(int party, std::int64_t first,
+FaultPlan& FaultPlan::Sleepy(std::int64_t party, std::int64_t first,
                              std::int64_t last) {
   RequireWindow(party, first, last);
   specs_.push_back({FaultKind::kSleepy, party, first, last, 0.0});
   return *this;
 }
 
-FaultPlan& FaultPlan::StuckBeeper(int party, std::int64_t first,
+FaultPlan& FaultPlan::StuckBeeper(std::int64_t party, std::int64_t first,
                                   std::int64_t last) {
   RequireWindow(party, first, last);
   specs_.push_back({FaultKind::kStuckBeeper, party, first, last, 0.0});
   return *this;
 }
 
-FaultPlan& FaultPlan::Babbler(int party, std::int64_t first, std::int64_t last,
+FaultPlan& FaultPlan::Babbler(std::int64_t party, std::int64_t first,
+                              std::int64_t last,
                               double beep_prob) {
   RequireWindow(party, first, last);
   NB_REQUIRE(beep_prob >= 0.0 && beep_prob <= 1.0,
@@ -107,25 +110,25 @@ FaultPlan& FaultPlan::Babbler(int party, std::int64_t first, std::int64_t last,
   return *this;
 }
 
-FaultPlan& FaultPlan::DeafReceiver(int party, std::int64_t first,
+FaultPlan& FaultPlan::DeafReceiver(std::int64_t party, std::int64_t first,
                                    std::int64_t last) {
   RequireWindow(party, first, last);
   specs_.push_back({FaultKind::kDeafReceiver, party, first, last, 0.0});
   return *this;
 }
 
-int FaultPlan::MaxParty() const {
-  int max_party = -1;
+std::int64_t FaultPlan::MaxParty() const {
+  std::int64_t max_party = -1;
   for (const FaultSpec& spec : specs_) {
     if (spec.party > max_party) max_party = spec.party;
   }
   return max_party;
 }
 
-int FaultPlan::NumFaultyParties() const {
-  std::set<int> parties;
+std::int64_t FaultPlan::NumFaultyParties() const {
+  std::set<std::int64_t> parties;
   for (const FaultSpec& spec : specs_) parties.insert(spec.party);
-  return static_cast<int>(parties.size());
+  return static_cast<std::int64_t>(parties.size());
 }
 
 FaultPlan FaultPlan::Parse(const std::string& text, std::uint64_t seed) {
@@ -143,8 +146,8 @@ FaultPlan FaultPlan::Parse(const std::string& text, std::uint64_t seed) {
           context);
     }
     const FaultKind kind = ParseFaultKind(entry.substr(0, colon));
-    const int party = static_cast<int>(
-        ParseRound(entry.substr(colon + 1, at - colon - 1), context));
+    const std::int64_t party =
+        ParseRound(entry.substr(colon + 1, at - colon - 1), context);
 
     std::string window = entry.substr(at + 1);
     double prob = 0.5;
@@ -256,7 +259,7 @@ FaultPlan ReadFaultPlanCsv(std::istream& is, std::uint64_t seed) {
                "fault-plan CSV row has too many cells: " + line);
     const std::string context = "CSV row '" + line + "'";
     const FaultKind kind = ParseFaultKind(cells[0]);
-    const int party = static_cast<int>(ParseRound(cells[1], context));
+    const std::int64_t party = ParseRound(cells[1], context);
     const std::int64_t first = ParseRound(cells[2], context);
     const std::int64_t last = cells[3] == "*"
                                   ? FaultSpec::kNoLastRound

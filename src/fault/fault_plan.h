@@ -58,7 +58,7 @@ struct FaultSpec {
       std::numeric_limits<std::int64_t>::max();
 
   FaultKind kind = FaultKind::kCrashStop;
-  int party = 0;
+  std::int64_t party = 0;
   std::int64_t first_round = 0;
   std::int64_t last_round = kNoLastRound;
   double beep_prob = 0.5;  // babbler only
@@ -81,21 +81,23 @@ class FaultPlan {
   // Builder API; all return *this for chaining.  Windows are inclusive.
   // Preconditions: party >= 0, first_round >= 0, last >= first, and for
   // Babbler 0 <= beep_prob <= 1.
-  FaultPlan& CrashStop(int party, std::int64_t from_round);
-  FaultPlan& Sleepy(int party, std::int64_t first, std::int64_t last);
-  FaultPlan& StuckBeeper(int party, std::int64_t first, std::int64_t last);
-  FaultPlan& Babbler(int party, std::int64_t first, std::int64_t last,
+  FaultPlan& CrashStop(std::int64_t party, std::int64_t from_round);
+  FaultPlan& Sleepy(std::int64_t party, std::int64_t first, std::int64_t last);
+  FaultPlan& StuckBeeper(std::int64_t party, std::int64_t first,
+                         std::int64_t last);
+  FaultPlan& Babbler(std::int64_t party, std::int64_t first, std::int64_t last,
                      double beep_prob = 0.5);
-  FaultPlan& DeafReceiver(int party, std::int64_t first, std::int64_t last);
+  FaultPlan& DeafReceiver(std::int64_t party, std::int64_t first,
+                          std::int64_t last);
 
   [[nodiscard]] bool empty() const { return specs_.empty(); }
   [[nodiscard]] const std::vector<FaultSpec>& specs() const { return specs_; }
   [[nodiscard]] std::uint64_t seed() const { return seed_; }
   // Largest party index any spec names (-1 when empty).  Executions must
   // have more parties than this.
-  [[nodiscard]] int MaxParty() const;
+  [[nodiscard]] std::int64_t MaxParty() const;
   // Number of distinct parties with at least one fault.
-  [[nodiscard]] int NumFaultyParties() const;
+  [[nodiscard]] std::int64_t NumFaultyParties() const;
 
   // The compact flag grammar (round-trip inverse of ToString):
   //   plan  := spec (';' spec)*     |  "" (empty plan)

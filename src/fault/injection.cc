@@ -6,7 +6,7 @@
 
 namespace noisybeeps {
 
-FaultInjector::FaultInjector(const FaultPlan& plan, int num_parties)
+FaultInjector::FaultInjector(const FaultPlan& plan, std::int64_t num_parties)
     : specs_(plan.specs()) {
   NB_REQUIRE(plan.MaxParty() < num_parties,
              "fault plan names a party the execution does not have");
@@ -59,12 +59,71 @@ void FaultInjector::ApplyReceive(std::int64_t round,
   }
 }
 
+namespace {
+
+inline void SetPackedBit(std::span<std::uint64_t> words, std::int64_t i,
+                         bool value) {
+  const std::uint64_t mask = std::uint64_t{1} << (i % 64);
+  if (value) {
+    words[static_cast<std::size_t>(i / 64)] |= mask;
+  } else {
+    words[static_cast<std::size_t>(i / 64)] &= ~mask;
+  }
+}
+
+}  // namespace
+
+void FaultInjector::ApplySendWords(std::int64_t round,
+                                   std::span<std::uint64_t> beeps) {
+  for (std::size_t k = 0; k < specs_.size(); ++k) {
+    const FaultSpec& spec = specs_[k];
+    if (!spec.ActiveAt(round)) continue;
+    switch (spec.kind) {
+      case FaultKind::kCrashStop:
+      case FaultKind::kSleepy:
+        SetPackedBit(beeps, spec.party, false);
+        break;
+      case FaultKind::kStuckBeeper:
+        SetPackedBit(beeps, spec.party, true);
+        break;
+      case FaultKind::kBabbler:
+        // The draw happens unconditionally (as in ApplySend): the babbler
+        // stream position stays a function of the round index alone.
+        SetPackedBit(beeps, spec.party,
+                     babbler_rngs_[k].Bernoulli(spec.beep_prob));
+        break;
+      case FaultKind::kDeafReceiver:
+        break;  // send side untouched
+    }
+  }
+}
+
+void FaultInjector::ApplyReceiveWords(std::int64_t round,
+                                      std::span<std::uint64_t> received) {
+  for (const FaultSpec& spec : specs_) {
+    if (!spec.ActiveAt(round)) continue;
+    switch (spec.kind) {
+      case FaultKind::kCrashStop:
+      case FaultKind::kSleepy:
+      case FaultKind::kDeafReceiver:
+        SetPackedBit(received, spec.party, false);
+        break;
+      case FaultKind::kStuckBeeper:
+      case FaultKind::kBabbler:
+        break;  // receive side untouched
+    }
+  }
+}
+
 FaultyRoundEngine::FaultyRoundEngine(const Channel& channel, Rng& rng,
-                                     int num_parties, const FaultPlan& plan)
+                                     std::int64_t num_parties,
+                                     const FaultPlan& plan)
     : RoundEngine(channel, rng, num_parties),
       injector_(plan, num_parties),
-      faulted_beeps_(num_parties, 0),
-      faulted_received_(num_parties, 0) {
+      faulted_beeps_(static_cast<std::size_t>(num_parties), 0),
+      faulted_received_(static_cast<std::size_t>(num_parties), 0),
+      faulted_beep_words_(WordsForParties(num_parties), 0),
+      faulted_received_words_(WordsForParties(num_parties), 0) {
   NB_REQUIRE(plan.MaxParty() < num_parties,
              "fault plan names a party the engine does not have");
 }
@@ -82,6 +141,21 @@ std::span<const std::uint8_t> FaultyRoundEngine::Round(
   return faulted_received_;
 }
 
+std::span<const std::uint64_t> FaultyRoundEngine::RoundWords(
+    std::span<const std::uint64_t> beep_words) {
+  if (!injector_.active()) return RoundEngine::RoundWords(beep_words);
+  const std::int64_t round = rounds_used();
+  std::copy(beep_words.begin(), beep_words.end(),
+            faulted_beep_words_.begin());
+  injector_.ApplySendWords(round, faulted_beep_words_);
+  const std::span<const std::uint64_t> received =
+      RoundEngine::RoundWords(faulted_beep_words_);
+  std::copy(received.begin(), received.end(),
+            faulted_received_words_.begin());
+  injector_.ApplyReceiveWords(round, faulted_received_words_);
+  return faulted_received_words_;
+}
+
 ExecutionResult Execute(const Protocol& protocol, const Channel& channel,
                         const FaultPlan& plan, Rng& rng) {
   const int n = protocol.num_parties();
@@ -94,16 +168,22 @@ ExecutionResult Execute(const Protocol& protocol, const Channel& channel,
   for (BitString& transcript : result.transcripts) {
     transcript.Reserve(static_cast<std::size_t>(protocol.length()));
   }
+  // Delivery runs on the packed word representation in stream-compat
+  // mode, exactly as the fault-free Execute (protocol/executor.cc): with
+  // an empty plan the two are bit-for-bit identical.
   std::vector<std::uint8_t> beeps(n, 0);
   std::vector<std::uint8_t> received(n, 0);
+  std::vector<std::uint64_t> received_words(WordsForParties(n), 0);
   for (int m = 0; m < protocol.length(); ++m) {
     for (int i = 0; i < n; ++i) {
       beeps[i] = protocol.party(i).ChooseBeep(result.transcripts[i]) ? 1 : 0;
     }
     if (injector.active()) injector.ApplySend(m, beeps);
-    int num_beepers = 0;
+    std::int64_t num_beepers = 0;
     for (std::uint8_t b : beeps) num_beepers += b != 0;
-    channel.Deliver(num_beepers, received, rng);
+    channel.DeliverWords(num_beepers, received_words, n,
+                         WordMode::kStreamCompat, rng);
+    UnpackBits(received_words, received);
     if (injector.active()) injector.ApplyReceive(m, received);
     for (int i = 0; i < n; ++i) {
       result.transcripts[i].PushBack(received[i] != 0);

@@ -43,7 +43,7 @@ namespace noisybeeps {
 class FaultInjector {
  public:
   // Preconditions: every spec's party < num_parties.
-  FaultInjector(const FaultPlan& plan, int num_parties);
+  FaultInjector(const FaultPlan& plan, std::int64_t num_parties);
 
   // True when the plan has any spec at all (the fast-path test: an
   // inactive injector's Apply* calls are skipped entirely).
@@ -53,6 +53,15 @@ class FaultInjector {
   void ApplySend(std::int64_t round, std::span<std::uint8_t> beeps);
   // Rewrites received bits for noisy round `round` in place.
   void ApplyReceive(std::int64_t round, std::span<std::uint8_t> received);
+
+  // Word-packed counterparts (bit i of word w is party w*64+i).  A fault
+  // touches single bits, so the cost is per active spec, not per party --
+  // the mega-n word path keeps its word-parallel round cost.  Babbler
+  // streams advance identically to the scalar path: the same plan over
+  // the same rounds rewrites the same bits on either representation.
+  void ApplySendWords(std::int64_t round, std::span<std::uint64_t> beeps);
+  void ApplyReceiveWords(std::int64_t round,
+                         std::span<std::uint64_t> received);
 
  private:
   std::vector<FaultSpec> specs_;
@@ -67,16 +76,20 @@ class FaultyRoundEngine final : public RoundEngine {
  public:
   // The engine borrows channel, rng, and plan; all must outlive it.
   // Preconditions: plan.MaxParty() < num_parties.
-  FaultyRoundEngine(const Channel& channel, Rng& rng, int num_parties,
-                    const FaultPlan& plan);
+  FaultyRoundEngine(const Channel& channel, Rng& rng,
+                    std::int64_t num_parties, const FaultPlan& plan);
 
   std::span<const std::uint8_t> Round(
       std::span<const std::uint8_t> beeps) override;
+  std::span<const std::uint64_t> RoundWords(
+      std::span<const std::uint64_t> beep_words) override;
 
  private:
   FaultInjector injector_;
   std::vector<std::uint8_t> faulted_beeps_;
   std::vector<std::uint8_t> faulted_received_;
+  std::vector<std::uint64_t> faulted_beep_words_;
+  std::vector<std::uint64_t> faulted_received_words_;
 };
 
 // Fault-aware counterpart of Execute (protocol/executor.h): runs

@@ -471,6 +471,42 @@ void CheckChannelHotPath(const RepoModel& repo, std::vector<Finding>& out) {
   }
 }
 
+// --- word-path-batched-sampling ---------------------------------------------
+
+void CheckWordPathBatchedSampling(const RepoModel& repo,
+                                  std::vector<Finding>& out) {
+  // DeliverWords is the word-parallel round hot path: one call covers 64
+  // listeners per word.  A per-bit rng.Bernoulli(p) / UniformDouble() < p
+  // inside it defeats the batching the path exists for; draws must go
+  // through the precomputed samplers (BernoulliSampler for the
+  // stream-compat replay, BernoulliWordSampler / GeometricSkipSampler for
+  // the batched fast mode -- all in util/rng.h).
+  for (const FileModel& file : repo.files()) {
+    if (!file.path().starts_with("src/channel/")) continue;
+    for (const FunctionInfo& fn : file.functions()) {
+      if (fn.name != "DeliverWords" || !fn.is_definition) continue;
+      const std::vector<std::size_t>& code = file.code();
+      for (std::size_t ci = 0; ci < code.size(); ++ci) {
+        if (file.code()[ci] <= fn.body_begin) continue;
+        if (file.code()[ci] >= fn.body_end) break;
+        const Token& t = Tok(file, ci);
+        if (t.kind != TokenKind::kIdentifier ||
+            (t.text != "UniformDouble" && t.text != "Bernoulli")) {
+          continue;
+        }
+        if (ci > 0 && Tok(file, ci - 1).text == "::") continue;
+        out.push_back(
+            {file.path(), t.line, "word-path-batched-sampling",
+             t.text +
+                 " inside a DeliverWords implementation: the word path "
+                 "must batch its noise draws through BernoulliSampler / "
+                 "BernoulliWordSampler / GeometricSkipSampler (util/rng.h) "
+                 "instead of drawing per bit"});
+      }
+    }
+  }
+}
+
 // --- rng-stream-discipline --------------------------------------------------
 
 void CheckRngStreamDiscipline(const RepoModel& repo,
@@ -992,6 +1028,23 @@ std::vector<Rule> BuildRegistry() {
          "int Zero() { return 0; }  // NBLINT(no-such-rule): spurious\n")},
       "A typo'd rule id would otherwise leave the author believing a "
       "finding is handled while the engine ignores the comment."});
+  rules.push_back(Rule{
+      "word-path-batched-sampling", Severity::kError, "performance",
+      "Channel DeliverWords bodies must not draw per-bit via "
+      "Rng::Bernoulli/UniformDouble; use the batched samplers in "
+      "util/rng.h.",
+      CheckWordPathBatchedSampling,
+      {F("src/channel/fixture.cc",
+         "struct Chan {\n"
+         "  void DeliverWords(double p) {\n"
+         "    if (rng_.Bernoulli(p)) bits_ ^= 1;\n"
+         "  }\n"
+         "};\n")},
+      "DeliverWords exists so a round over a million parties costs "
+      "thousands of draws, not a million: geometric skip-sampling for "
+      "sparse noise, bit-sliced word draws otherwise.  One per-bit "
+      "Bernoulli inside it silently restores the scalar cost while the "
+      "benchmarks still say 'word path'."});
   return rules;
 }
 

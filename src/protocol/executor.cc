@@ -13,16 +13,24 @@ ExecutionResult Execute(const Protocol& protocol, const Channel& channel,
     transcript.Reserve(static_cast<std::size_t>(protocol.length()));
   }
 
+  // Delivery runs on the packed word representation in stream-compat
+  // mode: draw-for-draw identical to the historical byte path (the golden
+  // regression tests hold this to account), one word per 64 parties.
+  std::vector<std::uint8_t> beeps(n, 0);
   std::vector<std::uint8_t> received(n, 0);
+  std::vector<std::uint64_t> received_words(WordsForParties(n), 0);
   for (int m = 0; m < protocol.length(); ++m) {
-    int num_beepers = 0;
+    std::int64_t num_beepers = 0;
     for (int i = 0; i < n; ++i) {
       // Each party decides from ITS OWN transcript; under correlated
       // channels all transcripts coincide, so this is equivalent to the
       // shared-transcript formulation.
-      num_beepers += protocol.party(i).ChooseBeep(result.transcripts[i]);
+      beeps[i] = protocol.party(i).ChooseBeep(result.transcripts[i]) ? 1 : 0;
+      num_beepers += beeps[i];
     }
-    channel.Deliver(num_beepers, received, rng);
+    channel.DeliverWords(num_beepers, received_words, n,
+                         WordMode::kStreamCompat, rng);
+    UnpackBits(received_words, received);
     for (int i = 0; i < n; ++i) {
       result.transcripts[i].PushBack(received[i] != 0);
     }

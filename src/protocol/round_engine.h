@@ -10,6 +10,11 @@
 // discipline" -- party i's beep decision may depend only on party i's
 // local state plus previously received bits -- is kept by code structure
 // and is what the simulator modules document and the tests probe.
+//
+// Two round representations coexist: Round (byte per party, the
+// historical path) and RoundWords (64 parties packed per u64, the
+// mega-n path; see docs/PERFORMANCE.md).  Party counts are std::int64_t:
+// the word path simulates millions of parties per round, beyond `int`.
 #ifndef NOISYBEEPS_PROTOCOL_ROUND_ENGINE_H_
 #define NOISYBEEPS_PROTOCOL_ROUND_ENGINE_H_
 
@@ -26,7 +31,7 @@ namespace noisybeeps {
 class RoundEngine {
  public:
   // The engine borrows the channel and rng; both must outlive it.
-  RoundEngine(const Channel& channel, Rng& rng, int num_parties);
+  RoundEngine(const Channel& channel, Rng& rng, std::int64_t num_parties);
   virtual ~RoundEngine() = default;
 
   // Not copyable/movable: the engine caches an interior pointer into its
@@ -35,7 +40,7 @@ class RoundEngine {
   RoundEngine(const RoundEngine&) = delete;
   RoundEngine& operator=(const RoundEngine&) = delete;
 
-  [[nodiscard]] int num_parties() const { return num_parties_; }
+  [[nodiscard]] std::int64_t num_parties() const { return num_parties_; }
 
   // Runs one noisy round.  beeps[i] != 0 iff party i beeps.  Returns the
   // per-party received bits (valid until the next call).  Virtual so that
@@ -46,9 +51,25 @@ class RoundEngine {
   virtual std::span<const std::uint8_t> Round(
       std::span<const std::uint8_t> beeps);
 
+  // Word-parallel round: bit i of beep_words[w] is 1 iff party w*64+i
+  // beeps; the result is packed the same way (valid until the next call,
+  // tail bits of the last word zero).  Shares the round/phase accounting
+  // with Round, so a simulation may mix representations freely.  Virtual
+  // for the same fault-wrapping reason as Round.
+  // Preconditions: beep_words.size() == WordsForParties(num_parties()),
+  // and the unused tail bits of the last beep word are zero.
+  virtual std::span<const std::uint64_t> RoundWords(
+      std::span<const std::uint64_t> beep_words);
+
   // Correlated-channel convenience: the single shared received bit.
   // Preconditions: as Round, plus channel.is_correlated().
   bool RoundShared(std::span<const std::uint8_t> beeps);
+
+  // Stream discipline for RoundWords (and the word path of Execute):
+  // kStreamCompat (the default) consumes the rng draw-for-draw like the
+  // scalar Round; kFast batches noise sampling (its own stream).
+  void SetWordMode(WordMode mode) { word_mode_ = mode; }
+  [[nodiscard]] WordMode word_mode() const { return word_mode_; }
 
   // Total noisy rounds consumed so far.
   [[nodiscard]] std::int64_t rounds_used() const { return rounds_used_; }
@@ -78,12 +99,28 @@ class RoundEngine {
   [[nodiscard]] const Channel& channel() const { return *channel_; }
   [[nodiscard]] Rng& rng() { return *rng_; }
 
+ protected:
+  // Round/phase bookkeeping shared by both round representations (and by
+  // fault-wrapping subclasses that re-implement the round body).
+  void AccountRound() {
+    ++rounds_used_;
+    // Resolve the phase counter at most once per SetPhase, not per round:
+    // a phase gets a map entry only once a round actually runs under it
+    // (so phase_rounds() never reports zero-round phases), and every
+    // later round is a plain pointer increment instead of a string-keyed
+    // lookup.
+    if (phase_counter_ == nullptr) phase_counter_ = &phase_rounds_[phase_];
+    ++*phase_counter_;
+  }
+
  private:
   const Channel* channel_;
   Rng* rng_;
-  int num_parties_;
+  std::int64_t num_parties_;
+  WordMode word_mode_ = WordMode::kStreamCompat;
   std::int64_t rounds_used_ = 0;
   std::vector<std::uint8_t> received_;
+  std::vector<std::uint64_t> received_words_;
   std::string phase_;
   std::map<std::string, std::int64_t> phase_rounds_;
   // Points at phase_rounds_[phase_] once the first round of the current

@@ -34,7 +34,7 @@ struct JobSpec {
   std::string task = "input_set";
   std::string channel = "correlated";
   std::string sim = "rewind";
-  int n = 16;
+  std::int64_t n = 16;  // party count: the word path reaches mega-n
   double eps = 0.05;
   int trials = 10;
   std::uint64_t seed = 1;

@@ -136,7 +136,7 @@ Request ParseRequestLine(std::string_view line) {
     } else if (kv.key == "sim") {
       request.spec.sim = kv.value;
     } else if (kv.key == "n") {
-      request.spec.n = RequireInt(kv);
+      request.spec.n = RequireInt64(kv);
     } else if (kv.key == "eps") {
       request.spec.eps = RequireDouble(kv);
     } else if (kv.key == "trials") {

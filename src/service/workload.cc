@@ -1,6 +1,7 @@
 #include "service/workload.h"
 
 #include <algorithm>
+#include <limits>
 #include <stdexcept>
 #include <utility>
 #include <vector>
@@ -203,6 +204,13 @@ void ValidateJobSpec(const JobSpec& spec) {
     throw std::invalid_argument("n must be >= 2, got " +
                                 std::to_string(spec.n));
   }
+  // The named workloads instantiate per-party Protocol objects (an
+  // int-indexed layer); n beyond int range needs the word-parallel round
+  // substrate directly, not a service workload.
+  if (spec.n > std::numeric_limits<int>::max()) {
+    throw std::invalid_argument("n too large for a protocol workload: " +
+                                std::to_string(spec.n));
+  }
   if (!(spec.eps >= 0.0) || !(spec.eps < 1.0)) {
     throw std::invalid_argument("eps must be in [0, 1)");
   }
@@ -305,7 +313,7 @@ JobResult RunJob(const JobSpec& spec, const JobExecution& exec) {
   const FaultPlan faults = spec.ParsedFaultPlan();
   const std::unique_ptr<Channel> channel = MakeChannel(spec.channel, spec.eps);
   const std::unique_ptr<Simulator> sim =
-      MakeSimulator(spec.sim, spec.task, spec.n);
+      MakeSimulator(spec.sim, spec.task, static_cast<int>(spec.n));
 
   resilience::ResilienceOptions opts;
   opts.fs = exec.fs;
@@ -324,7 +332,8 @@ JobResult RunJob(const JobSpec& spec, const JobExecution& exec) {
 
   Rng rng(spec.seed);
   const auto body = [&](int, Rng& trial_rng) {
-    const Workload workload = MakeWorkload(spec.task, spec.n, trial_rng);
+    const Workload workload =
+        MakeWorkload(spec.task, static_cast<int>(spec.n), trial_rng);
     const SimulationResult result =
         sim->Simulate(*workload.protocol, *channel, faults, trial_rng);
     TrialPoint point;

@@ -73,6 +73,31 @@ BitString BitString::Substring(std::size_t begin, std::size_t end) const {
   return out;
 }
 
+std::uint64_t BitString::Word(std::size_t wi) const {
+  NB_REQUIRE(wi < words_.size(), "word index out of range");
+  return words_[wi];
+}
+
+void BitString::SetWord(std::size_t wi, std::uint64_t value) {
+  NB_REQUIRE(wi < words_.size(), "word index out of range");
+  words_[wi] = value;
+  // Unconditionally re-establish the tail-bit invariant: masking only the
+  // last word keeps a full-word write O(1) while making it impossible for
+  // a caller to park garbage in the slack.
+  if (wi + 1 == words_.size()) words_.back() &= TailMask(size_);
+}
+
+void BitString::Resize(std::size_t size) {
+  if (size <= size_) {
+    Truncate(size);
+    return;
+  }
+  // Growth appends zero bits: the slack of the old last word is zero by
+  // invariant, and vector::resize zero-fills the new words.
+  words_.resize(WordCount(size), 0);
+  size_ = size;
+}
+
 std::size_t BitString::PopCount() const {
   std::size_t total = 0;
   for (std::uint64_t w : words_) total += std::popcount(w);

@@ -12,6 +12,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <initializer_list>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -19,6 +20,9 @@ namespace noisybeeps {
 
 class BitString {
  public:
+  // Bits per backing word.  The word-parallel round engine packs one
+  // party per bit, 64 parties per word.
+  static constexpr std::size_t kWordBits = 64;
   BitString() = default;
 
   // A string of `size` zero bits.
@@ -56,6 +60,46 @@ class BitString {
 
   // Bits [begin, end) as a new BitString.  Precondition: begin <= end <= size.
   [[nodiscard]] BitString Substring(std::size_t begin, std::size_t end) const;
+
+  // --- the word-span API ----------------------------------------------
+  //
+  // The packed representation is part of the public contract: bit i lives
+  // at bit (i % 64) of word (i / 64), and the TAIL-BIT INVARIANT holds at
+  // all times -- every bit of the last word at position >= size() % 64 is
+  // zero.  Every mutator (Set, PushBack, Append, Truncate, FromString,
+  // SetWord, Resize) re-establishes the invariant, so word-level readers
+  // (PopCount, HammingDistance, operator==, the word-parallel round
+  // engine's OR/popcount loops) never see garbage in the slack.  The
+  // property tests in tests/util_bitstring_test.cc drive randomized
+  // mutation sequences against a bit-by-bit reference to hold this to
+  // account.
+
+  // Number of backing words, WordCount(size()).
+  [[nodiscard]] std::size_t word_count() const { return words_.size(); }
+
+  // Read-only view of the packed words (tail-bit invariant guaranteed).
+  [[nodiscard]] std::span<const std::uint64_t> words() const {
+    return words_;
+  }
+
+  // Word `wi` of the packed representation.  Precondition: wi < word_count().
+  [[nodiscard]] std::uint64_t Word(std::size_t wi) const;
+
+  // Overwrites word `wi` wholesale.  Bits beyond size() in the last word
+  // are masked off, so the tail-bit invariant survives every write -- a
+  // caller cannot smuggle garbage into the slack even on purpose.
+  // Precondition: wi < word_count().
+  void SetWord(std::size_t wi, std::uint64_t value);
+
+  // Grows (with zero bits) or shrinks to exactly `size` bits.
+  void Resize(std::size_t size);
+
+  // The mask of in-range bits for the LAST word of a `bits`-bit string
+  // (all-ones when bits is a multiple of 64).
+  [[nodiscard]] static std::uint64_t TailMask(std::size_t bits) {
+    const std::size_t rem = bits % kWordBits;
+    return rem == 0 ? ~std::uint64_t{0} : (std::uint64_t{1} << rem) - 1;
+  }
 
   // Number of 1 bits.
   [[nodiscard]] std::size_t PopCount() const;

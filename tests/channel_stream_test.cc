@@ -205,5 +205,75 @@ TEST(ChannelStream, GoldenStreamsArePinned) {
             "0110110110110110010111110101110111111110110100111110110101110110");
 }
 
+// Runs `channel` through the packed word path in `mode` and renders the
+// received bits exactly as DeliveredStream does.
+std::string DeliveredStreamWords(const Channel& channel, WordMode mode,
+                                 bool all_parties = false) {
+  Rng rng(kSeed);
+  std::vector<std::uint64_t> words(WordsForParties(kParties), 0);
+  std::string stream;
+  for (int r = 0; r < kRounds; ++r) {
+    channel.DeliverWords(BeepersAt(r), words, kParties, mode, rng);
+    if (all_parties) {
+      for (int i = 0; i < kParties; ++i) {
+        stream += ((words[0] >> i) & 1u) != 0 ? '1' : '0';
+      }
+    } else {
+      stream += (words[0] & 1u) != 0 ? '1' : '0';
+    }
+  }
+  return stream;
+}
+
+// The word path in stream-compat mode is a drop-in for the scalar path:
+// it must reproduce the SAME pinned goldens, not merely agree with a
+// re-run of itself.  A compat regression that shifted the draw order
+// would break the scalar goldens above and this test identically.
+TEST(ChannelStream, WordStreamCompatReproducesTheGoldens) {
+  EXPECT_EQ(DeliveredStreamWords(CorrelatedNoisyChannel(0.1),
+                                 WordMode::kStreamCompat),
+            "0110110010110110110010110110110110110111100010110110110111110110");
+  EXPECT_EQ(DeliveredStreamWords(OneSidedUpChannel(1.0 / 3.0),
+                                 WordMode::kStreamCompat),
+            "0110110111110110110111111111111111110110110110110110110111110111");
+  EXPECT_EQ(DeliveredStreamWords(IndependentNoisyChannel(0.2),
+                                 WordMode::kStreamCompat),
+            "0110110110011110101110100110100110100010111010110110100111110100");
+  EXPECT_EQ(DeliveredStreamWords(BurstNoisyChannel(0.01, 0.4, 0.2, 0.5),
+                                 WordMode::kStreamCompat),
+            "0110110110110110010111110101110111111110110100111110110101110110");
+  // The per-listener independent streams agree too, not just party 0.
+  const IndependentNoisyChannel independent(0.2);
+  EXPECT_EQ(DeliveredStreamWords(independent, WordMode::kStreamCompat,
+                                 /*all_parties=*/true),
+            DeliveredStream(independent, /*all_parties=*/true));
+}
+
+// Fast-mode goldens for the one channel whose fast path draws a genuinely
+// different stream (batched bit-sliced words at large eps, geometric skip
+// sampling at small eps).  These pin the realized fast noise at kSeed;
+// shared-draw channels have no separate fast goldens because their fast
+// path is draw-for-draw the scalar path.
+TEST(ChannelStream, FastModeGoldensArePinned) {
+  // eps = 0.2: eps * 64 >= 1, so the bit-sliced word sampler runs.
+  EXPECT_EQ(
+      DeliveredStreamWords(IndependentNoisyChannel(0.2), WordMode::kFast,
+                           /*all_parties=*/true),
+      "0000001100111100000001111111011000001111111010000011111111110000"
+      "0111111101100000101011110100000111111010100001111101101010000101"
+      "1110110000001101101111011100011101110000000111111111010001111111"
+      "1111000001111110110000011110011100000010111111110001011111110110"
+      "0000001101011100100001111111100000111111110100010101111111101100");
+  // eps = 0.004: eps * 64 < 1, so the geometric skip walk runs.
+  EXPECT_EQ(
+      DeliveredStreamWords(IndependentNoisyChannel(0.004), WordMode::kFast,
+                           /*all_parties=*/true),
+      "0000011111111110000011111111110000011111111110000011111111110000"
+      "0111111111100000111111111100000111111111100000111111111100000111"
+      "1111111000001111111111000001111111111000001111111111000001111111"
+      "1110000011111111110000011011111110000011111111110000011111111110"
+      "0000111111111100000111111111100000111111111100000111111111100000");
+}
+
 }  // namespace
 }  // namespace noisybeeps

@@ -204,5 +204,107 @@ TEST(BitStringProperty, HammingDistanceIsAMetric) {
   }
 }
 
+TEST(BitStringWords, WordAccessorsExposeThePacking) {
+  BitString s(70);  // two words, 6 valid bits in the last
+  EXPECT_EQ(s.word_count(), 2u);
+  EXPECT_EQ(s.words().size(), 2u);
+  s.Set(0, true);
+  s.Set(64, true);
+  s.Set(69, true);
+  EXPECT_EQ(s.Word(0), 1u);
+  EXPECT_EQ(s.Word(1), (std::uint64_t{1} << 0) | (std::uint64_t{1} << 5));
+  EXPECT_THROW((void)s.Word(2), std::invalid_argument);
+}
+
+TEST(BitStringWords, SetWordMasksTheTail) {
+  BitString s(70);
+  s.SetWord(1, ~std::uint64_t{0});  // only bits 0..5 are valid
+  EXPECT_EQ(s.Word(1), (std::uint64_t{1} << 6) - 1);
+  EXPECT_EQ(s.PopCount(), 6u);
+  s.SetWord(0, ~std::uint64_t{0});  // full word, nothing masked
+  EXPECT_EQ(s.Word(0), ~std::uint64_t{0});
+  EXPECT_EQ(s.PopCount(), 70u);
+  EXPECT_THROW(s.SetWord(2, 1), std::invalid_argument);
+}
+
+TEST(BitStringWords, TailMaskValues) {
+  EXPECT_EQ(BitString::TailMask(64), ~std::uint64_t{0});
+  EXPECT_EQ(BitString::TailMask(128), ~std::uint64_t{0});
+  EXPECT_EQ(BitString::TailMask(1), 1u);
+  EXPECT_EQ(BitString::TailMask(6), (std::uint64_t{1} << 6) - 1);
+  EXPECT_EQ(BitString::TailMask(0), ~std::uint64_t{0});
+}
+
+TEST(BitStringWords, ResizeGrowsZeroFilledAndShrinksClean) {
+  BitString s;
+  for (int i = 0; i < 70; ++i) s.PushBack(true);
+  s.Resize(200);
+  EXPECT_EQ(s.size(), 200u);
+  EXPECT_EQ(s.PopCount(), 70u);  // growth appends zeros
+  for (std::size_t i = 70; i < 200; ++i) EXPECT_FALSE(s[i]);
+  s.Resize(3);
+  EXPECT_EQ(s.size(), 3u);
+  EXPECT_EQ(s.PopCount(), 3u);
+  // Regrow across the old dirty region: the slack must have been cleared.
+  s.Resize(130);
+  EXPECT_EQ(s.PopCount(), 3u);
+}
+
+// The tail-bit invariant, mechanically: after ANY randomized mutation
+// sequence, the unused high bits of the last word are zero, and the
+// word-path PopCount/HammingDistance agree with a bit-by-bit reference.
+TEST(BitStringProperty, MutationsPreserveTheTailBitInvariant) {
+  Rng rng(20260808);
+  for (int trial = 0; trial < 40; ++trial) {
+    BitString s;
+    for (int step = 0; step < 60; ++step) {
+      switch (rng.UniformInt(6)) {
+        case 0:
+          s.PushBack(rng.Bit());
+          break;
+        case 1:
+          if (s.size() > 0) s.Set(rng.UniformInt(s.size()), rng.Bit());
+          break;
+        case 2:
+          s.Truncate(rng.UniformInt(s.size() + 1));
+          break;
+        case 3: {
+          BitString other;
+          const std::uint64_t extra = rng.UniformInt(80);
+          for (std::uint64_t i = 0; i < extra; ++i) other.PushBack(rng.Bit());
+          s.Append(other);
+          break;
+        }
+        case 4:
+          s.Resize(rng.UniformInt(150));
+          break;
+        case 5:
+          if (s.word_count() > 0) {
+            s.SetWord(rng.UniformInt(s.word_count()), rng.NextU64());
+          }
+          break;
+      }
+      // Invariant: slack bits of the last word are zero.
+      if (s.word_count() > 0) {
+        ASSERT_EQ(s.words().back() & ~BitString::TailMask(s.size()), 0u)
+            << "trial " << trial << " step " << step;
+      }
+      // Word-path PopCount equals the bit-by-bit reference.
+      std::size_t naive = 0;
+      for (std::size_t i = 0; i < s.size(); ++i) naive += s[i] ? 1 : 0;
+      ASSERT_EQ(s.PopCount(), naive) << "trial " << trial << " step " << step;
+    }
+    // Word-path HammingDistance equals the bit-by-bit reference against a
+    // fresh random string of the same length.
+    BitString other(s.size());
+    for (std::size_t i = 0; i < other.size(); ++i) other.Set(i, rng.Bit());
+    std::size_t naive_hd = 0;
+    for (std::size_t i = 0; i < s.size(); ++i) {
+      naive_hd += s[i] != other[i] ? 1 : 0;
+    }
+    ASSERT_EQ(s.HammingDistance(other), naive_hd) << "trial " << trial;
+  }
+}
+
 }  // namespace
 }  // namespace noisybeeps

@@ -132,7 +132,7 @@ int Run(int argc, char** argv) {
   spec.task = flags.GetString("task", "input_set");
   spec.channel = flags.GetString("channel", "correlated");
   spec.sim = flags.GetString("sim", "rewind");
-  spec.n = static_cast<int>(flags.GetInt("n", 16));
+  spec.n = flags.GetInt("n", 16);
   spec.eps = flags.GetDouble("eps", 0.05);
   spec.trials = static_cast<int>(flags.GetInt("trials", 10));
   spec.seed = static_cast<std::uint64_t>(flags.GetInt("seed", 1));
@@ -199,9 +199,10 @@ int Run(int argc, char** argv) {
         "degraded_verdicts,resumed,checkpoints,quarantined,write_failures,"
         "fingerprint\n");
     std::printf(
-        "%s,%s,%s,%d,%g,%d,%.4f,%.4f,%.4f,%.1f,%.2f,%s,%lld,%lld,%lld,"
+        "%s,%s,%s,%lld,%g,%d,%.4f,%.4f,%.4f,%.1f,%.2f,%s,%lld,%lld,%lld,"
         "%lld,%lld,%lld,%lld,%lld,%lld,%lld,%lld,%lld,%lld,%lld,%016llx\n",
-        spec.task.c_str(), spec.channel.c_str(), spec.sim.c_str(), spec.n,
+        spec.task.c_str(), spec.channel.c_str(), spec.sim.c_str(),
+        static_cast<long long>(spec.n),
         spec.eps, spec.trials, rate, ci.low, ci.high, result.mean_rounds,
         result.mean_blowup, faults.ToString().c_str(),
         static_cast<long long>(result.verdicts[0]),
@@ -220,9 +221,9 @@ int Run(int argc, char** argv) {
         static_cast<long long>(result.report.checkpoint_write_failures),
         static_cast<unsigned long long>(result.results_fingerprint));
   } else {
-    std::printf("task=%s channel=%s sim=%s n=%d eps=%g trials=%d\n",
+    std::printf("task=%s channel=%s sim=%s n=%lld eps=%g trials=%d\n",
                 spec.task.c_str(), spec.channel.c_str(), spec.sim.c_str(),
-                spec.n, spec.eps, spec.trials);
+                static_cast<long long>(spec.n), spec.eps, spec.trials);
     if (!faults.empty()) {
       std::printf("  faults   %s (seed %llu)\n", faults.ToString().c_str(),
                   static_cast<unsigned long long>(faults.seed()));

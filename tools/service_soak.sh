@@ -50,6 +50,12 @@ fail() {
 }
 
 start_server() {
+  # An injected crash exits without unlinking the socket; clear any stale
+  # file BEFORE spawning so the readiness poll below can only see the new
+  # server's bind (polling a stale socket races the restart -- the client
+  # would connect into ECONNREFUSED and the crash loop would wait on a
+  # server that never exits).
+  rm -f "$sock"
   "$nbserved" --socket="$sock" --cache-dir="$cache" --max-queue=2 \
       --checkpoint-every=4 >> "$server_log" 2>&1 &
   server_pid=$!
