@@ -1,0 +1,127 @@
+// Perfguard suite for nblint's whole-program self-host (the warm path CI
+// actually pays on every push, plus the cold extraction it falls back to).
+//
+// Unlike the E1..E12 experiment benches this one measures TOOLING, so it
+// skips the resilient-trial harness: the workload is deterministic
+// analysis over the repo's own tree, loaded once at startup from
+// NB_LINT_BENCH_ROOT (default ".", i.e. run from the repo root the way
+// tools/perfguard does).  An empty tree is a hard startup error -- a
+// benchmark that lints nothing would "pass" any budget.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lint/lint.h"
+#include "lint/model.h"
+
+namespace noisybeeps::bench {
+namespace {
+
+namespace fs = std::filesystem;
+
+// Mirrors tools/nblint.cc's LoadTree: the bench must lint exactly the
+// tree nblint lints or its timings guard the wrong workload.
+std::vector<lint::SourceFile> LoadTree(const fs::path& root) {
+  std::vector<fs::path> paths;
+  for (const char* dir : {"src", "tools", "tests", "examples", "bench"}) {
+    const fs::path base = root / dir;
+    // NBLINT(io-seam-discipline): startup tree load, mirrors tools/nblint
+    if (!fs::is_directory(base)) continue;
+    // NBLINT(io-seam-discipline): startup tree load, mirrors tools/nblint
+    for (const auto& entry : fs::recursive_directory_iterator(base)) {
+      const std::string ext = entry.path().extension().string();
+      if (entry.is_regular_file() &&
+          (ext == ".h" || ext == ".cc" || ext == ".cpp")) {
+        paths.push_back(entry.path());
+      }
+    }
+  }
+  std::sort(paths.begin(), paths.end());
+  std::vector<lint::SourceFile> files;
+  files.reserve(paths.size());
+  for (const fs::path& path : paths) {
+    // NBLINT(io-seam-discipline): startup tree load, mirrors tools/nblint
+    std::ifstream in(path, std::ios::binary);
+    if (!in) continue;
+    std::ostringstream content;
+    content << in.rdbuf();
+    files.push_back(lint::SourceFile{
+        // NBLINT(io-seam-discipline): path cosmetics, not measured I/O
+        fs::relative(path, root).generic_string(), content.str()});
+  }
+  return files;
+}
+
+const std::vector<lint::SourceFile>& Tree() {
+  static const std::vector<lint::SourceFile> files = [] {
+    const char* env = std::getenv("NB_LINT_BENCH_ROOT");
+    const fs::path root = (env != nullptr && env[0] != '\0') ? env : ".";
+    std::vector<lint::SourceFile> loaded = LoadTree(root);
+    if (loaded.empty()) {
+      std::cerr << "bench_lint: no sources under " << root
+                << " (run from the repo root or set NB_LINT_BENCH_ROOT)\n";
+      std::exit(2);
+    }
+    return loaded;
+  }();
+  return files;
+}
+
+// The serialized cache a cold run leaves behind, computed once.
+const std::string& ColdCache() {
+  static const std::string cache = [] {
+    std::string out;
+    lint::LintOptions options;
+    options.whole_program = true;
+    options.cache_out = &out;
+    benchmark::DoNotOptimize(lint::RunAllChecks(Tree(), options));
+    return out;
+  }();
+  return cache;
+}
+
+// The CI hot path: every file extract served from the cache, then call
+// resolution, effect closure, and all 21 rules from scratch.
+void BM_WholeProgramWarm(benchmark::State& state) {
+  const std::vector<lint::SourceFile>& files = Tree();
+  const std::string& cache = ColdCache();
+  lint::LintStats stats;
+  for (auto _ : state) {
+    lint::LintOptions options;
+    options.whole_program = true;
+    options.cache_in = cache;
+    options.stats = &stats;
+    benchmark::DoNotOptimize(lint::RunAllChecks(files, options));
+  }
+  state.counters["files"] = static_cast<double>(stats.files);
+  state.counters["nodes"] = static_cast<double>(stats.nodes);
+  state.counters["cache_hits"] = static_cast<double>(stats.cache_hits);
+}
+BENCHMARK(BM_WholeProgramWarm)->Unit(benchmark::kMillisecond);
+
+// The fallback path a cache miss pays: full token/model/CFG extraction.
+void BM_WholeProgramCold(benchmark::State& state) {
+  const std::vector<lint::SourceFile>& files = Tree();
+  lint::LintStats stats;
+  for (auto _ : state) {
+    lint::LintOptions options;
+    options.whole_program = true;
+    options.stats = &stats;
+    benchmark::DoNotOptimize(lint::RunAllChecks(files, options));
+  }
+  state.counters["files"] = static_cast<double>(stats.files);
+  state.counters["nodes"] = static_cast<double>(stats.nodes);
+}
+BENCHMARK(BM_WholeProgramCold)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace noisybeeps::bench
+
+BENCHMARK_MAIN();

@@ -11,7 +11,11 @@ namespace {
 // v2: kEffectRawFileIo changed what extraction emits for unchanged files.
 // v3: effect masks gained kEffectRawSocket (bit 10); cached masks from v2
 // would silently lack it, so the bump invalidates them.
-constexpr std::string_view kHeader = "nblint-cache 3";
+// v4: extraction gained the CFG-derived FunctionFacts (dataflow.h) --
+// integer widths on the fn record, an rng-local flag on the call record,
+// and the mb/uw/nw/na records below; a v3 cache would replay every fact
+// as empty and silently blind the flow-sensitive rules.
+constexpr std::string_view kHeader = "nblint-cache 4";
 
 // "" round-trips as "-" so every record keeps a fixed field count.
 std::string Opt(const std::string& value) {
@@ -19,6 +23,67 @@ std::string Opt(const std::string& value) {
 }
 std::string UnOpt(const std::string& value) {
   return value == "-" ? "" : value;
+}
+
+// Integer widths serialize as one digit: 0 other, 1 = 32-bit, 2 = 64-bit.
+char WidthDigit(int width) {
+  return width == 32 ? '1' : width == 64 ? '2' : '0';
+}
+int DigitWidth(char digit) {
+  return digit == '1' ? 32 : digit == '2' ? 64 : 0;
+}
+
+// A mode-branch arm: ';'-joined paths, each a ','-joined list of call
+// indices, '.' for an empty path, '-' for an arm with no paths at all.
+std::string SerializeArm(const std::vector<std::vector<int>>& paths) {
+  if (paths.empty()) return "-";
+  std::string out;
+  for (std::size_t p = 0; p < paths.size(); ++p) {
+    if (p > 0) out += ";";
+    if (paths[p].empty()) {
+      out += ".";
+      continue;
+    }
+    for (std::size_t s = 0; s < paths[p].size(); ++s) {
+      if (s > 0) out += ",";
+      out += std::to_string(paths[p][s]);
+    }
+  }
+  return out;
+}
+
+bool ParseArm(const std::string& text,
+              std::vector<std::vector<int>>* paths) {
+  if (text == "-") return true;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    std::size_t semi = text.find(';', start);
+    if (semi == std::string::npos) semi = text.size();
+    const std::string path_text = text.substr(start, semi - start);
+    std::vector<int> path;
+    if (path_text != ".") {
+      if (path_text.empty()) return false;
+      std::size_t pos = 0;
+      while (pos <= path_text.size()) {
+        std::size_t comma = path_text.find(',', pos);
+        if (comma == std::string::npos) comma = path_text.size();
+        const std::string item = path_text.substr(pos, comma - pos);
+        if (item.empty()) return false;
+        int value = 0;
+        for (const char c : item) {
+          if (c < '0' || c > '9') return false;
+          value = value * 10 + (c - '0');
+        }
+        path.push_back(value);
+        pos = comma + 1;
+        if (comma == path_text.size()) break;
+      }
+    }
+    paths->push_back(std::move(path));
+    start = semi + 1;
+    if (semi == text.size()) break;
+  }
+  return true;
 }
 
 std::string PairedPath(const std::string& path) {
@@ -57,16 +122,38 @@ std::string SerializeCache(const std::vector<FileExtract>& extracts) {
     out << "file " << file.path << " " << Opt(file.module) << " "
         << file.content_hash << " " << Opt(file.paired_hash) << "\n";
     for (const FunctionExtract& fn : file.functions) {
-      out << "fn " << fn.line << " " << fn.direct_effects << " " << fn.name
-          << " " << Opt(fn.class_name) << "\n";
+      const FunctionFacts& facts = fn.facts;
+      std::string widths;
+      for (const int w : facts.param_widths) widths += WidthDigit(w);
+      out << "fn " << fn.line << " " << fn.direct_effects << " "
+          << WidthDigit(facts.return_width) << " " << Opt(widths) << " "
+          << fn.name << " " << Opt(fn.class_name) << "\n";
       for (const EffectOrigin& origin : fn.origins) {
         out << "origin " << origin.effect << " " << origin.line << " "
             << origin.detail << "\n";
       }
-      for (const RawCallSite& call : fn.calls) {
+      for (std::size_t c = 0; c < fn.calls.size(); ++c) {
+        const RawCallSite& call = fn.calls[c];
+        const bool rng_local =
+            c < facts.call_rng_local.size() && facts.call_rng_local[c] != 0;
         out << "call " << static_cast<int>(call.kind) << " " << call.line
             << " " << call.callee << " " << Opt(call.qualifier) << " "
-            << Opt(call.receiver_type) << "\n";
+            << Opt(call.receiver_type) << " " << (rng_local ? 1 : 0) << "\n";
+      }
+      for (const FunctionFacts::ModeBranch& branch : facts.mode_branches) {
+        out << "mb " << branch.line << " " << SerializeArm(branch.taken_paths)
+            << " " << SerializeArm(branch.other_paths) << "\n";
+      }
+      for (const FunctionFacts::UnlockedWrite& write :
+           facts.unlocked_writes) {
+        out << "uw " << write.line << " " << write.detail << "\n";
+      }
+      for (const FunctionFacts::Narrowing& narrowing : facts.narrowings) {
+        out << "nw " << narrowing.line << " " << narrowing.detail << "\n";
+      }
+      for (const FunctionFacts::NarrowArg& arg : facts.narrow_args) {
+        out << "na " << arg.call << " " << arg.arg << " " << arg.line << " "
+            << arg.ident << "\n";
       }
     }
   }
@@ -100,10 +187,18 @@ std::vector<FileExtract> ParseCache(const std::string& text) {
     } else if (tag == "fn") {
       if (file == nullptr) return {};
       FunctionExtract next;
+      std::string rw;
+      std::string pw;
       std::string cls;
-      if (!(fields >> next.line >> next.direct_effects >> next.name >>
-            cls)) {
+      if (!(fields >> next.line >> next.direct_effects >> rw >> pw >>
+            next.name >> cls) ||
+          rw.size() != 1) {
         return {};
+      }
+      next.facts.return_width = DigitWidth(rw[0]);
+      for (const char digit : UnOpt(pw)) {
+        if (digit != '0' && digit != '1' && digit != '2') return {};
+        next.facts.param_widths.push_back(DigitWidth(digit));
       }
       next.class_name = UnOpt(cls);
       file->functions.push_back(std::move(next));
@@ -123,15 +218,54 @@ std::vector<FileExtract> ParseCache(const std::string& text) {
       int kind = 0;
       std::string qualifier;
       std::string receiver;
+      int rng_local = 0;
       if (!(fields >> kind >> call.line >> call.callee >> qualifier >>
-            receiver) ||
-          kind < 0 || kind > 2) {
+            receiver >> rng_local) ||
+          kind < 0 || kind > 2 || rng_local < 0 || rng_local > 1) {
         return {};
       }
       call.kind = static_cast<CallKind>(kind);
       call.qualifier = UnOpt(qualifier);
       call.receiver_type = UnOpt(receiver);
       fn->calls.push_back(std::move(call));
+      fn->facts.call_rng_local.push_back(
+          static_cast<std::uint8_t>(rng_local));
+    } else if (tag == "mb") {
+      if (fn == nullptr) return {};
+      FunctionFacts::ModeBranch branch;
+      std::string taken;
+      std::string other;
+      if (!(fields >> branch.line >> taken >> other) ||
+          !ParseArm(taken, &branch.taken_paths) ||
+          !ParseArm(other, &branch.other_paths)) {
+        return {};
+      }
+      fn->facts.mode_branches.push_back(std::move(branch));
+    } else if (tag == "uw") {
+      if (fn == nullptr) return {};
+      FunctionFacts::UnlockedWrite write;
+      if (!(fields >> write.line)) return {};
+      std::getline(fields, write.detail);
+      if (!write.detail.empty() && write.detail.front() == ' ') {
+        write.detail.erase(0, 1);
+      }
+      fn->facts.unlocked_writes.push_back(std::move(write));
+    } else if (tag == "nw") {
+      if (fn == nullptr) return {};
+      FunctionFacts::Narrowing narrowing;
+      if (!(fields >> narrowing.line)) return {};
+      std::getline(fields, narrowing.detail);
+      if (!narrowing.detail.empty() && narrowing.detail.front() == ' ') {
+        narrowing.detail.erase(0, 1);
+      }
+      fn->facts.narrowings.push_back(std::move(narrowing));
+    } else if (tag == "na") {
+      if (fn == nullptr) return {};
+      FunctionFacts::NarrowArg arg;
+      if (!(fields >> arg.call >> arg.arg >> arg.line >> arg.ident)) {
+        return {};
+      }
+      fn->facts.narrow_args.push_back(std::move(arg));
     } else {
       return {};
     }

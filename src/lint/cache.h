@@ -1,7 +1,8 @@
 // The incremental whole-program analysis cache (build/nblint.cache).
 //
 // Whole-program mode adds one per-file cost over the v2 engine: scanning
-// every function body for call sites and direct effects (summary.h).
+// every function body for call sites, direct effects (summary.h), and
+// the CFG-derived flow-sensitive facts (cfg.h + dataflow.h).
 // That scan depends only on the file's own content plus its paired
 // header/source (receiver typing consults the pair), so its result is
 // cached per file under both content hashes.  Call RESOLUTION and effect
@@ -33,7 +34,8 @@ namespace noisybeeps::lint {
 // the repo's other FNV lives.)
 [[nodiscard]] std::string HashContent(std::string_view content);
 
-// Serializes extracts (with their hashes) to the "nblint-cache 3" format.
+// Serializes extracts (with their hashes) to the "nblint-cache 4" format
+// (v4 added the CFG-derived FunctionFacts -- see dataflow.h).
 [[nodiscard]] std::string SerializeCache(
     const std::vector<FileExtract>& extracts);
 

@@ -1,0 +1,610 @@
+#include "lint/cfg.h"
+
+#include <algorithm>
+#include <functional>
+#include <set>
+#include <string>
+#include <utility>
+
+namespace noisybeeps::lint {
+namespace {
+
+// Bodies that would need more blocks than this degrade to the fallback.
+constexpr std::size_t kMaxBlocks = 512;
+
+// A branch edge awaiting its target: `slot` 0 is the true edge, 1 false.
+struct Pending {
+  std::size_t block = 0;
+  std::size_t slot = 0;
+};
+
+// A parsed condition: its entry block plus every dangling true/false edge.
+struct CondResult {
+  std::size_t entry = 0;
+  std::vector<Pending> on_true;
+  std::vector<Pending> on_false;
+};
+
+}  // namespace
+
+// Recursive-descent statement walker over the code-token stream.  Every
+// helper tolerates malformed input by consuming what it can and moving on;
+// NewBlock flips `failed_` past the budget and every mutator no-ops after
+// that, so Run() can fall back cleanly.
+class CfgBuilder {
+ public:
+  CfgBuilder(const FileModel& file, const FunctionInfo& fn)
+      : file_(file), fn_(fn) {}
+
+  Cfg Run() {
+    const auto [lo, hi] = BodyRange();
+    if (fn_.body_begin == kNpos || fn_.body_end == kNpos) {
+      return Fallback(lo, hi);
+    }
+    entry_ = NewBlock();
+    exit_ = NewBlock();
+    cur_ = entry_;
+    ParseSeq(lo, hi);
+    if (failed_) return Fallback(lo, hi);
+    Edge(cur_, exit_);
+    Cfg out;
+    out.blocks_ = std::move(blocks_);
+    out.entry_ = entry_;
+    out.exit_ = exit_;
+    return out;
+  }
+
+ private:
+  const Token& Tok(std::size_t c) const {
+    return file_.tokens()[file_.code()[c]];
+  }
+  const std::string& Text(std::size_t c) const { return Tok(c).text; }
+
+  // The body interior as a half-open range of code() positions.
+  std::pair<std::size_t, std::size_t> BodyRange() const {
+    const auto& code = file_.code();
+    if (fn_.body_begin == kNpos || fn_.body_end == kNpos ||
+        fn_.body_end <= fn_.body_begin) {
+      return {0, 0};
+    }
+    const std::size_t lo = static_cast<std::size_t>(
+        std::upper_bound(code.begin(), code.end(), fn_.body_begin) -
+        code.begin());
+    const std::size_t hi = static_cast<std::size_t>(
+        std::lower_bound(code.begin(), code.end(), fn_.body_end) -
+        code.begin());
+    return {lo, std::max(lo, hi)};
+  }
+
+  Cfg Fallback(std::size_t lo, std::size_t hi) const {
+    Cfg out;
+    out.fallback_ = true;
+    out.blocks_.resize(3);
+    if (hi > lo) out.blocks_[1].stmts.push_back({lo, hi});
+    out.blocks_[0].succs.push_back(1);
+    out.blocks_[1].preds.push_back(0);
+    out.blocks_[1].succs.push_back(2);
+    out.blocks_[2].preds.push_back(1);
+    out.entry_ = 0;
+    out.exit_ = 2;
+    return out;
+  }
+
+  std::size_t NewBlock() {
+    if (failed_) return 0;
+    if (blocks_.size() >= kMaxBlocks) {
+      failed_ = true;
+      return 0;
+    }
+    blocks_.emplace_back();
+    return blocks_.size() - 1;
+  }
+
+  std::size_t NewBranchBlock(std::size_t stmt_lo, std::size_t stmt_hi) {
+    const std::size_t b = NewBlock();
+    if (failed_) return b;
+    blocks_[b].is_branch = true;
+    blocks_[b].succs = {kNpos, kNpos};
+    if (stmt_hi > stmt_lo) blocks_[b].stmts.push_back({stmt_lo, stmt_hi});
+    return b;
+  }
+
+  void Edge(std::size_t from, std::size_t to) {
+    if (failed_) return;
+    blocks_[from].succs.push_back(to);
+    blocks_[to].preds.push_back(from);
+  }
+
+  void PatchOne(std::size_t block, std::size_t slot, std::size_t target) {
+    if (failed_) return;
+    blocks_[block].succs[slot] = target;
+    blocks_[target].preds.push_back(block);
+  }
+
+  void Patch(const std::vector<Pending>& list, std::size_t target) {
+    for (const Pending& p : list) PatchOne(p.block, p.slot, target);
+  }
+
+  void AddStmt(std::size_t begin, std::size_t end) {
+    if (failed_ || end <= begin) return;
+    blocks_[cur_].stmts.push_back({begin, end});
+  }
+
+  // Matching close bracket for the opener at `c` (any of ( [ {), or kNpos.
+  std::size_t Match(std::size_t c, std::size_t hi) const {
+    int depth = 0;
+    for (std::size_t i = c; i < hi; ++i) {
+      const std::string& t = Text(i);
+      if (t == "(" || t == "[" || t == "{") {
+        ++depth;
+      } else if (t == ")" || t == "]" || t == "}") {
+        --depth;
+        if (depth == 0) return i;
+      }
+    }
+    return kNpos;
+  }
+
+  // Position of the ';' ending the statement at `c` (depth 0), or the
+  // position where balance breaks, or `hi`.
+  std::size_t StmtEnd(std::size_t c, std::size_t hi) const {
+    int depth = 0;
+    for (std::size_t i = c; i < hi; ++i) {
+      const std::string& t = Text(i);
+      if (t == "(" || t == "[" || t == "{") {
+        ++depth;
+      } else if (t == ")" || t == "]" || t == "}") {
+        --depth;
+        if (depth < 0) return i;
+      } else if (t == ";" && depth == 0) {
+        return i;
+      }
+    }
+    return hi;
+  }
+
+  void ParseSeq(std::size_t lo, std::size_t hi) {
+    std::size_t c = lo;
+    while (c < hi && !failed_) {
+      const std::size_t next = ParseStmt(c, hi);
+      c = next > c ? next : c + 1;
+    }
+  }
+
+  // Parses one statement starting at `c`; returns the position after it.
+  std::size_t ParseStmt(std::size_t c, std::size_t hi) {
+    const std::string& t = Text(c);
+    if (t == "{") {
+      const std::size_t close = Match(c, hi);
+      if (close == kNpos) {
+        AddStmt(c + 1, hi);
+        return hi;
+      }
+      ParseSeq(c + 1, close);
+      return close + 1;
+    }
+    if (t == "if") return ParseIf(c, hi);
+    if (t == "while") return ParseWhile(c, hi);
+    if (t == "for") return ParseFor(c, hi);
+    if (t == "do") return ParseDo(c, hi);
+    if (t == "switch") return ParseSwitch(c, hi);
+    if (t == "try") return ParseTry(c, hi);
+    if (t == "break" || t == "continue") {
+      const std::size_t end = std::min(StmtEnd(c, hi) + 1, hi);
+      AddStmt(c, end);
+      const std::size_t target =
+          t == "break" ? (breaks_.empty() ? exit_ : breaks_.back())
+                       : (continues_.empty() ? exit_ : continues_.back());
+      Edge(cur_, target);
+      cur_ = NewBlock();  // unreachable continuation
+      return end;
+    }
+    if (t == "return" || t == "throw" || t == "co_return") {
+      const std::size_t end = std::min(StmtEnd(c, hi) + 1, hi);
+      AddStmt(c, end);
+      Edge(cur_, exit_);
+      cur_ = NewBlock();
+      return end;
+    }
+    if (t == "else") return c + 1;  // parse slip: skip the keyword
+    if (t == "case" || t == "default") {
+      // Only reachable on a parse slip outside ParseSwitch: skip to ':'.
+      while (c < hi && Text(c) != ":") ++c;
+      return c + 1;
+    }
+    // Expression statement or declaration (goto included: its edge is a
+    // documented blind spot).
+    const std::size_t end = std::min(StmtEnd(c, hi) + 1, hi);
+    AddStmt(c, end);
+    return end;
+  }
+
+  std::size_t ParseIf(std::size_t c, std::size_t hi) {
+    std::size_t p = c + 1;
+    if (p < hi && Text(p) == "constexpr") ++p;
+    if (p >= hi || Text(p) != "(") return c + 1;
+    const std::size_t close = Match(p, hi);
+    if (close == kNpos) return hi;
+    const CondResult cond = ParseCond(p + 1, close);
+    Edge(cur_, cond.entry);
+    const std::size_t then_entry = NewBlock();
+    Patch(cond.on_true, then_entry);
+    cur_ = then_entry;
+    std::size_t next = ParseStmt(close + 1, hi);
+    const std::size_t then_end = cur_;
+    if (next < hi && Text(next) == "else") {
+      const std::size_t else_entry = NewBlock();
+      Patch(cond.on_false, else_entry);
+      cur_ = else_entry;
+      next = ParseStmt(next + 1, hi);
+      const std::size_t else_end = cur_;
+      const std::size_t join = NewBlock();
+      Edge(then_end, join);
+      Edge(else_end, join);
+      cur_ = join;
+      return next;
+    }
+    const std::size_t join = NewBlock();
+    Patch(cond.on_false, join);
+    Edge(then_end, join);
+    cur_ = join;
+    return next;
+  }
+
+  std::size_t ParseWhile(std::size_t c, std::size_t hi) {
+    const std::size_t p = c + 1;
+    if (p >= hi || Text(p) != "(") return c + 1;
+    const std::size_t close = Match(p, hi);
+    if (close == kNpos) return hi;
+    const CondResult cond = ParseCond(p + 1, close);
+    Edge(cur_, cond.entry);
+    const std::size_t body = NewBlock();
+    const std::size_t after = NewBlock();
+    Patch(cond.on_true, body);
+    Patch(cond.on_false, after);
+    breaks_.push_back(after);
+    continues_.push_back(cond.entry);
+    cur_ = body;
+    const std::size_t next = ParseStmt(close + 1, hi);
+    Edge(cur_, cond.entry);  // back edge
+    breaks_.pop_back();
+    continues_.pop_back();
+    cur_ = after;
+    return next;
+  }
+
+  std::size_t ParseFor(std::size_t c, std::size_t hi) {
+    const std::size_t p = c + 1;
+    if (p >= hi || Text(p) != "(") return c + 1;
+    const std::size_t close = Match(p, hi);
+    if (close == kNpos) return hi;
+    // Top-level ';' splits of the header: init / condition / increment.
+    std::vector<std::size_t> semis;
+    int depth = 0;
+    for (std::size_t i = p + 1; i < close; ++i) {
+      const std::string& t = Text(i);
+      if (t == "(" || t == "[" || t == "{") {
+        ++depth;
+      } else if (t == ")" || t == "]" || t == "}") {
+        --depth;
+      } else if (t == ";" && depth == 0) {
+        semis.push_back(i);
+      }
+    }
+    if (semis.size() < 2) return ParseRangeFor(p, close, hi);
+    AddStmt(p + 1, semis[0]);
+    const bool has_cond = semis[1] > semis[0] + 1;
+    CondResult cond;
+    std::size_t header;
+    if (has_cond) {
+      cond = ParseCond(semis[0] + 1, semis[1]);
+      header = cond.entry;
+    } else {
+      header = NewBlock();  // for (;;): no test, body always entered
+    }
+    Edge(cur_, header);
+    const std::size_t body = NewBlock();
+    const std::size_t after = NewBlock();
+    if (has_cond) {
+      Patch(cond.on_true, body);
+      Patch(cond.on_false, after);
+    } else {
+      Edge(header, body);
+    }
+    const std::size_t inc = NewBlock();
+    if (!failed_ && close > semis[1] + 1) {
+      blocks_[inc].stmts.push_back({semis[1] + 1, close});
+    }
+    Edge(inc, header);
+    breaks_.push_back(after);
+    continues_.push_back(inc);
+    cur_ = body;
+    const std::size_t next = ParseStmt(close + 1, hi);
+    Edge(cur_, inc);
+    breaks_.pop_back();
+    continues_.pop_back();
+    cur_ = after;
+    return next;
+  }
+
+  std::size_t ParseRangeFor(std::size_t p, std::size_t close,
+                            std::size_t hi) {
+    // `for (decl : range)` may run zero times: the header is a branch.
+    const std::size_t header = NewBranchBlock(p + 1, close);
+    Edge(cur_, header);
+    const std::size_t body = NewBlock();
+    const std::size_t after = NewBlock();
+    PatchOne(header, 0, body);
+    PatchOne(header, 1, after);
+    breaks_.push_back(after);
+    continues_.push_back(header);
+    cur_ = body;
+    const std::size_t next = ParseStmt(close + 1, hi);
+    Edge(cur_, header);
+    breaks_.pop_back();
+    continues_.pop_back();
+    cur_ = after;
+    return next;
+  }
+
+  std::size_t ParseDo(std::size_t c, std::size_t hi) {
+    const std::size_t body = NewBlock();
+    const std::size_t condb = NewBranchBlock(0, 0);
+    const std::size_t after = NewBlock();
+    Edge(cur_, body);
+    breaks_.push_back(after);
+    continues_.push_back(condb);
+    cur_ = body;
+    std::size_t next = ParseStmt(c + 1, hi);
+    Edge(cur_, condb);
+    breaks_.pop_back();
+    continues_.pop_back();
+    if (next < hi && Text(next) == "while" && next + 1 < hi &&
+        Text(next + 1) == "(") {
+      const std::size_t close = Match(next + 1, hi);
+      if (close != kNpos) {
+        // One block for the whole condition (no short-circuit split here).
+        if (!failed_ && close > next + 2) {
+          blocks_[condb].stmts.push_back({next + 2, close});
+        }
+        next = close + 1;
+        if (next < hi && Text(next) == ";") ++next;
+      } else {
+        next = hi;
+      }
+    }
+    PatchOne(condb, 0, body);  // condition holds: loop again
+    PatchOne(condb, 1, after);
+    cur_ = after;
+    return next;
+  }
+
+  std::size_t ParseSwitch(std::size_t c, std::size_t hi) {
+    const std::size_t p = c + 1;
+    if (p >= hi || Text(p) != "(") return c + 1;
+    const std::size_t close = Match(p, hi);
+    if (close == kNpos) return hi;
+    AddStmt(p + 1, close);  // the switched expression
+    const std::size_t head = cur_;
+    const std::size_t b = close + 1;
+    if (b >= hi || Text(b) != "{") return b;
+    const std::size_t bclose = Match(b, hi);
+    if (bclose == kNpos) return hi;
+    const std::size_t after = NewBlock();
+    breaks_.push_back(after);
+    bool has_default = false;
+    cur_ = NewBlock();  // statements before the first label are dead code
+    std::size_t i = b + 1;
+    while (i < bclose && !failed_) {
+      const std::string& t = Text(i);
+      if (t == "case" || t == "default") {
+        has_default = has_default || t == "default";
+        std::size_t colon = i + 1;
+        int depth = 0;
+        while (colon < bclose) {
+          const std::string& tc = Text(colon);
+          if (tc == "(" || tc == "[" || tc == "{") {
+            ++depth;
+          } else if (tc == ")" || tc == "]" || tc == "}") {
+            --depth;
+          } else if (tc == ":" && depth == 0) {
+            break;
+          }
+          ++colon;
+        }
+        const std::size_t arm = NewBlock();
+        Edge(head, arm);
+        Edge(cur_, arm);  // fall-through from the previous arm
+        cur_ = arm;
+        i = std::min(colon + 1, bclose);
+      } else {
+        const std::size_t next = ParseStmt(i, bclose);
+        i = next > i ? next : i + 1;
+      }
+    }
+    Edge(cur_, after);
+    if (!has_default) Edge(head, after);
+    breaks_.pop_back();
+    cur_ = after;
+    return bclose + 1;
+  }
+
+  std::size_t ParseTry(std::size_t c, std::size_t hi) {
+    const std::size_t before = cur_;
+    std::size_t next = c + 1;
+    if (next < hi && Text(next) == "{") {
+      const std::size_t close = Match(next, hi);
+      if (close == kNpos) {
+        AddStmt(next + 1, hi);
+        return hi;
+      }
+      ParseSeq(next + 1, close);
+      next = close + 1;
+    }
+    const std::size_t join = NewBlock();
+    Edge(cur_, join);
+    while (next < hi && Text(next) == "catch" && !failed_) {
+      std::size_t q = next + 1;
+      if (q < hi && Text(q) == "(") {
+        const std::size_t pc = Match(q, hi);
+        if (pc == kNpos) return hi;
+        q = pc + 1;
+      }
+      const std::size_t handler = NewBlock();
+      Edge(before, handler);
+      cur_ = handler;
+      if (q < hi && Text(q) == "{") {
+        const std::size_t bc = Match(q, hi);
+        if (bc == kNpos) return hi;
+        ParseSeq(q + 1, bc);
+        q = bc + 1;
+      }
+      Edge(cur_, join);
+      next = q;
+    }
+    cur_ = join;
+    return next;
+  }
+
+  // --- conditions: `||` lowest, then `&&`, then atoms -----------------------
+
+  CondResult ParseCond(std::size_t lo, std::size_t hi) {
+    return ParseOr(lo, hi);
+  }
+
+  std::vector<std::pair<std::size_t, std::size_t>> SplitTop(
+      std::size_t lo, std::size_t hi, const char* op) const {
+    std::vector<std::pair<std::size_t, std::size_t>> parts;
+    int depth = 0;
+    std::size_t start = lo;
+    for (std::size_t i = lo; i < hi; ++i) {
+      const std::string& t = Text(i);
+      if (t == "(" || t == "[" || t == "{") {
+        ++depth;
+      } else if (t == ")" || t == "]" || t == "}") {
+        --depth;
+      } else if (depth == 0 && t == op) {
+        parts.emplace_back(start, i);
+        start = i + 1;
+      }
+    }
+    parts.emplace_back(start, hi);
+    return parts;
+  }
+
+  CondResult ParseOr(std::size_t lo, std::size_t hi) {
+    const auto parts = SplitTop(lo, hi, "||");
+    if (parts.size() == 1) return ParseAnd(lo, hi);
+    CondResult out;
+    CondResult prev;
+    for (std::size_t i = 0; i < parts.size(); ++i) {
+      const CondResult part = ParseAnd(parts[i].first, parts[i].second);
+      if (i == 0) {
+        out.entry = part.entry;
+      } else {
+        Patch(prev.on_false, part.entry);  // falls to the next alternative
+      }
+      out.on_true.insert(out.on_true.end(), part.on_true.begin(),
+                         part.on_true.end());
+      prev = part;
+    }
+    out.on_false = prev.on_false;
+    return out;
+  }
+
+  CondResult ParseAnd(std::size_t lo, std::size_t hi) {
+    const auto parts = SplitTop(lo, hi, "&&");
+    if (parts.size() == 1) return ParseAtom(lo, hi);
+    CondResult out;
+    CondResult prev;
+    for (std::size_t i = 0; i < parts.size(); ++i) {
+      const CondResult part = ParseAtom(parts[i].first, parts[i].second);
+      if (i == 0) {
+        out.entry = part.entry;
+      } else {
+        Patch(prev.on_true, part.entry);  // holds so far: test the next
+      }
+      out.on_false.insert(out.on_false.end(), part.on_false.begin(),
+                          part.on_false.end());
+      prev = part;
+    }
+    out.on_true = prev.on_true;
+    return out;
+  }
+
+  CondResult ParseAtom(std::size_t lo, std::size_t hi) {
+    if (hi >= lo + 2 && Text(lo) == "!" && Text(lo + 1) == "(" &&
+        Match(lo + 1, hi) == hi - 1) {
+      CondResult inner = ParseCond(lo + 2, hi - 1);
+      std::swap(inner.on_true, inner.on_false);
+      return inner;
+    }
+    if (hi >= lo + 2 && Text(lo) == "(" && Match(lo, hi) == hi - 1) {
+      return ParseCond(lo + 1, hi - 1);
+    }
+    CondResult out;
+    const std::size_t b = NewBranchBlock(lo, hi);
+    out.entry = b;
+    out.on_true.push_back({b, 0});
+    out.on_false.push_back({b, 1});
+    return out;
+  }
+
+  const FileModel& file_;
+  const FunctionInfo& fn_;
+  std::vector<CfgBlock> blocks_;
+  std::size_t entry_ = 0;
+  std::size_t exit_ = 0;
+  std::size_t cur_ = 0;
+  std::vector<std::size_t> breaks_;
+  std::vector<std::size_t> continues_;
+  bool failed_ = false;
+};
+
+Cfg Cfg::Build(const FileModel& file, const FunctionInfo& fn) {
+  return CfgBuilder(file, fn).Run();
+}
+
+int Cfg::StmtLine(const FileModel& file, const CfgBlock::Stmt& stmt) const {
+  if (stmt.begin >= stmt.end || stmt.begin >= file.code().size()) return 0;
+  return file.tokens()[file.code()[stmt.begin]].line;
+}
+
+std::vector<std::vector<std::size_t>> EnumeratePaths(const Cfg& cfg,
+                                                     std::size_t from,
+                                                     std::size_t max_paths,
+                                                     std::size_t max_edges) {
+  std::vector<std::vector<std::size_t>> paths;
+  if (from >= cfg.blocks().size()) return paths;
+  std::set<std::pair<std::size_t, std::size_t>> used;  // (block, succ slot)
+  std::vector<std::size_t> path{from};
+  std::function<void(std::size_t)> walk = [&](std::size_t b) {
+    if (paths.size() >= max_paths) return;
+    if (b == cfg.exit() || cfg.blocks()[b].succs.empty() ||
+        path.size() > max_edges) {
+      paths.push_back(path);
+      return;
+    }
+    bool advanced = false;
+    const auto& succs = cfg.blocks()[b].succs;
+    for (std::size_t s = 0; s < succs.size(); ++s) {
+      const std::size_t to = succs[s];
+      if (to >= cfg.blocks().size()) continue;  // unpatched slot
+      const auto key = std::make_pair(b, s);
+      if (used.contains(key)) continue;
+      used.insert(key);
+      path.push_back(to);
+      walk(to);
+      path.pop_back();
+      used.erase(key);
+      advanced = true;
+      if (paths.size() >= max_paths) return;
+    }
+    // Every outgoing edge already used on this path: treat as an end.
+    if (!advanced) paths.push_back(path);
+  };
+  walk(from);
+  return paths;
+}
+
+}  // namespace noisybeeps::lint

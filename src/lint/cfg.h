@@ -1,0 +1,94 @@
+// An intraprocedural control-flow graph over the token/structural model.
+//
+// The per-file model (model.h) deliberately stops at function granularity:
+// rules see a flat body token range.  That was enough for effect summaries
+// ("does this function draw RNG anywhere?") but not for the flow-sensitive
+// questions v4 asks -- "does EVERY path to this shared write hold a lock?",
+// "do the two arms of a WordMode branch draw the same number of times?".
+// The CFG answers those without becoming a compiler: it is built from the
+// same classified token stream, by the same heuristics-over-crashes
+// philosophy as model.cc.
+//
+// Shape recovered per function body:
+//   * if/else (with `&&`/`||` in conditions split into short-circuit
+//     branch chains, including `!(...)` negation),
+//   * while/for/range-for/do-while loops with break/continue targets,
+//   * switch with case/default arms and fall-through edges,
+//   * early return/throw edges to the single exit block,
+//   * try/catch as a branch to each handler.
+//
+// Known, documented limitations (see docs/LINT.md): goto is ignored (no
+// edge), statement-level expressions keep nested lambda bodies inline, and
+// do-while conditions are single blocks (no short-circuit split).  A body
+// the builder cannot bound (block budget exceeded, hopelessly unbalanced
+// tokens) degrades to a single straight-line block with `fallback()` set --
+// over-approximating "one path through everything", never crashing.
+#ifndef NOISYBEEPS_LINT_CFG_H_
+#define NOISYBEEPS_LINT_CFG_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "lint/model.h"
+
+namespace noisybeeps::lint {
+
+struct CfgBlock {
+  // One statement: a half-open range of positions into FileModel::code()
+  // (comment tokens already excluded).  Condition blocks hold exactly the
+  // (sub-)condition they test; `for` headers contribute their init and
+  // increment clauses as ordinary statements.
+  struct Stmt {
+    std::size_t begin = 0;
+    std::size_t end = 0;
+  };
+  std::vector<Stmt> stmts;
+  // Successor blocks.  For a branch block, succs[0] is the edge taken when
+  // the condition holds (then-arm / loop body / case arm) and succs[1] the
+  // fall-through; otherwise successors are unordered control merges.
+  std::vector<std::size_t> succs;
+  std::vector<std::size_t> preds;
+  bool is_branch = false;
+};
+
+class Cfg {
+ public:
+  // Never fails: unparseable or oversized bodies produce the single-block
+  // fallback.  A declaration (no body) yields entry -> exit and fallback().
+  [[nodiscard]] static Cfg Build(const FileModel& file,
+                                 const FunctionInfo& fn);
+
+  [[nodiscard]] const std::vector<CfgBlock>& blocks() const {
+    return blocks_;
+  }
+  [[nodiscard]] std::size_t entry() const { return entry_; }
+  [[nodiscard]] std::size_t exit() const { return exit_; }
+  [[nodiscard]] bool fallback() const { return fallback_; }
+
+  // First source line of a statement ("" handled by callers; 0 when the
+  // range is empty).
+  [[nodiscard]] int StmtLine(const FileModel& file,
+                             const CfgBlock::Stmt& stmt) const;
+
+ private:
+  std::vector<CfgBlock> blocks_;
+  std::size_t entry_ = 0;
+  std::size_t exit_ = 0;
+  bool fallback_ = false;
+
+  friend class CfgBuilder;
+};
+
+// Enumerates control-flow paths from `from` to the exit block.  Each edge
+// is traversed at most once per path, so a loop contributes the "body runs
+// once" path alongside the "body skipped" one -- exactly what per-path
+// draw-site counting wants.  Deterministic DFS order; output capped at
+// `max_paths` paths of at most `max_edges` edges each (hitting a cap drops
+// the overflow, it never invents paths).
+[[nodiscard]] std::vector<std::vector<std::size_t>> EnumeratePaths(
+    const Cfg& cfg, std::size_t from, std::size_t max_paths = 64,
+    std::size_t max_edges = 256);
+
+}  // namespace noisybeeps::lint
+
+#endif  // NOISYBEEPS_LINT_CFG_H_

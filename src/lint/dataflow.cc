@@ -1,0 +1,712 @@
+#include "lint/dataflow.h"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+
+namespace noisybeeps::lint {
+
+std::vector<std::uint64_t> Solve(const Cfg& cfg, const DataflowSpec& spec) {
+  const std::size_t n = cfg.blocks().size();
+  std::vector<std::uint64_t> in(n, spec.top);
+  const std::size_t boundary = spec.backward ? cfg.exit() : cfg.entry();
+  if (boundary < n) in[boundary] = spec.boundary;
+  std::deque<std::size_t> work;
+  std::vector<char> queued(n, 1);
+  for (std::size_t b = 0; b < n; ++b) work.push_back(b);
+  // The lattice has 64 levels per block, so n*64 changes bound the run;
+  // the budget is belt-and-braces against a non-monotone client.
+  std::size_t budget = n * 128 + 1024;
+  while (!work.empty() && budget-- > 0) {
+    const std::size_t b = work.front();
+    work.pop_front();
+    queued[b] = 0;
+    const std::uint64_t out = spec.transfer(b, in[b]);
+    const auto& next =
+        spec.backward ? cfg.blocks()[b].preds : cfg.blocks()[b].succs;
+    for (const std::size_t t : next) {
+      if (t >= n || t == boundary) continue;  // unpatched slot / boundary
+      const std::uint64_t joined = spec.join(in[t], out);
+      if (joined == in[t]) continue;
+      in[t] = joined;
+      if (!queued[t]) {
+        queued[t] = 1;
+        work.push_back(t);
+      }
+    }
+  }
+  return in;
+}
+
+int IntWidthOfType(const std::string& type) {
+  if (type == "int" || type == "std::int32_t" || type == "int32_t" ||
+      type == "std::uint32_t" || type == "uint32_t" || type == "unsigned") {
+    return 32;
+  }
+  if (type == "std::int64_t" || type == "int64_t" ||
+      type == "std::uint64_t" || type == "uint64_t" ||
+      type == "std::size_t" || type == "size_t" ||
+      type == "std::ptrdiff_t" || type == "ptrdiff_t") {
+    return 64;
+  }
+  return 0;
+}
+
+namespace {
+
+bool IsLockTypeName(const std::string& name) {
+  return name == "lock_guard" || name == "unique_lock" ||
+         name == "scoped_lock" || name == "shared_lock";
+}
+
+// Walks the per-function fact extraction.  One instance per definition;
+// everything is deterministic vectors and maps keyed on positions.
+class FactsBuilder {
+ public:
+  FactsBuilder(const RepoModel& repo, const FileModel& file,
+               const FunctionInfo& fn, const std::vector<RawCallSite>& calls,
+               const DirectEffects& effects)
+      : repo_(repo),
+        file_(file),
+        fn_(fn),
+        calls_(calls),
+        effects_(effects),
+        cfg_(Cfg::Build(file, fn)) {}
+
+  FunctionFacts Run() {
+    facts_.return_width = ReturnWidth();
+    facts_.param_widths = ParamWidths();
+    MapCalls();
+    ClassifyRngLocal();
+    CollectModeBranches();
+    CollectUnlockedWrites();
+    BuildLocalWidths();
+    CollectNarrowings();
+    return std::move(facts_);
+  }
+
+ private:
+  const Token& Tok(std::size_t c) const {
+    return file_.tokens()[file_.code()[c]];
+  }
+  const std::string& Text(std::size_t c) const { return Tok(c).text; }
+  std::size_t CodeSize() const { return file_.code().size(); }
+
+  // Code position of token index `t`, or kNpos (comment/absent).
+  std::size_t CodePosOf(std::size_t t) const {
+    const auto& code = file_.code();
+    const auto it = std::lower_bound(code.begin(), code.end(), t);
+    if (it == code.end() || *it != t) return kNpos;
+    return static_cast<std::size_t>(it - code.begin());
+  }
+
+  std::size_t MatchForward(std::size_t c, std::size_t hi) const {
+    int depth = 0;
+    for (std::size_t i = c; i < hi; ++i) {
+      const std::string& t = Text(i);
+      if (t == "(" || t == "[" || t == "{") {
+        ++depth;
+      } else if (t == ")" || t == "]" || t == "}") {
+        --depth;
+        if (depth == 0) return i;
+      }
+    }
+    return kNpos;
+  }
+
+  // The qualified-id chain ending at code position `last` (inclusive):
+  // "std :: int64_t" -> "std::int64_t".  `first_out` gets the chain start.
+  std::string ChainEndingAt(std::size_t last, std::size_t* first_out) const {
+    std::size_t first = last;
+    while (first >= 2 && Text(first - 1) == "::" &&
+           Tok(first - 2).kind == TokenKind::kIdentifier) {
+      first -= 2;
+    }
+    std::string out;
+    for (std::size_t i = first; i <= last; ++i) out += Text(i);
+    if (first_out != nullptr) *first_out = first;
+    return out;
+  }
+
+  int ReturnWidth() const {
+    if (fn_.name_token == kNpos) return 0;
+    std::size_t pos = CodePosOf(fn_.name_token);
+    if (pos == kNpos || pos == 0) return 0;
+    // Skip the class qualifier(s): `Type Foo::Bar(` -> back past `Foo::`.
+    while (pos >= 2 && Text(pos - 1) == "::" &&
+           Tok(pos - 2).kind == TokenKind::kIdentifier) {
+      pos -= 2;
+    }
+    if (pos == 0) return 0;
+    std::size_t p = pos - 1;
+    while (p > 0 && (Text(p) == "&" || Text(p) == "*")) --p;
+    if (Tok(p).kind != TokenKind::kIdentifier) return 0;
+    return IntWidthOfType(ChainEndingAt(p, nullptr));
+  }
+
+  std::vector<int> ParamWidths() const {
+    std::vector<int> widths;
+    if (fn_.params_begin == kNpos || fn_.params_end == kNpos) return widths;
+    const std::size_t lo = CodePosOf(fn_.params_begin);
+    const std::size_t hi = CodePosOf(fn_.params_end);
+    if (lo == kNpos || hi == kNpos || hi <= lo + 1) return widths;
+    // Split [lo+1, hi) at top-level commas.
+    std::vector<std::pair<std::size_t, std::size_t>> params;
+    int depth = 0;
+    std::size_t start = lo + 1;
+    for (std::size_t i = lo + 1; i < hi; ++i) {
+      const std::string& t = Text(i);
+      if (t == "(" || t == "[" || t == "{" || t == "<") {
+        ++depth;
+      } else if (t == ")" || t == "]" || t == "}" || t == ">") {
+        --depth;
+      } else if (t == "," && depth == 0) {
+        params.emplace_back(start, i);
+        start = i + 1;
+      }
+    }
+    params.emplace_back(start, hi);
+    for (const auto& [plo, phi] : params) {
+      std::size_t p = plo;
+      while (p < phi && Text(p) == "const") ++p;
+      // Collect the leading qualified-id chain as the type spelling.
+      std::string type;
+      while (p < phi && (Tok(p).kind == TokenKind::kIdentifier ||
+                         Text(p) == "::")) {
+        type += Text(p);
+        ++p;
+        // A template argument list ends the simple spelling.
+        if (p < phi && Text(p) == "<") break;
+      }
+      widths.push_back(p < phi && Text(p) == "<" ? 0 : IntWidthOfType(type));
+    }
+    if (widths.size() == 1 && widths[0] == 0) {
+      // `()` or `(void)` -- drop the empty pseudo-parameter.
+      const std::size_t plo = params[0].first;
+      if (plo >= params[0].second ||
+          (params[0].second == plo + 1 && Text(plo) == "void")) {
+        widths.clear();
+      }
+    }
+    return widths;
+  }
+
+  // --- call-site token mapping ---------------------------------------------
+
+  void MapCalls() {
+    call_pos_.assign(calls_.size(), kNpos);
+    call_close_.assign(calls_.size(), kNpos);
+    for (const CfgBlock& block : cfg_.blocks()) {
+      for (const CfgBlock::Stmt& stmt : block.stmts) {
+        for (std::size_t i = stmt.begin;
+             i < stmt.end && i + 1 < CodeSize(); ++i) {
+          if (Tok(i).kind != TokenKind::kIdentifier || Text(i + 1) != "(") {
+            continue;
+          }
+          for (std::size_t k = 0; k < calls_.size(); ++k) {
+            if (call_pos_[k] != kNpos || calls_[k].callee != Text(i) ||
+                calls_[k].line != Tok(i).line) {
+              continue;
+            }
+            call_pos_[k] = i;
+            call_close_[k] = MatchForward(i + 1, stmt.end);
+            break;
+          }
+        }
+      }
+    }
+  }
+
+  void ClassifyRngLocal() {
+    facts_.call_rng_local.assign(calls_.size(), 0);
+    for (std::size_t k = 0; k < calls_.size(); ++k) {
+      if (calls_[k].receiver_type == "Rng" || calls_[k].qualifier == "Rng") {
+        facts_.call_rng_local[k] = 1;
+        continue;
+      }
+      if (call_pos_[k] == kNpos || call_close_[k] == kNpos) continue;
+      for (std::size_t i = call_pos_[k] + 2; i < call_close_[k]; ++i) {
+        if (Tok(i).kind != TokenKind::kIdentifier) continue;
+        if (repo_.TypeOf(file_, Text(i)) == "Rng") {
+          facts_.call_rng_local[k] = 1;
+          break;
+        }
+      }
+    }
+  }
+
+  // Call indices whose mapped position lies inside `stmt`, in order.
+  std::vector<int> CallsInStmt(const CfgBlock::Stmt& stmt) const {
+    std::vector<int> out;
+    for (std::size_t k = 0; k < calls_.size(); ++k) {
+      if (call_pos_[k] != kNpos && call_pos_[k] >= stmt.begin &&
+          call_pos_[k] < stmt.end) {
+        out.push_back(static_cast<int>(k));
+      }
+    }
+    std::sort(out.begin(), out.end(), [&](int a, int b) {
+      return call_pos_[static_cast<std::size_t>(a)] <
+             call_pos_[static_cast<std::size_t>(b)];
+    });
+    return out;
+  }
+
+  // --- WordMode branches ---------------------------------------------------
+
+  void CollectModeBranches() {
+    for (std::size_t b = 0; b < cfg_.blocks().size(); ++b) {
+      const CfgBlock& block = cfg_.blocks()[b];
+      if (!block.is_branch || block.succs.size() != 2) continue;
+      bool mentions_mode = false;
+      int line = 0;
+      for (const CfgBlock::Stmt& stmt : block.stmts) {
+        for (std::size_t i = stmt.begin; i < stmt.end; ++i) {
+          const std::string& t = Text(i);
+          if (t == "WordMode" || t == "kStreamCompat" || t == "kFast") {
+            mentions_mode = true;
+            if (line == 0) line = Tok(i).line;
+          }
+        }
+      }
+      if (!mentions_mode) continue;
+      FunctionFacts::ModeBranch branch;
+      branch.line = line;
+      branch.taken_paths = ArmPaths(block.succs[0]);
+      branch.other_paths = ArmPaths(block.succs[1]);
+      facts_.mode_branches.push_back(std::move(branch));
+    }
+  }
+
+  std::vector<std::vector<int>> ArmPaths(std::size_t from) const {
+    std::vector<std::vector<int>> out;
+    if (from >= cfg_.blocks().size()) return out;
+    for (const std::vector<std::size_t>& path : EnumeratePaths(cfg_, from)) {
+      std::vector<int> sites;
+      std::set<int> seen;
+      for (const std::size_t b : path) {
+        for (const CfgBlock::Stmt& stmt : cfg_.blocks()[b].stmts) {
+          for (const int k : CallsInStmt(stmt)) {
+            if (seen.insert(k).second) sites.push_back(k);
+          }
+        }
+      }
+      out.push_back(std::move(sites));
+    }
+    return out;
+  }
+
+  // --- lockset -------------------------------------------------------------
+
+  struct LockFact {
+    std::size_t pos = kNpos;    // gen/kill position
+    std::size_t scope_lo = 0;   // code-position interval the lock is valid in
+    std::size_t scope_hi = 0;   // (RAII: its brace scope; manual: the body)
+    bool kill = false;          // .unlock()
+    std::size_t bit = 0;
+  };
+
+  // Innermost enclosing brace interval of every code position in the body.
+  void ComputeScopes(std::size_t lo, std::size_t hi,
+                     std::vector<std::pair<std::size_t, std::size_t>>* out)
+      const {
+    out->assign(CodeSize(), {lo, hi});
+    std::vector<std::size_t> stack;
+    for (std::size_t i = lo; i < hi; ++i) {
+      (*out)[i] = stack.empty() ? std::make_pair(lo, hi)
+                                : std::make_pair(stack.back(), hi);
+      if (Text(i) == "{") {
+        stack.push_back(i);
+      } else if (Text(i) == "}" && !stack.empty()) {
+        const std::size_t open = stack.back();
+        stack.pop_back();
+        for (std::size_t j = open; j <= i; ++j) {
+          if ((*out)[j].first == open) (*out)[j].second = i;
+        }
+      }
+    }
+  }
+
+  void CollectUnlockedWrites() {
+    std::vector<int> write_lines;
+    std::vector<std::string> write_details;
+    for (const EffectOrigin& origin : effects_.origins) {
+      if (origin.effect != kEffectWritesShared) continue;
+      write_lines.push_back(origin.line);
+      write_details.push_back(origin.detail);
+    }
+    if (write_lines.empty()) return;
+    if (cfg_.fallback()) {
+      // No flow information: degrade to the v3 semantics -- a function
+      // that takes any lock is trusted, one that takes none is not.
+      if ((effects_.mask & kEffectTakesLock) == 0) {
+        for (std::size_t w = 0; w < write_lines.size(); ++w) {
+          facts_.unlocked_writes.push_back(
+              {write_lines[w], write_details[w]});
+        }
+      }
+      return;
+    }
+
+    // Body extent over code positions (for scope intervals).
+    std::size_t lo = CodeSize(), hi = 0;
+    for (const CfgBlock& block : cfg_.blocks()) {
+      for (const CfgBlock::Stmt& stmt : block.stmts) {
+        lo = std::min(lo, stmt.begin);
+        hi = std::max(hi, stmt.end);
+      }
+    }
+    if (lo >= hi) {
+      return;  // no statements at all: nothing to locate writes in
+    }
+    std::vector<std::pair<std::size_t, std::size_t>> scopes;
+    ComputeScopes(lo, hi, &scopes);
+
+    // Lock facts: RAII guard declarations and manual lock()/unlock().
+    std::vector<LockFact> locks;
+    std::map<std::string, std::size_t> manual_bits;  // mutex name -> bit
+    std::size_t bits = 0;
+    const auto bit_for_manual = [&](const std::string& name) {
+      const auto it = manual_bits.find(name);
+      if (it != manual_bits.end()) return it->second;
+      manual_bits.emplace(name, bits);
+      return bits++;
+    };
+    for (const CfgBlock& block : cfg_.blocks()) {
+      for (const CfgBlock::Stmt& stmt : block.stmts) {
+        for (std::size_t i = stmt.begin; i < stmt.end; ++i) {
+          const std::string& t = Text(i);
+          if (Tok(i).kind != TokenKind::kIdentifier) continue;
+          if (IsLockTypeName(t)) {
+            LockFact fact;
+            fact.pos = i;
+            fact.scope_lo = scopes[i].first;
+            fact.scope_hi = scopes[i].second;
+            fact.bit = bits++;
+            locks.push_back(fact);
+          } else if ((t == "lock" || t == "unlock" || t == "try_lock") &&
+                     i + 1 < CodeSize() && Text(i + 1) == "(" && i >= 2 &&
+                     (Text(i - 1) == "." || Text(i - 1) == "->") &&
+                     Tok(i - 2).kind == TokenKind::kIdentifier) {
+            LockFact fact;
+            fact.pos = i;
+            fact.scope_lo = lo;
+            fact.scope_hi = hi;
+            fact.kill = t == "unlock";
+            fact.bit = bit_for_manual(Text(i - 2));
+            locks.push_back(fact);
+          }
+        }
+      }
+    }
+    if (bits > 64) {
+      return;  // domain overflow: stay silent rather than false-positive
+    }
+
+    // Per-block ordered events, and the write positions to check.
+    struct Event {
+      std::size_t pos = 0;
+      bool write = false;
+      std::size_t lock = kNpos;   // index into `locks` when !write
+      std::size_t which = kNpos;  // index into write_lines when write
+    };
+    std::vector<std::vector<Event>> events(cfg_.blocks().size());
+    std::vector<char> write_found(write_lines.size(), 0);
+    for (std::size_t b = 0; b < cfg_.blocks().size(); ++b) {
+      for (const CfgBlock::Stmt& stmt : cfg_.blocks()[b].stmts) {
+        for (std::size_t i = stmt.begin; i < stmt.end; ++i) {
+          for (std::size_t l = 0; l < locks.size(); ++l) {
+            if (locks[l].pos == i) events[b].push_back({i, false, l, kNpos});
+          }
+          for (std::size_t w = 0; w < write_lines.size(); ++w) {
+            if (!write_found[w] && Tok(i).line == write_lines[w] &&
+                Tok(i).kind == TokenKind::kIdentifier &&
+                i + 1 <= CodeSize()) {
+              // First identifier on the origin's line approximates the
+              // write position well enough for ordering.
+              write_found[w] = 1;
+              events[b].push_back({i, true, kNpos, w});
+            }
+          }
+        }
+      }
+      std::sort(events[b].begin(), events[b].end(),
+                [](const Event& a, const Event& e) { return a.pos < e.pos; });
+    }
+    for (std::size_t w = 0; w < write_lines.size(); ++w) {
+      if (!write_found[w] && (effects_.mask & kEffectTakesLock) == 0) {
+        // Unlocatable write (lambda-heavy line, macro): v3 fallback.
+        facts_.unlocked_writes.push_back({write_lines[w], write_details[w]});
+      }
+    }
+
+    const auto apply = [&](const Event& e, std::uint64_t value) {
+      const LockFact& fact = locks[e.lock];
+      const std::uint64_t mask = std::uint64_t{1} << fact.bit;
+      return fact.kill ? (value & ~mask) : (value | mask);
+    };
+    DataflowSpec spec;
+    spec.join = [](std::uint64_t a, std::uint64_t b) { return a & b; };
+    spec.transfer = [&](std::size_t b, std::uint64_t in) {
+      std::uint64_t value = in;
+      for (const Event& e : events[b]) {
+        if (!e.write) value = apply(e, value);
+      }
+      return value;
+    };
+    const std::vector<std::uint64_t> solved = Solve(cfg_, spec);
+
+    for (std::size_t b = 0; b < cfg_.blocks().size(); ++b) {
+      std::uint64_t value = solved[b];
+      for (const Event& e : events[b]) {
+        if (!e.write) {
+          value = apply(e, value);
+          continue;
+        }
+        // A lock counts only where its scope is live at the write.
+        std::uint64_t valid = 0;
+        for (const LockFact& fact : locks) {
+          if (e.pos >= fact.scope_lo && e.pos <= fact.scope_hi) {
+            valid |= std::uint64_t{1} << fact.bit;
+          }
+        }
+        if ((value & valid) == 0) {
+          facts_.unlocked_writes.push_back(
+              {write_lines[e.which], write_details[e.which]});
+        }
+      }
+    }
+  }
+
+  // --- int narrowing -------------------------------------------------------
+
+  // The file-wide value_types map is keyed on bare identifiers, so a
+  // `std::size_t i` in one function would poison the plain `int i` of the
+  // next.  Declarations found in THIS function's parameter list or body
+  // win; the file map only answers for identifiers never declared locally
+  // (members, globals).  A name locally declared at two different widths
+  // (scoped shadowing) is ambiguous and drops to width 0.
+  void BuildLocalWidths() {
+    local_widths_.clear();
+    std::size_t lo = CodePosOf(fn_.params_begin);
+    std::size_t hi = fn_.body_end == kNpos ? kNpos : CodePosOf(fn_.body_end);
+    if (lo == kNpos) return;
+    if (hi == kNpos || hi > CodeSize()) hi = CodeSize();
+    for (std::size_t i = lo; i < hi; ++i) {
+      if (Tok(i).kind != TokenKind::kIdentifier) continue;
+      int width = 0;
+      std::size_t after = i + 1;
+      if (Text(i) == "std" && i + 2 < hi && Text(i + 1) == "::") {
+        width = IntWidthOfType("std::" + Text(i + 2));
+        after = i + 3;
+      } else {
+        width = IntWidthOfType(Text(i));
+        // `unsigned long long x` / `long int y`: multi-word spellings are
+        // not classified (mirrors model.cc's value-type collection).
+        if (width != 0 && (Text(i) == "int" || Text(i) == "unsigned")) {
+          if (i > 0) {
+            const std::string& prev = Text(i - 1);
+            if (prev == "unsigned" || prev == "signed" || prev == "long" ||
+                prev == "short") {
+              continue;
+            }
+          }
+          if (after < hi) {
+            const std::string& next = Text(after);
+            if (next == "int" || next == "long" || next == "short" ||
+                next == "char") {
+              continue;
+            }
+          }
+        }
+      }
+      if (width == 0) continue;
+      while (after < hi && (Text(after) == "&" || Text(after) == "*" ||
+                            Text(after) == "const")) {
+        ++after;
+      }
+      if (after >= hi || Tok(after).kind != TokenKind::kIdentifier) continue;
+      const auto [it, inserted] = local_widths_.emplace(Text(after), width);
+      if (!inserted && it->second != width) it->second = 0;
+    }
+  }
+
+  int WidthOfIdent(const std::string& ident) const {
+    const auto local = local_widths_.find(ident);
+    if (local != local_widths_.end()) return local->second;
+    return IntWidthOfType(repo_.TypeOf(file_, ident));
+  }
+
+  void CollectNarrowings() {
+    // Candidates first; then one must-guard pass over their identifiers.
+    struct Candidate {
+      std::size_t block = 0;
+      std::size_t pos = 0;  // position that orders it within the block
+      int line = 0;
+      std::string ident;
+      std::string detail;  // "" for call-arg candidates
+      int call = -1;
+      int arg = -1;
+    };
+    std::vector<Candidate> candidates;
+
+    for (std::size_t b = 0; b < cfg_.blocks().size(); ++b) {
+      for (const CfgBlock::Stmt& stmt : cfg_.blocks()[b].stmts) {
+        CollectStmtNarrowings(b, stmt, &candidates);
+      }
+    }
+    if (candidates.empty()) return;
+
+    // Bit per distinct identifier (the NB_REQUIRE guard domain).
+    std::map<std::string, std::size_t> ident_bits;
+    for (const Candidate& c : candidates) {
+      if (ident_bits.size() >= 64) break;
+      ident_bits.emplace(c.ident, ident_bits.size());
+    }
+
+    // Per-block guard events: an NB_REQUIRE statement mentioning an
+    // identifier generates its bit.
+    struct Guard {
+      std::size_t pos = 0;
+      std::uint64_t gen = 0;
+    };
+    std::vector<std::vector<Guard>> guards(cfg_.blocks().size());
+    for (std::size_t b = 0; b < cfg_.blocks().size(); ++b) {
+      for (const CfgBlock::Stmt& stmt : cfg_.blocks()[b].stmts) {
+        if (stmt.begin >= stmt.end || Text(stmt.begin) != "NB_REQUIRE") {
+          continue;
+        }
+        std::uint64_t gen = 0;
+        for (std::size_t i = stmt.begin; i < stmt.end; ++i) {
+          const auto it = ident_bits.find(Text(i));
+          if (it != ident_bits.end()) gen |= std::uint64_t{1} << it->second;
+        }
+        if (gen != 0) guards[b].push_back({stmt.begin, gen});
+      }
+    }
+
+    DataflowSpec spec;
+    spec.join = [](std::uint64_t a, std::uint64_t b) { return a & b; };
+    spec.transfer = [&](std::size_t b, std::uint64_t in) {
+      std::uint64_t value = in;
+      for (const Guard& g : guards[b]) value |= g.gen;
+      return value;
+    };
+    const std::vector<std::uint64_t> solved = Solve(cfg_, spec);
+
+    for (const Candidate& c : candidates) {
+      std::uint64_t value = solved[c.block];
+      for (const Guard& g : guards[c.block]) {
+        if (g.pos < c.pos) value |= g.gen;
+      }
+      const auto it = ident_bits.find(c.ident);
+      const bool guarded =
+          it != ident_bits.end() &&
+          (value & (std::uint64_t{1} << it->second)) != 0;
+      if (guarded) continue;
+      if (c.call >= 0) {
+        facts_.narrow_args.push_back({c.call, c.arg, c.line, c.ident});
+      } else {
+        facts_.narrowings.push_back({c.line, c.detail});
+      }
+    }
+  }
+
+  template <typename Out>
+  void CollectStmtNarrowings(std::size_t b, const CfgBlock::Stmt& stmt,
+                             Out* candidates) const {
+    const std::size_t lo = stmt.begin;
+    const std::size_t hi = stmt.end;
+    if (lo >= hi) return;
+    // return <ident> ;
+    if (Text(lo) == "return" && hi == lo + 3 &&
+        Tok(lo + 1).kind == TokenKind::kIdentifier && Text(lo + 2) == ";" &&
+        facts_.return_width == 32 && WidthOfIdent(Text(lo + 1)) == 64) {
+      candidates->push_back({b, lo, Tok(lo + 1).line, Text(lo + 1),
+                             "int64 `" + Text(lo + 1) +
+                                 "` returned as int32 from `" + fn_.name +
+                                 "`",
+                             -1, -1});
+    }
+    // <lhs> = <ident> ; including `std::int32_t lhs = ident;` -- the model
+    // registers the declared type, so the width lookup covers both.
+    {
+      int depth = 0;
+      for (std::size_t i = lo; i + 2 < hi; ++i) {
+        const std::string& t = Text(i);
+        if (t == "(" || t == "[" || t == "{") ++depth;
+        if (t == ")" || t == "]" || t == "}") --depth;
+        if (depth != 0 || t != "=") continue;
+        if (i == lo || Tok(i - 1).kind != TokenKind::kIdentifier) break;
+        if (Tok(i + 1).kind != TokenKind::kIdentifier || Text(i + 2) != ";") {
+          break;
+        }
+        const std::string& lhs = Text(i - 1);
+        const std::string& rhs = Text(i + 1);
+        if (WidthOfIdent(lhs) == 32 && WidthOfIdent(rhs) == 64) {
+          candidates->push_back({b, i, Tok(i).line, rhs,
+                                 "int64 `" + rhs +
+                                     "` narrows to int32 `" + lhs + "`",
+                                 -1, -1});
+        }
+        break;
+      }
+    }
+    // f(..., <ident>, ...): a bare 64-bit identifier argument.
+    for (std::size_t k = 0; k < calls_.size(); ++k) {
+      if (call_pos_[k] == kNpos || call_close_[k] == kNpos ||
+          call_pos_[k] < lo || call_pos_[k] >= hi) {
+        continue;
+      }
+      const std::size_t open = call_pos_[k] + 1;
+      const std::size_t close = call_close_[k];
+      if (close <= open + 1) continue;
+      int depth = 0;
+      std::size_t start = open + 1;
+      int arg = 0;
+      const auto consider = [&](std::size_t alo, std::size_t ahi) {
+        if (ahi == alo + 1 && Tok(alo).kind == TokenKind::kIdentifier &&
+            WidthOfIdent(Text(alo)) == 64) {
+          candidates->push_back({b, alo, Tok(alo).line, Text(alo), "",
+                                 static_cast<int>(k), arg});
+        }
+      };
+      for (std::size_t i = open + 1; i < close; ++i) {
+        const std::string& t = Text(i);
+        if (t == "(" || t == "[" || t == "{") ++depth;
+        if (t == ")" || t == "]" || t == "}") --depth;
+        if (t == "," && depth == 0) {
+          consider(start, i);
+          start = i + 1;
+          ++arg;
+        }
+      }
+      consider(start, close);
+    }
+  }
+
+  const RepoModel& repo_;
+  const FileModel& file_;
+  const FunctionInfo& fn_;
+  const std::vector<RawCallSite>& calls_;
+  const DirectEffects& effects_;
+  Cfg cfg_;
+  FunctionFacts facts_;
+  std::map<std::string, int> local_widths_;
+  std::vector<std::size_t> call_pos_;
+  std::vector<std::size_t> call_close_;
+};
+
+}  // namespace
+
+FunctionFacts ComputeCfgFacts(const RepoModel& repo, const FileModel& file,
+                              const FunctionInfo& fn,
+                              const std::vector<RawCallSite>& calls,
+                              const DirectEffects& effects) {
+  if (!fn.is_definition) return {};
+  return FactsBuilder(repo, file, fn, calls, effects).Run();
+}
+
+}  // namespace noisybeeps::lint

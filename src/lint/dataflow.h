@@ -1,0 +1,66 @@
+// A generic worklist dataflow solver over the CFG, plus the concrete
+// per-function analyses nblint v4 runs with it.
+//
+// The framework is deliberately small: lattice values are 64-bit sets
+// (locks held, identifiers range-guarded -- every per-function domain the
+// rules need fits), direction is forward or backward, and the client
+// supplies the join and the per-block transfer function.  Statement-level
+// precision is the client's job: Solve hands back one value per block
+// boundary and the client replays its transfer inside the block.
+//
+// On top of it, ComputeCfgFacts distils each function body into the
+// flow-sensitive facts the whole-program rules consume (summary.h's
+// FunctionFacts, cached by cache.cc as format v4):
+//
+//   * WordMode branch arms with their per-path call-site traces
+//     (rng-draw-parity compares the two arms' draw counts),
+//   * shared writes reachable with an empty must-lockset
+//     (lockset-discipline, the flow-sensitive successor of
+//     shared-state-discipline),
+//   * int64 -> int32 narrowings with no dominating NB_REQUIRE guard
+//     (int-narrowing-at-boundary), including call arguments judged later
+//     against the resolved callee's parameter widths.
+#ifndef NOISYBEEPS_LINT_DATAFLOW_H_
+#define NOISYBEEPS_LINT_DATAFLOW_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "lint/cfg.h"
+#include "lint/summary.h"
+
+namespace noisybeeps::lint {
+
+struct DataflowSpec {
+  bool backward = false;
+  // Value at the entry block (exit when backward).
+  std::uint64_t boundary = 0;
+  // Initial value of every other block; for a must-analysis this is the
+  // full set, so unreachable predecessors join neutrally.
+  std::uint64_t top = ~std::uint64_t{0};
+  std::function<std::uint64_t(std::uint64_t, std::uint64_t)> join;
+  // IN value -> OUT value of one block (OUT -> IN when backward).
+  std::function<std::uint64_t(std::size_t block, std::uint64_t in)> transfer;
+};
+
+// Iterates to a fixed point; returns the IN value of every block (its OUT
+// value when backward).  Deterministic order, bounded iterations.
+[[nodiscard]] std::vector<std::uint64_t> Solve(const Cfg& cfg,
+                                               const DataflowSpec& spec);
+
+// Integer width class of a declared type spelling: 32, 64, or 0 for
+// everything else ("double", "Rng", template types, unknown).
+[[nodiscard]] int IntWidthOfType(const std::string& type);
+
+// Builds the flow-sensitive facts for one definition.  `calls` must be
+// ExtractCallSites' output and `effects` ExtractEffects' for the same
+// function (facts reference call indices and write-origin lines).
+[[nodiscard]] FunctionFacts ComputeCfgFacts(
+    const RepoModel& repo, const FileModel& file, const FunctionInfo& fn,
+    const std::vector<RawCallSite>& calls, const DirectEffects& effects);
+
+}  // namespace noisybeeps::lint
+
+#endif  // NOISYBEEPS_LINT_DATAFLOW_H_

@@ -189,6 +189,10 @@ std::string FormatText(const std::vector<Finding>& findings) {
     out += f.file + ":" + std::to_string(f.line) + ": ";
     out += SeverityName(f.severity);
     out += ": " + f.rule_id + ": " + f.message + "\n";
+    for (const FlowStep& step : f.flow) {
+      out += "    " + step.file + ":" + std::to_string(step.line) + ": " +
+             step.text + "\n";
+    }
   }
   return out;
 }
@@ -302,7 +306,24 @@ std::string FormatSarif(const std::vector<Finding>& findings) {
         "{\"uri\": ";
     AppendJsonString(out, f.file);
     out += "}, \"region\": {\"startLine\": " + std::to_string(f.line) +
-           "}}}]}";
+           "}}}]";
+    // Witness paths (call chains, CFG paths) ship as one codeFlow with
+    // one threadFlow, step order preserved.
+    if (!f.flow.empty()) {
+      out += ", \"codeFlows\": [{\"threadFlows\": [{\"locations\": [";
+      for (std::size_t s = 0; s < f.flow.size(); ++s) {
+        if (s > 0) out += ", ";
+        out += "{\"location\": {\"physicalLocation\": {\"artifactLocation\": "
+               "{\"uri\": ";
+        AppendJsonString(out, f.flow[s].file);
+        out += "}, \"region\": {\"startLine\": " +
+               std::to_string(f.flow[s].line) + "}}, \"message\": {\"text\": ";
+        AppendJsonString(out, f.flow[s].text);
+        out += "}}}";
+      }
+      out += "]}]}]";
+    }
+    out += "}";
     out += i + 1 < findings.size() ? ",\n" : "\n";
   }
   out +=

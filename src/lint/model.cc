@@ -41,6 +41,13 @@ bool IsUnorderedContainer(const std::string& name) {
          name == "unordered_multimap" || name == "unordered_multiset";
 }
 
+// Fixed-width and size-like integer spellings the narrowing analysis
+// (lint/dataflow.h) classifies; recorded both bare and std::-qualified.
+bool IsSizedIntType(const std::string& name) {
+  return name == "int64_t" || name == "uint64_t" || name == "int32_t" ||
+         name == "uint32_t" || name == "size_t" || name == "ptrdiff_t";
+}
+
 // Identifiers that introduce statements/expressions, never function names.
 bool IsNonFunctionKeyword(const std::string& name) {
   static const std::set<std::string> kKeywords = {
@@ -97,6 +104,18 @@ class ModelBuilder {
       if (t.kind == TokenKind::kIdentifier && !IsNonFunctionKeyword(t.text) &&
           i + 1 < code_.size() && Tok(i + 1).text == "(") {
         const std::size_t next = TryFunction(i, functions);
+        if (next != kNpos) {
+          i = next;
+          continue;
+        }
+      }
+      // A lambda bound to a named variable at namespace or class scope
+      // (`auto Helper = [...](...) {...};`) is a function definition in
+      // every sense the rules care about: record it under the variable's
+      // name so call sites and effects in its body attribute somewhere.
+      if (t.kind == TokenKind::kIdentifier && i + 2 < code_.size() &&
+          Tok(i + 1).text == "=" && Tok(i + 2).text == "[") {
+        const std::size_t next = TryLambda(i, functions);
         if (next != kNpos) {
           i = next;
           continue;
@@ -250,6 +269,56 @@ class ModelBuilder {
     return "";
   }
 
+  // `i` is at `ident = [`.  Records the lambda as a FunctionInfo named
+  // after the variable and returns the index past its body, or kNpos when
+  // the shape is not `ident = [capture](params...) ... { body }`.
+  std::size_t TryLambda(std::size_t i, std::vector<FunctionInfo>& out) {
+    const std::size_t capture_close = MatchForward(i + 2, "[", "]");
+    if (capture_close == kNpos) return kNpos;
+    // Optional parameter list, then specifiers (mutable, noexcept,
+    // -> type) up to the body brace; a ';' first means no body followed
+    // (`x = [expr];` subscript-free shapes cannot reach here, but stay
+    // defensive).
+    std::size_t params_begin = kNpos;
+    std::size_t params_end = kNpos;
+    std::size_t k = capture_close + 1;
+    if (k < code_.size() && Tok(k).text == "(") {
+      params_begin = k;
+      params_end = MatchForward(k, "(", ")");
+      if (params_end == kNpos) return kNpos;
+      k = params_end + 1;
+    }
+    std::size_t body_begin = kNpos;
+    for (; k < code_.size(); ++k) {
+      const std::string& text = Tok(k).text;
+      if (text == "{") {
+        body_begin = k;
+        break;
+      }
+      if (text == ";" || text == "}" || text == ",") return kNpos;
+    }
+    if (body_begin == kNpos) return kNpos;
+    const std::size_t body_end = MatchForward(body_begin, "{", "}");
+    if (body_end == kNpos) return kNpos;
+
+    FunctionInfo fn;
+    fn.name = Tok(i).text;
+    fn.class_name = EnclosingClass();
+    fn.qualified_name = fn.name;
+    fn.line = Tok(i).line;
+    fn.name_token = code_[i];
+    // A capture-only lambda has no parameter list; point both ends at the
+    // capture's ']' so token ranges stay well-formed and empty.
+    fn.params_begin =
+        code_[params_begin == kNpos ? capture_close : params_begin];
+    fn.params_end = code_[params_end == kNpos ? capture_close : params_end];
+    fn.is_definition = true;
+    fn.body_begin = code_[body_begin];
+    fn.body_end = code_[body_end];
+    out.push_back(std::move(fn));
+    return body_end + 1;
+  }
+
   // `i` is at an identifier followed by '('.  Records a FunctionInfo and
   // returns the resume index, or kNpos when this is not a declarator.
   std::size_t TryFunction(std::size_t i, std::vector<FunctionInfo>& out) {
@@ -324,6 +393,16 @@ class ModelBuilder {
       if (paren_depth > 0) continue;
       if (text == ":") in_init_list = true;
       if (text == "{") {
+        // A brace directly after an identifier inside a ctor init list is
+        // a member's brace-init (`: a_{1}, b_{2}`), not the body: skip it
+        // and keep scanning for the real body brace.
+        if (in_init_list && k > 0 &&
+            Tok(k - 1).kind == TokenKind::kIdentifier) {
+          const std::size_t close = MatchForward(k, "{", "}");
+          if (close == kNpos) return kNpos;
+          k = close;
+          continue;
+        }
         body_begin = k;
         break;
       }
@@ -376,8 +455,31 @@ class ModelBuilder {
       if (t.kind != TokenKind::kIdentifier) continue;
       std::string type;
       std::size_t after = i + 1;  // first token past the type name
-      if (t.text == "double" || t.text == "float" || t.text == "Rng") {
+      if (t.text == "double" || t.text == "float" || t.text == "Rng" ||
+          t.text == "int" || t.text == "unsigned" ||
+          IsSizedIntType(t.text)) {
         type = t.text;
+        // `unsigned long long x` must not record x as plain unsigned; a
+        // multi-word integer spelling is left untyped.
+        if ((t.text == "int" || t.text == "unsigned") && i > 0) {
+          const std::string& prev = Tok(i - 1).text;
+          if (prev == "unsigned" || prev == "signed" || prev == "long" ||
+              prev == "short" || prev == "const") {
+            continue;
+          }
+        }
+        if ((t.text == "int" || t.text == "unsigned") &&
+            i + 1 < code_.size()) {
+          const std::string& next = Tok(i + 1).text;
+          if (next == "int" || next == "long" || next == "short" ||
+              next == "char") {
+            continue;
+          }
+        }
+      } else if (t.text == "std" && i + 2 < code_.size() &&
+                 Tok(i + 1).text == "::" && IsSizedIntType(Tok(i + 2).text)) {
+        type = "std::" + Tok(i + 2).text;
+        after = i + 3;
       } else if (t.text == "std" && i + 2 < code_.size() &&
                  Tok(i + 1).text == "::" &&
                  (Tok(i + 2).text == "ostringstream" ||

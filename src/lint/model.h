@@ -95,7 +95,7 @@ class FileModel {
   // Names of MUTABLE namespace-scope variables declared in this file
   // (const/constexpr/using/extern declarations excluded).  Writes to these
   // are shared-state hazards under parallel execution; the whole-program
-  // shared-state-discipline rule queries this set.
+  // lockset-discipline rule queries this set.
   [[nodiscard]] const std::set<std::string>& globals() const {
     return globals_;
   }

@@ -859,10 +859,33 @@ std::vector<Rule> BuildRegistry() {
       "or replaced alone.  Acyclicity is what makes the layer table "
       "meaningful."});
   rules.push_back(Rule{
+      "int-narrowing-at-boundary", Severity::kWarn, "correctness",
+      "Whole-program: implicit int64 -> int32 narrowing at assignment, "
+      "return, and call boundaries (judged against the resolved callee's "
+      "declared parameter width) must be dominated by an NB_REQUIRE range "
+      "guard naming the value.",
+      nullptr,
+      {F("src/analysis/fixture.cc",
+         "#include <cstdint>\n"
+         "namespace noisybeeps {\n"
+         "std::int32_t ClipCount(std::int64_t total) {\n"
+         "  std::int32_t small = 0;\n"
+         "  small = total;\n"
+         "  return small;\n"
+         "}\n"
+         "}  // namespace noisybeeps\n")},
+      "Trial counts and payload sizes are 64-bit at the boundaries, but "
+      "older call sites still traffic in int.  An implicit truncation is "
+      "silent until a sweep crosses 2^31 trials and statistics quietly "
+      "wrap.  The CFG-level check accepts a dominating NB_REQUIRE that "
+      "names the value -- the repo's idiom for 'this range was thought "
+      "about' -- and otherwise asks for an explicit checked cast.",
+      CheckIntNarrowing});
+  rules.push_back(Rule{
       "io-seam-discipline", Severity::kWarn, "robustness",
       "Whole-program: no raw filesystem access (fstream construction, "
-      "fopen/fsync/rename, std::filesystem calls) in src/ outside the "
-      "injectable failpoint::Fs seam in src/failpoint/fs.*.",
+      "fopen/fsync/rename, std::filesystem calls) in src/ or bench/ "
+      "outside the injectable failpoint::Fs seam in src/failpoint/fs.*.",
       nullptr,
       {F("src/analysis/fixture.cc",
          "#include <fstream>\n"
@@ -875,7 +898,10 @@ std::vector<Rule> BuildRegistry() {
       "rot on demand.  A raw fstream or rename elsewhere in src/ is I/O "
       "the chaos layer can never fault -- an untested failure path by "
       "construction.  The seam itself is the third sanctioned hole in "
-      "the effect closure, beside locks and wall-clock.",
+      "the effect closure, beside locks and wall-clock.  bench/ is in "
+      "scope too (a benchmark that writes files skews what it measures); "
+      "tools/ stay exempt because reading trees and writing reports is "
+      "their whole job.",
       CheckIoSeamDiscipline});
   rules.push_back(Rule{
       "layering", Severity::kError, "architecture",
@@ -927,6 +953,31 @@ std::vector<Rule> BuildRegistry() {
       "rows, and fingerprints silently change meaning on another "
       "machine.  FormatDouble pins the 'C' locale and round-trips."});
   rules.push_back(Rule{
+      "lockset-discipline", Severity::kWarn, "concurrency",
+      "Whole-program: functions reachable from ParallelForEach / "
+      "ParallelTrials worker bodies must hold a lock on EVERY CFG path "
+      "that reaches a write of namespace-scope or static state; use the "
+      "per-worker accumulator + Merge pattern.",
+      nullptr,
+      {F("src/analysis/fixture.cc",
+         "namespace noisybeeps {\n"
+         "int g_hits = 0;\n"
+         "void Bump() { g_hits += 1; }\n"
+         "void Sweep() {\n"
+         "  ParallelForEach(8, [](int i) { Bump(); });\n"
+         "}\n"
+         "}  // namespace noisybeeps\n")},
+      "A data race in a worker body is both undefined behaviour and a "
+      "determinism leak: results depend on interleaving.  The repo's "
+      "pattern -- each worker fills its own accumulator, the caller "
+      "Merges sequentially -- makes races structurally impossible.  The "
+      "flow-sensitive successor of v3's shared-state-discipline: a "
+      "must-lockset analysis walks each reachable function's CFG, so a "
+      "helper that guards the write on every path (RAII guard in scope, "
+      "manual lock()/unlock()) is clean, while an early-return path that "
+      "skips the guard is caught -- v3 could see neither.",
+      CheckLocksetDiscipline});
+  rules.push_back(Rule{
       "raw-thread", Severity::kError, "determinism",
       "No std::thread/std::jthread/std::async/pthread_create outside "
       "src/util/parallel.h; ParallelTrials is the concurrency primitive.",
@@ -956,6 +1007,40 @@ std::vector<Rule> BuildRegistry() {
       "the bad argument.  NB_REQUIRE turns them into immediate, "
       "attributable failures."});
   rules.push_back(Rule{
+      "rng-draw-parity", Severity::kError, "determinism",
+      "Whole-program: in src/channel/, the arms of a WordMode-conditioned "
+      "branch must consume identical numbers of Rng draws on every CFG "
+      "path, or the stream-compat and fast modes diverge after one round.",
+      nullptr,
+      {F("src/channel/fixture.cc",
+         "#include \"util/rng.h\"\n"
+         "namespace noisybeeps {\n"
+         "enum class WordMode { kStreamCompat, kFast };\n"
+         "struct WordChan {\n"
+         "  WordMode mode_ = WordMode::kFast;\n"
+         "  Rng rng_;\n"
+         "  unsigned Step() {\n"
+         "    if (mode_ == WordMode::kStreamCompat) {\n"
+         "      unsigned a = rng_.NextU64() & 1u;\n"
+         "      unsigned b = rng_.NextU64() & 1u;\n"
+         "      return a ^ b;\n"
+         "    }\n"
+         "    return rng_.NextU64() & 3u;\n"
+         "  }\n"
+         "};\n"
+         "}  // namespace noisybeeps\n")},
+      "The word-parallel channel keeps two sampling modes that must stay "
+      "stream-compatible: kStreamCompat replays the scalar draw sequence, "
+      "kFast batches it.  Equality of per-round RESULTS is tested, but if "
+      "the two arms consume different numbers of draws the modes diverge "
+      "from the second round on, and every cross-mode replay comparison "
+      "silently lies -- exactly PR 9's burst double-advance bug, where "
+      "the compat arm advanced the stream twice per round.  The CFG pass "
+      "enumerates each arm's paths and compares the sets of distinct "
+      "draw-site counts; designs that route both arms through one shared "
+      "sampler call pass by construction.",
+      CheckRngDrawParity});
+  rules.push_back(Rule{
       "rng-stream-discipline", Severity::kError, "determinism",
       "Rng is a stream position: no by-value Rng parameters and no Rng "
       "copies outside Split(); a copy silently forks the stream.",
@@ -969,9 +1054,9 @@ std::vector<Rule> BuildRegistry() {
   rules.push_back(Rule{
       "service-layering", Severity::kWarn, "robustness",
       "Whole-program: no raw BSD socket calls (socket/bind/listen/accept/"
-      "connect/...) in src/; transport lives only in the nbserved "
-      "front-end under tools/, behind the transport-agnostic service "
-      "core API in src/service/.",
+      "connect/...) in src/, bench/, or tools/ outside tools/nbserved.cc; "
+      "transport lives only in the nbserved front-end, behind the "
+      "transport-agnostic service core API in src/service/.",
       nullptr,
       {F("src/analysis/fixture.cc",
          "#include <sys/socket.h>\n"
@@ -987,28 +1072,6 @@ std::vector<Rule> BuildRegistry() {
       "sanctioned socket seam: bytes-on-the-wire belong exclusively to "
       "tools/nbserved.cc.",
       CheckServiceLayering});
-  rules.push_back(Rule{
-      "shared-state-discipline", Severity::kWarn, "concurrency",
-      "Whole-program: functions reachable from ParallelForEach / "
-      "ParallelTrials worker bodies must not write namespace-scope or "
-      "static state without a lock; use the per-worker accumulator + "
-      "Merge pattern.",
-      nullptr,
-      {F("src/analysis/fixture.cc",
-         "namespace noisybeeps {\n"
-         "int g_hits = 0;\n"
-         "void Bump() { g_hits += 1; }\n"
-         "void Sweep() {\n"
-         "  ParallelForEach(8, [](int i) { Bump(); });\n"
-         "}\n"
-         "}  // namespace noisybeeps\n")},
-      "A data race in a worker body is both undefined behaviour and a "
-      "determinism leak: results depend on interleaving.  The repo's "
-      "pattern -- each worker fills its own accumulator, the caller "
-      "Merges sequentially -- makes races structurally impossible; this "
-      "rule walks the call closure of every worker body to find writes "
-      "that escape the pattern.",
-      CheckSharedStateDiscipline});
   rules.push_back(Rule{
       "suppression-justification", Severity::kError, "suppressions",
       "Every NBLINT suppression must carry a non-empty justification; an "

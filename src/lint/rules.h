@@ -34,12 +34,25 @@ enum class Severity { kError, kWarn };
 // "error" / "warn".
 [[nodiscard]] std::string_view SeverityName(Severity severity);
 
+// One hop of a finding's witness path (a call chain or a CFG path).
+// Rendered as indented continuation lines in text output and as a
+// codeFlow/threadFlow in SARIF.
+struct FlowStep {
+  std::string file;
+  int line = 0;
+  std::string text;
+
+  friend bool operator==(const FlowStep& a, const FlowStep& b) = default;
+};
+
 struct Finding {
   std::string file;
   int line = 0;
   std::string rule_id;
   std::string message;
   Severity severity = Severity::kError;
+  // Optional witness path, first step outermost.  Empty for most rules.
+  std::vector<FlowStep> flow;
 
   friend bool operator==(const Finding& a, const Finding& b) = default;
 };

@@ -4,6 +4,8 @@
 #include <set>
 #include <utility>
 
+#include "lint/dataflow.h"
+
 namespace noisybeeps::lint {
 namespace {
 
@@ -319,6 +321,7 @@ FileExtract ExtractFile(const RepoModel& repo, const FileModel& file) {
     extract.calls = ExtractCallSites(repo, file, fn);
     DirectEffects effects = ExtractEffects(repo, file, fn, extract.calls);
     extract.direct_effects = effects.mask;
+    extract.facts = ComputeCfgFacts(repo, file, fn, extract.calls, effects);
     extract.origins = std::move(effects.origins);
     out.functions.push_back(std::move(extract));
   }
@@ -360,6 +363,7 @@ ProgramAnalysis ProgramAnalysis::Build(
   analysis.direct_.assign(nodes.size(), 0u);
   analysis.effects_.assign(nodes.size(), 0u);
   analysis.origins_.assign(nodes.size(), {});
+  analysis.facts_.assign(nodes.size(), {});
   analysis.provenance_.assign(nodes.size(),
                               std::vector<Provenance>(kBits));
   std::size_t n = 0;
@@ -368,6 +372,7 @@ ProgramAnalysis ProgramAnalysis::Build(
       analysis.direct_[n] = fn.direct_effects;
       analysis.effects_[n] = fn.direct_effects;
       analysis.origins_[n] = fn.origins;
+      analysis.facts_[n] = fn.facts;
       for (const EffectOrigin& origin : fn.origins) {
         for (std::size_t bit = 0; bit < kBits; ++bit) {
           if ((origin.effect & (1u << bit)) == 0) continue;
@@ -441,6 +446,34 @@ std::string ProgramAnalysis::WitnessPath(std::size_t n,
     cur = p.next;
   }
   return path;
+}
+
+std::vector<ProgramAnalysis::WitnessStep> ProgramAnalysis::WitnessSteps(
+    std::size_t n, unsigned effect) const {
+  std::size_t bit = 0;
+  while (bit < 16 && (effect & (1u << bit)) == 0) ++bit;
+  if (bit >= 16 || n >= effects_.size() ||
+      (effects_[n] & (1u << bit)) == 0) {
+    return {};
+  }
+  std::vector<WitnessStep> steps;
+  std::size_t cur = n;
+  for (std::size_t hops = 0; hops <= graph_.nodes().size(); ++hops) {
+    const CallNode& node = graph_.nodes()[cur];
+    const Provenance& p = provenance_[cur][bit];
+    WitnessStep step;
+    step.file = node.path;
+    step.line = p.line;
+    step.text = node.qualified_name;
+    if (p.direct || p.next == kNpos) {
+      step.text += " -> " + p.detail + " [" + EffectName(1u << bit) + "]";
+      steps.push_back(std::move(step));
+      break;
+    }
+    steps.push_back(std::move(step));
+    cur = p.next;
+  }
+  return steps;
 }
 
 }  // namespace noisybeeps::lint

@@ -30,6 +30,7 @@
 #define NOISYBEEPS_LINT_SUMMARY_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -84,6 +85,58 @@ struct DirectEffects {
     const RepoModel& repo, const FileModel& file, const FunctionInfo& fn,
     const std::vector<RawCallSite>& calls);
 
+// --- flow-sensitive facts (computed by dataflow.h over cfg.h) -------------
+
+// Per-function facts derived from the intraprocedural CFG at extract time.
+// Everything is phrased against the function's own call list (indices into
+// FunctionExtract::calls) or plain source lines, so cache.cc round-trips
+// them without re-parsing bodies (format v4).
+struct FunctionFacts {
+  // Declared integer width of the return type / each parameter: 32, 64, or
+  // 0 for everything else (unknown, non-integer, templates).
+  int return_width = 0;
+  std::vector<int> param_widths;
+  // call_rng_local[i] != 0: call i has an Rng receiver/qualifier or passes
+  // an Rng-typed argument -- a draw site even when resolution cannot see
+  // into the callee.
+  std::vector<std::uint8_t> call_rng_local;
+
+  // A WordMode-conditioned branch.  Per arm, every enumerated control-flow
+  // path to the exit, rendered as the ordered distinct call sites crossed.
+  struct ModeBranch {
+    int line = 0;
+    std::vector<std::vector<int>> taken_paths;  // arm where the test holds
+    std::vector<std::vector<int>> other_paths;  // fall-through arm
+  };
+  std::vector<ModeBranch> mode_branches;
+
+  // A shared write some path reaches with an empty must-lockset.
+  struct UnlockedWrite {
+    int line = 0;
+    std::string detail;
+  };
+  std::vector<UnlockedWrite> unlocked_writes;
+
+  // An int64 identifier implicitly narrowing to int32 at an assign/init/
+  // return, with no dominating NB_REQUIRE guard naming it.
+  struct Narrowing {
+    int line = 0;
+    std::string detail;
+  };
+  std::vector<Narrowing> narrowings;
+
+  // A 64-bit identifier passed bare as argument `arg` of call `call`
+  // (index into calls), unguarded; whether it narrows depends on the
+  // resolved callee's parameter width, judged by the whole-program rule.
+  struct NarrowArg {
+    int call = 0;
+    int arg = 0;
+    int line = 0;
+    std::string ident;
+  };
+  std::vector<NarrowArg> narrow_args;
+};
+
 // --- the per-file unit the incremental cache stores ----------------------
 
 struct FunctionExtract {
@@ -93,6 +146,7 @@ struct FunctionExtract {
   unsigned direct_effects = 0;
   std::vector<EffectOrigin> origins;
   std::vector<RawCallSite> calls;
+  FunctionFacts facts;
 };
 
 struct FileExtract {
@@ -133,10 +187,25 @@ class ProgramAnalysis {
     return origins_[n];
   }
 
+  // The flow-sensitive facts of node `n` (same order as graph().nodes()).
+  [[nodiscard]] const FunctionFacts& FactsOf(std::size_t n) const {
+    return facts_[n];
+  }
+
   // Renders how `effect` (single bit) reaches node `n`:
   //   "A (f.cc:3) -> B (g.cc:7) -> getenv [reads-env] (g.cc:9)".
   // "" when the node does not hold the effect.
   [[nodiscard]] std::string WitnessPath(std::size_t n, unsigned effect) const;
+
+  // The same chain as structured steps (one per hop, ending at the direct
+  // origin), for SARIF codeFlows.  Empty when the effect does not hold.
+  struct WitnessStep {
+    std::string file;
+    int line = 0;
+    std::string text;
+  };
+  [[nodiscard]] std::vector<WitnessStep> WitnessSteps(std::size_t n,
+                                                      unsigned effect) const;
 
  private:
   // How (node, effect) came to hold: a direct origin, or the callee that
@@ -152,6 +221,7 @@ class ProgramAnalysis {
   std::vector<unsigned> effects_;
   std::vector<unsigned> direct_;
   std::vector<std::vector<EffectOrigin>> origins_;
+  std::vector<FunctionFacts> facts_;
   // provenance_[n][bit-index] for bits set in effects_[n].
   std::vector<std::vector<Provenance>> provenance_;
 };

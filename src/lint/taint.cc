@@ -1,5 +1,6 @@
 #include "lint/taint.h"
 
+#include <cstddef>
 #include <map>
 #include <set>
 #include <string>
@@ -12,6 +13,16 @@ const char* const kSinkMarkers[] = {"Fingerprint", "Transcript", "Digest",
 
 bool IsParallelEntry(const std::string& callee) {
   return callee == "ParallelForEach" || callee == "ParallelTrials";
+}
+
+std::vector<FlowStep> WitnessFlow(const ProgramAnalysis& analysis,
+                                  std::size_t n, unsigned effect) {
+  std::vector<FlowStep> flow;
+  for (const ProgramAnalysis::WitnessStep& step :
+       analysis.WitnessSteps(n, effect)) {
+    flow.push_back({step.file, step.line, step.text});
+  }
+  return flow;
 }
 
 }  // namespace
@@ -49,29 +60,132 @@ void CheckDeterminismTaint(const ProgramAnalysis& analysis,
     const unsigned tainted = analysis.EffectsOf(n) & kDeterminismSources;
     for (unsigned bit = 1; bit != 0; bit <<= 1) {
       if ((tainted & bit) == 0) continue;
-      out.push_back(
-          {node.path, node.line, "determinism-taint",
-           "determinism-critical sink " + node.qualified_name +
-               " can reach a " + EffectName(bit) +
-               " nondeterminism source: " + analysis.WitnessPath(n, bit)});
+      Finding finding{
+          node.path, node.line, "determinism-taint",
+          "determinism-critical sink " + node.qualified_name +
+              " can reach a " + EffectName(bit) +
+              " nondeterminism source: " + analysis.WitnessPath(n, bit)};
+      finding.flow = WitnessFlow(analysis, n, bit);
+      out.push_back(std::move(finding));
     }
   }
 }
 
-void CheckSharedStateDiscipline(const ProgramAnalysis& analysis,
-                                std::vector<Finding>& out) {
+void CheckRngDrawParity(const ProgramAnalysis& analysis,
+                        std::vector<Finding>& out) {
+  const std::vector<CallNode>& nodes = analysis.graph().nodes();
+  for (std::size_t n = 0; n < nodes.size(); ++n) {
+    const CallNode& node = nodes[n];
+    if (!node.path.starts_with("src/channel/")) continue;
+    const FunctionFacts& facts = analysis.FactsOf(n);
+    if (facts.mode_branches.empty()) continue;
+
+    // A call site draws when it syntactically touches an Rng (receiver,
+    // qualifier, or argument) or when its resolved callee's effect
+    // closure draws.  Union edges count too: a guessed receiver that
+    // draws is exactly the double-advance bug class this rule hunts.
+    std::vector<char> draws(node.edges.size(), 0);
+    for (std::size_t e = 0; e < node.edges.size(); ++e) {
+      if (e < facts.call_rng_local.size() && facts.call_rng_local[e] != 0) {
+        draws[e] = 1;
+        continue;
+      }
+      for (const std::size_t target : node.edges[e].targets) {
+        if ((analysis.EffectsOf(target) & kEffectDrawsRng) != 0) {
+          draws[e] = 1;
+          break;
+        }
+      }
+    }
+    const auto count_of = [&](const std::vector<int>& path) {
+      int count = 0;
+      for (const int site : path) {
+        if (site >= 0 && static_cast<std::size_t>(site) < draws.size() &&
+            draws[static_cast<std::size_t>(site)] != 0) {
+          ++count;
+        }
+      }
+      return count;
+    };
+    const auto counts_of = [&](const std::vector<std::vector<int>>& paths) {
+      std::set<int> counts;
+      for (const std::vector<int>& path : paths) counts.insert(count_of(path));
+      return counts;
+    };
+    const auto render = [](const std::set<int>& counts) {
+      std::string text = "{";
+      for (const int c : counts) {
+        if (text.size() > 1) text += ",";
+        text += std::to_string(c);
+      }
+      return text + "}";
+    };
+
+    for (const FunctionFacts::ModeBranch& branch : facts.mode_branches) {
+      const std::set<int> taken = counts_of(branch.taken_paths);
+      const std::set<int> other = counts_of(branch.other_paths);
+      if (taken.empty() || other.empty() || taken == other) continue;
+
+      Finding finding{
+          node.path, branch.line, "rng-draw-parity",
+          "WordMode-conditioned branch in " + node.qualified_name +
+              " draws different numbers of Rng values per arm (per-path "
+              "draw counts " + render(taken) + " vs " + render(other) +
+              "); the stream-compat and fast modes must consume identical "
+              "draw counts per round or their streams diverge after the "
+              "first round and replay comparisons silently lie"};
+      finding.flow.push_back({node.path, branch.line,
+                              "WordMode branch in " + node.qualified_name});
+      // Witness the arm whose count the other arm cannot reach.
+      const std::vector<std::vector<int>>* witness = &branch.taken_paths;
+      const std::set<int>* foreign = &other;
+      const std::vector<int>* best = nullptr;
+      for (int round = 0; round < 2 && best == nullptr; ++round) {
+        for (const std::vector<int>& path : *witness) {
+          if (foreign->count(count_of(path)) == 0) {
+            best = &path;
+            break;
+          }
+        }
+        witness = &branch.other_paths;
+        foreign = &taken;
+      }
+      if (best != nullptr) {
+        for (const int site : *best) {
+          if (site < 0 || static_cast<std::size_t>(site) >= draws.size() ||
+              draws[static_cast<std::size_t>(site)] == 0) {
+            continue;
+          }
+          const RawCallSite& call =
+              node.edges[static_cast<std::size_t>(site)].site;
+          finding.flow.push_back(
+              {node.path, call.line, "Rng draw: " + call.callee});
+        }
+      }
+      out.push_back(std::move(finding));
+    }
+  }
+}
+
+void CheckLocksetDiscipline(const ProgramAnalysis& analysis,
+                            std::vector<Finding>& out) {
   const std::vector<CallNode>& nodes = analysis.graph().nodes();
 
   // Roots: functions that issue a ParallelForEach / ParallelTrials call.
   // Their worker lambdas are lexically inside them, so every function the
   // workers call is a call-graph successor of the root.
+  struct Reach {
+    std::size_t root = 0;
+    std::size_t parent = kNpos;  // caller on the discovery path
+    int line = 0;                // call-site line in the caller
+  };
   std::vector<std::size_t> frontier;
-  std::map<std::size_t, std::size_t> reached_from;  // node -> root
+  std::map<std::size_t, Reach> reached;
   for (std::size_t n = 0; n < nodes.size(); ++n) {
     for (const CallEdge& edge : nodes[n].edges) {
       if (IsParallelEntry(edge.site.callee)) {
         frontier.push_back(n);
-        reached_from.emplace(n, n);
+        reached.emplace(n, Reach{n, kNpos, edge.site.line});
         break;
       }
     }
@@ -82,34 +196,112 @@ void CheckSharedStateDiscipline(const ProgramAnalysis& analysis,
     frontier.pop_back();
     for (const CallEdge& edge : nodes[n].edges) {
       for (const std::size_t target : edge.targets) {
-        if (reached_from.emplace(target, reached_from.at(n)).second) {
+        if (reached
+                .emplace(target,
+                         Reach{reached.at(n).root, n, edge.site.line})
+                .second) {
           frontier.push_back(target);
         }
       }
     }
   }
 
-  for (const auto& [n, root] : reached_from) {
+  for (const auto& [n, reach] : reached) {
     const CallNode& node = nodes[n];
     // The root's own direct writes may be sequential code around the
     // parallel region; only its callees are judged.
     if (roots.count(n) > 0) continue;
     if (node.path.starts_with("tests/")) continue;
-    const unsigned direct = analysis.DirectEffectsOf(n);
-    if ((direct & kEffectWritesShared) == 0 ||
-        (direct & kEffectTakesLock) != 0) {
-      continue;
+    // The must-lockset analysis (dataflow.cc) already discharged writes
+    // that every path covers with a live RAII guard or manual lock.
+    const FunctionFacts& facts = analysis.FactsOf(n);
+    if (facts.unlocked_writes.empty()) continue;
+    const FunctionFacts::UnlockedWrite& write = facts.unlocked_writes.front();
+
+    Finding finding{
+        node.path, write.line, "lockset-discipline",
+        node.qualified_name + " writes shared state (" + write.detail +
+            ") with an empty lockset on some path and is reachable from "
+            "the parallel worker body in " + nodes[reach.root].qualified_name +
+            " (" + nodes[reach.root].path +
+            "); use the per-worker accumulator + Merge pattern"};
+    // Witness: the discovery chain root -> ... -> n, then the write.
+    std::vector<std::size_t> chain;
+    for (std::size_t hop = n; hop != kNpos;
+         hop = reached.at(hop).parent) {
+      chain.push_back(hop);
+      if (chain.size() > nodes.size()) break;  // defensive: no cycles
     }
-    for (const EffectOrigin& origin : analysis.OriginsOf(n)) {
-      if (origin.effect != kEffectWritesShared) continue;
+    for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
+      const Reach& r = reached.at(*it);
+      finding.flow.push_back(
+          {nodes[*it].path, r.parent == kNpos ? r.line : nodes[*it].line,
+           r.parent == kNpos
+               ? "parallel region in " + nodes[*it].qualified_name
+               : nodes[*it].qualified_name});
+    }
+    finding.flow.push_back(
+        {node.path, write.line, "unlocked write: " + write.detail});
+    out.push_back(std::move(finding));
+    // One finding per node keeps the report readable.
+  }
+}
+
+void CheckIntNarrowing(const ProgramAnalysis& analysis,
+                       std::vector<Finding>& out) {
+  const std::vector<CallNode>& nodes = analysis.graph().nodes();
+  for (std::size_t n = 0; n < nodes.size(); ++n) {
+    const CallNode& node = nodes[n];
+    if (!node.path.starts_with("src/")) continue;
+    const FunctionFacts& facts = analysis.FactsOf(n);
+    for (const FunctionFacts::Narrowing& narrowing : facts.narrowings) {
       out.push_back(
-          {node.path, origin.line, "shared-state-discipline",
-           node.qualified_name + " writes shared state (" + origin.detail +
-               ") without a lock and is reachable from the parallel worker "
-               "body in " + nodes[root].qualified_name + " (" +
-               nodes[root].path +
-               "); use the per-worker accumulator + Merge pattern"});
-      break;  // one finding per node keeps the report readable
+          {node.path, narrowing.line, "int-narrowing-at-boundary",
+           narrowing.detail + " in " + node.qualified_name +
+               " with no dominating NB_REQUIRE range guard; guard the "
+               "value or make the narrowing explicit with a checked "
+               "cast"});
+    }
+    for (const FunctionFacts::NarrowArg& arg : facts.narrow_args) {
+      if (arg.call < 0 ||
+          static_cast<std::size_t>(arg.call) >= node.edges.size()) {
+        continue;
+      }
+      const CallEdge& edge = node.edges[static_cast<std::size_t>(arg.call)];
+      // Only an exact resolution may judge the callee's signature; and
+      // every overload must agree the parameter is 32-bit.
+      if (edge.resolution != Resolution::kExact || edge.targets.empty()) {
+        continue;
+      }
+      bool all_narrow = true;
+      for (const std::size_t target : edge.targets) {
+        const FunctionFacts& callee = analysis.FactsOf(target);
+        if (arg.arg < 0 ||
+            static_cast<std::size_t>(arg.arg) >= callee.param_widths.size() ||
+            callee.param_widths[static_cast<std::size_t>(arg.arg)] != 32) {
+          all_narrow = false;
+          break;
+        }
+      }
+      if (!all_narrow) continue;
+      const CallNode& callee = nodes[edge.targets.front()];
+      Finding finding{
+          node.path, arg.line, "int-narrowing-at-boundary",
+          "int64 `" + arg.ident + "` passed as argument " +
+              std::to_string(arg.arg + 1) + " of " + callee.qualified_name +
+              ", whose parameter is declared 32-bit (" + callee.path + ":" +
+              std::to_string(callee.line) +
+              "), with no dominating NB_REQUIRE range guard; guard the "
+              "value or make the narrowing explicit with a checked cast"};
+      finding.flow.push_back(
+          {node.path, arg.line,
+           "call site in " + node.qualified_name + " passes `" + arg.ident +
+               "`"});
+      finding.flow.push_back(
+          {callee.path, callee.line,
+           "parameter " + std::to_string(arg.arg + 1) + " of " +
+               callee.qualified_name + " is 32-bit"});
+      out.push_back(std::move(finding));
     }
   }
 }
@@ -171,7 +363,12 @@ void CheckIoSeamDiscipline(const ProgramAnalysis& analysis,
   const std::vector<CallNode>& nodes = analysis.graph().nodes();
   for (std::size_t n = 0; n < nodes.size(); ++n) {
     const CallNode& node = nodes[n];
-    if (!node.path.starts_with("src/")) continue;
+    // bench/ is in scope too: a benchmark that writes files skews the
+    // numbers it reports.  tools/ stay exempt -- reading trees and
+    // writing reports is their whole job.
+    if (!node.path.starts_with("src/") && !node.path.starts_with("bench/")) {
+      continue;
+    }
     if (IsFsSeamPath(node.path)) continue;
     if ((analysis.DirectEffectsOf(n) & kEffectRawFileIo) == 0) continue;
     for (const EffectOrigin& origin : analysis.OriginsOf(n)) {
@@ -181,7 +378,8 @@ void CheckIoSeamDiscipline(const ProgramAnalysis& analysis,
            "raw filesystem access (" + origin.detail + ") in " +
                node.qualified_name +
                "; src/ must go through the injectable failpoint::Fs seam in "
-               "src/failpoint/fs.h so I/O faults stay injectable"});
+               "src/failpoint/fs.h so I/O faults stay injectable (and "
+               "bench/ must not do file I/O at all)"});
     }
   }
 }
@@ -194,7 +392,12 @@ void CheckServiceLayering(const ProgramAnalysis& analysis,
   const std::vector<CallNode>& nodes = analysis.graph().nodes();
   for (std::size_t n = 0; n < nodes.size(); ++n) {
     const CallNode& node = nodes[n];
-    if (!node.path.starts_with("src/")) continue;
+    // In scope: the library, the benchmarks, and every tool except the
+    // one sanctioned transport front-end.
+    const bool in_scope =
+        node.path.starts_with("src/") || node.path.starts_with("bench/") ||
+        (node.path.starts_with("tools/") && node.path != "tools/nbserved.cc");
+    if (!in_scope) continue;
     if ((analysis.DirectEffectsOf(n) & kEffectRawSocket) == 0) continue;
     for (const EffectOrigin& origin : analysis.OriginsOf(n)) {
       if (origin.effect != kEffectRawSocket) continue;
@@ -203,8 +406,8 @@ void CheckServiceLayering(const ProgramAnalysis& analysis,
            "raw socket call (" + origin.detail + ") in " +
                node.qualified_name +
                "; transport lives only in the nbserved front-end "
-               "(tools/nbserved.cc) -- src/ must stay behind the "
-               "transport-agnostic service core API (src/service/)"});
+               "(tools/nbserved.cc) -- everything else must stay behind "
+               "the transport-agnostic service core API (src/service/)"});
     }
   }
 }

@@ -1,8 +1,10 @@
 // The whole-program rule families, implemented over ProgramAnalysis
-// (summary.h).  Registered in rules.cc as `determinism-taint`,
-// `shared-state-discipline`, `layering-reachability`, and
-// `io-seam-discipline`; the engine (lint.h) invokes them once per run in
-// whole-program mode.
+// (summary.h) and the flow-sensitive per-function facts it carries
+// (dataflow.h).  Registered in rules.cc as `determinism-taint`,
+// `rng-draw-parity`, `lockset-discipline`, `layering-reachability`,
+// `io-seam-discipline`, `service-layering`, and
+// `int-narrowing-at-boundary`; the engine (lint.h) invokes them once per
+// run in whole-program mode.
 //
 // determinism-taint.  The repo's replay guarantees (bit-identical trials
 // across worker counts, bit-identical kill-and-resume) hold only if the
@@ -17,14 +19,35 @@
 // read in src/ outside src/resilience/clock.* is reported -- that pair is
 // the only place allowed to touch OS time.
 //
+// rng-draw-parity.  The word-parallel channel keeps two sampling modes
+// (WordMode::kStreamCompat / kFast) that must consume IDENTICAL numbers
+// of Rng draws per round, or the two modes diverge after the first round
+// and replay comparisons silently lie (PR 9's burst double-advance bug).
+// For every WordMode-conditioned branch in src/channel/, the rule
+// enumerates each arm's CFG paths, counts the distinct draw sites crossed
+// (calls with an Rng receiver/argument, or whose resolved callee's effect
+// closure draws), and reports when the two arms' per-path draw-count SETS
+// differ.  Error severity: SharedOutcome-style designs pass by
+// construction because both arms route through the same sampler call.
+//
+// lockset-discipline.  The flow-sensitive successor of v3's
 // shared-state-discipline.  Worker bodies handed to ParallelForEach /
 // ParallelTrials must follow the per-worker-accumulator + Merge pattern.
 // The rule walks everything reachable from functions that issue those
-// calls and reports nodes that directly write namespace-scope or
-// function-static state without directly taking a lock.  (Deliberately
-// conservative: a helper a parallelizing function calls only outside the
-// parallel region is still reported, because lexical extent is not
-// tracked -- restructure or suppress with justification.)
+// calls and reports shared writes that SOME CFG path reaches with an
+// empty must-lockset (RAII guards count only inside their brace scope;
+// manual lock()/unlock() gen/kill along the path).  A helper that takes
+// the lock on every path to the write is now clean -- v3 flagged any
+// write in a function that did not also lock, and could not see
+// early-return paths that skip the guard.
+//
+// int-narrowing-at-boundary.  Trial counts, word counts, and byte sizes
+// are 64-bit at the boundaries (NumTrials, payload sizes) but older call
+// sites still traffic in int.  The rule reports implicit int64 -> int32
+// narrowing at assignment/return boundaries, and 64-bit identifiers
+// passed bare to a parameter declared 32-bit (judged against the
+// resolved callee's signature), unless an NB_REQUIRE guard naming the
+// identifier dominates the site.
 //
 // layering-reachability.  Per-file include rules check direct edges; this
 // checks every RESOLVED cross-module call edge against the transitive
@@ -38,18 +61,22 @@
 // injectable failpoint::Fs seam (src/failpoint/fs.h) -- the third
 // sanctioned hole beside locks and wall-clock.  The rule reports every
 // DIRECT raw filesystem access (fstream construction, fopen/fsync/rename,
-// std::filesystem calls) in src/ outside src/failpoint/fs.*; callers of
-// the seam are clean because the fixed point strips kEffectRawFileIo at
-// the seam boundary.
+// std::filesystem calls) in src/ outside src/failpoint/fs.*, and in
+// bench/ (benchmarks report on stdout; a benchmark that writes files
+// skews the numbers it measures).  tools/ stay exempt: the CLIs' whole
+// job is reading trees and writing reports.  Callers of the seam are
+// clean because the fixed point strips kEffectRawFileIo at the seam
+// boundary.
 //
 // service-layering.  The trial-service core (src/service/) is transport-
 // agnostic by contract: every robustness behaviour -- admission, shedding,
 // deadlines, caching, drain -- is exercised by in-process deterministic
 // tests, which is only possible because no byte of transport lives in
 // src/.  Raw BSD socket calls (socket/bind/listen/accept/connect/...) are
-// confined to the nbserved front-end under tools/; the rule reports every
-// DIRECT socket call in src/, with no seam exemption -- there is no
-// sanctioned socket seam inside the library.
+// confined to the nbserved front-end; the rule reports every DIRECT
+// socket call in src/, bench/, and tools/ outside tools/nbserved.cc,
+// with no seam exemption -- there is no sanctioned socket seam inside
+// the library, and no other binary is allowed to grow a transport.
 #ifndef NOISYBEEPS_LINT_TAINT_H_
 #define NOISYBEEPS_LINT_TAINT_H_
 
@@ -72,8 +99,12 @@ inline constexpr unsigned kDeterminismSources =
 
 void CheckDeterminismTaint(const ProgramAnalysis& analysis,
                            std::vector<Finding>& out);
-void CheckSharedStateDiscipline(const ProgramAnalysis& analysis,
-                                std::vector<Finding>& out);
+void CheckRngDrawParity(const ProgramAnalysis& analysis,
+                        std::vector<Finding>& out);
+void CheckLocksetDiscipline(const ProgramAnalysis& analysis,
+                            std::vector<Finding>& out);
+void CheckIntNarrowing(const ProgramAnalysis& analysis,
+                       std::vector<Finding>& out);
 void CheckLayeringReachability(const ProgramAnalysis& analysis,
                                std::vector<Finding>& out);
 void CheckIoSeamDiscipline(const ProgramAnalysis& analysis,

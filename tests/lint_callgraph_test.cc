@@ -439,9 +439,9 @@ TEST(DeterminismTaint, AcceptsTheInjectableClockPattern) {
   EXPECT_TRUE(findings.empty()) << FormatText(findings);
 }
 
-// --- shared-state-discipline ------------------------------------------------
+// --- lockset-discipline -----------------------------------------------------
 
-TEST(SharedStateDiscipline, FlagsUnlockedWritesReachableFromWorkers) {
+TEST(LocksetDiscipline, FlagsUnlockedWritesReachableFromWorkers) {
   const RepoModel repo(
       {Src("src/analysis/s.cc",
            "#include <mutex>\n"
@@ -457,15 +457,57 @@ TEST(SharedStateDiscipline, FlagsUnlockedWritesReachableFromWorkers) {
            "  g_hits = 0;\n"
            "}\n")});
   std::vector<Finding> findings;
-  CheckSharedStateDiscipline(ProgramAnalysis::Build(repo), findings);
+  CheckLocksetDiscipline(ProgramAnalysis::Build(repo), findings);
 
-  // Bump is flagged; Tally holds a lock; Sweep is the root (its own
-  // writes may be sequential code around the parallel region).
+  // Bump is flagged; Tally holds a lock at its write; Sweep is the root
+  // (its own writes may be sequential code around the parallel region).
   ASSERT_EQ(findings.size(), 1u) << FormatText(findings);
   EXPECT_EQ(findings[0].line, 4);
   EXPECT_NE(findings[0].message.find("Bump"), std::string::npos);
   EXPECT_NE(findings[0].message.find("Sweep"), std::string::npos)
       << "the report names the parallel root";
+  // The witness flow walks root -> callee -> write.
+  ASSERT_GE(findings[0].flow.size(), 3u) << FormatText(findings);
+  EXPECT_NE(findings[0].flow.front().text.find("Sweep"), std::string::npos);
+  EXPECT_NE(findings[0].flow.back().text.find("unlocked write"),
+            std::string::npos);
+}
+
+TEST(LocksetDiscipline, SeesThroughFlowWhereV3CouldNot) {
+  // Guarded() takes the lock on every path to its write: v3's "writes but
+  // never locks" test would pass it too, but an early return BEFORE the
+  // guard plus a write after it is the case only the CFG can judge.
+  const RepoModel repo(
+      {Src("src/analysis/s.cc",
+           "#include <mutex>\n"
+           "int g_total = 0;\n"
+           "std::mutex g_mu;\n"
+           "void Guarded(int n) {\n"
+           "  if (n == 0) {\n"
+           "    return;\n"
+           "  }\n"
+           "  std::lock_guard<std::mutex> lock(g_mu);\n"
+           "  g_total += n;\n"
+           "}\n"
+           "void Leaky(int n) {\n"
+           "  if (n > 0) {\n"
+           "    std::lock_guard<std::mutex> lock(g_mu);\n"
+           "    g_total += n;\n"
+           "    return;\n"
+           "  }\n"
+           "  g_total -= 1;\n"
+           "}\n"
+           "void Sweep() {\n"
+           "  ParallelForEach(8, [](int i) { Guarded(i); Leaky(i); });\n"
+           "}\n")});
+  std::vector<Finding> findings;
+  CheckLocksetDiscipline(ProgramAnalysis::Build(repo), findings);
+
+  // Guarded is clean (every path to its write holds the lock); Leaky's
+  // second write runs with an empty lockset.
+  ASSERT_EQ(findings.size(), 1u) << FormatText(findings);
+  EXPECT_NE(findings[0].message.find("Leaky"), std::string::npos);
+  EXPECT_EQ(findings[0].file, "src/analysis/s.cc");
 }
 
 // --- layering-reachability --------------------------------------------------
@@ -514,7 +556,7 @@ TEST(LintCache, SerializationRoundTripsByteIdentically) {
   ASSERT_EQ(fresh.size(), 2u);
 
   const std::string text = SerializeCache(fresh);
-  EXPECT_EQ(text.substr(0, 14), "nblint-cache 3");
+  EXPECT_EQ(text.substr(0, 14), "nblint-cache 4");
   EXPECT_EQ(SerializeCache(ParseCache(text)), text);
 }
 
@@ -581,10 +623,27 @@ TEST(LintCache, MalformedInputFallsBackToAColdRun) {
   // wholesale: their effect masks lack the newer bits.
   EXPECT_TRUE(ParseCache("nblint-cache 1\n").empty());
   EXPECT_TRUE(ParseCache("nblint-cache 2\n").empty());
+  // v3 caches predate the CFG facts (widths, rng-local flags, mb/uw/nw/na
+  // records); replaying them would blind the flow-sensitive rules.
   EXPECT_TRUE(
-      ParseCache("nblint-cache 3\nfn 3 0 orphan -\n").empty());
+      ParseCache("nblint-cache 3\nfile src/a.cc util deadbeef -\n").empty());
+  // An fn record before any file, a truncated fn record, a call record with
+  // a bad rng-local flag, and an mb record with a garbled arm all poison
+  // the whole cache.
   EXPECT_TRUE(
-      ParseCache("nblint-cache 3\nfile src/a.cc util deadbeef\n").empty());
+      ParseCache("nblint-cache 4\nfn 3 0 0 - orphan -\n").empty());
+  EXPECT_TRUE(
+      ParseCache("nblint-cache 4\nfile src/a.cc util deadbeef -\n"
+                 "fn 3 0 orphan -\n")
+          .empty());
+  EXPECT_TRUE(
+      ParseCache("nblint-cache 4\nfile src/a.cc util deadbeef -\n"
+                 "fn 3 0 0 - F -\ncall 0 3 G - - 7\n")
+          .empty());
+  EXPECT_TRUE(
+      ParseCache("nblint-cache 4\nfile src/a.cc util deadbeef -\n"
+                 "fn 3 0 0 - F -\nmb 3 1,x 2\n")
+          .empty());
 }
 
 // --- the finding baseline ---------------------------------------------------

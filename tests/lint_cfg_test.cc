@@ -1,0 +1,341 @@
+// nblint's flow-sensitive layer: CFG construction over the token model
+// (cfg.h), edge-at-most-once path enumeration, and the generic worklist
+// dataflow solver (dataflow.h).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "lint/cfg.h"
+#include "lint/dataflow.h"
+#include "lint/model.h"
+
+namespace noisybeeps::lint {
+namespace {
+
+FileModel Model(std::string body) {
+  return FileModel::Build({"src/util/cfg_fixture.cc", std::move(body)});
+}
+
+const FunctionInfo& DefinitionOf(const FileModel& file,
+                                 const std::string& name) {
+  for (const FunctionInfo& fn : file.functions()) {
+    if (fn.name == name && fn.is_definition) return fn;
+  }
+  ADD_FAILURE() << "no definition of " << name;
+  static const FunctionInfo kNone{};
+  return kNone;
+}
+
+// Index of the first block with a statement whose first token is `text`,
+// or kNpos.
+std::size_t BlockStartingWith(const Cfg& cfg, const FileModel& file,
+                              const std::string& text) {
+  for (std::size_t b = 0; b < cfg.blocks().size(); ++b) {
+    for (const CfgBlock::Stmt& stmt : cfg.blocks()[b].stmts) {
+      if (stmt.begin < stmt.end &&
+          file.tokens()[file.code()[stmt.begin]].text == text) {
+        return b;
+      }
+    }
+  }
+  return kNpos;
+}
+
+std::size_t CountBranches(const Cfg& cfg) {
+  std::size_t n = 0;
+  for (const CfgBlock& block : cfg.blocks()) n += block.is_branch ? 1 : 0;
+  return n;
+}
+
+// --- construction -----------------------------------------------------------
+
+TEST(LintCfg, StraightLineBodyIsASinglePath) {
+  const FileModel file = Model(
+      "int F() {\n"
+      "  int a = 1;\n"
+      "  int b = 2;\n"
+      "  return a + b;\n"
+      "}\n");
+  const Cfg cfg = Cfg::Build(file, DefinitionOf(file, "F"));
+  EXPECT_FALSE(cfg.fallback());
+  EXPECT_EQ(CountBranches(cfg), 0u);
+  EXPECT_EQ(EnumeratePaths(cfg, cfg.entry()).size(), 1u);
+}
+
+TEST(LintCfg, IfElseForksAndJoins) {
+  const FileModel file = Model(
+      "int F(bool p) {\n"
+      "  int out = 0;\n"
+      "  if (p) {\n"
+      "    out = 1;\n"
+      "  } else {\n"
+      "    out = 2;\n"
+      "  }\n"
+      "  return out;\n"
+      "}\n");
+  const Cfg cfg = Cfg::Build(file, DefinitionOf(file, "F"));
+  EXPECT_FALSE(cfg.fallback());
+  EXPECT_EQ(CountBranches(cfg), 1u);
+  const std::size_t cond = BlockStartingWith(cfg, file, "p");
+  ASSERT_NE(cond, kNpos);
+  EXPECT_TRUE(cfg.blocks()[cond].is_branch);
+  ASSERT_EQ(cfg.blocks()[cond].succs.size(), 2u);
+  EXPECT_EQ(EnumeratePaths(cfg, cfg.entry()).size(), 2u);
+}
+
+TEST(LintCfg, ShortCircuitConditionsSplitIntoBranchChains) {
+  // `a && b` tests b only when a holds: three paths through the if.
+  const FileModel file = Model(
+      "int F(bool a, bool b) {\n"
+      "  if (a && b) return 1;\n"
+      "  return 0;\n"
+      "}\n");
+  const Cfg cfg = Cfg::Build(file, DefinitionOf(file, "F"));
+  EXPECT_FALSE(cfg.fallback());
+  EXPECT_EQ(CountBranches(cfg), 2u);
+  EXPECT_EQ(EnumeratePaths(cfg, cfg.entry()).size(), 3u);
+
+  // `!(a || b)` negates: the then-arm runs only when both tests fail.
+  const FileModel neg = Model(
+      "int F(bool a, bool b) {\n"
+      "  if (!(a || b)) return 1;\n"
+      "  return 0;\n"
+      "}\n");
+  const Cfg ncfg = Cfg::Build(neg, DefinitionOf(neg, "F"));
+  EXPECT_EQ(CountBranches(ncfg), 2u);
+  EXPECT_EQ(EnumeratePaths(ncfg, ncfg.entry()).size(), 3u);
+}
+
+TEST(LintCfg, LoopsContributeSkippedAndOnceThroughPaths) {
+  const FileModel file = Model(
+      "int F(int n) {\n"
+      "  int total = 0;\n"
+      "  while (n > 0) {\n"
+      "    total += n;\n"
+      "    n -= 1;\n"
+      "  }\n"
+      "  return total;\n"
+      "}\n");
+  const Cfg cfg = Cfg::Build(file, DefinitionOf(file, "F"));
+  EXPECT_FALSE(cfg.fallback());
+  // Edge-at-most-once enumeration: body skipped, body taken once.
+  EXPECT_EQ(EnumeratePaths(cfg, cfg.entry()).size(), 2u);
+
+  const FileModel ranged = Model(
+      "int F(const std::vector<int>& xs) {\n"
+      "  int total = 0;\n"
+      "  for (const int x : xs) total += x;\n"
+      "  return total;\n"
+      "}\n");
+  const Cfg rcfg = Cfg::Build(ranged, DefinitionOf(ranged, "F"));
+  EXPECT_FALSE(rcfg.fallback());
+  EXPECT_EQ(CountBranches(rcfg), 1u);
+  EXPECT_EQ(EnumeratePaths(rcfg, rcfg.entry()).size(), 2u);
+}
+
+TEST(LintCfg, EarlyReturnEdgesGoStraightToExit) {
+  const FileModel file = Model(
+      "int F(bool p) {\n"
+      "  int rest = 0;\n"
+      "  if (p) return 7;\n"
+      "  rest = 1;\n"
+      "  return rest;\n"
+      "}\n");
+  const Cfg cfg = Cfg::Build(file, DefinitionOf(file, "F"));
+  const auto paths = EnumeratePaths(cfg, cfg.entry());
+  ASSERT_EQ(paths.size(), 2u);
+  // Every enumerated path ends at the exit block.
+  for (const auto& path : paths) {
+    ASSERT_FALSE(path.empty());
+    EXPECT_EQ(path.back(), cfg.exit());
+  }
+  // The early-return path never reaches the `rest` statement.
+  const std::size_t rest = BlockStartingWith(cfg, file, "rest");
+  ASSERT_NE(rest, kNpos);
+  std::size_t through = 0;
+  for (const auto& path : paths) {
+    for (const std::size_t b : path) through += b == rest ? 1 : 0;
+  }
+  EXPECT_EQ(through, 1u);
+}
+
+TEST(LintCfg, SwitchArmsBranchFromTheHeadAndFallThrough) {
+  const FileModel file = Model(
+      "int F(int k) {\n"
+      "  int out = 0;\n"
+      "  switch (k) {\n"
+      "    case 0:\n"
+      "      out = 1;\n"
+      "      break;\n"
+      "    case 1:\n"
+      "      out = 2;\n"
+      "      break;\n"
+      "    default:\n"
+      "      out = 3;\n"
+      "  }\n"
+      "  return out;\n"
+      "}\n");
+  const Cfg cfg = Cfg::Build(file, DefinitionOf(file, "F"));
+  EXPECT_FALSE(cfg.fallback());
+  // One path per arm; with a default the head has no direct skip edge.
+  EXPECT_GE(EnumeratePaths(cfg, cfg.entry()).size(), 3u);
+}
+
+TEST(LintCfg, DeclarationsAndUnparseableBodiesDegradeToTheFallback) {
+  const FileModel file = Model("int F(bool p);\n");
+  ASSERT_EQ(file.functions().size(), 1u);
+  EXPECT_FALSE(file.functions()[0].is_definition);
+  const Cfg cfg = Cfg::Build(file, file.functions()[0]);
+  EXPECT_TRUE(cfg.fallback());
+  ASSERT_EQ(cfg.blocks().size(), 3u);
+  EXPECT_EQ(EnumeratePaths(cfg, cfg.entry()).size(), 1u);
+}
+
+TEST(LintCfg, StmtLineReportsTheFirstTokenLine) {
+  const FileModel file = Model(
+      "int F() {\n"
+      "  int a = 1;\n"
+      "  return a;\n"
+      "}\n");
+  const Cfg cfg = Cfg::Build(file, DefinitionOf(file, "F"));
+  const std::size_t b = BlockStartingWith(cfg, file, "int");
+  ASSERT_NE(b, kNpos);
+  EXPECT_EQ(cfg.StmtLine(file, cfg.blocks()[b].stmts.front()), 2);
+  EXPECT_EQ(cfg.StmtLine(file, CfgBlock::Stmt{}), 0);
+}
+
+TEST(LintCfg, PathEnumerationHonorsItsCaps) {
+  // Four sequential ifs: 16 paths uncapped.
+  const FileModel file = Model(
+      "int F(bool a, bool b, bool c, bool d) {\n"
+      "  int out = 0;\n"
+      "  if (a) out += 1;\n"
+      "  if (b) out += 2;\n"
+      "  if (c) out += 4;\n"
+      "  if (d) out += 8;\n"
+      "  return out;\n"
+      "}\n");
+  const Cfg cfg = Cfg::Build(file, DefinitionOf(file, "F"));
+  EXPECT_EQ(EnumeratePaths(cfg, cfg.entry()).size(), 16u);
+  EXPECT_EQ(EnumeratePaths(cfg, cfg.entry(), 5).size(), 5u);
+  EXPECT_TRUE(EnumeratePaths(cfg, cfg.blocks().size() + 1).empty());
+}
+
+// --- the worklist solver ----------------------------------------------------
+
+// Forward analysis over an if/else: bit 1 is generated in the then-arm
+// only.  A may-analysis (join = OR) sees it at the join; a must-analysis
+// (join = AND, top = full set) does not.
+TEST(LintDataflow, MayAndMustJoinsDisagreeAcrossAnIfArm) {
+  const FileModel file = Model(
+      "int F(bool p) {\n"
+      "  int out = 0;\n"
+      "  if (p) {\n"
+      "    gen();\n"
+      "  } else {\n"
+      "    out = 2;\n"
+      "  }\n"
+      "  return out;\n"
+      "}\n");
+  const Cfg cfg = Cfg::Build(file, DefinitionOf(file, "F"));
+  const std::size_t gen = BlockStartingWith(cfg, file, "gen");
+  const std::size_t ret = BlockStartingWith(cfg, file, "return");
+  ASSERT_NE(gen, kNpos);
+  ASSERT_NE(ret, kNpos);
+
+  DataflowSpec may;
+  may.top = 0;
+  may.join = [](std::uint64_t a, std::uint64_t b) { return a | b; };
+  may.transfer = [gen](std::size_t block, std::uint64_t in) {
+    return block == gen ? (in | 1u) : in;
+  };
+  const std::vector<std::uint64_t> may_in = Solve(cfg, may);
+  EXPECT_EQ(may_in[ret] & 1u, 1u);
+
+  DataflowSpec must;
+  must.join = [](std::uint64_t a, std::uint64_t b) { return a & b; };
+  must.transfer = may.transfer;
+  const std::vector<std::uint64_t> must_in = Solve(cfg, must);
+  EXPECT_EQ(must_in[ret] & 1u, 0u);
+
+  // Generated on BOTH arms, the must-analysis agrees again.
+  DataflowSpec both = must;
+  const std::size_t other = BlockStartingWith(cfg, file, "out");
+  both.transfer = [&](std::size_t block, std::uint64_t in) {
+    return (block == gen || block == other) ? (in | 1u) : in;
+  };
+  EXPECT_EQ(Solve(cfg, both)[ret] & 1u, 1u);
+}
+
+TEST(LintDataflow, BackwardAnalysisPropagatesAgainstTheEdges) {
+  // Liveness-style: bit 1 generated at the final return, visible at the
+  // entry block's OUT (the solver reports pre-transfer values backward).
+  const FileModel file = Model(
+      "int F(bool p) {\n"
+      "  int a = 1;\n"
+      "  if (p) a = 2;\n"
+      "  return a;\n"
+      "}\n");
+  const Cfg cfg = Cfg::Build(file, DefinitionOf(file, "F"));
+  const std::size_t ret = BlockStartingWith(cfg, file, "return");
+  ASSERT_NE(ret, kNpos);
+  ASSERT_NE(ret, cfg.entry());
+  DataflowSpec live;
+  live.backward = true;
+  live.top = 0;
+  live.join = [](std::uint64_t a, std::uint64_t b) { return a | b; };
+  live.transfer = [ret](std::size_t block, std::uint64_t in) {
+    return block == ret ? (in | 1u) : in;
+  };
+  const std::vector<std::uint64_t> out = Solve(cfg, live);
+  EXPECT_EQ(out[cfg.entry()] & 1u, 1u);
+}
+
+TEST(LintDataflow, LoopsReachAFixedPoint) {
+  // A kill inside the loop body must drain the must-set at the loop head
+  // even though the back edge feeds the head twice.
+  const FileModel file = Model(
+      "int F(int n) {\n"
+      "  while (n > 0) {\n"
+      "    kill();\n"
+      "    n -= 1;\n"
+      "  }\n"
+      "  return n;\n"
+      "}\n");
+  const Cfg cfg = Cfg::Build(file, DefinitionOf(file, "F"));
+  const std::size_t kill = BlockStartingWith(cfg, file, "kill");
+  const std::size_t ret = BlockStartingWith(cfg, file, "return");
+  ASSERT_NE(kill, kNpos);
+  ASSERT_NE(ret, kNpos);
+  DataflowSpec must;
+  must.boundary = 1;  // the lock is held on entry...
+  must.join = [](std::uint64_t a, std::uint64_t b) { return a & b; };
+  must.transfer = [kill](std::size_t block, std::uint64_t in) {
+    return block == kill ? (in & ~std::uint64_t{1}) : in;
+  };
+  // ...but the loop may release it, so after the loop it is not a must.
+  EXPECT_EQ(Solve(cfg, must)[ret] & 1u, 0u);
+}
+
+// --- width classification ---------------------------------------------------
+
+TEST(LintDataflow, IntWidthOfTypeClassifiesTheSizedSpellings) {
+  EXPECT_EQ(IntWidthOfType("std::int64_t"), 64);
+  EXPECT_EQ(IntWidthOfType("int64_t"), 64);
+  EXPECT_EQ(IntWidthOfType("std::uint64_t"), 64);
+  EXPECT_EQ(IntWidthOfType("std::size_t"), 64);
+  EXPECT_EQ(IntWidthOfType("size_t"), 64);
+  EXPECT_EQ(IntWidthOfType("std::ptrdiff_t"), 64);
+  EXPECT_EQ(IntWidthOfType("int"), 32);
+  EXPECT_EQ(IntWidthOfType("unsigned"), 32);
+  EXPECT_EQ(IntWidthOfType("std::int32_t"), 32);
+  EXPECT_EQ(IntWidthOfType("uint32_t"), 32);
+  EXPECT_EQ(IntWidthOfType("double"), 0);
+  EXPECT_EQ(IntWidthOfType("Rng"), 0);
+  EXPECT_EQ(IntWidthOfType(""), 0);
+}
+
+}  // namespace
+}  // namespace noisybeeps::lint

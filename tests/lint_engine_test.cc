@@ -223,14 +223,22 @@ TEST(LintRegistry, RulesAreRegisteredSortedAndUnique) {
 }
 
 TEST(LintRegistry, WholeProgramRulesAreRegisteredAsSuch) {
-  for (const char* id : {"determinism-taint", "shared-state-discipline",
-                         "layering-reachability", "io-seam-discipline"}) {
+  for (const char* id :
+       {"determinism-taint", "rng-draw-parity", "lockset-discipline",
+        "int-narrowing-at-boundary", "layering-reachability",
+        "io-seam-discipline", "service-layering"}) {
     const Rule* rule = FindRule(id);
     ASSERT_NE(rule, nullptr) << id;
-    EXPECT_EQ(rule->severity, Severity::kWarn) << id;
     EXPECT_EQ(rule->run, nullptr) << id;
     EXPECT_NE(rule->run_program, nullptr) << id;
   }
+  // A missed draw desynchronizes every later word on the stream; the
+  // other flow-sensitive rules stay baselineable warnings.
+  EXPECT_EQ(FindRule("rng-draw-parity")->severity, Severity::kError);
+  EXPECT_EQ(FindRule("lockset-discipline")->severity, Severity::kWarn);
+  EXPECT_EQ(FindRule("int-narrowing-at-boundary")->severity, Severity::kWarn);
+  // The v3 path-insensitive rule is gone; lockset-discipline replaced it.
+  EXPECT_EQ(FindRule("shared-state-discipline"), nullptr);
 }
 
 TEST(LintRegistry, SeveritiesComeFromTheRegistry) {
@@ -441,6 +449,38 @@ TEST(LintSarif, EmptyFindingsStillValidate) {
   const std::string sarif = FormatSarif({});
   EXPECT_TRUE(JsonChecker(sarif).Valid()) << sarif;
   EXPECT_NE(sarif.find("\"results\": ["), std::string::npos);
+}
+
+TEST(LintSarif, WitnessPathsBecomeCodeFlows) {
+  Finding finding{"src/channel/word.cc", 9, "rng-draw-parity",
+                  "arms draw differently", Severity::kError};
+  finding.flow = {
+      {"src/channel/word.cc", 9, "WordMode branch in Step"},
+      {"src/channel/word.cc", 11, "Rng draw: NextU64"},
+  };
+  Finding plain{"src/a.cc", 1, "header-guard", "bad guard",
+                Severity::kError};
+  const std::string sarif = FormatSarif({finding, plain});
+  EXPECT_TRUE(JsonChecker(sarif).Valid()) << sarif;
+  EXPECT_NE(sarif.find("\"codeFlows\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"threadFlows\""), std::string::npos);
+  EXPECT_NE(sarif.find("Rng draw: NextU64"), std::string::npos);
+  EXPECT_NE(sarif.find("\"startLine\": 11"), std::string::npos);
+  // Flow-less findings must not grow an empty codeFlows array.
+  EXPECT_EQ(sarif.find("\"codeFlows\": []"), std::string::npos);
+}
+
+TEST(LintFormats, TextFormatRendersFlowStepsIndented) {
+  Finding finding{"src/a.cc", 4, "lockset-discipline", "unlocked write",
+                  Severity::kWarn};
+  finding.flow = {
+      {"src/b.cc", 7, "parallel region in Sweep"},
+      {"src/a.cc", 4, "unlocked write: g_hits += 1"},
+  };
+  EXPECT_EQ(FormatText({finding}),
+            "src/a.cc:4: warn: lockset-discipline: unlocked write\n"
+            "    src/b.cc:7: parallel region in Sweep\n"
+            "    src/a.cc:4: unlocked write: g_hits += 1\n");
 }
 
 // --- the real tree ----------------------------------------------------------
